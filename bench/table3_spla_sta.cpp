@@ -1,0 +1,81 @@
+/// Reproduces Table 3 of the paper: SPLA static timing analysis.
+/// Rows: the min-area netlist (K = 0 / DAGON), a routable-band netlist
+/// (paper K = 0.001 <-> ours K = 0.1), and the SIS-mode netlist. For each:
+/// critical path + arrival, the arrival on the K=0 netlist's critical
+/// output, and the smallest routable die (chip area / rows).
+
+#include "common.hpp"
+
+using namespace cals;
+using namespace cals::bench;
+
+namespace {
+
+struct Row {
+  std::string label;
+  CriticalPath critical;
+  double same_path_arrival = 0.0;
+  std::uint32_t rows = 0;
+  double chip_area = 0.0;
+  bool routable = false;
+};
+
+Row evaluate(const std::string& label, const BaseNetwork& net, const Library& lib,
+             double k, std::uint32_t start_rows, const std::string& reference_po) {
+  Row row;
+  row.label = label;
+  FlowOptions options = table_flow_options(k);
+  const RowSearchResult search =
+      find_min_routable_rows(net, lib, options, start_rows, start_rows + 14);
+  row.rows = search.rows;
+  row.routable = search.found;
+  row.chip_area = search.run.metrics.chip_area_um2;
+  row.critical = search.run.sta.critical;
+  row.same_path_arrival = reference_po.empty()
+                              ? row.critical.arrival_ns
+                              : search.run.sta.arrival_of(search.run.map.netlist,
+                                                          reference_po);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Table 3 — SPLA static timing analysis results");
+
+  Table paper({"K (paper)", "Critical path", "Arrival (ns)",
+               "Same-path-as-K=0 arrival (ns)", "Chip area (um2)", "Rows"});
+  paper.set_caption("Published (Pandini et al., DATE 2002, Table 3):");
+  paper.add_row({"0.0", "iJ0J(in) -> oJ23J(out)", "17.85", "17.85", "217678", "72"});
+  paper.add_row({"0.001", "iJ0J(in) -> oJ16J(out)", "17.43", "17.06", "207062", "71"});
+  paper.add_row({"SIS", "iJ0J(in) -> oJ44J(out)", "18.57", "17.98", "231015", "75"});
+  print_table(paper);
+
+  const Library lib = lib::make_corelib();
+  const Pla pla = workloads::spla_like(scale());
+  const BaseNetwork base = synthesize_base(pla);
+  const BaseNetwork sis =
+      synthesize_sis_mode(pla, nullptr, workloads::sis_extract_options());
+  const std::uint32_t paper_rows = scaled_rows(workloads::spla_cliff_rows());
+
+  Timer total;
+  // K = 0 first: it defines the reference critical output for the
+  // "comparison with critical path K = 0.0" column.
+  const Row k0 = evaluate("K=0 (DAGON)", base, lib, 0.0, paper_rows, "");
+  const Row band_fixed = evaluate("K=0.1 (band; paper K=0.001)", base, lib,
+                                  0.001 * kKScale, paper_rows, k0.critical.end);
+  const Row sis_row = evaluate("SIS", sis, lib, 0.0, paper_rows, k0.critical.end);
+
+  Table ours({"Netlist", "Critical path", "Arrival (ns)",
+              "Same-path-as-K=0 arrival (ns)", "Chip area (um2)", "Rows", "Routable"});
+  ours.set_caption("Measured (this reproduction):");
+  for (const Row& row : {k0, band_fixed, sis_row})
+    ours.add_row({row.label,
+                  strprintf("%s(in) -> %s(out)", row.critical.start.c_str(),
+                            row.critical.end.c_str()),
+                  fmt_f(row.critical.arrival_ns, 2), fmt_f(row.same_path_arrival, 2),
+                  fmt_f(row.chip_area, 0), fmt_i(row.rows), row.routable ? "yes" : "no"});
+  print_table(ours);
+  std::printf("total: %.1fs\n", total.seconds());
+  return 0;
+}

@@ -1,0 +1,37 @@
+#include "flow/baselines.hpp"
+
+#include "sop/decompose.hpp"
+#include "sop/minimize.hpp"
+
+namespace cals {
+namespace {
+
+BaseNetwork finish(BaseNetwork net, const Pla& minimized, SynthesisStats* stats,
+                   const ExtractStats& extract) {
+  net.compact();
+  if (stats != nullptr) {
+    stats->base_gates = net.num_base_gates();
+    stats->products_after_minimize = static_cast<std::uint32_t>(minimized.products.size());
+    stats->extract = extract;
+  }
+  return net;
+}
+
+}  // namespace
+
+BaseNetwork synthesize_base(const Pla& pla, SynthesisStats* stats) {
+  Pla minimized = pla;
+  minimize(minimized);
+  return finish(decompose(minimized), minimized, stats, {});
+}
+
+BaseNetwork synthesize_sis_mode(const Pla& pla, SynthesisStats* stats,
+                                const ExtractOptions& options) {
+  Pla minimized = pla;
+  minimize(minimized);
+  ExtractStats extract_stats;
+  BaseNetwork net = extract_network(minimized, options, &extract_stats);
+  return finish(std::move(net), minimized, stats, extract_stats);
+}
+
+}  // namespace cals

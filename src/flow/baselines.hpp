@@ -1,0 +1,30 @@
+#pragma once
+/// \file baselines.hpp
+/// Front-end synthesis recipes for the paper's comparison rows:
+///  * DAGON mode: two-level minimization + plain balanced decomposition —
+///    the technology-independent netlist DAGON maps in Tables 1–5;
+///  * SIS mode: minimization + algebraic divisor extraction — the literal-
+///    optimized netlist SIS would produce, smaller in cell area but with
+///    heavy multi-fanout sharing (the structurally-unroutable rows).
+
+#include "netlist/base_network.hpp"
+#include "sop/extract.hpp"
+#include "sop/sop.hpp"
+
+namespace cals {
+
+struct SynthesisStats {
+  std::uint32_t base_gates = 0;
+  std::uint32_t products_after_minimize = 0;
+  ExtractStats extract;
+};
+
+/// Minimize + decompose (the mapper's usual input). The PLA is minimized on
+/// a copy; the input is untouched.
+BaseNetwork synthesize_base(const Pla& pla, SynthesisStats* stats = nullptr);
+
+/// Minimize + divisor extraction (fewer literals, more sharing).
+BaseNetwork synthesize_sis_mode(const Pla& pla, SynthesisStats* stats = nullptr,
+                                const ExtractOptions& options = {});
+
+}  // namespace cals

@@ -1,0 +1,163 @@
+#include "flow/flow.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace cals {
+
+DesignContext::DesignContext(BaseNetwork net, const Library* library, Floorplan floorplan,
+                             PlaceOptions place_options)
+    : net_(std::move(net)), library_(library), floorplan_(floorplan) {
+  net_.compact();
+  net_.build_fanouts();
+
+  // The initial placement of the technology-independent netlist: generated
+  // once per floorplan, reused by every mapping evaluation.
+  const BasePlaceBinding binding = lower_base_network(net_, floorplan_);
+  const Placement placement = global_place(binding.graph, floorplan_, place_options);
+  base_hpwl_ = placement.hpwl(binding.graph);
+
+  node_positions_.assign(net_.num_nodes(), floorplan_.die().center());
+  for (std::uint32_t i = 0; i < net_.num_nodes(); ++i)
+    if (binding.node_object[i] != UINT32_MAX)
+      node_positions_[i] = placement.pos[binding.node_object[i]];
+}
+
+FlowRun DesignContext::run(const FlowOptions& options) const {
+  FlowRun run;
+  Timer timer;
+
+  // ---- technology mapping ------------------------------------------------
+  MapperOptions mapper_options;
+  mapper_options.partition = options.partition;
+  mapper_options.cover.K = options.K;
+  mapper_options.cover.objective = options.objective;
+  mapper_options.cover.metric = options.metric;
+  mapper_options.cover.transitive_wire_cost = options.transitive_wire_cost;
+  run.map = map_network(net_, *library_, node_positions_, mapper_options);
+  run.metrics.map_seconds = timer.seconds();
+
+  // ---- placement -----------------------------------------------------------
+  timer.reset();
+  run.binding = run.map.netlist.lower(floorplan_);
+  if (options.replace_mapped) {
+    run.placement = global_place(run.binding.graph, floorplan_, options.place);
+  } else {
+    // The paper's incremental update: instances sit at the center of mass of
+    // the base gates they cover; legalization resolves overlaps.
+    run.placement = run.map.netlist.seed_placement(run.binding);
+  }
+  run.legalization = legalize(run.binding.graph, floorplan_, run.placement);
+  if (options.refine_passes > 0) {
+    RefineOptions refine_options;
+    refine_options.passes = options.refine_passes;
+    refine_placement(run.binding.graph, floorplan_, run.placement, refine_options);
+  }
+
+  // ---- routing + congestion -------------------------------------------------
+  RoutingGrid grid(floorplan_, options.rgrid);
+  run.route = route(grid, run.binding.graph, run.placement, options.route);
+  const CongestionMap congestion_map(grid);
+  run.congestion = congestion_map.stats();
+
+  // ---- timing -----------------------------------------------------------------
+  run.sta = run_sta(run.map.netlist, run.binding, run.route);
+  run.metrics.pd_seconds = timer.seconds();
+
+  // ---- metrics -----------------------------------------------------------------
+  FlowMetrics& m = run.metrics;
+  m.k_factor = options.K;
+  m.num_cells = run.map.stats.num_cells;
+  m.cell_area_um2 = run.map.stats.cell_area;
+  m.utilization_pct = 100.0 * m.cell_area_um2 / floorplan_.core_area();
+  m.routing_violations = run.route.total_overflow;
+  m.routable = run.route.routable();
+  m.wirelength_um = run.route.wirelength_um;
+  m.hpwl_um = run.placement.hpwl(run.binding.graph);
+  m.critical_path_ns = run.sta.critical.arrival_ns;
+  m.crit_start = run.sta.critical.start;
+  m.crit_end = run.sta.critical.end;
+  m.num_rows = floorplan_.num_rows();
+  m.chip_area_um2 = floorplan_.die_area();
+  return run;
+}
+
+FlowIterationResult congestion_aware_flow(const DesignContext& context,
+                                          const std::vector<double>& k_schedule,
+                                          FlowOptions options) {
+  CALS_CHECK_MSG(!k_schedule.empty(), "empty K schedule");
+  FlowIterationResult result;
+  std::uint64_t best_violations = UINT64_MAX;
+  for (double k : k_schedule) {
+    options.K = k;
+    result.runs.push_back(context.run(options));
+    const FlowRun& run = result.runs.back();
+    CALS_INFO("flow: K=%g cells=%u area=%.0f violations=%llu", k,
+              run.metrics.num_cells, run.metrics.cell_area_um2,
+              static_cast<unsigned long long>(run.metrics.routing_violations));
+    if (run.metrics.routing_violations < best_violations) {
+      best_violations = run.metrics.routing_violations;
+      result.chosen = result.runs.size() - 1;
+    }
+    if (run.metrics.routing_violations == 0) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+KRefineResult refine_k(const DesignContext& context, double k_low, double k_high,
+                       std::uint32_t iterations, FlowOptions options) {
+  CALS_CHECK_MSG(k_low < k_high, "refine_k needs k_low < k_high");
+  KRefineResult result;
+  options.K = k_high;
+  result.best = context.run(options);
+  result.k = k_high;
+  ++result.evaluations;
+  CALS_CHECK_MSG(result.best.metrics.routing_violations == 0,
+                 "refine_k: k_high must be routable");
+
+  for (std::uint32_t i = 0; i < iterations; ++i) {
+    const double mid = 0.5 * (k_low + k_high);
+    options.K = mid;
+    FlowRun run = context.run(options);
+    ++result.evaluations;
+    if (run.metrics.routing_violations == 0) {
+      k_high = mid;
+      if (run.metrics.cell_area_um2 <= result.best.metrics.cell_area_um2) {
+        result.best = std::move(run);
+        result.k = mid;
+      }
+    } else {
+      k_low = mid;
+    }
+  }
+  return result;
+}
+
+RowSearchResult find_min_routable_rows(const BaseNetwork& net, const Library& library,
+                                       const FlowOptions& options,
+                                       std::uint32_t start_rows, std::uint32_t max_rows,
+                                       PlaceOptions place_options) {
+  RowSearchResult result;
+  for (std::uint32_t rows = start_rows; rows <= max_rows; ++rows) {
+    // The layout image is rebuilt per floorplan — the paper notes the
+    // absolute wire lengths (and so the K trade-off) change with die size.
+    DesignContext context(net, &library,
+                          Floorplan::square_with_rows(rows, library.tech()),
+                          place_options);
+    result.run = context.run(options);
+    result.rows = rows;
+    if (result.run.metrics.routing_violations == 0) {
+      result.found = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace cals

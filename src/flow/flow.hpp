@@ -1,0 +1,132 @@
+#pragma once
+/// \file flow.hpp
+/// The paper's modified ASIC design flow (Fig. 3):
+///
+///   tech-independent netlist --> initial placement  (once per floorplan)
+///        |                            |
+///        v                            v
+///   congestion-aware technology mapping (K)        <──┐
+///        |                                            │ raise K
+///        v                                            │
+///   global placement + routing --> congestion map ────┘ until acceptable
+///
+/// DesignContext owns the per-floorplan state (base network, its lowering,
+/// the initial placement); FlowRun is one K evaluation.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "flow/metrics.hpp"
+#include "library/library.hpp"
+#include "map/mapper.hpp"
+#include "netlist/base_network.hpp"
+#include "place/legalize.hpp"
+#include "place/partition_place.hpp"
+#include "place/refine.hpp"
+#include "route/congestion.hpp"
+#include "route/router.hpp"
+#include "timing/sta.hpp"
+
+namespace cals {
+
+struct FlowOptions {
+  double K = 0.0;
+  PartitionStrategy partition = PartitionStrategy::kPlacementDriven;
+  MapObjective objective = MapObjective::kArea;
+  DistanceMetric metric = DistanceMetric::kManhattan;
+  /// Ablation switch, see CoverOptions::transitive_wire_cost.
+  bool transitive_wire_cost = false;
+  /// Run global placement on the mapped netlist (the "Global placement and
+  /// congestion map" box of Fig. 3). Set false to keep the mapper's
+  /// center-of-mass seed positions instead (cheaper, slightly worse; used
+  /// by the incremental-update ablation).
+  bool replace_mapped = true;
+  /// Detailed-placement refinement passes after legalization (0 = off, the
+  /// paper's configuration; see place/refine.hpp).
+  std::uint32_t refine_passes = 0;
+  PlaceOptions place;
+  RouteOptions route;
+  RGridOptions rgrid;
+};
+
+/// One full evaluation at a given K: the mapped netlist and every physical
+/// design artifact derived from it.
+struct FlowRun {
+  MapResult map;
+  MappedPlaceBinding binding;
+  Placement placement;
+  LegalizeResult legalization;
+  RouteResult route;
+  CongestionStats congestion;
+  StaResult sta;
+  FlowMetrics metrics;
+};
+
+/// Per-floorplan context: builds the technology-independent placement once
+/// (the paper stresses this is generated a single time) and serves any
+/// number of mapping evaluations against it.
+class DesignContext {
+ public:
+  DesignContext(BaseNetwork net, const Library* library, Floorplan floorplan,
+                PlaceOptions place_options = {});
+
+  const BaseNetwork& network() const { return net_; }
+  const Library& library() const { return *library_; }
+  const Floorplan& floorplan() const { return floorplan_; }
+  /// Initial-placement coordinate per network node (pads for PIs).
+  const std::vector<Point>& node_positions() const { return node_positions_; }
+  /// HPWL of the technology-independent placement (diagnostics).
+  double base_hpwl() const { return base_hpwl_; }
+
+  /// Maps at options.K and runs the physical design evaluation.
+  FlowRun run(const FlowOptions& options) const;
+
+ private:
+  BaseNetwork net_;
+  const Library* library_;
+  Floorplan floorplan_;
+  std::vector<Point> node_positions_;
+  double base_hpwl_ = 0.0;
+};
+
+/// The Fig. 3 iteration: evaluates the K schedule in order and stops at the
+/// first netlist whose congestion map is acceptable; keeps all runs for
+/// reporting. If none is acceptable, `chosen` is the run with the fewest
+/// violations (the designer would then add routing resources).
+struct FlowIterationResult {
+  std::vector<FlowRun> runs;
+  std::size_t chosen = 0;
+  bool converged = false;
+};
+FlowIterationResult congestion_aware_flow(const DesignContext& context,
+                                          const std::vector<double>& k_schedule,
+                                          FlowOptions options = {});
+
+/// Refines the K found by the schedule: bisects between the last unroutable
+/// K (`k_low`) and a routable K (`k_high`) to find the cheapest-area netlist
+/// that still routes. The paper's empirical rule is to keep the area penalty
+/// "within a few percent of the minimum area solution"; this automates it.
+/// Returns the best routable run found (the run at `k_high` if bisection
+/// never improves on it).
+struct KRefineResult {
+  FlowRun best;
+  double k = 0.0;
+  std::uint32_t evaluations = 0;
+};
+KRefineResult refine_k(const DesignContext& context, double k_low, double k_high,
+                       std::uint32_t iterations = 4, FlowOptions options = {});
+
+/// Grows the floorplan row count until the design routes without violations
+/// (how the paper finds "chip area / no. of rows" in Tables 3 and 5).
+struct RowSearchResult {
+  std::uint32_t rows = 0;
+  bool found = false;
+  FlowRun run;  ///< the run at the final row count
+};
+RowSearchResult find_min_routable_rows(const BaseNetwork& net, const Library& library,
+                                       const FlowOptions& options,
+                                       std::uint32_t start_rows, std::uint32_t max_rows,
+                                       PlaceOptions place_options = {});
+
+}  // namespace cals

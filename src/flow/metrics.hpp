@@ -1,0 +1,30 @@
+#pragma once
+/// \file metrics.hpp
+/// Per-run result records shared by the flow, the benches and EXPERIMENTS.md.
+
+#include <cstdint>
+#include <string>
+
+namespace cals {
+
+/// The figures the paper's tables report for one mapped + placed + routed
+/// netlist.
+struct FlowMetrics {
+  double k_factor = 0.0;
+  std::uint32_t num_cells = 0;
+  double cell_area_um2 = 0.0;
+  double utilization_pct = 0.0;       ///< cell area / core area * 100
+  std::uint64_t routing_violations = 0;  ///< global-router edge overflow
+  bool routable = false;
+  double wirelength_um = 0.0;         ///< routed wirelength
+  double hpwl_um = 0.0;               ///< post-legalization HPWL
+  double critical_path_ns = 0.0;
+  std::string crit_start;             ///< launching PI of the critical path
+  std::string crit_end;               ///< capturing PO of the critical path
+  std::uint32_t num_rows = 0;
+  double chip_area_um2 = 0.0;
+  double map_seconds = 0.0;
+  double pd_seconds = 0.0;            ///< place+route+STA wall time
+};
+
+}  // namespace cals

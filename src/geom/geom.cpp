@@ -1,0 +1,49 @@
+#include "geom/geom.hpp"
+
+#include "util/check.hpp"
+
+namespace cals {
+
+void BBox::add(Point p) {
+  if (!valid_) {
+    r_.lo = r_.hi = p;
+    valid_ = true;
+    return;
+  }
+  r_.lo.x = std::min(r_.lo.x, p.x);
+  r_.lo.y = std::min(r_.lo.y, p.y);
+  r_.hi.x = std::max(r_.hi.x, p.x);
+  r_.hi.y = std::max(r_.hi.y, p.y);
+}
+
+Rect BBox::rect() const {
+  CALS_CHECK_MSG(valid_, "bbox of an empty point set");
+  return r_;
+}
+
+double BBox::half_perimeter() const {
+  if (!valid_) return 0.0;
+  return r_.width() + r_.height();
+}
+
+Point center_of_mass(const std::vector<Point>& points) {
+  CALS_CHECK_MSG(!points.empty(), "center of mass of an empty point set");
+  Point sum;
+  for (const Point& p : points) sum = sum + p;
+  return sum * (1.0 / static_cast<double>(points.size()));
+}
+
+Point center_of_mass(const std::vector<Point>& points, const std::vector<double>& weights) {
+  CALS_CHECK(points.size() == weights.size());
+  CALS_CHECK_MSG(!points.empty(), "center of mass of an empty point set");
+  Point sum;
+  double total = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    sum = sum + points[i] * weights[i];
+    total += weights[i];
+  }
+  CALS_CHECK_MSG(total > 0.0, "center of mass with zero total weight");
+  return sum * (1.0 / total);
+}
+
+}  // namespace cals

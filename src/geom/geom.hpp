@@ -1,0 +1,87 @@
+#pragma once
+/// \file geom.hpp
+/// Planar geometry primitives used by placement, routing and the
+/// congestion-aware mapper. All coordinates are in micrometers (um) unless a
+/// function says otherwise.
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace cals {
+
+/// A point on the chip layout image (um).
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+inline Point operator+(Point a, Point b) { return {a.x + b.x, a.y + b.y}; }
+inline Point operator-(Point a, Point b) { return {a.x - b.x, a.y - b.y}; }
+inline Point operator*(Point a, double s) { return {a.x * s, a.y * s}; }
+
+/// Manhattan (L1) distance — the natural metric for rectilinear routing.
+inline double manhattan(Point a, Point b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+/// Euclidean (L2) distance.
+inline double euclidean(Point a, Point b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Distance metric selector; the paper's `distance()` (Fig. 2) and
+/// `dist()` (Eq. 2) are metric-agnostic, so we expose both.
+enum class DistanceMetric { kManhattan, kEuclidean };
+
+inline double distance(Point a, Point b, DistanceMetric metric) {
+  return metric == DistanceMetric::kManhattan ? manhattan(a, b) : euclidean(a, b);
+}
+
+/// Axis-aligned rectangle, [lo, hi] inclusive of its boundary.
+struct Rect {
+  Point lo;
+  Point hi;
+
+  double width() const { return hi.x - lo.x; }
+  double height() const { return hi.y - lo.y; }
+  double area() const { return width() * height(); }
+  Point center() const { return {(lo.x + hi.x) * 0.5, (lo.y + hi.y) * 0.5}; }
+
+  bool contains(Point p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+
+  /// Clamps `p` into the rectangle.
+  Point clamp(Point p) const {
+    return {std::clamp(p.x, lo.x, hi.x), std::clamp(p.y, lo.y, hi.y)};
+  }
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+};
+
+/// Incremental bounding box accumulator.
+class BBox {
+ public:
+  void add(Point p);
+  bool empty() const { return !valid_; }
+  Rect rect() const;
+  /// Half-perimeter wirelength of the box (0 if fewer than 1 point).
+  double half_perimeter() const;
+
+ private:
+  bool valid_ = false;
+  Rect r_{};
+};
+
+/// Center of mass of a set of points with optional weights.
+/// With no weights, all points weigh 1. The paper's `pos(m, v)` is the
+/// unweighted center of mass of the base gates covered by a match.
+Point center_of_mass(const std::vector<Point>& points);
+Point center_of_mass(const std::vector<Point>& points, const std::vector<double>& weights);
+
+}  // namespace cals

@@ -1,0 +1,25 @@
+#include "library/cell.hpp"
+
+#include "util/check.hpp"
+
+namespace cals {
+
+Cell::Cell(std::string name, double area_um2, std::vector<Pattern> patterns,
+           double intrinsic_ns, double slope_ns_per_ff, double input_cap_ff)
+    : name_(std::move(name)),
+      area_(area_um2),
+      patterns_(std::move(patterns)),
+      intrinsic_(intrinsic_ns),
+      slope_(slope_ns_per_ff),
+      input_cap_(input_cap_ff) {
+  CALS_CHECK_MSG(!patterns_.empty(), "cell needs at least one pattern");
+  num_inputs_ = patterns_[0].num_vars();
+  truth_table_ = patterns_[0].truth_table();
+  for (const Pattern& p : patterns_) {
+    CALS_CHECK_MSG(p.num_vars() == num_inputs_, "cell patterns disagree on pin count");
+    CALS_CHECK_MSG(p.truth_table() == truth_table_, "cell patterns disagree on function");
+  }
+  CALS_CHECK_MSG(area_ > 0.0, "cell area must be positive");
+}
+
+}  // namespace cals

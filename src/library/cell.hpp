@@ -1,0 +1,60 @@
+#pragma once
+/// \file cell.hpp
+/// A standard cell: logic function, layout area, and a linear timing model
+/// (delay = intrinsic + slope * load). Areas are in um^2, capacitance in fF,
+/// delay in ns — 0.18um-class numbers like the paper's CORELIB8DHS.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "library/pattern.hpp"
+
+namespace cals {
+
+/// Strongly-typed index of a cell within its Library.
+struct CellId {
+  std::uint32_t v = 0;
+  friend bool operator==(CellId, CellId) = default;
+};
+
+class Cell {
+ public:
+  /// Builds a cell from match patterns. All patterns must have the same
+  /// variable count and truth table (checked); the truth table is derived
+  /// from the first pattern so function and structure can never diverge.
+  Cell(std::string name, double area_um2, std::vector<Pattern> patterns,
+       double intrinsic_ns, double slope_ns_per_ff, double input_cap_ff);
+
+  const std::string& name() const { return name_; }
+  double area() const { return area_; }
+  std::uint32_t num_inputs() const { return num_inputs_; }
+  /// Truth table over num_inputs() pins; bit m = output for minterm m.
+  std::uint64_t truth_table() const { return truth_table_; }
+  const std::vector<Pattern>& patterns() const { return patterns_; }
+
+  double intrinsic_delay() const { return intrinsic_; }
+  double load_slope() const { return slope_; }
+  /// Input pin capacitance (uniform across pins in this model).
+  double input_cap() const { return input_cap_; }
+
+  /// Pin-load-dependent propagation delay (ns) for an output load in fF.
+  double delay(double load_ff) const { return intrinsic_ + slope_ * load_ff; }
+
+  /// Evaluates the cell on packed input bits (bit i = pin i).
+  bool eval(std::uint32_t input_bits) const {
+    return ((truth_table_ >> input_bits) & 1ULL) != 0;
+  }
+
+ private:
+  std::string name_;
+  double area_ = 0.0;
+  std::uint32_t num_inputs_ = 0;
+  std::uint64_t truth_table_ = 0;
+  std::vector<Pattern> patterns_;
+  double intrinsic_ = 0.0;
+  double slope_ = 0.0;
+  double input_cap_ = 0.0;
+};
+
+}  // namespace cals

@@ -1,0 +1,65 @@
+#include "library/corelib.hpp"
+
+namespace cals::lib {
+namespace {
+
+constexpr double kSite = 0.64 * 6.4;  // 4.096 um^2
+
+Cell make(const char* name, double sites, std::vector<const char*> exprs, double intrinsic,
+          double slope, double cap) {
+  std::vector<Pattern> patterns;
+  patterns.reserve(exprs.size());
+  for (const char* e : exprs) patterns.push_back(Pattern::parse(e));
+  return Cell(name, sites * kSite, std::move(patterns), intrinsic, slope, cap);
+}
+
+}  // namespace
+
+Library make_corelib() {
+  Library lib("corelib8dhs-like");
+
+  // 1-input
+  lib.add_cell(make("INV", 2, {"INV(a)"}, 0.030, 0.0080, 2.0));
+  lib.add_cell(make("BUF", 3, {"INV(INV(a))"}, 0.060, 0.0060, 2.0));
+
+  // NAND family
+  lib.add_cell(make("NAND2", 3, {"NAND(a,b)"}, 0.045, 0.0095, 2.4));
+  lib.add_cell(make("NAND3", 4, {"NAND(a,INV(NAND(b,c)))"}, 0.070, 0.0110, 2.8));
+  lib.add_cell(make("NAND4", 7.25,
+                    {"NAND(INV(NAND(a,b)),INV(NAND(c,d)))",
+                     "NAND(a,INV(NAND(b,INV(NAND(c,d)))))"},
+                    0.095, 0.0125, 3.1));
+
+  // NOR family
+  lib.add_cell(make("NOR2", 4, {"INV(NAND(INV(a),INV(b)))"}, 0.055, 0.0115, 2.6));
+  lib.add_cell(make("NOR3", 6,
+                    {"INV(NAND(INV(NAND(INV(a),INV(b))),INV(c)))",
+                     "INV(NAND(INV(a),INV(NAND(INV(b),INV(c)))))"},
+                    0.085, 0.0135, 2.9));
+
+  // AND / OR
+  lib.add_cell(make("AND2", 3, {"INV(NAND(a,b))"}, 0.065, 0.0075, 2.4));
+  lib.add_cell(make("AND3", 6,
+                    {"INV(NAND(a,INV(NAND(b,c))))"},
+                    0.090, 0.0090, 2.7));
+  lib.add_cell(make("OR2", 4, {"NAND(INV(a),INV(b))"}, 0.060, 0.0085, 2.5));
+  lib.add_cell(make("OR3", 6,
+                    {"NAND(INV(NAND(INV(a),INV(b))),INV(c))",
+                     "NAND(INV(a),INV(NAND(INV(b),INV(c))))"},
+                    0.090, 0.0100, 2.8));
+
+  // AOI / OAI complex gates
+  lib.add_cell(make("AOI21", 5, {"INV(NAND(NAND(a,b),INV(c)))"}, 0.075, 0.0120, 2.7));
+  lib.add_cell(make("AOI22", 6, {"INV(NAND(NAND(a,b),NAND(c,d)))"}, 0.090, 0.0130, 2.9));
+  lib.add_cell(make("OAI21", 5, {"NAND(NAND(INV(a),INV(b)),c)"}, 0.075, 0.0120, 2.7));
+  lib.add_cell(make("OAI22", 6, {"NAND(NAND(INV(a),INV(b)),NAND(INV(c),INV(d)))"},
+                    0.090, 0.0130, 2.9));
+
+  // XOR family (patterns with repeated variables)
+  lib.add_cell(make("XOR2", 7, {"NAND(NAND(a,INV(b)),NAND(INV(a),b))"}, 0.110, 0.0140, 3.2));
+  lib.add_cell(make("XNOR2", 7, {"NAND(NAND(a,b),NAND(INV(a),INV(b)))"}, 0.110, 0.0140, 3.2));
+
+  return lib;
+}
+
+}  // namespace cals::lib

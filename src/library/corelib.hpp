@@ -1,0 +1,19 @@
+#pragma once
+/// \file corelib.hpp
+/// The built-in 0.18um-class standard-cell library.
+///
+/// Substitute for STMicroelectronics' proprietary CORELIB8DHS 2.0 (see
+/// DESIGN.md §1). The site is 0.64um x 6.4um = 4.096um^2 and areas are whole
+/// site counts; the Figure 1 example of the paper (53.248um^2 vs 65.536um^2)
+/// reproduces exactly with these areas:
+///   NAND3(4) + AOI21(5) + 2*INV(2) = 13 sites = 53.248 um^2
+///   2*OR2(4) + 2*NAND2(3) + INV(2) = 16 sites = 65.536 um^2
+
+#include "library/library.hpp"
+
+namespace cals::lib {
+
+/// Builds the default library (17 combinational cells, linear timing).
+Library make_corelib();
+
+}  // namespace cals::lib

@@ -1,0 +1,100 @@
+#include "library/genlib.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace cals {
+
+Library read_genlib(std::istream& in) {
+  std::string lib_name = "unnamed";
+  TechParams tech;
+  struct PendingCell {
+    std::string name;
+    double area = 0.0, intrinsic = 0.0, slope = 0.0, cap = 0.0;
+    std::vector<std::string> exprs;
+  };
+  std::vector<PendingCell> pending;
+
+  std::string raw;
+  while (std::getline(in, raw)) {
+    if (const auto hash = raw.find('#'); hash != std::string::npos) raw.erase(hash);
+    const auto tokens = split_ws(raw);
+    if (tokens.empty()) continue;
+    if (tokens[0] == "LIBRARY") {
+      CALS_CHECK(tokens.size() >= 2);
+      lib_name = tokens[1];
+    } else if (tokens[0] == "TECH") {
+      CALS_CHECK_MSG(tokens.size() == 7, "genlib: TECH needs 6 numbers");
+      tech.site_width_um = std::stod(tokens[1]);
+      tech.row_height_um = std::stod(tokens[2]);
+      tech.routing_pitch_um = std::stod(tokens[3]);
+      tech.metal_layers = std::stoi(tokens[4]);
+      tech.wire_cap_ff_per_um = std::stod(tokens[5]);
+      tech.wire_res_ohm_per_um = std::stod(tokens[6]);
+    } else if (tokens[0] == "CELL") {
+      CALS_CHECK_MSG(tokens.size() == 7, "genlib: CELL needs name + 4 numbers + expr");
+      PendingCell cell;
+      cell.name = tokens[1];
+      cell.area = std::stod(tokens[2]);
+      cell.intrinsic = std::stod(tokens[3]);
+      cell.slope = std::stod(tokens[4]);
+      cell.cap = std::stod(tokens[5]);
+      cell.exprs.push_back(tokens[6]);
+      pending.push_back(std::move(cell));
+    } else if (tokens[0] == "ALT") {
+      CALS_CHECK_MSG(!pending.empty(), "genlib: ALT before any CELL");
+      CALS_CHECK_MSG(tokens.size() == 2, "genlib: ALT needs one expr");
+      pending.back().exprs.push_back(tokens[1]);
+    } else {
+      CALS_CHECK_MSG(false, "genlib: unknown directive");
+    }
+  }
+
+  Library lib(lib_name, tech);
+  for (const PendingCell& c : pending) {
+    std::vector<Pattern> patterns;
+    patterns.reserve(c.exprs.size());
+    for (const std::string& e : c.exprs) patterns.push_back(Pattern::parse(e));
+    lib.add_cell(Cell(c.name, c.area, std::move(patterns), c.intrinsic, c.slope, c.cap));
+  }
+  return lib;
+}
+
+Library read_genlib_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_genlib(in);
+}
+
+Library read_genlib_file(const std::string& path) {
+  std::ifstream in(path);
+  CALS_CHECK_MSG(in.good(), "genlib: cannot open file");
+  return read_genlib(in);
+}
+
+void write_genlib(std::ostream& out, const Library& lib) {
+  const TechParams& t = lib.tech();
+  out << "LIBRARY " << lib.name() << '\n';
+  out << strprintf("TECH %g %g %g %d %g %g\n", t.site_width_um, t.row_height_um,
+                   t.routing_pitch_um, t.metal_layers, t.wire_cap_ff_per_um,
+                   t.wire_res_ohm_per_um);
+  for (const Cell& c : lib.cells()) {
+    out << strprintf("CELL %s %g %g %g %g %s\n", c.name().c_str(), c.area(),
+                     c.intrinsic_delay(), c.load_slope(), c.input_cap(),
+                     c.patterns()[0].str().c_str());
+    for (std::size_t p = 1; p < c.patterns().size(); ++p)
+      out << "ALT " << c.patterns()[p].str() << '\n';
+  }
+}
+
+std::string write_genlib_string(const Library& lib) {
+  std::ostringstream out;
+  write_genlib(out, lib);
+  return out.str();
+}
+
+}  // namespace cals

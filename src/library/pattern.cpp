@@ -1,0 +1,118 @@
+#include "library/pattern.hpp"
+
+#include <cctype>
+#include <map>
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace cals {
+namespace {
+
+struct Parser {
+  const std::string& text;
+  std::size_t pos = 0;
+  std::vector<PatternNode>& nodes;
+  std::map<std::string, std::int32_t>& vars;
+
+  void skip_ws() {
+    while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos])) != 0)
+      ++pos;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  std::string ident() {
+    skip_ws();
+    std::size_t start = pos;
+    while (pos < text.size() &&
+           (std::isalnum(static_cast<unsigned char>(text[pos])) != 0 || text[pos] == '_'))
+      ++pos;
+    CALS_CHECK_MSG(pos > start, "pattern: expected identifier");
+    return text.substr(start, pos - start);
+  }
+
+  std::int32_t expr() {
+    const std::string name = ident();
+    if (name == "INV") {
+      CALS_CHECK_MSG(consume('('), "pattern: INV needs (");
+      const std::int32_t child = expr();
+      CALS_CHECK_MSG(consume(')'), "pattern: INV needs )");
+      nodes.push_back({PatternKind::kInv, child, -1, -1});
+      return static_cast<std::int32_t>(nodes.size() - 1);
+    }
+    if (name == "NAND") {
+      CALS_CHECK_MSG(consume('('), "pattern: NAND needs (");
+      const std::int32_t left = expr();
+      CALS_CHECK_MSG(consume(','), "pattern: NAND needs ,");
+      const std::int32_t right = expr();
+      CALS_CHECK_MSG(consume(')'), "pattern: NAND needs )");
+      nodes.push_back({PatternKind::kNand2, left, right, -1});
+      return static_cast<std::int32_t>(nodes.size() - 1);
+    }
+    // Variable leaf; pin index by first appearance.
+    auto [it, inserted] = vars.try_emplace(name, static_cast<std::int32_t>(vars.size()));
+    nodes.push_back({PatternKind::kVar, -1, -1, it->second});
+    return static_cast<std::int32_t>(nodes.size() - 1);
+  }
+};
+
+}  // namespace
+
+Pattern Pattern::parse(const std::string& text) {
+  Pattern p;
+  std::map<std::string, std::int32_t> vars;
+  Parser parser{text, 0, p.nodes_, vars};
+  p.root_ = parser.expr();
+  parser.skip_ws();
+  CALS_CHECK_MSG(parser.pos == text.size(), "pattern: trailing characters");
+  p.num_vars_ = static_cast<std::uint32_t>(vars.size());
+  CALS_CHECK_MSG(p.num_vars_ >= 1 && p.num_vars_ <= 6, "pattern: 1..6 variables supported");
+  return p;
+}
+
+std::uint32_t Pattern::num_gates() const {
+  std::uint32_t n = 0;
+  for (const PatternNode& node : nodes_)
+    if (node.kind != PatternKind::kVar) ++n;
+  return n;
+}
+
+bool Pattern::eval(std::int32_t node, std::uint32_t minterm) const {
+  const PatternNode& n = nodes_[static_cast<std::size_t>(node)];
+  switch (n.kind) {
+    case PatternKind::kVar: return ((minterm >> n.var) & 1u) != 0;
+    case PatternKind::kInv: return !eval(n.child0, minterm);
+    case PatternKind::kNand2: return !(eval(n.child0, minterm) && eval(n.child1, minterm));
+  }
+  return false;
+}
+
+std::uint64_t Pattern::truth_table() const {
+  std::uint64_t tt = 0;
+  const std::uint32_t rows = 1u << num_vars_;
+  for (std::uint32_t m = 0; m < rows; ++m)
+    if (eval(root_, m)) tt |= (1ULL << m);
+  return tt;
+}
+
+std::string Pattern::str(std::int32_t node) const {
+  const PatternNode& n = nodes_[static_cast<std::size_t>(node)];
+  switch (n.kind) {
+    case PatternKind::kVar: return std::string(1, static_cast<char>('a' + n.var));
+    case PatternKind::kInv: return "INV(" + str(n.child0) + ")";
+    case PatternKind::kNand2: return "NAND(" + str(n.child0) + "," + str(n.child1) + ")";
+  }
+  return "?";
+}
+
+std::string Pattern::str() const { return str(root_); }
+
+}  // namespace cals

@@ -1,0 +1,56 @@
+#pragma once
+/// \file pattern.hpp
+/// Structural match patterns: each library cell is described by one or more
+/// trees over {VAR, INV, NAND2}, mirroring how DAGON describes cells as
+/// NAND2/INV decompositions. The matcher (src/map/matcher.*) walks these
+/// trees against subject trees.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cals {
+
+enum class PatternKind : std::uint8_t { kVar, kInv, kNand2 };
+
+/// One tree node; children index into Pattern::nodes.
+struct PatternNode {
+  PatternKind kind = PatternKind::kVar;
+  std::int32_t child0 = -1;  ///< INV/NAND2 operand
+  std::int32_t child1 = -1;  ///< NAND2 second operand
+  std::int32_t var = -1;     ///< pin index for kVar leaves
+};
+
+/// A match pattern: rooted tree plus the number of distinct variables
+/// (= cell pin count; a variable may appear at several leaves, e.g. XOR).
+class Pattern {
+ public:
+  /// Parses an expression over the grammar
+  ///   expr := var | "INV(" expr ")" | "NAND(" expr "," expr ")"
+  /// where var is a lowercase identifier. Pin indices are assigned in order
+  /// of first appearance (a=0, b=1, ... by convention).
+  static Pattern parse(const std::string& text);
+
+  const std::vector<PatternNode>& nodes() const { return nodes_; }
+  std::int32_t root() const { return root_; }
+  std::uint32_t num_vars() const { return num_vars_; }
+  /// Number of INV+NAND2 nodes (base gates the pattern covers).
+  std::uint32_t num_gates() const;
+
+  /// Truth table over num_vars() inputs (num_vars() <= 6); bit m is the
+  /// output for minterm m with input i = bit i of m.
+  std::uint64_t truth_table() const;
+
+  /// Canonical expression string (for round-tripping and diagnostics).
+  std::string str() const;
+
+ private:
+  bool eval(std::int32_t node, std::uint32_t minterm) const;
+  std::string str(std::int32_t node) const;
+
+  std::vector<PatternNode> nodes_;
+  std::int32_t root_ = -1;
+  std::uint32_t num_vars_ = 0;
+};
+
+}  // namespace cals

@@ -1,0 +1,179 @@
+#include "map/buffering.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace cals {
+namespace {
+
+/// A sink of an old-netlist signal: an instance pin or a primary output.
+struct Sink {
+  bool is_po = false;
+  std::uint32_t index = 0;  ///< instance index or PO index
+  std::uint32_t pin = 0;    ///< pin index (instances only)
+  Point pos;
+};
+
+std::uint64_t sink_key(const Sink& sink) {
+  return (static_cast<std::uint64_t>(sink.is_po) << 63) |
+         (static_cast<std::uint64_t>(sink.index) << 8) | sink.pin;
+}
+
+/// Deterministic geometric clustering: sinks sorted by (x, y) and cut into
+/// `k` contiguous chunks. Keeps nearby sinks in one cluster without the cost
+/// of a full k-means.
+std::vector<std::vector<Sink>> cluster(std::vector<Sink> sinks, std::size_t k) {
+  std::sort(sinks.begin(), sinks.end(), [](const Sink& a, const Sink& b) {
+    if (a.pos.x != b.pos.x) return a.pos.x < b.pos.x;
+    if (a.pos.y != b.pos.y) return a.pos.y < b.pos.y;
+    return sink_key(a) < sink_key(b);
+  });
+  std::vector<std::vector<Sink>> groups(k);
+  const std::size_t per = (sinks.size() + k - 1) / k;
+  for (std::size_t i = 0; i < sinks.size(); ++i) groups[i / per].push_back(sinks[i]);
+  while (!groups.empty() && groups.back().empty()) groups.pop_back();
+  return groups;
+}
+
+class Bufferer {
+ public:
+  Bufferer(const MappedNetlist& old_netlist, const BufferingOptions& options,
+           MappedNetlist& out)
+      : old_(old_netlist),
+        options_(options),
+        out_(out),
+        buffer_cell_(old_netlist.library().cell_id(options.buffer_cell)) {
+    CALS_CHECK_MSG(options.max_fanout >= 2, "max_fanout must be >= 2");
+    collect_sinks();
+  }
+
+  void run(BufferingStats* stats) {
+    // PIs first; their buffer trees go in before any instance reads them.
+    for (std::uint32_t i = 0; i < old_.num_pis(); ++i) {
+      const Signal s = out_.add_pi(old_.pi_name(i));
+      build_tree(Signal::pi(i), s, pi_pos(i));
+    }
+    for (std::uint32_t i = 0; i < old_.num_instances(); ++i) {
+      const MappedInstance& inst = old_.instance(i);
+      std::vector<Signal> fanins;
+      fanins.reserve(inst.fanins.size());
+      for (std::uint32_t p = 0; p < inst.fanins.size(); ++p)
+        fanins.push_back(resolve(inst.fanins[p], {false, i, p, inst.pos}));
+      const Signal s = out_.add_instance(inst.cell, std::move(fanins), inst.pos);
+      build_tree(Signal::inst(i), s, inst.pos);
+    }
+    for (std::uint32_t o = 0; o < old_.pos().size(); ++o) {
+      const MappedPo& po = old_.pos()[o];
+      if (po.driver.is_const()) {
+        out_.add_po(po.name, po.driver);
+        continue;
+      }
+      out_.add_po(po.name, resolve(po.driver, {true, o, 0, driver_pos(po.driver)}));
+    }
+    if (stats != nullptr) *stats = stats_;
+  }
+
+ private:
+  Point pi_pos(std::uint32_t pi) const {
+    // PIs have no placement; stand in with the centroid of their sinks.
+    const auto it = sinks_.find(Signal::pi(pi).raw);
+    if (it == sinks_.end() || it->second.empty()) return {};
+    std::vector<Point> pts;
+    pts.reserve(it->second.size());
+    for (const Sink& s : it->second) pts.push_back(s.pos);
+    return center_of_mass(pts);
+  }
+
+  Point driver_pos(Signal s) const {
+    return s.is_pi() ? pi_pos(s.index()) : old_.instance(s.index()).pos;
+  }
+
+  void collect_sinks() {
+    std::uint32_t max_fanout = 0;
+    for (std::uint32_t i = 0; i < old_.num_instances(); ++i) {
+      const MappedInstance& inst = old_.instance(i);
+      for (std::uint32_t p = 0; p < inst.fanins.size(); ++p)
+        sinks_[inst.fanins[p].raw].push_back({false, i, p, inst.pos});
+    }
+    for (std::uint32_t o = 0; o < old_.pos().size(); ++o) {
+      const Signal driver = old_.pos()[o].driver;
+      if (!driver.is_const())
+        sinks_[driver.raw].push_back({true, o, 0, driver_pos(driver)});
+    }
+    for (const auto& [raw, sink_list] : sinks_)
+      max_fanout = std::max(max_fanout, static_cast<std::uint32_t>(sink_list.size()));
+    stats_.max_fanout_before = max_fanout;
+  }
+
+  /// Builds the buffer tree for old signal `old_signal`, now driven by new
+  /// signal `driver`, and records which new signal each sink must read.
+  void build_tree(Signal old_signal, Signal driver, Point driver_at) {
+    const auto it = sinks_.find(old_signal.raw);
+    if (it == sinks_.end()) return;
+    split(old_signal, driver, driver_at, it->second, /*top_level=*/true);
+  }
+
+  void split(Signal old_signal, Signal driver, Point driver_at,
+             const std::vector<Sink>& sinks, bool top_level) {
+    if (sinks.size() <= options_.max_fanout) {
+      for (const Sink& sink : sinks)
+        assignment_[{old_signal.raw, sink_key(sink)}] = driver;
+      stats_.max_fanout_after = std::max(
+          stats_.max_fanout_after, static_cast<std::uint32_t>(sinks.size()));
+      return;
+    }
+    if (top_level) ++stats_.nets_split;
+    const std::size_t want_groups =
+        (sinks.size() + options_.max_fanout - 1) / options_.max_fanout;
+    const std::size_t k = std::min<std::size_t>(want_groups, options_.max_fanout);
+    const auto groups = cluster(sinks, k);
+    stats_.max_fanout_after =
+        std::max(stats_.max_fanout_after, static_cast<std::uint32_t>(groups.size()));
+    for (const auto& group : groups) {
+      std::vector<Point> pts;
+      pts.reserve(group.size());
+      for (const Sink& s : group) pts.push_back(s.pos);
+      const Point at = center_of_mass(pts);
+      const Signal buf = out_.add_instance(buffer_cell_, {driver}, at);
+      ++stats_.buffers_inserted;
+      split(old_signal, buf, at, group, /*top_level=*/false);
+    }
+    (void)driver_at;
+  }
+
+  Signal resolve(Signal old_signal, const Sink& sink) const {
+    const auto it = assignment_.find({old_signal.raw, sink_key(sink)});
+    CALS_CHECK_MSG(it != assignment_.end(), "unresolved buffered sink");
+    return it->second;
+  }
+
+  struct PairHash {
+    std::size_t operator()(const std::pair<std::uint64_t, std::uint64_t>& p) const {
+      return std::hash<std::uint64_t>()(p.first * 0x9e3779b97f4a7c15ULL ^ p.second);
+    }
+  };
+
+  const MappedNetlist& old_;
+  const BufferingOptions& options_;
+  MappedNetlist& out_;
+  CellId buffer_cell_;
+  std::unordered_map<std::uint32_t, std::vector<Sink>> sinks_;  // old signal raw -> sinks
+  std::unordered_map<std::pair<std::uint64_t, std::uint64_t>, Signal, PairHash>
+      assignment_;
+  BufferingStats stats_;
+};
+
+}  // namespace
+
+MappedNetlist buffer_high_fanout(const MappedNetlist& netlist,
+                                 const BufferingOptions& options,
+                                 BufferingStats* stats) {
+  MappedNetlist out(&netlist.library());
+  Bufferer bufferer(netlist, options, out);
+  bufferer.run(stats);
+  return out;
+}
+
+}  // namespace cals

@@ -1,0 +1,41 @@
+#pragma once
+/// \file buffering.hpp
+/// High-fanout net buffering on mapped netlists.
+///
+/// The paper (Sec. 1) singles out high-fanout gates as a wiring liability;
+/// physical synthesis answers with buffer trees. This pass rebuilds a mapped
+/// netlist so no signal drives more than `max_fanout` sinks: sinks are
+/// clustered geometrically (k-means-style around seed sinks) and each
+/// cluster is fed through a BUF cell placed at the cluster's center of mass.
+/// Deep trees arise naturally because inserted buffers are re-checked.
+///
+/// The pass is functionally transparent (BUF computes identity; checked by
+/// tests) and opt-in: the paper's table benches run without it.
+
+#include <cstdint>
+
+#include "map/mapped_netlist.hpp"
+
+namespace cals {
+
+struct BufferingOptions {
+  /// Maximum sinks a signal may drive after the pass (>= 2).
+  std::uint32_t max_fanout = 16;
+  /// Name of the buffer cell in the library.
+  const char* buffer_cell = "BUF";
+};
+
+struct BufferingStats {
+  std::uint32_t buffers_inserted = 0;
+  std::uint32_t nets_split = 0;
+  std::uint32_t max_fanout_before = 0;
+  std::uint32_t max_fanout_after = 0;
+};
+
+/// Returns a new netlist with buffer trees inserted. PIs/POs and cell
+/// functions are unchanged. Aborts if the library lacks the buffer cell.
+MappedNetlist buffer_high_fanout(const MappedNetlist& netlist,
+                                 const BufferingOptions& options = {},
+                                 BufferingStats* stats = nullptr);
+
+}  // namespace cals

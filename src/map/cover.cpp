@@ -1,0 +1,117 @@
+#include "map/cover.hpp"
+
+#include <algorithm>
+
+#include "netlist/dag.hpp"
+#include "util/check.hpp"
+
+namespace cals {
+namespace {
+
+/// True if `pin`'s father is one of the vertices covered by the match, i.e.
+/// the pin roots a subtree that belongs to this DP accumulation. Pins whose
+/// father lies elsewhere (tree-leaf references, reconvergent reads, PIs) are
+/// inputs only: their area/wire is charged where they are internal.
+bool pin_in_subtree(const SubjectForest& forest, const Match& match, NodeId pin) {
+  const NodeId father = forest.father[pin.v];
+  return std::find(match.covered.begin(), match.covered.end(), father) !=
+         match.covered.end();
+}
+
+}  // namespace
+
+std::vector<VertexCover> cover_forest(const BaseNetwork& net, const SubjectForest& forest,
+                                      const Matcher& matcher, const Library& library,
+                                      const std::vector<Point>& positions,
+                                      const CoverOptions& options) {
+  CALS_CHECK(positions.size() == net.num_nodes());
+  std::vector<VertexCover> cover(net.num_nodes());
+
+  // Global ascending node order is fanin-before-father within every tree,
+  // and guarantees cross-tree leaf references (always to smaller ids) are
+  // resolved before use.
+  for (std::uint32_t i = 0; i < net.num_nodes(); ++i) {
+    const NodeId v{i};
+    if (!forest.in_tree(v)) continue;
+
+    auto matches = matcher.matches_at(v);
+    CALS_CHECK_MSG(!matches.empty(), "vertex has no match — library lacks INV/NAND2?");
+
+    VertexCover best;
+    for (Match& match : matches) {
+      const Cell& cell = library.cell(match.cell);
+
+      // pos(m,v): center of mass of the covered base gates, from the
+      // initial tech-independent placement.
+      std::vector<Point> covered_points;
+      covered_points.reserve(match.covered.size());
+      for (NodeId w : match.covered) covered_points.push_back(positions[w.v]);
+      const Point match_pos = center_of_mass(covered_points);
+
+      double area = cell.area();
+      double wire1 = 0.0;
+      double wire2 = 0.0;
+      double arrival = 0.0;
+
+      // Duplication pricing: covering a multi-fanout vertex internally does
+      // not remove the need for its signal — the other readers instantiate
+      // its own best match again.
+      if (options.charge_duplication) {
+        for (NodeId w : match.covered) {
+          if (w == v) continue;
+          if (net.fanout_count(w) > 1) {
+            CALS_CHECK(cover[w.v].valid);
+            area += library.cell(cover[w.v].match.cell).area();
+          }
+        }
+      }
+      for (NodeId pin : match.pins) {
+        const bool in_subtree = net.is_gate(pin) && pin_in_subtree(forest, match, pin);
+        const VertexCover& pin_cover = cover[pin.v];
+        // Fanin position: the memoized center of the pin's chosen match for
+        // gates, the pad/base position otherwise.
+        const Point pin_pos =
+            (net.is_gate(pin) && pin_cover.valid) ? pin_cover.pos : positions[pin.v];
+        const double d = distance(match_pos, pin_pos, options.metric);
+        wire1 += d;
+        if (in_subtree) {
+          CALS_CHECK_MSG(pin_cover.valid, "DP order violated");
+          area += pin_cover.area_cost;
+          wire2 += pin_cover.wire_cost;
+        } else if (options.transitive_wire_cost && net.is_gate(pin) && pin_cover.valid) {
+          // Ablation: Pedram–Bhat-style accounting pulls in the wire cost of
+          // the full transitive fanin regardless of subtree ownership.
+          wire2 += pin_cover.wire_cost;
+        }
+        if (options.objective == MapObjective::kDelay) {
+          const double pin_arrival = (net.is_gate(pin) && pin_cover.valid)
+                                         ? pin_cover.arrival
+                                         : 0.0;
+          arrival = std::max(arrival,
+                             pin_arrival + d * options.wire_delay_ns_per_um);
+        }
+      }
+      const double wire = wire1 + wire2;
+      if (options.objective == MapObjective::kDelay)
+        arrival += cell.delay(options.est_sink_cap_ff);
+
+      const double primary = options.objective == MapObjective::kArea ? area : arrival;
+      const double cost = primary + options.K * wire;
+
+      if (!best.valid || cost < best.cost ||
+          (cost == best.cost && area < best.area_cost)) {
+        best.valid = true;
+        best.match = std::move(match);
+        best.area_cost = area;
+        best.wire_cost = wire;
+        best.cost = cost;
+        best.arrival = arrival;
+        best.pos = match_pos;
+      }
+    }
+    cover[i] = std::move(best);
+  }
+  return cover;
+}
+
+}  // namespace cals

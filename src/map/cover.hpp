@@ -1,0 +1,76 @@
+#pragma once
+/// \file cover.hpp
+/// Dynamic-programming tree covering with the paper's congestion-aware cost
+/// function (Sec. 3.2):
+///
+///   AREA(m,v)  = area(m) + sum_i areaCost(v_i)                     (Eq. 1)
+///   WIRE1(m,v) = sum_i dist(pos(m,v), pos(match(v_i), v_i))        (Eq. 2)
+///   WIRE2(m,v) = sum_i wireCost(v_i)                               (Eq. 3)
+///   WIRE(m,v)  = WIRE1 + WIRE2                                     (Eq. 4)
+///   COST(m,v)  = PRIMARY(m,v) + K * WIRE(m,v)                      (Eq. 5)
+///
+/// PRIMARY is AREA for the paper's main objective; a load-estimated arrival
+/// time is available as an alternative (Rudell/Touati-style delay mapping).
+/// pos(m,v) is the center of mass of the base gates covered by m, computed
+/// from the initial technology-independent placement; fanin positions are
+/// the memoized centers of their chosen matches (the paper's incremental
+/// placement update).
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/geom.hpp"
+#include "library/library.hpp"
+#include "map/matcher.hpp"
+#include "map/partition.hpp"
+#include "netlist/base_network.hpp"
+
+namespace cals {
+
+enum class MapObjective {
+  kArea,   ///< minimize cell area (the paper's setting)
+  kDelay,  ///< minimize estimated arrival time
+};
+
+struct CoverOptions {
+  /// The congestion minimization factor K of Eq. 5 (0 = pure min-area).
+  double K = 0.0;
+  MapObjective objective = MapObjective::kArea;
+  DistanceMetric metric = DistanceMetric::kManhattan;
+  /// Ablation (DESIGN.md A2): charge fanin wire costs unconditionally, i.e.
+  /// the transitive-fanin accounting of Pedram–Bhat the paper criticizes in
+  /// Sec. 3.3, instead of the paper's subtree-scoped WIRE2.
+  bool transitive_wire_cost = false;
+  /// Charge the duplication a match forces when it covers a multi-fanout
+  /// vertex internally: that vertex is still needed by its other readers, so
+  /// its own best match gets instantiated again. Without this the DP
+  /// systematically buries shared logic and the cell area balloons (the
+  /// paper reports duplication "comparable with [MIS]", which requires the
+  /// trade-off to be priced).
+  bool charge_duplication = true;
+  /// Wire delay per um for the delay objective (ns/um).
+  double wire_delay_ns_per_um = 0.0016;
+  /// Load estimate per fanout pin for the delay objective (fF).
+  double est_sink_cap_ff = 3.0;
+};
+
+/// Per-vertex result of the covering DP.
+struct VertexCover {
+  Match match;
+  double area_cost = 0.0;  ///< Eq. 1 for the chosen match
+  double wire_cost = 0.0;  ///< Eq. 4 for the chosen match
+  double cost = 0.0;       ///< Eq. 5 for the chosen match
+  double arrival = 0.0;    ///< estimated arrival (delay objective bookkeeping)
+  Point pos;               ///< center of mass of the covered base gates
+  bool valid = false;
+};
+
+/// Runs the DP over every live gate (all trees, fanin-before-father order).
+/// positions[n] must hold the initial placement coordinate of every node.
+/// Aborts if some vertex has no match (library must contain INV and NAND2).
+std::vector<VertexCover> cover_forest(const BaseNetwork& net, const SubjectForest& forest,
+                                      const Matcher& matcher, const Library& library,
+                                      const std::vector<Point>& positions,
+                                      const CoverOptions& options);
+
+}  // namespace cals

@@ -1,0 +1,125 @@
+#include "map/mapped_netlist.hpp"
+
+#include "util/check.hpp"
+
+namespace cals {
+
+Signal MappedNetlist::add_pi(std::string name) {
+  pi_names_.push_back(std::move(name));
+  return Signal::pi(static_cast<std::uint32_t>(pi_names_.size() - 1));
+}
+
+Signal MappedNetlist::add_instance(CellId cell, std::vector<Signal> fanins, Point pos) {
+  const Cell& c = library_->cell(cell);
+  CALS_CHECK_MSG(fanins.size() == c.num_inputs(), "instance pin count mismatch");
+  for (Signal s : fanins) {
+    CALS_CHECK(s.valid());
+    CALS_CHECK_MSG(!s.is_const(), "cell pins must not read constants");
+    if (s.is_pi()) CALS_CHECK(s.index() < pi_names_.size());
+    else CALS_CHECK_MSG(s.index() < instances_.size(), "fanin must precede instance");
+  }
+  instances_.push_back({cell, std::move(fanins), pos});
+  return Signal::inst(static_cast<std::uint32_t>(instances_.size() - 1));
+}
+
+void MappedNetlist::add_po(std::string name, Signal driver) {
+  CALS_CHECK(driver.valid());
+  pos_.push_back({std::move(name), driver});
+}
+
+double MappedNetlist::total_cell_area() const {
+  double area = 0.0;
+  for (const MappedInstance& inst : instances_) area += library_->cell(inst.cell).area();
+  return area;
+}
+
+std::vector<std::uint32_t> MappedNetlist::cell_histogram() const {
+  std::vector<std::uint32_t> hist(library_->num_cells(), 0);
+  for (const MappedInstance& inst : instances_) ++hist[inst.cell.v];
+  return hist;
+}
+
+std::vector<std::uint64_t> MappedNetlist::simulate64(
+    const std::vector<std::uint64_t>& pi_words) const {
+  CALS_CHECK(pi_words.size() == pi_names_.size());
+  std::vector<std::uint64_t> value(instances_.size(), 0);
+  auto signal_value = [&](Signal s) -> std::uint64_t {
+    if (s.is_const()) return s == Signal::const1() ? ~0ULL : 0ULL;
+    return s.is_pi() ? pi_words[s.index()] : value[s.index()];
+  };
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    const MappedInstance& inst = instances_[i];
+    const Cell& cell = library_->cell(inst.cell);
+    // Evaluate the cell truth table bit-parallel over the 64 lanes.
+    std::uint64_t out = 0;
+    for (int lane = 0; lane < 64; ++lane) {
+      std::uint32_t input_bits = 0;
+      for (std::size_t p = 0; p < inst.fanins.size(); ++p)
+        input_bits |= static_cast<std::uint32_t>((signal_value(inst.fanins[p]) >> lane) & 1ULL)
+                      << p;
+      out |= static_cast<std::uint64_t>(cell.eval(input_bits) ? 1 : 0) << lane;
+    }
+    value[i] = out;
+  }
+  std::vector<std::uint64_t> result;
+  result.reserve(pos_.size());
+  for (const MappedPo& po : pos_) result.push_back(signal_value(po.driver));
+  return result;
+}
+
+
+MappedPlaceBinding MappedNetlist::lower(const Floorplan& floorplan) const {
+  MappedPlaceBinding binding;
+  PlaceGraph& graph = binding.graph;
+  const Rect die = floorplan.die();
+
+  const auto pi_points = edge_pad_positions(die, pi_names_.size(), /*west_north=*/true);
+  for (std::size_t i = 0; i < pi_names_.size(); ++i)
+    binding.pi_object.push_back(graph.add_fixed(pi_points[i]));
+  const auto po_points = edge_pad_positions(die, pos_.size(), /*west_north=*/false);
+  for (std::size_t i = 0; i < pos_.size(); ++i)
+    binding.po_object.push_back(graph.add_fixed(po_points[i]));
+
+  for (const MappedInstance& inst : instances_) {
+    const double width = library_->cell(inst.cell).area() / floorplan.row_height();
+    binding.instance_object.push_back(graph.add_object(width));
+  }
+
+  // One hypernet per driven signal.
+  auto object_of = [&](Signal s) {
+    return s.is_pi() ? binding.pi_object[s.index()] : binding.instance_object[s.index()];
+  };
+  std::vector<HyperNet> nets(pi_names_.size() + instances_.size());
+  auto net_slot = [&](Signal s) -> HyperNet& {
+    return s.is_pi() ? nets[s.index()] : nets[pi_names_.size() + s.index()];
+  };
+  for (std::size_t i = 0; i < instances_.size(); ++i)
+    for (Signal s : instances_[i].fanins) {
+      HyperNet& net = net_slot(s);
+      if (net.pins.empty()) net.pins.push_back(object_of(s));  // driver first
+      net.pins.push_back(binding.instance_object[i]);
+    }
+  for (std::size_t o = 0; o < pos_.size(); ++o) {
+    if (pos_[o].driver.is_const()) continue;  // tied-off pad: no wire to route
+    HyperNet& net = net_slot(pos_[o].driver);
+    if (net.pins.empty()) net.pins.push_back(object_of(pos_[o].driver));
+    net.pins.push_back(binding.po_object[o]);
+  }
+  for (HyperNet& net : nets)
+    if (net.pins.size() >= 2) graph.nets.push_back(std::move(net));
+
+  graph.validate();
+  return binding;
+}
+
+Placement MappedNetlist::seed_placement(const MappedPlaceBinding& binding) const {
+  Placement placement;
+  placement.pos.assign(binding.graph.num_objects, Point{});
+  for (std::uint32_t i = 0; i < binding.graph.num_objects; ++i)
+    if (binding.graph.fixed[i]) placement.pos[i] = binding.graph.fixed_pos[i];
+  for (std::size_t i = 0; i < instances_.size(); ++i)
+    placement.pos[binding.instance_object[i]] = instances_[i].pos;
+  return placement;
+}
+
+}  // namespace cals

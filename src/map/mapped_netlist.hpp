@@ -1,0 +1,103 @@
+#pragma once
+/// \file mapped_netlist.hpp
+/// The technology-dependent gate-level netlist: instances of library cells
+/// wired by signals, each instance carrying the layout position the mapper
+/// derived (center of mass of the base gates it covers).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/geom.hpp"
+#include "library/library.hpp"
+#include "place/placement.hpp"
+
+namespace cals {
+
+/// A signal in the mapped netlist: a primary input, the output of an
+/// instance, or a logic constant (constant primary outputs occur when
+/// two-level minimization proves an output a tautology/contradiction).
+/// Tagged 32-bit handle.
+struct Signal {
+  static constexpr std::uint32_t kConst0Raw = 0xfffffffdu;
+  static constexpr std::uint32_t kConst1Raw = 0xfffffffeu;
+
+  std::uint32_t raw = UINT32_MAX;
+  static Signal pi(std::uint32_t index) { return {index | 0x80000000u}; }
+  static Signal inst(std::uint32_t index) { return {index}; }
+  static Signal const0() { return {kConst0Raw}; }
+  static Signal const1() { return {kConst1Raw}; }
+  bool is_const() const { return raw == kConst0Raw || raw == kConst1Raw; }
+  bool is_pi() const { return !is_const() && (raw & 0x80000000u) != 0; }
+  std::uint32_t index() const { return raw & 0x7fffffffu; }
+  bool valid() const { return raw != UINT32_MAX; }
+  friend bool operator==(Signal, Signal) = default;
+};
+
+struct MappedInstance {
+  CellId cell;
+  std::vector<Signal> fanins;  ///< one per cell pin, in pin order
+  Point pos;                   ///< mapper-assigned position (um)
+};
+
+struct MappedPo {
+  std::string name;
+  Signal driver;
+};
+
+/// Lowering of a MappedNetlist to the generic placement/routing view.
+struct MappedPlaceBinding {
+  PlaceGraph graph;
+  std::vector<std::uint32_t> instance_object;  ///< per instance
+  std::vector<std::uint32_t> pi_object;        ///< PI pads (fixed)
+  std::vector<std::uint32_t> po_object;        ///< PO pads (fixed)
+};
+
+class MappedNetlist {
+ public:
+  /// Default-constructed netlists are empty placeholders; bind a library
+  /// before adding instances.
+  MappedNetlist() = default;
+  explicit MappedNetlist(const Library* library) : library_(library) {}
+
+  Signal add_pi(std::string name);
+  /// Fanins must reference existing signals (instances appear in topological
+  /// creation order; this is checked).
+  Signal add_instance(CellId cell, std::vector<Signal> fanins, Point pos);
+  void add_po(std::string name, Signal driver);
+
+  const Library& library() const { return *library_; }
+  std::uint32_t num_pis() const { return static_cast<std::uint32_t>(pi_names_.size()); }
+  std::uint32_t num_instances() const {
+    return static_cast<std::uint32_t>(instances_.size());
+  }
+  const MappedInstance& instance(std::uint32_t i) const { return instances_[i]; }
+  MappedInstance& instance(std::uint32_t i) { return instances_[i]; }
+  const std::string& pi_name(std::uint32_t i) const { return pi_names_[i]; }
+  const std::vector<MappedPo>& pos() const { return pos_; }
+
+  /// Sum of instance cell areas (um^2) — the tables' "Cell Area".
+  double total_cell_area() const;
+  /// Instance count per cell, for composition reports.
+  std::vector<std::uint32_t> cell_histogram() const;
+
+  /// 64-way bit-parallel simulation (pi_words[i] = 64 values of PI i).
+  std::vector<std::uint64_t> simulate64(const std::vector<std::uint64_t>& pi_words) const;
+
+  /// Lowers to a PlaceGraph on `floorplan`: instances become movable objects
+  /// (width = area / row height), PI/PO pads fixed on the die edges, one
+  /// hypernet per driven signal (driver pin first).
+  MappedPlaceBinding lower(const Floorplan& floorplan) const;
+
+  /// Writes instance positions into a Placement-sized-for-the-binding, i.e.
+  /// seeds global placement with the mapper's centers of mass.
+  Placement seed_placement(const MappedPlaceBinding& binding) const;
+
+ private:
+  const Library* library_ = nullptr;
+  std::vector<std::string> pi_names_;
+  std::vector<MappedInstance> instances_;
+  std::vector<MappedPo> pos_;
+};
+
+}  // namespace cals

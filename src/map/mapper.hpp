@@ -1,0 +1,47 @@
+#pragma once
+/// \file mapper.hpp
+/// The congestion-aware technology mapper: partition -> match -> cover ->
+/// netlist construction. This is the paper's contribution packaged behind
+/// one call.
+
+#include <cstdint>
+
+#include "map/cover.hpp"
+#include "map/mapped_netlist.hpp"
+#include "map/partition.hpp"
+
+namespace cals {
+
+struct MapperOptions {
+  PartitionStrategy partition = PartitionStrategy::kPlacementDriven;
+  CoverOptions cover;
+};
+
+struct MapStats {
+  std::uint32_t num_cells = 0;
+  double cell_area = 0.0;
+  /// Sum of DP wire costs over tree roots (the mapper's own congestion
+  /// estimate; um of fanin interconnect).
+  double dp_wire_cost = 0.0;
+  /// Vertices that had to be instantiated although another chosen match
+  /// already covers them internally (logic duplication across tree
+  /// boundaries, see Sec. 3.1 discussion).
+  std::uint32_t duplicated_signals = 0;
+  std::uint32_t num_trees = 0;
+};
+
+struct MapResult {
+  MappedNetlist netlist;
+  MapStats stats;
+};
+
+/// Maps a base network onto `library`.
+/// `positions` is the initial placement of the technology-independent
+/// netlist (one point per node, pads included) — see lower_base_network()
+/// and global_place(). Requires net.fanouts_built(); the network must not
+/// drive primary outputs from constants.
+MapResult map_network(const BaseNetwork& net, const Library& library,
+                      const std::vector<Point>& positions,
+                      const MapperOptions& options = {});
+
+}  // namespace cals

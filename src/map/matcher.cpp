@@ -1,0 +1,97 @@
+#include "map/matcher.hpp"
+
+#include "util/check.hpp"
+
+namespace cals {
+
+Matcher::Matcher(const BaseNetwork& net, const SubjectForest& forest, const Library& library)
+    : net_(net), forest_(forest), library_(library) {}
+
+bool Matcher::match_node(const Pattern& pattern, std::int32_t pnode, NodeId vertex,
+                         NodeId parent, bool is_root, std::vector<NodeId>& binding,
+                         std::vector<std::int32_t>& bound_trail,
+                         std::vector<NodeId>& covered) const {
+  const PatternNode& p = pattern.nodes()[static_cast<std::size_t>(pnode)];
+
+  if (p.kind == PatternKind::kVar) {
+    // Variables bind to any signal source: PI, const1, or another gate.
+    if (vertex == kConst0Node) return false;  // const0 is never a real signal here
+    NodeId& slot = binding[static_cast<std::size_t>(p.var)];
+    if (slot == kConst0Node) {
+      slot = vertex;
+      bound_trail.push_back(p.var);
+      return true;
+    }
+    return slot == vertex;
+  }
+
+  // Internal pattern nodes must cover tree-internal vertices reached along
+  // father edges (the match must stay inside one subject tree).
+  if (!net_.is_gate(vertex)) return false;
+  if (!is_root && !forest_.is_father(parent, vertex)) return false;
+
+  const std::size_t covered_mark = covered.size();
+  const std::size_t trail_mark = bound_trail.size();
+  auto undo = [&]() {
+    covered.resize(covered_mark);
+    while (bound_trail.size() > trail_mark) {
+      binding[static_cast<std::size_t>(bound_trail.back())] = kConst0Node;
+      bound_trail.pop_back();
+    }
+  };
+
+  if (p.kind == PatternKind::kInv) {
+    if (net_.kind(vertex) != NodeKind::kInv) return false;
+    covered.push_back(vertex);
+    if (match_node(pattern, p.child0, net_.fanin0(vertex), vertex, false, binding,
+                   bound_trail, covered))
+      return true;
+    undo();
+    return false;
+  }
+
+  CALS_CHECK(p.kind == PatternKind::kNand2);
+  if (net_.kind(vertex) != NodeKind::kNand2) return false;
+  covered.push_back(vertex);
+  // Try both operand orders (NAND is commutative; the subject is stored in
+  // canonical fanin order, patterns are not).
+  if (match_node(pattern, p.child0, net_.fanin0(vertex), vertex, false, binding,
+                 bound_trail, covered) &&
+      match_node(pattern, p.child1, net_.fanin1(vertex), vertex, false, binding,
+                 bound_trail, covered))
+    return true;
+  undo();
+  covered.push_back(vertex);
+  if (match_node(pattern, p.child0, net_.fanin1(vertex), vertex, false, binding,
+                 bound_trail, covered) &&
+      match_node(pattern, p.child1, net_.fanin0(vertex), vertex, false, binding,
+                 bound_trail, covered))
+    return true;
+  undo();
+  return false;
+}
+
+std::vector<Match> Matcher::matches_at(NodeId v) const {
+  std::vector<Match> result;
+  for (std::uint32_t c = 0; c < library_.num_cells(); ++c) {
+    const Cell& cell = library_.cell(CellId{c});
+    for (std::uint32_t pi = 0; pi < cell.patterns().size(); ++pi) {
+      const Pattern& pattern = cell.patterns()[pi];
+      std::vector<NodeId> binding(pattern.num_vars(), kConst0Node);
+      std::vector<std::int32_t> trail;
+      std::vector<NodeId> covered;
+      if (match_node(pattern, pattern.root(), v, kConst0Node, true, binding, trail,
+                     covered)) {
+        Match match;
+        match.cell = CellId{c};
+        match.pattern_index = pi;
+        match.pins = std::move(binding);
+        match.covered = std::move(covered);
+        result.push_back(std::move(match));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace cals

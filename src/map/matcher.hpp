@@ -1,0 +1,48 @@
+#pragma once
+/// \file matcher.hpp
+/// Structural tree matching: enumerates all library-cell matches rooted at a
+/// subject-tree vertex. Pattern internal nodes must follow tree (father)
+/// edges; pattern variables bind to arbitrary vertices (tree leaves or
+/// internal vertices), with repeated variables required to bind the same
+/// vertex (XOR-style patterns).
+
+#include <cstdint>
+#include <vector>
+
+#include "library/library.hpp"
+#include "map/partition.hpp"
+#include "netlist/base_network.hpp"
+
+namespace cals {
+
+struct Match {
+  CellId cell;
+  std::uint32_t pattern_index = 0;
+  /// Bound subject vertex per cell pin (pattern variable order).
+  std::vector<NodeId> pins;
+  /// Subject vertices covered by the pattern's internal nodes (the base
+  /// gates this cell replaces); root included, in discovery order.
+  std::vector<NodeId> covered;
+};
+
+class Matcher {
+ public:
+  Matcher(const BaseNetwork& net, const SubjectForest& forest, const Library& library);
+
+  /// All matches rooted at tree vertex `v` (deterministic order).
+  /// Every INV/NAND2 vertex yields at least the base-cell match as long as
+  /// the library contains INV and NAND2 functions.
+  std::vector<Match> matches_at(NodeId v) const;
+
+ private:
+  bool match_node(const Pattern& pattern, std::int32_t pnode, NodeId vertex, NodeId parent,
+                  bool is_root, std::vector<NodeId>& binding,
+                  std::vector<std::int32_t>& bound_trail,
+                  std::vector<NodeId>& covered) const;
+
+  const BaseNetwork& net_;
+  const SubjectForest& forest_;
+  const Library& library_;
+};
+
+}  // namespace cals

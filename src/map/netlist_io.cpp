@@ -1,0 +1,351 @@
+#include "map/netlist_io.hpp"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace cals {
+namespace {
+
+/// Wire name for a signal. PIs keep their names; instance outputs are n<i>.
+std::string wire(const MappedNetlist& netlist, Signal s) {
+  CALS_CHECK(!s.is_const());
+  if (s.is_pi()) return netlist.pi_name(s.index());
+  return strprintf("n%u", s.index());
+}
+
+constexpr char kPinName[] = {'a', 'b', 'c', 'd', 'e', 'f'};
+
+}  // namespace
+
+void write_verilog(std::ostream& out, const MappedNetlist& netlist,
+                   const std::string& module_name) {
+  out << "module " << module_name << " (";
+  bool first = true;
+  for (std::uint32_t i = 0; i < netlist.num_pis(); ++i) {
+    out << (first ? "" : ", ") << netlist.pi_name(i);
+    first = false;
+  }
+  for (const MappedPo& po : netlist.pos()) {
+    out << (first ? "" : ", ") << po.name;
+    first = false;
+  }
+  out << ");\n";
+  for (std::uint32_t i = 0; i < netlist.num_pis(); ++i)
+    out << "  input " << netlist.pi_name(i) << ";\n";
+  for (const MappedPo& po : netlist.pos()) out << "  output " << po.name << ";\n";
+  for (std::uint32_t i = 0; i < netlist.num_instances(); ++i)
+    out << "  wire n" << i << ";\n";
+
+  for (std::uint32_t i = 0; i < netlist.num_instances(); ++i) {
+    const MappedInstance& inst = netlist.instance(i);
+    const Cell& cell = netlist.library().cell(inst.cell);
+    out << "  " << cell.name() << " u" << i << " (";
+    for (std::size_t p = 0; p < inst.fanins.size(); ++p)
+      out << '.' << kPinName[p] << '(' << wire(netlist, inst.fanins[p]) << "), ";
+    out << ".o(n" << i << "));\n";
+  }
+  for (const MappedPo& po : netlist.pos()) {
+    if (po.driver.is_const()) {
+      out << "  assign " << po.name << " = "
+          << (po.driver == Signal::const1() ? "1'b1" : "1'b0") << ";\n";
+    } else {
+      out << "  assign " << po.name << " = " << wire(netlist, po.driver) << ";\n";
+    }
+  }
+  out << "endmodule\n";
+}
+
+std::string write_verilog_string(const MappedNetlist& netlist,
+                                 const std::string& module_name) {
+  std::ostringstream out;
+  write_verilog(out, netlist, module_name);
+  return out.str();
+}
+
+void write_mapped_blif(std::ostream& out, const MappedNetlist& netlist,
+                       const std::string& model_name) {
+  out << ".model " << model_name << "\n.inputs";
+  for (std::uint32_t i = 0; i < netlist.num_pis(); ++i)
+    out << ' ' << netlist.pi_name(i);
+  out << "\n.outputs";
+  for (const MappedPo& po : netlist.pos()) out << ' ' << po.name;
+  out << '\n';
+  for (std::uint32_t i = 0; i < netlist.num_instances(); ++i) {
+    const MappedInstance& inst = netlist.instance(i);
+    const Cell& cell = netlist.library().cell(inst.cell);
+    out << ".gate " << cell.name();
+    for (std::size_t p = 0; p < inst.fanins.size(); ++p)
+      out << ' ' << kPinName[p] << '=' << wire(netlist, inst.fanins[p]);
+    out << " o=n" << i << '\n';
+  }
+  for (const MappedPo& po : netlist.pos()) {
+    if (po.driver.is_const()) {
+      out << ".names " << po.name << '\n';
+      if (po.driver == Signal::const1()) out << "1\n";
+    } else {
+      out << ".names " << wire(netlist, po.driver) << ' ' << po.name << "\n1 1\n";
+    }
+  }
+  out << ".end\n";
+}
+
+std::string write_mapped_blif_string(const MappedNetlist& netlist,
+                                     const std::string& model_name) {
+  std::ostringstream out;
+  write_mapped_blif(out, netlist, model_name);
+  return out.str();
+}
+
+void write_placement(std::ostream& out, const MappedNetlist& netlist) {
+  for (std::uint32_t i = 0; i < netlist.num_instances(); ++i) {
+    const MappedInstance& inst = netlist.instance(i);
+    out << netlist.library().cell(inst.cell).name() << " u" << i << ' '
+        << strprintf("%.3f %.3f", inst.pos.x, inst.pos.y) << '\n';
+  }
+}
+
+std::string write_placement_string(const MappedNetlist& netlist) {
+  std::ostringstream out;
+  write_placement(out, netlist);
+  return out.str();
+}
+
+MappedNetlist read_mapped_blif(std::istream& in, const Library& library) {
+  MappedNetlist netlist(&library);
+  std::unordered_map<std::string, Signal> signal;
+  struct PendingPo {
+    std::string name;
+    std::string net;  ///< empty: constant via .names
+    Signal constant;
+  };
+  std::vector<std::string> output_names;
+  std::unordered_map<std::string, PendingPo> po_by_output;
+
+  std::string raw;
+  while (std::getline(in, raw)) {
+    if (const auto hash = raw.find('#'); hash != std::string::npos) raw.erase(hash);
+    const auto tokens = split_ws(raw);
+    if (tokens.empty()) continue;
+    if (tokens[0] == ".model") continue;
+    if (tokens[0] == ".inputs") {
+      for (std::size_t i = 1; i < tokens.size(); ++i)
+        signal.emplace(tokens[i], netlist.add_pi(tokens[i]));
+    } else if (tokens[0] == ".outputs") {
+      output_names.insert(output_names.end(), tokens.begin() + 1, tokens.end());
+    } else if (tokens[0] == ".gate") {
+      CALS_CHECK_MSG(tokens.size() >= 3, "mapped blif: .gate needs cell and pins");
+      const CellId cell = library.cell_id(tokens[1]);
+      const Cell& c = library.cell(cell);
+      std::vector<Signal> fanins(c.num_inputs(), Signal{});
+      std::string out_net;
+      for (std::size_t i = 2; i < tokens.size(); ++i) {
+        const auto eq = tokens[i].find('=');
+        CALS_CHECK_MSG(eq != std::string::npos, "mapped blif: pin=net expected");
+        const std::string pin = tokens[i].substr(0, eq);
+        const std::string net = tokens[i].substr(eq + 1);
+        if (pin == "o") {
+          out_net = net;
+          continue;
+        }
+        CALS_CHECK_MSG(pin.size() == 1 && pin[0] >= 'a' && pin[0] < 'a' + 6,
+                       "mapped blif: unknown pin name");
+        const auto idx = static_cast<std::size_t>(pin[0] - 'a');
+        CALS_CHECK_MSG(idx < fanins.size(), "mapped blif: pin beyond cell arity");
+        const auto it = signal.find(net);
+        CALS_CHECK_MSG(it != signal.end(),
+                       "mapped blif: gates must be in topological order");
+        fanins[idx] = it->second;
+      }
+      CALS_CHECK_MSG(!out_net.empty(), "mapped blif: .gate without output pin");
+      for (Signal s : fanins) CALS_CHECK_MSG(s.valid(), "mapped blif: unbound pin");
+      signal[out_net] = netlist.add_instance(cell, std::move(fanins), Point{});
+    } else if (tokens[0] == ".names") {
+      // Output aliases: ".names <net> <output>\n1 1" or a constant table.
+      CALS_CHECK_MSG(tokens.size() == 2 || tokens.size() == 3,
+                     "mapped blif: only alias/constant .names supported");
+      PendingPo po;
+      po.name = tokens.back();
+      if (tokens.size() == 3) po.net = tokens[1];
+      // Peek the cover row(s): a constant-1 table has a single "1" row;
+      // constant-0 has none; an alias has "1 1".
+      std::streampos mark = in.tellg();
+      std::string row;
+      bool has_one = false;
+      while (std::getline(in, row)) {
+        const auto row_tokens = split_ws(row);
+        if (row_tokens.empty() || row_tokens[0][0] == '.') {
+          in.seekg(mark);
+          break;
+        }
+        has_one = true;
+        mark = in.tellg();
+      }
+      if (po.net.empty()) po.constant = has_one ? Signal::const1() : Signal::const0();
+      po_by_output[po.name] = std::move(po);
+    } else if (tokens[0] == ".end") {
+      break;
+    } else {
+      CALS_CHECK_MSG(false, "mapped blif: unsupported directive");
+    }
+  }
+
+  for (const std::string& name : output_names) {
+    const auto po_it = po_by_output.find(name);
+    if (po_it != po_by_output.end()) {
+      const PendingPo& po = po_it->second;
+      if (po.net.empty()) {
+        netlist.add_po(name, po.constant);
+      } else {
+        const auto it = signal.find(po.net);
+        CALS_CHECK_MSG(it != signal.end(), "mapped blif: undriven output alias");
+        netlist.add_po(name, it->second);
+      }
+      continue;
+    }
+    const auto it = signal.find(name);
+    CALS_CHECK_MSG(it != signal.end(), "mapped blif: undriven output");
+    netlist.add_po(name, it->second);
+  }
+  return netlist;
+}
+
+MappedNetlist read_mapped_blif_string(const std::string& text, const Library& library) {
+  std::istringstream in(text);
+  return read_mapped_blif(in, library);
+}
+
+namespace {
+
+/// Tokenizes a Verilog statement into identifiers and punctuation; treats
+/// "(),.;=" as single-character tokens.
+std::vector<std::string> verilog_tokens(const std::string& statement) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char ch : statement) {
+    if (std::isspace(static_cast<unsigned char>(ch)) != 0 ||
+        std::strchr("(),.;=", ch) != nullptr) {
+      if (!current.empty()) {
+        tokens.push_back(current);
+        current.clear();
+      }
+      if (std::strchr("(),.;=", ch) != nullptr) tokens.push_back(std::string(1, ch));
+    } else {
+      current += ch;
+    }
+  }
+  if (!current.empty()) tokens.push_back(current);
+  return tokens;
+}
+
+}  // namespace
+
+MappedNetlist read_verilog(std::istream& in, const Library& library) {
+  MappedNetlist netlist(&library);
+  std::unordered_map<std::string, Signal> signal;
+  std::vector<std::string> output_names;
+  std::unordered_map<std::string, std::string> output_alias;  // output -> net
+  std::unordered_map<std::string, Signal> output_const;
+
+  // Read statement-by-statement (terminated by ';'), skipping the module
+  // header's port list.
+  std::string statement;
+  char ch = 0;
+  bool in_comment = false;
+  std::string text;
+  while (in.get(ch)) text += ch;
+  (void)in_comment;
+
+  std::size_t pos = 0;
+  auto next_statement = [&]() -> bool {
+    statement.clear();
+    while (pos < text.size()) {
+      const char c = text[pos++];
+      if (c == ';') return true;
+      statement += c;
+    }
+    return !trim(statement).empty();
+  };
+
+  while (next_statement()) {
+    auto tokens = verilog_tokens(statement);
+    if (tokens.empty()) continue;
+    const std::string& head = tokens[0];
+    if (head == "module" || head == "endmodule") continue;
+    if (head == "input" || head == "wire") {
+      // Wires for instance outputs get their signals when instantiated.
+      if (head == "input")
+        for (std::size_t i = 1; i < tokens.size(); ++i)
+          if (tokens[i] != ",") signal.emplace(tokens[i], netlist.add_pi(tokens[i]));
+      continue;
+    }
+    if (head == "output") {
+      for (std::size_t i = 1; i < tokens.size(); ++i)
+        if (tokens[i] != ",") output_names.push_back(tokens[i]);
+      continue;
+    }
+    if (head == "assign") {
+      // assign <out> = <net or 1'bX>
+      CALS_CHECK_MSG(tokens.size() >= 4 && tokens[2] == "=", "verilog: bad assign");
+      const std::string& lhs = tokens[1];
+      const std::string& rhs = tokens[3];
+      if (rhs == "1'b0") output_const[lhs] = Signal::const0();
+      else if (rhs == "1'b1") output_const[lhs] = Signal::const1();
+      else output_alias[lhs] = rhs;
+      continue;
+    }
+    // Cell instantiation: CELL name ( .pin ( net ) , ... )
+    CALS_CHECK_MSG(library.has_cell(head), "verilog: unknown cell");
+    const CellId cell = library.cell_id(head);
+    const Cell& c = library.cell(cell);
+    std::vector<Signal> fanins(c.num_inputs(), Signal{});
+    std::string out_net;
+    for (std::size_t i = 2; i + 3 < tokens.size(); ++i) {
+      if (tokens[i] != ".") continue;
+      const std::string& pin = tokens[i + 1];
+      CALS_CHECK_MSG(tokens[i + 2] == "(", "verilog: pin connection needs (");
+      const std::string& net = tokens[i + 3];
+      if (pin == "o") {
+        out_net = net;
+      } else {
+        CALS_CHECK_MSG(pin.size() == 1 && pin[0] >= 'a' && pin[0] < 'a' + 6,
+                       "verilog: unknown pin");
+        const auto idx = static_cast<std::size_t>(pin[0] - 'a');
+        CALS_CHECK_MSG(idx < fanins.size(), "verilog: pin beyond cell arity");
+        const auto it = signal.find(net);
+        CALS_CHECK_MSG(it != signal.end(), "verilog: instances must be topological");
+        fanins[idx] = it->second;
+      }
+      i += 3;
+    }
+    CALS_CHECK_MSG(!out_net.empty(), "verilog: instance without .o connection");
+    for (Signal s : fanins) CALS_CHECK_MSG(s.valid(), "verilog: unbound pin");
+    signal[out_net] = netlist.add_instance(cell, std::move(fanins), Point{});
+  }
+
+  for (const std::string& name : output_names) {
+    if (const auto it = output_const.find(name); it != output_const.end()) {
+      netlist.add_po(name, it->second);
+      continue;
+    }
+    std::string net = name;
+    if (const auto it = output_alias.find(name); it != output_alias.end())
+      net = it->second;
+    const auto sig_it = signal.find(net);
+    CALS_CHECK_MSG(sig_it != signal.end(), "verilog: undriven output");
+    netlist.add_po(name, sig_it->second);
+  }
+  return netlist;
+}
+
+MappedNetlist read_verilog_string(const std::string& text, const Library& library) {
+  std::istringstream in(text);
+  return read_verilog(in, library);
+}
+
+}  // namespace cals

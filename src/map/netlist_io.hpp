@@ -1,0 +1,51 @@
+#pragma once
+/// \file netlist_io.hpp
+/// Export of mapped netlists to standard interchange formats:
+///  * structural Verilog (one module, library cells as primitives),
+///  * SIS-style gate-level BLIF (.gate lines),
+///  * a placement dump (cell name, instance id, x, y in um) for handoff to
+///    external placement/routing tools.
+///
+/// Cell pins are named a, b, c, d (inputs, in pattern-variable order) and o
+/// (output), matching the pattern grammar of library/pattern.hpp.
+
+#include <iosfwd>
+#include <string>
+
+#include "map/mapped_netlist.hpp"
+
+namespace cals {
+
+/// Structural Verilog. Constant drivers become 1'b0 / 1'b1 assigns.
+void write_verilog(std::ostream& out, const MappedNetlist& netlist,
+                   const std::string& module_name);
+std::string write_verilog_string(const MappedNetlist& netlist,
+                                 const std::string& module_name);
+
+/// Gate-level BLIF (.model/.inputs/.outputs/.gate). Constant drivers use
+/// .names tables.
+void write_mapped_blif(std::ostream& out, const MappedNetlist& netlist,
+                       const std::string& model_name);
+std::string write_mapped_blif_string(const MappedNetlist& netlist,
+                                     const std::string& model_name);
+
+/// One line per instance: "<cell> u<i> <x_um> <y_um>".
+void write_placement(std::ostream& out, const MappedNetlist& netlist);
+std::string write_placement_string(const MappedNetlist& netlist);
+
+/// Reads a gate-level BLIF (the write_mapped_blif format: .gate lines with
+/// pin=net pairs plus single-literal .names aliases for outputs). Cells are
+/// resolved by name in `library`, which must outlive the netlist. Instances
+/// carry no positions (all zero) — run placement afterwards.
+MappedNetlist read_mapped_blif(std::istream& in, const Library& library);
+MappedNetlist read_mapped_blif_string(const std::string& text, const Library& library);
+
+/// Reads structural Verilog in the write_verilog subset: one module,
+/// input/output/wire declarations, library-cell instances with named pin
+/// connections (.a(net) ... .o(net)), and plain `assign` aliases (including
+/// 1'b0 / 1'b1 tie-offs). Instances must appear in topological order (the
+/// writer guarantees this).
+MappedNetlist read_verilog(std::istream& in, const Library& library);
+MappedNetlist read_verilog_string(const std::string& text, const Library& library);
+
+}  // namespace cals

@@ -1,0 +1,168 @@
+#include "map/partition.hpp"
+
+#include <algorithm>
+
+#include "netlist/dag.hpp"
+#include "util/check.hpp"
+
+namespace cals {
+namespace {
+
+constexpr NodeId kNoFather = kConst0Node;  // const0 can never be a reader
+
+/// Live gate readers of `n` (dead fanouts are not readers).
+template <typename Fn>
+void for_each_reader(const BaseNetwork& net, const std::vector<bool>& live, NodeId n,
+                     Fn&& fn) {
+  for (const NodeId* it = net.fanout_begin(n); it != net.fanout_end(n); ++it)
+    if (live[it->v]) fn(*it);
+}
+
+void assign_fathers_dagon(const BaseNetwork& net, const std::vector<bool>& live,
+                          std::vector<NodeId>& father) {
+  for (std::uint32_t i = 0; i < net.num_nodes(); ++i) {
+    const NodeId n{i};
+    if (!net.is_gate(n) || !live[i]) continue;
+    std::uint32_t readers = 0;
+    NodeId only{};
+    for_each_reader(net, live, n, [&](NodeId u) {
+      ++readers;
+      only = u;
+    });
+    // Partition at every multi-fanout vertex; PO references also force a
+    // root since the output must exist as a netlist signal.
+    if (readers == 1 && net.po_refs(n) == 0) father[i] = only;
+  }
+}
+
+void assign_fathers_cones(const BaseNetwork& net, const std::vector<bool>& live,
+                          std::vector<NodeId>& father) {
+  // DFS from PO drivers in PO order; the first reader to reach a vertex
+  // becomes its father (order-dependent, as the paper criticizes).
+  std::vector<bool> visited(net.num_nodes(), false);
+  std::vector<NodeId> stack;
+  auto visit_from = [&](NodeId root) {
+    if (!net.is_gate(root) || visited[root.v]) return;
+    visited[root.v] = true;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      const std::uint32_t nf = net.num_fanins(u);
+      for (std::uint32_t k = 0; k < nf; ++k) {
+        const NodeId w = k == 0 ? net.fanin0(u) : net.fanin1(u);
+        if (!net.is_gate(w) || !live[w.v]) continue;
+        if (!visited[w.v]) {
+          visited[w.v] = true;
+          if (net.po_refs(w) == 0) father[w.v] = u;
+          stack.push_back(w);
+        }
+      }
+    }
+  };
+  for (const PrimaryOutput& po : net.pos()) visit_from(po.driver);
+}
+
+void assign_fathers_pdp(const BaseNetwork& net, const std::vector<bool>& live,
+                        const std::vector<Point>& positions, DistanceMetric metric,
+                        std::vector<NodeId>& father) {
+  CALS_CHECK_MSG(positions.size() == net.num_nodes(),
+                 "placement-driven partitioning needs a position per node");
+  // The paper's Fig. 2 algorithm: the father of every vertex is its nearest
+  // reader on the layout image. The DFS order of the original formulation
+  // does not change the result (the nearest-reader rule is order-free), so
+  // we assign directly. PO-referenced vertices stay roots: the output signal
+  // must exist in the mapped netlist.
+  for (std::uint32_t i = 0; i < net.num_nodes(); ++i) {
+    const NodeId n{i};
+    if (!net.is_gate(n) || !live[i] || net.po_refs(n) != 0) continue;
+    double best = 1e300;
+    NodeId best_reader = kNoFather;
+    for_each_reader(net, live, n, [&](NodeId u) {
+      const double d = distance(positions[i], positions[u.v], metric);
+      if (d < best || (d == best && (best_reader == kNoFather || u < best_reader))) {
+        best = d;
+        best_reader = u;
+      }
+    });
+    if (!(best_reader == kNoFather)) father[i] = best_reader;
+  }
+}
+
+}  // namespace
+
+SubjectForest partition_dag(const BaseNetwork& net, PartitionStrategy strategy,
+                            const std::vector<Point>& positions, DistanceMetric metric) {
+  CALS_CHECK_MSG(net.fanouts_built(), "call build_fanouts() first");
+  const auto live = live_mask(net);
+
+  SubjectForest forest;
+  forest.father.assign(net.num_nodes(), kNoFather);
+  forest.tree_of.assign(net.num_nodes(), UINT32_MAX);
+
+  switch (strategy) {
+    case PartitionStrategy::kDagon:
+      assign_fathers_dagon(net, live, forest.father);
+      break;
+    case PartitionStrategy::kCones:
+      assign_fathers_cones(net, live, forest.father);
+      break;
+    case PartitionStrategy::kPlacementDriven:
+      assign_fathers_pdp(net, live, positions, metric, forest.father);
+      break;
+  }
+
+  // Build trees by following father chains. Fathers always have larger node
+  // ids (a reader is created after its operand), so a descending scan sees
+  // the father's tree before the child.
+  for (std::uint32_t i = net.num_nodes(); i-- > 0;) {
+    const NodeId n{i};
+    // const1 (INV of const0) is structurally a gate but carries no logic;
+    // it maps to a tie-off, not a cell.
+    if (!net.is_gate(n) || !live[i] || net.is_const1(n)) continue;
+    if (forest.father[i] == kNoFather) {
+      forest.tree_of[i] = static_cast<std::uint32_t>(forest.trees.size());
+      forest.trees.push_back({n, {}});
+    } else {
+      forest.tree_of[i] = forest.tree_of[forest.father[i].v];
+    }
+    forest.trees[forest.tree_of[i]].vertices.push_back(n);
+  }
+  for (SubjectTree& tree : forest.trees)
+    std::reverse(tree.vertices.begin(), tree.vertices.end());
+  return forest;
+}
+
+void validate_forest(const BaseNetwork& net, const SubjectForest& forest) {
+  const auto live = live_mask(net);
+  std::vector<std::uint32_t> seen(net.num_nodes(), UINT32_MAX);
+  for (std::uint32_t t = 0; t < forest.trees.size(); ++t) {
+    const SubjectTree& tree = forest.trees[t];
+    CALS_CHECK_MSG(!tree.vertices.empty(), "empty subject tree");
+    CALS_CHECK_MSG(tree.vertices.back() == tree.root, "root must be last vertex");
+    CALS_CHECK_MSG(std::is_sorted(tree.vertices.begin(), tree.vertices.end()),
+                   "tree vertices must be ascending");
+    for (NodeId v : tree.vertices) {
+      CALS_CHECK_MSG(seen[v.v] == UINT32_MAX, "vertex in two trees");
+      seen[v.v] = t;
+      CALS_CHECK(forest.tree_of[v.v] == t);
+      if (v == tree.root) {
+        CALS_CHECK_MSG(forest.father[v.v] == kConst0Node, "root with a father");
+      } else {
+        const NodeId u = forest.father[v.v];
+        CALS_CHECK_MSG(forest.tree_of[u.v] == t, "father in a different tree");
+        // The father must actually read v.
+        const bool reads = (net.num_fanins(u) >= 1 && net.fanin0(u) == v) ||
+                           (net.num_fanins(u) == 2 && net.fanin1(u) == v);
+        CALS_CHECK_MSG(reads, "father is not a reader");
+      }
+    }
+  }
+  for (std::uint32_t i = 0; i < net.num_nodes(); ++i) {
+    const NodeId n{i};
+    if (net.is_gate(n) && live[i] && !net.is_const1(n))
+      CALS_CHECK_MSG(seen[i] != UINT32_MAX, "live gate not in any tree");
+  }
+}
+
+}  // namespace cals

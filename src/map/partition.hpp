@@ -1,0 +1,63 @@
+#pragma once
+/// \file partition.hpp
+/// DAG partitioning for tree-based technology mapping (paper Sec. 3.1).
+///
+/// All strategies assign each live gate a *father*: the reader that keeps the
+/// gate inside its tree. Edges to non-father readers are detached and become
+/// tree-leaf references (the reader sees the gate as an input signal).
+///
+///  * kDagon: multi-fanout gates get no father — they root their own tree
+///    (Keutzer's DAGON). Zero logic duplication, no optimization across
+///    multi-fanout points.
+///  * kCones: the father is the first reader reached by a DFS from the
+///    primary outputs (MIS-flavoured cones). Optimizes across multi-fanout
+///    points but the result depends on the PO processing order — the
+///    drawback the paper calls out.
+///  * kPlacementDriven: the paper's PDP algorithm (Fig. 2) — the father is
+///    the *geometrically nearest* reader on the layout image, so subject
+///    trees cluster vertices placed in the same neighbourhood, independent
+///    of processing order.
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/geom.hpp"
+#include "netlist/base_network.hpp"
+
+namespace cals {
+
+enum class PartitionStrategy { kDagon, kCones, kPlacementDriven };
+
+struct SubjectTree {
+  /// Tree root: a gate that drives a PO and/or whose readers all treat it as
+  /// a leaf (no father).
+  NodeId root;
+  /// Gate vertices of this tree in fanin-before-father (ascending id) order.
+  std::vector<NodeId> vertices;
+};
+
+struct SubjectForest {
+  std::vector<SubjectTree> trees;
+  /// father[n] = reader vertex that owns n, or kConst0Node (=0, impossible
+  /// as a reader) when n roots a tree / is not a live gate.
+  std::vector<NodeId> father;
+  /// tree_of[n] = tree index, UINT32_MAX for non-gates / dead nodes.
+  std::vector<std::uint32_t> tree_of;
+
+  bool in_tree(NodeId n) const { return tree_of[n.v] != UINT32_MAX; }
+  bool is_father(NodeId parent, NodeId child) const { return father[child.v] == parent; }
+};
+
+/// Partitions the live gates of `net` into subject trees.
+/// `positions` maps every network node to its layout-image coordinate
+/// (required for kPlacementDriven; ignored otherwise — pass {} then).
+/// Requires net.fanouts_built().
+SubjectForest partition_dag(const BaseNetwork& net, PartitionStrategy strategy,
+                            const std::vector<Point>& positions,
+                            DistanceMetric metric = DistanceMetric::kManhattan);
+
+/// Sanity invariants: every live gate in exactly one tree, fathers are
+/// readers, vertices sorted, roots fatherless. Aborts on violation.
+void validate_forest(const BaseNetwork& net, const SubjectForest& forest);
+
+}  // namespace cals

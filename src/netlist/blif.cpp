@@ -1,0 +1,231 @@
+#include "netlist/blif.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace cals {
+namespace {
+
+struct NamesTable {
+  std::vector<std::string> inputs;
+  std::string output;
+  std::vector<std::string> cube_rows;  // input-plane strings over {0,1,-}
+};
+
+/// Reads logical lines, joining `\` continuations and dropping comments.
+std::vector<std::string> logical_lines(std::istream& in) {
+  std::vector<std::string> lines;
+  std::string raw;
+  std::string pending;
+  while (std::getline(in, raw)) {
+    if (const auto hash = raw.find('#'); hash != std::string::npos) raw.erase(hash);
+    std::string_view line = trim(raw);
+    bool continued = false;
+    if (!line.empty() && line.back() == '\\') {
+      continued = true;
+      line.remove_suffix(1);
+    }
+    pending += std::string(line);
+    if (continued) {
+      pending += ' ';
+      continue;
+    }
+    if (!trim(pending).empty()) lines.emplace_back(trim(pending));
+    pending.clear();
+  }
+  if (!trim(pending).empty()) lines.emplace_back(trim(pending));
+  return lines;
+}
+
+NodeId build_table(BaseNetwork& net, const NamesTable& table,
+                   const std::unordered_map<std::string, NodeId>& signal) {
+  std::vector<NodeId> fanins;
+  fanins.reserve(table.inputs.size());
+  for (const std::string& name : table.inputs) {
+    auto it = signal.find(name);
+    CALS_CHECK_MSG(it != signal.end(), "blif: undefined signal in .names");
+    fanins.push_back(it->second);
+  }
+  if (table.inputs.empty()) {
+    // Constant: a single empty row with output value 1 means const1.
+    return table.cube_rows.empty() ? net.const0() : net.const1();
+  }
+  if (table.cube_rows.empty()) return net.const0();
+  std::vector<NodeId> products;
+  products.reserve(table.cube_rows.size());
+  for (const std::string& row : table.cube_rows) {
+    CALS_CHECK_MSG(row.size() == table.inputs.size(), "blif: cube arity mismatch");
+    std::vector<NodeId> literals;
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (row[i] == '1') literals.push_back(fanins[i]);
+      else if (row[i] == '0') literals.push_back(net.add_inv(fanins[i]));
+      else CALS_CHECK_MSG(row[i] == '-', "blif: bad cube character");
+    }
+    products.push_back(literals.empty() ? net.const1() : net.add_and(literals));
+  }
+  return net.add_or(products);
+}
+
+}  // namespace
+
+BlifModel read_blif(std::istream& in) {
+  BlifModel model;
+  std::vector<std::string> input_names;
+  std::vector<std::string> output_names;
+  std::vector<NamesTable> tables;
+
+  const auto lines = logical_lines(in);
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const auto tokens = split_ws(lines[li]);
+    if (tokens.empty()) continue;
+    const std::string& head = tokens[0];
+    if (head == ".model") {
+      if (tokens.size() > 1) model.name = tokens[1];
+    } else if (head == ".inputs") {
+      input_names.insert(input_names.end(), tokens.begin() + 1, tokens.end());
+    } else if (head == ".outputs") {
+      output_names.insert(output_names.end(), tokens.begin() + 1, tokens.end());
+    } else if (head == ".latch") {
+      // .latch <input(D)> <output(Q)> [<type> <control>] [<init>]
+      CALS_CHECK_MSG(tokens.size() >= 3, "blif: .latch needs input and output");
+      BlifLatch latch;
+      latch.input = tokens[1];
+      latch.output = tokens[2];
+      if (tokens.size() >= 4 && tokens.back().size() == 1 &&
+          tokens.back()[0] >= '0' && tokens.back()[0] <= '3')
+        latch.initial = tokens.back()[0];
+      model.latches.push_back(std::move(latch));
+    } else if (head == ".names") {
+      CALS_CHECK_MSG(tokens.size() >= 2, "blif: .names needs an output");
+      NamesTable table;
+      table.output = tokens.back();
+      table.inputs.assign(tokens.begin() + 1, tokens.end() - 1);
+      // Consume cover rows until the next dot-directive.
+      while (li + 1 < lines.size() && lines[li + 1][0] != '.') {
+        ++li;
+        const auto row = split_ws(lines[li]);
+        if (table.inputs.empty()) {
+          CALS_CHECK_MSG(row.size() == 1 && row[0] == "1", "blif: bad constant row");
+          table.cube_rows.push_back("");
+        } else {
+          CALS_CHECK_MSG(row.size() == 2, "blif: cover row needs input and output plane");
+          CALS_CHECK_MSG(row[1] == "1", "blif: only on-set covers supported");
+          table.cube_rows.push_back(row[0]);
+        }
+      }
+      tables.push_back(std::move(table));
+    } else if (head == ".end") {
+      break;
+    } else {
+      CALS_CHECK_MSG(false, "blif: unsupported directive");
+    }
+  }
+
+  std::unordered_map<std::string, NodeId> signal;
+  model.num_real_pis = input_names.size();
+  model.num_real_pos = output_names.size();
+  for (const std::string& name : input_names) signal.emplace(name, model.network.add_pi(name));
+  // Latch outputs (Q) are pseudo primary inputs of the combinational core.
+  for (const BlifLatch& latch : model.latches)
+    signal.emplace(latch.output, model.network.add_pi(latch.output));
+
+  // Tables can appear in any order: iterate until all are resolved.
+  std::vector<bool> done(tables.size(), false);
+  std::size_t remaining = tables.size();
+  while (remaining > 0) {
+    bool progress = false;
+    for (std::size_t t = 0; t < tables.size(); ++t) {
+      if (done[t]) continue;
+      const bool ready = std::all_of(
+          tables[t].inputs.begin(), tables[t].inputs.end(),
+          [&](const std::string& name) { return signal.contains(name); });
+      if (!ready) continue;
+      signal[tables[t].output] = build_table(model.network, tables[t], signal);
+      done[t] = true;
+      --remaining;
+      progress = true;
+    }
+    CALS_CHECK_MSG(progress, "blif: cyclic or dangling .names dependencies");
+  }
+
+  for (const std::string& name : output_names) {
+    auto it = signal.find(name);
+    CALS_CHECK_MSG(it != signal.end(), "blif: undriven primary output");
+    model.network.add_po(name, it->second);
+  }
+  // Latch inputs (D) are pseudo primary outputs of the combinational core.
+  for (const BlifLatch& latch : model.latches) {
+    auto it = signal.find(latch.input);
+    CALS_CHECK_MSG(it != signal.end(), "blif: undriven latch input");
+    model.network.add_po(latch.input, it->second);
+  }
+  return model;
+}
+
+BlifModel read_blif_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_blif(in);
+}
+
+BlifModel read_blif_file(const std::string& path) {
+  std::ifstream in(path);
+  CALS_CHECK_MSG(in.good(), "blif: cannot open file");
+  return read_blif(in);
+}
+
+void write_blif(std::ostream& out, const BaseNetwork& net, const std::string& model_name) {
+  auto sig = [&](NodeId n) -> std::string {
+    if (net.kind(n) == NodeKind::kPi) return net.pi_name(n);
+    return strprintf("n%u", n.v);
+  };
+
+  out << ".model " << model_name << "\n.inputs";
+  for (NodeId pi : net.pis()) out << ' ' << net.pi_name(pi);
+  out << "\n.outputs";
+  for (const PrimaryOutput& po : net.pos()) out << ' ' << po.name;
+  out << '\n';
+
+  for (std::uint32_t i = 0; i < net.num_nodes(); ++i) {
+    const NodeId n{i};
+    switch (net.kind(n)) {
+      case NodeKind::kInv:
+        if (net.fanin0(n) == kConst0Node) {
+          out << ".names " << sig(n) << "\n1\n";  // const1
+        } else {
+          out << ".names " << sig(net.fanin0(n)) << ' ' << sig(n) << "\n0 1\n";
+        }
+        break;
+      case NodeKind::kNand2:
+        out << ".names " << sig(net.fanin0(n)) << ' ' << sig(net.fanin1(n)) << ' ' << sig(n)
+            << "\n0- 1\n-0 1\n";
+        break;
+      case NodeKind::kConst0:
+      case NodeKind::kPi:
+        break;
+    }
+  }
+  // PO aliases (a PO may share a driver with other POs or have a PI driver).
+  for (const PrimaryOutput& po : net.pos()) {
+    if (po.driver == kConst0Node) {
+      out << ".names " << po.name << '\n';  // empty cover = const0
+    } else {
+      out << ".names " << sig(po.driver) << ' ' << po.name << "\n1 1\n";
+    }
+  }
+  out << ".end\n";
+}
+
+std::string write_blif_string(const BaseNetwork& net, const std::string& model_name) {
+  std::ostringstream out;
+  write_blif(out, net, model_name);
+  return out.str();
+}
+
+}  // namespace cals

@@ -1,0 +1,102 @@
+#include "netlist/dag.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace cals {
+
+std::vector<NodeId> topo_order(const BaseNetwork& net) {
+  std::vector<NodeId> order;
+  order.reserve(net.num_nodes());
+  for (std::uint32_t i = 0; i < net.num_nodes(); ++i) order.push_back(NodeId{i});
+  return order;
+}
+
+std::vector<std::uint32_t> logic_levels(const BaseNetwork& net) {
+  std::vector<std::uint32_t> level(net.num_nodes(), 0);
+  for (std::uint32_t i = 0; i < net.num_nodes(); ++i) {
+    const NodeId n{i};
+    switch (net.kind(n)) {
+      case NodeKind::kInv:
+        level[i] = level[net.fanin0(n).v] + 1;
+        break;
+      case NodeKind::kNand2:
+        level[i] = std::max(level[net.fanin0(n).v], level[net.fanin1(n).v]) + 1;
+        break;
+      default:
+        break;
+    }
+  }
+  return level;
+}
+
+std::uint32_t depth(const BaseNetwork& net) {
+  const auto level = logic_levels(net);
+  std::uint32_t d = 0;
+  for (const PrimaryOutput& po : net.pos()) d = std::max(d, level[po.driver.v]);
+  return d;
+}
+
+std::vector<NodeId> transitive_fanin(const BaseNetwork& net, NodeId root) {
+  std::vector<bool> seen(net.num_nodes(), false);
+  std::vector<NodeId> stack{root};
+  std::vector<NodeId> cone;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    if (seen[v.v] || v == kConst0Node) continue;
+    seen[v.v] = true;
+    cone.push_back(v);
+    if (net.kind(v) == NodeKind::kInv) stack.push_back(net.fanin0(v));
+    if (net.kind(v) == NodeKind::kNand2) {
+      stack.push_back(net.fanin0(v));
+      stack.push_back(net.fanin1(v));
+    }
+  }
+  std::sort(cone.begin(), cone.end());
+  return cone;
+}
+
+std::vector<bool> live_mask(const BaseNetwork& net) {
+  std::vector<bool> live(net.num_nodes(), false);
+  std::vector<NodeId> stack;
+  for (const PrimaryOutput& po : net.pos()) stack.push_back(po.driver);
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    if (live[v.v]) continue;
+    live[v.v] = true;
+    if (net.kind(v) == NodeKind::kInv) stack.push_back(net.fanin0(v));
+    if (net.kind(v) == NodeKind::kNand2) {
+      stack.push_back(net.fanin0(v));
+      stack.push_back(net.fanin1(v));
+    }
+  }
+  return live;
+}
+
+std::vector<std::uint32_t> fanout_histogram(const BaseNetwork& net) {
+  CALS_CHECK(net.fanouts_built());
+  std::vector<std::uint32_t> hist;
+  for (std::uint32_t i = 0; i < net.num_nodes(); ++i) {
+    const NodeId n{i};
+    if (!net.is_gate(n)) continue;
+    const std::uint32_t f = net.fanout_count(n);
+    if (f >= hist.size()) hist.resize(f + 1, 0);
+    ++hist[f];
+  }
+  return hist;
+}
+
+std::uint32_t num_multi_fanout_gates(const BaseNetwork& net) {
+  CALS_CHECK(net.fanouts_built());
+  std::uint32_t count = 0;
+  for (std::uint32_t i = 0; i < net.num_nodes(); ++i) {
+    const NodeId n{i};
+    if (net.is_gate(n) && net.fanout_count(n) > 1) ++count;
+  }
+  return count;
+}
+
+}  // namespace cals

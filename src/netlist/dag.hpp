@@ -1,0 +1,41 @@
+#pragma once
+/// \file dag.hpp
+/// DAG traversal utilities over BaseNetwork: topological orders, logic
+/// levels, reachability cones, and fanout statistics. These back both the
+/// mapper's partitioners (Sec. 3.1 of the paper) and the test suite's
+/// structural invariants.
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/base_network.hpp"
+
+namespace cals {
+
+/// Nodes in topological (fanin-before-fanout) order. Because BaseNetwork is
+/// topological by construction this is the identity order filtered to live
+/// kinds, but callers should not rely on that detail.
+std::vector<NodeId> topo_order(const BaseNetwork& net);
+
+/// Logic level per node: PIs/const at 0, gates at 1 + max(fanin levels).
+std::vector<std::uint32_t> logic_levels(const BaseNetwork& net);
+
+/// Maximum logic level over PO drivers.
+std::uint32_t depth(const BaseNetwork& net);
+
+/// Transitive fanin cone of `root` (including `root`, excluding const0),
+/// as a sorted list of node ids.
+std::vector<NodeId> transitive_fanin(const BaseNetwork& net, NodeId root);
+
+/// Per-node flag: true if the node is reachable from some primary output.
+std::vector<bool> live_mask(const BaseNetwork& net);
+
+/// Histogram of gate fanout counts; index = fanout, value = #gates.
+/// Requires net.fanouts_built().
+std::vector<std::uint32_t> fanout_histogram(const BaseNetwork& net);
+
+/// Number of gate nodes with fanout > 1 (the partitioning points of
+/// DAGON-style tree mapping). Requires net.fanouts_built().
+std::uint32_t num_multi_fanout_gates(const BaseNetwork& net);
+
+}  // namespace cals

@@ -1,0 +1,45 @@
+#include "netlist/sim.hpp"
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace cals {
+
+std::vector<std::uint64_t> simulate64(const BaseNetwork& net,
+                                      const std::vector<std::uint64_t>& pi_words) {
+  CALS_CHECK_MSG(pi_words.size() == net.pis().size(), "one word per primary input required");
+  std::vector<std::uint64_t> value(net.num_nodes(), 0);
+  for (std::size_t i = 0; i < net.pis().size(); ++i) value[net.pis()[i].v] = pi_words[i];
+  for (std::uint32_t i = 0; i < net.num_nodes(); ++i) {
+    const NodeId n{i};
+    switch (net.kind(n)) {
+      case NodeKind::kInv:
+        value[i] = ~value[net.fanin0(n).v];
+        break;
+      case NodeKind::kNand2:
+        value[i] = ~(value[net.fanin0(n).v] & value[net.fanin1(n).v]);
+        break;
+      default:
+        break;  // const0 stays 0; PIs already set
+    }
+  }
+  std::vector<std::uint64_t> out;
+  out.reserve(net.pos().size());
+  for (const PrimaryOutput& po : net.pos()) out.push_back(value[po.driver.v]);
+  return out;
+}
+
+std::vector<std::uint64_t> random_signature(const BaseNetwork& net, std::uint32_t rounds,
+                                            std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint64_t> signature(net.pos().size() * rounds, 0);
+  std::vector<std::uint64_t> pi_words(net.pis().size());
+  for (std::uint32_t r = 0; r < rounds; ++r) {
+    for (auto& w : pi_words) w = rng.next();
+    const auto po_words = simulate64(net, pi_words);
+    for (std::size_t o = 0; o < po_words.size(); ++o) signature[o * rounds + r] = po_words[o];
+  }
+  return signature;
+}
+
+}  // namespace cals

@@ -1,0 +1,29 @@
+#pragma once
+/// \file sim.hpp
+/// 64-way bit-parallel logic simulation of the base network.
+///
+/// Used by the property-based tests to establish functional equivalence
+/// between (a) SOP covers and their decomposed networks and (b) unmapped
+/// networks and mapped netlists.
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/base_network.hpp"
+
+namespace cals {
+
+/// Simulates the network for 64 input patterns at once.
+/// `pi_words[i]` holds 64 values (one per bit) for net.pis()[i].
+/// Returns one word per primary output, in net.pos() order.
+std::vector<std::uint64_t> simulate64(const BaseNetwork& net,
+                                      const std::vector<std::uint64_t>& pi_words);
+
+/// Simulates `rounds` batches of 64 random patterns (seeded) and returns the
+/// concatenated PO words: signature[o * rounds + r]. Two networks with the
+/// same PI count and PO count are almost certainly equivalent if their
+/// signatures match for a few hundred rounds.
+std::vector<std::uint64_t> random_signature(const BaseNetwork& net, std::uint32_t rounds,
+                                            std::uint64_t seed);
+
+}  // namespace cals

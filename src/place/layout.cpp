@@ -1,0 +1,42 @@
+#include "place/layout.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace cals {
+
+Floorplan::Floorplan(std::uint32_t num_rows, double width_um, const TechParams& tech)
+    : tech_(tech), num_rows_(num_rows) {
+  CALS_CHECK_MSG(num_rows >= 1, "floorplan needs at least one row");
+  CALS_CHECK_MSG(width_um > tech.site_width_um, "floorplan too narrow");
+  sites_per_row_ = static_cast<std::uint32_t>(std::floor(width_um / tech.site_width_um));
+  const double width = sites_per_row_ * tech.site_width_um;
+  const double height = num_rows * tech.row_height_um;
+  die_ = Rect{{0.0, 0.0}, {width, height}};
+}
+
+Floorplan Floorplan::square_with_rows(std::uint32_t num_rows, const TechParams& tech) {
+  const double height = num_rows * tech.row_height_um;
+  return Floorplan(num_rows, height, tech);
+}
+
+Floorplan Floorplan::for_cell_area(double cell_area_um2, double max_utilization,
+                                   const TechParams& tech) {
+  CALS_CHECK(max_utilization > 0.0 && max_utilization <= 1.0);
+  const double core = cell_area_um2 / max_utilization;
+  const double side = std::sqrt(core);
+  const auto rows =
+      static_cast<std::uint32_t>(std::ceil(side / tech.row_height_um));
+  return square_with_rows(rows == 0 ? 1 : rows, tech);
+}
+
+std::uint32_t Floorplan::nearest_row(double y) const {
+  const double rel = (y - die_.lo.y) / tech_.row_height_um - 0.5;
+  const long r = std::lround(rel);
+  if (r < 0) return 0;
+  if (r >= static_cast<long>(num_rows_)) return num_rows_ - 1;
+  return static_cast<std::uint32_t>(r);
+}
+
+}  // namespace cals

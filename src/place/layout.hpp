@@ -1,0 +1,56 @@
+#pragma once
+/// \file layout.hpp
+/// The chip layout image: die rectangle, standard-cell rows, sites.
+/// This is the "floorplan constraints" object of the paper — die size,
+/// aspect ratio and row count are what the congestion experiments fix.
+
+#include <cstdint>
+
+#include "geom/geom.hpp"
+#include "library/library.hpp"
+
+namespace cals {
+
+class Floorplan {
+ public:
+  /// Die with `num_rows` rows of height tech.row_height_um and the given
+  /// core width; origin at (0,0).
+  Floorplan(std::uint32_t num_rows, double width_um, const TechParams& tech);
+
+  /// Square-ish die (aspect ratio ~1) with the given number of rows, the
+  /// configuration used throughout the paper's experiments.
+  static Floorplan square_with_rows(std::uint32_t num_rows, const TechParams& tech);
+
+  /// Smallest aspect-ratio-1 floorplan whose core fits `cell_area_um2` at
+  /// the given utilization cap.
+  static Floorplan for_cell_area(double cell_area_um2, double max_utilization,
+                                 const TechParams& tech);
+
+  const Rect& die() const { return die_; }
+  double die_area() const { return die_.area(); }
+  std::uint32_t num_rows() const { return num_rows_; }
+  double row_height() const { return tech_.row_height_um; }
+  double site_width() const { return tech_.site_width_um; }
+  std::uint32_t sites_per_row() const { return sites_per_row_; }
+  const TechParams& tech() const { return tech_; }
+
+  /// Total placeable core area (rows x width).
+  double core_area() const {
+    return static_cast<double>(num_rows_) * tech_.row_height_um * die_.width();
+  }
+
+  /// Center y of row `r` (rows stacked bottom-up from die lo.y).
+  double row_y(std::uint32_t r) const {
+    return die_.lo.y + (static_cast<double>(r) + 0.5) * tech_.row_height_um;
+  }
+  /// Row index nearest to coordinate y, clamped to valid rows.
+  std::uint32_t nearest_row(double y) const;
+
+ private:
+  TechParams tech_;
+  Rect die_{};
+  std::uint32_t num_rows_ = 0;
+  std::uint32_t sites_per_row_ = 0;
+};
+
+}  // namespace cals

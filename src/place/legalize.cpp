@@ -1,0 +1,147 @@
+#include "place/legalize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <list>
+
+#include "util/check.hpp"
+
+namespace cals {
+namespace {
+
+/// Free space in one row, kept as disjoint sorted intervals [start, end) in
+/// site units. Placing a cell splits an interval.
+struct RowSpace {
+  std::list<std::pair<std::int64_t, std::int64_t>> free;
+
+  explicit RowSpace(std::int64_t sites) { free.push_back({0, sites}); }
+
+  /// Best position for a cell of `w` sites wanting its left edge at `want`
+  /// (site units); returns (found, position).
+  std::pair<bool, std::int64_t> best_fit(std::int64_t w, std::int64_t want) const {
+    bool found = false;
+    std::int64_t best = 0;
+    std::int64_t best_cost = INT64_MAX;
+    for (const auto& [lo, hi] : free) {
+      if (hi - lo < w) continue;
+      const std::int64_t x = std::clamp(want, lo, hi - w);
+      const std::int64_t cost = std::abs(x - want);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = x;
+        found = true;
+      }
+    }
+    return {found, best};
+  }
+
+  /// Total free sites (for spill handling).
+  std::int64_t capacity() const {
+    std::int64_t total = 0;
+    for (const auto& [lo, hi] : free) total += hi - lo;
+    return total;
+  }
+
+  void occupy(std::int64_t x, std::int64_t w) {
+    for (auto it = free.begin(); it != free.end(); ++it) {
+      auto [lo, hi] = *it;
+      if (x >= lo && x + w <= hi) {
+        it = free.erase(it);
+        if (x + w < hi) it = free.insert(it, {x + w, hi});
+        if (lo < x) free.insert(it, {lo, x});
+        return;
+      }
+    }
+    CALS_CHECK_MSG(false, "occupy outside a free segment");
+  }
+};
+
+}  // namespace
+
+LegalizeResult legalize(const PlaceGraph& graph, const Floorplan& floorplan,
+                        Placement& placement) {
+  LegalizeResult result;
+  result.row.assign(graph.num_objects, UINT32_MAX);
+  const Rect die = floorplan.die();
+  const std::uint32_t rows = floorplan.num_rows();
+  const double site = floorplan.site_width();
+  const auto row_sites = static_cast<std::int64_t>(floorplan.sites_per_row());
+  std::vector<RowSpace> space(rows, RowSpace(row_sites));
+
+  // Left-to-right, wider first among equals: keeps displacement low while
+  // the free-segment model guarantees gap reuse for the stragglers.
+  std::vector<std::uint32_t> order;
+  for (std::uint32_t i = 0; i < graph.num_objects; ++i)
+    if (!graph.fixed[i]) order.push_back(i);
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    if (placement.pos[a].x != placement.pos[b].x)
+      return placement.pos[a].x < placement.pos[b].x;
+    if (graph.width[a] != graph.width[b]) return graph.width[a] > graph.width[b];
+    return a < b;
+  });
+
+  for (std::uint32_t obj : order) {
+    const Point want = placement.pos[obj];
+    const auto w = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(std::ceil(graph.width[obj] / site - 1e-9)));
+    const auto want_site = static_cast<std::int64_t>(
+        std::floor((want.x - die.lo.x) / site - static_cast<double>(w) * 0.5 + 0.5));
+    const std::uint32_t center_row = floorplan.nearest_row(want.y);
+
+    // Search rows by increasing |row - center_row|; stop once the row
+    // distance alone exceeds the best cost found so far.
+    double best_cost = 1e300;
+    std::uint32_t best_row = UINT32_MAX;
+    std::int64_t best_x = 0;
+    for (std::uint32_t d = 0; d < rows; ++d) {
+      if (best_row != UINT32_MAX &&
+          static_cast<double>(d) * floorplan.row_height() > best_cost)
+        break;
+      for (int dir = 0; dir < (d == 0 ? 1 : 2); ++dir) {
+        const std::int64_t r64 = dir == 0 ? static_cast<std::int64_t>(center_row) + d
+                                          : static_cast<std::int64_t>(center_row) - d;
+        if (r64 < 0 || r64 >= static_cast<std::int64_t>(rows)) continue;
+        const auto r = static_cast<std::uint32_t>(r64);
+        const auto [found, x] = space[r].best_fit(w, want_site);
+        if (!found) continue;
+        const double cx = die.lo.x + (static_cast<double>(x) + w * 0.5) * site;
+        const double cost = std::abs(cx - want.x) + std::abs(floorplan.row_y(r) - want.y);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_row = r;
+          best_x = x;
+        }
+      }
+    }
+
+    if (best_row == UINT32_MAX) {
+      // Core genuinely has no slot of this width left: spill into the row
+      // with the most free space at its largest segment start.
+      ++result.spills;
+      result.legal = false;
+      std::uint32_t fallback = 0;
+      for (std::uint32_t r = 1; r < rows; ++r)
+        if (space[r].capacity() > space[fallback].capacity()) fallback = r;
+      const auto [found, x] =
+          space[fallback].best_fit(std::min(w, space[fallback].capacity()), 0);
+      best_row = fallback;
+      best_x = found ? x : 0;
+      // Occupy whatever fits; overflow beyond capacity is unavoidable here.
+      const std::int64_t fit = std::min(w, space[fallback].capacity());
+      if (found && fit > 0) space[fallback].occupy(best_x, fit);
+    } else {
+      space[best_row].occupy(best_x, w);
+    }
+
+    const Point legal_pos{die.lo.x + (static_cast<double>(best_x) + w * 0.5) * site,
+                          floorplan.row_y(best_row)};
+    const double disp = manhattan(legal_pos, want);
+    result.total_displacement += disp;
+    result.max_displacement = std::max(result.max_displacement, disp);
+    placement.pos[obj] = legal_pos;
+    result.row[obj] = best_row;
+  }
+  return result;
+}
+
+}  // namespace cals

@@ -1,0 +1,33 @@
+#pragma once
+/// \file legalize.hpp
+/// Tetris-style row legalization: snaps a global placement to legal,
+/// non-overlapping row/site positions.
+
+#include <cstdint>
+#include <vector>
+
+#include "place/layout.hpp"
+#include "place/placement.hpp"
+
+namespace cals {
+
+struct LegalizeResult {
+  /// True if every movable object fit inside the core without overlap.
+  bool legal = true;
+  /// Objects that could not be placed inside their best rows and were
+  /// spilled to the least-full row (still non-overlapping unless the core
+  /// itself is over capacity).
+  std::uint32_t spills = 0;
+  /// Total and maximum displacement from the global positions (um).
+  double total_displacement = 0.0;
+  double max_displacement = 0.0;
+  /// Row index per movable object (UINT32_MAX for fixed objects).
+  std::vector<std::uint32_t> row;
+};
+
+/// Legalizes `placement` in place. Objects keep their PlaceGraph widths;
+/// fixed objects are untouched. Returns placement statistics.
+LegalizeResult legalize(const PlaceGraph& graph, const Floorplan& floorplan,
+                        Placement& placement);
+
+}  // namespace cals

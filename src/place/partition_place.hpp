@@ -1,0 +1,35 @@
+#pragma once
+/// \file partition_place.hpp
+/// Global placement by recursive bisection with Fiduccia–Mattheyses (FM)
+/// min-cut refinement and terminal propagation.
+///
+/// This provides the "initial placement" of the technology-independent
+/// netlist that drives the paper's mapper (Sec. 3), and the global placement
+/// of mapped netlists before routing. Quality target is a realistic
+/// clustered placement, not a production placer: connected logic ends up in
+/// nearby bins, so wirelength in the mapper's cost function is meaningful.
+
+#include <cstdint>
+
+#include "place/layout.hpp"
+#include "place/placement.hpp"
+
+namespace cals {
+
+struct PlaceOptions {
+  /// Stop splitting regions at or below this many movable objects.
+  std::uint32_t min_bin_objects = 3;
+  /// FM passes per bisection.
+  std::uint32_t fm_passes = 3;
+  /// Allowed deviation from a perfect area split (fraction of region area).
+  double balance_tolerance = 0.1;
+  /// Seed for deterministic tie-breaking.
+  std::uint64_t seed = 1;
+};
+
+/// Places all movable objects inside the die; fixed objects keep their
+/// positions. Returns one point per object.
+Placement global_place(const PlaceGraph& graph, const Floorplan& floorplan,
+                       const PlaceOptions& options = {});
+
+}  // namespace cals

@@ -1,0 +1,102 @@
+#include "place/placement.hpp"
+
+#include "netlist/dag.hpp"
+#include "util/check.hpp"
+
+namespace cals {
+
+void PlaceGraph::validate() const {
+  CALS_CHECK(width.size() == num_objects);
+  CALS_CHECK(fixed.size() == num_objects);
+  CALS_CHECK(fixed_pos.size() == num_objects);
+  for (const HyperNet& net : nets) {
+    CALS_CHECK_MSG(net.pins.size() >= 2, "degenerate net");
+    for (std::uint32_t p : net.pins) CALS_CHECK(p < num_objects);
+  }
+}
+
+double Placement::hpwl(const PlaceGraph& graph) const {
+  double total = 0.0;
+  for (const HyperNet& net : graph.nets) {
+    BBox box;
+    for (std::uint32_t p : net.pins) box.add(pos[p]);
+    total += box.half_perimeter();
+  }
+  return total;
+}
+
+std::vector<Point> edge_pad_positions(const Rect& die, std::size_t count, bool west_north) {
+  std::vector<Point> points;
+  points.reserve(count);
+  const std::size_t first_edge = (count + 1) / 2;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (i < first_edge) {
+      const double t = (static_cast<double>(i) + 0.5) / static_cast<double>(first_edge);
+      points.push_back(west_north ? Point{die.lo.x, die.lo.y + t * die.height()}
+                                  : Point{die.hi.x, die.lo.y + t * die.height()});
+    } else {
+      const std::size_t j = i - first_edge;
+      const std::size_t n2 = count - first_edge;
+      const double t = (static_cast<double>(j) + 0.5) / static_cast<double>(n2);
+      points.push_back(west_north ? Point{die.lo.x + t * die.width(), die.hi.y}
+                                  : Point{die.lo.x + t * die.width(), die.lo.y});
+    }
+  }
+  return points;
+}
+
+BasePlaceBinding lower_base_network(const BaseNetwork& net, const Floorplan& floorplan) {
+  CALS_CHECK_MSG(net.fanouts_built(), "call build_fanouts() first");
+  BasePlaceBinding binding;
+  PlaceGraph& graph = binding.graph;
+  binding.node_object.assign(net.num_nodes(), UINT32_MAX);
+
+  const Rect die = floorplan.die();
+  const double site = floorplan.site_width();
+  const auto live = live_mask(net);
+
+  // --- pads ------------------------------------------------------------
+  // PIs along west then north edge; POs along east then south edge. This is
+  // a deterministic stand-in for the floorplan pin assignment the paper
+  // feeds to the tech-independent placement.
+  const auto pi_points = edge_pad_positions(die, net.pis().size(), /*west_north=*/true);
+  for (std::size_t i = 0; i < net.pis().size(); ++i) {
+    const std::uint32_t obj = graph.add_fixed(pi_points[i]);
+    binding.pi_object.push_back(obj);
+    binding.node_object[net.pis()[i].v] = obj;
+  }
+  const auto po_points = edge_pad_positions(die, net.pos().size(), /*west_north=*/false);
+  for (std::size_t i = 0; i < net.pos().size(); ++i)
+    binding.po_object.push_back(graph.add_fixed(po_points[i]));
+
+  // --- movable gates -----------------------------------------------------
+  for (std::uint32_t i = 0; i < net.num_nodes(); ++i) {
+    const NodeId n{i};
+    if (net.is_gate(n) && live[i]) binding.node_object[i] = graph.add_object(site);
+  }
+
+  // --- nets ---------------------------------------------------------------
+  // One hypernet per driver with at least one reader. PO pads are readers.
+  std::vector<std::vector<std::uint32_t>> po_readers(net.num_nodes());
+  for (std::size_t o = 0; o < net.pos().size(); ++o)
+    po_readers[net.pos()[o].driver.v].push_back(binding.po_object[o]);
+
+  for (std::uint32_t i = 0; i < net.num_nodes(); ++i) {
+    const NodeId n{i};
+    const std::uint32_t obj = binding.node_object[i];
+    if (obj == UINT32_MAX) continue;
+    HyperNet hnet;
+    hnet.pins.push_back(obj);
+    for (const NodeId* it = net.fanout_begin(n); it != net.fanout_end(n); ++it) {
+      const std::uint32_t reader = binding.node_object[it->v];
+      if (reader != UINT32_MAX) hnet.pins.push_back(reader);
+    }
+    for (std::uint32_t pad : po_readers[i]) hnet.pins.push_back(pad);
+    if (hnet.pins.size() >= 2) graph.nets.push_back(std::move(hnet));
+  }
+
+  graph.validate();
+  return binding;
+}
+
+}  // namespace cals

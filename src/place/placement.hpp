@@ -1,0 +1,80 @@
+#pragma once
+/// \file placement.hpp
+/// The generic placement problem view (objects + hypernets) and placement
+/// results. Both the technology-independent netlist (for the paper's
+/// "initial placement" that drives mapping) and the mapped netlist (for
+/// routing) are lowered to a PlaceGraph.
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/geom.hpp"
+#include "netlist/base_network.hpp"
+#include "place/layout.hpp"
+
+namespace cals {
+
+/// A hypernet over object indices. pins[0] is the driver by convention
+/// (routing and timing use this; placement does not care).
+struct HyperNet {
+  std::vector<std::uint32_t> pins;
+};
+
+/// Placement problem: movable and fixed objects connected by hypernets.
+struct PlaceGraph {
+  std::uint32_t num_objects = 0;
+  /// Object footprint width in um (height = one row). Pads have width 0.
+  std::vector<double> width;
+  /// Fixed-position mask and coordinates (pads). Movable objects ignore pos.
+  std::vector<bool> fixed;
+  std::vector<Point> fixed_pos;
+  std::vector<HyperNet> nets;
+
+  std::uint32_t add_object(double w) {
+    width.push_back(w);
+    fixed.push_back(false);
+    fixed_pos.push_back({});
+    return num_objects++;
+  }
+  std::uint32_t add_fixed(Point p) {
+    const std::uint32_t id = add_object(0.0);
+    fixed[id] = true;
+    fixed_pos[id] = p;
+    return id;
+  }
+  void validate() const;
+};
+
+/// A placement: one point per object.
+struct Placement {
+  std::vector<Point> pos;
+
+  /// Half-perimeter wirelength over all nets (um).
+  double hpwl(const PlaceGraph& graph) const;
+};
+
+/// Mapping between a BaseNetwork and its PlaceGraph lowering.
+struct BasePlaceBinding {
+  PlaceGraph graph;
+  /// PlaceGraph object index per network node (UINT32_MAX for nodes that are
+  /// not objects: const0).
+  std::vector<std::uint32_t> node_object;
+  /// Object index per PI (pads, fixed) and per PO pad.
+  std::vector<std::uint32_t> pi_object;
+  std::vector<std::uint32_t> po_object;
+};
+
+/// Deterministic pad positions along the die boundary; `west_north` selects
+/// the input (west+north) or output (east+south) edges.
+std::vector<Point> edge_pad_positions(const Rect& die, std::size_t count, bool west_north);
+
+/// Lowers a base network onto a floorplan:
+///  * each live gate becomes a movable 1-site object (the paper: base gates
+///    "essentially have the same size");
+///  * PIs become fixed pads spread along the west+north die edges, POs along
+///    the east+south edges (the paper's "pin assignment" constraint);
+///  * each gate/PI with readers becomes one hypernet (driver first).
+/// Requires net.fanouts_built().
+BasePlaceBinding lower_base_network(const BaseNetwork& net, const Floorplan& floorplan);
+
+}  // namespace cals

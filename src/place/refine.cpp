@@ -1,0 +1,145 @@
+#include "place/refine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace cals {
+namespace {
+
+/// Spatial hash over gcell-sized buckets for candidate lookup.
+class Buckets {
+ public:
+  Buckets(const Floorplan& floorplan, double cell_um)
+      : origin_(floorplan.die().lo), cell_(cell_um) {
+    nx_ = std::max(1, static_cast<int>(std::ceil(floorplan.die().width() / cell_)));
+    ny_ = std::max(1, static_cast<int>(std::ceil(floorplan.die().height() / cell_)));
+    data_.resize(static_cast<std::size_t>(nx_) * ny_);
+  }
+
+  void insert(std::uint32_t obj, Point p) { data_[index(p)].push_back(obj); }
+
+  void move(std::uint32_t obj, Point from, Point to) {
+    if (index(from) == index(to)) return;
+    auto& bucket = data_[index(from)];
+    bucket.erase(std::find(bucket.begin(), bucket.end(), obj));
+    data_[index(to)].push_back(obj);
+  }
+
+  template <typename Fn>
+  void for_each_near(Point p, double radius, Fn&& fn) const {
+    const int x_lo = std::max(0, static_cast<int>((p.x - origin_.x - radius) / cell_));
+    const int x_hi =
+        std::min(nx_ - 1, static_cast<int>((p.x - origin_.x + radius) / cell_));
+    const int y_lo = std::max(0, static_cast<int>((p.y - origin_.y - radius) / cell_));
+    const int y_hi =
+        std::min(ny_ - 1, static_cast<int>((p.y - origin_.y + radius) / cell_));
+    for (int y = y_lo; y <= y_hi; ++y)
+      for (int x = x_lo; x <= x_hi; ++x)
+        for (std::uint32_t obj : data_[static_cast<std::size_t>(y) * nx_ + x])
+          fn(obj);
+  }
+
+ private:
+  std::size_t index(Point p) const {
+    const int x = std::clamp(static_cast<int>((p.x - origin_.x) / cell_), 0, nx_ - 1);
+    const int y = std::clamp(static_cast<int>((p.y - origin_.y) / cell_), 0, ny_ - 1);
+    return static_cast<std::size_t>(y) * nx_ + x;
+  }
+
+  Point origin_;
+  double cell_;
+  int nx_ = 0;
+  int ny_ = 0;
+  std::vector<std::vector<std::uint32_t>> data_;
+};
+
+}  // namespace
+
+RefineStats refine_placement(const PlaceGraph& graph, const Floorplan& floorplan,
+                             Placement& placement, const RefineOptions& options) {
+  graph.validate();
+  RefineStats stats;
+  stats.hpwl_before = placement.hpwl(graph);
+
+  // object -> incident nets (CSR).
+  std::vector<std::uint32_t> offset(graph.num_objects + 1, 0);
+  for (const HyperNet& net : graph.nets)
+    for (std::uint32_t p : net.pins) ++offset[p + 1];
+  for (std::uint32_t i = 0; i < graph.num_objects; ++i) offset[i + 1] += offset[i];
+  std::vector<std::uint32_t> nets_of(offset.back());
+  {
+    std::vector<std::uint32_t> cursor(offset.begin(), offset.end() - 1);
+    for (std::uint32_t n = 0; n < graph.nets.size(); ++n)
+      for (std::uint32_t p : graph.nets[n].pins) nets_of[cursor[p]++] = n;
+  }
+
+  auto nets_hpwl = [&](std::uint32_t obj) {
+    double total = 0.0;
+    for (std::uint32_t ni = offset[obj]; ni < offset[obj + 1]; ++ni) {
+      BBox box;
+      for (std::uint32_t p : graph.nets[nets_of[ni]].pins) box.add(placement.pos[p]);
+      total += box.half_perimeter();
+    }
+    return total;
+  };
+  // HPWL of the union of both objects' nets, counting shared nets once.
+  auto pair_hpwl = [&](std::uint32_t a, std::uint32_t b) {
+    double total = nets_hpwl(a);
+    for (std::uint32_t ni = offset[b]; ni < offset[b + 1]; ++ni) {
+      const std::uint32_t net = nets_of[ni];
+      bool shared = false;
+      for (std::uint32_t ai = offset[a]; ai < offset[a + 1] && !shared; ++ai)
+        shared = nets_of[ai] == net;
+      if (shared) continue;
+      BBox box;
+      for (std::uint32_t p : graph.nets[net].pins) box.add(placement.pos[p]);
+      total += box.half_perimeter();
+    }
+    return total;
+  };
+
+  Buckets buckets(floorplan, std::max(options.radius_um, floorplan.row_height()));
+  for (std::uint32_t i = 0; i < graph.num_objects; ++i)
+    if (!graph.fixed[i]) buckets.insert(i, placement.pos[i]);
+
+  for (std::uint32_t pass = 0; pass < options.passes; ++pass) {
+    std::uint32_t pass_swaps = 0;
+    for (std::uint32_t a = 0; a < graph.num_objects; ++a) {
+      if (graph.fixed[a]) continue;
+      // Gather same-width candidates within the radius.
+      std::uint32_t tried = 0;
+      std::uint32_t best_b = UINT32_MAX;
+      double best_gain = 1e-9;
+      buckets.for_each_near(placement.pos[a], options.radius_um, [&](std::uint32_t b) {
+        if (b == a || tried >= options.max_candidates) return;
+        if (graph.width[b] != graph.width[a]) return;
+        if (manhattan(placement.pos[a], placement.pos[b]) > options.radius_um) return;
+        ++tried;
+        const double before = pair_hpwl(a, b);
+        std::swap(placement.pos[a], placement.pos[b]);
+        const double after = pair_hpwl(a, b);
+        std::swap(placement.pos[a], placement.pos[b]);
+        const double gain = before - after;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_b = b;
+        }
+      });
+      if (best_b != UINT32_MAX) {
+        buckets.move(a, placement.pos[a], placement.pos[best_b]);
+        buckets.move(best_b, placement.pos[best_b], placement.pos[a]);
+        std::swap(placement.pos[a], placement.pos[best_b]);
+        ++pass_swaps;
+      }
+    }
+    stats.swaps += pass_swaps;
+    if (pass_swaps == 0) break;
+  }
+
+  stats.hpwl_after = placement.hpwl(graph);
+  return stats;
+}
+
+}  // namespace cals

@@ -1,0 +1,36 @@
+#pragma once
+/// \file refine.hpp
+/// Detailed-placement refinement: greedy equal-width cell swapping on a
+/// legalized placement. Swapping two same-width cells exchanges their legal
+/// slots, so legality is preserved by construction while HPWL strictly
+/// decreases. Opt-in (FlowOptions::refine_passes); the paper's experiments
+/// run without it — it exists to quantify how much routed wirelength is
+/// left on the table by the one-shot legalization.
+
+#include <cstdint>
+
+#include "place/layout.hpp"
+#include "place/placement.hpp"
+
+namespace cals {
+
+struct RefineOptions {
+  std::uint32_t passes = 2;
+  /// Candidate search radius (um) around each cell.
+  double radius_um = 16.0;
+  /// Cap on candidates examined per cell per pass.
+  std::uint32_t max_candidates = 12;
+};
+
+struct RefineStats {
+  std::uint32_t swaps = 0;
+  double hpwl_before = 0.0;
+  double hpwl_after = 0.0;
+};
+
+/// Refines `placement` in place. Only movable objects participate; widths
+/// must already be legal (post-legalize).
+RefineStats refine_placement(const PlaceGraph& graph, const Floorplan& floorplan,
+                             Placement& placement, const RefineOptions& options = {});
+
+}  // namespace cals

@@ -1,0 +1,78 @@
+#include "route/congestion.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace cals {
+
+CongestionMap::CongestionMap(const RoutingGrid& grid) : nx_(grid.nx()), ny_(grid.ny()) {
+  cells_.assign(static_cast<std::size_t>(nx_) * ny_, 0.0);
+  auto bump = [&](std::int32_t x, std::int32_t y, double util) {
+    double& cell = cells_[static_cast<std::size_t>(y) * nx_ + x];
+    cell = std::max(cell, util);
+  };
+
+  double util_sum = 0.0;
+  std::size_t edges = 0;
+  std::size_t hot = 0;
+  for (std::int32_t y = 0; y < ny_; ++y) {
+    for (std::int32_t x = 0; x + 1 < nx_; ++x) {
+      const double util = grid.h_usage(x, y) / grid.h_capacity();
+      bump(x, y, util);
+      bump(x + 1, y, util);
+      util_sum += util;
+      ++edges;
+      if (util > 0.9) ++hot;
+    }
+  }
+  for (std::int32_t y = 0; y + 1 < ny_; ++y) {
+    for (std::int32_t x = 0; x < nx_; ++x) {
+      const double util = grid.v_usage(x, y) / grid.v_capacity();
+      bump(x, y, util);
+      bump(x, y + 1, util);
+      util_sum += util;
+      ++edges;
+      if (util > 0.9) ++hot;
+    }
+  }
+
+  stats_.total_overflow = grid.total_overflow();
+  stats_.overflowed_edges = grid.overflowed_edges();
+  stats_.max_utilization = grid.max_utilization();
+  stats_.avg_utilization = edges > 0 ? util_sum / static_cast<double>(edges) : 0.0;
+  stats_.hotspot_fraction = edges > 0 ? static_cast<double>(hot) / edges : 0.0;
+}
+
+std::string CongestionMap::to_pgm() const {
+  std::string out = strprintf("P2\n%d %d\n255\n", nx_, ny_);
+  for (std::int32_t y = ny_ - 1; y >= 0; --y) {  // top row first
+    for (std::int32_t x = 0; x < nx_; ++x) {
+      const int v = std::min(255, static_cast<int>(at(x, y) * 255.0));
+      out += strprintf("%d ", v);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string CongestionMap::ascii_art() const {
+  static const char* kRamp = ".:-=+*%#";
+  std::string out;
+  out.reserve(static_cast<std::size_t>((nx_ + 1) * ny_));
+  for (std::int32_t y = ny_ - 1; y >= 0; --y) {  // top row first
+    for (std::int32_t x = 0; x < nx_; ++x) {
+      const double u = at(x, y);
+      if (u > 1.0) {
+        out += 'X';
+      } else {
+        const int idx = std::min(7, static_cast<int>(u * 8.0));
+        out += kRamp[idx];
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace cals

@@ -1,0 +1,81 @@
+#include "route/rgrid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace cals {
+
+RoutingGrid::RoutingGrid(const Floorplan& floorplan, const RGridOptions& options) {
+  die_ = floorplan.die();
+  gcell_um_ = options.gcell_um;
+  CALS_CHECK(gcell_um_ > 0.0);
+  nx_ = std::max<std::int32_t>(2, static_cast<std::int32_t>(std::ceil(die_.width() / gcell_um_)));
+  ny_ = std::max<std::int32_t>(2, static_cast<std::int32_t>(std::ceil(die_.height() / gcell_um_)));
+
+  const TechParams& tech = floorplan.tech();
+  const double tracks_per_layer = gcell_um_ / tech.routing_pitch_um;
+  // Layer assignment: with L layers, alternate directions starting at M2
+  // vertical; M1 contributes a fraction of one horizontal layer.
+  const int upper_layers = std::max(0, tech.metal_layers - 1);
+  const double v_layers = std::ceil(upper_layers / 2.0);   // M2, M4, ...
+  const double h_layers = std::floor(upper_layers / 2.0);  // M3, M5, ...
+  h_capacity_ =
+      options.capacity_scale * tracks_per_layer * (h_layers + options.m1_fraction);
+  v_capacity_ = options.capacity_scale * tracks_per_layer * v_layers;
+  CALS_CHECK_MSG(h_capacity_ > 0.0 && v_capacity_ > 0.0,
+                 "routing grid needs at least 2 metal layers");
+
+  h_usage_.assign(num_h_edges(), 0.0);
+  v_usage_.assign(num_v_edges(), 0.0);
+  h_history_.assign(num_h_edges(), 0.0);
+  v_history_.assign(num_v_edges(), 0.0);
+}
+
+GCell RoutingGrid::cell_at(Point p) const {
+  auto clamp = [](std::int32_t v, std::int32_t hi) {
+    return std::max<std::int32_t>(0, std::min(v, hi - 1));
+  };
+  const auto gx = static_cast<std::int32_t>((p.x - die_.lo.x) / gcell_um_);
+  const auto gy = static_cast<std::int32_t>((p.y - die_.lo.y) / gcell_um_);
+  return {clamp(gx, nx_), clamp(gy, ny_)};
+}
+
+Point RoutingGrid::cell_center(GCell c) const {
+  return {die_.lo.x + (c.x + 0.5) * gcell_um_, die_.lo.y + (c.y + 0.5) * gcell_um_};
+}
+
+void RoutingGrid::clear_usage() {
+  std::fill(h_usage_.begin(), h_usage_.end(), 0.0);
+  std::fill(v_usage_.begin(), v_usage_.end(), 0.0);
+}
+
+std::uint64_t RoutingGrid::total_overflow() const {
+  std::uint64_t overflow = 0;
+  for (double u : h_usage_)
+    if (u > h_capacity_)
+      overflow += static_cast<std::uint64_t>(std::ceil(u - h_capacity_));
+  for (double u : v_usage_)
+    if (u > v_capacity_)
+      overflow += static_cast<std::uint64_t>(std::ceil(u - v_capacity_));
+  return overflow;
+}
+
+std::uint32_t RoutingGrid::overflowed_edges() const {
+  std::uint32_t n = 0;
+  for (double u : h_usage_)
+    if (u > h_capacity_) ++n;
+  for (double u : v_usage_)
+    if (u > v_capacity_) ++n;
+  return n;
+}
+
+double RoutingGrid::max_utilization() const {
+  double peak = 0.0;
+  for (double u : h_usage_) peak = std::max(peak, u / h_capacity_);
+  for (double u : v_usage_) peak = std::max(peak, u / v_capacity_);
+  return peak;
+}
+
+}  // namespace cals

@@ -1,0 +1,107 @@
+#pragma once
+/// \file rgrid.hpp
+/// The capacitated global-routing grid (GCells).
+///
+/// The die is tiled into gcells; routing demand is expressed as usage of the
+/// boundary edges between adjacent gcells. Capacity models the paper's
+/// constraint of three metal layers: one vertical layer (M2), one horizontal
+/// layer (M3), plus a fraction of M1 for horizontal jogs.
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/geom.hpp"
+#include "place/layout.hpp"
+
+namespace cals {
+
+/// Integer gcell coordinate.
+struct GCell {
+  std::int32_t x = 0;
+  std::int32_t y = 0;
+  friend bool operator==(GCell, GCell) = default;
+};
+
+struct RGridOptions {
+  /// Edge length of a square gcell in um; default one row height.
+  double gcell_um = 6.4;
+  /// Fraction of M1 tracks available to global routing (rest is used by
+  /// cell-internal wiring and pin access).
+  double m1_fraction = 0.35;
+  /// Supply calibration: effective tracks relative to the nominal
+  /// pitch-derived count. Calibrated once (DESIGN.md §4, EXPERIMENTS.md) so
+  /// that our global router's closure point corresponds to Silicon
+  /// Ensemble's detailed-route signoff on the paper's floorplans; it folds
+  /// in detailed-router track efficiency and the wider effective window a
+  /// signoff router has compared to a coarse 6.4um gcell model.
+  double capacity_scale = 3.45;
+};
+
+class RoutingGrid {
+ public:
+  RoutingGrid(const Floorplan& floorplan, const RGridOptions& options = {});
+
+  std::int32_t nx() const { return nx_; }
+  std::int32_t ny() const { return ny_; }
+  double gcell_um() const { return gcell_um_; }
+
+  /// Maps a point (um) to its gcell (clamped to the grid).
+  GCell cell_at(Point p) const;
+  /// Center of a gcell (um).
+  Point cell_center(GCell c) const;
+
+  // Edge indexing: horizontal edges connect (x,y)-(x+1,y), vertical edges
+  // connect (x,y)-(x,y+1).
+  std::size_t num_h_edges() const { return static_cast<std::size_t>(nx_ - 1) * ny_; }
+  std::size_t num_v_edges() const { return static_cast<std::size_t>(nx_) * (ny_ - 1); }
+  std::size_t h_edge(std::int32_t x, std::int32_t y) const {
+    return static_cast<std::size_t>(y) * (nx_ - 1) + x;
+  }
+  std::size_t v_edge(std::int32_t x, std::int32_t y) const {
+    return static_cast<std::size_t>(y) * nx_ + x;
+  }
+
+  double h_capacity() const { return h_capacity_; }
+  double v_capacity() const { return v_capacity_; }
+
+  // Usage accounting (demand in tracks).
+  void add_h_usage(std::int32_t x, std::int32_t y, double amount) {
+    h_usage_[h_edge(x, y)] += amount;
+  }
+  void add_v_usage(std::int32_t x, std::int32_t y, double amount) {
+    v_usage_[v_edge(x, y)] += amount;
+  }
+  double h_usage(std::int32_t x, std::int32_t y) const { return h_usage_[h_edge(x, y)]; }
+  double v_usage(std::int32_t x, std::int32_t y) const { return v_usage_[v_edge(x, y)]; }
+
+  const std::vector<double>& h_usage_raw() const { return h_usage_; }
+  const std::vector<double>& v_usage_raw() const { return v_usage_; }
+  std::vector<double>& h_history() { return h_history_; }
+  std::vector<double>& v_history() { return v_history_; }
+  const std::vector<double>& h_history() const { return h_history_; }
+  const std::vector<double>& v_history() const { return v_history_; }
+
+  void clear_usage();
+
+  /// Total overflow: sum over edges of max(0, ceil(usage) - capacity).
+  /// This is the library's "number of routing violations" figure.
+  std::uint64_t total_overflow() const;
+  /// Number of edges over capacity.
+  std::uint32_t overflowed_edges() const;
+  /// Peak edge utilization (usage / capacity).
+  double max_utilization() const;
+
+ private:
+  std::int32_t nx_ = 0;
+  std::int32_t ny_ = 0;
+  double gcell_um_ = 0.0;
+  Rect die_{};
+  double h_capacity_ = 0.0;
+  double v_capacity_ = 0.0;
+  std::vector<double> h_usage_;
+  std::vector<double> v_usage_;
+  std::vector<double> h_history_;
+  std::vector<double> v_history_;
+};
+
+}  // namespace cals

@@ -1,0 +1,263 @@
+#include "route/router.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace cals {
+namespace {
+
+/// Shared edge-cost model for pattern and maze routing.
+class EdgeCost {
+ public:
+  EdgeCost(const RoutingGrid& grid, double present_penalty)
+      : grid_(grid), penalty_(present_penalty) {}
+
+  double h_cost(std::int32_t x, std::int32_t y) const {
+    const std::size_t e = grid_.h_edge(x, y);
+    return cost(grid_.h_usage_raw()[e], grid_.h_capacity(), grid_.h_history()[e]);
+  }
+  double v_cost(std::int32_t x, std::int32_t y) const {
+    const std::size_t e = grid_.v_edge(x, y);
+    return cost(grid_.v_usage_raw()[e], grid_.v_capacity(), grid_.v_history()[e]);
+  }
+
+ private:
+  double cost(double usage, double capacity, double history) const {
+    // Base wire cost 1; congestion terms follow PathFinder: a present
+    // penalty for edges at/over capacity plus an accumulated history cost.
+    double c = 1.0 + history;
+    if (usage + 1.0 > capacity) c += penalty_ * (usage + 1.0 - capacity);
+    return c;
+  }
+
+  const RoutingGrid& grid_;
+  double penalty_;
+};
+
+/// Walks a path and adds `amount` usage to every edge on it.
+void commit_path(RoutingGrid& grid, const std::vector<GCell>& path, double amount) {
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const GCell a = path[i];
+    const GCell b = path[i + 1];
+    if (a.y == b.y) {
+      grid.add_h_usage(std::min(a.x, b.x), a.y, amount);
+    } else {
+      CALS_CHECK(a.x == b.x);
+      grid.add_v_usage(a.x, std::min(a.y, b.y), amount);
+    }
+  }
+}
+
+/// Straight-line walk helper: appends cells strictly after `from` towards
+/// `to` along one axis.
+void walk(std::vector<GCell>& path, GCell from, GCell to) {
+  const std::int32_t dx = (to.x > from.x) ? 1 : (to.x < from.x ? -1 : 0);
+  const std::int32_t dy = (to.y > from.y) ? 1 : (to.y < from.y ? -1 : 0);
+  CALS_CHECK(dx == 0 || dy == 0);
+  GCell cur = from;
+  while (!(cur == to)) {
+    cur.x += dx;
+    cur.y += dy;
+    path.push_back(cur);
+  }
+}
+
+double path_cost(const EdgeCost& cost, const std::vector<GCell>& path) {
+  double total = 0.0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const GCell a = path[i];
+    const GCell b = path[i + 1];
+    total += (a.y == b.y) ? cost.h_cost(std::min(a.x, b.x), a.y)
+                          : cost.v_cost(a.x, std::min(a.y, b.y));
+  }
+  return total;
+}
+
+/// L-shape pattern route: the cheaper of the two single-bend paths.
+std::vector<GCell> l_route(const EdgeCost& cost, GCell a, GCell b) {
+  std::vector<GCell> p1{a};  // horizontal first
+  walk(p1, a, {b.x, a.y});
+  walk(p1, {b.x, a.y}, b);
+  if (a.x == b.x || a.y == b.y) return p1;
+  std::vector<GCell> p2{a};  // vertical first
+  walk(p2, a, {a.x, b.y});
+  walk(p2, {a.x, b.y}, b);
+  return path_cost(cost, p1) <= path_cost(cost, p2) ? p1 : p2;
+}
+
+/// Bounded-box Dijkstra maze route.
+class MazeRouter {
+ public:
+  explicit MazeRouter(const RoutingGrid& grid) : grid_(grid) {
+    const std::size_t n = static_cast<std::size_t>(grid.nx()) * grid.ny();
+    dist_.assign(n, 0.0);
+    stamp_.assign(n, 0);
+    from_.assign(n, -1);
+  }
+
+  std::vector<GCell> route(const EdgeCost& cost, GCell src, GCell dst,
+                           std::int32_t margin) {
+    ++generation_;
+    const std::int32_t x_lo = std::max(0, std::min(src.x, dst.x) - margin);
+    const std::int32_t x_hi = std::min(grid_.nx() - 1, std::max(src.x, dst.x) + margin);
+    const std::int32_t y_lo = std::max(0, std::min(src.y, dst.y) - margin);
+    const std::int32_t y_hi = std::min(grid_.ny() - 1, std::max(src.y, dst.y) + margin);
+
+    using Entry = std::pair<double, std::int32_t>;  // (dist, cell index)
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    const std::int32_t start = index(src);
+    dist_[start] = 0.0;
+    stamp_[start] = generation_;
+    from_[start] = -1;
+    heap.push({0.0, start});
+
+    const std::int32_t target = index(dst);
+    while (!heap.empty()) {
+      const auto [d, u] = heap.top();
+      heap.pop();
+      if (stamp_[u] == generation_ && d > dist_[u]) continue;
+      if (u == target) break;
+      const std::int32_t ux = u % grid_.nx();
+      const std::int32_t uy = u / grid_.nx();
+
+      auto relax = [&](std::int32_t vx, std::int32_t vy, double w) {
+        const std::int32_t v = vy * grid_.nx() + vx;
+        const double nd = d + w;
+        if (stamp_[v] != generation_ || nd < dist_[v]) {
+          stamp_[v] = generation_;
+          dist_[v] = nd;
+          from_[v] = u;
+          heap.push({nd, v});
+        }
+      };
+      if (ux > x_lo) relax(ux - 1, uy, cost.h_cost(ux - 1, uy));
+      if (ux < x_hi) relax(ux + 1, uy, cost.h_cost(ux, uy));
+      if (uy > y_lo) relax(ux, uy - 1, cost.v_cost(ux, uy - 1));
+      if (uy < y_hi) relax(ux, uy + 1, cost.v_cost(ux, uy));
+    }
+
+    CALS_CHECK_MSG(stamp_[target] == generation_, "maze route failed inside bbox");
+    std::vector<GCell> path;
+    for (std::int32_t u = target; u != -1; u = from_[u])
+      path.push_back({u % grid_.nx(), u / grid_.nx()});
+    std::reverse(path.begin(), path.end());
+    return path;
+  }
+
+ private:
+  std::int32_t index(GCell c) const { return c.y * grid_.nx() + c.x; }
+
+  const RoutingGrid& grid_;
+  std::vector<double> dist_;
+  std::vector<std::uint32_t> stamp_;
+  std::vector<std::int32_t> from_;
+  std::uint32_t generation_ = 0;
+};
+
+bool path_overflows(const RoutingGrid& grid, const std::vector<GCell>& path) {
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const GCell a = path[i];
+    const GCell b = path[i + 1];
+    if (a.y == b.y) {
+      if (grid.h_usage(std::min(a.x, b.x), a.y) > grid.h_capacity()) return true;
+    } else {
+      if (grid.v_usage(a.x, std::min(a.y, b.y)) > grid.v_capacity()) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+RouteResult route(RoutingGrid& grid, const PlaceGraph& graph, const Placement& placement,
+                  const RouteOptions& options) {
+  RouteResult result;
+  result.nets.resize(graph.nets.size());
+  grid.clear_usage();
+  std::fill(grid.h_history().begin(), grid.h_history().end(), 0.0);
+  std::fill(grid.v_history().begin(), grid.v_history().end(), 0.0);
+
+  // ---- net topology -----------------------------------------------------
+  std::vector<std::vector<Segment>> topology(graph.nets.size());
+  for (std::size_t n = 0; n < graph.nets.size(); ++n) {
+    std::vector<GCell> pins;
+    pins.reserve(graph.nets[n].pins.size());
+    for (std::uint32_t p : graph.nets[n].pins) pins.push_back(grid.cell_at(placement.pos[p]));
+    topology[n] = mst_segments(pins);
+  }
+
+  // ---- initial pattern pass ----------------------------------------------
+  {
+    EdgeCost cost(grid, options.present_penalty);
+    for (std::size_t n = 0; n < graph.nets.size(); ++n) {
+      RoutedNet& routed = result.nets[n];
+      routed.paths.reserve(topology[n].size());
+      for (const Segment& seg : topology[n]) {
+        auto path = l_route(cost, seg.a, seg.b);
+        commit_path(grid, path, 1.0);
+        routed.length += path.size() - 1;
+        routed.paths.push_back(std::move(path));
+      }
+    }
+  }
+
+  // ---- negotiated rip-up and reroute --------------------------------------
+  MazeRouter maze(grid);
+  std::uint64_t best_overflow = UINT64_MAX;
+  std::uint32_t stale_iters = 0;
+  for (std::uint32_t iter = 0; iter < options.max_rrr_iterations; ++iter) {
+    const std::uint64_t overflow = grid.total_overflow();
+    if (overflow == 0) break;
+    // Hopeless-case cutoff: when demand exceeds capacity on average, extra
+    // iterations only shuffle the overflow around; stop once progress
+    // stalls so structurally-unroutable table rows stay cheap. Near-feasible
+    // designs (the interesting region) get the full iteration budget.
+    const bool hopeless =
+        overflow > (grid.num_h_edges() + grid.num_v_edges()) / 2;
+    if (overflow < best_overflow - best_overflow / 100) {
+      best_overflow = overflow;
+      stale_iters = 0;
+    } else if (++stale_iters >= (hopeless ? 2u : 6u)) {
+      break;
+    }
+    result.rrr_iterations = iter + 1;
+
+    // Accumulate history on overflowed edges.
+    for (std::size_t e = 0; e < grid.num_h_edges(); ++e)
+      if (grid.h_usage_raw()[e] > grid.h_capacity())
+        grid.h_history()[e] += options.history_increment;
+    for (std::size_t e = 0; e < grid.num_v_edges(); ++e)
+      if (grid.v_usage_raw()[e] > grid.v_capacity())
+        grid.v_history()[e] += options.history_increment;
+
+    const EdgeCost cost(grid, options.present_penalty * (1.0 + iter));
+    const std::int32_t margin = options.bbox_margin + static_cast<std::int32_t>(2 * iter);
+
+    for (std::size_t n = 0; n < graph.nets.size(); ++n) {
+      RoutedNet& routed = result.nets[n];
+      for (std::size_t s = 0; s < routed.paths.size(); ++s) {
+        if (!path_overflows(grid, routed.paths[s])) continue;
+        commit_path(grid, routed.paths[s], -1.0);
+        auto path = maze.route(cost, topology[n][s].a, topology[n][s].b, margin);
+        commit_path(grid, path, 1.0);
+        const auto delta = static_cast<std::int64_t>(path.size()) -
+                           static_cast<std::int64_t>(routed.paths[s].size());
+        routed.length = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(routed.length) + delta);
+        routed.paths[s] = std::move(path);
+      }
+    }
+  }
+
+  result.total_overflow = grid.total_overflow();
+  result.overflowed_edges = grid.overflowed_edges();
+  for (const RoutedNet& routed : result.nets) result.wirelength_gcells += routed.length;
+  result.gcell_um = grid.gcell_um();
+  result.wirelength_um = static_cast<double>(result.wirelength_gcells) * grid.gcell_um();
+  return result;
+}
+
+}  // namespace cals

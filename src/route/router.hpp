@@ -1,0 +1,55 @@
+#pragma once
+/// \file router.hpp
+/// Congestion-driven global router: L-shape pattern routing for the initial
+/// solution, then negotiated rip-up-and-reroute (PathFinder-style history
+/// costs) with bounded-box maze routing for overflowed nets.
+///
+/// This is the library's stand-in for the detailed place&route signoff the
+/// paper runs with Silicon Ensemble: its total edge overflow after
+/// convergence is the "number of routing violations" reported in the tables.
+
+#include <cstdint>
+#include <vector>
+
+#include "place/placement.hpp"
+#include "route/rgrid.hpp"
+#include "route/steiner.hpp"
+
+namespace cals {
+
+struct RouteOptions {
+  /// Rip-up-and-reroute iterations after the initial pattern pass.
+  std::uint32_t max_rrr_iterations = 12;
+  /// Present-congestion penalty multiplier (grows linearly per iteration).
+  double present_penalty = 1.5;
+  /// History cost added per overflowed track per iteration.
+  double history_increment = 0.6;
+  /// Maze-search bounding-box margin in gcells (grows per iteration).
+  std::int32_t bbox_margin = 8;
+};
+
+struct RoutedNet {
+  /// One routed path per MST segment, as a gcell walk (a..b inclusive).
+  std::vector<std::vector<GCell>> paths;
+  /// Routed length in gcell edges.
+  std::uint64_t length = 0;
+};
+
+struct RouteResult {
+  std::vector<RoutedNet> nets;  ///< parallel to graph.nets
+  std::uint64_t total_overflow = 0;
+  std::uint32_t overflowed_edges = 0;
+  std::uint64_t wirelength_gcells = 0;
+  double wirelength_um = 0.0;
+  double gcell_um = 0.0;  ///< gcell edge length, for per-net um conversions
+  std::uint32_t rrr_iterations = 0;
+  bool routable() const { return total_overflow == 0; }
+};
+
+/// Routes every hypernet of `graph` at `placement` onto `grid`.
+/// The grid's usage is left at the final solution so congestion maps can be
+/// derived from it afterwards.
+RouteResult route(RoutingGrid& grid, const PlaceGraph& graph, const Placement& placement,
+                  const RouteOptions& options = {});
+
+}  // namespace cals

@@ -1,0 +1,72 @@
+#include "route/steiner.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace cals {
+namespace {
+
+std::int64_t dist(GCell a, GCell b) {
+  return std::abs(static_cast<std::int64_t>(a.x) - b.x) +
+         std::abs(static_cast<std::int64_t>(a.y) - b.y);
+}
+
+std::vector<GCell> unique_pins(std::vector<GCell> pins) {
+  std::sort(pins.begin(), pins.end(), [](GCell a, GCell b) {
+    return a.x != b.x ? a.x < b.x : a.y < b.y;
+  });
+  pins.erase(std::unique(pins.begin(), pins.end()), pins.end());
+  return pins;
+}
+
+}  // namespace
+
+std::vector<Segment> mst_segments(const std::vector<GCell>& pins_in) {
+  const std::vector<GCell> pins = unique_pins(pins_in);
+  std::vector<Segment> segments;
+  if (pins.size() < 2) return segments;
+  const std::size_t n = pins.size();
+
+  // Prim with O(n^2) scans; nets are small and this is branch-predictable.
+  std::vector<bool> in_tree(n, false);
+  std::vector<std::int64_t> best(n, INT64_MAX);
+  std::vector<std::uint32_t> parent(n, 0);
+  in_tree[0] = true;
+  for (std::size_t i = 1; i < n; ++i) {
+    best[i] = dist(pins[0], pins[i]);
+    parent[i] = 0;
+  }
+  segments.reserve(n - 1);
+  for (std::size_t added = 1; added < n; ++added) {
+    std::size_t pick = SIZE_MAX;
+    std::int64_t pick_d = INT64_MAX;
+    for (std::size_t i = 0; i < n; ++i)
+      if (!in_tree[i] && best[i] < pick_d) {
+        pick_d = best[i];
+        pick = i;
+      }
+    CALS_CHECK(pick != SIZE_MAX);
+    in_tree[pick] = true;
+    segments.push_back({pins[parent[pick]], pins[pick]});
+    for (std::size_t i = 0; i < n; ++i) {
+      if (in_tree[i]) continue;
+      const std::int64_t d = dist(pins[pick], pins[i]);
+      if (d < best[i]) {
+        best[i] = d;
+        parent[i] = static_cast<std::uint32_t>(pick);
+      }
+    }
+  }
+  return segments;
+}
+
+std::uint64_t mst_length(const std::vector<GCell>& pins) {
+  std::uint64_t total = 0;
+  for (const Segment& s : mst_segments(pins))
+    total += static_cast<std::uint64_t>(dist(s.a, s.b));
+  return total;
+}
+
+}  // namespace cals

@@ -1,0 +1,27 @@
+#pragma once
+/// \file steiner.hpp
+/// Net topology generation: decomposes a multi-pin net into two-pin segments
+/// along a rectilinear minimum spanning tree (Prim). A simple, deterministic
+/// stand-in for a Steiner tree constructor; for global-routing congestion
+/// purposes the MST topology is within a few percent of RSMT.
+
+#include <cstdint>
+#include <vector>
+
+#include "route/rgrid.hpp"
+
+namespace cals {
+
+struct Segment {
+  GCell a;
+  GCell b;
+};
+
+/// Builds MST segments over the pin gcells (duplicates collapsed).
+/// Single-gcell nets return no segments.
+std::vector<Segment> mst_segments(const std::vector<GCell>& pins);
+
+/// Total rectilinear length of the MST in gcell units.
+std::uint64_t mst_length(const std::vector<GCell>& pins);
+
+}  // namespace cals

@@ -1,0 +1,90 @@
+#include "sop/cube.hpp"
+
+#include "util/check.hpp"
+
+namespace cals {
+
+Cube Cube::parse(const std::string& text) {
+  Cube cube(static_cast<std::uint32_t>(text.size()));
+  for (std::uint32_t i = 0; i < cube.size(); ++i) {
+    switch (text[i]) {
+      case '0': cube.lits_[i] = Lit::kZero; break;
+      case '1': cube.lits_[i] = Lit::kOne; break;
+      case '-':
+      case '~':
+      case '2': cube.lits_[i] = Lit::kDash; break;
+      default: CALS_CHECK_MSG(false, "cube: bad literal character");
+    }
+  }
+  return cube;
+}
+
+std::uint32_t Cube::num_literals() const {
+  std::uint32_t n = 0;
+  for (Lit lit : lits_)
+    if (lit != Lit::kDash) ++n;
+  return n;
+}
+
+bool Cube::contains(const Cube& other) const {
+  CALS_CHECK(size() == other.size());
+  for (std::uint32_t i = 0; i < size(); ++i) {
+    if (lits_[i] == Lit::kDash) continue;
+    if (other.lits_[i] != lits_[i]) return false;
+  }
+  return true;
+}
+
+std::uint32_t Cube::distance(const Cube& other) const {
+  CALS_CHECK(size() == other.size());
+  std::uint32_t d = 0;
+  for (std::uint32_t i = 0; i < size(); ++i)
+    if (lits_[i] != other.lits_[i]) ++d;
+  return d;
+}
+
+bool Cube::mergeable(const Cube& other) const {
+  CALS_CHECK(size() == other.size());
+  std::uint32_t conflicts = 0;
+  for (std::uint32_t i = 0; i < size(); ++i) {
+    if (lits_[i] == other.lits_[i]) continue;
+    // A dash mismatch means different supports; merging would expand the
+    // on-set beyond the union, so only 0-vs-1 at a single position merges.
+    if (lits_[i] == Lit::kDash || other.lits_[i] == Lit::kDash) return false;
+    if (++conflicts > 1) return false;
+  }
+  return conflicts == 1;
+}
+
+Cube Cube::merged(const Cube& other) const {
+  CALS_CHECK(mergeable(other));
+  Cube out = *this;
+  for (std::uint32_t i = 0; i < size(); ++i)
+    if (lits_[i] != other.lits_[i]) out.lits_[i] = Lit::kDash;
+  return out;
+}
+
+bool Cube::eval(std::uint64_t minterm) const {
+  CALS_CHECK(size() <= 64);
+  for (std::uint32_t i = 0; i < size(); ++i) {
+    const bool bit = ((minterm >> i) & 1ULL) != 0;
+    if (lits_[i] == Lit::kOne && !bit) return false;
+    if (lits_[i] == Lit::kZero && bit) return false;
+  }
+  return true;
+}
+
+std::string Cube::str() const {
+  std::string out;
+  out.reserve(size());
+  for (Lit lit : lits_) {
+    switch (lit) {
+      case Lit::kZero: out += '0'; break;
+      case Lit::kOne: out += '1'; break;
+      case Lit::kDash: out += '-'; break;
+    }
+  }
+  return out;
+}
+
+}  // namespace cals

@@ -1,0 +1,60 @@
+#pragma once
+/// \file cube.hpp
+/// Cubes (product terms) over a fixed input space, the unit of two-level
+/// logic. Each input position holds one of {0, 1, -}.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cals {
+
+enum class Lit : std::uint8_t {
+  kZero = 0,  ///< complemented literal (input must be 0)
+  kOne = 1,   ///< positive literal (input must be 1)
+  kDash = 2,  ///< input not in the product
+};
+
+/// A product term over `size()` inputs.
+class Cube {
+ public:
+  Cube() = default;
+  /// All-dash cube (the universal cube / constant 1 product).
+  explicit Cube(std::uint32_t num_inputs) : lits_(num_inputs, Lit::kDash) {}
+  /// Parses an espresso-style string over {0,1,-} (also accepts '~' and '2'
+  /// as dash, which some IWLS dumps use).
+  static Cube parse(const std::string& text);
+
+  std::uint32_t size() const { return static_cast<std::uint32_t>(lits_.size()); }
+  Lit at(std::uint32_t i) const { return lits_[i]; }
+  void set(std::uint32_t i, Lit lit) { lits_[i] = lit; }
+
+  /// Number of non-dash positions.
+  std::uint32_t num_literals() const;
+
+  /// True if this cube's on-set is a superset of `other`'s (this covers it).
+  bool contains(const Cube& other) const;
+
+  /// Number of positions where the cubes conflict (0/1 vs 1/0) or differ in
+  /// dash-ness. Distance 1 with a single 0/1 conflict allows merging.
+  std::uint32_t distance(const Cube& other) const;
+
+  /// True if the cubes differ in exactly one position, where one has 0 and
+  /// the other 1 (then they merge into one cube with a dash there).
+  bool mergeable(const Cube& other) const;
+  /// The merged cube; requires mergeable(other).
+  Cube merged(const Cube& other) const;
+
+  /// Evaluates the product on an assignment (bit i of `minterm` = input i).
+  bool eval(std::uint64_t minterm) const;
+
+  std::string str() const;
+
+  friend bool operator==(const Cube&, const Cube&) = default;
+  friend bool operator<(const Cube& a, const Cube& b) { return a.lits_ < b.lits_; }
+
+ private:
+  std::vector<Lit> lits_;
+};
+
+}  // namespace cals

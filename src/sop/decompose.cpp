@@ -1,0 +1,84 @@
+#include "sop/decompose.hpp"
+
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace cals {
+namespace {
+
+/// Builds the AND tree for one product over pre-created literal nodes.
+NodeId build_product(BaseNetwork& net, const Cube& cube, const std::vector<NodeId>& pos_lit,
+                     std::vector<NodeId>& neg_lit, const DecomposeOptions& options,
+                     std::uint32_t product_index) {
+  std::vector<NodeId> literals;
+  for (std::uint32_t i = 0; i < cube.size(); ++i) {
+    switch (cube.at(i)) {
+      case Lit::kOne:
+        literals.push_back(pos_lit[i]);
+        break;
+      case Lit::kZero:
+        if (neg_lit[i] == kConst0Node) neg_lit[i] = net.add_inv(pos_lit[i]);
+        literals.push_back(neg_lit[i]);
+        break;
+      case Lit::kDash:
+        break;
+    }
+  }
+  if (literals.empty()) return net.const1();  // universal cube
+
+  if (options.randomize_and_order && literals.size() > 2) {
+    // Deterministic Fisher–Yates keyed by (seed, product index). Identical
+    // cubes still strash to one node: the shuffle depends only on the cube's
+    // position in the plane, and duplicate cubes were merged by minimize().
+    Rng rng(options.seed ^ (0x9e3779b97f4a7c15ULL * (product_index + 1)));
+    for (std::size_t i = literals.size() - 1; i > 0; --i) {
+      const std::size_t j = static_cast<std::size_t>(rng.below(i + 1));
+      std::swap(literals[i], literals[j]);
+    }
+  }
+  return net.add_and(literals);
+}
+
+}  // namespace
+
+BaseNetwork decompose(const Pla& pla, const DecomposeOptions& options) {
+  BaseNetwork net;
+  std::vector<NodeId> pos_lit;
+  pos_lit.reserve(pla.num_inputs);
+  for (std::uint32_t i = 0; i < pla.num_inputs; ++i)
+    pos_lit.push_back(net.add_pi(strprintf("i%u", i)));
+  std::vector<NodeId> neg_lit(pla.num_inputs, kConst0Node);
+
+  std::vector<NodeId> product_node;
+  product_node.reserve(pla.products.size());
+  for (std::uint32_t p = 0; p < pla.products.size(); ++p)
+    product_node.push_back(
+        build_product(net, pla.products[p], pos_lit, neg_lit, options, p));
+
+  for (std::uint32_t o = 0; o < pla.num_outputs; ++o) {
+    const std::string name = strprintf("o%u", o);
+    if (pla.outputs[o].empty()) {
+      net.add_po(name, net.const0());
+      continue;
+    }
+    std::vector<NodeId> terms;
+    terms.reserve(pla.outputs[o].size());
+    for (std::uint32_t p : pla.outputs[o]) terms.push_back(product_node[p]);
+    net.add_po(name, net.add_or(terms));
+  }
+  return net;
+}
+
+BaseNetwork decompose(const Sop& sop, const std::string& output_name) {
+  Pla pla;
+  pla.num_inputs = sop.num_inputs;
+  pla.num_outputs = 1;
+  pla.products = sop.cubes;
+  pla.outputs.resize(1);
+  for (std::uint32_t p = 0; p < pla.products.size(); ++p) pla.outputs[0].push_back(p);
+  BaseNetwork net = decompose(pla);
+  net.rename_po(0, output_name);
+  return net;
+}
+
+}  // namespace cals

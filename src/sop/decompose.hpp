@@ -1,0 +1,35 @@
+#pragma once
+/// \file decompose.hpp
+/// Decomposition of two-level covers into the NAND2/INV base network.
+///
+/// Products become balanced AND trees over literals, outputs become balanced
+/// OR trees over their products, and everything is rewritten into NAND2/INV
+/// by the base network constructors. Structural hashing shares identical
+/// subtrees (literals are ordered canonically), which reproduces the natural
+/// sharing SIS leaves in the technology-independent netlist.
+
+#include "netlist/base_network.hpp"
+#include "sop/sop.hpp"
+
+namespace cals {
+
+struct DecomposeOptions {
+  /// Randomize (deterministically, per product) the literal association of
+  /// each AND tree. With canonical ordering, balanced trees over sorted
+  /// literals share identical subtree pairs *by accident* across unrelated
+  /// products, creating a dense random multi-fanout mesh that no placement
+  /// can localize. Randomized association keeps only the intentional
+  /// sharing (identical products, shared literals), which is what a
+  /// SIS-produced technology-independent netlist looks like.
+  bool randomize_and_order = true;
+  std::uint64_t seed = 0x30f1a2ULL;
+};
+
+/// Decomposes a multi-output PLA into a strashed base network.
+/// PI names follow the paper's net naming ("i<j>"); PO names are "o<j>".
+BaseNetwork decompose(const Pla& pla, const DecomposeOptions& options = {});
+
+/// Decomposes a single-output cover (used by tests and small examples).
+BaseNetwork decompose(const Sop& sop, const std::string& output_name = "o0");
+
+}  // namespace cals

@@ -1,0 +1,198 @@
+#include "sop/extract.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace cals {
+namespace {
+
+using TermList = std::vector<NodeId>;  // sorted, unique node ids
+
+std::uint64_t pair_key(NodeId a, NodeId b) {
+  return (static_cast<std::uint64_t>(a.v) << 32) | b.v;
+}
+
+bool contains_sorted(const TermList& terms, NodeId x) {
+  return std::binary_search(terms.begin(), terms.end(), x);
+}
+
+/// Deterministic Fisher-Yates keyed by (seed, index); mirrors decompose().
+TermList shuffled(TermList terms, std::uint64_t seed, std::uint32_t index) {
+  if (terms.size() > 2) {
+    Rng rng(seed ^ (0x9e3779b97f4a7c15ULL * (index + 1)));
+    for (std::size_t i = terms.size() - 1; i > 0; --i) {
+      const std::size_t j = static_cast<std::size_t>(rng.below(i + 1));
+      std::swap(terms[i], terms[j]);
+    }
+  }
+  return terms;
+}
+
+void replace_pair(TermList& terms, NodeId a, NodeId b, NodeId repl) {
+  TermList next;
+  next.reserve(terms.size() - 1);
+  for (NodeId t : terms)
+    if (t != a && t != b) next.push_back(t);
+  next.insert(std::lower_bound(next.begin(), next.end(), repl), repl);
+  next.erase(std::unique(next.begin(), next.end()), next.end());
+  terms = std::move(next);
+}
+
+/// One AND-plane round: extract every literal/term pair occurring in >= 2
+/// term lists, most frequent first, skipping terms already consumed by an
+/// earlier extraction within the round. Returns number of divisors created.
+std::uint32_t and_round(BaseNetwork& net, std::vector<TermList>& lists,
+                        std::uint32_t budget, bool low_frequency_first) {
+  std::unordered_map<std::uint64_t, std::uint32_t> freq;
+  for (const TermList& terms : lists)
+    for (std::size_t i = 0; i < terms.size(); ++i)
+      for (std::size_t j = i + 1; j < terms.size(); ++j)
+        ++freq[pair_key(terms[i], terms[j])];
+
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> pairs;
+  pairs.reserve(freq.size());
+  for (const auto& [key, count] : freq)
+    if (count >= 2) pairs.emplace_back(key, count);
+  // Most frequent first by default; key order breaks ties deterministically.
+  std::sort(pairs.begin(), pairs.end(), [&](const auto& x, const auto& y) {
+    if (x.second != y.second)
+      return low_frequency_first ? x.second < y.second : x.second > y.second;
+    return x.first < y.first;
+  });
+
+  std::uint32_t divisors = 0;
+  for (const auto& [key, count] : pairs) {
+    if (divisors >= budget) break;
+    const NodeId a{static_cast<std::uint32_t>(key >> 32)};
+    const NodeId b{static_cast<std::uint32_t>(key & 0xffffffffu)};
+    std::uint32_t hits = 0;
+    for (const TermList& terms : lists)
+      if (contains_sorted(terms, a) && contains_sorted(terms, b)) ++hits;
+    if (hits < 2) continue;  // earlier extractions consumed the pair
+    const NodeId divisor = net.add_and2(a, b);
+    for (TermList& terms : lists)
+      if (contains_sorted(terms, a) && contains_sorted(terms, b))
+        replace_pair(terms, a, b, divisor);
+    ++divisors;
+  }
+  return divisors;
+}
+
+}  // namespace
+
+BaseNetwork extract_network(const Pla& pla, const ExtractOptions& options,
+                            ExtractStats* stats) {
+  ExtractStats local;
+  BaseNetwork net;
+  std::vector<NodeId> pos_lit;
+  pos_lit.reserve(pla.num_inputs);
+  for (std::uint32_t i = 0; i < pla.num_inputs; ++i)
+    pos_lit.push_back(net.add_pi(strprintf("i%u", i)));
+
+  // ---- products as sorted literal-node lists --------------------------
+  std::vector<NodeId> neg_lit(pla.num_inputs, kConst0Node);
+  std::vector<TermList> products;
+  std::vector<bool> universal(pla.products.size(), false);
+  products.reserve(pla.products.size());
+  for (std::size_t p = 0; p < pla.products.size(); ++p) {
+    const Cube& cube = pla.products[p];
+    TermList terms;
+    for (std::uint32_t i = 0; i < cube.size(); ++i) {
+      if (cube.at(i) == Lit::kOne) terms.push_back(pos_lit[i]);
+      if (cube.at(i) == Lit::kZero) {
+        if (neg_lit[i] == kConst0Node) neg_lit[i] = net.add_inv(pos_lit[i]);
+        terms.push_back(neg_lit[i]);
+      }
+    }
+    std::sort(terms.begin(), terms.end());
+    universal[p] = terms.empty();
+    products.push_back(std::move(terms));
+  }
+
+  // ---- AND-plane divisor extraction ------------------------------------
+  if (options.and_plane) {
+    for (std::uint32_t round = 0; round < options.max_and_rounds; ++round) {
+      const std::uint32_t budget = options.max_and_divisors - local.and_divisors;
+      if (budget == 0) break;
+      const std::uint32_t got =
+          and_round(net, products, budget, options.low_frequency_first);
+      if (got == 0) break;
+      local.and_divisors += got;
+      ++local.and_rounds;
+    }
+  }
+
+  // ---- realize products -------------------------------------------------
+  std::vector<NodeId> product_node(pla.products.size(), kConst0Node);
+  for (std::size_t p = 0; p < pla.products.size(); ++p) {
+    if (universal[p]) {
+      product_node[p] = net.const1();
+      continue;
+    }
+    const TermList terms =
+        options.randomize_residual_order
+            ? shuffled(products[p], options.seed, static_cast<std::uint32_t>(p))
+            : products[p];
+    product_node[p] = net.add_and(terms);
+  }
+
+  // ---- outputs as sorted product-node lists -----------------------------
+  std::vector<TermList> out_terms(pla.num_outputs);
+  for (std::uint32_t o = 0; o < pla.num_outputs; ++o) {
+    for (std::uint32_t p : pla.outputs[o]) out_terms[o].push_back(product_node[p]);
+    std::sort(out_terms[o].begin(), out_terms[o].end());
+    out_terms[o].erase(std::unique(out_terms[o].begin(), out_terms[o].end()),
+                       out_terms[o].end());
+  }
+
+  // ---- OR-plane divisor extraction --------------------------------------
+  if (options.or_plane) {
+    for (std::uint32_t d = 0; d < options.max_or_divisors; ++d) {
+      // Find the largest intersection over all output pairs.
+      TermList best;
+      for (std::size_t a = 0; a < out_terms.size(); ++a) {
+        for (std::size_t b = a + 1; b < out_terms.size(); ++b) {
+          TermList inter;
+          std::set_intersection(out_terms[a].begin(), out_terms[a].end(),
+                                out_terms[b].begin(), out_terms[b].end(),
+                                std::back_inserter(inter));
+          if (inter.size() > best.size()) best = std::move(inter);
+        }
+      }
+      if (best.size() < options.min_or_divisor) break;
+      const NodeId divisor = net.add_or(best);
+      for (TermList& terms : out_terms) {
+        if (std::includes(terms.begin(), terms.end(), best.begin(), best.end())) {
+          TermList next;
+          std::set_difference(terms.begin(), terms.end(), best.begin(), best.end(),
+                              std::back_inserter(next));
+          next.insert(std::lower_bound(next.begin(), next.end(), divisor), divisor);
+          terms = std::move(next);
+        }
+      }
+      ++local.or_divisors;
+    }
+  }
+
+  // ---- realize outputs ----------------------------------------------------
+  for (std::uint32_t o = 0; o < pla.num_outputs; ++o) {
+    const std::string name = strprintf("o%u", o);
+    if (out_terms[o].empty()) {
+      net.add_po(name, pla.outputs[o].empty() ? net.const0() : net.const1());
+      continue;
+    }
+    const TermList terms = options.randomize_residual_order
+                               ? shuffled(out_terms[o], options.seed * 31, o)
+                               : out_terms[o];
+    net.add_po(name, net.add_or(terms));
+  }
+
+  if (stats != nullptr) *stats = local;
+  return net;
+}
+
+}  // namespace cals

@@ -1,0 +1,63 @@
+#pragma once
+/// \file extract.hpp
+/// Greedy algebraic divisor extraction (SIS fast_extract-style), the
+/// "technology independent optimization" stage of the paper's flow.
+///
+/// Two extraction planes:
+///  * AND plane: common literal/term pairs shared across products become
+///    AND2 divisors (single-cube divisors of size 2, iterated);
+///  * OR plane: common product subsets shared across outputs become OR
+///    divisors (kernel-style sharing between outputs).
+///
+/// This is precisely the mechanism the paper blames for congestion (Sec. 1):
+/// "unrestrained factorization based on kernel extraction yields gates with a
+/// high fanout count". The extracted network has fewer literals / base gates
+/// (cell-area win) but more multi-fanout sharing (routability loss), which
+/// is what Tables 1–5 contrast as the "SIS" row.
+
+#include "netlist/base_network.hpp"
+#include "sop/sop.hpp"
+
+namespace cals {
+
+struct ExtractOptions {
+  /// Upper bound on AND-plane extraction rounds (a round extracts every
+  /// pair with frequency >= 2 greedily).
+  std::uint32_t max_and_rounds = 64;
+  /// Upper bound on total AND divisors (most frequent first). Lets the
+  /// baselines dial extraction strength from "none" to "full".
+  std::uint32_t max_and_divisors = UINT32_MAX;
+  /// Extract the rarest shareable pairs first (frequency 2 upward) instead
+  /// of the most frequent. This mimics unrestrained kernel extraction: many
+  /// small divisors, little area gain per divisor, lots of new reconvergent
+  /// multi-fanout nodes — the structure the paper blames for congestion.
+  bool low_frequency_first = false;
+  /// Upper bound on OR-plane divisor extractions.
+  std::uint32_t max_or_divisors = 4096;
+  /// Minimum size of an output-intersection worth extracting as a divisor.
+  std::uint32_t min_or_divisor = 2;
+  /// Extract AND-plane divisors.
+  bool and_plane = true;
+  /// Extract OR-plane divisors.
+  bool or_plane = true;
+  /// Randomize the association of the residual AND/OR trees exactly like
+  /// DecomposeOptions::randomize_and_order, so that with no divisors the
+  /// result matches decompose() and every gate-count delta is attributable
+  /// to extraction (not to accidental canonical-order strash sharing).
+  bool randomize_residual_order = true;
+  std::uint64_t seed = 0x30f1a2ULL;
+};
+
+struct ExtractStats {
+  std::uint32_t and_divisors = 0;
+  std::uint32_t or_divisors = 0;
+  std::uint32_t and_rounds = 0;
+};
+
+/// Decomposes `pla` with divisor extraction into a strashed base network.
+/// Functionally equivalent to decompose(pla) (checked by tests), but with
+/// heavier logic sharing and fewer base gates.
+BaseNetwork extract_network(const Pla& pla, const ExtractOptions& options = {},
+                            ExtractStats* stats = nullptr);
+
+}  // namespace cals

@@ -1,0 +1,109 @@
+#include "sop/minimize.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.hpp"
+
+namespace cals {
+namespace {
+
+/// One containment-removal pass; returns number of cubes removed.
+std::uint32_t remove_contained(std::vector<Cube>& cubes) {
+  std::vector<bool> dead(cubes.size(), false);
+  std::uint32_t removed = 0;
+  for (std::size_t i = 0; i < cubes.size(); ++i) {
+    if (dead[i]) continue;
+    for (std::size_t j = 0; j < cubes.size(); ++j) {
+      if (i == j || dead[j]) continue;
+      if (cubes[i].contains(cubes[j])) {
+        // Tie-break identical cubes by index so exactly one survives.
+        if (cubes[j].contains(cubes[i]) && j < i) continue;
+        dead[j] = true;
+        ++removed;
+      }
+    }
+  }
+  if (removed > 0) {
+    std::vector<Cube> next;
+    next.reserve(cubes.size() - removed);
+    for (std::size_t i = 0; i < cubes.size(); ++i)
+      if (!dead[i]) next.push_back(std::move(cubes[i]));
+    cubes = std::move(next);
+  }
+  return removed;
+}
+
+/// One distance-1 merge pass; returns number of merges performed.
+std::uint32_t merge_pass(std::vector<Cube>& cubes) {
+  std::uint32_t merges = 0;
+  std::vector<bool> dead(cubes.size(), false);
+  for (std::size_t i = 0; i < cubes.size(); ++i) {
+    if (dead[i]) continue;
+    for (std::size_t j = i + 1; j < cubes.size(); ++j) {
+      if (dead[j]) continue;
+      if (cubes[i].mergeable(cubes[j])) {
+        cubes[i] = cubes[i].merged(cubes[j]);
+        dead[j] = true;
+        ++merges;
+      }
+    }
+  }
+  if (merges > 0) {
+    std::vector<Cube> next;
+    next.reserve(cubes.size() - merges);
+    for (std::size_t i = 0; i < cubes.size(); ++i)
+      if (!dead[i]) next.push_back(std::move(cubes[i]));
+    cubes = std::move(next);
+  }
+  return merges;
+}
+
+}  // namespace
+
+MinimizeStats minimize(Sop& sop) {
+  MinimizeStats stats;
+  stats.cubes_before = static_cast<std::uint32_t>(sop.cubes.size());
+  for (;;) {
+    const std::uint32_t removed = remove_contained(sop.cubes);
+    const std::uint32_t merged = merge_pass(sop.cubes);
+    stats.containments_removed += removed;
+    stats.merges += merged;
+    if (removed == 0 && merged == 0) break;
+  }
+  std::sort(sop.cubes.begin(), sop.cubes.end());
+  stats.cubes_after = static_cast<std::uint32_t>(sop.cubes.size());
+  return stats;
+}
+
+MinimizeStats minimize(Pla& pla) {
+  MinimizeStats total;
+  total.cubes_before = static_cast<std::uint32_t>(pla.products.size());
+
+  std::map<Cube, std::uint32_t> product_index;
+  std::vector<Cube> products;
+  std::vector<std::vector<std::uint32_t>> outputs(pla.num_outputs);
+
+  for (std::uint32_t o = 0; o < pla.num_outputs; ++o) {
+    Sop cover = pla.sop(o);
+    const MinimizeStats s = minimize(cover);
+    total.merges += s.merges;
+    total.containments_removed += s.containments_removed;
+    for (const Cube& cube : cover.cubes) {
+      auto [it, inserted] =
+          product_index.try_emplace(cube, static_cast<std::uint32_t>(products.size()));
+      if (inserted) products.push_back(cube);
+      outputs[o].push_back(it->second);
+    }
+    std::sort(outputs[o].begin(), outputs[o].end());
+    outputs[o].erase(std::unique(outputs[o].begin(), outputs[o].end()), outputs[o].end());
+  }
+
+  pla.products = std::move(products);
+  pla.outputs = std::move(outputs);
+  pla.validate();
+  total.cubes_after = static_cast<std::uint32_t>(pla.products.size());
+  return total;
+}
+
+}  // namespace cals

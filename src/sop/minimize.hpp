@@ -1,0 +1,26 @@
+#pragma once
+/// \file minimize.hpp
+/// Lightweight two-level minimization (espresso-lite): single-cube
+/// containment removal and distance-1 cube merging, iterated to a fixpoint.
+/// This stands in for the espresso step SIS runs on PLA inputs; it shrinks
+/// covers without changing functionality.
+
+#include "sop/sop.hpp"
+
+namespace cals {
+
+struct MinimizeStats {
+  std::uint32_t cubes_before = 0;
+  std::uint32_t cubes_after = 0;
+  std::uint32_t merges = 0;
+  std::uint32_t containments_removed = 0;
+};
+
+/// Minimizes a single-output cover in place.
+MinimizeStats minimize(Sop& sop);
+
+/// Minimizes each output cover of a PLA, then rebuilds the shared product
+/// plane with duplicate products merged across outputs.
+MinimizeStats minimize(Pla& pla);
+
+}  // namespace cals

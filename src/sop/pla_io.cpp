@@ -1,0 +1,87 @@
+#include "sop/pla_io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace cals {
+
+Pla read_pla(std::istream& in) {
+  Pla pla;
+  bool have_i = false;
+  bool have_o = false;
+  std::string raw;
+  while (std::getline(in, raw)) {
+    if (const auto hash = raw.find('#'); hash != std::string::npos) raw.erase(hash);
+    const auto tokens = split_ws(raw);
+    if (tokens.empty()) continue;
+    if (tokens[0] == ".i") {
+      CALS_CHECK(tokens.size() == 2);
+      pla.num_inputs = static_cast<std::uint32_t>(std::stoul(tokens[1]));
+      have_i = true;
+    } else if (tokens[0] == ".o") {
+      CALS_CHECK(tokens.size() == 2);
+      pla.num_outputs = static_cast<std::uint32_t>(std::stoul(tokens[1]));
+      pla.outputs.assign(pla.num_outputs, {});
+      have_o = true;
+    } else if (tokens[0] == ".p" || tokens[0] == ".ilb" || tokens[0] == ".ob" ||
+               tokens[0] == ".type") {
+      continue;  // informational
+    } else if (tokens[0] == ".e" || tokens[0] == ".end") {
+      break;
+    } else if (tokens[0][0] == '.') {
+      CALS_CHECK_MSG(false, "pla: unsupported directive");
+    } else {
+      CALS_CHECK_MSG(have_i && have_o, "pla: cover row before .i/.o");
+      CALS_CHECK_MSG(tokens.size() == 2, "pla: cover row needs input and output plane");
+      const Cube cube = Cube::parse(tokens[0]);
+      CALS_CHECK_MSG(cube.size() == pla.num_inputs, "pla: input plane width mismatch");
+      const std::string& out_plane = tokens[1];
+      CALS_CHECK_MSG(out_plane.size() == pla.num_outputs, "pla: output plane width mismatch");
+      const auto row = static_cast<std::uint32_t>(pla.products.size());
+      pla.products.push_back(cube);
+      for (std::uint32_t o = 0; o < pla.num_outputs; ++o)
+        if (out_plane[o] == '1' || out_plane[o] == '4') pla.outputs[o].push_back(row);
+    }
+  }
+  for (auto& rows : pla.outputs) std::sort(rows.begin(), rows.end());
+  pla.validate();
+  return pla;
+}
+
+Pla read_pla_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_pla(in);
+}
+
+Pla read_pla_file(const std::string& path) {
+  std::ifstream in(path);
+  CALS_CHECK_MSG(in.good(), "pla: cannot open file");
+  return read_pla(in);
+}
+
+void write_pla(std::ostream& out, const Pla& pla) {
+  out << ".i " << pla.num_inputs << "\n.o " << pla.num_outputs << "\n.p "
+      << pla.products.size() << '\n';
+  for (std::uint32_t p = 0; p < pla.products.size(); ++p) {
+    std::string out_plane(pla.num_outputs, '0');
+    for (std::uint32_t o = 0; o < pla.num_outputs; ++o)
+      if (std::binary_search(pla.outputs[o].begin(), pla.outputs[o].end(), p))
+        out_plane[o] = '1';
+    out << pla.products[p].str() << ' ' << out_plane << '\n';
+  }
+  out << ".e\n";
+}
+
+std::string write_pla_string(const Pla& pla) {
+  std::ostringstream out;
+  write_pla(out, pla);
+  return out.str();
+}
+
+}  // namespace cals

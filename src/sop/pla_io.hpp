@@ -1,0 +1,23 @@
+#pragma once
+/// \file pla_io.hpp
+/// Espresso-format PLA reader/writer (.i/.o/.p, cover rows, .e).
+
+#include <iosfwd>
+#include <string>
+
+#include "sop/sop.hpp"
+
+namespace cals {
+
+/// Parses an espresso PLA. Output-plane characters: '1' adds the product to
+/// that output, '0'/'-'/'~' do not (we model on-set semantics, type fr
+/// covers are treated as on-set which matches how SIS reads these
+/// benchmarks for synthesis).
+Pla read_pla(std::istream& in);
+Pla read_pla_string(const std::string& text);
+Pla read_pla_file(const std::string& path);
+
+void write_pla(std::ostream& out, const Pla& pla);
+std::string write_pla_string(const Pla& pla);
+
+}  // namespace cals

@@ -1,0 +1,40 @@
+#include "sop/sop.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace cals {
+
+Sop Pla::sop(std::uint32_t o) const {
+  CALS_CHECK(o < num_outputs);
+  Sop out;
+  out.num_inputs = num_inputs;
+  out.cubes.reserve(outputs[o].size());
+  for (std::uint32_t p : outputs[o]) out.cubes.push_back(products[p]);
+  return out;
+}
+
+bool Pla::eval(std::uint32_t o, std::uint64_t minterm) const {
+  CALS_CHECK(o < num_outputs);
+  for (std::uint32_t p : outputs[o])
+    if (products[p].eval(minterm)) return true;
+  return false;
+}
+
+std::uint32_t Pla::num_input_literals() const {
+  std::uint32_t n = 0;
+  for (const Cube& c : products) n += c.num_literals();
+  return n;
+}
+
+void Pla::validate() const {
+  CALS_CHECK(outputs.size() == num_outputs);
+  for (const Cube& c : products) CALS_CHECK(c.size() == num_inputs);
+  for (const auto& rows : outputs) {
+    CALS_CHECK(std::is_sorted(rows.begin(), rows.end()));
+    for (std::uint32_t p : rows) CALS_CHECK(p < products.size());
+  }
+}
+
+}  // namespace cals

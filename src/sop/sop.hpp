@@ -1,0 +1,60 @@
+#pragma once
+/// \file sop.hpp
+/// Multi-output two-level covers (PLA-style logic). This is the "high level
+/// description" entry point of the reproduced flow: the IWLS93 circuits the
+/// paper uses (SPLA, PDC, TOO_LARGE) are two-level PLA benchmarks.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sop/cube.hpp"
+
+namespace cals {
+
+/// A single-output sum-of-products cover.
+struct Sop {
+  std::uint32_t num_inputs = 0;
+  std::vector<Cube> cubes;
+
+  /// Evaluates the cover on an assignment (bit i of `minterm` = input i).
+  bool eval(std::uint64_t minterm) const {
+    for (const Cube& c : cubes)
+      if (c.eval(minterm)) return true;
+    return false;
+  }
+
+  std::uint32_t num_literals() const {
+    std::uint32_t n = 0;
+    for (const Cube& c : cubes) n += c.num_literals();
+    return n;
+  }
+};
+
+/// A multi-output PLA: a shared product-term plane and, per output, the set
+/// of product rows it sums. This mirrors the espresso file format and keeps
+/// product sharing between outputs explicit — which is exactly what makes
+/// these benchmarks congestion-heavy after decomposition.
+struct Pla {
+  std::string name = "pla";
+  std::uint32_t num_inputs = 0;
+  std::uint32_t num_outputs = 0;
+  std::vector<Cube> products;
+  /// outputs[o] = sorted indices into `products`.
+  std::vector<std::vector<std::uint32_t>> outputs;
+
+  /// Single-output view of output `o`.
+  Sop sop(std::uint32_t o) const;
+
+  /// Evaluates output `o` on an assignment.
+  bool eval(std::uint32_t o, std::uint64_t minterm) const;
+
+  /// Total number of literals in the input plane, counting a shared product
+  /// once (SIS-style "literal count" used as the area proxy, see paper §1).
+  std::uint32_t num_input_literals() const;
+
+  /// Basic structural validation (index ranges, sorted output lists).
+  void validate() const;
+};
+
+}  // namespace cals

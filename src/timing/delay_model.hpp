@@ -1,0 +1,32 @@
+#pragma once
+/// \file delay_model.hpp
+/// Interconnect delay model: lumped-RC (Elmore-style) wire delay from routed
+/// net length plus the linear cell delay model of library/cell.hpp.
+
+#include "library/library.hpp"
+
+namespace cals {
+
+/// Wire parasitics for a routed net of a given length.
+class WireModel {
+ public:
+  explicit WireModel(const TechParams& tech) : tech_(tech) {}
+
+  /// Total wire capacitance (fF) of a net routed with `length_um` of wire.
+  double wire_cap_ff(double length_um) const {
+    return tech_.wire_cap_ff_per_um * length_um;
+  }
+
+  /// Elmore-style lumped delay (ns) through the net: R_wire * (C_wire/2 +
+  /// C_sinks). Resistance in ohm, capacitance in fF -> 1e-6 ns scale factor.
+  double wire_delay_ns(double length_um, double sink_cap_ff) const {
+    const double r = tech_.wire_res_ohm_per_um * length_um;
+    const double c = wire_cap_ff(length_um) * 0.5 + sink_cap_ff;
+    return r * c * 1e-6;
+  }
+
+ private:
+  TechParams tech_;
+};
+
+}  // namespace cals

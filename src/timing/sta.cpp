@@ -1,0 +1,174 @@
+#include "timing/sta.hpp"
+
+#include <algorithm>
+
+#include "timing/delay_model.hpp"
+#include "util/strings.hpp"
+#include "util/check.hpp"
+
+namespace cals {
+namespace {
+
+constexpr double kPoPadCapFf = 8.0;
+
+}  // namespace
+
+double StaResult::arrival_of(const MappedNetlist& netlist, const std::string& po_name) const {
+  for (std::size_t o = 0; o < netlist.pos().size(); ++o)
+    if (netlist.pos()[o].name == po_name) return po_arrival[o];
+  CALS_CHECK_MSG(false, "unknown primary output name");
+  return 0.0;
+}
+
+StaResult run_sta(const MappedNetlist& netlist, const MappedPlaceBinding& binding,
+                  const RouteResult& route) {
+  CALS_CHECK(route.nets.size() == binding.graph.nets.size());
+  const Library& lib = netlist.library();
+  const WireModel wires(lib.tech());
+
+  // --- per-signal net properties -----------------------------------------
+  // Map each routed hypernet back to its driver signal via the driver object.
+  const std::uint32_t num_signals = netlist.num_pis() + netlist.num_instances();
+  auto slot = [&](Signal s) {
+    return s.is_pi() ? s.index() : netlist.num_pis() + s.index();
+  };
+  std::vector<Signal> object_signal(binding.graph.num_objects, Signal{});
+  for (std::uint32_t i = 0; i < netlist.num_pis(); ++i)
+    object_signal[binding.pi_object[i]] = Signal::pi(i);
+  for (std::uint32_t i = 0; i < netlist.num_instances(); ++i)
+    object_signal[binding.instance_object[i]] = Signal::inst(i);
+
+  std::vector<double> net_length_um(num_signals, 0.0);
+  for (std::size_t n = 0; n < binding.graph.nets.size(); ++n) {
+    const Signal driver = object_signal[binding.graph.nets[n].pins[0]];
+    CALS_CHECK_MSG(driver.valid(), "net driven by a pad that is not a PI");
+    net_length_um[slot(driver)] =
+        static_cast<double>(route.nets[n].length) * route.gcell_um;
+  }
+
+  // Sink pin capacitance per signal.
+  std::vector<double> sink_cap(num_signals, 0.0);
+  for (std::uint32_t i = 0; i < netlist.num_instances(); ++i) {
+    const MappedInstance& inst = netlist.instance(i);
+    const double cap = lib.cell(inst.cell).input_cap();
+    for (Signal s : inst.fanins) sink_cap[slot(s)] += cap;
+  }
+  for (const MappedPo& po : netlist.pos())
+    if (!po.driver.is_const()) sink_cap[slot(po.driver)] += kPoPadCapFf;
+
+  // --- arrival propagation -------------------------------------------------
+  // Instances are stored in topological order. arrival[signal] = time the
+  // signal is valid at its driver output; sinks add the net's wire delay.
+  std::vector<double> arrival(num_signals, 0.0);
+  StaResult result;
+  result.worst_pin.assign(netlist.num_instances(), -1);
+  std::vector<std::int32_t>& worst_pin = result.worst_pin;
+  for (std::uint32_t i = 0; i < netlist.num_instances(); ++i) {
+    const MappedInstance& inst = netlist.instance(i);
+    const Cell& cell = lib.cell(inst.cell);
+    double in_arrival = 0.0;
+    std::int32_t argmax = -1;
+    for (std::size_t p = 0; p < inst.fanins.size(); ++p) {
+      const std::uint32_t s = slot(inst.fanins[p]);
+      const double t = arrival[s] + wires.wire_delay_ns(net_length_um[s], sink_cap[s]);
+      if (argmax < 0 || t > in_arrival) {
+        in_arrival = t;
+        argmax = static_cast<std::int32_t>(p);
+      }
+    }
+    worst_pin[i] = argmax;
+    const std::uint32_t out = slot(Signal::inst(i));
+    const double load = sink_cap[out] + wires.wire_cap_ff(net_length_um[out]);
+    arrival[out] = in_arrival + cell.delay(load);
+  }
+
+  result.instance_arrival.resize(netlist.num_instances());
+  for (std::uint32_t i = 0; i < netlist.num_instances(); ++i)
+    result.instance_arrival[i] = arrival[slot(Signal::inst(i))];
+  result.po_arrival.reserve(netlist.pos().size());
+  std::size_t worst_po = 0;
+  for (std::size_t o = 0; o < netlist.pos().size(); ++o) {
+    const Signal s = netlist.pos()[o].driver;
+    if (s.is_const()) {  // tied-off output: no path
+      result.po_arrival.push_back(0.0);
+      continue;
+    }
+    const std::uint32_t si = slot(s);
+    const double t = arrival[si] + wires.wire_delay_ns(net_length_um[si], sink_cap[si]);
+    result.po_arrival.push_back(t);
+    if (t > result.po_arrival[worst_po]) worst_po = o;
+  }
+
+  // --- critical path back-trace ---------------------------------------------
+  if (!netlist.pos().empty() && !netlist.pos()[worst_po].driver.is_const()) {
+    result.critical.end = netlist.pos()[worst_po].name;
+    result.critical.arrival_ns = result.po_arrival[worst_po];
+    Signal s = netlist.pos()[worst_po].driver;
+    while (!s.is_pi()) {
+      ++result.critical.length;
+      const MappedInstance& inst = netlist.instance(s.index());
+      CALS_CHECK(worst_pin[s.index()] >= 0);
+      s = inst.fanins[static_cast<std::size_t>(worst_pin[s.index()])];
+    }
+    result.critical.start = netlist.pi_name(s.index());
+  }
+  return result;
+}
+
+std::vector<std::uint32_t> StaResult::trace_path(const MappedNetlist& netlist,
+                                                 std::size_t po) const {
+  std::vector<std::uint32_t> path;
+  CALS_CHECK(po < netlist.pos().size());
+  Signal s = netlist.pos()[po].driver;
+  while (s.valid() && !s.is_const() && !s.is_pi()) {
+    path.push_back(s.index());
+    const std::int32_t pin = worst_pin[s.index()];
+    if (pin < 0) break;
+    s = netlist.instance(s.index()).fanins[static_cast<std::size_t>(pin)];
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::string timing_report(const MappedNetlist& netlist, const StaResult& sta,
+                          std::size_t top_n) {
+  std::string out = "Timing report\n=============\n";
+  // Worst primary outputs.
+  std::vector<std::size_t> order(netlist.pos().size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (sta.po_arrival[a] != sta.po_arrival[b])
+      return sta.po_arrival[a] > sta.po_arrival[b];
+    return a < b;
+  });
+  out += strprintf("worst %zu endpoints:\n", std::min(top_n, order.size()));
+  for (std::size_t i = 0; i < order.size() && i < top_n; ++i)
+    out += strprintf("  %-12s %8.3f ns\n", netlist.pos()[order[i]].name.c_str(),
+                     sta.po_arrival[order[i]]);
+
+  // Stage-by-stage critical path.
+  if (!order.empty()) {
+    const std::size_t po = order[0];
+    out += strprintf("critical path to %s:\n", netlist.pos()[po].name.c_str());
+    const auto path = sta.trace_path(netlist, po);
+    if (!path.empty()) {
+      const MappedInstance& first = netlist.instance(path.front());
+      const std::int32_t pin = sta.worst_pin[path.front()];
+      if (pin >= 0 && first.fanins[static_cast<std::size_t>(pin)].is_pi())
+        out += strprintf("  %-8s (launch)\n",
+                         netlist.pi_name(first.fanins[static_cast<std::size_t>(pin)].index())
+                             .c_str());
+    }
+    for (std::uint32_t inst : path) {
+      const MappedInstance& mi = netlist.instance(inst);
+      out += strprintf("  %-8s u%-6u at (%7.1f, %7.1f)  arrival %8.3f ns\n",
+                       netlist.library().cell(mi.cell).name().c_str(), inst, mi.pos.x,
+                       mi.pos.y, sta.instance_arrival[inst]);
+    }
+    out += strprintf("  %-8s (capture) arrival %8.3f ns\n",
+                     netlist.pos()[po].name.c_str(), sta.po_arrival[po]);
+  }
+  return out;
+}
+
+}  // namespace cals

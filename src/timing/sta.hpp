@@ -1,0 +1,54 @@
+#pragma once
+/// \file sta.hpp
+/// Static timing analysis of a routed mapped netlist, the library's stand-in
+/// for the PrimeTime runs of the paper's Tables 3 and 5: cell delays are
+/// load-dependent (pin caps + routed wire cap), wire delays are lumped RC
+/// over the routed net length.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "map/mapped_netlist.hpp"
+#include "route/router.hpp"
+
+namespace cals {
+
+struct CriticalPath {
+  std::string start;      ///< launching PI name
+  std::string end;        ///< capturing PO name
+  double arrival_ns = 0.0;
+  std::uint32_t length = 0;  ///< number of cell stages
+};
+
+struct StaResult {
+  /// Arrival time per primary output (ns), in netlist.pos() order.
+  std::vector<double> po_arrival;
+  CriticalPath critical;
+  /// Arrival at each instance output (ns) and the latest-arriving input pin
+  /// per instance (-1 for none) — enough to trace any path endpoint.
+  std::vector<double> instance_arrival;
+  std::vector<std::int32_t> worst_pin;
+
+  /// Arrival of the PO named `name` (aborts if absent) — used to compare
+  /// "the same path as the critical one in the other netlist" (Table 3/5).
+  double arrival_of(const MappedNetlist& netlist, const std::string& po_name) const;
+
+  /// The worst path ending at PO index `po`, as instance indices from the
+  /// launching gate to the PO driver (empty for PI/constant drivers).
+  std::vector<std::uint32_t> trace_path(const MappedNetlist& netlist,
+                                        std::size_t po) const;
+};
+
+/// Human-readable timing report: the `top_n` latest primary outputs and a
+/// stage-by-stage trace of the critical path (cell, position, arrival).
+std::string timing_report(const MappedNetlist& netlist, const StaResult& sta,
+                          std::size_t top_n = 5);
+
+/// Runs STA. `binding` must be the lowering the route was computed on;
+/// `route.nets` is parallel to binding.graph.nets. PO pads contribute a
+/// fixed 8 fF pin load.
+StaResult run_sta(const MappedNetlist& netlist, const MappedPlaceBinding& binding,
+                  const RouteResult& route);
+
+}  // namespace cals

@@ -1,0 +1,32 @@
+#pragma once
+/// \file check.hpp
+/// Checked assertions that stay on in release builds.
+///
+/// EDA data structures are easy to corrupt silently (dangling node ids,
+/// capacity underflow); we prefer a loud, immediate failure with context over
+/// a wrong table three stages later.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cals {
+
+[[noreturn]] inline void check_fail(const char* expr, const char* file, int line,
+                                    const char* msg) {
+  std::fprintf(stderr, "CALS_CHECK failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace cals
+
+/// Always-on invariant check. `msg` is optional context.
+#define CALS_CHECK(expr)                                              \
+  do {                                                                \
+    if (!(expr)) ::cals::check_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (false)
+
+#define CALS_CHECK_MSG(expr, msg)                                  \
+  do {                                                             \
+    if (!(expr)) ::cals::check_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (false)

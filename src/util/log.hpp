@@ -1,0 +1,36 @@
+#pragma once
+/// \file log.hpp
+/// Minimal leveled logger. All library output goes through this so that
+/// benches and tests can silence or capture it.
+
+#include <string>
+
+namespace cals {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kSilent = 4 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style logging. Thread-compatible (no interleaving guarantees).
+void logf(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+#define CALS_DEBUG(...) ::cals::logf(::cals::LogLevel::kDebug, __VA_ARGS__)
+#define CALS_INFO(...) ::cals::logf(::cals::LogLevel::kInfo, __VA_ARGS__)
+#define CALS_WARN(...) ::cals::logf(::cals::LogLevel::kWarn, __VA_ARGS__)
+#define CALS_ERROR(...) ::cals::logf(::cals::LogLevel::kError, __VA_ARGS__)
+
+/// RAII guard that silences logging for a scope (used by tests/benches).
+class ScopedLogLevel {
+ public:
+  explicit ScopedLogLevel(LogLevel level) : prev_(log_level()) { set_log_level(level); }
+  ~ScopedLogLevel() { set_log_level(prev_); }
+  ScopedLogLevel(const ScopedLogLevel&) = delete;
+  ScopedLogLevel& operator=(const ScopedLogLevel&) = delete;
+
+ private:
+  LogLevel prev_;
+};
+
+}  // namespace cals

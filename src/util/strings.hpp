@@ -1,0 +1,23 @@
+#pragma once
+/// \file strings.hpp
+/// Small string helpers shared by the text-format readers (BLIF, PLA, genlib).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cals {
+
+/// Split on any run of whitespace; no empty tokens.
+std::vector<std::string> split_ws(std::string_view text);
+
+/// Trim ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+/// True if `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string strprintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace cals

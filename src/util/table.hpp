@@ -1,0 +1,42 @@
+#pragma once
+/// \file table.hpp
+/// ASCII table printer used by the bench harnesses to emit paper-style tables.
+
+#include <string>
+#include <vector>
+
+namespace cals {
+
+/// Column-aligned plain-text table.
+///
+/// Usage:
+///   Table t({"K", "Cell Area (um2)", "No. of Cells"});
+///   t.add_row({"0.0", "126521", "7184"});
+///   std::cout << t.str();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Optional caption printed above the table.
+  void set_caption(std::string caption) { caption_ = std::move(caption); }
+
+  /// Renders the table with a header separator.
+  std::string str() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::string caption_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `prec` digits after the decimal point.
+std::string fmt_f(double value, int prec = 2);
+/// Formats an integral count with no decoration.
+std::string fmt_i(long long value);
+
+}  // namespace cals

@@ -1,0 +1,23 @@
+#pragma once
+/// \file timer.hpp
+/// Wall-clock stopwatch for flow statistics.
+
+#include <chrono>
+
+namespace cals {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+  void reset() { start_ = Clock::now(); }
+  /// Elapsed seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cals

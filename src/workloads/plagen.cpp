@@ -1,0 +1,62 @@
+#include "workloads/plagen.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace cals {
+
+Pla generate_pla(const PlaGenSpec& spec) {
+  CALS_CHECK(spec.num_inputs >= 2 && spec.num_outputs >= 1 && spec.num_products >= 1);
+  CALS_CHECK(spec.care_probability > 0.0 && spec.care_probability <= 1.0);
+  CALS_CHECK(spec.outputs_per_product >= 1.0);
+  Rng rng(spec.seed);
+
+  Pla pla;
+  pla.name = spec.name;
+  pla.num_inputs = spec.num_inputs;
+  pla.num_outputs = spec.num_outputs;
+  pla.outputs.assign(spec.num_outputs, {});
+
+  pla.products.reserve(spec.num_products);
+  for (std::uint32_t p = 0; p < spec.num_products; ++p) {
+    Cube cube(spec.num_inputs);
+    std::uint32_t literals = 0;
+    for (std::uint32_t i = 0; i < spec.num_inputs; ++i) {
+      if (rng.chance(spec.care_probability)) {
+        cube.set(i, rng.chance(0.5) ? Lit::kOne : Lit::kZero);
+        ++literals;
+      }
+    }
+    if (literals == 0) {  // force at least one literal
+      const auto i = static_cast<std::uint32_t>(rng.below(spec.num_inputs));
+      cube.set(i, rng.chance(0.5) ? Lit::kOne : Lit::kZero);
+    }
+    pla.products.push_back(std::move(cube));
+
+    // Attach the product to a geometric number of outputs with the requested
+    // mean, clustered around a random home output so nearby outputs share
+    // products (PLA column locality).
+    const double p_stop = 1.0 / spec.outputs_per_product;
+    const auto home = static_cast<std::uint32_t>(rng.below(spec.num_outputs));
+    std::uint32_t o = home;
+    do {
+      pla.outputs[o].push_back(p);
+      o = (o + 1) % spec.num_outputs;
+    } while (!rng.chance(p_stop) && o != home);
+  }
+
+  // Every output needs at least one product.
+  for (std::uint32_t o = 0; o < spec.num_outputs; ++o) {
+    if (pla.outputs[o].empty())
+      pla.outputs[o].push_back(static_cast<std::uint32_t>(rng.below(pla.products.size())));
+    std::sort(pla.outputs[o].begin(), pla.outputs[o].end());
+    pla.outputs[o].erase(std::unique(pla.outputs[o].begin(), pla.outputs[o].end()),
+                         pla.outputs[o].end());
+  }
+  pla.validate();
+  return pla;
+}
+
+}  // namespace cals

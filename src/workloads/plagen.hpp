@@ -1,0 +1,37 @@
+#pragma once
+/// \file plagen.hpp
+/// Deterministic synthetic PLA workload generator.
+///
+/// The IWLS93 circuits the paper evaluates (SPLA, PDC, TOO_LARGE) are
+/// two-level PLA benchmarks that are not redistributable here; these
+/// generators produce seeded random two-level covers with the same shape
+/// (inputs/outputs/product counts/literal density) tuned so the decomposed
+/// base-gate counts match the paper's reported sizes (see presets.hpp and
+/// DESIGN.md §1).
+
+#include <cstdint>
+#include <string>
+
+#include "sop/sop.hpp"
+
+namespace cals {
+
+struct PlaGenSpec {
+  std::string name = "synthetic";
+  std::uint32_t num_inputs = 16;
+  std::uint32_t num_outputs = 32;
+  std::uint32_t num_products = 256;
+  /// Probability that an input appears (non-dash) in a product.
+  double care_probability = 0.5;
+  /// Mean number of outputs each product feeds (>=1; sharing between
+  /// outputs is what produces multi-fanout congestion after decomposition).
+  double outputs_per_product = 2.0;
+  std::uint64_t seed = 1;
+};
+
+/// Generates the PLA. Guarantees: every product has >= 1 literal, feeds
+/// >= 1 output; every output sums >= 1 product. Fully deterministic in
+/// `spec` (including across platforms).
+Pla generate_pla(const PlaGenSpec& spec);
+
+}  // namespace cals

@@ -1,0 +1,83 @@
+#include "workloads/presets.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace cals::workloads {
+namespace {
+
+std::uint32_t scaled(std::uint32_t n, double scale) {
+  const auto s = static_cast<std::uint32_t>(n * scale + 0.5);
+  return std::max(1u, s);
+}
+
+}  // namespace
+
+PlaGenSpec spla_like_spec(double scale) {
+  PlaGenSpec spec;
+  spec.name = "spla_like";
+  spec.num_inputs = 16;
+  spec.num_outputs = 46;
+  spec.num_products = scaled(3048, scale);  // calibrated: 22,836 base gates
+  spec.care_probability = 0.45;
+  spec.outputs_per_product = 2.0;
+  spec.seed = 0x5b1aULL;
+  return spec;
+}
+
+PlaGenSpec pdc_like_spec(double scale) {
+  PlaGenSpec spec;
+  spec.name = "pdc_like";
+  spec.num_inputs = 16;
+  spec.num_outputs = 40;
+  spec.num_products = scaled(2585, scale);  // calibrated: 23,064 base gates
+  spec.care_probability = 0.47;
+  spec.outputs_per_product = 2.6;
+  spec.seed = 0x9dcULL;
+  return spec;
+}
+
+PlaGenSpec too_large_like_spec(double scale) {
+  PlaGenSpec spec;
+  spec.name = "too_large_like";
+  // 24 in / 16 out rather than the original's 38/3 so the OR plane carries
+  // the cross-output sharing Table 1's congestion contrast needs (DESIGN.md §1).
+  spec.num_inputs = 24;
+  spec.num_outputs = 16;
+  spec.num_products = scaled(2680, scale);  // calibrated: 27,942 base gates
+  spec.care_probability = 0.35;
+  spec.outputs_per_product = 2.5;
+  spec.seed = 0x7001ULL;
+  return spec;
+}
+
+Pla spla_like(double scale) { return generate_pla(spla_like_spec(scale)); }
+Pla pdc_like(double scale) { return generate_pla(pdc_like_spec(scale)); }
+Pla too_large_like(double scale) { return generate_pla(too_large_like_spec(scale)); }
+
+std::uint32_t spla_cliff_rows() { return 71; }       // matches the paper's die
+std::uint32_t pdc_cliff_rows() { return 69; }        // calibrated (paper: 74)
+std::uint32_t too_large_cliff_rows() { return 96; }  // calibrated (paper: 61)
+
+ExtractOptions sis_extract_options() {
+  ExtractOptions options;
+  // Kernel-style OR-plane sharing only: a handful of large divisors that
+  // each pull hundreds of scattered product terms into one shared tree.
+  // Calibrated on the TOO_LARGE-like workload to the paper's Table 1
+  // profile: cell area a few percent BELOW the plain decomposition, routed
+  // wirelength ~8% above it — less area, worse routability.
+  options.and_plane = false;
+  options.min_or_divisor = 5;
+  options.max_or_divisors = 4;
+  return options;
+}
+
+double scale_from_env() {
+  const char* env = std::getenv("CALS_SCALE");
+  if (env == nullptr) return 1.0;
+  const double v = std::atof(env);
+  if (v <= 0.0) return 1.0;
+  return std::clamp(v, 0.05, 4.0);
+}
+
+}  // namespace cals::workloads

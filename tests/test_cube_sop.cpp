@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "sop/sop.hpp"
+
+namespace cals {
+namespace {
+
+TEST(Cube, ParseAndPrint) {
+  const Cube c = Cube::parse("01-1");
+  EXPECT_EQ(c.size(), 4u);
+  EXPECT_EQ(c.at(0), Lit::kZero);
+  EXPECT_EQ(c.at(1), Lit::kOne);
+  EXPECT_EQ(c.at(2), Lit::kDash);
+  EXPECT_EQ(c.str(), "01-1");
+  EXPECT_EQ(c.num_literals(), 3u);
+}
+
+TEST(Cube, ParseAcceptsAltDashes) {
+  EXPECT_EQ(Cube::parse("~2-").str(), "---");
+}
+
+TEST(Cube, Eval) {
+  const Cube c = Cube::parse("1-0");
+  // minterm bit i = input i
+  EXPECT_TRUE(c.eval(0b001));   // a=1,b=0,c=0
+  EXPECT_TRUE(c.eval(0b011));   // b is don't care
+  EXPECT_FALSE(c.eval(0b101));  // c must be 0
+  EXPECT_FALSE(c.eval(0b000));  // a must be 1
+}
+
+TEST(Cube, Containment) {
+  const Cube wide = Cube::parse("1--");
+  const Cube narrow = Cube::parse("110");
+  EXPECT_TRUE(wide.contains(narrow));
+  EXPECT_FALSE(narrow.contains(wide));
+  EXPECT_TRUE(wide.contains(wide));
+}
+
+TEST(Cube, MergeableAndMerged) {
+  const Cube a = Cube::parse("110");
+  const Cube b = Cube::parse("100");
+  ASSERT_TRUE(a.mergeable(b));
+  EXPECT_EQ(a.merged(b).str(), "1-0");
+  // dash mismatch never merges
+  EXPECT_FALSE(Cube::parse("1-0").mergeable(Cube::parse("110")));
+  // two conflicts never merge
+  EXPECT_FALSE(Cube::parse("11").mergeable(Cube::parse("00")));
+}
+
+TEST(Cube, MergePreservesOnSet) {
+  const Cube a = Cube::parse("110");
+  const Cube b = Cube::parse("100");
+  const Cube m = a.merged(b);
+  for (std::uint64_t minterm = 0; minterm < 8; ++minterm)
+    EXPECT_EQ(m.eval(minterm), a.eval(minterm) || b.eval(minterm));
+}
+
+TEST(Sop, EvalIsDisjunction) {
+  Sop sop;
+  sop.num_inputs = 3;
+  sop.cubes = {Cube::parse("1--"), Cube::parse("-11")};
+  for (std::uint64_t m = 0; m < 8; ++m) {
+    const bool expect = ((m & 1) != 0) || ((m & 0b110) == 0b110);
+    EXPECT_EQ(sop.eval(m), expect);
+  }
+  EXPECT_EQ(sop.num_literals(), 3u);
+}
+
+TEST(Pla, SopViewAndEval) {
+  Pla pla;
+  pla.num_inputs = 2;
+  pla.num_outputs = 2;
+  pla.products = {Cube::parse("11"), Cube::parse("0-")};
+  pla.outputs = {{0}, {0, 1}};
+  pla.validate();
+  EXPECT_EQ(pla.sop(0).cubes.size(), 1u);
+  EXPECT_EQ(pla.sop(1).cubes.size(), 2u);
+  EXPECT_TRUE(pla.eval(1, 0b00));
+  EXPECT_FALSE(pla.eval(0, 0b00));
+  EXPECT_TRUE(pla.eval(0, 0b11));
+  EXPECT_EQ(pla.num_input_literals(), 3u);
+}
+
+TEST(PlaDeath, BadIndexAborts) {
+  Pla pla;
+  pla.num_inputs = 2;
+  pla.num_outputs = 1;
+  pla.products = {Cube::parse("11")};
+  pla.outputs = {{5}};
+  EXPECT_DEATH(pla.validate(), "");
+}
+
+}  // namespace
+}  // namespace cals

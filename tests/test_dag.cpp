@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "netlist/dag.hpp"
+
+namespace cals {
+namespace {
+
+BaseNetwork diamond() {
+  // o = (a&b) | (a&b ... reconvergent): x = NAND(a,b); y = INV(x); z = NAND(x,y)
+  BaseNetwork net;
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId x = net.add_nand2(a, b);
+  const NodeId y = net.add_inv(x);
+  const NodeId z = net.add_nand2(x, y);
+  net.add_po("o", z);
+  return net;
+}
+
+TEST(Dag, LogicLevels) {
+  const BaseNetwork net = diamond();
+  const auto level = logic_levels(net);
+  // PIs at 0, NAND at 1, INV at 2, final NAND at 3.
+  EXPECT_EQ(level[net.pis()[0].v], 0u);
+  EXPECT_EQ(level[net.pos()[0].driver.v], 3u);
+  EXPECT_EQ(depth(net), 3u);
+}
+
+TEST(Dag, TransitiveFanin) {
+  const BaseNetwork net = diamond();
+  const auto cone = transitive_fanin(net, net.pos()[0].driver);
+  // a, b, x, y, z — all five nodes, no duplicates despite reconvergence.
+  EXPECT_EQ(cone.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(cone.begin(), cone.end()));
+}
+
+TEST(Dag, LiveMask) {
+  BaseNetwork net;
+  const NodeId a = net.add_pi("a");
+  const NodeId live = net.add_inv(a);
+  const NodeId dead = net.add_nand2(a, live);
+  net.add_po("o", live);
+  const auto mask = live_mask(net);
+  EXPECT_TRUE(mask[live.v]);
+  EXPECT_FALSE(mask[dead.v]);
+}
+
+TEST(Dag, FanoutHistogram) {
+  BaseNetwork net = diamond();
+  net.build_fanouts();
+  const auto hist = fanout_histogram(net);
+  // x has fanout 2 (y and z); y has fanout 1; z has fanout 1 (PO).
+  ASSERT_GE(hist.size(), 3u);
+  EXPECT_EQ(hist[2], 1u);
+  EXPECT_EQ(hist[1], 2u);
+  EXPECT_EQ(num_multi_fanout_gates(net), 1u);
+}
+
+TEST(Dag, TopoOrderCoversAllNodes) {
+  const BaseNetwork net = diamond();
+  EXPECT_EQ(topo_order(net).size(), net.num_nodes());
+}
+
+TEST(Dag, DepthOfPassThrough) {
+  BaseNetwork net;
+  const NodeId a = net.add_pi("a");
+  net.add_po("o", a);
+  EXPECT_EQ(depth(net), 0u);
+}
+
+}  // namespace
+}  // namespace cals

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "netlist/sim.hpp"
+#include "sop/decompose.hpp"
+#include "util/rng.hpp"
+#include "workloads/plagen.hpp"
+
+namespace cals {
+namespace {
+
+/// Exhaustively compares a PLA against its decomposed network.
+void expect_equivalent(const Pla& pla, const BaseNetwork& net) {
+  ASSERT_EQ(net.pis().size(), pla.num_inputs);
+  ASSERT_EQ(net.pos().size(), pla.num_outputs);
+  ASSERT_LE(pla.num_inputs, 12u);
+  const std::uint64_t rows = 1ULL << pla.num_inputs;
+  for (std::uint64_t base = 0; base < rows; base += 64) {
+    std::vector<std::uint64_t> words(pla.num_inputs, 0);
+    for (std::uint64_t lane = 0; lane < 64 && base + lane < rows; ++lane) {
+      const std::uint64_t m = base + lane;
+      for (std::uint32_t i = 0; i < pla.num_inputs; ++i)
+        if ((m >> i) & 1ULL) words[i] |= 1ULL << lane;
+    }
+    const auto out = simulate64(net, words);
+    for (std::uint64_t lane = 0; lane < 64 && base + lane < rows; ++lane)
+      for (std::uint32_t o = 0; o < pla.num_outputs; ++o)
+        ASSERT_EQ(((out[o] >> lane) & 1ULL) != 0, pla.eval(o, base + lane))
+            << "output " << o << " minterm " << base + lane;
+  }
+}
+
+TEST(Decompose, SingleCubeIsAndTree) {
+  Sop sop;
+  sop.num_inputs = 4;
+  sop.cubes = {Cube::parse("1101")};
+  const BaseNetwork net = decompose(sop, "f");
+  EXPECT_EQ(net.pos()[0].name, "f");
+  // AND of 4 literals (one inverted): 3 AND2 = 6 gates + 1 INV literal.
+  EXPECT_EQ(net.num_base_gates(), 7u);
+}
+
+TEST(Decompose, EmptyOutputIsConst0) {
+  Pla pla;
+  pla.num_inputs = 2;
+  pla.num_outputs = 1;
+  pla.outputs = {{}};
+  const BaseNetwork net = decompose(pla);
+  EXPECT_EQ(net.pos()[0].driver, kConst0Node);
+}
+
+TEST(Decompose, UniversalCubeIsConst1) {
+  Sop sop;
+  sop.num_inputs = 2;
+  sop.cubes = {Cube::parse("--")};
+  const BaseNetwork net = decompose(sop);
+  EXPECT_TRUE(net.is_const1(net.pos()[0].driver));
+}
+
+TEST(Decompose, SharedProductsShareGates) {
+  // Two outputs summing the same product must reuse its AND tree.
+  Pla pla;
+  pla.num_inputs = 4;
+  pla.num_outputs = 2;
+  pla.products = {Cube::parse("11-1")};
+  pla.outputs = {{0}, {0}};
+  const BaseNetwork net = decompose(pla);
+  EXPECT_EQ(net.pos()[0].driver, net.pos()[1].driver);
+}
+
+TEST(Decompose, RandomizedOrderPreservesFunction) {
+  PlaGenSpec spec;
+  spec.num_inputs = 10;
+  spec.num_outputs = 4;
+  spec.num_products = 30;
+  spec.seed = 77;
+  const Pla pla = generate_pla(spec);
+  DecomposeOptions canonical;
+  canonical.randomize_and_order = false;
+  DecomposeOptions randomized;
+  randomized.randomize_and_order = true;
+  const BaseNetwork n1 = decompose(pla, canonical);
+  const BaseNetwork n2 = decompose(pla, randomized);
+  expect_equivalent(pla, n1);
+  expect_equivalent(pla, n2);
+  // Randomization reduces accidental sharing, so it cannot have fewer gates.
+  EXPECT_GE(n2.num_base_gates(), n1.num_base_gates());
+}
+
+TEST(Decompose, RandomizationIsDeterministic) {
+  PlaGenSpec spec;
+  spec.num_inputs = 10;
+  spec.num_outputs = 4;
+  spec.num_products = 30;
+  spec.seed = 78;
+  const Pla pla = generate_pla(spec);
+  const BaseNetwork n1 = decompose(pla);
+  const BaseNetwork n2 = decompose(pla);
+  EXPECT_EQ(n1.num_nodes(), n2.num_nodes());
+  EXPECT_EQ(random_signature(n1, 8, 3), random_signature(n2, 8, 3));
+}
+
+class DecomposeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DecomposeProperty, EquivalentToCover) {
+  PlaGenSpec spec;
+  spec.num_inputs = 9;
+  spec.num_outputs = 6;
+  spec.num_products = 25;
+  spec.care_probability = 0.5;
+  spec.outputs_per_product = 1.8;
+  spec.seed = GetParam() * 31 + 1;
+  const Pla pla = generate_pla(spec);
+  expect_equivalent(pla, decompose(pla));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecomposeProperty, ::testing::Range<std::uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace cals

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "netlist/sim.hpp"
+#include "sop/decompose.hpp"
+#include "sop/extract.hpp"
+#include "workloads/plagen.hpp"
+
+namespace cals {
+namespace {
+
+Pla shared_pair_pla() {
+  // Products 0 and 1 share the literal pair (a=1, b=1).
+  Pla pla;
+  pla.num_inputs = 4;
+  pla.num_outputs = 2;
+  pla.products = {Cube::parse("11-0"), Cube::parse("11-1"), Cube::parse("0--1")};
+  pla.outputs = {{0, 1}, {1, 2}};
+  return pla;
+}
+
+TEST(Extract, FindsAndDivisors) {
+  ExtractStats stats;
+  const BaseNetwork net = extract_network(shared_pair_pla(), {}, &stats);
+  EXPECT_GE(stats.and_divisors, 1u);
+  (void)net;
+}
+
+TEST(Extract, EquivalentToPlainDecompose) {
+  const Pla pla = shared_pair_pla();
+  const BaseNetwork direct = decompose(pla);
+  const BaseNetwork extracted = extract_network(pla);
+  EXPECT_EQ(random_signature(direct, 32, 5), random_signature(extracted, 32, 5));
+}
+
+TEST(Extract, OrDivisorsShareCommonProductSets) {
+  // Outputs 0 and 1 share products {0,1}: an OR divisor must be extracted.
+  Pla pla;
+  pla.num_inputs = 4;
+  pla.num_outputs = 3;
+  pla.products = {Cube::parse("1---"), Cube::parse("-1--"), Cube::parse("--1-")};
+  pla.outputs = {{0, 1}, {0, 1, 2}, {2}};
+  ExtractStats stats;
+  extract_network(pla, {}, &stats);
+  EXPECT_GE(stats.or_divisors, 1u);
+}
+
+TEST(Extract, DisabledPlanesExtractNothing) {
+  ExtractOptions options;
+  options.and_plane = false;
+  options.or_plane = false;
+  ExtractStats stats;
+  extract_network(shared_pair_pla(), options, &stats);
+  EXPECT_EQ(stats.and_divisors, 0u);
+  EXPECT_EQ(stats.or_divisors, 0u);
+}
+
+TEST(Extract, ReducesGatesOnSharingHeavyPla) {
+  PlaGenSpec spec;
+  spec.num_inputs = 12;
+  spec.num_outputs = 8;
+  spec.num_products = 120;
+  spec.care_probability = 0.5;
+  spec.outputs_per_product = 2.5;
+  spec.seed = 5;
+  const Pla pla = generate_pla(spec);
+  BaseNetwork direct = decompose(pla);
+  BaseNetwork extracted = extract_network(pla);
+  direct.compact();
+  extracted.compact();
+  EXPECT_LT(extracted.num_base_gates(), direct.num_base_gates());
+}
+
+TEST(Extract, MoreMultiFanoutSharing) {
+  // The whole point of the SIS-mode baseline: extraction trades area for
+  // multi-fanout count (paper Sec. 1).
+  PlaGenSpec spec;
+  spec.num_inputs = 12;
+  spec.num_outputs = 8;
+  spec.num_products = 120;
+  spec.seed = 6;
+  const Pla pla = generate_pla(spec);
+  BaseNetwork direct = decompose(pla);
+  BaseNetwork extracted = extract_network(pla);
+  direct.compact();
+  extracted.compact();
+  direct.build_fanouts();
+  extracted.build_fanouts();
+  auto multi_fraction = [](const BaseNetwork& net) {
+    std::uint32_t multi = 0;
+    std::uint32_t gates = 0;
+    for (std::uint32_t i = 0; i < net.num_nodes(); ++i) {
+      const NodeId n{i};
+      if (!net.is_gate(n)) continue;
+      ++gates;
+      if (net.fanout_count(n) > 1) ++multi;
+    }
+    return static_cast<double>(multi) / gates;
+  };
+  EXPECT_GT(multi_fraction(extracted), multi_fraction(direct));
+}
+
+TEST(Extract, AndDivisorBudgetRespected) {
+  PlaGenSpec spec;
+  spec.num_inputs = 12;
+  spec.num_outputs = 8;
+  spec.num_products = 120;
+  spec.seed = 7;
+  const Pla pla = generate_pla(spec);
+  ExtractOptions capped;
+  capped.max_and_divisors = 5;
+  capped.or_plane = false;
+  ExtractStats stats;
+  const BaseNetwork net = extract_network(pla, capped, &stats);
+  EXPECT_LE(stats.and_divisors, 5u);
+  EXPECT_GE(stats.and_divisors, 1u);
+  // Still functionally correct.
+  EXPECT_EQ(random_signature(net, 8, 2), random_signature(decompose(pla), 8, 2));
+}
+
+TEST(Extract, BudgetGradesAreaSmoothly) {
+  PlaGenSpec spec;
+  spec.num_inputs = 12;
+  spec.num_outputs = 8;
+  spec.num_products = 150;
+  spec.seed = 8;
+  const Pla pla = generate_pla(spec);
+  std::uint32_t prev = UINT32_MAX;
+  for (std::uint32_t cap : {0u, 20u, 200u, UINT32_MAX}) {
+    ExtractOptions options;
+    options.max_and_divisors = cap;
+    options.or_plane = false;
+    BaseNetwork net = extract_network(pla, options);
+    net.compact();
+    EXPECT_LE(net.num_base_gates(), prev);  // more divisors -> fewer gates
+    prev = net.num_base_gates();
+  }
+}
+
+class ExtractProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExtractProperty, EquivalenceUnderRandomPlas) {
+  PlaGenSpec spec;
+  spec.num_inputs = 10;
+  spec.num_outputs = 6;
+  spec.num_products = 60;
+  spec.care_probability = 0.45;
+  spec.outputs_per_product = 2.2;
+  spec.seed = GetParam() * 17 + 3;
+  const Pla pla = generate_pla(spec);
+  const BaseNetwork direct = decompose(pla);
+  const BaseNetwork extracted = extract_network(pla);
+  ASSERT_EQ(random_signature(direct, 16, 11), random_signature(extracted, 16, 11));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExtractProperty, ::testing::Range<std::uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace cals

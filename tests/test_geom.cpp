@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "geom/geom.hpp"
+#include "util/rng.hpp"
+
+namespace cals {
+namespace {
+
+TEST(Geom, ManhattanAndEuclidean) {
+  const Point a{0, 0};
+  const Point b{3, 4};
+  EXPECT_DOUBLE_EQ(manhattan(a, b), 7.0);
+  EXPECT_DOUBLE_EQ(euclidean(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(distance(a, b, DistanceMetric::kManhattan), 7.0);
+  EXPECT_DOUBLE_EQ(distance(a, b, DistanceMetric::kEuclidean), 5.0);
+}
+
+TEST(Geom, ManhattanDominatesEuclidean) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const Point a{rng.uniform() * 100, rng.uniform() * 100};
+    const Point b{rng.uniform() * 100, rng.uniform() * 100};
+    EXPECT_GE(manhattan(a, b) + 1e-12, euclidean(a, b));
+  }
+}
+
+TEST(Geom, TriangleInequality) {
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    const Point a{rng.uniform(), rng.uniform()};
+    const Point b{rng.uniform(), rng.uniform()};
+    const Point c{rng.uniform(), rng.uniform()};
+    EXPECT_LE(manhattan(a, c), manhattan(a, b) + manhattan(b, c) + 1e-12);
+  }
+}
+
+TEST(Geom, RectBasics) {
+  const Rect r{{1, 2}, {5, 10}};
+  EXPECT_DOUBLE_EQ(r.width(), 4.0);
+  EXPECT_DOUBLE_EQ(r.height(), 8.0);
+  EXPECT_DOUBLE_EQ(r.area(), 32.0);
+  EXPECT_EQ(r.center(), (Point{3, 6}));
+  EXPECT_TRUE(r.contains({1, 2}));
+  EXPECT_TRUE(r.contains({5, 10}));
+  EXPECT_FALSE(r.contains({0.99, 5}));
+  EXPECT_EQ(r.clamp({-10, 100}), (Point{1, 10}));
+}
+
+TEST(Geom, BBoxAccumulates) {
+  BBox box;
+  EXPECT_TRUE(box.empty());
+  EXPECT_DOUBLE_EQ(box.half_perimeter(), 0.0);
+  box.add({2, 3});
+  EXPECT_FALSE(box.empty());
+  EXPECT_DOUBLE_EQ(box.half_perimeter(), 0.0);
+  box.add({5, 1});
+  EXPECT_DOUBLE_EQ(box.half_perimeter(), 3.0 + 2.0);
+  EXPECT_EQ(box.rect(), (Rect{{2, 1}, {5, 3}}));
+}
+
+TEST(Geom, CenterOfMassUnweighted) {
+  const Point c = center_of_mass({{0, 0}, {2, 0}, {2, 2}, {0, 2}});
+  EXPECT_EQ(c, (Point{1, 1}));
+}
+
+TEST(Geom, CenterOfMassWeighted) {
+  const Point c = center_of_mass({{0, 0}, {4, 0}}, {1.0, 3.0});
+  EXPECT_EQ(c, (Point{3, 0}));
+}
+
+TEST(GeomDeath, EmptyCenterOfMassAborts) {
+  EXPECT_DEATH(center_of_mass({}), "center of mass");
+}
+
+TEST(GeomDeath, EmptyBBoxRectAborts) {
+  BBox box;
+  EXPECT_DEATH(box.rect(), "bbox");
+}
+
+}  // namespace
+}  // namespace cals

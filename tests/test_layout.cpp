@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "place/layout.hpp"
+
+namespace cals {
+namespace {
+
+TEST(Floorplan, SquareWithRows) {
+  const TechParams tech;
+  const Floorplan fp = Floorplan::square_with_rows(71, tech);
+  EXPECT_EQ(fp.num_rows(), 71u);
+  EXPECT_NEAR(fp.die().height(), 71 * 6.4, 1e-9);
+  // Aspect ratio ~1 (width snapped to whole sites).
+  EXPECT_NEAR(fp.die().width(), fp.die().height(), tech.site_width_um);
+  // The paper's SPLA die: 207062 um^2 at 71 rows (ours snaps width down to
+  // whole sites, so it lands ~0.3% below).
+  EXPECT_NEAR(fp.die_area(), 207062.0, 700.0);
+}
+
+TEST(Floorplan, CoreAreaEqualsDieArea) {
+  const Floorplan fp = Floorplan::square_with_rows(10, TechParams{});
+  EXPECT_NEAR(fp.core_area(), fp.die_area(), 1e-6);
+}
+
+TEST(Floorplan, RowGeometry) {
+  const TechParams tech;
+  const Floorplan fp = Floorplan::square_with_rows(4, tech);
+  EXPECT_DOUBLE_EQ(fp.row_y(0), 3.2);
+  EXPECT_DOUBLE_EQ(fp.row_y(3), 3 * 6.4 + 3.2);
+  EXPECT_EQ(fp.nearest_row(0.0), 0u);
+  EXPECT_EQ(fp.nearest_row(3.2), 0u);
+  EXPECT_EQ(fp.nearest_row(7.0), 1u);
+  EXPECT_EQ(fp.nearest_row(1000.0), 3u);
+  EXPECT_EQ(fp.nearest_row(-50.0), 0u);
+}
+
+TEST(Floorplan, ForCellAreaRespectsUtilization) {
+  const TechParams tech;
+  const double cell_area = 50000.0;
+  const Floorplan fp = Floorplan::for_cell_area(cell_area, 0.6, tech);
+  EXPECT_LE(cell_area / fp.core_area(), 0.6 + 0.05);
+}
+
+TEST(Floorplan, SitesPerRow) {
+  const TechParams tech;
+  const Floorplan fp = Floorplan(2, 64.0, tech);
+  EXPECT_EQ(fp.sites_per_row(), 100u);
+  EXPECT_DOUBLE_EQ(fp.die().width(), 64.0);
+}
+
+TEST(FloorplanDeath, ZeroRowsAborts) {
+  EXPECT_DEATH(Floorplan(0, 100.0, TechParams{}), "at least one row");
+}
+
+}  // namespace
+}  // namespace cals

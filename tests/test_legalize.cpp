@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/rng.hpp"
+
+#include "place/legalize.hpp"
+
+namespace cals {
+namespace {
+
+struct Fixture {
+  TechParams tech;
+  Floorplan fp{Floorplan::square_with_rows(4, TechParams{})};
+  PlaceGraph graph;
+  Placement placement;
+
+  std::uint32_t add(double x, double y, double width_sites = 1.0) {
+    const std::uint32_t obj = graph.add_object(width_sites * tech.site_width_um);
+    placement.pos.resize(graph.num_objects);
+    placement.pos[obj] = {x, y};
+    return obj;
+  }
+};
+
+void expect_legal(const Fixture& f, const LegalizeResult& result) {
+  // Each movable object sits on a row center and on a site boundary, and
+  // objects in one row do not overlap.
+  std::map<std::uint32_t, std::vector<std::pair<double, double>>> rows;
+  for (std::uint32_t i = 0; i < f.graph.num_objects; ++i) {
+    if (f.graph.fixed[i]) continue;
+    const Point p = f.placement.pos[i];
+    const std::uint32_t row = result.row[i];
+    ASSERT_NE(row, UINT32_MAX);
+    EXPECT_NEAR(p.y, f.fp.row_y(row), 1e-9);
+    const double w = std::max(f.graph.width[i], f.fp.site_width());
+    const double lo = p.x - w / 2;
+    // Site alignment of the left edge.
+    const double site_units = (lo - f.fp.die().lo.x) / f.fp.site_width();
+    EXPECT_NEAR(site_units, std::round(site_units), 1e-6);
+    rows[row].push_back({lo, lo + w});
+  }
+  for (auto& [row, spans] : rows) {
+    std::sort(spans.begin(), spans.end());
+    for (std::size_t i = 1; i < spans.size(); ++i)
+      EXPECT_LE(spans[i - 1].second, spans[i].first + 1e-9) << "overlap in row " << row;
+  }
+}
+
+TEST(Legalize, SnapsToRowsAndSites) {
+  Fixture f;
+  f.add(3.1, 2.9);
+  f.add(7.7, 12.2);
+  const LegalizeResult result = legalize(f.graph, f.fp, f.placement);
+  EXPECT_TRUE(result.legal);
+  EXPECT_EQ(result.spills, 0u);
+  expect_legal(f, result);
+}
+
+TEST(Legalize, ResolvesOverlapsAtSamePoint) {
+  Fixture f;
+  for (int i = 0; i < 8; ++i) f.add(10.0, 10.0);
+  const LegalizeResult result = legalize(f.graph, f.fp, f.placement);
+  EXPECT_TRUE(result.legal);
+  expect_legal(f, result);
+}
+
+TEST(Legalize, KeepsDisplacementSmallWhenSparse) {
+  Fixture f;
+  const std::uint32_t obj = f.add(12.8, 9.6);  // exactly row 1 center, site-aligned
+  const LegalizeResult result = legalize(f.graph, f.fp, f.placement);
+  EXPECT_NEAR(result.max_displacement, 0.0, f.fp.site_width() + 1e-9);
+  EXPECT_EQ(result.row[obj], 1u);
+}
+
+TEST(Legalize, FixedObjectsUntouched) {
+  Fixture f;
+  const std::uint32_t pad = f.graph.add_fixed({0.0, 0.0});
+  f.placement.pos.resize(f.graph.num_objects);
+  f.placement.pos[pad] = {0.0, 0.0};
+  f.add(5.0, 5.0);
+  const LegalizeResult result = legalize(f.graph, f.fp, f.placement);
+  EXPECT_EQ(f.placement.pos[pad], (Point{0.0, 0.0}));
+  EXPECT_EQ(result.row[pad], UINT32_MAX);
+}
+
+TEST(Legalize, WideCellsRespectWidth) {
+  Fixture f;
+  f.add(5.0, 3.2, 4.0);
+  f.add(5.0, 3.2, 4.0);
+  const LegalizeResult result = legalize(f.graph, f.fp, f.placement);
+  EXPECT_TRUE(result.legal);
+  expect_legal(f, result);
+}
+
+TEST(Legalize, OverfullCoreSpills) {
+  Fixture f;
+  // 4 rows x 40 sites = 160 site capacity; demand 200 single-site cells.
+  for (int i = 0; i < 200; ++i) f.add(10.0, 10.0);
+  const LegalizeResult result = legalize(f.graph, f.fp, f.placement);
+  EXPECT_FALSE(result.legal);
+  EXPECT_GT(result.spills, 0u);
+}
+
+class LegalizeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LegalizeProperty, RandomConfigsStayLegal) {
+  // Random cell soup at ~70% utilization: legalization must always produce
+  // non-overlapping, row/site-aligned positions with no spills.
+  Fixture f;
+  Rng rng(GetParam() * 7919 + 13);
+  const double cap_sites = f.fp.num_rows() * f.fp.sites_per_row();
+  double used = 0.0;
+  while (used < cap_sites * 0.7) {
+    const double w = 1.0 + static_cast<double>(rng.below(5));
+    f.add(rng.uniform() * f.fp.die().width(), rng.uniform() * f.fp.die().height(), w);
+    used += w;
+  }
+  const LegalizeResult result = legalize(f.graph, f.fp, f.placement);
+  EXPECT_TRUE(result.legal);
+  EXPECT_EQ(result.spills, 0u);
+  expect_legal(f, result);
+  // All positions inside the die.
+  for (std::uint32_t i = 0; i < f.graph.num_objects; ++i) {
+    EXPECT_GE(f.placement.pos[i].x, f.fp.die().lo.x - 1e-9);
+    EXPECT_LE(f.placement.pos[i].x, f.fp.die().hi.x + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LegalizeProperty, ::testing::Range<std::uint64_t>(0, 10));
+
+TEST(Legalize, Deterministic) {
+  Fixture f1;
+  Fixture f2;
+  for (int i = 0; i < 30; ++i) {
+    f1.add(2.0 + i * 0.3, 5.0 + (i % 3));
+    f2.add(2.0 + i * 0.3, 5.0 + (i % 3));
+  }
+  legalize(f1.graph, f1.fp, f1.placement);
+  legalize(f2.graph, f2.fp, f2.placement);
+  for (std::uint32_t i = 0; i < f1.graph.num_objects; ++i)
+    EXPECT_EQ(f1.placement.pos[i], f2.placement.pos[i]);
+}
+
+}  // namespace
+}  // namespace cals

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace {
+// Keeps the busy-wait loop from being optimized away.
+void benchmark_guard(double& value) { asm volatile("" : "+m"(value)); }
+}  // namespace
+
+namespace cals {
+namespace {
+
+TEST(Log, ThresholdFiltersMessages) {
+  const ScopedLogLevel guard(LogLevel::kWarn);
+  ::testing::internal::CaptureStderr();
+  CALS_DEBUG("debug %d", 1);
+  CALS_INFO("info %d", 2);
+  CALS_WARN("warn %d", 3);
+  CALS_ERROR("error %d", 4);
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err.find("debug"), std::string::npos);
+  EXPECT_EQ(err.find("info"), std::string::npos);
+  EXPECT_NE(err.find("warn 3"), std::string::npos);
+  EXPECT_NE(err.find("error 4"), std::string::npos);
+}
+
+TEST(Log, SilentDropsEverything) {
+  const ScopedLogLevel guard(LogLevel::kSilent);
+  ::testing::internal::CaptureStderr();
+  CALS_ERROR("nope");
+  EXPECT_TRUE(::testing::internal::GetCapturedStderr().empty());
+}
+
+TEST(Log, ScopedLevelRestores) {
+  const LogLevel before = log_level();
+  {
+    const ScopedLogLevel guard(LogLevel::kDebug);
+    EXPECT_EQ(log_level(), LogLevel::kDebug);
+  }
+  EXPECT_EQ(log_level(), before);
+}
+
+TEST(Log, MessagesCarryLevelTag) {
+  const ScopedLogLevel guard(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  CALS_INFO("tagged");
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("[cals INFO ]"), std::string::npos);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer timer;
+  const double t0 = timer.seconds();
+  EXPECT_GE(t0, 0.0);
+  // Busy-wait a tiny amount; elapsed must be monotone.
+  double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  benchmark_guard(sink);
+  EXPECT_GE(timer.seconds(), t0);
+  timer.reset();
+  EXPECT_LT(timer.seconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace cals

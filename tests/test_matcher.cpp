@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "library/corelib.hpp"
+#include "map/matcher.hpp"
+
+namespace cals {
+namespace {
+
+bool has_cell_match(const Library& lib, const std::vector<Match>& matches,
+                    const std::string& name) {
+  return std::any_of(matches.begin(), matches.end(), [&](const Match& m) {
+    return lib.cell(m.cell).name() == name;
+  });
+}
+
+const Match& get_match(const Library& lib, const std::vector<Match>& matches,
+                       const std::string& name) {
+  for (const Match& m : matches)
+    if (lib.cell(m.cell).name() == name) return m;
+  ADD_FAILURE() << "no match for " << name;
+  static Match dummy;
+  return dummy;
+}
+
+struct Ctx {
+  BaseNetwork net;
+  Library lib{lib::make_corelib()};
+  std::vector<Point> pos;
+
+  SubjectForest forest() {
+    net.build_fanouts();
+    pos.assign(net.num_nodes(), Point{});
+    return partition_dag(net, PartitionStrategy::kDagon, pos);
+  }
+};
+
+TEST(Matcher, BaseCellsAlwaysMatch) {
+  Ctx c;
+  const NodeId a = c.net.add_pi("a");
+  const NodeId b = c.net.add_pi("b");
+  const NodeId n = c.net.add_nand2(a, b);
+  const NodeId i = c.net.add_inv(n);
+  c.net.add_po("o", i);
+  const SubjectForest forest = c.forest();
+  const Matcher matcher(c.net, forest, c.lib);
+  EXPECT_TRUE(has_cell_match(c.lib, matcher.matches_at(n), "NAND2"));
+  EXPECT_TRUE(has_cell_match(c.lib, matcher.matches_at(i), "INV"));
+}
+
+TEST(Matcher, Nand3MatchesAcrossTreeEdge) {
+  Ctx c;
+  const NodeId a = c.net.add_pi("a");
+  const NodeId b = c.net.add_pi("b");
+  const NodeId d = c.net.add_pi("d");
+  // NAND3(a,b,d) decomposition: NAND(d, INV(NAND(a,b)))
+  const NodeId inner = c.net.add_nand2(a, b);
+  const NodeId mid = c.net.add_inv(inner);
+  const NodeId root = c.net.add_nand2(mid, d);
+  c.net.add_po("o", root);
+  const SubjectForest forest = c.forest();
+  const Matcher matcher(c.net, forest, c.lib);
+  const auto matches = matcher.matches_at(root);
+  ASSERT_TRUE(has_cell_match(c.lib, matches, "NAND3"));
+  const Match& m = get_match(c.lib, matches, "NAND3");
+  EXPECT_EQ(m.covered.size(), 3u);
+  // Pin bindings are exactly {a, b, d} in some order.
+  std::vector<NodeId> pins = m.pins;
+  std::sort(pins.begin(), pins.end());
+  EXPECT_EQ(pins, (std::vector<NodeId>{a, b, d}));
+}
+
+TEST(Matcher, MatchStopsAtMultiFanoutBoundary) {
+  Ctx c;
+  const NodeId a = c.net.add_pi("a");
+  const NodeId b = c.net.add_pi("b");
+  const NodeId d = c.net.add_pi("d");
+  const NodeId inner = c.net.add_nand2(a, b);
+  const NodeId mid = c.net.add_inv(inner);
+  const NodeId root = c.net.add_nand2(mid, d);
+  c.net.add_po("o", root);
+  c.net.add_po("tap", mid);  // mid becomes multi-fanout (PO ref) -> own tree
+  const SubjectForest forest = c.forest();
+  const Matcher matcher(c.net, forest, c.lib);
+  // NAND3 would need to cover across mid, which now roots another tree.
+  EXPECT_FALSE(has_cell_match(c.lib, matcher.matches_at(root), "NAND3"));
+  EXPECT_TRUE(has_cell_match(c.lib, matcher.matches_at(root), "NAND2"));
+}
+
+TEST(Matcher, Aoi21Match) {
+  Ctx c;
+  const NodeId a = c.net.add_pi("a");
+  const NodeId b = c.net.add_pi("b");
+  const NodeId d = c.net.add_pi("d");
+  // AOI21 = INV(NAND(NAND(a,b), INV(d)))
+  const NodeId root = c.net.add_inv(c.net.add_nand2(c.net.add_nand2(a, b), c.net.add_inv(d)));
+  c.net.add_po("o", root);
+  const SubjectForest forest = c.forest();
+  const Matcher matcher(c.net, forest, c.lib);
+  EXPECT_TRUE(has_cell_match(c.lib, matcher.matches_at(root), "AOI21"));
+}
+
+TEST(Matcher, RepeatedVariableRejectsInconsistentBinding) {
+  Ctx c;
+  const NodeId a = c.net.add_pi("a");
+  const NodeId b = c.net.add_pi("b");
+  const NodeId d = c.net.add_pi("d");
+  const NodeId e = c.net.add_pi("e");
+  // XOR-shaped tree over four DISTINCT variables: the XOR2 pattern's
+  // repeated leaves (a twice, b twice) must fail to bind.
+  const NodeId l = c.net.add_nand2(a, c.net.add_inv(b));
+  const NodeId r = c.net.add_nand2(c.net.add_inv(d), e);
+  const NodeId x = c.net.add_nand2(l, r);
+  c.net.add_po("o", x);
+  const SubjectForest forest = c.forest();
+  const Matcher matcher(c.net, forest, c.lib);
+  const auto matches = matcher.matches_at(x);
+  EXPECT_FALSE(has_cell_match(c.lib, matches, "XOR2"));
+  EXPECT_FALSE(has_cell_match(c.lib, matches, "XNOR2"));
+  EXPECT_TRUE(has_cell_match(c.lib, matches, "NAND2"));
+}
+
+TEST(Matcher, XorMatchesWhenStructureIsTree) {
+  Ctx c;
+  const NodeId a = c.net.add_pi("a");
+  const NodeId b = c.net.add_pi("b");
+  // Build the XOR tree shape explicitly (INVs single-fanout):
+  const NodeId na = c.net.add_inv(a);
+  const NodeId nb = c.net.add_inv(b);
+  const NodeId l = c.net.add_nand2(a, nb);
+  const NodeId r = c.net.add_nand2(na, b);
+  const NodeId x = c.net.add_nand2(l, r);
+  c.net.add_po("o", x);
+  const SubjectForest forest = c.forest();
+  const Matcher matcher(c.net, forest, c.lib);
+  const auto matches = matcher.matches_at(x);
+  ASSERT_TRUE(has_cell_match(c.lib, matches, "XOR2"));
+  const Match& m = get_match(c.lib, matches, "XOR2");
+  EXPECT_EQ(m.covered.size(), 5u);
+  std::vector<NodeId> pins = m.pins;
+  std::sort(pins.begin(), pins.end());
+  EXPECT_EQ(pins, (std::vector<NodeId>{a, b}));
+}
+
+TEST(Matcher, Nand4BothDecompositions) {
+  const Library lib = lib::make_corelib();
+  // Balanced shape: NAND(INV(NAND(a,b)), INV(NAND(c,d))).
+  {
+    Ctx c;
+    c.lib = lib;
+    const NodeId a = c.net.add_pi("a");
+    const NodeId b = c.net.add_pi("b");
+    const NodeId d = c.net.add_pi("d");
+    const NodeId e = c.net.add_pi("e");
+    const NodeId root =
+        c.net.add_nand2(c.net.add_inv(c.net.add_nand2(a, b)),
+                        c.net.add_inv(c.net.add_nand2(d, e)));
+    c.net.add_po("o", root);
+    const SubjectForest forest = c.forest();
+    const Matcher matcher(c.net, forest, c.lib);
+    EXPECT_TRUE(has_cell_match(c.lib, matcher.matches_at(root), "NAND4"));
+  }
+  // Linear shape: NAND(a, INV(NAND(b, INV(NAND(c,d))))).
+  {
+    Ctx c;
+    c.lib = lib;
+    const NodeId a = c.net.add_pi("a");
+    const NodeId b = c.net.add_pi("b");
+    const NodeId d = c.net.add_pi("d");
+    const NodeId e = c.net.add_pi("e");
+    const NodeId inner = c.net.add_inv(c.net.add_nand2(d, e));
+    const NodeId mid = c.net.add_inv(c.net.add_nand2(b, inner));
+    const NodeId root = c.net.add_nand2(a, mid);
+    c.net.add_po("o", root);
+    const SubjectForest forest = c.forest();
+    const Matcher matcher(c.net, forest, c.lib);
+    EXPECT_TRUE(has_cell_match(c.lib, matcher.matches_at(root), "NAND4"));
+  }
+}
+
+TEST(Matcher, CommutativeOrderBothWays) {
+  Ctx c;
+  const NodeId a = c.net.add_pi("a");
+  const NodeId b = c.net.add_pi("b");
+  const NodeId d = c.net.add_pi("d");
+  // OAI21 = NAND(NAND(INV(a),INV(b)), c) — build with operands swapped so
+  // matching must try both orders (strash normalizes, so craft ids).
+  const NodeId or_ab = c.net.add_nand2(c.net.add_inv(a), c.net.add_inv(b));
+  const NodeId root = c.net.add_nand2(d, or_ab);  // d first
+  c.net.add_po("o", root);
+  const SubjectForest forest = c.forest();
+  const Matcher matcher(c.net, forest, c.lib);
+  EXPECT_TRUE(has_cell_match(c.lib, matcher.matches_at(root), "OAI21"));
+}
+
+TEST(Matcher, MatchesAreDeterministic) {
+  Ctx c;
+  const NodeId a = c.net.add_pi("a");
+  const NodeId b = c.net.add_pi("b");
+  const NodeId n = c.net.add_and2(a, b);
+  c.net.add_po("o", n);
+  const SubjectForest forest = c.forest();
+  const Matcher matcher(c.net, forest, c.lib);
+  const auto m1 = matcher.matches_at(n);
+  const auto m2 = matcher.matches_at(n);
+  ASSERT_EQ(m1.size(), m2.size());
+  for (std::size_t i = 0; i < m1.size(); ++i) {
+    EXPECT_EQ(m1[i].cell, m2[i].cell);
+    EXPECT_EQ(m1[i].pins, m2[i].pins);
+  }
+}
+
+}  // namespace
+}  // namespace cals

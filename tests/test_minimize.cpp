@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "sop/minimize.hpp"
+#include "util/rng.hpp"
+#include "workloads/plagen.hpp"
+
+namespace cals {
+namespace {
+
+TEST(Minimize, RemovesContainedCubes) {
+  Sop sop;
+  sop.num_inputs = 3;
+  sop.cubes = {Cube::parse("1--"), Cube::parse("110")};
+  const MinimizeStats stats = minimize(sop);
+  EXPECT_EQ(sop.cubes.size(), 1u);
+  EXPECT_EQ(sop.cubes[0].str(), "1--");
+  EXPECT_EQ(stats.containments_removed, 1u);
+}
+
+TEST(Minimize, MergesAdjacentCubes) {
+  Sop sop;
+  sop.num_inputs = 2;
+  sop.cubes = {Cube::parse("10"), Cube::parse("11")};
+  minimize(sop);
+  ASSERT_EQ(sop.cubes.size(), 1u);
+  EXPECT_EQ(sop.cubes[0].str(), "1-");
+}
+
+TEST(Minimize, CascadesToFixpoint) {
+  // Four minterms of a 2-input tautology collapse to the universal cube.
+  Sop sop;
+  sop.num_inputs = 2;
+  sop.cubes = {Cube::parse("00"), Cube::parse("01"), Cube::parse("10"), Cube::parse("11")};
+  minimize(sop);
+  ASSERT_EQ(sop.cubes.size(), 1u);
+  EXPECT_EQ(sop.cubes[0].str(), "--");
+}
+
+TEST(Minimize, IdempotentOnMinimalCover) {
+  Sop sop;
+  sop.num_inputs = 3;
+  sop.cubes = {Cube::parse("1-1"), Cube::parse("01-")};
+  const MinimizeStats stats = minimize(sop);
+  EXPECT_EQ(stats.merges, 0u);
+  EXPECT_EQ(stats.containments_removed, 0u);
+  EXPECT_EQ(sop.cubes.size(), 2u);
+}
+
+class MinimizeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MinimizeProperty, PreservesFunctionExhaustively) {
+  Rng rng(GetParam());
+  const std::uint32_t num_inputs = 2 + static_cast<std::uint32_t>(rng.below(7));  // <= 8
+  Sop sop;
+  sop.num_inputs = num_inputs;
+  const std::uint32_t num_cubes = 1 + static_cast<std::uint32_t>(rng.below(24));
+  for (std::uint32_t c = 0; c < num_cubes; ++c) {
+    Cube cube(num_inputs);
+    for (std::uint32_t i = 0; i < num_inputs; ++i) {
+      const auto roll = rng.below(3);
+      cube.set(i, roll == 0 ? Lit::kZero : roll == 1 ? Lit::kOne : Lit::kDash);
+    }
+    sop.cubes.push_back(std::move(cube));
+  }
+  Sop minimized = sop;
+  minimize(minimized);
+  EXPECT_LE(minimized.cubes.size(), sop.cubes.size());
+  for (std::uint64_t m = 0; m < (1ULL << num_inputs); ++m)
+    ASSERT_EQ(minimized.eval(m), sop.eval(m)) << "minterm " << m;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinimizeProperty, ::testing::Range<std::uint64_t>(0, 40));
+
+class PlaMinimizeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PlaMinimizeProperty, PreservesAllOutputs) {
+  PlaGenSpec spec;
+  spec.num_inputs = 8;
+  spec.num_outputs = 5;
+  spec.num_products = 40;
+  spec.care_probability = 0.5;
+  spec.outputs_per_product = 2.0;
+  spec.seed = GetParam();
+  const Pla pla = generate_pla(spec);
+  Pla minimized = pla;
+  minimize(minimized);
+  minimized.validate();
+  EXPECT_LE(minimized.products.size(), pla.products.size());
+  for (std::uint32_t o = 0; o < pla.num_outputs; ++o)
+    for (std::uint64_t m = 0; m < 256; ++m)
+      ASSERT_EQ(minimized.eval(o, m), pla.eval(o, m)) << "output " << o << " minterm " << m;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlaMinimizeProperty, ::testing::Range<std::uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace cals

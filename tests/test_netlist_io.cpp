@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "library/corelib.hpp"
+#include "map/netlist_io.hpp"
+
+namespace cals {
+namespace {
+
+MappedNetlist sample(const Library& lib) {
+  MappedNetlist netlist(&lib);
+  const Signal a = netlist.add_pi("a");
+  const Signal b = netlist.add_pi("b");
+  const Signal g0 = netlist.add_instance(lib.cell_id("NAND2"), {a, b}, {3.5, 6.25});
+  const Signal g1 = netlist.add_instance(lib.cell_id("INV"), {g0}, {10.0, 6.25});
+  netlist.add_po("f", g1);
+  netlist.add_po("g", g0);
+  netlist.add_po("tied", Signal::const1());
+  return netlist;
+}
+
+TEST(NetlistIo, VerilogStructure) {
+  const Library lib = lib::make_corelib();
+  const std::string v = write_verilog_string(sample(lib), "top");
+  EXPECT_NE(v.find("module top (a, b, f, g, tied);"), std::string::npos);
+  EXPECT_NE(v.find("NAND2 u0 (.a(a), .b(b), .o(n0));"), std::string::npos);
+  EXPECT_NE(v.find("INV u1 (.a(n0), .o(n1));"), std::string::npos);
+  EXPECT_NE(v.find("assign f = n1;"), std::string::npos);
+  EXPECT_NE(v.find("assign g = n0;"), std::string::npos);
+  EXPECT_NE(v.find("assign tied = 1'b1;"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+}
+
+TEST(NetlistIo, MappedBlifStructure) {
+  const Library lib = lib::make_corelib();
+  const std::string blif = write_mapped_blif_string(sample(lib), "top");
+  EXPECT_NE(blif.find(".model top"), std::string::npos);
+  EXPECT_NE(blif.find(".gate NAND2 a=a b=b o=n0"), std::string::npos);
+  EXPECT_NE(blif.find(".gate INV a=n0 o=n1"), std::string::npos);
+  EXPECT_NE(blif.find(".names n1 f\n1 1"), std::string::npos);
+  // Constant PO: a one-line tautology table.
+  EXPECT_NE(blif.find(".names tied\n1"), std::string::npos);
+}
+
+TEST(NetlistIo, MappedBlifRoundTrip) {
+  const Library lib = lib::make_corelib();
+  const MappedNetlist before = sample(lib);
+  const MappedNetlist after =
+      read_mapped_blif_string(write_mapped_blif_string(before, "top"), lib);
+  ASSERT_EQ(after.num_pis(), before.num_pis());
+  ASSERT_EQ(after.num_instances(), before.num_instances());
+  ASSERT_EQ(after.pos().size(), before.pos().size());
+  EXPECT_EQ(after.pos()[2].driver, Signal::const1());
+  const std::vector<std::uint64_t> words{0x00ff00ff00ff00ffULL, 0x0f0f0f0f0f0f0f0fULL};
+  EXPECT_EQ(after.simulate64(words), before.simulate64(words));
+}
+
+TEST(NetlistIo, MappedBlifRoundTripLargerCircuit) {
+  // A netlist with complex cells and shared signals survives the roundtrip.
+  const Library lib = lib::make_corelib();
+  MappedNetlist netlist(&lib);
+  const Signal a = netlist.add_pi("a");
+  const Signal b = netlist.add_pi("b");
+  const Signal c = netlist.add_pi("c");
+  const Signal d = netlist.add_pi("d");
+  const Signal g0 = netlist.add_instance(lib.cell_id("AOI21"), {a, b, c}, {1, 1});
+  const Signal g1 = netlist.add_instance(lib.cell_id("XOR2"), {g0, d}, {2, 2});
+  const Signal g2 = netlist.add_instance(lib.cell_id("OAI22"), {g0, g1, c, a}, {3, 3});
+  netlist.add_po("x", g1);
+  netlist.add_po("y", g2);
+  const MappedNetlist again =
+      read_mapped_blif_string(write_mapped_blif_string(netlist, "m"), lib);
+  const std::vector<std::uint64_t> words{0xaaaaaaaaaaaaaaaaULL, 0xccccccccccccccccULL,
+                                         0xf0f0f0f0f0f0f0f0ULL, 0xff00ff00ff00ff00ULL};
+  EXPECT_EQ(again.simulate64(words), netlist.simulate64(words));
+}
+
+TEST(NetlistIoDeath, MappedBlifRejectsUnknownCell) {
+  const Library lib = lib::make_corelib();
+  EXPECT_DEATH(read_mapped_blif_string(
+                   ".model x\n.inputs a\n.outputs f\n.gate NAND9 a=a o=f\n.end\n", lib),
+               "unknown cell");
+}
+
+TEST(NetlistIo, VerilogRoundTrip) {
+  const Library lib = lib::make_corelib();
+  const MappedNetlist before = sample(lib);
+  const MappedNetlist after =
+      read_verilog_string(write_verilog_string(before, "top"), lib);
+  ASSERT_EQ(after.num_pis(), before.num_pis());
+  ASSERT_EQ(after.num_instances(), before.num_instances());
+  ASSERT_EQ(after.pos().size(), before.pos().size());
+  EXPECT_EQ(after.pos()[2].driver, Signal::const1());
+  const std::vector<std::uint64_t> words{0x123456789abcdef0ULL, 0x0ff00ff00ff00ff0ULL};
+  EXPECT_EQ(after.simulate64(words), before.simulate64(words));
+}
+
+TEST(NetlistIo, VerilogRoundTripComplexCells) {
+  const Library lib = lib::make_corelib();
+  MappedNetlist netlist(&lib);
+  const Signal a = netlist.add_pi("a");
+  const Signal b = netlist.add_pi("b");
+  const Signal c = netlist.add_pi("c");
+  const Signal d = netlist.add_pi("d");
+  const Signal g0 = netlist.add_instance(lib.cell_id("OAI21"), {a, b, c}, {});
+  const Signal g1 = netlist.add_instance(lib.cell_id("XNOR2"), {g0, d}, {});
+  const Signal g2 = netlist.add_instance(lib.cell_id("NAND4"), {a, b, g0, g1}, {});
+  netlist.add_po("p", g1);
+  netlist.add_po("q", g2);
+  const MappedNetlist again =
+      read_verilog_string(write_verilog_string(netlist, "m"), lib);
+  const std::vector<std::uint64_t> words{0xaaaaaaaaaaaaaaaaULL, 0xccccccccccccccccULL,
+                                         0xf0f0f0f0f0f0f0f0ULL, 0xff00ff00ff00ff00ULL};
+  EXPECT_EQ(again.simulate64(words), netlist.simulate64(words));
+}
+
+TEST(NetlistIoDeath, VerilogRejectsUnknownCell) {
+  const Library lib = lib::make_corelib();
+  EXPECT_DEATH(
+      read_verilog_string("module m (a, f);\n input a;\n output f;\n"
+                          " FOO u0 (.a(a), .o(f));\nendmodule\n",
+                          lib),
+      "unknown cell");
+}
+
+TEST(NetlistIo, PlacementDump) {
+  const Library lib = lib::make_corelib();
+  const std::string placement = write_placement_string(sample(lib));
+  EXPECT_NE(placement.find("NAND2 u0 3.500 6.250"), std::string::npos);
+  EXPECT_NE(placement.find("INV u1 10.000 6.250"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cals

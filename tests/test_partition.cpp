@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "flow/baselines.hpp"
+#include "map/partition.hpp"
+#include "netlist/dag.hpp"
+#include "workloads/plagen.hpp"
+
+namespace cals {
+namespace {
+
+/// Shared multi-fanout gate s = NAND(a,b) read by g1 = INV(s) and
+/// g2 = NAND(s,c); POs on g1 and g2.
+struct SharedFixture {
+  BaseNetwork net;
+  NodeId a, b, c, s, g1, g2;
+  std::vector<Point> pos;
+
+  SharedFixture(Point ps, Point p1, Point p2) {
+    a = net.add_pi("a");
+    b = net.add_pi("b");
+    c = net.add_pi("c");
+    s = net.add_nand2(a, b);
+    g1 = net.add_inv(s);
+    g2 = net.add_nand2(s, c);
+    net.add_po("o1", g1);
+    net.add_po("o2", g2);
+    net.build_fanouts();
+    pos.assign(net.num_nodes(), Point{});
+    pos[s.v] = ps;
+    pos[g1.v] = p1;
+    pos[g2.v] = p2;
+  }
+};
+
+TEST(Partition, DagonSplitsAtMultiFanout) {
+  SharedFixture f({0, 0}, {1, 0}, {5, 0});
+  const SubjectForest forest =
+      partition_dag(f.net, PartitionStrategy::kDagon, f.pos);
+  validate_forest(f.net, forest);
+  // s roots its own tree; g1 and g2 root theirs (PO drivers): 3 trees.
+  EXPECT_EQ(forest.trees.size(), 3u);
+  EXPECT_EQ(forest.father[f.s.v], kConst0Node);
+}
+
+TEST(Partition, PdpFatherIsNearestReader) {
+  SharedFixture f({0, 0}, {1, 0}, {5, 0});
+  const SubjectForest forest =
+      partition_dag(f.net, PartitionStrategy::kPlacementDriven, f.pos);
+  validate_forest(f.net, forest);
+  // g1 at distance 1, g2 at distance 5: father(s) = g1.
+  EXPECT_EQ(forest.father[f.s.v], f.g1);
+  EXPECT_EQ(forest.tree_of[f.s.v], forest.tree_of[f.g1.v]);
+  EXPECT_EQ(forest.trees.size(), 2u);
+}
+
+TEST(Partition, PdpFlipsWithGeometry) {
+  SharedFixture f({0, 0}, {9, 0}, {2, 0});
+  const SubjectForest forest =
+      partition_dag(f.net, PartitionStrategy::kPlacementDriven, f.pos);
+  EXPECT_EQ(forest.father[f.s.v], f.g2);
+}
+
+TEST(Partition, PdpIgnoresRootOrder) {
+  // The nearest-reader rule is order-free: reversing PO order changes
+  // nothing about the fathers.
+  SharedFixture f1({0, 0}, {1, 0}, {5, 0});
+  BaseNetwork net2;
+  {
+    const NodeId a = net2.add_pi("a");
+    const NodeId b = net2.add_pi("b");
+    const NodeId c = net2.add_pi("c");
+    const NodeId s = net2.add_nand2(a, b);
+    const NodeId g1 = net2.add_inv(s);
+    const NodeId g2 = net2.add_nand2(s, c);
+    net2.add_po("o2", g2);  // reversed PO order
+    net2.add_po("o1", g1);
+  }
+  net2.build_fanouts();
+  const SubjectForest fa =
+      partition_dag(f1.net, PartitionStrategy::kPlacementDriven, f1.pos);
+  const SubjectForest fb = partition_dag(net2, PartitionStrategy::kPlacementDriven, f1.pos);
+  EXPECT_EQ(fa.father[f1.s.v], fb.father[f1.s.v]);
+}
+
+TEST(Partition, ConesFatherFollowsPoOrder) {
+  // With DFS-order partitioning the first PO's cone claims the shared gate.
+  SharedFixture f({0, 0}, {1, 0}, {5, 0});
+  const SubjectForest forest = partition_dag(f.net, PartitionStrategy::kCones, f.pos);
+  validate_forest(f.net, forest);
+  EXPECT_EQ(forest.father[f.s.v], f.g1);  // o1 processed first
+}
+
+TEST(Partition, PoReferencedGateStaysRoot) {
+  // A gate that both drives a PO and feeds logic must remain exposed.
+  BaseNetwork net;
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId s = net.add_nand2(a, b);
+  const NodeId g = net.add_inv(s);
+  net.add_po("tap", s);
+  net.add_po("o", g);
+  net.build_fanouts();
+  std::vector<Point> pos(net.num_nodes(), Point{});
+  for (auto strategy : {PartitionStrategy::kDagon, PartitionStrategy::kCones,
+                        PartitionStrategy::kPlacementDriven}) {
+    const SubjectForest forest = partition_dag(net, strategy, pos);
+    EXPECT_EQ(forest.father[s.v], kConst0Node);
+    EXPECT_EQ(forest.trees[forest.tree_of[s.v]].root, s);
+  }
+}
+
+TEST(Partition, SingleFanoutChainsStayTogether) {
+  BaseNetwork net;
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId n1 = net.add_nand2(a, b);
+  const NodeId n2 = net.add_inv(n1);
+  const NodeId n3 = net.add_nand2(n2, a);
+  net.add_po("o", n3);
+  net.build_fanouts();
+  std::vector<Point> pos(net.num_nodes(), Point{});
+  for (auto strategy : {PartitionStrategy::kDagon, PartitionStrategy::kCones,
+                        PartitionStrategy::kPlacementDriven}) {
+    const SubjectForest forest = partition_dag(net, strategy, pos);
+    EXPECT_EQ(forest.trees.size(), 1u);
+    EXPECT_EQ(forest.trees[0].vertices.size(), 3u);
+  }
+}
+
+class PartitionProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, PartitionStrategy>> {};
+
+TEST_P(PartitionProperty, ForestInvariantsOnRandomCircuits) {
+  const auto [seed, strategy] = GetParam();
+  PlaGenSpec spec;
+  spec.num_inputs = 10;
+  spec.num_outputs = 6;
+  spec.num_products = 60;
+  spec.seed = seed;
+  BaseNetwork net = synthesize_base(generate_pla(spec));
+  net.build_fanouts();
+  std::vector<Point> pos(net.num_nodes());
+  for (std::uint32_t i = 0; i < net.num_nodes(); ++i)
+    pos[i] = {static_cast<double>((i * 37) % 101), static_cast<double>((i * 53) % 89)};
+  const SubjectForest forest = partition_dag(net, strategy, pos);
+  validate_forest(net, forest);
+  // Tree count sanity: between #POs and #gates.
+  EXPECT_GE(forest.trees.size(), 1u);
+  std::size_t total = 0;
+  for (const SubjectTree& tree : forest.trees) total += tree.vertices.size();
+  EXPECT_EQ(total, net.num_base_gates());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndStrategies, PartitionProperty,
+    ::testing::Combine(::testing::Range<std::uint64_t>(0, 8),
+                       ::testing::Values(PartitionStrategy::kDagon,
+                                         PartitionStrategy::kCones,
+                                         PartitionStrategy::kPlacementDriven)));
+
+}  // namespace
+}  // namespace cals

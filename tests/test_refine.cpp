@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "place/legalize.hpp"
+#include "place/refine.hpp"
+#include "util/rng.hpp"
+
+namespace cals {
+namespace {
+
+struct Fixture {
+  TechParams tech;
+  Floorplan fp{Floorplan::square_with_rows(6, TechParams{})};
+  PlaceGraph graph;
+  Placement placement;
+
+  std::uint32_t add_at(double x, double y) {
+    const std::uint32_t obj = graph.add_object(tech.site_width_um);
+    placement.pos.resize(graph.num_objects);
+    placement.pos[obj] = {x, y};
+    return obj;
+  }
+};
+
+TEST(Refine, UncrossesTwoSwappedCells) {
+  // Pads at the far left and right; the two cells start on the wrong sides.
+  Fixture f;
+  const std::uint32_t left_pad = f.graph.add_fixed({0.0, 19.2});
+  const std::uint32_t right_pad = f.graph.add_fixed({38.0, 19.2});
+  f.placement.pos.resize(f.graph.num_objects);
+  f.placement.pos[left_pad] = {0.0, 19.2};
+  f.placement.pos[right_pad] = {38.0, 19.2};
+  const std::uint32_t near_right = f.add_at(32.0, 19.2);  // wants left pad
+  const std::uint32_t near_left = f.add_at(6.4, 19.2);    // wants right pad
+  f.graph.nets.push_back({{left_pad, near_right}});
+  f.graph.nets.push_back({{right_pad, near_left}});
+
+  legalize(f.graph, f.fp, f.placement);
+  RefineOptions options;
+  options.radius_um = 64.0;
+  const RefineStats stats = refine_placement(f.graph, f.fp, f.placement, options);
+  EXPECT_GE(stats.swaps, 1u);
+  EXPECT_LT(stats.hpwl_after, stats.hpwl_before);
+  EXPECT_LT(f.placement.pos[near_right].x, f.placement.pos[near_left].x);
+}
+
+TEST(Refine, NeverIncreasesHpwl) {
+  Fixture f;
+  Rng rng(31);
+  std::vector<std::uint32_t> objs;
+  for (int i = 0; i < 60; ++i)
+    objs.push_back(f.add_at(rng.uniform() * 38.0, rng.uniform() * 38.0));
+  for (int n = 0; n < 50; ++n) {
+    HyperNet net;
+    for (int p = 0; p < 3; ++p) net.pins.push_back(objs[rng.below(objs.size())]);
+    if (net.pins[0] != net.pins[1]) f.graph.nets.push_back(std::move(net));
+  }
+  legalize(f.graph, f.fp, f.placement);
+  const double before = f.placement.hpwl(f.graph);
+  const RefineStats stats = refine_placement(f.graph, f.fp, f.placement);
+  EXPECT_LE(stats.hpwl_after, before + 1e-9);
+  EXPECT_DOUBLE_EQ(stats.hpwl_before, before);
+  EXPECT_DOUBLE_EQ(stats.hpwl_after, f.placement.hpwl(f.graph));
+}
+
+TEST(Refine, PreservesLegalSlotSet) {
+  // Swapping equal-width cells must permute the slot set, not invent slots.
+  Fixture f;
+  Rng rng(37);
+  for (int i = 0; i < 40; ++i) f.add_at(rng.uniform() * 38.0, rng.uniform() * 38.0);
+  for (std::uint32_t n = 0; n + 1 < f.graph.num_objects; n += 2)
+    f.graph.nets.push_back({{n, n + 1}});
+  legalize(f.graph, f.fp, f.placement);
+  auto slot_set = [&]() {
+    std::vector<std::pair<double, double>> slots;
+    for (std::uint32_t i = 0; i < f.graph.num_objects; ++i)
+      slots.push_back({f.placement.pos[i].x, f.placement.pos[i].y});
+    std::sort(slots.begin(), slots.end());
+    return slots;
+  };
+  const auto before = slot_set();
+  refine_placement(f.graph, f.fp, f.placement);
+  EXPECT_EQ(slot_set(), before);
+}
+
+TEST(Refine, Deterministic) {
+  auto build = [] {
+    Fixture f;
+    Rng rng(41);
+    for (int i = 0; i < 50; ++i) f.add_at(rng.uniform() * 38.0, rng.uniform() * 38.0);
+    for (std::uint32_t n = 0; n + 2 < f.graph.num_objects; n += 3)
+      f.graph.nets.push_back({{n, n + 1, n + 2}});
+    legalize(f.graph, f.fp, f.placement);
+    return f;
+  };
+  Fixture f1 = build();
+  Fixture f2 = build();
+  refine_placement(f1.graph, f1.fp, f1.placement);
+  refine_placement(f2.graph, f2.fp, f2.placement);
+  for (std::uint32_t i = 0; i < f1.graph.num_objects; ++i)
+    EXPECT_EQ(f1.placement.pos[i], f2.placement.pos[i]);
+}
+
+TEST(Refine, FixedObjectsNeverMove) {
+  Fixture f;
+  const std::uint32_t pad = f.graph.add_fixed({5.0, 5.0});
+  f.placement.pos.resize(f.graph.num_objects);
+  f.placement.pos[pad] = {5.0, 5.0};
+  const std::uint32_t a = f.add_at(10.0, 10.0);
+  const std::uint32_t b = f.add_at(20.0, 10.0);
+  f.graph.nets.push_back({{pad, a, b}});
+  legalize(f.graph, f.fp, f.placement);
+  refine_placement(f.graph, f.fp, f.placement);
+  EXPECT_EQ(f.placement.pos[pad], (Point{5.0, 5.0}));
+}
+
+}  // namespace
+}  // namespace cals

@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include "route/congestion.hpp"
+#include "route/router.hpp"
+#include "util/rng.hpp"
+
+namespace cals {
+namespace {
+
+struct Fixture {
+  Floorplan fp{Floorplan::square_with_rows(10, TechParams{})};  // 64x64 um, 10x10 gcells
+  PlaceGraph graph;
+  Placement placement;
+
+  std::uint32_t pin(double x, double y) {
+    const std::uint32_t obj = graph.add_fixed({x, y});
+    placement.pos.resize(graph.num_objects);
+    placement.pos[obj] = {x, y};
+    return obj;
+  }
+  void net(std::vector<std::uint32_t> pins) { graph.nets.push_back({std::move(pins)}); }
+};
+
+TEST(RoutingGrid, GeometryAndCapacity) {
+  const Floorplan fp = Floorplan::square_with_rows(10, TechParams{});
+  RGridOptions options;
+  options.capacity_scale = 1.0;
+  const RoutingGrid grid(fp, options);
+  EXPECT_EQ(grid.nx(), 10);
+  EXPECT_EQ(grid.ny(), 10);
+  // 3 layers: 1 vertical (M2), 1 horizontal (M3) + 35% of M1.
+  const double tracks = 6.4 / 0.56;
+  EXPECT_NEAR(grid.v_capacity(), tracks, 1e-9);
+  EXPECT_NEAR(grid.h_capacity(), tracks * 1.35, 1e-9);
+}
+
+TEST(RoutingGrid, MoreLayersMoreCapacity) {
+  TechParams tech;
+  tech.metal_layers = 5;  // M2/M4 vertical, M3/M5 horizontal
+  const Floorplan fp = Floorplan::square_with_rows(10, tech);
+  RGridOptions options;
+  options.capacity_scale = 1.0;
+  const RoutingGrid grid(fp, options);
+  const double tracks = 6.4 / tech.routing_pitch_um;
+  EXPECT_NEAR(grid.v_capacity(), 2 * tracks, 1e-9);
+  EXPECT_NEAR(grid.h_capacity(), (2 + options.m1_fraction) * tracks, 1e-9);
+}
+
+TEST(RoutingGridDeath, TooFewLayersAborts) {
+  TechParams tech;
+  tech.metal_layers = 1;  // no vertical routing layer at all
+  const Floorplan fp = Floorplan::square_with_rows(10, tech);
+  EXPECT_DEATH(RoutingGrid(fp, {}), "metal layers");
+}
+
+TEST(RoutingGrid, CellMapping) {
+  const Floorplan fp = Floorplan::square_with_rows(10, TechParams{});
+  const RoutingGrid grid(fp, {});
+  EXPECT_EQ(grid.cell_at({0.1, 0.1}), (GCell{0, 0}));
+  EXPECT_EQ(grid.cell_at({63.9, 63.9}), (GCell{9, 9}));
+  EXPECT_EQ(grid.cell_at({-5, 1000}), (GCell{0, 9}));  // clamped
+  const Point c = grid.cell_center({3, 4});
+  EXPECT_EQ(grid.cell_at(c), (GCell{3, 4}));
+}
+
+TEST(RoutingGrid, OverflowAccounting) {
+  const Floorplan fp = Floorplan::square_with_rows(10, TechParams{});
+  RGridOptions options;
+  options.capacity_scale = 1.0;
+  RoutingGrid grid(fp, options);
+  EXPECT_EQ(grid.total_overflow(), 0u);
+  grid.add_h_usage(0, 0, grid.h_capacity() + 2.5);
+  EXPECT_EQ(grid.total_overflow(), 3u);  // ceil(2.5)
+  EXPECT_EQ(grid.overflowed_edges(), 1u);
+  EXPECT_GT(grid.max_utilization(), 1.0);
+  grid.clear_usage();
+  EXPECT_EQ(grid.total_overflow(), 0u);
+}
+
+TEST(Route, SimpleTwoPinNet) {
+  Fixture f;
+  const auto a = f.pin(3.0, 3.0);
+  const auto b = f.pin(40.0, 30.0);
+  f.net({a, b});
+  RoutingGrid grid(f.fp, {});
+  const RouteResult result = route(grid, f.graph, f.placement);
+  EXPECT_TRUE(result.routable());
+  ASSERT_EQ(result.nets.size(), 1u);
+  // Manhattan distance in gcells between (0,0) and (6,4).
+  EXPECT_EQ(result.nets[0].length, 10u);
+  EXPECT_EQ(result.wirelength_gcells, 10u);
+  EXPECT_NEAR(result.wirelength_um, 10 * 6.4, 1e-9);
+}
+
+TEST(Route, UsageMatchesWirelength) {
+  Fixture f;
+  Rng rng(3);
+  std::vector<std::uint32_t> objs;
+  for (int i = 0; i < 30; ++i)
+    objs.push_back(f.pin(rng.uniform() * 60, rng.uniform() * 60));
+  for (int n = 0; n < 15; ++n)
+    f.net({objs[rng.below(30)], objs[rng.below(30)], objs[rng.below(30)]});
+  // Drop degenerate nets (same object twice leaves < 2 unique pins).
+  RoutingGrid grid(f.fp, {});
+  const RouteResult result = route(grid, f.graph, f.placement);
+  double usage = 0.0;
+  for (double u : grid.h_usage_raw()) usage += u;
+  for (double u : grid.v_usage_raw()) usage += u;
+  EXPECT_NEAR(usage, static_cast<double>(result.wirelength_gcells), 1e-6);
+}
+
+TEST(Route, ZeroLengthNetsAreFree) {
+  Fixture f;
+  const auto a = f.pin(3.0, 3.0);
+  const auto b = f.pin(3.1, 3.1);  // same gcell
+  f.net({a, b});
+  RoutingGrid grid(f.fp, {});
+  const RouteResult result = route(grid, f.graph, f.placement);
+  EXPECT_EQ(result.wirelength_gcells, 0u);
+  EXPECT_TRUE(result.routable());
+}
+
+TEST(Route, RipUpResolvesContention) {
+  // Many nets crossing one column; tight capacity forces detours but the
+  // grid is large enough that RRR must resolve all overflow.
+  Fixture f;
+  for (int i = 0; i < 8; ++i) {
+    const auto a = f.pin(1.0, 3.0 + 6.4 * i * 0.9);
+    const auto b = f.pin(60.0, 3.0 + 6.4 * i * 0.9);
+    f.net({a, b});
+  }
+  RGridOptions options;
+  options.capacity_scale = 0.3;  // h capacity ~4.6 tracks
+  RoutingGrid grid(f.fp, options);
+  const RouteResult result = route(grid, f.graph, f.placement);
+  EXPECT_TRUE(result.routable());
+}
+
+TEST(Route, Deterministic) {
+  Fixture f;
+  Rng rng(5);
+  std::vector<std::uint32_t> objs;
+  for (int i = 0; i < 40; ++i) objs.push_back(f.pin(rng.uniform() * 60, rng.uniform() * 60));
+  for (int n = 0; n < 30; ++n) f.net({objs[rng.below(40)], objs[(n * 7) % 40]});
+  RGridOptions options;
+  options.capacity_scale = 0.4;
+  RoutingGrid g1(f.fp, options);
+  RoutingGrid g2(f.fp, options);
+  const RouteResult r1 = route(g1, f.graph, f.placement);
+  const RouteResult r2 = route(g2, f.graph, f.placement);
+  EXPECT_EQ(r1.wirelength_gcells, r2.wirelength_gcells);
+  EXPECT_EQ(r1.total_overflow, r2.total_overflow);
+}
+
+TEST(Route, OverflowReportedWhenImpossible) {
+  // 20 parallel nets through a 1-gcell-tall corridor of tiny capacity.
+  Fixture f;
+  for (int i = 0; i < 20; ++i) {
+    const auto a = f.pin(1.0, 32.0);
+    const auto b = f.pin(60.0, 32.0);
+    f.net({a, b});
+  }
+  RGridOptions options;
+  options.capacity_scale = 0.05;
+  RoutingGrid grid(f.fp, options);
+  const RouteResult result = route(grid, f.graph, f.placement);
+  EXPECT_FALSE(result.routable());
+  EXPECT_GT(result.total_overflow, 0u);
+}
+
+TEST(Route, UsageNeverNegativeAfterRipUp) {
+  // Rip-up subtracts usage; after any number of RRR iterations every edge
+  // must stay non-negative and total usage must equal total wirelength.
+  Fixture f;
+  Rng rng(11);
+  std::vector<std::uint32_t> objs;
+  for (int i = 0; i < 50; ++i) objs.push_back(f.pin(rng.uniform() * 60, rng.uniform() * 60));
+  for (int n = 0; n < 60; ++n)
+    f.net({objs[rng.below(50)], objs[rng.below(50)], objs[rng.below(50)]});
+  RGridOptions options;
+  options.capacity_scale = 0.15;  // force heavy rip-up-and-reroute
+  RoutingGrid grid(f.fp, options);
+  const RouteResult result = route(grid, f.graph, f.placement);
+  double usage = 0.0;
+  for (double u : grid.h_usage_raw()) {
+    EXPECT_GE(u, -1e-9);
+    usage += u;
+  }
+  for (double u : grid.v_usage_raw()) {
+    EXPECT_GE(u, -1e-9);
+    usage += u;
+  }
+  EXPECT_NEAR(usage, static_cast<double>(result.wirelength_gcells), 1e-6);
+}
+
+class RouteDeterminism : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RouteDeterminism, StableUnderSeeds) {
+  Fixture f;
+  Rng rng(GetParam());
+  std::vector<std::uint32_t> objs;
+  for (int i = 0; i < 30; ++i) objs.push_back(f.pin(rng.uniform() * 60, rng.uniform() * 60));
+  for (int n = 0; n < 25; ++n) f.net({objs[rng.below(30)], objs[rng.below(30)]});
+  RGridOptions options;
+  options.capacity_scale = 0.3;
+  RoutingGrid g1(f.fp, options);
+  RoutingGrid g2(f.fp, options);
+  const RouteResult r1 = route(g1, f.graph, f.placement);
+  const RouteResult r2 = route(g2, f.graph, f.placement);
+  EXPECT_EQ(r1.wirelength_gcells, r2.wirelength_gcells);
+  EXPECT_EQ(r1.total_overflow, r2.total_overflow);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RouteDeterminism, ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(Congestion, MapStatsAndArt) {
+  Fixture f;
+  const auto a = f.pin(3.0, 3.0);
+  const auto b = f.pin(60.0, 60.0);
+  f.net({a, b});
+  RoutingGrid grid(f.fp, {});
+  route(grid, f.graph, f.placement);
+  const CongestionMap map(grid);
+  EXPECT_EQ(map.nx(), 10);
+  EXPECT_EQ(map.ny(), 10);
+  EXPECT_EQ(map.stats().total_overflow, 0u);
+  EXPECT_TRUE(map.acceptable());
+  const std::string art = map.ascii_art();
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 10);
+}
+
+TEST(Congestion, PgmExport) {
+  const Floorplan fp = Floorplan::square_with_rows(10, TechParams{});
+  RoutingGrid grid(fp, {});
+  grid.add_h_usage(3, 3, grid.h_capacity());  // saturate one edge
+  const CongestionMap map(grid);
+  const std::string pgm = map.to_pgm();
+  EXPECT_EQ(pgm.rfind("P2\n10 10\n255\n", 0), 0u);
+  EXPECT_NE(pgm.find("255"), std::string::npos);
+  // One line per row plus the 3 header lines.
+  EXPECT_EQ(std::count(pgm.begin(), pgm.end(), '\n'), 13);
+}
+
+TEST(Congestion, UnacceptableWhenOverflowed) {
+  const Floorplan fp = Floorplan::square_with_rows(10, TechParams{});
+  RoutingGrid grid(fp, {});
+  grid.add_v_usage(5, 5, grid.v_capacity() * 3);
+  const CongestionMap map(grid);
+  EXPECT_FALSE(map.acceptable());
+  EXPECT_NE(map.ascii_art().find('X'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cals

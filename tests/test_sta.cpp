@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "library/corelib.hpp"
+#include "timing/delay_model.hpp"
+#include "timing/sta.hpp"
+
+namespace cals {
+namespace {
+
+/// Hand-built 2-stage netlist: o = NAND2(INV(a), b).
+struct Fixture {
+  Library lib{lib::make_corelib()};
+  Floorplan fp{Floorplan::square_with_rows(8, TechParams{})};
+  MappedNetlist netlist{&lib};
+  Signal a, b, inv, nand;
+
+  Fixture() {
+    a = netlist.add_pi("a");
+    b = netlist.add_pi("b");
+    inv = netlist.add_instance(lib.cell_id("INV"), {a}, {10, 10});
+    nand = netlist.add_instance(lib.cell_id("NAND2"), {inv, b}, {20, 20});
+    netlist.add_po("o", nand);
+  }
+};
+
+TEST(WireModel, DelayScalesWithLength) {
+  const WireModel wires(TechParams{});
+  EXPECT_DOUBLE_EQ(wires.wire_delay_ns(0.0, 5.0), 0.0);
+  EXPECT_LT(wires.wire_delay_ns(10.0, 5.0), wires.wire_delay_ns(100.0, 5.0));
+  EXPECT_NEAR(wires.wire_cap_ff(100.0), 16.0, 1e-9);
+}
+
+TEST(Sta, ArrivalMatchesHandComputation) {
+  Fixture f;
+  const MappedPlaceBinding binding = f.netlist.lower(f.fp);
+  Placement placement = f.netlist.seed_placement(binding);
+  RoutingGrid grid(f.fp, {});
+  const RouteResult routed = route(grid, binding.graph, placement);
+  const StaResult sta = run_sta(f.netlist, binding, routed);
+  ASSERT_EQ(sta.po_arrival.size(), 1u);
+
+  // Recompute by hand with the same wire model.
+  const WireModel wires(f.lib.tech());
+  const Cell& inv_cell = f.lib.cell(f.lib.cell_id("INV"));
+  const Cell& nand_cell = f.lib.cell(f.lib.cell_id("NAND2"));
+  auto net_len = [&](Signal s) {
+    // Locate the routed net whose driver object matches the signal.
+    for (std::size_t n = 0; n < binding.graph.nets.size(); ++n) {
+      const std::uint32_t driver = binding.graph.nets[n].pins[0];
+      const std::uint32_t want = s.is_pi() ? binding.pi_object[s.index()]
+                                           : binding.instance_object[s.index()];
+      if (driver == want) return static_cast<double>(routed.nets[n].length) * routed.gcell_um;
+    }
+    return 0.0;
+  };
+  const double a_delay = wires.wire_delay_ns(net_len(f.a), inv_cell.input_cap());
+  const double inv_load =
+      nand_cell.input_cap() + wires.wire_cap_ff(net_len(f.inv));
+  const double inv_arr = a_delay + inv_cell.delay(inv_load);
+  const double inv_wire = wires.wire_delay_ns(net_len(f.inv), nand_cell.input_cap());
+  const double b_wire = wires.wire_delay_ns(net_len(f.b), nand_cell.input_cap());
+  const double nand_load = 8.0 + wires.wire_cap_ff(net_len(f.nand));  // PO pad 8 fF
+  const double nand_arr = std::max(inv_arr + inv_wire, b_wire) + nand_cell.delay(nand_load);
+  const double po_arr = nand_arr + wires.wire_delay_ns(net_len(f.nand), 8.0);
+  EXPECT_NEAR(sta.po_arrival[0], po_arr, 1e-9);
+}
+
+TEST(Sta, CriticalPathEndpoints) {
+  Fixture f;
+  const MappedPlaceBinding binding = f.netlist.lower(f.fp);
+  Placement placement = f.netlist.seed_placement(binding);
+  RoutingGrid grid(f.fp, {});
+  const RouteResult routed = route(grid, binding.graph, placement);
+  const StaResult sta = run_sta(f.netlist, binding, routed);
+  EXPECT_EQ(sta.critical.end, "o");
+  // The path through INV dominates (two stages), so it starts at "a".
+  EXPECT_EQ(sta.critical.start, "a");
+  EXPECT_EQ(sta.critical.length, 2u);
+  EXPECT_DOUBLE_EQ(sta.critical.arrival_ns, sta.po_arrival[0]);
+}
+
+TEST(Sta, ArrivalOfByName) {
+  Fixture f;
+  const MappedPlaceBinding binding = f.netlist.lower(f.fp);
+  Placement placement = f.netlist.seed_placement(binding);
+  RoutingGrid grid(f.fp, {});
+  const RouteResult routed = route(grid, binding.graph, placement);
+  const StaResult sta = run_sta(f.netlist, binding, routed);
+  EXPECT_DOUBLE_EQ(sta.arrival_of(f.netlist, "o"), sta.po_arrival[0]);
+  EXPECT_DEATH(sta.arrival_of(f.netlist, "bogus"), "unknown");
+}
+
+TEST(Sta, TracePathAndReport) {
+  Fixture f;
+  const MappedPlaceBinding binding = f.netlist.lower(f.fp);
+  Placement placement = f.netlist.seed_placement(binding);
+  RoutingGrid grid(f.fp, {});
+  const RouteResult routed = route(grid, binding.graph, placement);
+  const StaResult sta = run_sta(f.netlist, binding, routed);
+
+  // Path to "o" runs INV (u0) then NAND2 (u1).
+  const auto path = sta.trace_path(f.netlist, 0);
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(path[0], f.inv.index());
+  EXPECT_EQ(path[1], f.nand.index());
+  // Arrivals along the path are monotone.
+  EXPECT_LT(sta.instance_arrival[path[0]], sta.instance_arrival[path[1]]);
+
+  const std::string report = timing_report(f.netlist, sta);
+  EXPECT_NE(report.find("worst 1 endpoints:"), std::string::npos);
+  EXPECT_NE(report.find("critical path to o:"), std::string::npos);
+  EXPECT_NE(report.find("INV"), std::string::npos);
+  EXPECT_NE(report.find("NAND2"), std::string::npos);
+  EXPECT_NE(report.find("a        (launch)"), std::string::npos);
+}
+
+TEST(Sta, LongerOutputNetSlower) {
+  // The dominant wire effect in the model is the capacitive load a cell
+  // drives: pushing the instance away from its PO pad lengthens the output
+  // net and must increase arrival. (PI pads are ideal drivers, so PI-side
+  // wire length only adds the small RC term.)
+  Library lib = lib::make_corelib();
+  const Floorplan fp = Floorplan::square_with_rows(20, TechParams{});
+  const double mid_y = fp.die().center().y;
+  auto arrival_at = [&](Point p) {
+    MappedNetlist netlist(&lib);
+    const Signal a = netlist.add_pi("a");
+    const Signal g = netlist.add_instance(lib.cell_id("INV"), {a}, p);
+    netlist.add_po("o", g);
+    const MappedPlaceBinding binding = netlist.lower(fp);
+    Placement placement = netlist.seed_placement(binding);
+    RoutingGrid grid(fp, {});
+    const RouteResult routed = route(grid, binding.graph, placement);
+    return run_sta(netlist, binding, routed).critical.arrival_ns;
+  };
+  const double near_po = arrival_at({fp.die().hi.x - 5.0, mid_y});
+  const double far_from_po = arrival_at({10.0, mid_y});
+  EXPECT_LT(near_po, far_from_po);
+}
+
+}  // namespace
+}  // namespace cals

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "route/steiner.hpp"
+#include "util/rng.hpp"
+
+namespace cals {
+namespace {
+
+TEST(Steiner, TwoPinNet) {
+  const auto segments = mst_segments({{0, 0}, {3, 4}});
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_EQ(mst_length({{0, 0}, {3, 4}}), 7u);
+}
+
+TEST(Steiner, SinglePinNetIsEmpty) {
+  EXPECT_TRUE(mst_segments({{5, 5}}).empty());
+  EXPECT_TRUE(mst_segments({}).empty());
+  EXPECT_EQ(mst_length({{5, 5}}), 0u);
+}
+
+TEST(Steiner, DuplicatePinsCollapse) {
+  EXPECT_TRUE(mst_segments({{2, 2}, {2, 2}, {2, 2}}).empty());
+  EXPECT_EQ(mst_segments({{0, 0}, {0, 0}, {1, 0}}).size(), 1u);
+}
+
+TEST(Steiner, CollinearChain) {
+  // MST over collinear points = sum of gaps.
+  EXPECT_EQ(mst_length({{0, 0}, {10, 0}, {4, 0}, {7, 0}}), 10u);
+}
+
+TEST(Steiner, LShapedThreePins) {
+  // Points (0,0), (5,0), (5,5): MST = 5 + 5.
+  EXPECT_EQ(mst_length({{0, 0}, {5, 0}, {5, 5}}), 10u);
+}
+
+TEST(Steiner, SegmentsFormSpanningTree) {
+  Rng rng(17);
+  std::vector<GCell> pins;
+  for (int i = 0; i < 40; ++i)
+    pins.push_back({static_cast<std::int32_t>(rng.below(50)),
+                    static_cast<std::int32_t>(rng.below(50))});
+  const auto segments = mst_segments(pins);
+  // Spanning tree over unique pins: |V|-1 edges.
+  std::vector<GCell> unique = pins;
+  std::sort(unique.begin(), unique.end(),
+            [](GCell a, GCell b) { return a.x != b.x ? a.x < b.x : a.y < b.y; });
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+  EXPECT_EQ(segments.size(), unique.size() - 1);
+}
+
+TEST(Steiner, MstNoLongerThanStar) {
+  // MST total length <= star from any hub (tree optimality sanity).
+  Rng rng(23);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<GCell> pins;
+    for (int i = 0; i < 12; ++i)
+      pins.push_back({static_cast<std::int32_t>(rng.below(30)),
+                      static_cast<std::int32_t>(rng.below(30))});
+    std::uint64_t star = UINT64_MAX;
+    for (const GCell& hub : pins) {
+      std::uint64_t total = 0;
+      for (const GCell& p : pins)
+        total += static_cast<std::uint64_t>(std::abs(hub.x - p.x) + std::abs(hub.y - p.y));
+      star = std::min(star, total);
+    }
+    EXPECT_LE(mst_length(pins), star);
+  }
+}
+
+TEST(Steiner, Deterministic) {
+  Rng rng(31);
+  std::vector<GCell> pins;
+  for (int i = 0; i < 25; ++i)
+    pins.push_back({static_cast<std::int32_t>(rng.below(20)),
+                    static_cast<std::int32_t>(rng.below(20))});
+  const auto s1 = mst_segments(pins);
+  const auto s2 = mst_segments(pins);
+  ASSERT_EQ(s1.size(), s2.size());
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_EQ(s1[i].a, s2[i].a);
+    EXPECT_EQ(s1[i].b, s2[i].b);
+  }
+}
+
+}  // namespace
+}  // namespace cals

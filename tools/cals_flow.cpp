@@ -1,0 +1,226 @@
+/// cals_flow — command-line driver for the whole congestion-aware synthesis
+/// flow: read a design (espresso PLA or BLIF), synthesize, map with the
+/// chosen K (or search for one, Fig. 3 style), place, route, time, and
+/// export the results.
+///
+/// Usage:
+///   cals_flow [options] <design.pla | design.blif>
+///
+/// Options:
+///   --k <float>            congestion factor K (default: Fig. 3 auto-search)
+///   --rows <n>             floorplan rows (default: sized for --util)
+///   --util <frac>          target utilization when sizing the die (default 0.6)
+///   --library <file>       genlib-format library (default: built-in corelib)
+///   --partition <name>     dagon | cones | pdp (default pdp)
+///   --objective <name>     area | delay (default area)
+///   --sis                  apply divisor extraction before mapping
+///   --buffer <maxfanout>   insert buffer trees after mapping
+///   --refine <passes>      detailed-placement refinement passes
+///   --verilog <file>       write the mapped netlist as structural Verilog
+///   --blif-out <file>      write the mapped netlist as gate-level BLIF
+///   --placement <file>     write the cell placement dump
+///   --report               print the timing report and congestion map
+///   --quiet                suppress the per-stage narration
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "flow/baselines.hpp"
+#include "flow/flow.hpp"
+#include "library/corelib.hpp"
+#include "library/genlib.hpp"
+#include "map/buffering.hpp"
+#include "map/netlist_io.hpp"
+#include "netlist/blif.hpp"
+#include "route/congestion.hpp"
+#include "sop/pla_io.hpp"
+#include "timing/sta.hpp"
+#include "workloads/presets.hpp"
+
+using namespace cals;
+
+namespace {
+
+struct Args {
+  std::string design;
+  double k = -1.0;  // < 0: auto
+  std::uint32_t rows = 0;
+  double util = 0.6;
+  std::string library_file;
+  PartitionStrategy partition = PartitionStrategy::kPlacementDriven;
+  MapObjective objective = MapObjective::kArea;
+  bool sis = false;
+  std::uint32_t buffer_fanout = 0;
+  std::uint32_t refine = 0;
+  std::string verilog_out;
+  std::string blif_out;
+  std::string placement_out;
+  bool report = false;
+  bool quiet = false;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s [options] <design.pla|design.blif>\n", argv0);
+  std::fprintf(stderr, "run with the source header's option list for details\n");
+  std::exit(2);
+}
+
+Args parse(int argc, char** argv) {
+  Args args;
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage(argv[0]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--k") == 0) args.k = std::atof(need(i));
+    else if (std::strcmp(a, "--rows") == 0) args.rows = std::atoi(need(i));
+    else if (std::strcmp(a, "--util") == 0) args.util = std::atof(need(i));
+    else if (std::strcmp(a, "--library") == 0) args.library_file = need(i);
+    else if (std::strcmp(a, "--partition") == 0) {
+      const std::string p = need(i);
+      if (p == "dagon") args.partition = PartitionStrategy::kDagon;
+      else if (p == "cones") args.partition = PartitionStrategy::kCones;
+      else if (p == "pdp") args.partition = PartitionStrategy::kPlacementDriven;
+      else usage(argv[0]);
+    } else if (std::strcmp(a, "--objective") == 0) {
+      const std::string o = need(i);
+      if (o == "area") args.objective = MapObjective::kArea;
+      else if (o == "delay") args.objective = MapObjective::kDelay;
+      else usage(argv[0]);
+    } else if (std::strcmp(a, "--sis") == 0) args.sis = true;
+    else if (std::strcmp(a, "--buffer") == 0) args.buffer_fanout = std::atoi(need(i));
+    else if (std::strcmp(a, "--refine") == 0) args.refine = std::atoi(need(i));
+    else if (std::strcmp(a, "--verilog") == 0) args.verilog_out = need(i);
+    else if (std::strcmp(a, "--blif-out") == 0) args.blif_out = need(i);
+    else if (std::strcmp(a, "--placement") == 0) args.placement_out = need(i);
+    else if (std::strcmp(a, "--report") == 0) args.report = true;
+    else if (std::strcmp(a, "--quiet") == 0) args.quiet = true;
+    else if (a[0] == '-') usage(argv[0]);
+    else if (args.design.empty()) args.design = a;
+    else usage(argv[0]);
+  }
+  if (args.design.empty()) usage(argv[0]);
+  return args;
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+void save(const std::string& path, const std::string& text, bool quiet,
+          const char* what) {
+  std::ofstream out(path);
+  if (!out.good()) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  out << text;
+  if (!quiet) std::printf("wrote %s to %s\n", what, path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  auto say = [&](const char* fmt, auto... values) {
+    if (!args.quiet) std::printf(fmt, values...);
+  };
+
+  // ---- frontend -----------------------------------------------------------
+  BaseNetwork net;
+  if (ends_with(args.design, ".blif")) {
+    BlifModel model = read_blif_file(args.design);
+    net = std::move(model.network);
+    net.compact();
+    if (args.sis)
+      std::fprintf(stderr, "note: --sis only applies to PLA inputs; ignored\n");
+  } else {
+    const Pla pla = read_pla_file(args.design);
+    SynthesisStats stats;
+    net = args.sis ? synthesize_sis_mode(pla, &stats, workloads::sis_extract_options())
+                   : synthesize_base(pla, &stats);
+  }
+  say("design: %zu PIs, %zu POs, %u base gates\n", net.pis().size(), net.pos().size(),
+      net.num_base_gates());
+
+  // ---- library + floorplan ---------------------------------------------------
+  const Library lib = args.library_file.empty() ? lib::make_corelib()
+                                                : read_genlib_file(args.library_file);
+  const Floorplan fp =
+      args.rows > 0
+          ? Floorplan::square_with_rows(args.rows, lib.tech())
+          : Floorplan::for_cell_area(net.num_base_gates() * 5.3, args.util, lib.tech());
+  say("floorplan: %u rows, %.0f x %.0f um (library '%s', %u cells)\n", fp.num_rows(),
+      fp.die().width(), fp.die().height(), lib.name().c_str(), lib.num_cells());
+
+  const DesignContext context(net, &lib, fp);
+
+  FlowOptions options;
+  options.partition = args.partition;
+  options.objective = args.objective;
+  options.replace_mapped = false;
+  options.refine_passes = args.refine;
+
+  // ---- mapping: fixed K or Fig. 3 search --------------------------------------
+  FlowRun run;
+  if (args.k >= 0.0) {
+    options.K = args.k;
+    run = context.run(options);
+  } else {
+    const FlowIterationResult search =
+        congestion_aware_flow(context, {0.0, 0.025, 0.05, 0.1, 0.25, 0.5}, options);
+    run = search.runs[search.chosen];
+    say("auto K search: %zu iteration(s), chose K = %g%s\n", search.runs.size(),
+        run.metrics.k_factor, search.converged ? "" : " (did NOT converge)");
+    options.K = run.metrics.k_factor;
+  }
+
+  // ---- optional buffering (re-evaluates placement/routing/timing) -------------
+  MappedNetlist netlist = std::move(run.map.netlist);
+  if (args.buffer_fanout >= 2) {
+    BufferingStats stats;
+    BufferingOptions buffer_options;
+    buffer_options.max_fanout = args.buffer_fanout;
+    netlist = buffer_high_fanout(netlist, buffer_options, &stats);
+    say("buffering: %u buffers inserted, max fanout %u -> %u\n",
+        stats.buffers_inserted, stats.max_fanout_before, stats.max_fanout_after);
+    run.binding = netlist.lower(fp);
+    run.placement = netlist.seed_placement(run.binding);
+    legalize(run.binding.graph, fp, run.placement);
+    RoutingGrid grid(fp, options.rgrid);
+    run.route = route(grid, run.binding.graph, run.placement, options.route);
+    run.sta = run_sta(netlist, run.binding, run.route);
+  }
+
+  // ---- results ------------------------------------------------------------------
+  std::printf("cells: %u  cell area: %.1f um^2  utilization: %.1f%%\n",
+              netlist.num_instances(), netlist.total_cell_area(),
+              100.0 * netlist.total_cell_area() / fp.core_area());
+  std::printf("routing: %llu violations, wirelength %.0f um\n",
+              static_cast<unsigned long long>(run.route.total_overflow),
+              run.route.wirelength_um);
+  std::printf("timing: critical path %s -> %s = %.3f ns\n",
+              run.sta.critical.start.c_str(), run.sta.critical.end.c_str(),
+              run.sta.critical.arrival_ns);
+
+  if (args.report) {
+    std::printf("\n%s", timing_report(netlist, run.sta).c_str());
+    RoutingGrid grid(fp, options.rgrid);
+    route(grid, run.binding.graph, run.placement, options.route);
+    std::printf("\ncongestion map ('X' = over capacity):\n%s",
+                CongestionMap(grid).ascii_art().c_str());
+  }
+
+  if (!args.verilog_out.empty())
+    save(args.verilog_out, write_verilog_string(netlist, "top"), args.quiet, "Verilog");
+  if (!args.blif_out.empty())
+    save(args.blif_out, write_mapped_blif_string(netlist, "top"), args.quiet, "BLIF");
+  if (!args.placement_out.empty())
+    save(args.placement_out, write_placement_string(netlist), args.quiet, "placement");
+  return 0;
+}
