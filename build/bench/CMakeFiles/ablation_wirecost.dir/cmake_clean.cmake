@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wirecost.dir/ablation_wirecost.cpp.o"
+  "CMakeFiles/ablation_wirecost.dir/ablation_wirecost.cpp.o.d"
+  "ablation_wirecost"
+  "ablation_wirecost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wirecost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

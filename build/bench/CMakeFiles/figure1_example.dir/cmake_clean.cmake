@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure1_example.dir/figure1_example.cpp.o"
+  "CMakeFiles/figure1_example.dir/figure1_example.cpp.o.d"
+  "figure1_example"
+  "figure1_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure1_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

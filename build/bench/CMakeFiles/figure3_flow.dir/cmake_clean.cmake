@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure3_flow.dir/figure3_flow.cpp.o"
+  "CMakeFiles/figure3_flow.dir/figure3_flow.cpp.o.d"
+  "figure3_flow"
+  "figure3_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure3_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

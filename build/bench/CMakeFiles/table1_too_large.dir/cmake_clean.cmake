@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_too_large.dir/table1_too_large.cpp.o"
+  "CMakeFiles/table1_too_large.dir/table1_too_large.cpp.o.d"
+  "table1_too_large"
+  "table1_too_large.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_too_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

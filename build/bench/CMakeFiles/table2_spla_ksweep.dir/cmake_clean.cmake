@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_spla_ksweep.dir/table2_spla_ksweep.cpp.o"
+  "CMakeFiles/table2_spla_ksweep.dir/table2_spla_ksweep.cpp.o.d"
+  "table2_spla_ksweep"
+  "table2_spla_ksweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_spla_ksweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

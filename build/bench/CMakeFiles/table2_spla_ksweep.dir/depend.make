@@ -1,0 +1,2 @@
+# Empty dependencies file for table2_spla_ksweep.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_spla_sta.dir/table3_spla_sta.cpp.o"
+  "CMakeFiles/table3_spla_sta.dir/table3_spla_sta.cpp.o.d"
+  "table3_spla_sta"
+  "table3_spla_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_spla_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_pdc_ksweep.dir/table4_pdc_ksweep.cpp.o"
+  "CMakeFiles/table4_pdc_ksweep.dir/table4_pdc_ksweep.cpp.o.d"
+  "table4_pdc_ksweep"
+  "table4_pdc_ksweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_pdc_ksweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

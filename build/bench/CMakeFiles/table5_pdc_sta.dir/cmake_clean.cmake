@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_pdc_sta.dir/table5_pdc_sta.cpp.o"
+  "CMakeFiles/table5_pdc_sta.dir/table5_pdc_sta.cpp.o.d"
+  "table5_pdc_sta"
+  "table5_pdc_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_pdc_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffer_and_export.dir/buffer_and_export.cpp.o"
+  "CMakeFiles/buffer_and_export.dir/buffer_and_export.cpp.o.d"
+  "buffer_and_export"
+  "buffer_and_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffer_and_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

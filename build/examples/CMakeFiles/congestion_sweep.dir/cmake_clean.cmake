@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congestion_sweep.dir/congestion_sweep.cpp.o"
+  "CMakeFiles/congestion_sweep.dir/congestion_sweep.cpp.o.d"
+  "congestion_sweep"
+  "congestion_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congestion_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

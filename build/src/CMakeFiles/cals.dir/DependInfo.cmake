@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/baselines.cpp" "src/CMakeFiles/cals.dir/flow/baselines.cpp.o" "gcc" "src/CMakeFiles/cals.dir/flow/baselines.cpp.o.d"
+  "/root/repo/src/flow/flow.cpp" "src/CMakeFiles/cals.dir/flow/flow.cpp.o" "gcc" "src/CMakeFiles/cals.dir/flow/flow.cpp.o.d"
+  "/root/repo/src/geom/geom.cpp" "src/CMakeFiles/cals.dir/geom/geom.cpp.o" "gcc" "src/CMakeFiles/cals.dir/geom/geom.cpp.o.d"
+  "/root/repo/src/library/cell.cpp" "src/CMakeFiles/cals.dir/library/cell.cpp.o" "gcc" "src/CMakeFiles/cals.dir/library/cell.cpp.o.d"
+  "/root/repo/src/library/corelib.cpp" "src/CMakeFiles/cals.dir/library/corelib.cpp.o" "gcc" "src/CMakeFiles/cals.dir/library/corelib.cpp.o.d"
+  "/root/repo/src/library/genlib.cpp" "src/CMakeFiles/cals.dir/library/genlib.cpp.o" "gcc" "src/CMakeFiles/cals.dir/library/genlib.cpp.o.d"
+  "/root/repo/src/library/library.cpp" "src/CMakeFiles/cals.dir/library/library.cpp.o" "gcc" "src/CMakeFiles/cals.dir/library/library.cpp.o.d"
+  "/root/repo/src/library/pattern.cpp" "src/CMakeFiles/cals.dir/library/pattern.cpp.o" "gcc" "src/CMakeFiles/cals.dir/library/pattern.cpp.o.d"
+  "/root/repo/src/map/buffering.cpp" "src/CMakeFiles/cals.dir/map/buffering.cpp.o" "gcc" "src/CMakeFiles/cals.dir/map/buffering.cpp.o.d"
+  "/root/repo/src/map/cover.cpp" "src/CMakeFiles/cals.dir/map/cover.cpp.o" "gcc" "src/CMakeFiles/cals.dir/map/cover.cpp.o.d"
+  "/root/repo/src/map/mapped_netlist.cpp" "src/CMakeFiles/cals.dir/map/mapped_netlist.cpp.o" "gcc" "src/CMakeFiles/cals.dir/map/mapped_netlist.cpp.o.d"
+  "/root/repo/src/map/mapper.cpp" "src/CMakeFiles/cals.dir/map/mapper.cpp.o" "gcc" "src/CMakeFiles/cals.dir/map/mapper.cpp.o.d"
+  "/root/repo/src/map/matcher.cpp" "src/CMakeFiles/cals.dir/map/matcher.cpp.o" "gcc" "src/CMakeFiles/cals.dir/map/matcher.cpp.o.d"
+  "/root/repo/src/map/netlist_io.cpp" "src/CMakeFiles/cals.dir/map/netlist_io.cpp.o" "gcc" "src/CMakeFiles/cals.dir/map/netlist_io.cpp.o.d"
+  "/root/repo/src/map/partition.cpp" "src/CMakeFiles/cals.dir/map/partition.cpp.o" "gcc" "src/CMakeFiles/cals.dir/map/partition.cpp.o.d"
+  "/root/repo/src/netlist/base_network.cpp" "src/CMakeFiles/cals.dir/netlist/base_network.cpp.o" "gcc" "src/CMakeFiles/cals.dir/netlist/base_network.cpp.o.d"
+  "/root/repo/src/netlist/blif.cpp" "src/CMakeFiles/cals.dir/netlist/blif.cpp.o" "gcc" "src/CMakeFiles/cals.dir/netlist/blif.cpp.o.d"
+  "/root/repo/src/netlist/dag.cpp" "src/CMakeFiles/cals.dir/netlist/dag.cpp.o" "gcc" "src/CMakeFiles/cals.dir/netlist/dag.cpp.o.d"
+  "/root/repo/src/netlist/sim.cpp" "src/CMakeFiles/cals.dir/netlist/sim.cpp.o" "gcc" "src/CMakeFiles/cals.dir/netlist/sim.cpp.o.d"
+  "/root/repo/src/place/layout.cpp" "src/CMakeFiles/cals.dir/place/layout.cpp.o" "gcc" "src/CMakeFiles/cals.dir/place/layout.cpp.o.d"
+  "/root/repo/src/place/legalize.cpp" "src/CMakeFiles/cals.dir/place/legalize.cpp.o" "gcc" "src/CMakeFiles/cals.dir/place/legalize.cpp.o.d"
+  "/root/repo/src/place/partition_place.cpp" "src/CMakeFiles/cals.dir/place/partition_place.cpp.o" "gcc" "src/CMakeFiles/cals.dir/place/partition_place.cpp.o.d"
+  "/root/repo/src/place/placement.cpp" "src/CMakeFiles/cals.dir/place/placement.cpp.o" "gcc" "src/CMakeFiles/cals.dir/place/placement.cpp.o.d"
+  "/root/repo/src/place/refine.cpp" "src/CMakeFiles/cals.dir/place/refine.cpp.o" "gcc" "src/CMakeFiles/cals.dir/place/refine.cpp.o.d"
+  "/root/repo/src/route/congestion.cpp" "src/CMakeFiles/cals.dir/route/congestion.cpp.o" "gcc" "src/CMakeFiles/cals.dir/route/congestion.cpp.o.d"
+  "/root/repo/src/route/rgrid.cpp" "src/CMakeFiles/cals.dir/route/rgrid.cpp.o" "gcc" "src/CMakeFiles/cals.dir/route/rgrid.cpp.o.d"
+  "/root/repo/src/route/router.cpp" "src/CMakeFiles/cals.dir/route/router.cpp.o" "gcc" "src/CMakeFiles/cals.dir/route/router.cpp.o.d"
+  "/root/repo/src/route/steiner.cpp" "src/CMakeFiles/cals.dir/route/steiner.cpp.o" "gcc" "src/CMakeFiles/cals.dir/route/steiner.cpp.o.d"
+  "/root/repo/src/sop/cube.cpp" "src/CMakeFiles/cals.dir/sop/cube.cpp.o" "gcc" "src/CMakeFiles/cals.dir/sop/cube.cpp.o.d"
+  "/root/repo/src/sop/decompose.cpp" "src/CMakeFiles/cals.dir/sop/decompose.cpp.o" "gcc" "src/CMakeFiles/cals.dir/sop/decompose.cpp.o.d"
+  "/root/repo/src/sop/extract.cpp" "src/CMakeFiles/cals.dir/sop/extract.cpp.o" "gcc" "src/CMakeFiles/cals.dir/sop/extract.cpp.o.d"
+  "/root/repo/src/sop/minimize.cpp" "src/CMakeFiles/cals.dir/sop/minimize.cpp.o" "gcc" "src/CMakeFiles/cals.dir/sop/minimize.cpp.o.d"
+  "/root/repo/src/sop/pla_io.cpp" "src/CMakeFiles/cals.dir/sop/pla_io.cpp.o" "gcc" "src/CMakeFiles/cals.dir/sop/pla_io.cpp.o.d"
+  "/root/repo/src/sop/sop.cpp" "src/CMakeFiles/cals.dir/sop/sop.cpp.o" "gcc" "src/CMakeFiles/cals.dir/sop/sop.cpp.o.d"
+  "/root/repo/src/timing/sta.cpp" "src/CMakeFiles/cals.dir/timing/sta.cpp.o" "gcc" "src/CMakeFiles/cals.dir/timing/sta.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/cals.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/cals.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "src/CMakeFiles/cals.dir/util/strings.cpp.o" "gcc" "src/CMakeFiles/cals.dir/util/strings.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/cals.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/cals.dir/util/table.cpp.o.d"
+  "/root/repo/src/workloads/plagen.cpp" "src/CMakeFiles/cals.dir/workloads/plagen.cpp.o" "gcc" "src/CMakeFiles/cals.dir/workloads/plagen.cpp.o.d"
+  "/root/repo/src/workloads/presets.cpp" "src/CMakeFiles/cals.dir/workloads/presets.cpp.o" "gcc" "src/CMakeFiles/cals.dir/workloads/presets.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

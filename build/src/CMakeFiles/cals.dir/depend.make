@@ -1,0 +1,2 @@
+# Empty dependencies file for cals.
+# This may be replaced when dependencies are built.

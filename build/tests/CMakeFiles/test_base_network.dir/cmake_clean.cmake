@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_base_network.dir/test_base_network.cpp.o"
+  "CMakeFiles/test_base_network.dir/test_base_network.cpp.o.d"
+  "test_base_network"
+  "test_base_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_base_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cube_sop.dir/test_cube_sop.cpp.o"
+  "CMakeFiles/test_cube_sop.dir/test_cube_sop.cpp.o.d"
+  "test_cube_sop"
+  "test_cube_sop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cube_sop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_legalize.dir/test_legalize.cpp.o"
+  "CMakeFiles/test_legalize.dir/test_legalize.cpp.o.d"
+  "test_legalize"
+  "test_legalize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_legalize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

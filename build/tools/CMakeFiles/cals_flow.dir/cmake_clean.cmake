@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cals_flow.dir/cals_flow.cpp.o"
+  "CMakeFiles/cals_flow.dir/cals_flow.cpp.o.d"
+  "cals_flow"
+  "cals_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cals_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
