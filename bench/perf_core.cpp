@@ -12,6 +12,8 @@
 #include "map/mapper.hpp"
 #include "place/partition_place.hpp"
 #include "route/router.hpp"
+#include "util/log.hpp"
+#include "util/thread_pool.hpp"
 #include "workloads/presets.hpp"
 
 namespace {
@@ -116,6 +118,58 @@ void BM_RouteMappedNetlist(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * binding.graph.nets.size());
 }
 BENCHMARK(BM_RouteMappedNetlist)->Unit(benchmark::kMillisecond);
+
+void BM_MapCached(benchmark::State& state) {
+  // The per-K path of a sweep: DP cover + realize over a prebuilt match
+  // database. Compare against BM_MapCongestionAware (which redoes partition
+  // + matching every call). arg: worker threads (1 = serial DP).
+  const std::uint32_t arg = static_cast<std::uint32_t>(state.range(0));
+  const std::uint32_t threads = arg == 0 ? ThreadPool::hardware_threads() : arg;
+  ThreadPool pool(threads);
+  ThreadPool* pool_ptr = threads > 1 ? &pool : nullptr;
+  const MatchDatabase db = build_match_database(
+      test_network(), test_library(), test_context().node_positions(),
+      PartitionStrategy::kPlacementDriven, DistanceMetric::kManhattan, pool_ptr);
+  CoverOptions cover;
+  cover.K = 0.1;
+  for (auto _ : state) {
+    const MapResult result = map_network_cached(
+        test_network(), test_library(), test_context().node_positions(), db, cover,
+        pool_ptr);
+    benchmark::DoNotOptimize(result.stats.cell_area);
+  }
+  state.SetItemsProcessed(state.iterations() * test_network().num_base_gates());
+}
+BENCHMARK(BM_MapCached)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
+void BM_KSweep(benchmark::State& state) {
+  // The paper's central experiment shape: one congestion_aware_flow call
+  // over a 5-point K schedule. arg 1 = the seed serial implementation
+  // (no cache, no pool); arg 0 = hardware threads + match cache. The
+  // acceptance bar for the incremental+parallel engine is >= 1.5x between
+  // the two on a multi-core host.
+  const ScopedLogLevel silence(LogLevel::kSilent);
+  const std::vector<double> schedule = {0.0, 0.05, 0.1, 0.2, 0.4};
+  FlowOptions options;
+  options.replace_mapped = false;
+  // Routing supply just below the cliff so no schedule point converges
+  // early: every sweep evaluates all 5 Ks, like the unroutable region of
+  // Tables 2/4 (violations shrink with K but stay positive).
+  options.rgrid.capacity_scale = 1.6;
+  options.route.max_rrr_iterations = 6;
+  options.num_threads = static_cast<std::uint32_t>(state.range(0));
+  options.use_match_cache = options.num_threads != 1;
+  for (auto _ : state) {
+    // A fresh context per iteration: the match cache must be rebuilt inside
+    // the timed region, exactly as a table bench would pay for it.
+    const DesignContext context(test_network(), &test_library(), test_floorplan());
+    const FlowIterationResult result =
+        congestion_aware_flow(context, schedule, options);
+    benchmark::DoNotOptimize(result.runs.data());
+  }
+  state.SetItemsProcessed(state.iterations() * schedule.size());
+}
+BENCHMARK(BM_KSweep)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
 
 void BM_FullFlowRun(benchmark::State& state) {
   FlowOptions options;

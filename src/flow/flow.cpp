@@ -26,18 +26,54 @@ DesignContext::DesignContext(BaseNetwork net, const Library* library, Floorplan 
       node_positions_[i] = placement.pos[binding.node_object[i]];
 }
 
+ThreadPool* DesignContext::pool(std::uint32_t num_threads) const {
+  const std::uint32_t resolved =
+      num_threads == 0 ? ThreadPool::hardware_threads() : num_threads;
+  if (resolved <= 1) return nullptr;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!pool_) pool_ = std::make_unique<ThreadPool>(resolved);
+  return pool_.get();
+}
+
+std::shared_ptr<const MatchDatabase> DesignContext::match_database(
+    PartitionStrategy partition, DistanceMetric metric, ThreadPool* pool) const {
+  const auto key = std::make_pair(static_cast<int>(partition), static_cast<int>(metric));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = match_dbs_.find(key);
+    if (it != match_dbs_.end()) return it->second;
+  }
+  // Build outside the lock so a pool-parallel build never serializes other
+  // evaluations. Concurrent first calls may build twice; the results are
+  // identical (everything is deterministic) and the first insert wins.
+  auto db = std::make_shared<const MatchDatabase>(
+      build_match_database(net_, *library_, node_positions_, partition, metric, pool));
+  std::lock_guard<std::mutex> lock(mutex_);
+  return match_dbs_.emplace(key, std::move(db)).first->second;
+}
+
 FlowRun DesignContext::run(const FlowOptions& options) const {
   FlowRun run;
   Timer timer;
 
   // ---- technology mapping ------------------------------------------------
-  MapperOptions mapper_options;
-  mapper_options.partition = options.partition;
-  mapper_options.cover.K = options.K;
-  mapper_options.cover.objective = options.objective;
-  mapper_options.cover.metric = options.metric;
-  mapper_options.cover.transitive_wire_cost = options.transitive_wire_cost;
-  run.map = map_network(net_, *library_, node_positions_, mapper_options);
+  CoverOptions cover_options;
+  cover_options.K = options.K;
+  cover_options.objective = options.objective;
+  cover_options.metric = options.metric;
+  cover_options.transitive_wire_cost = options.transitive_wire_cost;
+  if (options.use_match_cache) {
+    ThreadPool* pool = this->pool(options.num_threads);
+    const std::shared_ptr<const MatchDatabase> db =
+        match_database(options.partition, options.metric, pool);
+    run.map = map_network_cached(net_, *library_, node_positions_, *db, cover_options, pool);
+  } else {
+    // Legacy path: rebuild partition + matcher from scratch, serial DP.
+    MapperOptions mapper_options;
+    mapper_options.partition = options.partition;
+    mapper_options.cover = cover_options;
+    run.map = map_network(net_, *library_, node_positions_, mapper_options);
+  }
   run.metrics.map_seconds = timer.seconds();
 
   // ---- placement -----------------------------------------------------------
@@ -91,9 +127,34 @@ FlowIterationResult congestion_aware_flow(const DesignContext& context,
   CALS_CHECK_MSG(!k_schedule.empty(), "empty K schedule");
   FlowIterationResult result;
   std::uint64_t best_violations = UINT64_MAX;
-  for (double k : k_schedule) {
-    options.K = k;
-    result.runs.push_back(context.run(options));
+
+  ThreadPool* pool = context.pool(options.num_threads);
+  std::vector<FlowRun> all(k_schedule.size());
+  if (pool != nullptr && k_schedule.size() > 1) {
+    // Evaluate every schedule point concurrently (speculating past the
+    // convergence K), then replay the serial selection below. Warm the match
+    // cache first so the K-independent build happens once, pool-parallel.
+    if (options.use_match_cache)
+      context.match_database(options.partition, options.metric, pool);
+    ThreadPool::TaskGroup group(*pool);
+    for (std::size_t i = 0; i < k_schedule.size(); ++i)
+      group.run([&context, &options, &k_schedule, &all, i] {
+        FlowOptions point = options;
+        point.K = k_schedule[i];
+        all[i] = context.run(point);
+      });
+    group.wait();
+  } else {
+    pool = nullptr;  // serial: evaluate lazily inside the selection loop
+  }
+
+  for (std::size_t i = 0; i < k_schedule.size(); ++i) {
+    const double k = k_schedule[i];
+    if (pool == nullptr) {
+      options.K = k;
+      all[i] = context.run(options);
+    }
+    result.runs.push_back(std::move(all[i]));
     const FlowRun& run = result.runs.back();
     CALS_INFO("flow: K=%g cells=%u area=%.0f violations=%llu", k,
               run.metrics.num_cells, run.metrics.cell_area_um2,
@@ -121,19 +182,69 @@ KRefineResult refine_k(const DesignContext& context, double k_low, double k_high
   CALS_CHECK_MSG(result.best.metrics.routing_violations == 0,
                  "refine_k: k_high must be routable");
 
-  for (std::uint32_t i = 0; i < iterations; ++i) {
-    const double mid = 0.5 * (k_low + k_high);
-    options.K = mid;
-    FlowRun run = context.run(options);
-    ++result.evaluations;
+  // The serial bisection update; the speculative path below replays it in
+  // the identical order, so best/k match the serial search bit for bit.
+  const auto apply = [&](double k, FlowRun&& run) {
     if (run.metrics.routing_violations == 0) {
-      k_high = mid;
+      k_high = k;
       if (run.metrics.cell_area_um2 <= result.best.metrics.cell_area_um2) {
         result.best = std::move(run);
-        result.k = mid;
+        result.k = k;
       }
     } else {
-      k_low = mid;
+      k_low = k;
+    }
+  };
+
+  ThreadPool* pool = context.pool(options.num_threads);
+  if (pool == nullptr) {
+    for (std::uint32_t i = 0; i < iterations; ++i) {
+      const double mid = 0.5 * (k_low + k_high);
+      options.K = mid;
+      FlowRun run = context.run(options);
+      ++result.evaluations;
+      apply(mid, std::move(run));
+    }
+    return result;
+  }
+
+  // Speculative bisection: the probe after `mid` is one of two known K
+  // values (the midpoint of whichever half-interval survives), so each batch
+  // evaluates mid plus both successors concurrently and resolves two
+  // iterations per batch — half the serial latency at 1.5x the work.
+  if (options.use_match_cache)
+    context.match_database(options.partition, options.metric, pool);
+  for (std::uint32_t i = 0; i < iterations;) {
+    const double mid = 0.5 * (k_low + k_high);
+    const double mid_if_routable = 0.5 * (k_low + mid);
+    const double mid_if_blocked = 0.5 * (mid + k_high);
+    const bool need_successor = i + 1 < iterations;
+    FlowRun run_mid, run_routable, run_blocked;
+    {
+      ThreadPool::TaskGroup group(*pool);
+      const auto launch = [&](double k, FlowRun& out) {
+        group.run([&context, &options, k, &out] {
+          FlowOptions point = options;
+          point.K = k;
+          out = context.run(point);
+        });
+      };
+      launch(mid, run_mid);
+      if (need_successor) {
+        launch(mid_if_routable, run_routable);
+        launch(mid_if_blocked, run_blocked);
+      }
+      group.wait();
+    }
+    result.evaluations += need_successor ? 3 : 1;
+
+    const bool mid_routable = run_mid.metrics.routing_violations == 0;
+    apply(mid, std::move(run_mid));
+    ++i;
+    if (need_successor) {
+      const double next = mid_routable ? mid_if_routable : mid_if_blocked;
+      apply(next, mid_routable ? std::move(run_routable) : std::move(run_blocked));
+      ++i;
     }
   }
   return result;
@@ -144,17 +255,56 @@ RowSearchResult find_min_routable_rows(const BaseNetwork& net, const Library& li
                                        std::uint32_t start_rows, std::uint32_t max_rows,
                                        PlaceOptions place_options) {
   RowSearchResult result;
-  for (std::uint32_t rows = start_rows; rows <= max_rows; ++rows) {
-    // The layout image is rebuilt per floorplan — the paper notes the
-    // absolute wire lengths (and so the K trade-off) change with die size.
-    DesignContext context(net, &library,
-                          Floorplan::square_with_rows(rows, library.tech()),
-                          place_options);
-    result.run = context.run(options);
-    result.rows = rows;
-    if (result.run.metrics.routing_violations == 0) {
-      result.found = true;
-      return result;
+  const std::uint32_t window =
+      options.num_threads == 0 ? ThreadPool::hardware_threads() : options.num_threads;
+
+  if (window <= 1 || start_rows >= max_rows) {
+    for (std::uint32_t rows = start_rows; rows <= max_rows; ++rows) {
+      // The layout image is rebuilt per floorplan — the paper notes the
+      // absolute wire lengths (and so the K trade-off) change with die size.
+      DesignContext context(net, &library,
+                            Floorplan::square_with_rows(rows, library.tech()),
+                            place_options);
+      result.run = context.run(options);
+      result.rows = rows;
+      if (result.run.metrics.routing_violations == 0) {
+        result.found = true;
+        return result;
+      }
+    }
+    return result;
+  }
+
+  // Windowed speculative search: evaluate `window` candidate row counts
+  // concurrently (each with its own floorplan and context), then scan the
+  // window in order — the first routable row is the serial answer. Rows
+  // beyond it are wasted work, the price of the latency win.
+  ThreadPool pool(window);
+  FlowOptions inner = options;
+  inner.num_threads = 1;  // parallelism lives at the row level here
+  for (std::uint32_t window_start = start_rows; window_start <= max_rows;
+       window_start += window) {
+    const std::uint32_t window_end =
+        std::min(max_rows, window_start + window - 1);
+    std::vector<FlowRun> runs(window_end - window_start + 1);
+    {
+      ThreadPool::TaskGroup group(pool);
+      for (std::uint32_t rows = window_start; rows <= window_end; ++rows)
+        group.run([&net, &library, &inner, &place_options, &runs, rows, window_start] {
+          DesignContext context(net, &library,
+                                Floorplan::square_with_rows(rows, library.tech()),
+                                place_options);
+          runs[rows - window_start] = context.run(inner);
+        });
+      group.wait();
+    }
+    for (std::uint32_t rows = window_start; rows <= window_end; ++rows) {
+      result.run = std::move(runs[rows - window_start]);
+      result.rows = rows;
+      if (result.run.metrics.routing_violations == 0) {
+        result.found = true;
+        return result;
+      }
     }
   }
   return result;

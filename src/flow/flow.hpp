@@ -12,9 +12,22 @@
 ///
 /// DesignContext owns the per-floorplan state (base network, its lowering,
 /// the initial placement); FlowRun is one K evaluation.
+///
+/// K sweeps reuse and parallelize aggressively (see DESIGN.md §6):
+///  * the K-independent matching front end (subject forest + per-vertex match
+///    candidates) is memoized per {partition, metric} inside DesignContext;
+///  * the covering DP splits across a shared cals::ThreadPool;
+///  * congestion_aware_flow / refine_k / find_min_routable_rows evaluate
+///    independent (or speculative) K and row probes concurrently.
+/// All of it is bit-identical to the serial path: FlowOptions::num_threads=1
+/// with use_match_cache=false reproduces the original implementation exactly,
+/// and any other configuration produces the same covers, areas, wirelengths
+/// and critical paths.
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "flow/metrics.hpp"
@@ -27,6 +40,7 @@
 #include "route/congestion.hpp"
 #include "route/router.hpp"
 #include "timing/sta.hpp"
+#include "util/thread_pool.hpp"
 
 namespace cals {
 
@@ -45,6 +59,14 @@ struct FlowOptions {
   /// Detailed-placement refinement passes after legalization (0 = off, the
   /// paper's configuration; see place/refine.hpp).
   std::uint32_t refine_passes = 0;
+  /// Worker threads for match building, tree covering and concurrent K / row
+  /// evaluations. 0 = hardware concurrency; 1 = the exact legacy serial
+  /// path (no pool is created). Results are bit-identical for every value.
+  std::uint32_t num_threads = 0;
+  /// Reuse the K-independent subject forest + match candidates across run()
+  /// calls (memoized per {partition, metric} inside DesignContext). Off =
+  /// rebuild the matching front end on every run, as the seed code did.
+  bool use_match_cache = true;
   PlaceOptions place;
   RouteOptions route;
   RGridOptions rgrid;
@@ -65,7 +87,7 @@ struct FlowRun {
 
 /// Per-floorplan context: builds the technology-independent placement once
 /// (the paper stresses this is generated a single time) and serves any
-/// number of mapping evaluations against it.
+/// number of mapping evaluations against it — concurrently, if asked.
 class DesignContext {
  public:
   DesignContext(BaseNetwork net, const Library* library, Floorplan floorplan,
@@ -79,8 +101,23 @@ class DesignContext {
   /// HPWL of the technology-independent placement (diagnostics).
   double base_hpwl() const { return base_hpwl_; }
 
-  /// Maps at options.K and runs the physical design evaluation.
+  /// Maps at options.K and runs the physical design evaluation. Safe to call
+  /// concurrently from pool tasks (all per-run state is local; the match
+  /// cache and pool are internally synchronized).
   FlowRun run(const FlowOptions& options) const;
+
+  /// The memoized K-independent matching front end for {partition, metric}:
+  /// built on first use (optionally in parallel on `pool`), then shared by
+  /// every subsequent run. Thread-safe.
+  std::shared_ptr<const MatchDatabase> match_database(PartitionStrategy partition,
+                                                      DistanceMetric metric,
+                                                      ThreadPool* pool = nullptr) const;
+
+  /// The context's shared worker pool for `num_threads` (0 = hardware
+  /// concurrency). Returns nullptr when the resolved count is 1 — callers
+  /// then take the serial path. Created lazily on first use and reused (the
+  /// first creation fixes the worker count). Thread-safe.
+  ThreadPool* pool(std::uint32_t num_threads) const;
 
  private:
   BaseNetwork net_;
@@ -88,12 +125,20 @@ class DesignContext {
   Floorplan floorplan_;
   std::vector<Point> node_positions_;
   double base_hpwl_ = 0.0;
+
+  mutable std::mutex mutex_;
+  mutable std::unique_ptr<ThreadPool> pool_;
+  mutable std::map<std::pair<int, int>, std::shared_ptr<const MatchDatabase>> match_dbs_;
 };
 
 /// The Fig. 3 iteration: evaluates the K schedule in order and stops at the
 /// first netlist whose congestion map is acceptable; keeps all runs for
 /// reporting. If none is acceptable, `chosen` is the run with the fewest
 /// violations (the designer would then add routing resources).
+/// With num_threads != 1 all schedule points are evaluated concurrently
+/// (speculatively — points past the convergence K are extra work that the
+/// serial path would have skipped) and the serial selection is replayed, so
+/// runs/chosen/converged are identical to the serial result.
 struct FlowIterationResult {
   std::vector<FlowRun> runs;
   std::size_t chosen = 0;
@@ -109,6 +154,11 @@ FlowIterationResult congestion_aware_flow(const DesignContext& context,
 /// "within a few percent of the minimum area solution"; this automates it.
 /// Returns the best routable run found (the run at `k_high` if bisection
 /// never improves on it).
+/// With num_threads != 1 the bisection speculates one level ahead: each
+/// batch evaluates the probe K plus both possible successors concurrently,
+/// resolving two iterations per batch. best/k are identical to the serial
+/// search; `evaluations` counts actual runs, so it is larger when probes are
+/// speculative.
 struct KRefineResult {
   FlowRun best;
   double k = 0.0;
@@ -119,6 +169,9 @@ KRefineResult refine_k(const DesignContext& context, double k_low, double k_high
 
 /// Grows the floorplan row count until the design routes without violations
 /// (how the paper finds "chip area / no. of rows" in Tables 3 and 5).
+/// With num_threads != 1, windows of candidate row counts are evaluated
+/// concurrently (each with its own floorplan/context) and scanned in order —
+/// the returned rows/run are identical to the serial search.
 struct RowSearchResult {
   std::uint32_t rows = 0;
   bool found = false;

@@ -18,6 +18,92 @@ bool pin_in_subtree(const SubjectForest& forest, const Match& match, NodeId pin)
          match.covered.end();
 }
 
+/// The Eq. 1–5 best-match selection for one vertex. Reads only cover entries
+/// of vertices reachable through fanin chains of `v` (covered subtree
+/// vertices, match pins, duplication charges), which the caller guarantees
+/// are finalized; writes nothing but the returned value.
+VertexCover cover_vertex(const BaseNetwork& net, const SubjectForest& forest,
+                         const Library& library, const std::vector<Point>& positions,
+                         const CoverOptions& options,
+                         const std::vector<VertexCover>& cover, NodeId v,
+                         std::vector<Match> matches) {
+  CALS_CHECK_MSG(!matches.empty(), "vertex has no match — library lacks INV/NAND2?");
+
+  VertexCover best;
+  for (Match& match : matches) {
+    const Cell& cell = library.cell(match.cell);
+
+    // pos(m,v): center of mass of the covered base gates, from the
+    // initial tech-independent placement.
+    std::vector<Point> covered_points;
+    covered_points.reserve(match.covered.size());
+    for (NodeId w : match.covered) covered_points.push_back(positions[w.v]);
+    const Point match_pos = center_of_mass(covered_points);
+
+    double area = cell.area();
+    double wire1 = 0.0;
+    double wire2 = 0.0;
+    double arrival = 0.0;
+
+    // Duplication pricing: covering a multi-fanout vertex internally does
+    // not remove the need for its signal — the other readers instantiate
+    // its own best match again.
+    if (options.charge_duplication) {
+      for (NodeId w : match.covered) {
+        if (w == v) continue;
+        if (net.fanout_count(w) > 1) {
+          CALS_CHECK(cover[w.v].valid);
+          area += library.cell(cover[w.v].match.cell).area();
+        }
+      }
+    }
+    for (NodeId pin : match.pins) {
+      const bool in_subtree = net.is_gate(pin) && pin_in_subtree(forest, match, pin);
+      const VertexCover& pin_cover = cover[pin.v];
+      // Fanin position: the memoized center of the pin's chosen match for
+      // gates, the pad/base position otherwise.
+      const Point pin_pos =
+          (net.is_gate(pin) && pin_cover.valid) ? pin_cover.pos : positions[pin.v];
+      const double d = distance(match_pos, pin_pos, options.metric);
+      wire1 += d;
+      if (in_subtree) {
+        CALS_CHECK_MSG(pin_cover.valid, "DP order violated");
+        area += pin_cover.area_cost;
+        wire2 += pin_cover.wire_cost;
+      } else if (options.transitive_wire_cost && net.is_gate(pin) && pin_cover.valid) {
+        // Ablation: Pedram–Bhat-style accounting pulls in the wire cost of
+        // the full transitive fanin regardless of subtree ownership.
+        wire2 += pin_cover.wire_cost;
+      }
+      if (options.objective == MapObjective::kDelay) {
+        const double pin_arrival = (net.is_gate(pin) && pin_cover.valid)
+                                       ? pin_cover.arrival
+                                       : 0.0;
+        arrival = std::max(arrival,
+                           pin_arrival + d * options.wire_delay_ns_per_um);
+      }
+    }
+    const double wire = wire1 + wire2;
+    if (options.objective == MapObjective::kDelay)
+      arrival += cell.delay(options.est_sink_cap_ff);
+
+    const double primary = options.objective == MapObjective::kArea ? area : arrival;
+    const double cost = primary + options.K * wire;
+
+    if (!best.valid || cost < best.cost ||
+        (cost == best.cost && area < best.area_cost)) {
+      best.valid = true;
+      best.match = std::move(match);
+      best.area_cost = area;
+      best.wire_cost = wire;
+      best.cost = cost;
+      best.arrival = arrival;
+      best.pos = match_pos;
+    }
+  }
+  return best;
+}
+
 }  // namespace
 
 std::vector<VertexCover> cover_forest(const BaseNetwork& net, const SubjectForest& forest,
@@ -33,83 +119,88 @@ std::vector<VertexCover> cover_forest(const BaseNetwork& net, const SubjectFores
   for (std::uint32_t i = 0; i < net.num_nodes(); ++i) {
     const NodeId v{i};
     if (!forest.in_tree(v)) continue;
+    cover[i] = cover_vertex(net, forest, library, positions, options, cover, v,
+                            matcher.matches_at(v));
+  }
+  return cover;
+}
 
-    auto matches = matcher.matches_at(v);
-    CALS_CHECK_MSG(!matches.empty(), "vertex has no match — library lacks INV/NAND2?");
+MatchSet build_match_set(const BaseNetwork& net, const SubjectForest& forest,
+                         const Matcher& matcher, ThreadPool* pool) {
+  MatchSet set;
+  set.at.resize(net.num_nodes());
 
-    VertexCover best;
-    for (Match& match : matches) {
-      const Cell& cell = library.cell(match.cell);
+  // Matching is per-vertex independent (the matcher only reads the subject
+  // graph), so the enumeration parallelizes trivially.
+  ThreadPool::parallel_for(pool, 0, net.num_nodes(), 64,
+                           [&](std::size_t lo, std::size_t hi) {
+                             for (std::size_t i = lo; i < hi; ++i) {
+                               const NodeId v{static_cast<std::uint32_t>(i)};
+                               if (forest.in_tree(v)) set.at[i] = matcher.matches_at(v);
+                             }
+                           });
 
-      // pos(m,v): center of mass of the covered base gates, from the
-      // initial tech-independent placement.
-      std::vector<Point> covered_points;
-      covered_points.reserve(match.covered.size());
-      for (NodeId w : match.covered) covered_points.push_back(positions[w.v]);
-      const Point match_pos = center_of_mass(covered_points);
-
-      double area = cell.area();
-      double wire1 = 0.0;
-      double wire2 = 0.0;
-      double arrival = 0.0;
-
-      // Duplication pricing: covering a multi-fanout vertex internally does
-      // not remove the need for its signal — the other readers instantiate
-      // its own best match again.
-      if (options.charge_duplication) {
-        for (NodeId w : match.covered) {
-          if (w == v) continue;
-          if (net.fanout_count(w) > 1) {
-            CALS_CHECK(cover[w.v].valid);
-            area += library.cell(cover[w.v].match.cell).area();
-          }
-        }
-      }
-      for (NodeId pin : match.pins) {
-        const bool in_subtree = net.is_gate(pin) && pin_in_subtree(forest, match, pin);
-        const VertexCover& pin_cover = cover[pin.v];
-        // Fanin position: the memoized center of the pin's chosen match for
-        // gates, the pad/base position otherwise.
-        const Point pin_pos =
-            (net.is_gate(pin) && pin_cover.valid) ? pin_cover.pos : positions[pin.v];
-        const double d = distance(match_pos, pin_pos, options.metric);
-        wire1 += d;
-        if (in_subtree) {
-          CALS_CHECK_MSG(pin_cover.valid, "DP order violated");
-          area += pin_cover.area_cost;
-          wire2 += pin_cover.wire_cost;
-        } else if (options.transitive_wire_cost && net.is_gate(pin) && pin_cover.valid) {
-          // Ablation: Pedram–Bhat-style accounting pulls in the wire cost of
-          // the full transitive fanin regardless of subtree ownership.
-          wire2 += pin_cover.wire_cost;
-        }
-        if (options.objective == MapObjective::kDelay) {
-          const double pin_arrival = (net.is_gate(pin) && pin_cover.valid)
-                                         ? pin_cover.arrival
-                                         : 0.0;
-          arrival = std::max(arrival,
-                             pin_arrival + d * options.wire_delay_ns_per_um);
-        }
-      }
-      const double wire = wire1 + wire2;
-      if (options.objective == MapObjective::kDelay)
-        arrival += cell.delay(options.est_sink_cap_ff);
-
-      const double primary = options.objective == MapObjective::kArea ? area : arrival;
-      const double cost = primary + options.K * wire;
-
-      if (!best.valid || cost < best.cost ||
-          (cost == best.cost && area < best.area_cost)) {
-        best.valid = true;
-        best.match = std::move(match);
-        best.area_cost = area;
-        best.wire_cost = wire;
-        best.cost = cost;
-        best.arrival = arrival;
-        best.pos = match_pos;
-      }
+  // Wavefront schedule for the covering DP. Everything a vertex's DP reads
+  // (match pins, covered subtree vertices, duplication charges) is reached
+  // through chains of direct fanins, so level(v) = 1 + max(level(gate
+  // fanins)) makes each wave depend only on strictly earlier waves. Note
+  // that scheduling whole *trees* concurrently would be unsound: cross-tree
+  // leaf references can make two trees mutually dependent (each reading a
+  // memoized match position from the other), while the fanin relation is
+  // always acyclic.
+  std::vector<std::uint32_t> level(net.num_nodes(), 0);
+  std::uint32_t max_level = 0;
+  for (std::uint32_t i = 0; i < net.num_nodes(); ++i) {
+    const NodeId v{i};
+    if (!forest.in_tree(v)) continue;
+    std::uint32_t l = 0;
+    const std::uint32_t nf = net.num_fanins(v);
+    for (std::uint32_t k = 0; k < nf; ++k) {
+      const NodeId w = k == 0 ? net.fanin0(v) : net.fanin1(v);
+      if (net.is_gate(w) && forest.in_tree(w)) l = std::max(l, level[w.v] + 1);
     }
-    cover[i] = std::move(best);
+    level[i] = l;
+    max_level = std::max(max_level, l);
+  }
+  set.waves.resize(max_level + 1);
+  for (std::uint32_t i = 0; i < net.num_nodes(); ++i) {
+    const NodeId v{i};
+    if (forest.in_tree(v)) set.waves[level[i]].push_back(v);
+  }
+  return set;
+}
+
+std::vector<VertexCover> cover_forest(const BaseNetwork& net, const SubjectForest& forest,
+                                      const MatchSet& matches, const Library& library,
+                                      const std::vector<Point>& positions,
+                                      const CoverOptions& options, ThreadPool* pool) {
+  CALS_CHECK(positions.size() == net.num_nodes());
+  CALS_CHECK(matches.at.size() == net.num_nodes());
+  std::vector<VertexCover> cover(net.num_nodes());
+
+  if (pool == nullptr || pool->num_workers() <= 1) {
+    for (std::uint32_t i = 0; i < net.num_nodes(); ++i) {
+      const NodeId v{i};
+      if (!forest.in_tree(v)) continue;
+      cover[i] = cover_vertex(net, forest, library, positions, options, cover, v,
+                              matches.at[i]);
+    }
+    return cover;
+  }
+
+  // Wave-synchronous parallel DP: within a wave every vertex reads only
+  // covers finalized by earlier waves, and each chunk writes a disjoint set
+  // of cover entries — results are bit-identical to the serial order.
+  for (const std::vector<NodeId>& wave : matches.waves) {
+    ThreadPool::parallel_for(pool, 0, wave.size(), 32,
+                             [&](std::size_t lo, std::size_t hi) {
+                               for (std::size_t j = lo; j < hi; ++j) {
+                                 const NodeId v = wave[j];
+                                 cover[v.v] = cover_vertex(net, forest, library, positions,
+                                                           options, cover, v,
+                                                           matches.at[v.v]);
+                               }
+                             });
   }
   return cover;
 }

@@ -24,6 +24,7 @@
 #include "map/matcher.hpp"
 #include "map/partition.hpp"
 #include "netlist/base_network.hpp"
+#include "util/thread_pool.hpp"
 
 namespace cals {
 
@@ -72,5 +73,33 @@ std::vector<VertexCover> cover_forest(const BaseNetwork& net, const SubjectFores
                                       const Matcher& matcher, const Library& library,
                                       const std::vector<Point>& positions,
                                       const CoverOptions& options);
+
+/// The K-independent artifacts of the matching front end, reusable across
+/// every K of a sweep (only the DP costs of Eq. 1–5 depend on K).
+struct MatchSet {
+  /// All matches rooted at each node (empty for vertices outside any tree),
+  /// exactly what Matcher::matches_at returns.
+  std::vector<std::vector<Match>> at;
+  /// In-tree vertices grouped into dependency wavefronts: level[v] =
+  /// 1 + max(level over live gate fanins), so every cover value a vertex can
+  /// read (fanin positions, subtree costs, duplication charges — all reached
+  /// through fanin chains) lives in a strictly earlier wave. Vertices within
+  /// one wave are mutually independent and can be covered concurrently.
+  std::vector<std::vector<NodeId>> waves;
+};
+
+/// Precomputes matches (and the cover wavefront schedule) for `forest`.
+/// Matching is per-vertex independent; a non-null pool parallelizes it.
+MatchSet build_match_set(const BaseNetwork& net, const SubjectForest& forest,
+                         const Matcher& matcher, ThreadPool* pool = nullptr);
+
+/// The covering DP over precomputed matches. Bit-identical to the Matcher
+/// overload for any pool / thread count: parallel execution processes the
+/// waves in order, splitting each wave across the pool with disjoint writes.
+std::vector<VertexCover> cover_forest(const BaseNetwork& net, const SubjectForest& forest,
+                                      const MatchSet& matches, const Library& library,
+                                      const std::vector<Point>& positions,
+                                      const CoverOptions& options,
+                                      ThreadPool* pool = nullptr);
 
 }  // namespace cals

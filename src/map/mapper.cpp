@@ -13,7 +13,6 @@ class Realizer {
   Realizer(const BaseNetwork& net, const std::vector<VertexCover>& cover,
            MappedNetlist& out)
       : net_(net), cover_(cover), out_(out), memo_(net.num_nodes()) {
-    pi_signal_.reserve(net.pis().size());
     for (NodeId pi : net.pis()) {
       const Signal s = out_.add_pi(net.pi_name(pi));
       memo_[pi.v] = s;
@@ -43,21 +42,14 @@ class Realizer {
   const std::vector<VertexCover>& cover_;
   MappedNetlist& out_;
   std::vector<Signal> memo_;
-  std::vector<Signal> pi_signal_;
   std::vector<NodeId> realized_;
 };
 
-}  // namespace
-
-MapResult map_network(const BaseNetwork& net, const Library& library,
-                      const std::vector<Point>& positions, const MapperOptions& options) {
-  CALS_CHECK_MSG(net.fanouts_built(), "call build_fanouts() first");
-
-  const SubjectForest forest =
-      partition_dag(net, options.partition, positions, options.cover.metric);
-  const Matcher matcher(net, forest, library);
-  const auto cover = cover_forest(net, forest, matcher, library, positions, options.cover);
-
+/// Netlist construction + statistics from a finished cover (the shared back
+/// end of map_network and map_network_cached).
+MapResult realize_cover(const BaseNetwork& net, const Library& library,
+                        const SubjectForest& forest,
+                        const std::vector<VertexCover>& cover) {
   MapResult result{MappedNetlist(&library), {}};
   Realizer realizer(net, cover, result.netlist);
   for (const PrimaryOutput& po : net.pos())
@@ -83,6 +75,45 @@ MapResult map_network(const BaseNetwork& net, const Library& library,
     if (buried.contains(w.v)) ++stats.duplicated_signals;
 
   return result;
+}
+
+}  // namespace
+
+MapResult map_network(const BaseNetwork& net, const Library& library,
+                      const std::vector<Point>& positions, const MapperOptions& options) {
+  CALS_CHECK_MSG(net.fanouts_built(), "call build_fanouts() first");
+
+  const SubjectForest forest =
+      partition_dag(net, options.partition, positions, options.cover.metric);
+  const Matcher matcher(net, forest, library);
+  const auto cover = cover_forest(net, forest, matcher, library, positions, options.cover);
+  return realize_cover(net, library, forest, cover);
+}
+
+MatchDatabase build_match_database(const BaseNetwork& net, const Library& library,
+                                   const std::vector<Point>& positions,
+                                   PartitionStrategy partition, DistanceMetric metric,
+                                   ThreadPool* pool) {
+  CALS_CHECK_MSG(net.fanouts_built(), "call build_fanouts() first");
+  MatchDatabase db;
+  db.partition = partition;
+  db.metric = metric;
+  db.forest = partition_dag(net, partition, positions, metric);
+  const Matcher matcher(net, db.forest, library);
+  db.matches = build_match_set(net, db.forest, matcher, pool);
+  return db;
+}
+
+MapResult map_network_cached(const BaseNetwork& net, const Library& library,
+                             const std::vector<Point>& positions,
+                             const MatchDatabase& db, const CoverOptions& cover_options,
+                             ThreadPool* pool) {
+  CALS_CHECK_MSG(net.fanouts_built(), "call build_fanouts() first");
+  CALS_CHECK_MSG(cover_options.metric == db.metric,
+                 "match database was built for a different distance metric");
+  const auto cover =
+      cover_forest(net, db.forest, db.matches, library, positions, cover_options, pool);
+  return realize_cover(net, library, db.forest, cover);
 }
 
 }  // namespace cals

@@ -3,12 +3,18 @@
 /// The congestion-aware technology mapper: partition -> match -> cover ->
 /// netlist construction. This is the paper's contribution packaged behind
 /// one call.
+///
+/// For K sweeps (the Fig. 3 iteration, Tables 2–5), the partition + match
+/// front end is K-independent: build it once with build_match_database() and
+/// evaluate every K through map_network_cached(), which only re-runs the DP
+/// cover and netlist construction.
 
 #include <cstdint>
 
 #include "map/cover.hpp"
 #include "map/mapped_netlist.hpp"
 #include "map/partition.hpp"
+#include "util/thread_pool.hpp"
 
 namespace cals {
 
@@ -43,5 +49,33 @@ struct MapResult {
 MapResult map_network(const BaseNetwork& net, const Library& library,
                       const std::vector<Point>& positions,
                       const MapperOptions& options = {});
+
+/// Everything in the mapping pipeline that does not depend on K (or on any
+/// other CoverOptions field): the subject forest for one {partition, metric}
+/// choice plus every per-vertex match candidate and the cover wavefront
+/// schedule. Build once per DesignContext / sweep, reuse for every K.
+struct MatchDatabase {
+  PartitionStrategy partition = PartitionStrategy::kPlacementDriven;
+  DistanceMetric metric = DistanceMetric::kManhattan;
+  SubjectForest forest;
+  MatchSet matches;
+};
+
+/// Runs partition + matcher for the given strategy/metric. A non-null pool
+/// parallelizes the match enumeration.
+MatchDatabase build_match_database(const BaseNetwork& net, const Library& library,
+                                   const std::vector<Point>& positions,
+                                   PartitionStrategy partition,
+                                   DistanceMetric metric = DistanceMetric::kManhattan,
+                                   ThreadPool* pool = nullptr);
+
+/// The per-K back half of map_network: DP cover over the cached database,
+/// then netlist construction. `cover.metric` must equal `db.metric` (the
+/// cached forest was partitioned with it). Produces a MapResult bit-identical
+/// to map_network() with the same options, for any pool / thread count.
+MapResult map_network_cached(const BaseNetwork& net, const Library& library,
+                             const std::vector<Point>& positions,
+                             const MatchDatabase& db, const CoverOptions& cover,
+                             ThreadPool* pool = nullptr);
 
 }  // namespace cals

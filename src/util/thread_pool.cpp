@@ -1,0 +1,106 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace cals {
+
+std::uint32_t ThreadPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1u : static_cast<std::uint32_t>(n);
+}
+
+ThreadPool::ThreadPool(std::uint32_t num_threads) {
+  const std::uint32_t n = num_threads == 0 ? hardware_threads() : num_threads;
+  workers_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+bool ThreadPool::try_run_one() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  return true;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::TaskGroup::run(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++pending_;
+  }
+  pool_.submit([this, fn = std::move(fn)] {
+    fn();
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (--pending_ == 0) done_.notify_all();
+  });
+}
+
+void ThreadPool::TaskGroup::wait() {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (pending_ == 0) return;
+    }
+    // Help: drain runnable work instead of blocking a core. Only sleep when
+    // the queue is empty, i.e. our remaining tasks are executing elsewhere.
+    if (pool_.try_run_one()) continue;
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait_for(lock, std::chrono::milliseconds(1),
+                   [this] { return pending_ == 0; });
+  }
+}
+
+void ThreadPool::parallel_for(ThreadPool* pool, std::size_t begin, std::size_t end,
+                              std::size_t grain,
+                              const std::function<void(std::size_t, std::size_t)>& fn) {
+  grain = std::max<std::size_t>(grain, 1);
+  if (pool == nullptr || pool->num_workers() <= 1 || end - begin <= grain) {
+    if (begin < end) fn(begin, end);
+    return;
+  }
+  TaskGroup group(*pool);
+  for (std::size_t lo = begin; lo < end; lo += grain) {
+    const std::size_t hi = std::min(end, lo + grain);
+    group.run([&fn, lo, hi] { fn(lo, hi); });
+  }
+  group.wait();
+}
+
+}  // namespace cals

@@ -1,0 +1,79 @@
+#pragma once
+/// \file thread_pool.hpp
+/// A small shared worker pool for the flow's reuse-and-parallelism layer:
+/// concurrent K evaluations, parallel match building, and wavefront tree
+/// covering all run on one pool so the total thread count stays bounded by
+/// FlowOptions::num_threads.
+///
+/// Design notes:
+///  * Tasks are submitted through a TaskGroup (fork/join). `wait()` *helps*:
+///    while its tasks are outstanding the waiting thread pops and executes
+///    pending pool tasks, so nested groups (a K-evaluation task that itself
+///    fans out its covering DP) never deadlock and never idle a core that
+///    has runnable work.
+///  * Determinism is the caller's contract, not the pool's: every algorithm
+///    built on top of it partitions its writes disjointly and only reads
+///    data published by completed tasks, so results are bit-identical to the
+///    serial order regardless of scheduling.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cals {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 = hardware_threads()).
+  explicit ThreadPool(std::uint32_t num_threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::uint32_t num_workers() const { return static_cast<std::uint32_t>(workers_.size()); }
+  static std::uint32_t hardware_threads();
+
+  /// Fork/join scope: submit with run(), then wait() exactly once. The
+  /// waiting thread executes pending pool tasks while it waits.
+  class TaskGroup {
+   public:
+    explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
+    ~TaskGroup() { wait(); }
+    TaskGroup(const TaskGroup&) = delete;
+    TaskGroup& operator=(const TaskGroup&) = delete;
+
+    void run(std::function<void()> fn);
+    void wait();
+
+   private:
+    ThreadPool& pool_;
+    std::mutex mutex_;
+    std::condition_variable done_;
+    std::size_t pending_ = 0;  // guarded by mutex_
+  };
+
+  /// Chunked parallel loop over [begin, end): calls fn(lo, hi) for slices of
+  /// at most `grain` indices. Runs inline when the pool is null or the range
+  /// fits one chunk.
+  static void parallel_for(ThreadPool* pool, std::size_t begin, std::size_t end,
+                           std::size_t grain,
+                           const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void submit(std::function<void()> task);
+  bool try_run_one();
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+}  // namespace cals

@@ -1,0 +1,144 @@
+/// Determinism contract of the reuse-and-parallelism layer (DESIGN.md §6):
+/// any FlowOptions::num_threads / use_match_cache configuration must produce
+/// results bit-identical to the legacy serial path (num_threads = 1, cache
+/// off) — same covers, cell areas, wirelengths and critical paths.
+
+#include <gtest/gtest.h>
+
+#include "flow/baselines.hpp"
+#include "flow/flow.hpp"
+#include "library/corelib.hpp"
+#include "util/log.hpp"
+#include "workloads/presets.hpp"
+
+namespace cals {
+namespace {
+
+constexpr double kScale = 0.1;  // ~2.3k base gates, same as bench/perf_core
+
+const Library& test_library() {
+  static const Library lib = lib::make_corelib();
+  return lib;
+}
+
+const BaseNetwork& test_network() {
+  static const BaseNetwork net = [] {
+    BaseNetwork n = synthesize_base(workloads::spla_like(kScale));
+    n.build_fanouts();
+    return n;
+  }();
+  return net;
+}
+
+Floorplan test_floorplan() {
+  return Floorplan::for_cell_area(test_network().num_base_gates() * 5.3, 0.58,
+                                  test_library().tech());
+}
+
+FlowOptions serial_options() {
+  FlowOptions options;
+  options.num_threads = 1;
+  options.use_match_cache = false;  // the exact seed implementation
+  options.replace_mapped = false;
+  options.rgrid.capacity_scale = 3.5;
+  return options;
+}
+
+FlowOptions parallel_options() {
+  FlowOptions options = serial_options();
+  options.num_threads = 4;
+  options.use_match_cache = true;
+  return options;
+}
+
+void expect_identical_run(const FlowRun& a, const FlowRun& b) {
+  // The realized cover, instance by instance.
+  ASSERT_EQ(a.map.netlist.num_instances(), b.map.netlist.num_instances());
+  for (std::uint32_t i = 0; i < a.map.netlist.num_instances(); ++i) {
+    EXPECT_EQ(a.map.netlist.instance(i).cell, b.map.netlist.instance(i).cell);
+    EXPECT_EQ(a.map.netlist.instance(i).fanins, b.map.netlist.instance(i).fanins);
+  }
+  EXPECT_EQ(a.map.stats.num_trees, b.map.stats.num_trees);
+  EXPECT_EQ(a.map.stats.duplicated_signals, b.map.stats.duplicated_signals);
+  EXPECT_DOUBLE_EQ(a.map.stats.dp_wire_cost, b.map.stats.dp_wire_cost);
+  // Downstream physical design metrics.
+  EXPECT_EQ(a.metrics.num_cells, b.metrics.num_cells);
+  EXPECT_DOUBLE_EQ(a.metrics.cell_area_um2, b.metrics.cell_area_um2);
+  EXPECT_DOUBLE_EQ(a.metrics.hpwl_um, b.metrics.hpwl_um);
+  EXPECT_DOUBLE_EQ(a.metrics.wirelength_um, b.metrics.wirelength_um);
+  EXPECT_DOUBLE_EQ(a.metrics.critical_path_ns, b.metrics.critical_path_ns);
+  EXPECT_EQ(a.metrics.routing_violations, b.metrics.routing_violations);
+}
+
+TEST(FlowParallel, SingleRunBitIdenticalToSerial) {
+  ScopedLogLevel silence(LogLevel::kSilent);
+  const DesignContext context(test_network(), &test_library(), test_floorplan());
+  FlowOptions serial = serial_options();
+  FlowOptions parallel = parallel_options();
+  serial.K = 0.1;
+  parallel.K = 0.1;
+  expect_identical_run(context.run(serial), context.run(parallel));
+}
+
+TEST(FlowParallel, KSweepBitIdenticalToSerial) {
+  ScopedLogLevel silence(LogLevel::kSilent);
+  const std::vector<double> schedule = {0.0, 0.05, 0.1, 0.2, 0.4};
+  // Two contexts so the parallel sweep cannot accidentally reuse serial state.
+  const DesignContext serial_context(test_network(), &test_library(), test_floorplan());
+  const DesignContext parallel_context(test_network(), &test_library(), test_floorplan());
+  const FlowIterationResult serial =
+      congestion_aware_flow(serial_context, schedule, serial_options());
+  const FlowIterationResult parallel =
+      congestion_aware_flow(parallel_context, schedule, parallel_options());
+  EXPECT_EQ(serial.converged, parallel.converged);
+  EXPECT_EQ(serial.chosen, parallel.chosen);
+  ASSERT_EQ(serial.runs.size(), parallel.runs.size());
+  for (std::size_t i = 0; i < serial.runs.size(); ++i)
+    expect_identical_run(serial.runs[i], parallel.runs[i]);
+}
+
+TEST(FlowParallel, RefineKBitIdenticalToSerial) {
+  ScopedLogLevel silence(LogLevel::kSilent);
+  // Generous die so k_high = 1 is routable.
+  const Floorplan fp = Floorplan::for_cell_area(
+      test_network().num_base_gates() * 5.3, 0.40, test_library().tech());
+  const DesignContext serial_context(test_network(), &test_library(), fp);
+  const DesignContext parallel_context(test_network(), &test_library(), fp);
+  const KRefineResult serial =
+      refine_k(serial_context, 0.0, 1.0, 3, serial_options());
+  const KRefineResult parallel =
+      refine_k(parallel_context, 0.0, 1.0, 3, parallel_options());
+  EXPECT_DOUBLE_EQ(serial.k, parallel.k);
+  expect_identical_run(serial.best, parallel.best);
+  // Speculation may evaluate more points, never fewer.
+  EXPECT_GE(parallel.evaluations, serial.evaluations);
+}
+
+TEST(FlowParallel, RowSearchBitIdenticalToSerial) {
+  ScopedLogLevel silence(LogLevel::kSilent);
+  const Floorplan tight = Floorplan::for_cell_area(
+      test_network().num_base_gates() * 5.3, 0.85, test_library().tech());
+  const RowSearchResult serial =
+      find_min_routable_rows(test_network(), test_library(), serial_options(),
+                             tight.num_rows(), tight.num_rows() + 30);
+  const RowSearchResult parallel =
+      find_min_routable_rows(test_network(), test_library(), parallel_options(),
+                             tight.num_rows(), tight.num_rows() + 30);
+  ASSERT_EQ(serial.found, parallel.found);
+  EXPECT_EQ(serial.rows, parallel.rows);
+  expect_identical_run(serial.run, parallel.run);
+}
+
+TEST(FlowParallel, CacheOnSerialPoolAlsoIdentical) {
+  // The remaining configuration corner: match cache on, no pool.
+  ScopedLogLevel silence(LogLevel::kSilent);
+  const DesignContext context(test_network(), &test_library(), test_floorplan());
+  FlowOptions cached_serial = serial_options();
+  cached_serial.use_match_cache = true;
+  FlowOptions uncached = serial_options();
+  cached_serial.K = uncached.K = 0.2;
+  expect_identical_run(context.run(uncached), context.run(cached_serial));
+}
+
+}  // namespace
+}  // namespace cals

@@ -180,6 +180,74 @@ TEST(Mapper, Deterministic) {
   }
 }
 
+void expect_identical_map(const MapResult& a, const MapResult& b) {
+  ASSERT_EQ(a.netlist.num_instances(), b.netlist.num_instances());
+  for (std::uint32_t i = 0; i < a.netlist.num_instances(); ++i) {
+    EXPECT_EQ(a.netlist.instance(i).cell, b.netlist.instance(i).cell);
+    EXPECT_EQ(a.netlist.instance(i).fanins, b.netlist.instance(i).fanins);
+    EXPECT_EQ(a.netlist.instance(i).pos, b.netlist.instance(i).pos);
+  }
+  EXPECT_EQ(a.stats.num_cells, b.stats.num_cells);
+  EXPECT_DOUBLE_EQ(a.stats.cell_area, b.stats.cell_area);
+  EXPECT_DOUBLE_EQ(a.stats.dp_wire_cost, b.stats.dp_wire_cost);
+  EXPECT_EQ(a.stats.duplicated_signals, b.stats.duplicated_signals);
+  EXPECT_EQ(a.stats.num_trees, b.stats.num_trees);
+}
+
+TEST(Mapper, CachedPathIdenticalAcrossKAndMetrics) {
+  // One MatchDatabase serves every K of a sweep: map_network_cached must
+  // reproduce map_network bit for bit, for both distance metrics, with and
+  // without a pool.
+  const Library lib = lib::make_corelib();
+  BaseNetwork net = random_circuit(31);
+  const auto positions = jitter_positions(net, 31);
+  ThreadPool pool(4);
+  for (const DistanceMetric metric : {DistanceMetric::kManhattan, DistanceMetric::kEuclidean}) {
+    const MatchDatabase db = build_match_database(
+        net, lib, positions, PartitionStrategy::kPlacementDriven, metric, &pool);
+    for (const double k : {0.05, 10.0}) {
+      MapperOptions options;
+      options.cover.K = k;
+      options.cover.metric = metric;
+      const MapResult uncached = map_network(net, lib, positions, options);
+      const MapResult cached_serial =
+          map_network_cached(net, lib, positions, db, options.cover);
+      const MapResult cached_parallel =
+          map_network_cached(net, lib, positions, db, options.cover, &pool);
+      expect_identical_map(uncached, cached_serial);
+      expect_identical_map(uncached, cached_parallel);
+    }
+  }
+}
+
+TEST(Mapper, CachedPathIdenticalForAllPartitionStrategies) {
+  const Library lib = lib::make_corelib();
+  BaseNetwork net = random_circuit(32);
+  const auto positions = jitter_positions(net, 32);
+  for (const PartitionStrategy strategy :
+       {PartitionStrategy::kDagon, PartitionStrategy::kCones,
+        PartitionStrategy::kPlacementDriven}) {
+    const MatchDatabase db = build_match_database(net, lib, positions, strategy);
+    MapperOptions options;
+    options.partition = strategy;
+    options.cover.K = 0.1;
+    expect_identical_map(map_network(net, lib, positions, options),
+                         map_network_cached(net, lib, positions, db, options.cover));
+  }
+}
+
+TEST(MapperDeath, CachedPathRejectsMetricMismatch) {
+  const Library lib = lib::make_corelib();
+  BaseNetwork net = random_circuit(33);
+  const auto positions = jitter_positions(net, 33);
+  const MatchDatabase db =
+      build_match_database(net, lib, positions, PartitionStrategy::kPlacementDriven,
+                           DistanceMetric::kManhattan);
+  CoverOptions cover;
+  cover.metric = DistanceMetric::kEuclidean;
+  EXPECT_DEATH(map_network_cached(net, lib, positions, db, cover), "metric");
+}
+
 TEST(Mapper, TransitiveWireCostAblationStillCorrect) {
   const Library lib = lib::make_corelib();
   BaseNetwork net = random_circuit(13);

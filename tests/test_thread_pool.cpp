@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace cals {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_workers(), 4u);
+  std::atomic<int> count{0};
+  ThreadPool::TaskGroup group(pool);
+  for (int i = 0; i < 100; ++i) group.run([&count] { ++count; });
+  group.wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsIdempotentAndGroupReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  ThreadPool::TaskGroup group(pool);
+  group.run([&count] { ++count; });
+  group.wait();
+  group.wait();
+  group.run([&count] { ++count; });
+  group.wait();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPool, NestedGroupsDoNotDeadlock) {
+  // Each outer task forks its own inner group on the same pool; wait() must
+  // help execute queued work so this completes even with one worker.
+  for (const std::uint32_t workers : {1u, 2u, 4u}) {
+    ThreadPool pool(workers);
+    std::atomic<int> leaves{0};
+    ThreadPool::TaskGroup outer(pool);
+    for (int i = 0; i < 8; ++i)
+      outer.run([&pool, &leaves] {
+        ThreadPool::TaskGroup inner(pool);
+        for (int j = 0; j < 8; ++j) inner.run([&leaves] { ++leaves; });
+        inner.wait();
+      });
+    outer.wait();
+    EXPECT_EQ(leaves.load(), 64) << workers << " workers";
+  }
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  ThreadPool::parallel_for(&pool, 0, hits.size(), 7,
+                           [&hits](std::size_t lo, std::size_t hi) {
+                             for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+                           });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForRunsInlineWithoutPool) {
+  std::vector<int> hits(100, 0);
+  ThreadPool::parallel_for(nullptr, 0, hits.size(), 8,
+                           [&hits](std::size_t lo, std::size_t hi) {
+                             for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+                           });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 100);
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool called = false;
+  ThreadPool::parallel_for(&pool, 5, 5, 1,
+                           [&called](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::hardware_threads(), 1u);
+  ThreadPool pool;  // default: hardware concurrency
+  EXPECT_EQ(pool.num_workers(), ThreadPool::hardware_threads());
+}
+
+}  // namespace
+}  // namespace cals
