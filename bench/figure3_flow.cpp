@@ -36,7 +36,7 @@ int main() {
       congestion_aware_flow(context, schedule, table_flow_options(0.0));
 
   Table iterations({"Iteration", "K", "Cell Area (um2)", "Util %", "Violations",
-                    "Max edge util", "Congestion OK?"});
+                    "Max edge util", "map/place/route/sta (s)", "Congestion OK?"});
   iterations.set_caption("Flow iterations:");
   for (std::size_t i = 0; i < result.runs.size(); ++i) {
     const FlowRun& run = result.runs[i];
@@ -44,7 +44,7 @@ int main() {
         {fmt_i(static_cast<long long>(i + 1)), strprintf("%g", run.metrics.k_factor),
          fmt_f(run.metrics.cell_area_um2, 0), fmt_f(run.metrics.utilization_pct, 2),
          fmt_i(static_cast<long long>(run.metrics.routing_violations)),
-         fmt_f(run.congestion.max_utilization, 2),
+         fmt_f(run.congestion.max_utilization, 2), fmt_phase_seconds(run.metrics),
          run.metrics.routing_violations == 0 ? "yes -> place&route" : "no -> raise K"});
   }
   print_table(iterations);

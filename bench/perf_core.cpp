@@ -119,6 +119,65 @@ void BM_RouteMappedNetlist(benchmark::State& state) {
 }
 BENCHMARK(BM_RouteMappedNetlist)->Unit(benchmark::kMillisecond);
 
+/// Shared placed-netlist setup for the router benchmarks: the spla-like
+/// preset mapped at min-area and seed-placed + legalized, as the table
+/// benches route it hundreds of times.
+struct RouteBenchSetup {
+  MappedPlaceBinding binding;
+  Placement placement;
+
+  RouteBenchSetup() {
+    const MapResult mapped =
+        map_network(test_network(), test_library(), test_context().node_positions(), {});
+    binding = mapped.netlist.lower(test_floorplan());
+    placement = mapped.netlist.seed_placement(binding);
+    legalize(binding.graph, test_floorplan(), placement);
+  }
+
+  static const RouteBenchSetup& get() {
+    static const RouteBenchSetup setup;
+    return setup;
+  }
+};
+
+void BM_RoutePattern(benchmark::State& state) {
+  // Initial L-shape pattern pass only (no rip-up): the cost of pricing and
+  // committing both L-shapes per segment. arg: 1 = congested supply, 0 =
+  // uncongested.
+  const RouteBenchSetup& setup = RouteBenchSetup::get();
+  RGridOptions grid_options;
+  grid_options.capacity_scale = state.range(0) ? 1.6 : 3.5;
+  RouteOptions route_options;
+  route_options.max_rrr_iterations = 0;
+  RoutingGrid grid(test_floorplan(), grid_options);
+  for (auto _ : state) {
+    const RouteResult result =
+        route(grid, setup.binding.graph, setup.placement, route_options);
+    benchmark::DoNotOptimize(result.wirelength_gcells);
+  }
+  state.SetItemsProcessed(state.iterations() * setup.binding.graph.nets.size());
+}
+BENCHMARK(BM_RoutePattern)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_RouteRRR(benchmark::State& state) {
+  // Full negotiated route (pattern + rip-up-and-reroute to convergence or
+  // cutoff). arg: 1 = congested supply (the spla-like preset near the
+  // routability cliff, heavy maze rerouting), 0 = uncongested.
+  const RouteBenchSetup& setup = RouteBenchSetup::get();
+  RGridOptions grid_options;
+  grid_options.capacity_scale = state.range(0) ? 1.6 : 3.5;
+  RoutingGrid grid(test_floorplan(), grid_options);
+  std::uint64_t iterations = 0;
+  for (auto _ : state) {
+    const RouteResult result = route(grid, setup.binding.graph, setup.placement);
+    iterations = result.rrr_iterations;
+    benchmark::DoNotOptimize(result.total_overflow);
+  }
+  state.counters["rrr_iters"] = static_cast<double>(iterations);
+  state.SetItemsProcessed(state.iterations() * setup.binding.graph.nets.size());
+}
+BENCHMARK(BM_RouteRRR)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 void BM_MapCached(benchmark::State& state) {
   // The per-K path of a sweep: DP cover + realize over a prebuilt match
   // database. Compare against BM_MapCongestionAware (which redoes partition

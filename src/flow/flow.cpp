@@ -78,6 +78,7 @@ FlowRun DesignContext::run(const FlowOptions& options) const {
 
   // ---- placement -----------------------------------------------------------
   timer.reset();
+  Timer phase_timer;
   run.binding = run.map.netlist.lower(floorplan_);
   if (options.replace_mapped) {
     run.placement = global_place(run.binding.graph, floorplan_, options.place);
@@ -93,14 +94,20 @@ FlowRun DesignContext::run(const FlowOptions& options) const {
     refine_placement(run.binding.graph, floorplan_, run.placement, refine_options);
   }
 
+  run.metrics.place_seconds = phase_timer.seconds();
+
   // ---- routing + congestion -------------------------------------------------
+  phase_timer.reset();
   RoutingGrid grid(floorplan_, options.rgrid);
   run.route = route(grid, run.binding.graph, run.placement, options.route);
   const CongestionMap congestion_map(grid);
   run.congestion = congestion_map.stats();
+  run.metrics.route_seconds = phase_timer.seconds();
 
   // ---- timing -----------------------------------------------------------------
+  phase_timer.reset();
   run.sta = run_sta(run.map.netlist, run.binding, run.route);
+  run.metrics.sta_seconds = phase_timer.seconds();
   run.metrics.pd_seconds = timer.seconds();
 
   // ---- metrics -----------------------------------------------------------------
@@ -129,31 +136,46 @@ FlowIterationResult congestion_aware_flow(const DesignContext& context,
   std::uint64_t best_violations = UINT64_MAX;
 
   ThreadPool* pool = context.pool(options.num_threads);
+  const std::size_t window =
+      pool == nullptr
+          ? 1
+          : (options.num_threads == 0 ? ThreadPool::hardware_threads()
+                                      : options.num_threads);
+  if (pool != nullptr && k_schedule.size() > 1 && options.use_match_cache) {
+    // Warm the match cache up front so the K-independent build happens once,
+    // pool-parallel, instead of racing inside the first window.
+    context.match_database(options.partition, options.metric, pool);
+  }
+
   std::vector<FlowRun> all(k_schedule.size());
-  if (pool != nullptr && k_schedule.size() > 1) {
-    // Evaluate every schedule point concurrently (speculating past the
-    // convergence K), then replay the serial selection below. Warm the match
-    // cache first so the K-independent build happens once, pool-parallel.
-    if (options.use_match_cache)
-      context.match_database(options.partition, options.metric, pool);
-    ThreadPool::TaskGroup group(*pool);
-    for (std::size_t i = 0; i < k_schedule.size(); ++i)
-      group.run([&context, &options, &k_schedule, &all, i] {
+  std::size_t evaluated = 0;  // schedule points [0, evaluated) are in `all`
+
+  for (std::size_t i = 0; i < k_schedule.size(); ++i) {
+    if (i == evaluated) {
+      // Evaluate the next window of schedule points concurrently — at most
+      // `window` of them, as find_min_routable_rows chunks its row search —
+      // so a long schedule speculates one window past the convergence K
+      // instead of evaluating every point. The selection below replays the
+      // serial order, so the chosen run is identical.
+      const std::size_t end =
+          pool == nullptr ? i + 1 : std::min(k_schedule.size(), i + window);
+      if (end - i > 1) {
+        ThreadPool::TaskGroup group(*pool);
+        for (std::size_t j = i; j < end; ++j)
+          group.run([&context, &options, &k_schedule, &all, j] {
+            FlowOptions point = options;
+            point.K = k_schedule[j];
+            all[j] = context.run(point);
+          });
+        group.wait();
+      } else {
         FlowOptions point = options;
         point.K = k_schedule[i];
         all[i] = context.run(point);
-      });
-    group.wait();
-  } else {
-    pool = nullptr;  // serial: evaluate lazily inside the selection loop
-  }
-
-  for (std::size_t i = 0; i < k_schedule.size(); ++i) {
-    const double k = k_schedule[i];
-    if (pool == nullptr) {
-      options.K = k;
-      all[i] = context.run(options);
+      }
+      evaluated = end;
     }
+    const double k = k_schedule[i];
     result.runs.push_back(std::move(all[i]));
     const FlowRun& run = result.runs.back();
     CALS_INFO("flow: K=%g cells=%u area=%.0f violations=%llu", k,

@@ -25,6 +25,11 @@ struct FlowMetrics {
   double chip_area_um2 = 0.0;
   double map_seconds = 0.0;
   double pd_seconds = 0.0;            ///< place+route+STA wall time
+  // Phase breakdown of pd_seconds, so sweeps can see where a K evaluation
+  // spends its time instead of one opaque figure (EXPERIMENTS.md).
+  double place_seconds = 0.0;         ///< lower + place/seed + legalize + refine
+  double route_seconds = 0.0;         ///< grid build + global route + congestion
+  double sta_seconds = 0.0;           ///< static timing
 };
 
 }  // namespace cals

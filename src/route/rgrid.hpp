@@ -76,6 +76,10 @@ class RoutingGrid {
 
   const std::vector<double>& h_usage_raw() const { return h_usage_; }
   const std::vector<double>& v_usage_raw() const { return v_usage_; }
+  /// Mutable raw usage, for the router's hot path (it maintains incremental
+  /// overflow/cost state alongside every usage change, see router.cpp).
+  double* h_usage_data() { return h_usage_.data(); }
+  double* v_usage_data() { return v_usage_.data(); }
   std::vector<double>& h_history() { return h_history_; }
   std::vector<double>& v_history() { return v_history_; }
   const std::vector<double>& h_history() const { return h_history_; }

@@ -1,262 +1,694 @@
 #include "route/router.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
-#include <queue>
+#include <cstdint>
+#include <functional>
 
 #include "util/check.hpp"
 
 namespace cals {
 namespace {
 
-/// Shared edge-cost model for pattern and maze routing.
-class EdgeCost {
- public:
-  EdgeCost(const RoutingGrid& grid, double present_penalty)
-      : grid_(grid), penalty_(present_penalty) {}
+/// Shared edge-cost model for pattern and maze routing. Base wire cost 1;
+/// congestion terms follow PathFinder: a present penalty for edges at/over
+/// capacity plus an accumulated history cost. Every cached cost below is
+/// recomputed through this one function, so a cached value is always the
+/// exact double the seed implementation would have computed on the fly.
+inline double edge_cost(double usage, double capacity, double history, double penalty) {
+  double c = 1.0 + history;
+  if (usage + 1.0 > capacity) c += penalty * (usage + 1.0 - capacity);
+  return c;
+}
 
-  double h_cost(std::int32_t x, std::int32_t y) const {
-    const std::size_t e = grid_.h_edge(x, y);
-    return cost(grid_.h_usage_raw()[e], grid_.h_capacity(), grid_.h_history()[e]);
+/// Per-edge overflow contribution: max(0, ceil(usage - capacity)). Integral,
+/// so maintaining the total incrementally is exact.
+inline std::uint64_t overflow_contribution(double usage, double capacity) {
+  return usage > capacity ? static_cast<std::uint64_t>(std::ceil(usage - capacity)) : 0;
+}
+
+/// The negotiated global router, restructured around three hot-path ideas
+/// (DESIGN.md §7) while staying bit-identical to the straightforward
+/// implementation (kept as `reference_route` in tests/test_route_equivalence):
+///
+///  1. Pattern pricing by prefix sums: per-row (h) and per-column (v) prefix
+///     sums over edge costs make each L-shape candidate O(1) to price; rows
+///     and columns are invalidated when a commit changes their usage and
+///     rebuilt lazily.
+///  2. Dirty-set rip-up: instead of re-scanning every net's every path each
+///     iteration, overflowed edges index the segments crossing them
+///     (append-only lists, stale entries filtered by the same
+///     overflow-at-visit predicate the full scan applied), and candidates
+///     are processed in ascending (net, segment) order from a heap so the
+///     reroute sequence is unchanged.
+///  3. Allocation pooling: the maze heap, backtrack scratch and path buffers
+///     live for the whole route() call; per-iteration edge-cost caches turn
+///     each maze relaxation into a single load.
+class Router {
+ public:
+  Router(RoutingGrid& grid, const PlaceGraph& graph, const Placement& placement,
+         const RouteOptions& options, RouteResult& result)
+      : grid_(grid),
+        graph_(graph),
+        options_(options),
+        result_(result),
+        nx_(grid.nx()),
+        ny_(grid.ny()),
+        num_h_(grid.num_h_edges()),
+        num_v_(grid.num_v_edges()),
+        cap_h_(grid.h_capacity()),
+        cap_v_(grid.v_capacity()),
+        h_usage_(grid.h_usage_data()),
+        v_usage_(grid.v_usage_data()),
+        h_history_(grid.h_history().data()),
+        v_history_(grid.v_history().data()) {
+    CALS_CHECK(nx_ < 0x10000 && ny_ < 0x10000);  // maze entries pack (y<<16)|x
+    build_topology(placement);
+    const std::size_t cells = static_cast<std::size_t>(nx_) * ny_;
+    const std::size_t edges = num_h_ + num_v_;
+    over_flag_.assign(edges, 0);
+    over_listed_.assign(edges, 0);
+    cross_.resize(edges);
+    seg_stamp_.assign(segments_.size(), 0);
+    // Pattern prefix sums: every row/column starts dirty and is built on
+    // first use. The h prefix for row y lives at [y*nx_, (y+1)*nx_), entry i
+    // holding the cost sum of edges left of cell i.
+    row_prefix_.assign(cells, 0.0);
+    col_prefix_.assign(cells, 0.0);
+    row_dirty_.assign(ny_, 1);
+    col_dirty_.assign(nx_, 1);
+    row_clean_.assign(ny_, 0);
+    col_clean_.assign(nx_, 0);
+    // Maze state (generation-stamped, so never cleared between calls).
+    dist_.assign(cells, 0.0);
+    stamp_.assign(cells, 0);
   }
-  double v_cost(std::int32_t x, std::int32_t y) const {
-    const std::size_t e = grid_.v_edge(x, y);
-    return cost(grid_.v_usage_raw()[e], grid_.v_capacity(), grid_.v_history()[e]);
+
+  void run() {
+    pattern_pass();
+    rrr_loop();
+    finish();
   }
 
  private:
-  double cost(double usage, double capacity, double history) const {
-    // Base wire cost 1; congestion terms follow PathFinder: a present
-    // penalty for edges at/over capacity plus an accumulated history cost.
-    double c = 1.0 + history;
-    if (usage + 1.0 > capacity) c += penalty_ * (usage + 1.0 - capacity);
-    return c;
+  // ---- topology -----------------------------------------------------------
+  void build_topology(const Placement& placement) {
+    result_.nets.resize(graph_.nets.size());
+    seg_first_.reserve(graph_.nets.size() + 1);
+    std::vector<GCell> pins;
+    for (std::size_t n = 0; n < graph_.nets.size(); ++n) {
+      seg_first_.push_back(static_cast<std::uint32_t>(segments_.size()));
+      pins.clear();
+      pins.reserve(graph_.nets[n].pins.size());
+      for (std::uint32_t p : graph_.nets[n].pins)
+        pins.push_back(grid_.cell_at(placement.pos[p]));
+      for (const Segment& seg : mst_segments(pins)) {
+        // mst_segments collapses duplicate pins, so a zero-length segment
+        // would indicate a topology bug upstream; skip it defensively rather
+        // than dragging a degenerate single-cell path through rip-up.
+        if (seg.a == seg.b) continue;
+        segments_.push_back(seg);
+        seg_net_.push_back(static_cast<std::uint32_t>(n));
+      }
+    }
+    seg_first_.push_back(static_cast<std::uint32_t>(segments_.size()));
   }
 
-  const RoutingGrid& grid_;
-  double penalty_;
-};
+  // ---- usage accounting ---------------------------------------------------
+  // Combined edge ids: [0, num_h_) are h edges, [num_h_, num_h_+num_v_) are
+  // v edges shifted by num_h_.
 
-/// Walks a path and adds `amount` usage to every edge on it.
-void commit_path(RoutingGrid& grid, const std::vector<GCell>& path, double amount) {
-  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
-    const GCell a = path[i];
-    const GCell b = path[i + 1];
-    if (a.y == b.y) {
-      grid.add_h_usage(std::min(a.x, b.x), a.y, amount);
+  /// Adds `amount` to one edge's usage, keeping the overflow tracker, the
+  /// overflow flags and the phase-local cost caches current. Returns the
+  /// combined edge id.
+  std::size_t add_h(std::int32_t x, std::int32_t y, double amount) {
+    const std::size_t e = static_cast<std::size_t>(y) * (nx_ - 1) + x;
+    double& u = h_usage_[e];
+    total_overflow_ -= overflow_contribution(u, cap_h_);
+    u += amount;
+    total_overflow_ += overflow_contribution(u, cap_h_);
+    const bool over = u > cap_h_;
+    over_flag_[e] = over;
+    if (over && !over_listed_[e]) {
+      over_listed_[e] = 1;
+      over_list_.push_back(static_cast<std::uint32_t>(e));
+    }
+    if (rrr_phase_) {
+      h_cost_[static_cast<std::size_t>(y) * nx_ + x] =
+          edge_cost(u, cap_h_, h_history_[e], penalty_);
     } else {
-      CALS_CHECK(a.x == b.x);
-      grid.add_v_usage(a.x, std::min(a.y, b.y), amount);
+      row_dirty_[y] = 1;
+    }
+    return e;
+  }
+
+  std::size_t add_v(std::int32_t x, std::int32_t y, double amount) {
+    const std::size_t e = static_cast<std::size_t>(y) * nx_ + x;
+    double& u = v_usage_[e];
+    total_overflow_ -= overflow_contribution(u, cap_v_);
+    u += amount;
+    total_overflow_ += overflow_contribution(u, cap_v_);
+    const bool over = u > cap_v_;
+    const std::size_t cid = num_h_ + e;
+    over_flag_[cid] = over;
+    if (over && !over_listed_[cid]) {
+      over_listed_[cid] = 1;
+      over_list_.push_back(static_cast<std::uint32_t>(cid));
+    }
+    if (rrr_phase_) {
+      v_cost_[e] = edge_cost(u, cap_v_, v_history_[e], penalty_);
+    } else {
+      col_dirty_[x] = 1;
+    }
+    return e;
+  }
+
+  /// Walks a path and adds `amount` usage to every edge on it. Positive
+  /// commits register `seg` in each edge's crossing list; in the rip-up
+  /// phase they additionally enqueue the crossers of any edge left over
+  /// capacity (the dirty-set propagation rule, DESIGN.md §7).
+  void commit_path(const std::vector<GCell>& path, double amount, std::uint32_t seg) {
+    CALS_CHECK(!path.empty());
+    const bool registering = amount > 0.0;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      const GCell a = path[i];
+      const GCell b = path[i + 1];
+      std::size_t cid;
+      if (a.y == b.y) {
+        cid = add_h(std::min(a.x, b.x), a.y, amount);
+      } else {
+        CALS_CHECK(a.x == b.x);
+        cid = num_h_ + add_v(a.x, std::min(a.y, b.y), amount);
+      }
+      if (registering) {
+        cross_[cid].push_back(seg);
+        if (rrr_phase_ && over_flag_[cid]) enqueue_crossers(cid, static_cast<std::int64_t>(seg));
+      }
     }
   }
-}
 
-/// Straight-line walk helper: appends cells strictly after `from` towards
-/// `to` along one axis.
-void walk(std::vector<GCell>& path, GCell from, GCell to) {
-  const std::int32_t dx = (to.x > from.x) ? 1 : (to.x < from.x ? -1 : 0);
-  const std::int32_t dy = (to.y > from.y) ? 1 : (to.y < from.y ? -1 : 0);
-  CALS_CHECK(dx == 0 || dy == 0);
-  GCell cur = from;
-  while (!(cur == to)) {
-    cur.x += dx;
-    cur.y += dy;
-    path.push_back(cur);
-  }
-}
-
-double path_cost(const EdgeCost& cost, const std::vector<GCell>& path) {
-  double total = 0.0;
-  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
-    const GCell a = path[i];
-    const GCell b = path[i + 1];
-    total += (a.y == b.y) ? cost.h_cost(std::min(a.x, b.x), a.y)
-                          : cost.v_cost(a.x, std::min(a.y, b.y));
-  }
-  return total;
-}
-
-/// L-shape pattern route: the cheaper of the two single-bend paths.
-std::vector<GCell> l_route(const EdgeCost& cost, GCell a, GCell b) {
-  std::vector<GCell> p1{a};  // horizontal first
-  walk(p1, a, {b.x, a.y});
-  walk(p1, {b.x, a.y}, b);
-  if (a.x == b.x || a.y == b.y) return p1;
-  std::vector<GCell> p2{a};  // vertical first
-  walk(p2, a, {a.x, b.y});
-  walk(p2, {a.x, b.y}, b);
-  return path_cost(cost, p1) <= path_cost(cost, p2) ? p1 : p2;
-}
-
-/// Bounded-box Dijkstra maze route.
-class MazeRouter {
- public:
-  explicit MazeRouter(const RoutingGrid& grid) : grid_(grid) {
-    const std::size_t n = static_cast<std::size_t>(grid.nx()) * grid.ny();
-    dist_.assign(n, 0.0);
-    stamp_.assign(n, 0);
-    from_.assign(n, -1);
+  /// True when any edge of `path` is currently over capacity — the same
+  /// predicate the straightforward implementation evaluates per segment, now
+  /// a flag lookup per edge.
+  bool path_overflows(const std::vector<GCell>& path) const {
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      const GCell a = path[i];
+      const GCell b = path[i + 1];
+      const std::size_t cid =
+          a.y == b.y ? static_cast<std::size_t>(a.y) * (nx_ - 1) + std::min(a.x, b.x)
+                     : num_h_ + static_cast<std::size_t>(std::min(a.y, b.y)) * nx_ + a.x;
+      if (over_flag_[cid]) return true;
+    }
+    return false;
   }
 
-  std::vector<GCell> route(const EdgeCost& cost, GCell src, GCell dst,
-                           std::int32_t margin) {
+  // ---- candidate set ------------------------------------------------------
+
+  /// Enqueues every segment crossing edge `cid` with id strictly greater
+  /// than `after` (ascending processing order must never move backwards).
+  /// Crossing lists are append-only, so they may hold stale or duplicate
+  /// entries; the per-iteration stamp dedupes and the overflow-at-visit
+  /// predicate filters the rest — extra candidates are exactly the segments
+  /// the full scan would have checked and skipped.
+  void enqueue_crossers(std::size_t cid, std::int64_t after) {
+    for (std::uint32_t seg : cross_[cid]) {
+      if (static_cast<std::int64_t>(seg) <= after) continue;
+      if (seg_stamp_[seg] == iter_marker_) continue;
+      seg_stamp_[seg] = iter_marker_;
+      cand_heap_.push_back(seg);
+      std::push_heap(cand_heap_.begin(), cand_heap_.end(), std::greater<>());
+    }
+  }
+
+  std::uint32_t pop_candidate() {
+    std::pop_heap(cand_heap_.begin(), cand_heap_.end(), std::greater<>());
+    const std::uint32_t seg = cand_heap_.back();
+    cand_heap_.pop_back();
+    return seg;
+  }
+
+  // ---- pattern pass -------------------------------------------------------
+
+  void rebuild_row(std::int32_t y) {
+    double* p = row_prefix_.data() + static_cast<std::size_t>(y) * nx_;
+    const double* u = h_usage_ + static_cast<std::size_t>(y) * (nx_ - 1);
+    const double* h = h_history_ + static_cast<std::size_t>(y) * (nx_ - 1);
+    p[0] = 0.0;
+    bool clean = true;
+    for (std::int32_t x = 0; x + 1 < nx_; ++x) {
+      const double c = edge_cost(u[x], cap_h_, h[x], pattern_penalty_);
+      clean &= c == 1.0;
+      p[x + 1] = p[x] + c;
+    }
+    row_clean_[y] = clean;
+    row_dirty_[y] = 0;
+  }
+
+  void rebuild_col(std::int32_t x) {
+    double* p = col_prefix_.data() + static_cast<std::size_t>(x) * ny_;
+    p[0] = 0.0;
+    bool clean = true;
+    for (std::int32_t y = 0; y + 1 < ny_; ++y) {
+      const std::size_t e = static_cast<std::size_t>(y) * nx_ + x;
+      const double c = edge_cost(v_usage_[e], cap_v_, v_history_[e], pattern_penalty_);
+      clean &= c == 1.0;
+      p[y + 1] = p[y] + c;
+    }
+    col_clean_[x] = clean;
+    col_dirty_[x] = 0;
+  }
+
+  void ensure_row(std::int32_t y) {
+    if (row_dirty_[y]) rebuild_row(y);
+  }
+  void ensure_col(std::int32_t x) {
+    if (col_dirty_[x]) rebuild_col(x);
+  }
+
+  /// Prefix difference for the horizontal run between cells (x0,y) and
+  /// (x1,y), plus the endpoint magnitude that bounds its rounding error.
+  double h_run_cost(std::int32_t y, std::int32_t x0, std::int32_t x1, double& mag) const {
+    const double* p = row_prefix_.data() + static_cast<std::size_t>(y) * nx_;
+    if (x0 > x1) std::swap(x0, x1);
+    mag += p[x1] + p[x0];
+    return p[x1] - p[x0];
+  }
+
+  double v_run_cost(std::int32_t x, std::int32_t y0, std::int32_t y1, double& mag) const {
+    const double* p = col_prefix_.data() + static_cast<std::size_t>(x) * ny_;
+    if (y0 > y1) std::swap(y0, y1);
+    mag += p[y1] + p[y0];
+    return p[y1] - p[y0];
+  }
+
+  /// Exact replay of the straightforward implementation's pricing: edge
+  /// costs summed one by one in path-walk order. Used only when the prefix
+  /// comparison lands inside its rounding-error bound, so the L-shape choice
+  /// is always the one walk-order sums would have made.
+  double walk_cost(GCell a, GCell bend, GCell b) const {
+    double total = 0.0;
+    const std::pair<GCell, GCell> legs[2] = {{a, bend}, {bend, b}};
+    for (const auto& [from, to] : legs) {
+      if (from.y == to.y) {
+        const std::int32_t step = to.x > from.x ? 1 : -1;
+        for (std::int32_t x = from.x; x != to.x; x += step) {
+          const std::size_t e =
+              static_cast<std::size_t>(from.y) * (nx_ - 1) + std::min(x, x + step);
+          total += edge_cost(h_usage_[e], cap_h_, h_history_[e], pattern_penalty_);
+        }
+      } else {
+        const std::int32_t step = to.y > from.y ? 1 : -1;
+        for (std::int32_t y = from.y; y != to.y; y += step) {
+          const std::size_t e =
+              static_cast<std::size_t>(std::min(y, y + step)) * nx_ + from.x;
+          total += edge_cost(v_usage_[e], cap_v_, v_history_[e], pattern_penalty_);
+        }
+      }
+    }
+    return total;
+  }
+
+  /// Appends cells strictly after `from` towards `to` along one axis.
+  static void walk(std::vector<GCell>& path, GCell from, GCell to) {
+    const std::int32_t dx = (to.x > from.x) ? 1 : (to.x < from.x ? -1 : 0);
+    const std::int32_t dy = (to.y > from.y) ? 1 : (to.y < from.y ? -1 : 0);
+    CALS_CHECK(dx == 0 || dy == 0);
+    GCell cur = from;
+    while (!(cur == to)) {
+      cur.x += dx;
+      cur.y += dy;
+      path.push_back(cur);
+    }
+  }
+
+  /// L-shape pattern route into `path`: the cheaper of the two single-bend
+  /// paths, priced in O(1) via the prefix sums (no candidate path is ever
+  /// materialized — only the winner is built).
+  void l_route(GCell a, GCell b, std::vector<GCell>& path) {
+    path.clear();
+    path.reserve(static_cast<std::size_t>(std::abs(a.x - b.x) + std::abs(a.y - b.y)) + 1);
+    path.push_back(a);
+    GCell bend{b.x, a.y};  // horizontal first
+    if (a.x != b.x && a.y != b.y && !horizontal_first(a, b))
+      bend = {a.x, b.y};  // vertical first
+    walk(path, a, bend);
+    walk(path, bend, b);
+  }
+
+  /// Decides between the two L-shapes exactly as walk-order pricing would.
+  /// Fast paths: if every row/column involved prices all its edges at the
+  /// base cost 1.0, both candidates cost exactly dx+dy and the horizontal
+  /// bend wins the tie; otherwise the prefix comparison decides outright
+  /// whenever the margin exceeds a conservative bound on the summation
+  /// rounding error (2^-32 relative — sequential-sum error for any
+  /// realistic run length is below 2^-36). Only genuine near-ties fall back
+  /// to the O(length) walk-order sums.
+  bool horizontal_first(GCell a, GCell b) {
+    ensure_row(a.y);
+    ensure_row(b.y);
+    ensure_col(a.x);
+    ensure_col(b.x);
+    if (row_clean_[a.y] && row_clean_[b.y] && col_clean_[a.x] && col_clean_[b.x])
+      return true;
+    double mag = 0.0;
+    const double cost1 = h_run_cost(a.y, a.x, b.x, mag) + v_run_cost(b.x, a.y, b.y, mag);
+    const double cost2 = v_run_cost(a.x, a.y, b.y, mag) + h_run_cost(b.y, a.x, b.x, mag);
+    const double eps = 0x1p-32 * (mag + 1.0);
+    if (cost1 <= cost2 - eps) return true;
+    if (cost2 <= cost1 - eps) return false;
+    return walk_cost(a, {b.x, a.y}, b) <= walk_cost(a, {a.x, b.y}, b);
+  }
+
+  void pattern_pass() {
+    pattern_penalty_ = options_.present_penalty;
+    for (std::size_t n = 0; n < graph_.nets.size(); ++n) {
+      RoutedNet& routed = result_.nets[n];
+      routed.paths.reserve(seg_first_[n + 1] - seg_first_[n]);
+      for (std::uint32_t s = seg_first_[n]; s < seg_first_[n + 1]; ++s) {
+        std::vector<GCell>& path = routed.paths.emplace_back();
+        l_route(segments_[s].a, segments_[s].b, path);
+        commit_path(path, 1.0, s);
+        routed.length += path.size() - 1;
+      }
+    }
+  }
+
+  // ---- negotiated rip-up and reroute --------------------------------------
+
+  /// Rebuilds both per-edge cost caches for the current iteration's penalty
+  /// and history values. h costs are stored cell-padded (stride nx_) so a
+  /// maze relaxation can address all four incident edges from the cell id.
+  void rebuild_cost_caches() {
+    h_cost_.resize(static_cast<std::size_t>(nx_) * ny_);
+    v_cost_.resize(static_cast<std::size_t>(nx_) * ny_);
+    for (std::int32_t y = 0; y < ny_; ++y) {
+      const std::size_t row = static_cast<std::size_t>(y) * (nx_ - 1);
+      double* out = h_cost_.data() + static_cast<std::size_t>(y) * nx_;
+      for (std::int32_t x = 0; x + 1 < nx_; ++x)
+        out[x] = edge_cost(h_usage_[row + x], cap_h_, h_history_[row + x], penalty_);
+    }
+    for (std::int32_t y = 0; y + 1 < ny_; ++y) {
+      const std::size_t row = static_cast<std::size_t>(y) * nx_;
+      for (std::int32_t x = 0; x < nx_; ++x)
+        v_cost_[row + x] = edge_cost(v_usage_[row + x], cap_v_, v_history_[row + x], penalty_);
+    }
+  }
+
+  void rrr_loop() {
+    rrr_phase_ = true;
+    std::uint64_t best_overflow = UINT64_MAX;
+    std::uint32_t stale_iters = 0;
+    for (std::uint32_t iter = 0; iter < options_.max_rrr_iterations; ++iter) {
+      const std::uint64_t overflow = total_overflow_;
+      if (overflow == 0) break;
+      // Hopeless-case cutoff: when demand exceeds capacity on average, extra
+      // iterations only shuffle the overflow around; stop once progress
+      // stalls so structurally-unroutable table rows stay cheap.
+      // Near-feasible designs (the interesting region) get the full budget.
+      const bool hopeless = overflow > (num_h_ + num_v_) / 2;
+      if (overflow < best_overflow - best_overflow / 100) {
+        best_overflow = overflow;
+        stale_iters = 0;
+      } else if (++stale_iters >= (hopeless ? 2u : 6u)) {
+        break;
+      }
+      result_.rrr_iterations = iter + 1;
+      iter_marker_ = iter + 1;
+      penalty_ = options_.present_penalty * (1.0 + iter);
+
+      // One sweep over the overflowed-edge list: bump history, seed the
+      // candidate heap from the crossing lists, compact entries that have
+      // dropped back under capacity.
+      std::size_t keep = 0;
+      for (std::size_t r = 0; r < over_list_.size(); ++r) {
+        const std::uint32_t cid = over_list_[r];
+        if (!over_flag_[cid]) {
+          over_listed_[cid] = 0;
+          continue;
+        }
+        if (cid < num_h_) {
+          h_history_[cid] += options_.history_increment;
+        } else {
+          v_history_[cid - num_h_] += options_.history_increment;
+        }
+        enqueue_crossers(cid, -1);
+        over_list_[keep++] = cid;
+      }
+      over_list_.resize(keep);
+
+      rebuild_cost_caches();
+      const std::int32_t margin = options_.bbox_margin + static_cast<std::int32_t>(2 * iter);
+
+      while (!cand_heap_.empty()) {
+        const std::uint32_t seg = pop_candidate();
+        RoutedNet& routed = result_.nets[seg_net_[seg]];
+        std::vector<GCell>& path = routed.paths[seg - seg_first_[seg_net_[seg]]];
+        if (!path_overflows(path)) continue;
+        commit_path(path, -1.0, seg);
+        maze_route(segments_[seg].a, segments_[seg].b, margin);
+        commit_path(reroute_path_, 1.0, seg);
+        const auto delta = static_cast<std::int64_t>(reroute_path_.size()) -
+                           static_cast<std::int64_t>(path.size());
+        CALS_CHECK(static_cast<std::int64_t>(routed.length) + delta >= 0);
+        routed.length =
+            static_cast<std::uint64_t>(static_cast<std::int64_t>(routed.length) + delta);
+        path.assign(reroute_path_.begin(), reroute_path_.end());
+      }
+    }
+  }
+
+  // ---- maze ---------------------------------------------------------------
+
+  /// Heap entry: non-negative IEEE doubles compare like their bit patterns,
+  /// and (y<<16)|x orders exactly like the row-major cell index, so the
+  /// (distance, then cell index) tie-break is two integer compares. Entries
+  /// are unique — a cell is only re-pushed with a strictly smaller distance —
+  /// so any heap pops the identical sequence.
+  struct MazeEntry {
+    std::uint64_t dist_bits;
+    std::uint32_t yx;
+    std::uint32_t cell;
+  };
+
+  static bool entry_less(const MazeEntry& a, const MazeEntry& b) {
+    return a.dist_bits != b.dist_bits ? a.dist_bits < b.dist_bits : a.yx < b.yx;
+  }
+
+  void heap_push(MazeEntry e) {
+    maze_heap_.push_back(e);
+    std::size_t i = maze_heap_.size() - 1;
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 4;
+      if (!entry_less(maze_heap_[i], maze_heap_[parent])) break;
+      std::swap(maze_heap_[i], maze_heap_[parent]);
+      i = parent;
+    }
+  }
+
+  MazeEntry heap_pop() {
+    const MazeEntry top = maze_heap_.front();
+    maze_heap_.front() = maze_heap_.back();
+    maze_heap_.pop_back();
+    const std::size_t n = maze_heap_.size();
+    std::size_t i = 0;
+    while (true) {
+      const std::size_t first = 4 * i + 1;
+      if (first >= n) break;
+      const std::size_t last = std::min(first + 4, n);
+      std::size_t best = first;
+      for (std::size_t c = first + 1; c < last; ++c)
+        if (entry_less(maze_heap_[c], maze_heap_[best])) best = c;
+      if (!entry_less(maze_heap_[best], maze_heap_[i])) break;
+      std::swap(maze_heap_[i], maze_heap_[best]);
+      i = best;
+    }
+    return top;
+  }
+
+  /// Bounded-box shortest path, bit-identical to the straightforward
+  /// Dijkstra + backtrack version but goal-directed (A*). Two observations
+  /// make the substitution exact (proof sketch in DESIGN.md §7):
+  ///
+  ///  - The distance labels Dijkstra settles are algorithm-independent even
+  ///    in floating point: dist[v] is the minimum over src→v paths of the
+  ///    walk-order (left-associated) sum of edge costs, because FP addition
+  ///    of non-negative values is monotone. A* over the same relaxation rule
+  ///    converges to the same doubles once every node with f below the
+  ///    target's final f has been drained.
+  ///  - The reference backtrack pointer from_[v] is a pure function of those
+  ///    labels: relaxations fire in ascending (dist, cell) pop order and only
+  ///    overwrite on strict improvement, so the recorded predecessor is,
+  ///    among neighbors u with dist[u] + w(u,v) == dist[v] exactly, the one
+  ///    with the smallest (dist[u], cell index) key — all of which are
+  ///    settled (w >= 1 forces dist[u] < dist[v]). We recompute that argmin
+  ///    per hop instead of storing pointers.
+  ///
+  /// The heuristic h(u) = manhattan(u, dst) * 1.0 is admissible and
+  /// consistent (every edge costs at least the base 1.0 and h is integral,
+  /// hence exact), so the search touches the src–dst cost ellipse instead of
+  /// the full cost ball. Writes the path into reroute_path_.
+  void maze_route(GCell src, GCell dst, std::int32_t margin) {
     ++generation_;
     const std::int32_t x_lo = std::max(0, std::min(src.x, dst.x) - margin);
-    const std::int32_t x_hi = std::min(grid_.nx() - 1, std::max(src.x, dst.x) + margin);
+    const std::int32_t x_hi = std::min(nx_ - 1, std::max(src.x, dst.x) + margin);
     const std::int32_t y_lo = std::max(0, std::min(src.y, dst.y) - margin);
-    const std::int32_t y_hi = std::min(grid_.ny() - 1, std::max(src.y, dst.y) + margin);
+    const std::int32_t y_hi = std::min(ny_ - 1, std::max(src.y, dst.y) + margin);
 
-    using Entry = std::pair<double, std::int32_t>;  // (dist, cell index)
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
-    const std::int32_t start = index(src);
+    maze_heap_.clear();
+    const std::int32_t start = src.y * nx_ + src.x;
     dist_[start] = 0.0;
     stamp_[start] = generation_;
-    from_[start] = -1;
-    heap.push({0.0, start});
+    const double h0 = static_cast<double>(std::abs(src.x - dst.x) + std::abs(src.y - dst.y));
+    heap_push({std::bit_cast<std::uint64_t>(h0),
+               static_cast<std::uint32_t>(src.y) << 16 | static_cast<std::uint32_t>(src.x),
+               static_cast<std::uint32_t>(start)});
 
-    const std::int32_t target = index(dst);
-    while (!heap.empty()) {
-      const auto [d, u] = heap.top();
-      heap.pop();
-      if (stamp_[u] == generation_ && d > dist_[u]) continue;
-      if (u == target) break;
-      const std::int32_t ux = u % grid_.nx();
-      const std::int32_t uy = u / grid_.nx();
+    const std::int32_t target = dst.y * nx_ + dst.x;
+    const double* h_cost = h_cost_.data();
+    const double* v_cost = v_cost_.data();
+    while (!maze_heap_.empty()) {
+      if (stamp_[target] == generation_) {
+        // Drain until nothing in the queue can still carry f at or below the
+        // target's distance. The slack is astronomically larger than the one
+        // rounding f = dist + h can introduce (<= 2^-52 relative per hop,
+        // bounded path length), yet far below the >= 1.0 cost granularity,
+        // so exactly the label-correcting frontier Dijkstra would have
+        // settled before popping the target is drained — no more.
+        const double dt = dist_[target];
+        if (std::bit_cast<double>(maze_heap_.front().dist_bits) > dt + (dt * 0x1p-30 + 0x1p-30))
+          break;
+      }
+      const MazeEntry top = heap_pop();
+      const std::int32_t u = static_cast<std::int32_t>(top.cell);
+      const std::int32_t ux = static_cast<std::int32_t>(top.yx & 0xffffu);
+      const std::int32_t uy = static_cast<std::int32_t>(top.yx >> 16);
+      const double hu = static_cast<double>(std::abs(ux - dst.x) + std::abs(uy - dst.y));
+      const double d = dist_[u];
+      if (std::bit_cast<double>(top.dist_bits) > d + hu) continue;  // stale entry
 
-      auto relax = [&](std::int32_t vx, std::int32_t vy, double w) {
-        const std::int32_t v = vy * grid_.nx() + vx;
+      const auto relax = [&](std::int32_t v, std::uint32_t vyx, double w, double hv) {
         const double nd = d + w;
         if (stamp_[v] != generation_ || nd < dist_[v]) {
           stamp_[v] = generation_;
           dist_[v] = nd;
-          from_[v] = u;
-          heap.push({nd, v});
+          heap_push({std::bit_cast<std::uint64_t>(nd + hv), vyx, static_cast<std::uint32_t>(v)});
         }
       };
-      if (ux > x_lo) relax(ux - 1, uy, cost.h_cost(ux - 1, uy));
-      if (ux < x_hi) relax(ux + 1, uy, cost.h_cost(ux, uy));
-      if (uy > y_lo) relax(ux, uy - 1, cost.v_cost(ux, uy - 1));
-      if (uy < y_hi) relax(ux, uy + 1, cost.v_cost(ux, uy));
+      const double h_left = static_cast<double>(std::abs(ux - 1 - dst.x) + std::abs(uy - dst.y));
+      const double h_right = static_cast<double>(std::abs(ux + 1 - dst.x) + std::abs(uy - dst.y));
+      const double h_down = static_cast<double>(std::abs(ux - dst.x) + std::abs(uy - 1 - dst.y));
+      const double h_up = static_cast<double>(std::abs(ux - dst.x) + std::abs(uy + 1 - dst.y));
+      if (ux > x_lo) relax(u - 1, top.yx - 1, h_cost[u - 1], h_left);
+      if (ux < x_hi) relax(u + 1, top.yx + 1, h_cost[u], h_right);
+      if (uy > y_lo) relax(u - nx_, top.yx - 0x10000u, v_cost[u - nx_], h_down);
+      if (uy < y_hi) relax(u + nx_, top.yx + 0x10000u, v_cost[u], h_up);
     }
 
     CALS_CHECK_MSG(stamp_[target] == generation_, "maze route failed inside bbox");
-    std::vector<GCell> path;
-    for (std::int32_t u = target; u != -1; u = from_[u])
-      path.push_back({u % grid_.nx(), u / grid_.nx()});
-    std::reverse(path.begin(), path.end());
-    return path;
+    // Label-based backtrack: per hop, pick the predecessor the reference
+    // implementation's from_ pointer would hold (see the contract above).
+    backtrack_.clear();
+    std::int32_t v = target;
+    backtrack_.push_back(v);
+    while (v != start) {
+      const std::int32_t vx = v % nx_;
+      const std::int32_t vy = v / nx_;
+      const double dv = dist_[v];
+      std::int32_t best = -1;
+      double best_d = 0.0;
+      const auto consider = [&](std::int32_t u, double w) {
+        if (stamp_[u] != generation_ || dist_[u] + w != dv) return;
+        // Candidates are scanned in ascending cell index, so a strict
+        // distance test reproduces the (dist, cell) tie-break.
+        if (best == -1 || dist_[u] < best_d) {
+          best = u;
+          best_d = dist_[u];
+        }
+      };
+      if (vy > y_lo) consider(v - nx_, v_cost[v - nx_]);
+      if (vx > x_lo) consider(v - 1, h_cost[v - 1]);
+      if (vx < x_hi) consider(v + 1, h_cost[v]);
+      if (vy < y_hi) consider(v + nx_, v_cost[v]);
+      CALS_CHECK_MSG(best != -1, "maze backtrack lost the predecessor chain");
+      backtrack_.push_back(best);
+      v = best;
+    }
+    reroute_path_.clear();
+    reroute_path_.reserve(backtrack_.size());
+    for (std::size_t i = backtrack_.size(); i-- > 0;)
+      reroute_path_.push_back({backtrack_[i] % nx_, backtrack_[i] / nx_});
   }
 
- private:
-  std::int32_t index(GCell c) const { return c.y * grid_.nx() + c.x; }
+  // ---- wrap-up ------------------------------------------------------------
+  void finish() {
+    result_.total_overflow = grid_.total_overflow();
+    CALS_CHECK(result_.total_overflow == total_overflow_);
+    result_.overflowed_edges = grid_.overflowed_edges();
+    for (const RoutedNet& routed : result_.nets) result_.wirelength_gcells += routed.length;
+    result_.gcell_um = grid_.gcell_um();
+    result_.wirelength_um = static_cast<double>(result_.wirelength_gcells) * grid_.gcell_um();
+  }
 
-  const RoutingGrid& grid_;
+  RoutingGrid& grid_;
+  const PlaceGraph& graph_;
+  const RouteOptions& options_;
+  RouteResult& result_;
+  const std::int32_t nx_, ny_;
+  const std::size_t num_h_, num_v_;
+  const double cap_h_, cap_v_;
+  double* const h_usage_;
+  double* const v_usage_;
+  double* const h_history_;
+  double* const v_history_;
+
+  // Flattened topology: segments in ascending (net, segment) order.
+  std::vector<Segment> segments_;
+  std::vector<std::uint32_t> seg_net_;
+  std::vector<std::uint32_t> seg_first_;  ///< per-net first segment id
+
+  // Overflow tracker (exact: contributions are integral).
+  std::uint64_t total_overflow_ = 0;
+  std::vector<std::uint8_t> over_flag_;    ///< usage > capacity, per combined edge
+  std::vector<std::uint8_t> over_listed_;  ///< membership in over_list_
+  std::vector<std::uint32_t> over_list_;   ///< edges that have overflowed (lazily compacted)
+
+  // Dirty-set machinery.
+  std::vector<std::vector<std::uint32_t>> cross_;  ///< edge -> crossing segments (append-only)
+  std::vector<std::uint32_t> seg_stamp_;           ///< per-iteration enqueue dedupe
+  std::vector<std::uint32_t> cand_heap_;           ///< min-heap of candidate segment ids
+  std::uint32_t iter_marker_ = 0;
+
+  // Pattern-phase prefix sums.
+  double pattern_penalty_ = 0.0;
+  std::vector<double> row_prefix_, col_prefix_;
+  std::vector<std::uint8_t> row_dirty_, col_dirty_;
+  std::vector<std::uint8_t> row_clean_, col_clean_;  ///< every edge costs exactly 1.0
+
+  // Rip-up phase cost caches (h cell-padded to stride nx_).
+  bool rrr_phase_ = false;
+  double penalty_ = 0.0;
+  std::vector<double> h_cost_, v_cost_;
+
+  // Maze state, pooled across all reroutes of the call.
   std::vector<double> dist_;
   std::vector<std::uint32_t> stamp_;
-  std::vector<std::int32_t> from_;
   std::uint32_t generation_ = 0;
+  std::vector<MazeEntry> maze_heap_;
+  std::vector<std::int32_t> backtrack_;
+  std::vector<GCell> reroute_path_;
 };
-
-bool path_overflows(const RoutingGrid& grid, const std::vector<GCell>& path) {
-  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
-    const GCell a = path[i];
-    const GCell b = path[i + 1];
-    if (a.y == b.y) {
-      if (grid.h_usage(std::min(a.x, b.x), a.y) > grid.h_capacity()) return true;
-    } else {
-      if (grid.v_usage(a.x, std::min(a.y, b.y)) > grid.v_capacity()) return true;
-    }
-  }
-  return false;
-}
 
 }  // namespace
 
 RouteResult route(RoutingGrid& grid, const PlaceGraph& graph, const Placement& placement,
                   const RouteOptions& options) {
   RouteResult result;
-  result.nets.resize(graph.nets.size());
   grid.clear_usage();
   std::fill(grid.h_history().begin(), grid.h_history().end(), 0.0);
   std::fill(grid.v_history().begin(), grid.v_history().end(), 0.0);
-
-  // ---- net topology -----------------------------------------------------
-  std::vector<std::vector<Segment>> topology(graph.nets.size());
-  for (std::size_t n = 0; n < graph.nets.size(); ++n) {
-    std::vector<GCell> pins;
-    pins.reserve(graph.nets[n].pins.size());
-    for (std::uint32_t p : graph.nets[n].pins) pins.push_back(grid.cell_at(placement.pos[p]));
-    topology[n] = mst_segments(pins);
-  }
-
-  // ---- initial pattern pass ----------------------------------------------
-  {
-    EdgeCost cost(grid, options.present_penalty);
-    for (std::size_t n = 0; n < graph.nets.size(); ++n) {
-      RoutedNet& routed = result.nets[n];
-      routed.paths.reserve(topology[n].size());
-      for (const Segment& seg : topology[n]) {
-        auto path = l_route(cost, seg.a, seg.b);
-        commit_path(grid, path, 1.0);
-        routed.length += path.size() - 1;
-        routed.paths.push_back(std::move(path));
-      }
-    }
-  }
-
-  // ---- negotiated rip-up and reroute --------------------------------------
-  MazeRouter maze(grid);
-  std::uint64_t best_overflow = UINT64_MAX;
-  std::uint32_t stale_iters = 0;
-  for (std::uint32_t iter = 0; iter < options.max_rrr_iterations; ++iter) {
-    const std::uint64_t overflow = grid.total_overflow();
-    if (overflow == 0) break;
-    // Hopeless-case cutoff: when demand exceeds capacity on average, extra
-    // iterations only shuffle the overflow around; stop once progress
-    // stalls so structurally-unroutable table rows stay cheap. Near-feasible
-    // designs (the interesting region) get the full iteration budget.
-    const bool hopeless =
-        overflow > (grid.num_h_edges() + grid.num_v_edges()) / 2;
-    if (overflow < best_overflow - best_overflow / 100) {
-      best_overflow = overflow;
-      stale_iters = 0;
-    } else if (++stale_iters >= (hopeless ? 2u : 6u)) {
-      break;
-    }
-    result.rrr_iterations = iter + 1;
-
-    // Accumulate history on overflowed edges.
-    for (std::size_t e = 0; e < grid.num_h_edges(); ++e)
-      if (grid.h_usage_raw()[e] > grid.h_capacity())
-        grid.h_history()[e] += options.history_increment;
-    for (std::size_t e = 0; e < grid.num_v_edges(); ++e)
-      if (grid.v_usage_raw()[e] > grid.v_capacity())
-        grid.v_history()[e] += options.history_increment;
-
-    const EdgeCost cost(grid, options.present_penalty * (1.0 + iter));
-    const std::int32_t margin = options.bbox_margin + static_cast<std::int32_t>(2 * iter);
-
-    for (std::size_t n = 0; n < graph.nets.size(); ++n) {
-      RoutedNet& routed = result.nets[n];
-      for (std::size_t s = 0; s < routed.paths.size(); ++s) {
-        if (!path_overflows(grid, routed.paths[s])) continue;
-        commit_path(grid, routed.paths[s], -1.0);
-        auto path = maze.route(cost, topology[n][s].a, topology[n][s].b, margin);
-        commit_path(grid, path, 1.0);
-        const auto delta = static_cast<std::int64_t>(path.size()) -
-                           static_cast<std::int64_t>(routed.paths[s].size());
-        routed.length = static_cast<std::uint64_t>(
-            static_cast<std::int64_t>(routed.length) + delta);
-        routed.paths[s] = std::move(path);
-      }
-    }
-  }
-
-  result.total_overflow = grid.total_overflow();
-  result.overflowed_edges = grid.overflowed_edges();
-  for (const RoutedNet& routed : result.nets) result.wirelength_gcells += routed.length;
-  result.gcell_um = grid.gcell_um();
-  result.wirelength_um = static_cast<double>(result.wirelength_gcells) * grid.gcell_um();
+  Router router(grid, graph, placement, options, result);
+  router.run();
   return result;
 }
 
