@@ -14,7 +14,8 @@ namespace {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ObsSession obs_session(argc, argv);  // --trace out.json / --metrics out.txt
   print_header("Figure 3 — modified ASIC design flow (K iteration loop)");
 
   const Library lib = lib::make_corelib();

@@ -168,12 +168,24 @@ void BM_RouteRRR(benchmark::State& state) {
   grid_options.capacity_scale = state.range(0) ? 1.6 : 3.5;
   RoutingGrid grid(test_floorplan(), grid_options);
   std::uint64_t iterations = 0;
+  std::uint64_t maze_pops = 0;
+  std::uint64_t rerouted = 0;
+  std::uint64_t candidates = 0;
   for (auto _ : state) {
     const RouteResult result = route(grid, setup.binding.graph, setup.placement);
     iterations = result.rrr_iterations;
+    maze_pops = rerouted = candidates = 0;
+    for (const RouteIterStats& it : result.iter_stats) {
+      maze_pops += it.maze_pops;
+      rerouted += it.rerouted;
+      candidates += it.candidates;
+    }
     benchmark::DoNotOptimize(result.total_overflow);
   }
   state.counters["rrr_iters"] = static_cast<double>(iterations);
+  state.counters["maze_pops"] = static_cast<double>(maze_pops);
+  state.counters["rerouted"] = static_cast<double>(rerouted);
+  state.counters["candidates"] = static_cast<double>(candidates);
   state.SetItemsProcessed(state.iterations() * setup.binding.graph.nets.size());
 }
 BENCHMARK(BM_RouteRRR)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);

@@ -32,7 +32,8 @@ constexpr PaperRow kPaper[] = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ObsSession obs_session(argc, argv);  // --trace out.json / --metrics out.txt
   print_header("Table 2 — SPLA congestion minimization vs place&route results");
 
   Table paper({"K (paper)", "Cell Area (um2)", "No. of Cells", "Area Util %",

@@ -4,6 +4,7 @@
 
 #include "util/check.hpp"
 #include "util/log.hpp"
+#include "util/obs.hpp"
 #include "util/timer.hpp"
 
 namespace cals {
@@ -11,6 +12,7 @@ namespace cals {
 DesignContext::DesignContext(BaseNetwork net, const Library* library, Floorplan floorplan,
                              PlaceOptions place_options)
     : net_(std::move(net)), library_(library), floorplan_(floorplan) {
+  CALS_TRACE_SCOPE("flow.context_init");
   net_.compact();
   net_.build_fanouts();
 
@@ -41,8 +43,12 @@ std::shared_ptr<const MatchDatabase> DesignContext::match_database(
   {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = match_dbs_.find(key);
-    if (it != match_dbs_.end()) return it->second;
+    if (it != match_dbs_.end()) {
+      CALS_OBS_COUNT("map.match_cache_hits", 1);
+      return it->second;
+    }
   }
+  CALS_OBS_COUNT("map.match_cache_misses", 1);
   // Build outside the lock so a pool-parallel build never serializes other
   // evaluations. Concurrent first calls may build twice; the results are
   // identical (everything is deterministic) and the first insert wins.
@@ -53,62 +59,79 @@ std::shared_ptr<const MatchDatabase> DesignContext::match_database(
 }
 
 FlowRun DesignContext::run(const FlowOptions& options) const {
+  CALS_TRACE_SCOPE_ARG("flow.run", "K", options.K);
+  CALS_OBS_COUNT("flow.runs", 1);
   FlowRun run;
   Timer timer;
 
   // ---- technology mapping ------------------------------------------------
-  CoverOptions cover_options;
-  cover_options.K = options.K;
-  cover_options.objective = options.objective;
-  cover_options.metric = options.metric;
-  cover_options.transitive_wire_cost = options.transitive_wire_cost;
-  if (options.use_match_cache) {
-    ThreadPool* pool = this->pool(options.num_threads);
-    const std::shared_ptr<const MatchDatabase> db =
-        match_database(options.partition, options.metric, pool);
-    run.map = map_network_cached(net_, *library_, node_positions_, *db, cover_options, pool);
-  } else {
-    // Legacy path: rebuild partition + matcher from scratch, serial DP.
-    MapperOptions mapper_options;
-    mapper_options.partition = options.partition;
-    mapper_options.cover = cover_options;
-    run.map = map_network(net_, *library_, node_positions_, mapper_options);
+  {
+    CALS_TRACE_SCOPE("flow.map");
+    CoverOptions cover_options;
+    cover_options.K = options.K;
+    cover_options.objective = options.objective;
+    cover_options.metric = options.metric;
+    cover_options.transitive_wire_cost = options.transitive_wire_cost;
+    if (options.use_match_cache) {
+      ThreadPool* pool = this->pool(options.num_threads);
+      const std::shared_ptr<const MatchDatabase> db =
+          match_database(options.partition, options.metric, pool);
+      run.map =
+          map_network_cached(net_, *library_, node_positions_, *db, cover_options, pool);
+      run.metrics.threads_used = pool != nullptr ? pool->num_workers() : 1;
+    } else {
+      // Legacy path: rebuild partition + matcher from scratch, serial DP.
+      MapperOptions mapper_options;
+      mapper_options.partition = options.partition;
+      mapper_options.cover = cover_options;
+      run.map = map_network(net_, *library_, node_positions_, mapper_options);
+      run.metrics.threads_used = 1;
+    }
   }
   run.metrics.map_seconds = timer.seconds();
 
   // ---- placement -----------------------------------------------------------
   timer.reset();
   Timer phase_timer;
-  run.binding = run.map.netlist.lower(floorplan_);
-  if (options.replace_mapped) {
-    run.placement = global_place(run.binding.graph, floorplan_, options.place);
-  } else {
-    // The paper's incremental update: instances sit at the center of mass of
-    // the base gates they cover; legalization resolves overlaps.
-    run.placement = run.map.netlist.seed_placement(run.binding);
+  {
+    CALS_TRACE_SCOPE("flow.place");
+    run.binding = run.map.netlist.lower(floorplan_);
+    if (options.replace_mapped) {
+      run.placement = global_place(run.binding.graph, floorplan_, options.place);
+    } else {
+      // The paper's incremental update: instances sit at the center of mass of
+      // the base gates they cover; legalization resolves overlaps.
+      run.placement = run.map.netlist.seed_placement(run.binding);
+    }
+    run.legalization = legalize(run.binding.graph, floorplan_, run.placement);
+    if (options.refine_passes > 0) {
+      RefineOptions refine_options;
+      refine_options.passes = options.refine_passes;
+      refine_placement(run.binding.graph, floorplan_, run.placement, refine_options);
+    }
   }
-  run.legalization = legalize(run.binding.graph, floorplan_, run.placement);
-  if (options.refine_passes > 0) {
-    RefineOptions refine_options;
-    refine_options.passes = options.refine_passes;
-    refine_placement(run.binding.graph, floorplan_, run.placement, refine_options);
-  }
-
   run.metrics.place_seconds = phase_timer.seconds();
 
   // ---- routing + congestion -------------------------------------------------
   phase_timer.reset();
-  RoutingGrid grid(floorplan_, options.rgrid);
-  run.route = route(grid, run.binding.graph, run.placement, options.route);
-  const CongestionMap congestion_map(grid);
-  run.congestion = congestion_map.stats();
+  {
+    CALS_TRACE_SCOPE("flow.route");
+    RoutingGrid grid(floorplan_, options.rgrid);
+    run.route = route(grid, run.binding.graph, run.placement, options.route);
+    const CongestionMap congestion_map(grid);
+    run.congestion = congestion_map.stats();
+  }
   run.metrics.route_seconds = phase_timer.seconds();
 
   // ---- timing -----------------------------------------------------------------
   phase_timer.reset();
-  run.sta = run_sta(run.map.netlist, run.binding, run.route);
+  {
+    CALS_TRACE_SCOPE("flow.sta");
+    run.sta = run_sta(run.map.netlist, run.binding, run.route);
+  }
   run.metrics.sta_seconds = phase_timer.seconds();
   run.metrics.pd_seconds = timer.seconds();
+  debug_check_phase_accounting(run.metrics);
 
   // ---- metrics -----------------------------------------------------------------
   FlowMetrics& m = run.metrics;
@@ -132,6 +155,7 @@ FlowIterationResult congestion_aware_flow(const DesignContext& context,
                                           const std::vector<double>& k_schedule,
                                           FlowOptions options) {
   CALS_CHECK_MSG(!k_schedule.empty(), "empty K schedule");
+  CALS_TRACE_SCOPE("flow.k_schedule");
   FlowIterationResult result;
   std::uint64_t best_violations = UINT64_MAX;
 
@@ -181,6 +205,8 @@ FlowIterationResult congestion_aware_flow(const DesignContext& context,
     CALS_INFO("flow: K=%g cells=%u area=%.0f violations=%llu", k,
               run.metrics.num_cells, run.metrics.cell_area_um2,
               static_cast<unsigned long long>(run.metrics.routing_violations));
+    CALS_OBS_COUNT("flow.k_iterations", 1);
+    CALS_TRACE_COUNTER("flow.violations", run.metrics.routing_violations);
     if (run.metrics.routing_violations < best_violations) {
       best_violations = run.metrics.routing_violations;
       result.chosen = result.runs.size() - 1;
@@ -196,6 +222,7 @@ FlowIterationResult congestion_aware_flow(const DesignContext& context,
 KRefineResult refine_k(const DesignContext& context, double k_low, double k_high,
                        std::uint32_t iterations, FlowOptions options) {
   CALS_CHECK_MSG(k_low < k_high, "refine_k needs k_low < k_high");
+  CALS_TRACE_SCOPE("flow.refine_k");
   KRefineResult result;
   options.K = k_high;
   result.best = context.run(options);
@@ -276,6 +303,7 @@ RowSearchResult find_min_routable_rows(const BaseNetwork& net, const Library& li
                                        const FlowOptions& options,
                                        std::uint32_t start_rows, std::uint32_t max_rows,
                                        PlaceOptions place_options) {
+  CALS_TRACE_SCOPE("flow.row_search");
   RowSearchResult result;
   const std::uint32_t window =
       options.num_threads == 0 ? ThreadPool::hardware_threads() : options.num_threads;

@@ -2,8 +2,11 @@
 /// \file metrics.hpp
 /// Per-run result records shared by the flow, the benches and EXPERIMENTS.md.
 
+#include <cmath>
 #include <cstdint>
 #include <string>
+
+#include "util/check.hpp"
 
 namespace cals {
 
@@ -30,6 +33,26 @@ struct FlowMetrics {
   double place_seconds = 0.0;         ///< lower + place/seed + legalize + refine
   double route_seconds = 0.0;         ///< grid build + global route + congestion
   double sta_seconds = 0.0;           ///< static timing
+  /// Worker threads the evaluation actually used (1 = serial path). Recorded
+  /// so sweeps on small machines can see why parallel speedups are invisible
+  /// (a 1-CPU container resolves num_threads=0 to a single worker).
+  std::uint32_t threads_used = 1;
 };
+
+/// Debug-mode consistency check: pd_seconds is documented as the
+/// place+route+STA wall time, so the phase breakdown must sum to it. The
+/// tolerance covers the untimed glue between the phase stopwatches (option
+/// struct copies, result moves) — microseconds in practice; anything beyond
+/// 10 ms + 5% means a phase was dropped from (or double-counted into) the
+/// breakdown.
+inline void debug_check_phase_accounting(const FlowMetrics& m) {
+#ifndef NDEBUG
+  const double sum = m.place_seconds + m.route_seconds + m.sta_seconds;
+  CALS_CHECK_MSG(std::abs(m.pd_seconds - sum) <= 0.01 + 0.05 * m.pd_seconds,
+                 "FlowMetrics phase breakdown does not sum to pd_seconds");
+#else
+  (void)m;
+#endif
+}
 
 }  // namespace cals

@@ -4,9 +4,22 @@
 
 #include "netlist/dag.hpp"
 #include "util/check.hpp"
+#include "util/obs.hpp"
 
 namespace cals {
 namespace {
+
+/// Batched DP counters: one atomic publish per serial loop / parallel chunk
+/// instead of two per vertex, so the instrumented hot path stays hot.
+struct CoverTally {
+  std::uint64_t vertices = 0;
+  std::uint64_t matches = 0;
+  void publish() const {
+    if (vertices == 0 && matches == 0) return;
+    CALS_OBS_COUNT("map.cover_vertices", vertices);
+    CALS_OBS_COUNT("map.matches_tried", matches);
+  }
+};
 
 /// True if `pin`'s father is one of the vertices covered by the match, i.e.
 /// the pin roots a subtree that belongs to this DP accumulation. Pins whose
@@ -116,12 +129,17 @@ std::vector<VertexCover> cover_forest(const BaseNetwork& net, const SubjectFores
   // Global ascending node order is fanin-before-father within every tree,
   // and guarantees cross-tree leaf references (always to smaller ids) are
   // resolved before use.
+  CoverTally tally;
   for (std::uint32_t i = 0; i < net.num_nodes(); ++i) {
     const NodeId v{i};
     if (!forest.in_tree(v)) continue;
+    std::vector<Match> matches = matcher.matches_at(v);
+    ++tally.vertices;
+    tally.matches += matches.size();
     cover[i] = cover_vertex(net, forest, library, positions, options, cover, v,
-                            matcher.matches_at(v));
+                            std::move(matches));
   }
+  tally.publish();
   return cover;
 }
 
@@ -179,12 +197,16 @@ std::vector<VertexCover> cover_forest(const BaseNetwork& net, const SubjectFores
   std::vector<VertexCover> cover(net.num_nodes());
 
   if (pool == nullptr || pool->num_workers() <= 1) {
+    CoverTally tally;
     for (std::uint32_t i = 0; i < net.num_nodes(); ++i) {
       const NodeId v{i};
       if (!forest.in_tree(v)) continue;
+      ++tally.vertices;
+      tally.matches += matches.at[i].size();
       cover[i] = cover_vertex(net, forest, library, positions, options, cover, v,
                               matches.at[i]);
     }
+    tally.publish();
     return cover;
   }
 
@@ -194,12 +216,16 @@ std::vector<VertexCover> cover_forest(const BaseNetwork& net, const SubjectFores
   for (const std::vector<NodeId>& wave : matches.waves) {
     ThreadPool::parallel_for(pool, 0, wave.size(), 32,
                              [&](std::size_t lo, std::size_t hi) {
+                               CoverTally tally;
                                for (std::size_t j = lo; j < hi; ++j) {
                                  const NodeId v = wave[j];
+                                 ++tally.vertices;
+                                 tally.matches += matches.at[v.v].size();
                                  cover[v.v] = cover_vertex(net, forest, library, positions,
                                                            options, cover, v,
                                                            matches.at[v.v]);
                                }
+                               tally.publish();
                              });
   }
   return cover;

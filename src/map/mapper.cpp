@@ -4,6 +4,7 @@
 
 #include "map/matcher.hpp"
 #include "util/check.hpp"
+#include "util/obs.hpp"
 
 namespace cals {
 namespace {
@@ -50,6 +51,7 @@ class Realizer {
 MapResult realize_cover(const BaseNetwork& net, const Library& library,
                         const SubjectForest& forest,
                         const std::vector<VertexCover>& cover) {
+  CALS_TRACE_SCOPE("map.realize");
   MapResult result{MappedNetlist(&library), {}};
   Realizer realizer(net, cover, result.netlist);
   for (const PrimaryOutput& po : net.pos())
@@ -86,7 +88,11 @@ MapResult map_network(const BaseNetwork& net, const Library& library,
   const SubjectForest forest =
       partition_dag(net, options.partition, positions, options.cover.metric);
   const Matcher matcher(net, forest, library);
-  const auto cover = cover_forest(net, forest, matcher, library, positions, options.cover);
+  std::vector<VertexCover> cover;
+  {
+    CALS_TRACE_SCOPE("map.cover");
+    cover = cover_forest(net, forest, matcher, library, positions, options.cover);
+  }
   return realize_cover(net, library, forest, cover);
 }
 
@@ -95,6 +101,7 @@ MatchDatabase build_match_database(const BaseNetwork& net, const Library& librar
                                    PartitionStrategy partition, DistanceMetric metric,
                                    ThreadPool* pool) {
   CALS_CHECK_MSG(net.fanouts_built(), "call build_fanouts() first");
+  CALS_TRACE_SCOPE("map.match_db_build");
   MatchDatabase db;
   db.partition = partition;
   db.metric = metric;
@@ -111,8 +118,11 @@ MapResult map_network_cached(const BaseNetwork& net, const Library& library,
   CALS_CHECK_MSG(net.fanouts_built(), "call build_fanouts() first");
   CALS_CHECK_MSG(cover_options.metric == db.metric,
                  "match database was built for a different distance metric");
-  const auto cover =
-      cover_forest(net, db.forest, db.matches, library, positions, cover_options, pool);
+  std::vector<VertexCover> cover;
+  {
+    CALS_TRACE_SCOPE("map.cover");
+    cover = cover_forest(net, db.forest, db.matches, library, positions, cover_options, pool);
+  }
   return realize_cover(net, library, db.forest, cover);
 }
 

@@ -5,6 +5,7 @@
 #include <list>
 
 #include "util/check.hpp"
+#include "util/obs.hpp"
 
 namespace cals {
 namespace {
@@ -60,6 +61,7 @@ struct RowSpace {
 
 LegalizeResult legalize(const PlaceGraph& graph, const Floorplan& floorplan,
                         Placement& placement) {
+  CALS_TRACE_SCOPE("place.legalize");
   LegalizeResult result;
   result.row.assign(graph.num_objects, UINT32_MAX);
   const Rect die = floorplan.die();
@@ -141,6 +143,9 @@ LegalizeResult legalize(const PlaceGraph& graph, const Floorplan& floorplan,
     placement.pos[obj] = legal_pos;
     result.row[obj] = best_row;
   }
+  CALS_OBS_COUNT("place.legalize_spills", result.spills);
+  CALS_OBS_GAUGE_MAX("place.legalize_max_disp_um", result.max_displacement);
+  CALS_OBS_GAUGE_SET("place.legalize_total_disp_um", result.total_displacement);
   return result;
 }
 

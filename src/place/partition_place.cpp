@@ -5,6 +5,7 @@
 #include <deque>
 
 #include "util/check.hpp"
+#include "util/obs.hpp"
 #include "util/rng.hpp"
 
 namespace cals {
@@ -49,8 +50,11 @@ class Bisector {
   std::vector<std::uint8_t> run(const Region& region, bool axis_x, double mid, Rng& rng) {
     init_locals(region, axis_x, mid);
     init_partition(rng);
-    for (std::uint32_t pass = 0; pass < options_.fm_passes; ++pass)
+    CALS_OBS_COUNT("place.bisections", 1);
+    for (std::uint32_t pass = 0; pass < options_.fm_passes; ++pass) {
+      CALS_OBS_COUNT("place.fm_passes", 1);
       if (!fm_pass()) break;
+    }
     auto side = side_;
     clear_locals(region);
     return side;
@@ -360,6 +364,7 @@ void spread_in_region(const Region& region, std::vector<Point>& pos) {
 Placement global_place(const PlaceGraph& graph, const Floorplan& floorplan,
                        const PlaceOptions& options) {
   graph.validate();
+  CALS_TRACE_SCOPE_ARG("place.global", "objects", graph.num_objects);
   Placement result;
   result.pos.assign(graph.num_objects, floorplan.die().center());
   for (std::uint32_t i = 0; i < graph.num_objects; ++i)

@@ -56,6 +56,19 @@ std::string CongestionMap::to_pgm() const {
   return out;
 }
 
+std::string CongestionMap::to_csv() const {
+  std::string out;
+  out.reserve(static_cast<std::size_t>(nx_) * ny_ * 6);
+  for (std::int32_t y = ny_ - 1; y >= 0; --y) {  // top row first
+    for (std::int32_t x = 0; x < nx_; ++x) {
+      if (x > 0) out += ',';
+      out += strprintf("%.4f", at(x, y));
+    }
+    out += '\n';
+  }
+  return out;
+}
+
 std::string CongestionMap::ascii_art() const {
   static const char* kRamp = ".:-=+*%#";
   std::string out;

@@ -45,6 +45,11 @@ class CongestionMap {
   /// capacity, one pixel per gcell — viewable in any image tool.
   std::string to_pgm() const;
 
+  /// CSV heatmap: one row per gcell row (top row first, matching the PGM and
+  /// ASCII orientations), utilization as plain decimals. Loads directly into
+  /// a spreadsheet or numpy.loadtxt for hotspot analysis alongside a trace.
+  std::string to_csv() const;
+
  private:
   std::int32_t nx_ = 0;
   std::int32_t ny_ = 0;

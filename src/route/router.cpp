@@ -7,6 +7,7 @@
 #include <functional>
 
 #include "util/check.hpp"
+#include "util/obs.hpp"
 
 namespace cals {
 namespace {
@@ -361,6 +362,7 @@ class Router {
   }
 
   void pattern_pass() {
+    CALS_TRACE_SCOPE_ARG("route.pattern", "segments", segments_.size());
     pattern_penalty_ = options_.present_penalty;
     for (std::size_t n = 0; n < graph_.nets.size(); ++n) {
       RoutedNet& routed = result_.nets[n];
@@ -372,6 +374,7 @@ class Router {
         routed.length += path.size() - 1;
       }
     }
+    CALS_OBS_COUNT("route.pattern_segments", segments_.size());
   }
 
   // ---- negotiated rip-up and reroute --------------------------------------
@@ -396,6 +399,7 @@ class Router {
   }
 
   void rrr_loop() {
+    CALS_TRACE_SCOPE("route.rrr");
     rrr_phase_ = true;
     std::uint64_t best_overflow = UINT64_MAX;
     std::uint32_t stale_iters = 0;
@@ -416,6 +420,8 @@ class Router {
       result_.rrr_iterations = iter + 1;
       iter_marker_ = iter + 1;
       penalty_ = options_.present_penalty * (1.0 + iter);
+      RouteIterStats stats;
+      stats.overflow = overflow;
 
       // One sweep over the overflowed-edge list: bump history, seed the
       // candidate heap from the crossing lists, compact entries that have
@@ -436,12 +442,17 @@ class Router {
         over_list_[keep++] = cid;
       }
       over_list_.resize(keep);
+      stats.dirty_edges = static_cast<std::uint32_t>(keep);
+      CALS_TRACE_COUNTER("router.overflow", overflow);
+      CALS_TRACE_COUNTER("router.dirty_set", cand_heap_.size());
 
       rebuild_cost_caches();
       const std::int32_t margin = options_.bbox_margin + static_cast<std::int32_t>(2 * iter);
 
+      const std::uint64_t pops_before = maze_pops_;
       while (!cand_heap_.empty()) {
         const std::uint32_t seg = pop_candidate();
+        ++stats.candidates;
         RoutedNet& routed = result_.nets[seg_net_[seg]];
         std::vector<GCell>& path = routed.paths[seg - seg_first_[seg_net_[seg]]];
         if (!path_overflows(path)) continue;
@@ -454,7 +465,13 @@ class Router {
         routed.length =
             static_cast<std::uint64_t>(static_cast<std::int64_t>(routed.length) + delta);
         path.assign(reroute_path_.begin(), reroute_path_.end());
+        ++stats.rerouted;
       }
+      stats.maze_pops = maze_pops_ - pops_before;
+      result_.iter_stats.push_back(stats);
+      CALS_OBS_COUNT("route.rrr_iterations", 1);
+      CALS_OBS_COUNT("route.rerouted_segments", stats.rerouted);
+      CALS_OBS_COUNT("route.maze_pops", stats.maze_pops);
     }
   }
 
@@ -547,6 +564,7 @@ class Router {
     const std::int32_t target = dst.y * nx_ + dst.x;
     const double* h_cost = h_cost_.data();
     const double* v_cost = v_cost_.data();
+    std::uint64_t pops = 0;  // register-local; published once below
     while (!maze_heap_.empty()) {
       if (stamp_[target] == generation_) {
         // Drain until nothing in the queue can still carry f at or below the
@@ -560,6 +578,7 @@ class Router {
           break;
       }
       const MazeEntry top = heap_pop();
+      ++pops;
       const std::int32_t u = static_cast<std::int32_t>(top.cell);
       const std::int32_t ux = static_cast<std::int32_t>(top.yx & 0xffffu);
       const std::int32_t uy = static_cast<std::int32_t>(top.yx >> 16);
@@ -585,6 +604,7 @@ class Router {
       if (uy < y_hi) relax(u + nx_, top.yx + 0x10000u, v_cost[u], h_up);
     }
 
+    maze_pops_ += pops;
     CALS_CHECK_MSG(stamp_[target] == generation_, "maze route failed inside bbox");
     // Label-based backtrack: per hop, pick the predecessor the reference
     // implementation's from_ pointer would hold (see the contract above).
@@ -677,6 +697,7 @@ class Router {
   std::vector<MazeEntry> maze_heap_;
   std::vector<std::int32_t> backtrack_;
   std::vector<GCell> reroute_path_;
+  std::uint64_t maze_pops_ = 0;  ///< lifetime A* pops, differenced per iteration
 };
 
 }  // namespace

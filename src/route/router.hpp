@@ -35,6 +35,18 @@ struct RoutedNet {
   std::uint64_t length = 0;
 };
 
+/// Telemetry for one rip-up-and-reroute iteration. Always recorded (a dozen
+/// small structs per route() call): it shows convergence — overflow should
+/// fall while the dirty set shrinks — and feeds the bench reports and the
+/// obs trace counters.
+struct RouteIterStats {
+  std::uint64_t overflow = 0;     ///< total edge overflow entering the iteration
+  std::uint32_t dirty_edges = 0;  ///< overflowed edges whose crossers were enqueued
+  std::uint32_t candidates = 0;   ///< candidate segments popped from the heap
+  std::uint32_t rerouted = 0;     ///< segments actually ripped up and rerouted
+  std::uint64_t maze_pops = 0;    ///< A* heap pops spent on this iteration's mazes
+};
+
 struct RouteResult {
   std::vector<RoutedNet> nets;  ///< parallel to graph.nets
   std::uint64_t total_overflow = 0;
@@ -43,6 +55,7 @@ struct RouteResult {
   double wirelength_um = 0.0;
   double gcell_um = 0.0;  ///< gcell edge length, for per-net um conversions
   std::uint32_t rrr_iterations = 0;
+  std::vector<RouteIterStats> iter_stats;  ///< one entry per rip-up iteration
   bool routable() const { return total_overflow == 0; }
 };
 

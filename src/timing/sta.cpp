@@ -5,6 +5,7 @@
 #include "timing/delay_model.hpp"
 #include "util/strings.hpp"
 #include "util/check.hpp"
+#include "util/obs.hpp"
 
 namespace cals {
 namespace {
@@ -23,6 +24,8 @@ double StaResult::arrival_of(const MappedNetlist& netlist, const std::string& po
 StaResult run_sta(const MappedNetlist& netlist, const MappedPlaceBinding& binding,
                   const RouteResult& route) {
   CALS_CHECK(route.nets.size() == binding.graph.nets.size());
+  CALS_TRACE_SCOPE_ARG("sta.run", "instances", netlist.num_instances());
+  CALS_OBS_COUNT("sta.arrival_propagations", netlist.num_instances());
   const Library& lib = netlist.library();
   const WireModel wires(lib.tech());
 

@@ -1,0 +1,399 @@
+#include "util/obs.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace cals::obs {
+namespace {
+
+// ---- master switch ---------------------------------------------------------
+
+/// CALS_OBS environment tri-state, parsed once: -1 force-off, +1 start
+/// enabled, 0 unset (start disabled, programmatic enables allowed).
+int env_mode() {
+  static const int mode = [] {
+    const char* env = std::getenv("CALS_OBS");
+    if (env == nullptr || *env == '\0') return 0;
+    return std::strcmp(env, "0") == 0 ? -1 : 1;
+  }();
+  return mode;
+}
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag{env_mode() > 0};
+  return flag;
+}
+
+// ---- trace clock -----------------------------------------------------------
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point trace_epoch() {
+  static const Clock::time_point epoch = Clock::now();
+  return epoch;
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - trace_epoch())
+          .count());
+}
+
+// ---- per-thread event buffers ----------------------------------------------
+
+struct TraceEvent {
+  const char* name;
+  const char* arg_name;  // nullptr = no argument
+  double arg_value;
+  std::uint64_t ts_ns;
+  char phase;  // 'B', 'E', 'C', 'i'
+};
+
+/// One thread's event stream. The mutex is uncontended in steady state (only
+/// the owning thread appends); the drain takes it briefly to move events out,
+/// which keeps recording/drain races TSan-clean.
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  std::uint32_t tid = 0;
+};
+
+/// Registry of all thread buffers, living for the whole process. Buffers are
+/// registered on a thread's first event and never removed: a thread that
+/// exits leaves its recorded events behind for the next drain, and tids are
+/// our own dense ids, so a recycled OS thread id can never merge two streams.
+struct TraceState {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+
+  static TraceState& instance() {
+    static TraceState* state = new TraceState();  // leaked: threads may outlive main
+    return *state;
+  }
+
+  std::shared_ptr<ThreadBuffer> make_buffer() {
+    auto buffer = std::make_shared<ThreadBuffer>();
+    std::lock_guard<std::mutex> lock(mutex);
+    buffer->tid = static_cast<std::uint32_t>(buffers.size());
+    buffers.push_back(buffer);
+    return buffer;
+  }
+
+  std::vector<std::shared_ptr<ThreadBuffer>> snapshot() {
+    std::lock_guard<std::mutex> lock(mutex);
+    return buffers;
+  }
+};
+
+ThreadBuffer& local_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = TraceState::instance().make_buffer();
+  return *buffer;
+}
+
+void emit(const char* name, char phase, const char* arg_name, double arg_value) {
+  ThreadBuffer& buffer = local_buffer();
+  const std::uint64_t ts = now_ns();
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.events.push_back({name, arg_name, arg_value, ts, phase});
+}
+
+// ---- JSON helpers ----------------------------------------------------------
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += strprintf("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";
+  // Shortest round-trip-ish form: integers without a fraction.
+  if (v == std::floor(v) && std::abs(v) < 1e15)
+    return strprintf("%.0f", v);
+  return strprintf("%.6g", v);
+}
+
+}  // namespace
+
+bool enabled() { return enabled_flag().load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) {
+  if (on && env_mode() < 0) return;  // CALS_OBS=0 force-off wins
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+// ---- Histogram -------------------------------------------------------------
+
+void Histogram::observe(double v) {
+  if (v < 0.0 || !std::isfinite(v)) v = 0.0;
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  double cur = min_.load(std::memory_order_relaxed);
+  while (v < cur && !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur && !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  std::size_t bucket = 0;
+  if (v >= 1.0) {
+    const auto integral = static_cast<std::uint64_t>(v);
+    bucket = std::min<std::size_t>(kBuckets - 1, std::bit_width(integral));
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+double Histogram::min() const {
+  const double v = min_.load(std::memory_order_relaxed);
+  return std::isfinite(v) ? v : 0.0;
+}
+
+void Histogram::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+std::string Histogram::summary() const {
+  const std::uint64_t n = count();
+  const double mean = n > 0 ? sum() / static_cast<double>(n) : 0.0;
+  return strprintf("count=%llu sum=%.6g min=%.6g mean=%.6g max=%.6g",
+                   static_cast<unsigned long long>(n), sum(), min(), mean, max());
+}
+
+// ---- Registry --------------------------------------------------------------
+
+struct Registry::Impl {
+  mutable std::mutex mutex;
+  // std::map: stable node addresses (references handed out live forever) and
+  // sorted iteration for the dumps.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+Registry& Registry::instance() {
+  static Registry* registry = new Registry();  // leaked: usable during exit
+  return *registry;
+}
+
+Registry::Impl& Registry::impl() const {
+  static Impl* impl = new Impl();
+  return *impl;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  auto it = i.counters.find(name);
+  if (it == i.counters.end())
+    it = i.counters.emplace(std::string(name), std::make_unique<Counter>(std::string(name)))
+             .first;
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  auto it = i.gauges.find(name);
+  if (it == i.gauges.end())
+    it = i.gauges.emplace(std::string(name), std::make_unique<Gauge>(std::string(name)))
+             .first;
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  auto it = i.histograms.find(name);
+  if (it == i.histograms.end())
+    it = i.histograms
+             .emplace(std::string(name), std::make_unique<Histogram>(std::string(name)))
+             .first;
+  return *it->second;
+}
+
+std::string Registry::text() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  std::string out;
+  for (const auto& [name, c] : i.counters)
+    out += strprintf("counter   %-40s %llu\n", name.c_str(),
+                     static_cast<unsigned long long>(c->value()));
+  for (const auto& [name, g] : i.gauges)
+    out += strprintf("gauge     %-40s %.6g\n", name.c_str(), g->value());
+  for (const auto& [name, h] : i.histograms)
+    out += strprintf("histogram %-40s %s\n", name.c_str(), h->summary().c_str());
+  return out;
+}
+
+std::string Registry::json() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : i.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_escaped(out, name);
+    out += strprintf("\":%llu", static_cast<unsigned long long>(c->value()));
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : i.gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_escaped(out, name);
+    out += "\":" + json_number(g->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : i.histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_escaped(out, name);
+    out += strprintf("\":{\"count\":%llu,\"sum\":%s,\"min\":%s,\"max\":%s}",
+                     static_cast<unsigned long long>(h->count()),
+                     json_number(h->sum()).c_str(), json_number(h->min()).c_str(),
+                     json_number(h->max()).c_str());
+  }
+  out += "}}";
+  return out;
+}
+
+void Registry::reset() {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  for (auto& [name, c] : i.counters) c->reset();
+  for (auto& [name, g] : i.gauges) g->reset();
+  for (auto& [name, h] : i.histograms) h->reset();
+}
+
+// ---- tracing ---------------------------------------------------------------
+
+void trace_begin(const char* name) { emit(name, 'B', nullptr, 0.0); }
+void trace_begin(const char* name, const char* arg_name, double arg_value) {
+  emit(name, 'B', arg_name, arg_value);
+}
+void trace_end(const char* name) { emit(name, 'E', nullptr, 0.0); }
+void trace_instant(const char* name) { emit(name, 'i', nullptr, 0.0); }
+void trace_counter(const char* name, double value) { emit(name, 'C', "value", value); }
+
+std::size_t pending_events() {
+  std::size_t total = 0;
+  for (const auto& buffer : TraceState::instance().snapshot()) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    total += buffer->events.size();
+  }
+  return total;
+}
+
+void discard_events() {
+  for (const auto& buffer : TraceState::instance().snapshot()) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    buffer->events.clear();
+  }
+}
+
+std::string chrome_trace_json() {
+  // Drain: move every buffer's events out, remembering the owning tid.
+  struct Tagged {
+    TraceEvent event;
+    std::uint32_t tid;
+  };
+  std::vector<Tagged> all;
+  std::vector<std::uint32_t> tids;
+  for (const auto& buffer : TraceState::instance().snapshot()) {
+    std::vector<TraceEvent> events;
+    {
+      std::lock_guard<std::mutex> lock(buffer->mutex);
+      events.swap(buffer->events);
+    }
+    if (!events.empty()) tids.push_back(buffer->tid);
+    for (const TraceEvent& e : events) all.push_back({e, buffer->tid});
+  }
+  // Sort by timestamp. stable_sort preserves each thread's internal order for
+  // equal timestamps (a thread's events form one contiguous chunk), so B/E
+  // nesting within a tid survives the merge.
+  std::stable_sort(all.begin(), all.end(),
+                   [](const Tagged& a, const Tagged& b) { return a.event.ts_ns < b.event.ts_ns; });
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) out += ',';
+    first = false;
+  };
+  // Metadata: process + per-thread names, pinned at ts 0 so the timestamp
+  // ordering check (tools/check_trace.py) stays trivially satisfied.
+  comma();
+  out +=
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"ts\":0,"
+      "\"args\":{\"name\":\"cals\"}}";
+  for (std::uint32_t tid : tids) {
+    comma();
+    out += strprintf(
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%u,\"ts\":0,"
+        "\"args\":{\"name\":\"cals-thread-%u\"}}",
+        tid, tid);
+  }
+  for (const Tagged& t : all) {
+    const TraceEvent& e = t.event;
+    comma();
+    out += "{\"name\":\"";
+    append_escaped(out, e.name);
+    out += strprintf("\",\"cat\":\"cals\",\"ph\":\"%c\",\"pid\":1,\"tid\":%u,\"ts\":%.3f",
+                     e.phase, t.tid, static_cast<double>(e.ts_ns) / 1000.0);
+    if (e.phase == 'i') out += ",\"s\":\"t\"";
+    if (e.arg_name != nullptr) {
+      out += ",\"args\":{\"";
+      append_escaped(out, e.arg_name);
+      out += "\":" + json_number(e.arg_value) + "}";
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path) {
+  std::ofstream file(path);
+  if (!file.good()) return false;
+  file << chrome_trace_json() << '\n';
+  return file.good();
+}
+
+bool write_metrics(const std::string& path) {
+  std::ofstream file(path);
+  if (!file.good()) return false;
+  file << Registry::instance().text();
+  return file.good();
+}
+
+}  // namespace cals::obs

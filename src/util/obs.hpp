@@ -1,0 +1,269 @@
+#pragma once
+/// \file obs.hpp
+/// `cals::obs` — the flow's observability substrate (DESIGN.md §8): RAII
+/// scoped trace spans, a global registry of named counters / gauges /
+/// histograms, and per-thread event buffers drained into a Chrome
+/// `trace_event` JSON exporter (loadable in chrome://tracing or Perfetto)
+/// plus a plain-text / JSON metrics dump.
+///
+/// Cost model:
+///  * Compile-time off (`-DCALS_OBS_ENABLED=0`, cmake `-DCALS_OBS=OFF`):
+///    every macro below expands to `((void)0)` — zero code at the call site.
+///    The library itself still compiles, so exporters keep linking.
+///  * Runtime off (the default; enable with `CALS_OBS=1` or
+///    `obs::set_enabled(true)`): each macro is one relaxed atomic load and a
+///    predicted-untaken branch. No events are recorded, no atomics bumped.
+///    `CALS_OBS=0` force-disables: programmatic enables are ignored, so a
+///    user can kill instrumented binaries' overhead without a rebuild.
+///  * Runtime on: counters are relaxed atomic adds (hot loops accumulate
+///    locally and publish once per batch); span begin/end each append one
+///    16-byte-ish event to a per-thread buffer under that buffer's
+///    uncontended mutex.
+///
+/// Threading: everything here is thread-safe. Counter/gauge/histogram
+/// updates are lock-free atomics; each thread writes trace events to its own
+/// buffer, so recording never contends across threads. Draining
+/// (`chrome_trace_json`) locks each buffer briefly and is intended for
+/// quiesce points (end of a run / bench).
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+
+#ifndef CALS_OBS_ENABLED
+#define CALS_OBS_ENABLED 1
+#endif
+
+namespace cals::obs {
+
+// ---- master switch ---------------------------------------------------------
+
+/// True when recording is on. Initialized from the CALS_OBS environment
+/// variable: "1" (or any non-zero value) starts enabled, "0" force-disables
+/// for the whole process, unset starts disabled (tools/benches enable
+/// programmatically on --trace/--metrics).
+bool enabled();
+
+/// Turns recording on or off. A CALS_OBS=0 environment force-off wins:
+/// set_enabled(true) is then a no-op.
+void set_enabled(bool on);
+
+/// Whether the instrumentation macros were compiled in.
+constexpr bool compiled_in() { return CALS_OBS_ENABLED != 0; }
+
+// ---- instruments -----------------------------------------------------------
+
+/// Monotonic counter. Race-free: increments are relaxed atomic adds.
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  const std::string name_;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written value (e.g. worker count, peak displacement). `set_max`
+/// keeps the running maximum instead.
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void set_max(double v) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (v > cur && !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  const std::string name_;
+  std::atomic<double> value_{0.0};
+};
+
+/// Power-of-two-bucketed histogram of non-negative samples (bucket i counts
+/// samples in [2^(i-1), 2^i), bucket 0 counts samples < 1). Tracks count,
+/// sum, min and max exactly; the buckets give the shape.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 48;
+
+  explicit Histogram(std::string name) : name_(std::move(name)) {}
+  void observe(double v);
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min() const;
+  double max() const { return max_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  void reset();
+  const std::string& name() const { return name_; }
+  /// "count=… sum=… min=… mean=… max=…" one-liner for the text dump.
+  std::string summary() const;
+
+ private:
+  const std::string name_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{0.0};
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+};
+
+/// Global registry of named instruments. Lookup is mutex-protected and
+/// returns a stable reference — hot call sites cache it in a function-local
+/// static (that is what the CALS_OBS_* macros do), so the lock is paid once
+/// per site, not per event.
+class Registry {
+ public:
+  static Registry& instance();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Plain-text dump, one instrument per line, sorted by name. Instruments
+  /// that never fired (zero count/value) are included — a zero is data.
+  std::string text() const;
+  /// The same dump as a JSON object {"counters":{…},"gauges":{…},…}.
+  std::string json() const;
+  /// Zeroes every registered instrument (tests and repeated benches).
+  void reset();
+
+ private:
+  Registry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+// ---- tracing ---------------------------------------------------------------
+
+/// Low-level event emitters. `name`/`arg_name` must be string literals (or
+/// otherwise outlive the drain) — events store the pointer, not a copy.
+void trace_begin(const char* name);
+void trace_begin(const char* name, const char* arg_name, double arg_value);
+void trace_end(const char* name);
+void trace_instant(const char* name);
+void trace_counter(const char* name, double value);
+
+/// RAII scoped span: emits a 'B' event on construction and the matching 'E'
+/// on destruction. If recording is disabled at entry the span is inert (and
+/// stays inert even if recording turns on mid-scope, so pairs always
+/// balance).
+class TraceScope {
+ public:
+  explicit TraceScope(const char* name) : name_(enabled() ? name : nullptr) {
+    if (name_ != nullptr) trace_begin(name_);
+  }
+  TraceScope(const char* name, const char* arg_name, double arg_value)
+      : name_(enabled() ? name : nullptr) {
+    if (name_ != nullptr) trace_begin(name_, arg_name, arg_value);
+  }
+  ~TraceScope() {
+    if (name_ != nullptr) trace_end(name_);
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  const char* name_;
+};
+
+/// Number of undrained events across all thread buffers (tests).
+std::size_t pending_events();
+/// Drops all undrained events.
+void discard_events();
+
+/// Drains every thread's buffer into one Chrome trace_event JSON document
+/// (events sorted by timestamp; per-thread order preserved for ties, so
+/// spans stay properly nested). Consumes the events.
+std::string chrome_trace_json();
+/// chrome_trace_json() to a file. Returns false on I/O failure.
+bool write_chrome_trace(const std::string& path);
+/// Registry::text() to a file. Returns false on I/O failure.
+bool write_metrics(const std::string& path);
+
+}  // namespace cals::obs
+
+// ---- macros ----------------------------------------------------------------
+// The only layer the compile-time switch removes. All names must be string
+// literals.
+
+#define CALS_OBS_CONCAT_INNER(a, b) a##b
+#define CALS_OBS_CONCAT(a, b) CALS_OBS_CONCAT_INNER(a, b)
+
+#if CALS_OBS_ENABLED
+
+/// RAII span covering the enclosing scope.
+#define CALS_TRACE_SCOPE(name) \
+  ::cals::obs::TraceScope CALS_OBS_CONCAT(cals_trace_scope_, __LINE__)(name)
+/// Span with one numeric argument (shown in the trace viewer's args pane).
+#define CALS_TRACE_SCOPE_ARG(name, key, value)                            \
+  ::cals::obs::TraceScope CALS_OBS_CONCAT(cals_trace_scope_, __LINE__)(   \
+      name, key, static_cast<double>(value))
+/// Counter-track sample (Perfetto renders these as a little graph).
+#define CALS_TRACE_COUNTER(name, value)                                  \
+  do {                                                                   \
+    if (::cals::obs::enabled())                                          \
+      ::cals::obs::trace_counter(name, static_cast<double>(value));      \
+  } while (false)
+#define CALS_TRACE_INSTANT(name)                                \
+  do {                                                          \
+    if (::cals::obs::enabled()) ::cals::obs::trace_instant(name); \
+  } while (false)
+/// Adds `n` to the named registry counter. The registry lookup happens once
+/// per call site (function-local static); disabled runs pay one load+branch.
+#define CALS_OBS_COUNT(name, n)                                          \
+  do {                                                                   \
+    if (::cals::obs::enabled()) {                                        \
+      static ::cals::obs::Counter& cals_obs_counter_ =                   \
+          ::cals::obs::Registry::instance().counter(name);               \
+      cals_obs_counter_.add(static_cast<std::uint64_t>(n));              \
+    }                                                                    \
+  } while (false)
+#define CALS_OBS_GAUGE_SET(name, v)                                      \
+  do {                                                                   \
+    if (::cals::obs::enabled()) {                                        \
+      static ::cals::obs::Gauge& cals_obs_gauge_ =                       \
+          ::cals::obs::Registry::instance().gauge(name);                 \
+      cals_obs_gauge_.set(static_cast<double>(v));                       \
+    }                                                                    \
+  } while (false)
+#define CALS_OBS_GAUGE_MAX(name, v)                                      \
+  do {                                                                   \
+    if (::cals::obs::enabled()) {                                        \
+      static ::cals::obs::Gauge& cals_obs_gauge_ =                       \
+          ::cals::obs::Registry::instance().gauge(name);                 \
+      cals_obs_gauge_.set_max(static_cast<double>(v));                   \
+    }                                                                    \
+  } while (false)
+#define CALS_OBS_OBSERVE(name, v)                                        \
+  do {                                                                   \
+    if (::cals::obs::enabled()) {                                        \
+      static ::cals::obs::Histogram& cals_obs_hist_ =                    \
+          ::cals::obs::Registry::instance().histogram(name);             \
+      cals_obs_hist_.observe(static_cast<double>(v));                    \
+    }                                                                    \
+  } while (false)
+
+#else  // !CALS_OBS_ENABLED
+
+#define CALS_TRACE_SCOPE(name) ((void)0)
+#define CALS_TRACE_SCOPE_ARG(name, key, value) ((void)0)
+#define CALS_TRACE_COUNTER(name, value) ((void)0)
+#define CALS_TRACE_INSTANT(name) ((void)0)
+#define CALS_OBS_COUNT(name, n) ((void)0)
+#define CALS_OBS_GAUGE_SET(name, v) ((void)0)
+#define CALS_OBS_GAUGE_MAX(name, v) ((void)0)
+#define CALS_OBS_OBSERVE(name, v) ((void)0)
+
+#endif  // CALS_OBS_ENABLED

@@ -2,8 +2,38 @@
 
 #include <algorithm>
 #include <chrono>
+#include <mutex>
+
+#include "util/log.hpp"
+#include "util/obs.hpp"
 
 namespace cals {
+namespace {
+
+/// Runs one pool task, attributing its wall time to the pool's busy-time
+/// counters when observability is on ("where do the workers spend their
+/// time" — DESIGN.md §8). `helping` marks tasks executed by a waiting thread
+/// inside TaskGroup::wait() rather than by a pool worker.
+void run_task(std::function<void()>& task, bool helping) {
+#if CALS_OBS_ENABLED
+  if (obs::enabled()) {
+    const auto start = std::chrono::steady_clock::now();
+    task();
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    CALS_OBS_COUNT("pool.tasks", 1);
+    CALS_OBS_COUNT("pool.busy_ns", ns);
+    CALS_OBS_OBSERVE("pool.task_us", static_cast<double>(ns) / 1000.0);
+    if (helping) CALS_OBS_COUNT("pool.help_runs", 1);
+    return;
+  }
+#endif
+  (void)helping;
+  task();
+}
+
+}  // namespace
 
 std::uint32_t ThreadPool::hardware_threads() {
   const unsigned n = std::thread::hardware_concurrency();
@@ -12,6 +42,21 @@ std::uint32_t ThreadPool::hardware_threads() {
 
 ThreadPool::ThreadPool(std::uint32_t num_threads) {
   const std::uint32_t n = num_threads == 0 ? hardware_threads() : num_threads;
+  const std::uint32_t hw = hardware_threads();
+  if (n > hw) {
+    // Oversubscription makes parallel speedups invisible (PR 1 measured
+    // exactly this on a 1-CPU container): say so once, loudly, and record it.
+    static std::once_flag warned;
+    std::call_once(warned, [n, hw] {
+      CALS_WARN("thread pool: %u workers requested but hardware_concurrency() is %u "
+                "— oversubscribed, expect no parallel speedup",
+                n, hw);
+    });
+    CALS_OBS_COUNT("pool.oversubscribed_pools", 1);
+  }
+  // The worker count actually used, exposed for sweeps/benches (and echoed
+  // per run in FlowMetrics::threads_used).
+  CALS_OBS_GAUGE_SET("pool.workers", n);
   workers_.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i)
     workers_.emplace_back([this] { worker_loop(); });
@@ -27,10 +72,14 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  std::size_t depth;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
+    depth = queue_.size();
   }
+  CALS_OBS_GAUGE_MAX("pool.max_queue_depth", depth);
+  CALS_TRACE_COUNTER("pool.queue_depth", depth);
   work_available_.notify_one();
 }
 
@@ -42,7 +91,7 @@ bool ThreadPool::try_run_one() {
     task = std::move(queue_.front());
     queue_.pop_front();
   }
-  task();
+  run_task(task, /*helping=*/true);
   return true;
 }
 
@@ -56,7 +105,7 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    run_task(task, /*helping=*/false);
   }
 }
 

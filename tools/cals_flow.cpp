@@ -20,6 +20,10 @@
 ///   --blif-out <file>      write the mapped netlist as gate-level BLIF
 ///   --placement <file>     write the cell placement dump
 ///   --report               print the timing report and congestion map
+///   --trace <file>         record a Chrome trace_event JSON of the run
+///                          (load in chrome://tracing or Perfetto)
+///   --metrics <file>       write the obs metrics registry dump
+///   --congestion-csv <file> write the final congestion map as a CSV heatmap
 ///   --quiet                suppress the per-stage narration
 
 #include <cstdio>
@@ -38,6 +42,7 @@
 #include "route/congestion.hpp"
 #include "sop/pla_io.hpp"
 #include "timing/sta.hpp"
+#include "util/obs.hpp"
 #include "workloads/presets.hpp"
 
 using namespace cals;
@@ -58,6 +63,9 @@ struct Args {
   std::string verilog_out;
   std::string blif_out;
   std::string placement_out;
+  std::string trace_out;
+  std::string metrics_out;
+  std::string congestion_csv_out;
   bool report = false;
   bool quiet = false;
 };
@@ -97,6 +105,9 @@ Args parse(int argc, char** argv) {
     else if (std::strcmp(a, "--verilog") == 0) args.verilog_out = need(i);
     else if (std::strcmp(a, "--blif-out") == 0) args.blif_out = need(i);
     else if (std::strcmp(a, "--placement") == 0) args.placement_out = need(i);
+    else if (std::strcmp(a, "--trace") == 0) args.trace_out = need(i);
+    else if (std::strcmp(a, "--metrics") == 0) args.metrics_out = need(i);
+    else if (std::strcmp(a, "--congestion-csv") == 0) args.congestion_csv_out = need(i);
     else if (std::strcmp(a, "--report") == 0) args.report = true;
     else if (std::strcmp(a, "--quiet") == 0) args.quiet = true;
     else if (a[0] == '-') usage(argv[0]);
@@ -127,6 +138,7 @@ void save(const std::string& path, const std::string& text, bool quiet,
 
 int main(int argc, char** argv) {
   const Args args = parse(argc, argv);
+  if (!args.trace_out.empty() || !args.metrics_out.empty()) obs::set_enabled(true);
   auto say = [&](const char* fmt, auto... values) {
     if (!args.quiet) std::printf(fmt, values...);
   };
@@ -208,12 +220,15 @@ int main(int argc, char** argv) {
               run.sta.critical.start.c_str(), run.sta.critical.end.c_str(),
               run.sta.critical.arrival_ns);
 
-  if (args.report) {
-    std::printf("\n%s", timing_report(netlist, run.sta).c_str());
+  if (args.report || !args.congestion_csv_out.empty()) {
+    if (args.report) std::printf("\n%s", timing_report(netlist, run.sta).c_str());
     RoutingGrid grid(fp, options.rgrid);
     route(grid, run.binding.graph, run.placement, options.route);
-    std::printf("\ncongestion map ('X' = over capacity):\n%s",
-                CongestionMap(grid).ascii_art().c_str());
+    const CongestionMap map(grid);
+    if (args.report)
+      std::printf("\ncongestion map ('X' = over capacity):\n%s", map.ascii_art().c_str());
+    if (!args.congestion_csv_out.empty())
+      save(args.congestion_csv_out, map.to_csv(), args.quiet, "congestion CSV");
   }
 
   if (!args.verilog_out.empty())
@@ -222,5 +237,17 @@ int main(int argc, char** argv) {
     save(args.blif_out, write_mapped_blif_string(netlist, "top"), args.quiet, "BLIF");
   if (!args.placement_out.empty())
     save(args.placement_out, write_placement_string(netlist), args.quiet, "placement");
+  if (!args.trace_out.empty()) {
+    if (obs::write_chrome_trace(args.trace_out))
+      say("wrote Chrome trace to %s (load in chrome://tracing)\n", args.trace_out.c_str());
+    else
+      std::fprintf(stderr, "cannot write trace to %s\n", args.trace_out.c_str());
+  }
+  if (!args.metrics_out.empty()) {
+    if (obs::write_metrics(args.metrics_out))
+      say("wrote metrics to %s\n", args.metrics_out.c_str());
+    else
+      std::fprintf(stderr, "cannot write metrics to %s\n", args.metrics_out.c_str());
+  }
   return 0;
 }

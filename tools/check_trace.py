@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Validate a cals Chrome trace_event JSON file (as written by --trace).
+
+Checks: the document parses and has the trace_event top-level shape, event
+timestamps are monotone non-decreasing, every thread's B/E spans are balanced
+and close innermost-first, and all four flow phases appear as spans. Exit 0
+on success, 1 with a message on any violation. Used by CI (trace-validate
+job) and handy for eyeballing local runs:
+
+    ./build/bench/figure3_flow --trace trace.json
+    python3 tools/check_trace.py trace.json
+"""
+import json
+import sys
+
+REQUIRED_PHASES = {"flow.map", "flow.place", "flow.route", "flow.sta"}
+
+
+def fail(message: str) -> None:
+    print(f"check_trace: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        fail(f"usage: {sys.argv[0]} <trace.json>")
+    with open(sys.argv[1]) as f:
+        doc = json.load(f)
+
+    if "traceEvents" not in doc:
+        fail("missing traceEvents key")
+    if "displayTimeUnit" not in doc:
+        fail("missing displayTimeUnit key")
+
+    events = doc["traceEvents"]
+    stacks: dict[int, list[str]] = {}
+    seen_names: set[str] = set()
+    last_ts = -1.0
+    counted = 0
+    for e in events:
+        phase = e["ph"]
+        if phase == "M":
+            continue  # metadata: no ordering contract
+        counted += 1
+        ts, tid, name = e["ts"], e["tid"], e["name"]
+        if ts < last_ts:
+            fail(f"timestamp went backwards at {name}: {ts} < {last_ts}")
+        last_ts = ts
+        if phase == "B":
+            stacks.setdefault(tid, []).append(name)
+            seen_names.add(name)
+        elif phase == "E":
+            stack = stacks.get(tid, [])
+            if not stack:
+                fail(f"E '{name}' without open B on tid {tid}")
+            if stack[-1] != name:
+                fail(f"E '{name}' closes '{stack[-1]}' on tid {tid} (bad nesting)")
+            stack.pop()
+
+    for tid, stack in stacks.items():
+        if stack:
+            fail(f"unclosed spans on tid {tid}: {stack}")
+    missing = REQUIRED_PHASES - seen_names
+    if missing:
+        fail(f"flow phases missing from trace: {sorted(missing)}")
+    if counted == 0:
+        fail("trace contains no events")
+    print(f"check_trace: OK: {counted} events, spans balanced, "
+          f"all {len(REQUIRED_PHASES)} flow phases present")
+
+
+if __name__ == "__main__":
+    main()
