@@ -58,8 +58,9 @@ int main(int argc, char** argv) {
                 chosen.metrics.cell_area_um2, chosen.metrics.critical_path_ns,
                 chosen.metrics.crit_start.c_str(), chosen.metrics.crit_end.c_str());
   } else {
-    std::printf("did not converge: the designer would now add routing resources "
-                "(rows/layers) or resynthesize, per the paper's flow.\n");
+    std::printf("did not converge (%s): the designer would now add routing "
+                "resources (rows/layers) or resynthesize, per the paper's flow.\n",
+                result.status.to_string().c_str());
   }
 
   // Congestion-map snapshots (the artifact the flow's decision looks at).

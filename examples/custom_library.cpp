@@ -6,6 +6,7 @@
 /// Usage: custom_library [design.blif]
 
 #include <cstdio>
+#include <utility>
 
 #include "flow/baselines.hpp"
 #include "flow/flow.hpp"
@@ -89,7 +90,15 @@ void report(const char* label, const Library& lib, const BaseNetwork& net) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  BlifModel model = argc > 1 ? read_blif_file(argv[1]) : read_blif_string(kDesign);
+  // A user-supplied design is untrusted input: consume the Result and report
+  // the structured diagnostic instead of aborting (DESIGN.md §9).
+  Result<BlifModel> parsed =
+      argc > 1 ? parse_blif_file(argv[1]) : parse_blif_string(kDesign);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "custom_library: %s\n", parsed.status().to_string().c_str());
+    return 1;
+  }
+  BlifModel model = std::move(*parsed);
   model.network.compact();
   std::printf("design '%s': %zu PIs, %zu POs, %u base gates\n\n", model.name.c_str(),
               model.network.pis().size(), model.network.pos().size(),

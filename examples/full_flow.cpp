@@ -32,11 +32,21 @@ int main(int argc, char** argv) {
 
   FlowOptions options;
   options.replace_mapped = false;
+  // Guardrails (DESIGN.md §9): bound every phase so a pathological design
+  // degrades into a diagnostic instead of an unbounded run.
+  options.phase_time_budget_s = 300.0;
+  options.on_error = ErrorPolicy::kBestEffort;
   const std::vector<double> k_schedule = {0.0, 0.025, 0.05, 0.1, 0.25, 0.5};
 
   for (double k : k_schedule) {
     options.K = k;
-    const FlowRun run = context.run(options);
+    const FlowResult checked = context.run_checked(options);
+    if (!checked.ok()) {
+      std::printf("K = %g evaluation stopped after %u phase(s): %s\n", k,
+                  checked.phases_completed, checked.status.to_string().c_str());
+      return 1;
+    }
+    const FlowRun& run = checked.run;
 
     // Recreate the grid to render the congestion map for this iteration.
     RoutingGrid grid(fp, options.rgrid);

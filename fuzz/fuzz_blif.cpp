@@ -1,0 +1,15 @@
+/// libFuzzer harness for the BLIF parser: any byte sequence must produce a
+/// BlifModel or a structured Status — never a crash, abort, hang or leak.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "netlist/blif.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  const auto result = cals::parse_blif_string(text);
+  (void)result.ok();
+  return 0;
+}

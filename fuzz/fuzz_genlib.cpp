@@ -1,0 +1,16 @@
+/// libFuzzer harness for the genlib library reader (including the pattern
+/// expression grammar, whose recursion is depth-limited for exactly this
+/// reason): any byte sequence must produce a Library or a structured Status.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "library/genlib.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  const auto result = cals::parse_genlib_string(text);
+  (void)result.ok();
+  return 0;
+}

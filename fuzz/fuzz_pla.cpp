@@ -1,0 +1,16 @@
+/// libFuzzer harness for the espresso-PLA parser: any byte sequence must
+/// produce a Pla or a structured Status — never a crash, abort, hang or an
+/// attacker-controlled giant allocation (see kMaxPlaneWidth).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "sop/pla_io.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  const auto result = cals::parse_pla_string(text);
+  (void)result.ok();
+  return 0;
+}

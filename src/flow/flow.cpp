@@ -3,11 +3,23 @@
 #include <algorithm>
 
 #include "util/check.hpp"
+#include "util/faults.hpp"
 #include "util/log.hpp"
 #include "util/obs.hpp"
+#include "util/strings.hpp"
 #include "util/timer.hpp"
 
 namespace cals {
+
+const char* flow_phase_name(FlowPhase phase) {
+  switch (phase) {
+    case FlowPhase::kMap: return "map";
+    case FlowPhase::kPlace: return "place";
+    case FlowPhase::kRoute: return "route";
+    case FlowPhase::kSta: return "sta";
+  }
+  return "unknown";
+}
 
 DesignContext::DesignContext(BaseNetwork net, const Library* library, Floorplan floorplan,
                              PlaceOptions place_options)
@@ -59,14 +71,81 @@ std::shared_ptr<const MatchDatabase> DesignContext::match_database(
 }
 
 FlowRun DesignContext::run(const FlowOptions& options) const {
+  return run_impl(options, nullptr);
+}
+
+FlowResult DesignContext::run_checked(const FlowOptions& options) const {
+  FlowResult result;
+  if (options.on_error == ErrorPolicy::kBestEffort) {
+    try {
+      result.run = run_impl(options, &result);
+    } catch (const std::exception& e) {
+      // Artifacts of the failing phase are discarded (they may be half
+      // built); phases_completed still reports the progress made.
+      const std::uint32_t in_phase = std::min(result.phases_completed, kNumFlowPhases - 1);
+      result.status = Status::internal(
+          strprintf("flow: exception in %s phase: %s",
+                    flow_phase_name(static_cast<FlowPhase>(in_phase)), e.what()));
+      CALS_OBS_COUNT("flow.best_effort_failures", 1);
+    }
+  } else {
+    result.run = run_impl(options, &result);
+  }
+  return result;
+}
+
+FlowRun DesignContext::run_impl(const FlowOptions& options, FlowResult* checked) const {
   CALS_TRACE_SCOPE_ARG("flow.run", "K", options.K);
   CALS_OBS_COUNT("flow.runs", 1);
   FlowRun run;
   Timer timer;
 
+  // Fills the metric fields derivable from the phases finished so far, so
+  // budget-stopped partial runs still report consistent numbers. The full
+  // path calls it once at the end — identical assignments to the seed flow.
+  const auto fill_metrics = [&](std::uint32_t phases_done) {
+    FlowMetrics& m = run.metrics;
+    m.k_factor = options.K;
+    m.num_rows = floorplan_.num_rows();
+    m.chip_area_um2 = floorplan_.die_area();
+    if (phases_done >= 1) {
+      m.num_cells = run.map.stats.num_cells;
+      m.cell_area_um2 = run.map.stats.cell_area;
+      m.utilization_pct = 100.0 * m.cell_area_um2 / floorplan_.core_area();
+    }
+    if (phases_done >= 2) m.hpwl_um = run.placement.hpwl(run.binding.graph);
+    if (phases_done >= 3) {
+      m.routing_violations = run.route.total_overflow;
+      m.routable = run.route.routable();
+      m.wirelength_um = run.route.wirelength_um;
+    }
+    if (phases_done >= 4) {
+      m.critical_path_ns = run.sta.critical.arrival_ns;
+      m.crit_start = run.sta.critical.start;
+      m.crit_end = run.sta.critical.end;
+    }
+  };
+  // Budget guardrail, evaluated at phase boundaries (phases are never
+  // preempted): records progress and, when the finished phase overran
+  // options.phase_time_budget_s, stops the evaluation with kBudgetExceeded.
+  const auto over_budget = [&](FlowPhase phase, double seconds) -> bool {
+    if (checked == nullptr) return false;
+    checked->phases_completed = static_cast<std::uint32_t>(phase) + 1;
+    if (options.phase_time_budget_s > 0.0 && seconds > options.phase_time_budget_s) {
+      checked->status = Status::budget_exceeded(
+          strprintf("flow: %s phase took %.3fs (budget %.3fs/phase)",
+                    flow_phase_name(phase), seconds, options.phase_time_budget_s));
+      CALS_OBS_COUNT("flow.budget_stops", 1);
+      fill_metrics(checked->phases_completed);
+      return true;
+    }
+    return false;
+  };
+
   // ---- technology mapping ------------------------------------------------
   {
     CALS_TRACE_SCOPE("flow.map");
+    CALS_FAULT_POINT("flow.map");
     CoverOptions cover_options;
     cover_options.K = options.K;
     cover_options.objective = options.objective;
@@ -89,12 +168,14 @@ FlowRun DesignContext::run(const FlowOptions& options) const {
     }
   }
   run.metrics.map_seconds = timer.seconds();
+  if (over_budget(FlowPhase::kMap, run.metrics.map_seconds)) return run;
 
   // ---- placement -----------------------------------------------------------
   timer.reset();
   Timer phase_timer;
   {
     CALS_TRACE_SCOPE("flow.place");
+    CALS_FAULT_POINT("flow.place");
     run.binding = run.map.netlist.lower(floorplan_);
     if (options.replace_mapped) {
       run.placement = global_place(run.binding.graph, floorplan_, options.place);
@@ -111,43 +192,38 @@ FlowRun DesignContext::run(const FlowOptions& options) const {
     }
   }
   run.metrics.place_seconds = phase_timer.seconds();
+  if (over_budget(FlowPhase::kPlace, run.metrics.place_seconds)) return run;
 
   // ---- routing + congestion -------------------------------------------------
   phase_timer.reset();
   {
     CALS_TRACE_SCOPE("flow.route");
+    CALS_FAULT_POINT("flow.route");
     RoutingGrid grid(floorplan_, options.rgrid);
-    run.route = route(grid, run.binding.graph, run.placement, options.route);
+    RouteOptions route_options = options.route;
+    if (options.max_route_iters != 0)
+      route_options.max_rrr_iterations = options.max_route_iters;
+    run.route = route(grid, run.binding.graph, run.placement, route_options);
     const CongestionMap congestion_map(grid);
     run.congestion = congestion_map.stats();
   }
   run.metrics.route_seconds = phase_timer.seconds();
+  if (over_budget(FlowPhase::kRoute, run.metrics.route_seconds)) return run;
 
   // ---- timing -----------------------------------------------------------------
   phase_timer.reset();
   {
     CALS_TRACE_SCOPE("flow.sta");
+    CALS_FAULT_POINT("flow.sta");
     run.sta = run_sta(run.map.netlist, run.binding, run.route);
   }
   run.metrics.sta_seconds = phase_timer.seconds();
   run.metrics.pd_seconds = timer.seconds();
   debug_check_phase_accounting(run.metrics);
+  if (over_budget(FlowPhase::kSta, run.metrics.sta_seconds)) return run;
 
   // ---- metrics -----------------------------------------------------------------
-  FlowMetrics& m = run.metrics;
-  m.k_factor = options.K;
-  m.num_cells = run.map.stats.num_cells;
-  m.cell_area_um2 = run.map.stats.cell_area;
-  m.utilization_pct = 100.0 * m.cell_area_um2 / floorplan_.core_area();
-  m.routing_violations = run.route.total_overflow;
-  m.routable = run.route.routable();
-  m.wirelength_um = run.route.wirelength_um;
-  m.hpwl_um = run.placement.hpwl(run.binding.graph);
-  m.critical_path_ns = run.sta.critical.arrival_ns;
-  m.crit_start = run.sta.critical.start;
-  m.crit_end = run.sta.critical.end;
-  m.num_rows = floorplan_.num_rows();
-  m.chip_area_um2 = floorplan_.die_area();
+  fill_metrics(kNumFlowPhases);
   return run;
 }
 
@@ -171,7 +247,7 @@ FlowIterationResult congestion_aware_flow(const DesignContext& context,
     context.match_database(options.partition, options.metric, pool);
   }
 
-  std::vector<FlowRun> all(k_schedule.size());
+  std::vector<FlowResult> all(k_schedule.size());
   std::size_t evaluated = 0;  // schedule points [0, evaluated) are in `all`
 
   for (std::size_t i = 0; i < k_schedule.size(); ++i) {
@@ -189,18 +265,27 @@ FlowIterationResult congestion_aware_flow(const DesignContext& context,
           group.run([&context, &options, &k_schedule, &all, j] {
             FlowOptions point = options;
             point.K = k_schedule[j];
-            all[j] = context.run(point);
+            all[j] = context.run_checked(point);
           });
         group.wait();
       } else {
         FlowOptions point = options;
         point.K = k_schedule[i];
-        all[i] = context.run(point);
+        all[i] = context.run_checked(point);
       }
       evaluated = end;
     }
     const double k = k_schedule[i];
-    result.runs.push_back(std::move(all[i]));
+    result.runs.push_back(std::move(all[i].run));
+    if (!all[i].status.ok()) {
+      // A guarded evaluation stopped early (budget / injected fault /
+      // captured exception): its partial artifacts close the run list and
+      // the iteration degrades instead of crashing.
+      result.status = all[i].status;
+      CALS_WARN("flow: K=%g evaluation stopped: %s", k,
+                result.status.to_string().c_str());
+      return result;
+    }
     const FlowRun& run = result.runs.back();
     CALS_INFO("flow: K=%g cells=%u area=%.0f violations=%llu", k,
               run.metrics.num_cells, run.metrics.cell_area_um2,
@@ -215,6 +300,14 @@ FlowIterationResult congestion_aware_flow(const DesignContext& context,
       result.converged = true;
       break;
     }
+  }
+  if (!result.converged && !result.runs.empty()) {
+    const FlowMetrics& best = result.runs[result.chosen].metrics;
+    result.status = Status::infeasible(
+        strprintf("congestion_aware_flow: schedule exhausted without a routable "
+                  "K; best K=%g leaves %llu overflowed edges (add routing "
+                  "resources or extend the schedule)",
+                  best.k_factor, static_cast<unsigned long long>(best.routing_violations)));
   }
   return result;
 }

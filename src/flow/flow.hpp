@@ -40,9 +40,17 @@
 #include "route/congestion.hpp"
 #include "route/router.hpp"
 #include "timing/sta.hpp"
+#include "util/status.hpp"
 #include "util/thread_pool.hpp"
 
 namespace cals {
+
+/// What a guarded evaluation does with an exception thrown mid-phase (a
+/// fault injection, a captured pool-task failure, bad_alloc, ...).
+enum class ErrorPolicy : std::uint8_t {
+  kPropagate,   ///< rethrow — the legacy behavior (callers crash loudly)
+  kBestEffort,  ///< capture into FlowResult::status and return partial results
+};
 
 struct FlowOptions {
   double K = 0.0;
@@ -67,6 +75,18 @@ struct FlowOptions {
   /// calls (memoized per {partition, metric} inside DesignContext). Off =
   /// rebuild the matching front end on every run, as the seed code did.
   bool use_match_cache = true;
+  // ---- guardrails (DESIGN.md §9) — defaults reproduce the seed flow ------
+  /// Wall-clock budget per phase (map / place / route / STA), in seconds.
+  /// Checked at phase boundaries (phases are not preempted): the first phase
+  /// to finish over budget stops the evaluation with kBudgetExceeded and the
+  /// artifacts built so far. 0 = unlimited.
+  double phase_time_budget_s = 0.0;
+  /// Overrides RouteOptions::max_rrr_iterations when nonzero, so a caller
+  /// can bound a non-converging router without rebuilding route options.
+  std::uint32_t max_route_iters = 0;
+  /// Exception policy for run_checked / congestion_aware_flow. Plain run()
+  /// always propagates.
+  ErrorPolicy on_error = ErrorPolicy::kPropagate;
   PlaceOptions place;
   RouteOptions route;
   RGridOptions rgrid;
@@ -83,6 +103,23 @@ struct FlowRun {
   CongestionStats congestion;
   StaResult sta;
   FlowMetrics metrics;
+};
+
+/// The flow's phases, in execution order. `FlowResult::phases_completed`
+/// counts how many finished, so kMap..kSta double as progress markers.
+enum class FlowPhase : std::uint8_t { kMap = 0, kPlace, kRoute, kSta };
+constexpr std::uint32_t kNumFlowPhases = 4;
+const char* flow_phase_name(FlowPhase phase);
+
+/// A guarded evaluation: `run` holds whatever artifacts were built before
+/// the status turned non-OK (all of them when status.ok()). On
+/// kBudgetExceeded / kInternal, members of `run` past `phases_completed`
+/// are default-constructed — metrics from completed phases are filled.
+struct FlowResult {
+  Status status;
+  FlowRun run;
+  std::uint32_t phases_completed = 0;  ///< 0..kNumFlowPhases
+  bool ok() const { return status.ok(); }
 };
 
 /// Per-floorplan context: builds the technology-independent placement once
@@ -106,6 +143,13 @@ class DesignContext {
   /// cache and pool are internally synchronized).
   FlowRun run(const FlowOptions& options) const;
 
+  /// run() with the guardrails engaged: phase budgets are enforced at phase
+  /// boundaries and (under ErrorPolicy::kBestEffort) exceptions become
+  /// FlowResult::status instead of propagating. With default guardrail
+  /// options and no armed faults the produced FlowRun is bit-identical to
+  /// run()'s.
+  FlowResult run_checked(const FlowOptions& options) const;
+
   /// The memoized K-independent matching front end for {partition, metric}:
   /// built on first use (optionally in parallel on `pool`), then shared by
   /// every subsequent run. Thread-safe.
@@ -126,6 +170,8 @@ class DesignContext {
   std::vector<Point> node_positions_;
   double base_hpwl_ = 0.0;
 
+  FlowRun run_impl(const FlowOptions& options, FlowResult* checked) const;
+
   mutable std::mutex mutex_;
   mutable std::unique_ptr<ThreadPool> pool_;
   mutable std::map<std::pair<int, int>, std::shared_ptr<const MatchDatabase>> match_dbs_;
@@ -139,10 +185,18 @@ class DesignContext {
 /// (speculatively — points past the convergence K are extra work that the
 /// serial path would have skipped) and the serial selection is replayed, so
 /// runs/chosen/converged are identical to the serial result.
+/// `status` summarizes the iteration for callers that degrade gracefully:
+/// OK when converged; kInfeasible (with best-effort overflow diagnostics in
+/// the message) when the schedule is exhausted without a routable K;
+/// kBudgetExceeded / kInternal when a guarded evaluation stopped early —
+/// `runs` then ends with that evaluation's partial artifacts. Callers that
+/// predate the status field can keep reading runs/chosen/converged: with
+/// default guardrail options the fields are exactly the seed flow's.
 struct FlowIterationResult {
   std::vector<FlowRun> runs;
   std::size_t chosen = 0;
   bool converged = false;
+  Status status;
 };
 FlowIterationResult congestion_aware_flow(const DesignContext& context,
                                           const std::vector<double>& k_schedule,

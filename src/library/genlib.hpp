@@ -16,9 +16,19 @@
 #include <string>
 
 #include "library/library.hpp"
+#include "util/status.hpp"
 
 namespace cals {
 
+/// Parses genlib text. Malformed input — wrong directive arity, bad numbers,
+/// duplicate cells, ALT before any CELL, unparsable pattern expressions,
+/// nonsensical TECH constants — yields a `Status` with line provenance
+/// instead of aborting. The file variant annotates the status with the path.
+Result<Library> parse_genlib(std::istream& in);
+Result<Library> parse_genlib_string(const std::string& text);
+Result<Library> parse_genlib_file(const std::string& path);
+
+/// Legacy trusted-input entry points: parse_genlib + die-with-diagnostic.
 Library read_genlib(std::istream& in);
 Library read_genlib_string(const std::string& text);
 Library read_genlib_file(const std::string& path);

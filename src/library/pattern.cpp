@@ -9,11 +9,20 @@
 namespace cals {
 namespace {
 
+/// Internal control flow for parse_checked: converted to a Status at the
+/// entry point, never escapes this translation unit.
+struct PatternParseFail {
+  const char* message;
+  std::size_t pos;  // 0-based offset into the expression text
+};
+
 struct Parser {
   const std::string& text;
   std::size_t pos = 0;
   std::vector<PatternNode>& nodes;
   std::map<std::string, std::int32_t>& vars;
+
+  [[noreturn]] void fail(const char* message) { throw PatternParseFail{message, pos}; }
 
   void skip_ws() {
     while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos])) != 0)
@@ -35,25 +44,28 @@ struct Parser {
     while (pos < text.size() &&
            (std::isalnum(static_cast<unsigned char>(text[pos])) != 0 || text[pos] == '_'))
       ++pos;
-    CALS_CHECK_MSG(pos > start, "pattern: expected identifier");
+    if (pos == start) fail("pattern: expected identifier");
     return text.substr(start, pos - start);
   }
 
-  std::int32_t expr() {
+  std::int32_t expr(std::size_t depth = 0) {
+    // Pathological inputs (fuzzers, hostile genlibs) must not overflow the
+    // stack; real cell patterns are a handful of levels deep.
+    if (depth > 64) fail("pattern: nesting too deep");
     const std::string name = ident();
     if (name == "INV") {
-      CALS_CHECK_MSG(consume('('), "pattern: INV needs (");
-      const std::int32_t child = expr();
-      CALS_CHECK_MSG(consume(')'), "pattern: INV needs )");
+      if (!consume('(')) fail("pattern: INV needs (");
+      const std::int32_t child = expr(depth + 1);
+      if (!consume(')')) fail("pattern: INV needs )");
       nodes.push_back({PatternKind::kInv, child, -1, -1});
       return static_cast<std::int32_t>(nodes.size() - 1);
     }
     if (name == "NAND") {
-      CALS_CHECK_MSG(consume('('), "pattern: NAND needs (");
-      const std::int32_t left = expr();
-      CALS_CHECK_MSG(consume(','), "pattern: NAND needs ,");
-      const std::int32_t right = expr();
-      CALS_CHECK_MSG(consume(')'), "pattern: NAND needs )");
+      if (!consume('(')) fail("pattern: NAND needs (");
+      const std::int32_t left = expr(depth + 1);
+      if (!consume(',')) fail("pattern: NAND needs ,");
+      const std::int32_t right = expr(depth + 1);
+      if (!consume(')')) fail("pattern: NAND needs )");
       nodes.push_back({PatternKind::kNand2, left, right, -1});
       return static_cast<std::int32_t>(nodes.size() - 1);
     }
@@ -66,16 +78,25 @@ struct Parser {
 
 }  // namespace
 
-Pattern Pattern::parse(const std::string& text) {
+Result<Pattern> Pattern::parse_checked(const std::string& text) {
   Pattern p;
   std::map<std::string, std::int32_t> vars;
   Parser parser{text, 0, p.nodes_, vars};
-  p.root_ = parser.expr();
-  parser.skip_ws();
-  CALS_CHECK_MSG(parser.pos == text.size(), "pattern: trailing characters");
-  p.num_vars_ = static_cast<std::uint32_t>(vars.size());
-  CALS_CHECK_MSG(p.num_vars_ >= 1 && p.num_vars_ <= 6, "pattern: 1..6 variables supported");
+  try {
+    p.root_ = parser.expr();
+    parser.skip_ws();
+    if (parser.pos != text.size()) parser.fail("pattern: trailing characters");
+    p.num_vars_ = static_cast<std::uint32_t>(vars.size());
+    if (p.num_vars_ < 1 || p.num_vars_ > 6)
+      parser.fail("pattern: 1..6 variables supported");
+  } catch (const PatternParseFail& f) {
+    return Status::parse_error(f.message, 0, static_cast<std::uint32_t>(f.pos + 1));
+  }
   return p;
+}
+
+Pattern Pattern::parse(const std::string& text) {
+  return parse_checked(text).value_or_die();
 }
 
 std::uint32_t Pattern::num_gates() const {

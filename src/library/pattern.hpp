@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "util/status.hpp"
+
 namespace cals {
 
 enum class PatternKind : std::uint8_t { kVar, kInv, kNand2 };
@@ -28,8 +30,10 @@ class Pattern {
   /// Parses an expression over the grammar
   ///   expr := var | "INV(" expr ")" | "NAND(" expr "," expr ")"
   /// where var is a lowercase identifier. Pin indices are assigned in order
-  /// of first appearance (a=0, b=1, ... by convention).
+  /// of first appearance (a=0, b=1, ... by convention). Aborts on malformed
+  /// text; `parse_checked` returns a Status with the 1-based column instead.
   static Pattern parse(const std::string& text);
+  static Result<Pattern> parse_checked(const std::string& text);
 
   const std::vector<PatternNode>& nodes() const { return nodes_; }
   std::int32_t root() const { return root_; }

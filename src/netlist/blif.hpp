@@ -12,6 +12,7 @@
 #include <string>
 
 #include "netlist/base_network.hpp"
+#include "util/status.hpp"
 
 namespace cals {
 
@@ -36,8 +37,17 @@ struct BlifModel {
   std::size_t num_real_pos = 0;
 };
 
-/// Parses BLIF text. Aborts with a diagnostic on malformed input (the
-/// library is a research tool; inputs are trusted artifacts, not user data).
+/// Parses BLIF text. Malformed input — unknown directives, arity mismatches,
+/// dangling or cyclic `.names` dependencies, duplicate definitions, non-ASCII
+/// bytes, truncated files — yields a `Status` with 1-based line (and, where
+/// known, column) provenance instead of aborting. The file variant annotates
+/// the status with the path; the stream/string variants with "<blif>".
+Result<BlifModel> parse_blif(std::istream& in);
+Result<BlifModel> parse_blif_string(const std::string& text);
+Result<BlifModel> parse_blif_file(const std::string& path);
+
+/// Legacy trusted-input entry points: parse_blif + die-with-diagnostic on
+/// error. Prefer the Result<> forms for anything user-facing.
 BlifModel read_blif(std::istream& in);
 BlifModel read_blif_string(const std::string& text);
 BlifModel read_blif_file(const std::string& path);

@@ -7,6 +7,7 @@
 #include <functional>
 
 #include "util/check.hpp"
+#include "util/faults.hpp"
 #include "util/obs.hpp"
 
 namespace cals {
@@ -406,6 +407,9 @@ class Router {
     for (std::uint32_t iter = 0; iter < options_.max_rrr_iterations; ++iter) {
       const std::uint64_t overflow = total_overflow_;
       if (overflow == 0) break;
+      // Cooperative fault point: a kFail injection stops rip-up while
+      // overflow remains, forcing a non-converged (Infeasible) result.
+      if (CALS_FAULT_POINT("route.ripup")) break;
       // Hopeless-case cutoff: when demand exceeds capacity on average, extra
       // iterations only shuffle the overflow around; stop once progress
       // stalls so structurally-unroutable table rows stay cheap.

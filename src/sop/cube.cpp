@@ -5,6 +5,13 @@
 namespace cals {
 
 Cube Cube::parse(const std::string& text) {
+  Cube cube;
+  std::size_t bad_pos = 0;
+  CALS_CHECK_MSG(try_parse(text, cube, bad_pos), "cube: bad literal character");
+  return cube;
+}
+
+bool Cube::try_parse(const std::string& text, Cube& out, std::size_t& bad_pos) {
   Cube cube(static_cast<std::uint32_t>(text.size()));
   for (std::uint32_t i = 0; i < cube.size(); ++i) {
     switch (text[i]) {
@@ -13,10 +20,13 @@ Cube Cube::parse(const std::string& text) {
       case '-':
       case '~':
       case '2': cube.lits_[i] = Lit::kDash; break;
-      default: CALS_CHECK_MSG(false, "cube: bad literal character");
+      default:
+        bad_pos = i;
+        return false;
     }
   }
-  return cube;
+  out = std::move(cube);
+  return true;
 }
 
 std::uint32_t Cube::num_literals() const {

@@ -22,8 +22,12 @@ class Cube {
   /// All-dash cube (the universal cube / constant 1 product).
   explicit Cube(std::uint32_t num_inputs) : lits_(num_inputs, Lit::kDash) {}
   /// Parses an espresso-style string over {0,1,-} (also accepts '~' and '2'
-  /// as dash, which some IWLS dumps use).
+  /// as dash, which some IWLS dumps use). Aborts on a bad character.
   static Cube parse(const std::string& text);
+
+  /// Non-aborting parse: on a bad character returns false and stores its
+  /// 0-based position in `bad_pos` (for the reader's column diagnostics).
+  static bool try_parse(const std::string& text, Cube& out, std::size_t& bad_pos);
 
   std::uint32_t size() const { return static_cast<std::uint32_t>(lits_.size()); }
   Lit at(std::uint32_t i) const { return lits_[i]; }

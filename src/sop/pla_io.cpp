@@ -7,62 +7,145 @@
 #include <sstream>
 
 #include "util/check.hpp"
+#include "util/faults.hpp"
 #include "util/strings.hpp"
 
 namespace cals {
+namespace {
 
-Pla read_pla(std::istream& in) {
+/// Declared plane widths above this are treated as malformed rather than
+/// attempted: a hostile ".i 4000000000" must not become an allocation.
+constexpr std::uint32_t kMaxPlaneWidth = 1u << 20;
+
+Result<Pla> parse_pla_impl(std::istream& in) {
   Pla pla;
   bool have_i = false;
   bool have_o = false;
   std::string raw;
+  std::uint32_t lineno = 0;
   while (std::getline(in, raw)) {
+    ++lineno;
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      const auto c = static_cast<unsigned char>(raw[i]);
+      if (c >= 0x80 || (c < 0x20 && c != '\t' && c != '\r'))
+        return Status::parse_error("pla: non-ASCII byte in input", lineno,
+                                   static_cast<std::uint32_t>(i + 1));
+    }
     if (const auto hash = raw.find('#'); hash != std::string::npos) raw.erase(hash);
     const auto tokens = split_ws(raw);
     if (tokens.empty()) continue;
-    if (tokens[0] == ".i") {
-      CALS_CHECK(tokens.size() == 2);
-      pla.num_inputs = static_cast<std::uint32_t>(std::stoul(tokens[1]));
-      have_i = true;
-    } else if (tokens[0] == ".o") {
-      CALS_CHECK(tokens.size() == 2);
-      pla.num_outputs = static_cast<std::uint32_t>(std::stoul(tokens[1]));
-      pla.outputs.assign(pla.num_outputs, {});
-      have_o = true;
+    if (tokens[0] == ".i" || tokens[0] == ".o") {
+      const bool is_i = tokens[0] == ".i";
+      std::uint32_t width = 0;
+      if (tokens.size() != 2 || !parse_u32(tokens[1], width))
+        return Status::parse_error(
+            strprintf("pla: %s needs one non-negative integer", tokens[0].c_str()),
+            lineno);
+      if (width > kMaxPlaneWidth)
+        return Status::parse_error(
+            strprintf("pla: %s %u exceeds the supported plane width (%u)",
+                      tokens[0].c_str(), width, kMaxPlaneWidth),
+            lineno);
+      if (is_i ? have_i : have_o)
+        return Status::parse_error(
+            strprintf("pla: duplicate %s directive", tokens[0].c_str()), lineno);
+      if (is_i) {
+        pla.num_inputs = width;
+        have_i = true;
+      } else {
+        pla.num_outputs = width;
+        pla.outputs.assign(pla.num_outputs, {});
+        have_o = true;
+      }
     } else if (tokens[0] == ".p" || tokens[0] == ".ilb" || tokens[0] == ".ob" ||
                tokens[0] == ".type") {
       continue;  // informational
     } else if (tokens[0] == ".e" || tokens[0] == ".end") {
       break;
     } else if (tokens[0][0] == '.') {
-      CALS_CHECK_MSG(false, "pla: unsupported directive");
+      return Status::parse_error(
+          strprintf("pla: unsupported directive '%s'", tokens[0].c_str()), lineno);
     } else {
-      CALS_CHECK_MSG(have_i && have_o, "pla: cover row before .i/.o");
-      CALS_CHECK_MSG(tokens.size() == 2, "pla: cover row needs input and output plane");
-      const Cube cube = Cube::parse(tokens[0]);
-      CALS_CHECK_MSG(cube.size() == pla.num_inputs, "pla: input plane width mismatch");
+      if (!have_i || !have_o)
+        return Status::parse_error("pla: cover row before .i/.o", lineno);
+      if (tokens.size() != 2)
+        return Status::parse_error("pla: cover row needs input and output plane",
+                                   lineno);
+      Cube cube;
+      std::size_t bad_pos = 0;
+      if (!Cube::try_parse(tokens[0], cube, bad_pos))
+        return Status::parse_error(
+            strprintf("pla: bad literal character '%c' in input plane",
+                      tokens[0][bad_pos]),
+            lineno, static_cast<std::uint32_t>(bad_pos + 1));
+      if (cube.size() != pla.num_inputs)
+        return Status::parse_error(
+            strprintf("pla: input plane width mismatch (%u literals for .i %u)",
+                      cube.size(), pla.num_inputs),
+            lineno);
       const std::string& out_plane = tokens[1];
-      CALS_CHECK_MSG(out_plane.size() == pla.num_outputs, "pla: output plane width mismatch");
+      if (out_plane.size() != pla.num_outputs)
+        return Status::parse_error(
+            strprintf("pla: output plane width mismatch (%zu values for .o %u)",
+                      out_plane.size(), pla.num_outputs),
+            lineno);
       const auto row = static_cast<std::uint32_t>(pla.products.size());
       pla.products.push_back(cube);
       for (std::uint32_t o = 0; o < pla.num_outputs; ++o)
         if (out_plane[o] == '1' || out_plane[o] == '4') pla.outputs[o].push_back(row);
     }
   }
+  if (in.bad()) return Status::parse_error("pla: read failure", lineno);
+  if (!have_i || !have_o)
+    return Status::parse_error("pla: truncated input (missing .i/.o declarations)",
+                               lineno);
   for (auto& rows : pla.outputs) std::sort(rows.begin(), rows.end());
   pla.validate();
   return pla;
 }
 
-Pla read_pla_string(const std::string& text) {
+}  // namespace
+
+Result<Pla> parse_pla(std::istream& in) {
+  try {
+    CALS_FAULT_POINT("parse.pla");
+    auto result = parse_pla_impl(in);
+    if (!result.ok()) {
+      Status status = result.status();
+      if (status.file().empty()) status.with_file("<pla>");
+      return status;
+    }
+    return result;
+  } catch (const std::exception& e) {
+    return Status::internal(strprintf("pla: %s", e.what())).with_file("<pla>");
+  }
+}
+
+Result<Pla> parse_pla_string(const std::string& text) {
   std::istringstream in(text);
-  return read_pla(in);
+  return parse_pla(in);
+}
+
+Result<Pla> parse_pla_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return Status::parse_error("pla: cannot open file").with_file(path);
+  auto result = parse_pla(in);
+  if (!result.ok()) {
+    Status status = result.status();
+    status.with_file(path);
+    return status;
+  }
+  return result;
+}
+
+Pla read_pla(std::istream& in) { return parse_pla(in).value_or_die(); }
+
+Pla read_pla_string(const std::string& text) {
+  return parse_pla_string(text).value_or_die();
 }
 
 Pla read_pla_file(const std::string& path) {
-  std::ifstream in(path);
-  CALS_CHECK_MSG(in.good(), "pla: cannot open file");
-  return read_pla(in);
+  return parse_pla_file(path).value_or_die();
 }
 
 void write_pla(std::ostream& out, const Pla& pla) {

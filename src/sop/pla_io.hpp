@@ -6,6 +6,7 @@
 #include <string>
 
 #include "sop/sop.hpp"
+#include "util/status.hpp"
 
 namespace cals {
 
@@ -13,6 +14,16 @@ namespace cals {
 /// that output, '0'/'-'/'~' do not (we model on-set semantics, type fr
 /// covers are treated as on-set which matches how SIS reads these
 /// benchmarks for synthesis).
+///
+/// Malformed input — bad or oversized .i/.o declarations, cover rows before
+/// the declarations, plane-width mismatches, bad literal characters,
+/// non-ASCII bytes — yields a `Status` with line/column provenance instead
+/// of aborting. The file variant annotates the status with the path.
+Result<Pla> parse_pla(std::istream& in);
+Result<Pla> parse_pla_string(const std::string& text);
+Result<Pla> parse_pla_file(const std::string& path);
+
+/// Legacy trusted-input entry points: parse_pla + die-with-diagnostic.
 Pla read_pla(std::istream& in);
 Pla read_pla_string(const std::string& text);
 Pla read_pla_file(const std::string& path);

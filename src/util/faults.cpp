@@ -1,0 +1,188 @@
+#include "util/faults.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/obs.hpp"
+#include "util/strings.hpp"
+
+namespace cals::faults {
+namespace {
+
+struct ArmedFault {
+  FaultSpec spec;
+  std::uint64_t visits = 0;
+  std::uint64_t fires = 0;
+};
+
+struct State {
+  std::mutex mutex;
+  std::map<std::string, ArmedFault> points;
+};
+
+State& state() {
+  static State* s = new State();  // leaked: probes may run during shutdown
+  return *s;
+}
+
+/// Number of armed points, readable without the lock. -1 = CALS_FAULTS not
+/// yet parsed; probe's slow path resolves that exactly once.
+std::atomic<int> armed_count{-1};
+
+void parse_env_locked() {
+  const char* env = std::getenv("CALS_FAULTS");
+  if (env == nullptr || *env == '\0') return;
+  std::string text(env);
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find_first_of(";,", start);
+    if (end == std::string::npos) end = text.size();
+    const std::string spec = text.substr(start, end - start);
+    if (!spec.empty() && !arm_from_spec(spec))
+      std::fprintf(stderr, "CALS_FAULTS: ignoring malformed spec '%s'\n", spec.c_str());
+    start = end + 1;
+  }
+}
+
+void ensure_env_parsed() {
+  if (armed_count.load(std::memory_order_acquire) != -1) return;
+  static std::once_flag once;
+  std::call_once(once, [] {
+    // arm()/arm_from_spec() below bump armed_count from a -1 base via
+    // publish(); settle the sentinel first so their publishes are absolute.
+    {
+      std::lock_guard<std::mutex> lock(state().mutex);
+      if (armed_count.load(std::memory_order_relaxed) == -1)
+        armed_count.store(0, std::memory_order_release);
+    }
+    parse_env_locked();
+  });
+}
+
+void publish_count_locked() {
+  armed_count.store(static_cast<int>(state().points.size()), std::memory_order_release);
+}
+
+}  // namespace
+
+void arm(const std::string& point, const FaultSpec& spec) {
+  ensure_env_parsed();
+  std::lock_guard<std::mutex> lock(state().mutex);
+  state().points[point] = ArmedFault{spec, 0, 0};
+  publish_count_locked();
+}
+
+bool arm_from_spec(const std::string& text) {
+  std::string point;
+  FaultSpec spec;
+  std::size_t start = 0;
+  bool first = true;
+  while (start <= text.size()) {
+    std::size_t end = text.find(':', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string field = std::string(trim(text.substr(start, end - start)));
+    start = end + 1;
+    if (first) {
+      if (field.empty()) return false;
+      point = field;
+      first = false;
+      continue;
+    }
+    const std::size_t eq = field.find('=');
+    const std::string key = field.substr(0, eq);
+    const std::string val = eq == std::string::npos ? "" : field.substr(eq + 1);
+    std::uint32_t n = 0;
+    if (key == "after" && parse_u32(val, n)) {
+      spec.after = n;
+    } else if (key == "count" && parse_u32(val, n)) {
+      spec.count = n;
+    } else if (key == "delay_ms" && parse_u32(val, n)) {
+      spec.delay_ms = n;
+    } else if (key == "action") {
+      if (val == "throw") spec.action = Action::kThrow;
+      else if (val == "fail") spec.action = Action::kFail;
+      else if (val == "delay") spec.action = Action::kDelay;
+      else return false;
+    } else {
+      return false;
+    }
+  }
+  if (point.empty()) return false;
+  arm(point, spec);
+  return true;
+}
+
+void disarm(const std::string& point) {
+  ensure_env_parsed();
+  std::lock_guard<std::mutex> lock(state().mutex);
+  state().points.erase(point);
+  publish_count_locked();
+}
+
+void reset() {
+  ensure_env_parsed();
+  std::lock_guard<std::mutex> lock(state().mutex);
+  state().points.clear();
+  publish_count_locked();
+}
+
+std::uint64_t visits(const std::string& point) {
+  ensure_env_parsed();
+  std::lock_guard<std::mutex> lock(state().mutex);
+  const auto it = state().points.find(point);
+  return it == state().points.end() ? 0 : it->second.visits;
+}
+
+std::uint64_t fired(const std::string& point) {
+  ensure_env_parsed();
+  std::lock_guard<std::mutex> lock(state().mutex);
+  const auto it = state().points.find(point);
+  return it == state().points.end() ? 0 : it->second.fires;
+}
+
+bool probe(const char* point) {
+  const int armed = armed_count.load(std::memory_order_acquire);
+  if (armed == 0) return false;
+  if (armed == -1) {
+    ensure_env_parsed();
+    if (armed_count.load(std::memory_order_acquire) == 0) return false;
+  }
+
+  Action action;
+  std::uint32_t delay_ms;
+  {
+    std::lock_guard<std::mutex> lock(state().mutex);
+    const auto it = state().points.find(point);
+    if (it == state().points.end()) return false;
+    ArmedFault& fault = it->second;
+    ++fault.visits;
+    if (fault.visits <= fault.spec.after) return false;
+    if (fault.spec.count != 0 && fault.fires >= fault.spec.count) return false;
+    ++fault.fires;
+    action = fault.spec.action;
+    delay_ms = fault.spec.delay_ms;
+  }
+
+#if CALS_OBS_ENABLED
+  if (obs::enabled()) {
+    obs::Registry::instance().counter("faults.fired").add(1);
+    obs::Registry::instance().counter(std::string("faults.fired.") + point).add(1);
+  }
+#endif
+
+  switch (action) {
+    case Action::kThrow: throw FaultInjectedError(point);
+    case Action::kFail: return true;
+    case Action::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      return false;
+  }
+  return false;
+}
+
+}  // namespace cals::faults

@@ -1,0 +1,89 @@
+#pragma once
+/// \file faults.hpp
+/// `cals::faults` — a deterministic fault-injection harness for testing the
+/// recoverable-error layer (DESIGN.md §9).
+///
+/// Code under test declares named **probe points**:
+///
+///   if (CALS_FAULT_POINT("route.ripup")) break;   // cooperative degrade
+///   CALS_FAULT_POINT("flow.map");                 // throw-only site
+///
+/// A probe is a single relaxed atomic load when nothing is armed — safe to
+/// leave in hot paths. Tests (or the `CALS_FAULTS` environment variable) arm
+/// faults against points:
+///
+///   faults::arm("flow.route", {.action = faults::Action::kThrow, .after = 0});
+///   CALS_FAULTS="route.ripup:after=2;flow.place:action=delay:delay_ms=50"
+///
+/// Three actions cover the failure modes the flow has to survive:
+///  * `kThrow` — throws `FaultInjectedError` (derives std::runtime_error).
+///    Exercises the exception path: ThreadPool capture, `run_checked`
+///    conversion to `Status::kInternal`, parser recovery.
+///  * `kFail`  — the probe returns true; the call site degrades cooperatively
+///    (the router abandons its rip-up loop, forcing non-convergence).
+///  * `kDelay` — sleeps `delay_ms`; exercises phase-budget enforcement.
+///
+/// Every fire is counted through the `cals::obs` registry ("faults.fired"
+/// plus "faults.fired.<point>"), so a sweep can assert from the metrics dump
+/// which injections actually triggered. Arming, visiting and firing are
+/// thread-safe; visit counts are per armed point and exact.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace cals::faults {
+
+enum class Action : std::uint8_t {
+  kThrow,  ///< throw FaultInjectedError at the probe
+  kFail,   ///< probe returns true (cooperative degradation)
+  kDelay,  ///< sleep delay_ms, then behave as not-fired
+};
+
+struct FaultSpec {
+  Action action = Action::kThrow;
+  std::uint64_t after = 0;  ///< visits to skip before the first fire
+  std::uint64_t count = 1;  ///< fires before the fault exhausts (0 = unlimited)
+  std::uint32_t delay_ms = 10;  ///< sleep for kDelay
+};
+
+class FaultInjectedError : public std::runtime_error {
+ public:
+  explicit FaultInjectedError(const std::string& point)
+      : std::runtime_error("fault injected at " + point), point_(point) {}
+  const std::string& point() const { return point_; }
+
+ private:
+  std::string point_;
+};
+
+/// Arms `spec` against `point`, replacing any existing fault there.
+void arm(const std::string& point, const FaultSpec& spec);
+
+/// Arms from one "name[:after=N][:count=N][:action=throw|fail|delay]
+/// [:delay_ms=N]" spec string (the CALS_FAULTS grammar, one entry).
+/// Returns false (arming nothing) on a malformed spec.
+bool arm_from_spec(const std::string& spec);
+
+/// Removes the fault at `point` (no-op if absent).
+void disarm(const std::string& point);
+
+/// Removes every armed fault and zeroes visit counts.
+void reset();
+
+/// Visits recorded at `point` since it was armed (0 if not armed).
+std::uint64_t visits(const std::string& point);
+
+/// Times the fault at `point` has fired (0 if never / not armed).
+std::uint64_t fired(const std::string& point);
+
+/// The probe. Fast path: one relaxed load when nothing is armed. Slow path
+/// looks the point up, counts the visit, and applies the armed action.
+/// Returns true only for a firing kFail fault. First call parses CALS_FAULTS.
+bool probe(const char* point);
+
+}  // namespace cals::faults
+
+/// Named probe point; see file comment. Usable as a statement (throw/delay
+/// sites) or in a condition (cooperative sites).
+#define CALS_FAULT_POINT(name) ::cals::faults::probe(name)

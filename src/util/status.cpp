@@ -1,0 +1,39 @@
+#include "util/status.hpp"
+
+#include "util/strings.hpp"
+
+namespace cals {
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kParseError: return "parse error";
+    case ErrorCode::kInvalidNetwork: return "invalid network";
+    case ErrorCode::kInfeasible: return "infeasible";
+    case ErrorCode::kBudgetExceeded: return "budget exceeded";
+    case ErrorCode::kInternal: return "internal error";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "ok";
+  std::string out = error_code_name(code_);
+  out += ": ";
+  if (!file_.empty()) {
+    out += file_;
+    if (line_ > 0) {
+      out += strprintf(":%u", line_);
+      if (column_ > 0) out += strprintf(":%u", column_);
+    }
+    out += ": ";
+  } else if (line_ > 0) {
+    out += strprintf("line %u", line_);
+    if (column_ > 0) out += strprintf(":%u", column_);
+    out += ": ";
+  }
+  out += message_;
+  return out;
+}
+
+}  // namespace cals

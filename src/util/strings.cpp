@@ -1,7 +1,10 @@
 #include "util/strings.hpp"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 
 namespace cals {
 
@@ -41,6 +44,31 @@ std::string strprintf(const char* fmt, ...) {
   if (n > 0) std::vsnprintf(out.data(), out.size() + 1, fmt, args);
   va_end(args);
   return out;
+}
+
+bool parse_u32(std::string_view text, std::uint32_t& out) {
+  if (text.empty() || text.size() > 10) return false;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  if (value > UINT32_MAX) return false;
+  out = static_cast<std::uint32_t>(value);
+  return true;
+}
+
+bool parse_double(std::string_view text, double& out) {
+  // strtod needs a NUL terminator; tokens are short, so copy.
+  if (text.empty() || text.size() > 64) return false;
+  const std::string buf(text);
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size() || errno == ERANGE || !std::isfinite(value))
+    return false;
+  out = value;
+  return true;
 }
 
 }  // namespace cals

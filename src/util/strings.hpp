@@ -2,6 +2,7 @@
 /// \file strings.hpp
 /// Small string helpers shared by the text-format readers (BLIF, PLA, genlib).
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -19,5 +20,11 @@ bool starts_with(std::string_view text, std::string_view prefix);
 
 /// printf-style formatting into a std::string.
 std::string strprintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Strict numeric parsing for untrusted text: the whole token must be a
+/// finite number in range, else false with `out` untouched. Unlike
+/// std::stoul/stod these never throw and never accept trailing junk.
+bool parse_u32(std::string_view text, std::uint32_t& out);
+bool parse_double(std::string_view text, double& out);
 
 }  // namespace cals

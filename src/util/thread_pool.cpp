@@ -4,6 +4,7 @@
 #include <chrono>
 #include <mutex>
 
+#include "util/faults.hpp"
 #include "util/log.hpp"
 #include "util/obs.hpp"
 
@@ -109,13 +110,33 @@ void ThreadPool::worker_loop() {
   }
 }
 
+ThreadPool::TaskGroup::~TaskGroup() {
+  try {
+    wait();
+  } catch (const std::exception& e) {
+    // An exception can't leave a destructor; groups that care call wait()
+    // themselves (everything in this repo does).
+    CALS_WARN("TaskGroup: exception swallowed in destructor (call wait() to "
+              "observe it): %s",
+              e.what());
+  } catch (...) {
+    CALS_WARN("TaskGroup: non-std exception swallowed in destructor");
+  }
+}
+
 void ThreadPool::TaskGroup::run(std::function<void()> fn) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++pending_;
   }
   pool_.submit([this, fn = std::move(fn)] {
-    fn();
+    try {
+      CALS_FAULT_POINT("pool.dispatch");
+      fn();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
     std::lock_guard<std::mutex> lock(mutex_);
     if (--pending_ == 0) done_.notify_all();
   });
@@ -125,7 +146,7 @@ void ThreadPool::TaskGroup::wait() {
   for (;;) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      if (pending_ == 0) return;
+      if (pending_ == 0) break;
     }
     // Help: drain runnable work instead of blocking a core. Only sleep when
     // the queue is empty, i.e. our remaining tasks are executing elsewhere.
@@ -134,6 +155,14 @@ void ThreadPool::TaskGroup::wait() {
     done_.wait_for(lock, std::chrono::milliseconds(1),
                    [this] { return pending_ == 0; });
   }
+  // All tasks done: surface the first failure exactly once. Later wait()
+  // calls (e.g. the destructor's) see a clean group.
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::swap(error, first_error_);
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::parallel_for(ThreadPool* pool, std::size_t begin, std::size_t end,

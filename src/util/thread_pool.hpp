@@ -15,11 +15,16 @@
 ///    built on top of it partitions its writes disjointly and only reads
 ///    data published by completed tasks, so results are bit-identical to the
 ///    serial order regardless of scheduling.
+///  * Exceptions thrown inside a task never escape a worker thread (which
+///    would std::terminate the process): each TaskGroup captures the first
+///    one and rethrows it from wait(), after all of its tasks have finished
+///    — fork/join semantics match a serial loop that throws.
 
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -39,11 +44,15 @@ class ThreadPool {
   static std::uint32_t hardware_threads();
 
   /// Fork/join scope: submit with run(), then wait() exactly once. The
-  /// waiting thread executes pending pool tasks while it waits.
+  /// waiting thread executes pending pool tasks while it waits. If any task
+  /// threw, wait() rethrows the first captured exception once every task of
+  /// the group has completed (remaining tasks still run; their exceptions
+  /// are dropped). The destructor swallows an unobserved exception — call
+  /// wait() explicitly to see failures.
   class TaskGroup {
    public:
     explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
-    ~TaskGroup() { wait(); }
+    ~TaskGroup();
     TaskGroup(const TaskGroup&) = delete;
     TaskGroup& operator=(const TaskGroup&) = delete;
 
@@ -54,7 +63,8 @@ class ThreadPool {
     ThreadPool& pool_;
     std::mutex mutex_;
     std::condition_variable done_;
-    std::size_t pending_ = 0;  // guarded by mutex_
+    std::size_t pending_ = 0;          // guarded by mutex_
+    std::exception_ptr first_error_;   // guarded by mutex_
   };
 
   /// Chunked parallel loop over [begin, end): calls fn(lo, hi) for slices of

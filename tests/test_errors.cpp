@@ -1,0 +1,354 @@
+/// Tests for the recoverable-error layer (DESIGN.md §9): the Status/Result
+/// taxonomy, the malformed-input corpus (every checked-in `malformed_*` file
+/// must fail with a structured Status, never a crash), the fault-injection
+/// harness, and graceful flow degradation under injected faults.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "flow/baselines.hpp"
+#include "flow/flow.hpp"
+#include "library/corelib.hpp"
+#include "library/genlib.hpp"
+#include "netlist/blif.hpp"
+#include "sop/pla_io.hpp"
+#include "util/faults.hpp"
+#include "util/status.hpp"
+#include "workloads/plagen.hpp"
+
+namespace cals {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---- Status / Result ------------------------------------------------------
+
+TEST(Status, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.to_string(), "ok");
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  EXPECT_EQ(Status::parse_error("x").code(), ErrorCode::kParseError);
+  EXPECT_EQ(Status::invalid_network("x").code(), ErrorCode::kInvalidNetwork);
+  EXPECT_EQ(Status::infeasible("x").code(), ErrorCode::kInfeasible);
+  EXPECT_EQ(Status::budget_exceeded("x").code(), ErrorCode::kBudgetExceeded);
+  EXPECT_EQ(Status::internal("x").code(), ErrorCode::kInternal);
+  EXPECT_EQ(Status::infeasible("no fit").message(), "no fit");
+}
+
+TEST(Status, ToStringFormatsProvenance) {
+  Status s = Status::parse_error("blif: cube arity mismatch", 12, 3);
+  s.with_file("designs/a.blif");
+  EXPECT_EQ(s.to_string(), "parse error: designs/a.blif:12:3: blif: cube arity mismatch");
+  const Status no_file = Status::parse_error("pla: bad literal", 7);
+  EXPECT_EQ(no_file.to_string(), "parse error: line 7: pla: bad literal");
+}
+
+TEST(Status, ErrorCodeNamesAreStable) {
+  EXPECT_STREQ(error_code_name(ErrorCode::kOk), "ok");
+  EXPECT_STREQ(error_code_name(ErrorCode::kParseError), "parse error");
+  EXPECT_STREQ(error_code_name(ErrorCode::kInfeasible), "infeasible");
+  EXPECT_STREQ(error_code_name(ErrorCode::kBudgetExceeded), "budget exceeded");
+  EXPECT_STREQ(error_code_name(ErrorCode::kInternal), "internal error");
+}
+
+TEST(Result, ValueAndStatusPaths) {
+  Result<int> good(41);
+  EXPECT_TRUE(good.ok());
+  EXPECT_EQ(*good, 41);
+  *good += 1;
+  EXPECT_EQ(good.value(), 42);
+
+  const Result<int> bad(Status::infeasible("nope"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), ErrorCode::kInfeasible);
+}
+
+TEST(Result, ValueOrDieMovesValueOut) {
+  EXPECT_EQ(Result<std::string>(std::string("ok")).value_or_die(), "ok");
+}
+
+TEST(ResultDeath, ValueOnErrorAborts) {
+  const Result<int> bad(Status::parse_error("boom"));
+  EXPECT_DEATH((void)bad.value(), "value\\(\\) on error");
+  EXPECT_DEATH((void)Result<int>(Status::parse_error("boom")).value_or_die(), "boom");
+}
+
+// ---- malformed-input corpus ----------------------------------------------
+
+struct CorpusFormat {
+  const char* subdir;
+  Status (*parse)(const std::string& path);
+};
+
+Status parse_blif_status(const std::string& path) {
+  return parse_blif_file(path).status();
+}
+Status parse_pla_status(const std::string& path) { return parse_pla_file(path).status(); }
+Status parse_genlib_status(const std::string& path) {
+  return parse_genlib_file(path).status();
+}
+
+const CorpusFormat kFormats[] = {
+    {"blif", &parse_blif_status},
+    {"pla", &parse_pla_status},
+    {"genlib", &parse_genlib_status},
+};
+
+std::vector<fs::path> corpus_files(const char* subdir, const char* prefix) {
+  const fs::path dir = fs::path(CALS_TEST_CORPUS_DIR) / subdir;
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir))
+    if (entry.is_regular_file() && entry.path().filename().string().rfind(prefix, 0) == 0)
+      files.push_back(entry.path());
+  return files;
+}
+
+TEST(Corpus, EveryMalformedFileYieldsStructuredStatus) {
+  std::size_t total = 0;
+  std::size_t with_line = 0;
+  for (const CorpusFormat& format : kFormats) {
+    for (const fs::path& path : corpus_files(format.subdir, "malformed_")) {
+      SCOPED_TRACE(path.string());
+      const Status status = format.parse(path.string());
+      EXPECT_FALSE(status.ok());
+      EXPECT_NE(status.code(), ErrorCode::kInternal)
+          << "parsers must diagnose, not throw: " << status.to_string();
+      EXPECT_EQ(status.file(), path.string());
+      EXPECT_FALSE(status.message().empty());
+      // to_string carries the provenance a user needs to find the defect.
+      EXPECT_NE(status.to_string().find(path.filename().string()), std::string::npos);
+      if (status.line() > 0) ++with_line;
+      ++total;
+    }
+  }
+  EXPECT_GE(total, 12u) << "the malformed corpus shrank";
+  // All but the whole-file defects (cyclic dependencies, truncated input
+  // detected at EOF, ...) must point at the offending line.
+  EXPECT_GE(with_line, total - 4);
+}
+
+TEST(Corpus, SeedFilesParse) {
+  std::size_t total = 0;
+  for (const CorpusFormat& format : kFormats) {
+    for (const fs::path& path : corpus_files(format.subdir, "seed_")) {
+      SCOPED_TRACE(path.string());
+      const Status status = format.parse(path.string());
+      EXPECT_TRUE(status.ok()) << status.to_string();
+      ++total;
+    }
+  }
+  EXPECT_GE(total, 3u);
+}
+
+TEST(Corpus, MissingFileIsAStatusNotACrash) {
+  const Status status = parse_blif_file("/nonexistent/missing.blif").status();
+  EXPECT_EQ(status.code(), ErrorCode::kParseError);
+  EXPECT_NE(status.to_string().find("cannot open"), std::string::npos);
+}
+
+// ---- fault-injection harness ---------------------------------------------
+
+class FaultsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { faults::reset(); }
+  void TearDown() override { faults::reset(); }
+};
+
+TEST_F(FaultsTest, UnarmedProbeIsInert) {
+  EXPECT_FALSE(CALS_FAULT_POINT("test.point"));
+  EXPECT_EQ(faults::visits("test.point"), 0u);
+}
+
+TEST_F(FaultsTest, ThrowAfterSkipsAndExhausts) {
+  faults::FaultSpec spec;
+  spec.action = faults::Action::kThrow;
+  spec.after = 2;
+  spec.count = 1;
+  faults::arm("test.point", spec);
+  EXPECT_FALSE(CALS_FAULT_POINT("test.point"));
+  EXPECT_FALSE(CALS_FAULT_POINT("test.point"));
+  EXPECT_THROW(CALS_FAULT_POINT("test.point"), faults::FaultInjectedError);
+  // count=1: the fault is spent.
+  EXPECT_FALSE(CALS_FAULT_POINT("test.point"));
+  EXPECT_EQ(faults::visits("test.point"), 4u);
+  EXPECT_EQ(faults::fired("test.point"), 1u);
+}
+
+TEST_F(FaultsTest, FailActionReturnsTrue) {
+  faults::FaultSpec spec;
+  spec.action = faults::Action::kFail;
+  spec.count = 0;  // unlimited
+  faults::arm("test.fail", spec);
+  EXPECT_TRUE(CALS_FAULT_POINT("test.fail"));
+  EXPECT_TRUE(CALS_FAULT_POINT("test.fail"));
+  EXPECT_EQ(faults::fired("test.fail"), 2u);
+}
+
+TEST_F(FaultsTest, ArmFromSpecGrammar) {
+  EXPECT_TRUE(faults::arm_from_spec("test.spec:after=1:action=fail:count=0"));
+  EXPECT_FALSE(CALS_FAULT_POINT("test.spec"));
+  EXPECT_TRUE(CALS_FAULT_POINT("test.spec"));
+
+  EXPECT_FALSE(faults::arm_from_spec(""));
+  EXPECT_FALSE(faults::arm_from_spec("p:after=x"));
+  EXPECT_FALSE(faults::arm_from_spec("p:action=explode"));
+  EXPECT_FALSE(faults::arm_from_spec(":after=1"));
+}
+
+TEST_F(FaultsTest, DisarmStopsFiring) {
+  faults::FaultSpec spec;
+  spec.action = faults::Action::kFail;
+  spec.count = 0;
+  faults::arm("test.d", spec);
+  EXPECT_TRUE(CALS_FAULT_POINT("test.d"));
+  faults::disarm("test.d");
+  EXPECT_FALSE(CALS_FAULT_POINT("test.d"));
+}
+
+TEST_F(FaultsTest, InjectedParserFaultBecomesInternalStatus) {
+  faults::arm("parse.blif", {});
+  const auto result = parse_blif_string(".model t\n.inputs a\n.outputs y\n.names a y\n1 1\n.end\n");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kInternal);
+  EXPECT_NE(result.status().message().find("fault injected"), std::string::npos);
+  faults::reset();
+  EXPECT_TRUE(parse_blif_string(".model t\n.inputs a\n.outputs y\n.names a y\n1 1\n.end\n").ok());
+}
+
+// ---- graceful flow degradation -------------------------------------------
+
+Pla degradation_pla(std::uint64_t seed = 21) {
+  PlaGenSpec spec;
+  spec.num_inputs = 10;
+  spec.num_outputs = 6;
+  spec.num_products = 80;
+  spec.care_probability = 0.45;
+  spec.outputs_per_product = 2.0;
+  spec.seed = seed;
+  return generate_pla(spec);
+}
+
+struct DegradationRig {
+  Library lib = lib::make_corelib();
+  BaseNetwork net;
+  Floorplan fp;
+  DesignContext context;
+
+  explicit DegradationRig(double util = 0.55)
+      : net(synthesize_base(degradation_pla())),
+        fp(Floorplan::for_cell_area(net.num_base_gates() * 5.4, util, lib.tech())),
+        context(net, &lib, fp) {}
+};
+
+class FlowDegradationTest : public FaultsTest {};
+
+TEST_F(FlowDegradationTest, DefaultGuardrailsMatchPlainRun) {
+  const DegradationRig rig;
+  FlowOptions options;
+  options.replace_mapped = false;
+  const FlowRun plain = rig.context.run(options);
+  const FlowResult checked = rig.context.run_checked(options);
+  ASSERT_TRUE(checked.ok());
+  EXPECT_EQ(checked.phases_completed, kNumFlowPhases);
+  EXPECT_EQ(plain.metrics.num_cells, checked.run.metrics.num_cells);
+  EXPECT_EQ(plain.metrics.routing_violations, checked.run.metrics.routing_violations);
+  EXPECT_EQ(plain.metrics.wirelength_um, checked.run.metrics.wirelength_um);
+  EXPECT_EQ(plain.metrics.critical_path_ns, checked.run.metrics.critical_path_ns);
+}
+
+TEST_F(FlowDegradationTest, RouterNonConvergenceYieldsInfeasible) {
+  // Starve routing supply (scarce tracks guarantee pattern-pass overflow)
+  // and abandon rip-up at the first iteration: overflow cannot clear, so the
+  // K schedule must exhaust and the iteration must report kInfeasible
+  // instead of pretending success.
+  const DegradationRig rig;
+  faults::FaultSpec spec;
+  spec.action = faults::Action::kFail;
+  spec.count = 0;
+  faults::arm("route.ripup", spec);
+
+  FlowOptions options;
+  options.replace_mapped = false;
+  options.num_threads = 1;
+  options.rgrid.capacity_scale = 0.5;
+  const FlowIterationResult result =
+      congestion_aware_flow(rig.context, {0.0, 0.05}, options);
+  ASSERT_FALSE(result.runs.empty());
+  EXPECT_FALSE(result.converged);
+  EXPECT_FALSE(result.status.ok());
+  EXPECT_EQ(result.status.code(), ErrorCode::kInfeasible);
+  EXPECT_NE(result.status.message().find("overflowed"), std::string::npos);
+  EXPECT_GT(faults::fired("route.ripup"), 0u);
+}
+
+TEST_F(FlowDegradationTest, SlowPhaseTripsBudget) {
+  const DegradationRig rig;
+  faults::FaultSpec spec;
+  spec.action = faults::Action::kDelay;
+  spec.delay_ms = 400;
+  faults::arm("flow.place", spec);
+
+  FlowOptions options;
+  options.replace_mapped = false;
+  options.num_threads = 1;
+  options.phase_time_budget_s = 0.12;  // map fits; the 400 ms delay does not
+  const FlowResult result = rig.context.run_checked(options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status.code(), ErrorCode::kBudgetExceeded);
+  EXPECT_EQ(result.phases_completed, 2u);  // map + the overrunning place
+  EXPECT_NE(result.status.message().find("place"), std::string::npos);
+  // Completed phases still report their metrics.
+  EXPECT_GT(result.run.metrics.num_cells, 0u);
+  EXPECT_GT(result.run.metrics.map_seconds, 0.0);
+}
+
+TEST_F(FlowDegradationTest, ThrownFaultBecomesInternalUnderBestEffort) {
+  const DegradationRig rig;
+  faults::arm("flow.route", {});  // kThrow at the route phase
+
+  FlowOptions options;
+  options.replace_mapped = false;
+  options.num_threads = 1;
+  options.on_error = ErrorPolicy::kBestEffort;
+  const FlowResult result = rig.context.run_checked(options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status.code(), ErrorCode::kInternal);
+  EXPECT_EQ(result.phases_completed, 2u);  // map and place finished
+  EXPECT_NE(result.status.message().find("route"), std::string::npos);
+  EXPECT_NE(result.status.message().find("fault injected"), std::string::npos);
+}
+
+TEST_F(FlowDegradationTest, ThrownFaultPropagatesByDefault) {
+  const DegradationRig rig;
+  faults::arm("flow.map", {});
+  FlowOptions options;
+  options.replace_mapped = false;
+  options.num_threads = 1;
+  EXPECT_THROW((void)rig.context.run_checked(options), faults::FaultInjectedError);
+}
+
+TEST_F(FlowDegradationTest, MaxRouteItersBoundsTheRouter) {
+  const DegradationRig rig;
+  FlowOptions options;
+  options.replace_mapped = false;
+  options.num_threads = 1;
+  options.rgrid.capacity_scale = 0.5;  // force overflow so RRR would iterate
+  const FlowResult unbounded = rig.context.run_checked(options);
+  ASSERT_TRUE(unbounded.ok());
+  EXPECT_GT(unbounded.run.route.rrr_iterations, 1u);
+
+  options.max_route_iters = 1;
+  const FlowResult result = rig.context.run_checked(options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result.run.route.rrr_iterations, 1u);
+}
+
+}  // namespace
+}  // namespace cals

@@ -24,7 +24,13 @@
 ///                          (load in chrome://tracing or Perfetto)
 ///   --metrics <file>       write the obs metrics registry dump
 ///   --congestion-csv <file> write the final congestion map as a CSV heatmap
+///   --threads <n>          worker threads (0 = hardware concurrency)
+///   --max-route-iters <n>  cap the router's rip-up-and-reroute iterations
+///   --time-budget <sec>    per-phase wall-clock budget (degrade, don't hang)
 ///   --quiet                suppress the per-stage narration
+///
+/// Exit codes: 0 success, 1 bad input / failed flow, 2 usage error. Malformed
+/// inputs and flow failures produce a one-line diagnostic, never an abort.
 
 #include <cstdio>
 #include <cstdlib>
@@ -43,6 +49,8 @@
 #include "sop/pla_io.hpp"
 #include "timing/sta.hpp"
 #include "util/obs.hpp"
+#include "util/status.hpp"
+#include "util/strings.hpp"
 #include "workloads/presets.hpp"
 
 using namespace cals;
@@ -66,11 +74,17 @@ struct Args {
   std::string trace_out;
   std::string metrics_out;
   std::string congestion_csv_out;
+  std::uint32_t threads = 0;
+  std::uint32_t max_route_iters = 0;
+  double time_budget_s = 0.0;
   bool report = false;
   bool quiet = false;
 };
 
-[[noreturn]] void usage(const char* argv0) {
+/// One-line diagnostic (when given) + usage synopsis, exit 2. Every argv
+/// problem funnels here — a bad command line is never an abort or a crash.
+[[noreturn]] void usage(const char* argv0, const std::string& why = {}) {
+  if (!why.empty()) std::fprintf(stderr, "%s: %s\n", argv0, why.c_str());
   std::fprintf(stderr, "usage: %s [options] <design.pla|design.blif>\n", argv0);
   std::fprintf(stderr, "run with the source header's option list for details\n");
   std::exit(2);
@@ -79,29 +93,54 @@ struct Args {
 Args parse(int argc, char** argv) {
   Args args;
   auto need = [&](int& i) -> const char* {
-    if (i + 1 >= argc) usage(argv[0]);
+    if (i + 1 >= argc)
+      usage(argv[0], std::string("option '") + argv[i] + "' needs a value");
     return argv[++i];
+  };
+  // Strict numeric parsing: "--k 0.1x", "--rows -3" or "--threads 1e9" are
+  // usage errors with the offending token named, not silent atoi truncation.
+  auto need_u32 = [&](int& i) -> std::uint32_t {
+    const char* flag = argv[i];
+    const char* text = need(i);
+    std::uint32_t value = 0;
+    if (!parse_u32(text, value))
+      usage(argv[0], std::string("option '") + flag + "': '" + text +
+                         "' is not an unsigned integer");
+    return value;
+  };
+  auto need_double = [&](int& i, double lo, double hi) -> double {
+    const char* flag = argv[i];
+    const char* text = need(i);
+    double value = 0.0;
+    if (!parse_double(text, value) || value < lo || value > hi)
+      usage(argv[0], strprintf("option '%s': '%s' is not a number in [%g, %g]",
+                               flag, text, lo, hi));
+    return value;
   };
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
-    if (std::strcmp(a, "--k") == 0) args.k = std::atof(need(i));
-    else if (std::strcmp(a, "--rows") == 0) args.rows = std::atoi(need(i));
-    else if (std::strcmp(a, "--util") == 0) args.util = std::atof(need(i));
+    if (std::strcmp(a, "--k") == 0) args.k = need_double(i, 0.0, 1e3);
+    else if (std::strcmp(a, "--rows") == 0) args.rows = need_u32(i);
+    else if (std::strcmp(a, "--util") == 0) args.util = need_double(i, 1e-3, 1.0);
     else if (std::strcmp(a, "--library") == 0) args.library_file = need(i);
     else if (std::strcmp(a, "--partition") == 0) {
       const std::string p = need(i);
       if (p == "dagon") args.partition = PartitionStrategy::kDagon;
       else if (p == "cones") args.partition = PartitionStrategy::kCones;
       else if (p == "pdp") args.partition = PartitionStrategy::kPlacementDriven;
-      else usage(argv[0]);
+      else usage(argv[0], "unknown partition '" + p + "' (dagon | cones | pdp)");
     } else if (std::strcmp(a, "--objective") == 0) {
       const std::string o = need(i);
       if (o == "area") args.objective = MapObjective::kArea;
       else if (o == "delay") args.objective = MapObjective::kDelay;
-      else usage(argv[0]);
+      else usage(argv[0], "unknown objective '" + o + "' (area | delay)");
     } else if (std::strcmp(a, "--sis") == 0) args.sis = true;
-    else if (std::strcmp(a, "--buffer") == 0) args.buffer_fanout = std::atoi(need(i));
-    else if (std::strcmp(a, "--refine") == 0) args.refine = std::atoi(need(i));
+    else if (std::strcmp(a, "--buffer") == 0) args.buffer_fanout = need_u32(i);
+    else if (std::strcmp(a, "--refine") == 0) args.refine = need_u32(i);
+    else if (std::strcmp(a, "--threads") == 0) args.threads = need_u32(i);
+    else if (std::strcmp(a, "--max-route-iters") == 0) args.max_route_iters = need_u32(i);
+    else if (std::strcmp(a, "--time-budget") == 0)
+      args.time_budget_s = need_double(i, 1e-6, 1e6);
     else if (std::strcmp(a, "--verilog") == 0) args.verilog_out = need(i);
     else if (std::strcmp(a, "--blif-out") == 0) args.blif_out = need(i);
     else if (std::strcmp(a, "--placement") == 0) args.placement_out = need(i);
@@ -110,11 +149,11 @@ Args parse(int argc, char** argv) {
     else if (std::strcmp(a, "--congestion-csv") == 0) args.congestion_csv_out = need(i);
     else if (std::strcmp(a, "--report") == 0) args.report = true;
     else if (std::strcmp(a, "--quiet") == 0) args.quiet = true;
-    else if (a[0] == '-') usage(argv[0]);
+    else if (a[0] == '-') usage(argv[0], std::string("unknown option '") + a + "'");
     else if (args.design.empty()) args.design = a;
-    else usage(argv[0]);
+    else usage(argv[0], std::string("unexpected extra argument '") + a + "'");
   }
-  if (args.design.empty()) usage(argv[0]);
+  if (args.design.empty()) usage(argv[0], "no design file given");
   return args;
 }
 
@@ -134,35 +173,44 @@ void save(const std::string& path, const std::string& text, bool quiet,
   if (!quiet) std::printf("wrote %s to %s\n", what, path.c_str());
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const Args args = parse(argc, argv);
+/// The flow proper, separated from main() so the top-level catch can turn
+/// any escaped exception into a one-line diagnostic + exit 1.
+int run_flow(const Args& args) {
   if (!args.trace_out.empty() || !args.metrics_out.empty()) obs::set_enabled(true);
   auto say = [&](const char* fmt, auto... values) {
     if (!args.quiet) std::printf(fmt, values...);
+  };
+  auto fail = [&](const Status& status) -> int {
+    std::fprintf(stderr, "cals_flow: %s\n", status.to_string().c_str());
+    return 1;
   };
 
   // ---- frontend -----------------------------------------------------------
   BaseNetwork net;
   if (ends_with(args.design, ".blif")) {
-    BlifModel model = read_blif_file(args.design);
-    net = std::move(model.network);
+    Result<BlifModel> model = parse_blif_file(args.design);
+    if (!model.ok()) return fail(model.status());
+    net = std::move(model->network);
     net.compact();
     if (args.sis)
       std::fprintf(stderr, "note: --sis only applies to PLA inputs; ignored\n");
   } else {
-    const Pla pla = read_pla_file(args.design);
+    const Result<Pla> pla = parse_pla_file(args.design);
+    if (!pla.ok()) return fail(pla.status());
     SynthesisStats stats;
-    net = args.sis ? synthesize_sis_mode(pla, &stats, workloads::sis_extract_options())
-                   : synthesize_base(pla, &stats);
+    net = args.sis ? synthesize_sis_mode(*pla, &stats, workloads::sis_extract_options())
+                   : synthesize_base(*pla, &stats);
   }
   say("design: %zu PIs, %zu POs, %u base gates\n", net.pis().size(), net.pos().size(),
       net.num_base_gates());
 
   // ---- library + floorplan ---------------------------------------------------
-  const Library lib = args.library_file.empty() ? lib::make_corelib()
-                                                : read_genlib_file(args.library_file);
+  Library lib = lib::make_corelib();
+  if (!args.library_file.empty()) {
+    Result<Library> parsed = parse_genlib_file(args.library_file);
+    if (!parsed.ok()) return fail(parsed.status());
+    lib = std::move(*parsed);
+  }
   const Floorplan fp =
       args.rows > 0
           ? Floorplan::square_with_rows(args.rows, lib.tech())
@@ -177,16 +225,27 @@ int main(int argc, char** argv) {
   options.objective = args.objective;
   options.replace_mapped = false;
   options.refine_passes = args.refine;
+  options.num_threads = args.threads;
+  options.max_route_iters = args.max_route_iters;
+  options.phase_time_budget_s = args.time_budget_s;
+  options.on_error = ErrorPolicy::kBestEffort;
 
   // ---- mapping: fixed K or Fig. 3 search --------------------------------------
   FlowRun run;
   if (args.k >= 0.0) {
     options.K = args.k;
-    run = context.run(options);
+    FlowResult checked = context.run_checked(options);
+    if (!checked.ok()) return fail(checked.status);
+    run = std::move(checked.run);
   } else {
-    const FlowIterationResult search =
+    FlowIterationResult search =
         congestion_aware_flow(context, {0.0, 0.025, 0.05, 0.1, 0.25, 0.5}, options);
-    run = search.runs[search.chosen];
+    // kInfeasible just means no K converged — report the best run anyway, as
+    // the paper's designer would (then add routing resources). Anything else
+    // (budget, injected fault, captured exception) is a failed run.
+    if (!search.status.ok() && search.status.code() != ErrorCode::kInfeasible)
+      return fail(search.status);
+    run = std::move(search.runs[search.chosen]);
     say("auto K search: %zu iteration(s), chose K = %g%s\n", search.runs.size(),
         run.metrics.k_factor, search.converged ? "" : " (did NOT converge)");
     options.K = run.metrics.k_factor;
@@ -250,4 +309,19 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot write metrics to %s\n", args.metrics_out.c_str());
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  try {
+    return run_flow(args);
+  } catch (const std::exception& e) {
+    // Invariant violations still abort in check_fail (on purpose); anything
+    // thrown — bad_alloc, injected faults, pool-task failures — degrades to
+    // a diagnostic and a nonzero exit.
+    std::fprintf(stderr, "cals_flow: internal error: %s\n", e.what());
+    return 1;
+  }
 }
