@@ -1,0 +1,243 @@
+/// BM_ServeThroughput — batch service throughput (DESIGN.md §10).
+///
+/// Drives a cals::svc::FlowService the way cals_serve does, without the
+/// spool in the way, and reports:
+///   * cold throughput: N distinct jobs through J dispatchers — jobs/sec and
+///     the p50/p95 job latency (queue wait + execution, service-measured);
+///   * warm resubmission: the same N jobs against the now-populated result
+///     cache — every record must be a cache hit with bit-identical metrics,
+///     and the acceptance bar is warm >= 10x cold;
+///   * a duplicate burst: one spec submitted B times concurrently must
+///     execute exactly once (coalescing).
+///
+/// Usage: serve_throughput [--jobs N] [--parallel J] [--burst B]
+///                         [--json BENCH_serve.json] [--trace/--metrics ...]
+/// CALS_SCALE shrinks the designs as everywhere else; the committed
+/// BENCH_serve.json baseline is produced with CALS_SCALE=0.1.
+
+#include <algorithm>
+#include <filesystem>
+#include <vector>
+
+#include "common.hpp"
+#include "sop/pla_io.hpp"
+#include "svc/job.hpp"
+#include "svc/result_cache.hpp"
+#include "svc/service.hpp"
+#include "util/timer.hpp"
+
+namespace cals::bench {
+namespace {
+
+namespace fs = std::filesystem;
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  std::sort(sorted.begin(), sorted.end());
+  const auto idx = static_cast<std::size_t>(p * (sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+/// N distinct, cache-keyed jobs: both presets across a K spread.
+std::vector<svc::JobSpec> make_jobs(std::size_t n) {
+  const std::string spla = write_pla_string(workloads::spla_like(scale()));
+  const std::string pdc = write_pla_string(workloads::pdc_like(scale()));
+  std::vector<svc::JobSpec> jobs;
+  jobs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    svc::JobSpec spec;
+    spec.format = svc::DesignFormat::kPla;
+    spec.design_text = i % 2 == 0 ? spla : pdc;
+    spec.name = strprintf("%s-%zu", i % 2 == 0 ? "spla" : "pdc", i);
+    spec.options = table_flow_options(0.01 * (1 + i / 2));  // distinct keys
+    spec.options.on_error = ErrorPolicy::kBestEffort;
+    jobs.push_back(std::move(spec));
+  }
+  return jobs;
+}
+
+struct PassResult {
+  double wall_s = 0.0;
+  double jobs_per_s = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t flow_executions = 0;
+  std::uint64_t failed = 0;
+  std::vector<FlowMetrics> metrics;  // submission order
+};
+
+PassResult run_pass(const std::vector<svc::JobSpec>& jobs, std::uint32_t parallel,
+                    svc::ResultCache* cache) {
+  svc::ServiceOptions options;
+  options.max_parallel_jobs = parallel;
+  options.queue_capacity = jobs.size();
+  options.cache = cache;
+  svc::FlowService service(options);
+
+  PassResult result;
+  Timer timer;
+  std::vector<svc::JobId> ids;
+  ids.reserve(jobs.size());
+  for (const svc::JobSpec& spec : jobs) ids.push_back(*service.submit(spec));
+  service.drain();
+  result.wall_s = timer.seconds();
+
+  std::vector<double> latencies;
+  latencies.reserve(ids.size());
+  for (const svc::JobId id : ids) {
+    const svc::JobRecord record = service.wait(id);
+    if (record.state != svc::JobState::kDone) {
+      ++result.failed;
+      continue;
+    }
+    latencies.push_back(
+        (record.outcome.queue_seconds + record.outcome.exec_seconds) * 1e3);
+    result.metrics.push_back(record.outcome.metrics);
+  }
+  result.jobs_per_s = result.wall_s > 0.0 ? ids.size() / result.wall_s : 0.0;
+  result.p50_ms = percentile(latencies, 0.50);
+  result.p95_ms = percentile(latencies, 0.95);
+  result.cache_hits = service.stats().cache_hits;
+  result.flow_executions = service.stats().flow_executions;
+  return result;
+}
+
+bool metrics_identical(const FlowMetrics& a, const FlowMetrics& b) {
+  return a.num_cells == b.num_cells && a.cell_area_um2 == b.cell_area_um2 &&
+         a.wirelength_um == b.wirelength_um && a.hpwl_um == b.hpwl_um &&
+         a.critical_path_ns == b.critical_path_ns &&
+         a.routing_violations == b.routing_violations &&
+         a.num_rows == b.num_rows && a.chip_area_um2 == b.chip_area_um2;
+}
+
+int run(int argc, char** argv) {
+  std::size_t num_jobs = 16;
+  std::uint32_t parallel = 4;
+  std::size_t burst = 8;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
+    if (a == "--jobs") num_jobs = std::strtoul(next(), nullptr, 10);
+    else if (a == "--parallel") parallel = std::strtoul(next(), nullptr, 10);
+    else if (a == "--burst") burst = std::strtoul(next(), nullptr, 10);
+    else if (a == "--json") json_path = next();
+  }
+  num_jobs = std::max<std::size_t>(num_jobs, 2);
+  parallel = std::max(parallel, 1u);
+
+  print_header("BM_ServeThroughput: batch service throughput + result cache");
+  std::printf("%zu jobs, %u dispatchers x %u threads each\n", num_jobs, parallel,
+              svc::FlowService({ .max_parallel_jobs = parallel }).threads_per_job());
+
+  const fs::path cache_dir =
+      fs::temp_directory_path() / "cals_bench_serve_cache";
+  fs::remove_all(cache_dir);
+  const std::vector<svc::JobSpec> jobs = make_jobs(num_jobs);
+
+  // ---- cold: every job executes the flow -----------------------------------
+  svc::ResultCache cache(cache_dir.string());
+  const PassResult cold = run_pass(jobs, parallel, &cache);
+  std::printf("cold:  %6.2f jobs/s  wall %.3fs  p50 %.1f ms  p95 %.1f ms  "
+              "(%llu flows, %llu failed)\n",
+              cold.jobs_per_s, cold.wall_s, cold.p50_ms, cold.p95_ms,
+              static_cast<unsigned long long>(cold.flow_executions),
+              static_cast<unsigned long long>(cold.failed));
+
+  // ---- warm: same jobs, populated cache ------------------------------------
+  const PassResult warm = run_pass(jobs, parallel, &cache);
+  const double speedup = warm.wall_s > 0.0 ? cold.wall_s / warm.wall_s : 0.0;
+  std::printf("warm:  %6.2f jobs/s  wall %.3fs  p50 %.1f ms  p95 %.1f ms  "
+              "(%llu cache hits)  speedup %.1fx\n",
+              warm.jobs_per_s, warm.wall_s, warm.p50_ms, warm.p95_ms,
+              static_cast<unsigned long long>(warm.cache_hits), speedup);
+
+  bool identical = cold.metrics.size() == warm.metrics.size();
+  for (std::size_t i = 0; identical && i < cold.metrics.size(); ++i)
+    identical = metrics_identical(cold.metrics[i], warm.metrics[i]);
+
+  // ---- burst: duplicates coalesce to one execution -------------------------
+  svc::ServiceOptions burst_options;
+  burst_options.max_parallel_jobs = parallel;
+  burst_options.start_paused = true;
+  svc::FlowService burst_service(burst_options);
+  svc::JobSpec dup = jobs[0];
+  dup.options.K = 0.33;  // not in the cold/warm set
+  std::vector<svc::JobId> burst_ids;
+  for (std::size_t i = 0; i < burst; ++i)
+    burst_ids.push_back(*burst_service.submit(dup));
+  Timer burst_timer;
+  burst_service.resume();
+  burst_service.drain();
+  const double burst_s = burst_timer.seconds();
+  const std::uint64_t burst_flows = burst_service.stats().flow_executions;
+  std::printf("burst: %zu duplicate submissions -> %llu flow execution(s) in %.3fs\n",
+              burst, static_cast<unsigned long long>(burst_flows), burst_s);
+
+  // ---- acceptance ----------------------------------------------------------
+  const bool ok_failures = cold.failed == 0 && warm.failed == 0;
+  const bool ok_cache = warm.cache_hits == num_jobs && warm.flow_executions == 0;
+  const bool ok_speedup = speedup >= 10.0;
+  const bool ok_burst = burst_flows == 1;
+  std::printf("\nacceptance:\n");
+  std::printf("  [%s] %u concurrent jobs, zero failures\n",
+              ok_failures ? "pass" : "FAIL", parallel);
+  std::printf("  [%s] warm pass fully cache-served (%llu/%zu hits)\n",
+              ok_cache ? "pass" : "FAIL",
+              static_cast<unsigned long long>(warm.cache_hits), num_jobs);
+  std::printf("  [%s] warm >= 10x cold (%.1fx)\n", ok_speedup ? "pass" : "FAIL",
+              speedup);
+  std::printf("  [%s] warm metrics bit-identical to cold\n",
+              identical ? "pass" : "FAIL");
+  std::printf("  [%s] duplicate burst coalesced to one execution\n",
+              ok_burst ? "pass" : "FAIL");
+
+  if (!json_path.empty()) {
+    FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    } else {
+      std::fprintf(out,
+          "{\n"
+          "  \"description\": \"cals::svc batch service (PR 5): "
+          "bench/serve_throughput (BM_ServeThroughput) on mixed spla/pdc-like "
+          "presets (CALS_SCALE baked at 0.1), single-core container, Release "
+          "-O2. %zu distinct jobs through %u dispatchers; 'warm' resubmits the "
+          "same jobs against the populated on-disk result cache.\",\n"
+          "  \"unit\": \"ms\",\n"
+          "  \"cold\": {\"jobs_per_s\": %.2f, \"wall_s\": %.3f, \"p50_ms\": %.1f, "
+          "\"p95_ms\": %.1f, \"flow_executions\": %llu},\n"
+          "  \"warm\": {\"jobs_per_s\": %.2f, \"wall_s\": %.3f, \"p50_ms\": %.1f, "
+          "\"p95_ms\": %.1f, \"cache_hits\": %llu, \"flow_executions\": %llu},\n"
+          "  \"warm_speedup\": %.1f,\n"
+          "  \"burst\": {\"submissions\": %zu, \"flow_executions\": %llu, "
+          "\"wall_s\": %.3f},\n"
+          "  \"acceptance\": \"%u concurrent jobs zero failures: %s; warm >= 10x "
+          "cold: %s (%.1fx); warm metrics bit-identical: %s; burst coalesced: "
+          "%s\"\n"
+          "}\n",
+          num_jobs, parallel, cold.jobs_per_s, cold.wall_s, cold.p50_ms,
+          cold.p95_ms, static_cast<unsigned long long>(cold.flow_executions),
+          warm.jobs_per_s, warm.wall_s, warm.p50_ms, warm.p95_ms,
+          static_cast<unsigned long long>(warm.cache_hits),
+          static_cast<unsigned long long>(warm.flow_executions), speedup, burst,
+          static_cast<unsigned long long>(burst_flows), burst_s, parallel,
+          ok_failures ? "pass" : "FAIL", ok_speedup ? "pass" : "FAIL", speedup,
+          identical ? "pass" : "FAIL", ok_burst ? "pass" : "FAIL");
+      std::fclose(out);
+      std::printf("\nwrote %s\n", json_path.c_str());
+    }
+  }
+
+  fs::remove_all(cache_dir);
+  return ok_failures && ok_cache && ok_speedup && identical && ok_burst ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace cals::bench
+
+int main(int argc, char** argv) {
+  cals::bench::ObsSession obs(argc, argv);
+  return cals::bench::run(argc, argv);
+}

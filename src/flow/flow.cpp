@@ -1,6 +1,7 @@
 #include "flow/flow.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "util/check.hpp"
 #include "util/faults.hpp"
@@ -10,6 +11,31 @@
 #include "util/timer.hpp"
 
 namespace cals {
+namespace {
+
+/// Library-wide count of run_impl() calls in progress, so num_threads=0
+/// resolves to a fair share instead of hardware_concurrency per caller
+/// (the J-jobs-x-T-threads oversubscription fix; see recommended_threads).
+std::atomic<std::uint32_t> g_flows_in_flight{0};
+
+struct FlowInFlight {
+  FlowInFlight() { g_flows_in_flight.fetch_add(1, std::memory_order_relaxed); }
+  ~FlowInFlight() { g_flows_in_flight.fetch_sub(1, std::memory_order_relaxed); }
+};
+
+/// FlowOptions::num_threads -> actual worker count: explicit values pass
+/// through, 0 becomes this process's fair share right now. Callers that are
+/// themselves one of the in-flight flows count at least 1.
+std::uint32_t resolve_num_threads(std::uint32_t num_threads) {
+  if (num_threads != 0) return num_threads;
+  return recommended_threads(std::max(1u, flows_in_flight()));
+}
+
+}  // namespace
+
+std::uint32_t flows_in_flight() {
+  return g_flows_in_flight.load(std::memory_order_relaxed);
+}
 
 const char* flow_phase_name(FlowPhase phase) {
   switch (phase) {
@@ -41,8 +67,7 @@ DesignContext::DesignContext(BaseNetwork net, const Library* library, Floorplan 
 }
 
 ThreadPool* DesignContext::pool(std::uint32_t num_threads) const {
-  const std::uint32_t resolved =
-      num_threads == 0 ? ThreadPool::hardware_threads() : num_threads;
+  const std::uint32_t resolved = resolve_num_threads(num_threads);
   if (resolved <= 1) return nullptr;
   std::lock_guard<std::mutex> lock(mutex_);
   if (!pool_) pool_ = std::make_unique<ThreadPool>(resolved);
@@ -95,6 +120,7 @@ FlowResult DesignContext::run_checked(const FlowOptions& options) const {
 }
 
 FlowRun DesignContext::run_impl(const FlowOptions& options, FlowResult* checked) const {
+  const FlowInFlight in_flight;
   CALS_TRACE_SCOPE_ARG("flow.run", "K", options.K);
   CALS_OBS_COUNT("flow.runs", 1);
   FlowRun run;
@@ -237,10 +263,7 @@ FlowIterationResult congestion_aware_flow(const DesignContext& context,
 
   ThreadPool* pool = context.pool(options.num_threads);
   const std::size_t window =
-      pool == nullptr
-          ? 1
-          : (options.num_threads == 0 ? ThreadPool::hardware_threads()
-                                      : options.num_threads);
+      pool == nullptr ? 1 : resolve_num_threads(options.num_threads);
   if (pool != nullptr && k_schedule.size() > 1 && options.use_match_cache) {
     // Warm the match cache up front so the K-independent build happens once,
     // pool-parallel, instead of racing inside the first window.
@@ -398,8 +421,7 @@ RowSearchResult find_min_routable_rows(const BaseNetwork& net, const Library& li
                                        PlaceOptions place_options) {
   CALS_TRACE_SCOPE("flow.row_search");
   RowSearchResult result;
-  const std::uint32_t window =
-      options.num_threads == 0 ? ThreadPool::hardware_threads() : options.num_threads;
+  const std::uint32_t window = resolve_num_threads(options.num_threads);
 
   if (window <= 1 || start_rows >= max_rows) {
     for (std::uint32_t rows = start_rows; rows <= max_rows; ++rows) {

@@ -68,8 +68,12 @@ struct FlowOptions {
   /// paper's configuration; see place/refine.hpp).
   std::uint32_t refine_passes = 0;
   /// Worker threads for match building, tree covering and concurrent K / row
-  /// evaluations. 0 = hardware concurrency; 1 = the exact legacy serial
-  /// path (no pool is created). Results are bit-identical for every value.
+  /// evaluations. 0 = an equal share of the machine given the evaluations
+  /// currently in flight (recommended_threads(flows_in_flight()): the whole
+  /// machine for a lone run, hardware/J when J run() calls overlap — J
+  /// concurrent default-option jobs no longer oversubscribe to J x cores);
+  /// 1 = the exact legacy serial path (no pool is created). Results are
+  /// bit-identical for every value.
   std::uint32_t num_threads = 0;
   /// Reuse the K-independent subject forest + match candidates across run()
   /// calls (memoized per {partition, metric} inside DesignContext). Off =
@@ -104,6 +108,12 @@ struct FlowRun {
   StaResult sta;
   FlowMetrics metrics;
 };
+
+/// Evaluations (DesignContext::run / run_checked) currently executing across
+/// the whole process. FlowOptions::num_threads == 0 resolves against this so
+/// concurrent callers split the machine instead of each grabbing
+/// hardware_concurrency (cals::recommended_threads in thread_pool.hpp).
+std::uint32_t flows_in_flight();
 
 /// The flow's phases, in execution order. `FlowResult::phases_completed`
 /// counts how many finished, so kMap..kSta double as progress markers.

@@ -1,0 +1,292 @@
+#include "svc/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "util/strings.hpp"
+
+namespace cals::svc {
+namespace {
+
+/// Cursor over the input with 1-based line/column tracking for Status
+/// provenance (the same convention as the BLIF/PLA/genlib readers).
+struct Cursor {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::uint32_t line = 1;
+  std::uint32_t column = 1;
+
+  bool eof() const { return pos >= text.size(); }
+  char peek() const { return text[pos]; }
+  char take() {
+    const char c = text[pos++];
+    if (c == '\n') {
+      ++line;
+      column = 1;
+    } else {
+      ++column;
+    }
+    return c;
+  }
+  void skip_ws() {
+    while (!eof()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      take();
+    }
+  }
+  Status error(const std::string& what) const {
+    return Status::parse_error("json: " + what, line, column);
+  }
+};
+
+/// Parses a quoted string (after the opening quote has been *peeked*, not
+/// consumed). Supports the escapes the writer emits plus \/ and \uXXXX for
+/// ASCII code points (the wire formats are ASCII-only, like every other
+/// text format in the repo).
+Result<std::string> parse_string(Cursor& c) {
+  if (c.eof() || c.peek() != '"') return c.error("expected '\"'");
+  c.take();
+  std::string out;
+  for (;;) {
+    if (c.eof()) return c.error("unterminated string");
+    const char ch = c.take();
+    if (ch == '"') return out;
+    if (ch != '\\') {
+      if (static_cast<unsigned char>(ch) < 0x20)
+        return c.error("unescaped control byte in string");
+      out.push_back(ch);
+      continue;
+    }
+    if (c.eof()) return c.error("unterminated escape");
+    const char esc = c.take();
+    switch (esc) {
+      case '"': out.push_back('"'); break;
+      case '\\': out.push_back('\\'); break;
+      case '/': out.push_back('/'); break;
+      case 'n': out.push_back('\n'); break;
+      case 't': out.push_back('\t'); break;
+      case 'r': out.push_back('\r'); break;
+      case 'b': out.push_back('\b'); break;
+      case 'f': out.push_back('\f'); break;
+      case 'u': {
+        std::uint32_t code = 0;
+        for (int i = 0; i < 4; ++i) {
+          if (c.eof()) return c.error("truncated \\u escape");
+          const char h = c.take();
+          code <<= 4;
+          if (h >= '0' && h <= '9') code |= static_cast<std::uint32_t>(h - '0');
+          else if (h >= 'a' && h <= 'f') code |= static_cast<std::uint32_t>(h - 'a' + 10);
+          else if (h >= 'A' && h <= 'F') code |= static_cast<std::uint32_t>(h - 'A' + 10);
+          else return c.error("bad hex digit in \\u escape");
+        }
+        if (code > 0x7F) return c.error("non-ASCII \\u escape unsupported");
+        out.push_back(static_cast<char>(code));
+        break;
+      }
+      default: return c.error("unknown escape");
+    }
+  }
+}
+
+Result<JsonValue> parse_value(Cursor& c) {
+  if (c.eof()) return c.error("expected a value");
+  const char ch = c.peek();
+  JsonValue v;
+  if (ch == '"') {
+    Result<std::string> s = parse_string(c);
+    if (!s.ok()) return s.status();
+    v.kind = JsonValue::Kind::kString;
+    v.string_value = std::move(*s);
+    return v;
+  }
+  if (ch == 't' || ch == 'f') {
+    const std::string_view want = ch == 't' ? "true" : "false";
+    for (const char w : want) {
+      if (c.eof() || c.take() != w) return c.error("bad literal (true/false)");
+    }
+    v.kind = JsonValue::Kind::kBool;
+    v.bool_value = ch == 't';
+    return v;
+  }
+  if (ch == '-' || (ch >= '0' && ch <= '9')) {
+    std::string token;
+    while (!c.eof()) {
+      const char n = c.peek();
+      if (n == '-' || n == '+' || n == '.' || n == 'e' || n == 'E' ||
+          (n >= '0' && n <= '9')) {
+        token.push_back(c.take());
+      } else {
+        break;
+      }
+    }
+    double value = 0.0;
+    if (!parse_double(token, value)) return c.error("malformed number '" + token + "'");
+    v.kind = JsonValue::Kind::kNumber;
+    v.number_value = value;
+    v.number_text = std::move(token);
+    return v;
+  }
+  if (ch == '{' || ch == '[') return c.error("nested objects/arrays unsupported");
+  return c.error("expected a value");
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+Result<JsonObject> parse_json_object(std::string_view text) {
+  Cursor c{text};
+  c.skip_ws();
+  if (c.eof() || c.peek() != '{') return c.error("expected '{'");
+  c.take();
+  JsonObject obj;
+  c.skip_ws();
+  if (!c.eof() && c.peek() == '}') {
+    c.take();
+  } else {
+    for (;;) {
+      c.skip_ws();
+      Result<std::string> key = parse_string(c);
+      if (!key.ok()) return key.status();
+      c.skip_ws();
+      if (c.eof() || c.peek() != ':') return c.error("expected ':'");
+      c.take();
+      c.skip_ws();
+      Result<JsonValue> value = parse_value(c);
+      if (!value.ok()) return value.status();
+      if (obj.count(*key) != 0) return c.error("duplicate key '" + *key + "'");
+      obj.emplace(std::move(*key), std::move(*value));
+      c.skip_ws();
+      if (c.eof()) return c.error("unterminated object");
+      const char sep = c.take();
+      if (sep == '}') break;
+      if (sep != ',') return c.error("expected ',' or '}'");
+    }
+  }
+  c.skip_ws();
+  if (!c.eof()) return c.error("trailing bytes after object");
+  return obj;
+}
+
+void JsonObjectWriter::key(std::string_view name) {
+  if (!first_) out_ += ",";
+  first_ = false;
+  out_ += "\n  \"";
+  out_ += json_escape(name);
+  out_ += "\": ";
+}
+
+void JsonObjectWriter::field(std::string_view k, std::string_view value) {
+  key(k);
+  out_ += '"';
+  out_ += json_escape(value);
+  out_ += '"';
+}
+
+void JsonObjectWriter::field(std::string_view k, double value) {
+  key(k);
+  // %.17g round-trips every finite double exactly; non-finite values have no
+  // JSON spelling, so they are stored as 0 (none of the serialized metrics
+  // can legitimately be inf/nan).
+  out_ += strprintf("%.17g", std::isfinite(value) ? value : 0.0);
+}
+
+void JsonObjectWriter::field(std::string_view k, std::uint64_t value) {
+  key(k);
+  out_ += strprintf("%llu", static_cast<unsigned long long>(value));
+}
+
+void JsonObjectWriter::field(std::string_view k, std::int64_t value) {
+  key(k);
+  out_ += strprintf("%lld", static_cast<long long>(value));
+}
+
+void JsonObjectWriter::field(std::string_view k, bool value) {
+  key(k);
+  out_ += value ? "true" : "false";
+}
+
+std::string JsonObjectWriter::finish() && {
+  out_ += first_ ? "}\n" : "\n}\n";
+  return std::move(out_);
+}
+
+bool get_string(const JsonObject& obj, const std::string& k, std::string& out) {
+  const auto it = obj.find(k);
+  if (it == obj.end() || it->second.kind != JsonValue::Kind::kString) return false;
+  out = it->second.string_value;
+  return true;
+}
+
+bool get_double(const JsonObject& obj, const std::string& k, double& out) {
+  const auto it = obj.find(k);
+  if (it == obj.end() || it->second.kind != JsonValue::Kind::kNumber) return false;
+  out = it->second.number_value;
+  return true;
+}
+
+bool get_u64(const JsonObject& obj, const std::string& k, std::uint64_t& out) {
+  const auto it = obj.find(k);
+  if (it == obj.end() || it->second.kind != JsonValue::Kind::kNumber) return false;
+  // Prefer the source lexeme: a full-range u64 does not survive the double.
+  const std::string& text = it->second.number_text;
+  if (!text.empty() && text.find_first_not_of("0123456789") == std::string::npos) {
+    std::uint64_t v = 0;
+    const auto [end, ec] = std::from_chars(text.data(), text.data() + text.size(), v);
+    if (ec != std::errc() || end != text.data() + text.size()) return false;
+    out = v;
+    return true;
+  }
+  const double v = it->second.number_value;
+  // 2^53: beyond it the double no longer identifies one integer.
+  if (v < 0.0 || std::floor(v) != v || v >= 9007199254740992.0) return false;
+  out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+bool get_u32(const JsonObject& obj, const std::string& k, std::uint32_t& out) {
+  std::uint64_t v = 0;
+  if (!get_u64(obj, k, v) || v > UINT32_MAX) return false;
+  out = static_cast<std::uint32_t>(v);
+  return true;
+}
+
+bool get_i32(const JsonObject& obj, const std::string& k, std::int32_t& out) {
+  double v = 0.0;
+  if (!get_double(obj, k, v) || std::floor(v) != v || v < INT32_MIN || v > INT32_MAX)
+    return false;
+  out = static_cast<std::int32_t>(v);
+  return true;
+}
+
+bool get_bool(const JsonObject& obj, const std::string& k, bool& out) {
+  const auto it = obj.find(k);
+  if (it == obj.end() || it->second.kind != JsonValue::Kind::kBool) return false;
+  out = it->second.bool_value;
+  return true;
+}
+
+}  // namespace cals::svc

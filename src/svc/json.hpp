@@ -1,0 +1,85 @@
+#pragma once
+/// \file json.hpp
+/// `cals::svc` flat-JSON codec — just enough JSON for the service's wire
+/// formats (spool job files, result records, cache entries): one object of
+/// string keys mapping to strings, numbers or booleans. No nesting, no
+/// arrays, no dependencies. Numbers round-trip doubles exactly (%.17g), so
+/// a FlowMetrics serialized and re-read compares bit-identical — the result
+/// cache's contract depends on this.
+///
+/// This is intentionally NOT a general JSON library: anything outside the
+/// flat-object subset (nested objects, arrays) is a parse error with
+/// line/column provenance through the usual `Status` taxonomy. Unknown keys
+/// are preserved by the parser and ignored by consumers, so record formats
+/// can grow fields without breaking old readers.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "util/status.hpp"
+
+namespace cals::svc {
+
+/// One parsed value: exactly one kind is active. Numbers keep their source
+/// lexeme alongside the double so 64-bit integers (job ids, sequence
+/// numbers) survive values a double cannot represent.
+struct JsonValue {
+  enum class Kind : std::uint8_t { kString, kNumber, kBool };
+  Kind kind = Kind::kString;
+  std::string string_value;
+  double number_value = 0.0;
+  std::string number_text;
+  bool bool_value = false;
+};
+
+using JsonObject = std::map<std::string, JsonValue>;
+
+/// Escapes for a JSON string literal (quotes, backslash, control bytes).
+std::string json_escape(std::string_view text);
+
+/// Parses one flat JSON object. Input must be a single `{...}` with
+/// string/number/bool values; anything else fails with kParseError and
+/// 1-based line/column of the offending byte.
+Result<JsonObject> parse_json_object(std::string_view text);
+
+/// Incremental writer for one flat object. Usage:
+///   JsonObjectWriter w;
+///   w.field("name", spec.name); w.field("k", 0.5); w.field("sis", false);
+///   std::string text = std::move(w).finish();
+class JsonObjectWriter {
+ public:
+  JsonObjectWriter() : out_("{") {}
+  void field(std::string_view key, std::string_view value);
+  void field(std::string_view key, const char* value) {
+    field(key, std::string_view(value));
+  }
+  void field(std::string_view key, double value);
+  void field(std::string_view key, std::uint64_t value);
+  void field(std::string_view key, std::uint32_t value) {
+    field(key, static_cast<std::uint64_t>(value));
+  }
+  void field(std::string_view key, std::int64_t value);
+  void field(std::string_view key, bool value);
+  /// Closes the object. The writer is spent afterwards.
+  std::string finish() &&;
+
+ private:
+  void key(std::string_view name);
+  std::string out_;
+  bool first_ = true;
+};
+
+// ---- typed lookups ---------------------------------------------------------
+// Missing key or wrong kind -> false with `out` untouched, so required and
+// optional fields read the same way (callers decide which misses are fatal).
+
+bool get_string(const JsonObject& obj, const std::string& key, std::string& out);
+bool get_double(const JsonObject& obj, const std::string& key, double& out);
+bool get_u64(const JsonObject& obj, const std::string& key, std::uint64_t& out);
+bool get_u32(const JsonObject& obj, const std::string& key, std::uint32_t& out);
+bool get_i32(const JsonObject& obj, const std::string& key, std::int32_t& out);
+bool get_bool(const JsonObject& obj, const std::string& key, bool& out);
+
+}  // namespace cals::svc

@@ -1,0 +1,114 @@
+#include "svc/result_cache.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "util/faults.hpp"
+#include "util/log.hpp"
+#include "util/obs.hpp"
+
+namespace cals::svc {
+namespace fs = std::filesystem;
+namespace {
+
+/// Catches everything the entry I/O (or an armed `svc.cache` fault) can
+/// throw and converts it into the degrade path: the cache must never take a
+/// job down with it.
+template <typename Fn>
+bool guarded(const char* what, Fn&& fn) {
+  try {
+    CALS_FAULT_POINT("svc.cache");
+    fn();
+    return true;
+  } catch (const std::exception& e) {
+    CALS_OBS_COUNT("svc.cache.errors", 1);
+    CALS_WARN("result cache: %s degraded: %s", what, e.what());
+    return false;
+  }
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  usable_ = !ec && fs::is_directory(dir_, ec) && !ec;
+  if (!usable_)
+    CALS_WARN("result cache: directory '%s' unusable (%s) — caching disabled",
+              dir_.c_str(), ec.message().c_str());
+}
+
+std::string ResultCache::entry_path(const std::string& key) const {
+  return (fs::path(dir_) / (key + ".json")).string();
+}
+
+std::optional<JobOutcome> ResultCache::lookup(const std::string& key) {
+  std::optional<JobOutcome> found;
+  if (usable_) {
+    guarded("lookup", [&] {
+      std::ifstream in(entry_path(key), std::ios::binary);
+      if (!in.good()) return;  // plain miss
+      std::ostringstream body;
+      body << in.rdbuf();
+      Result<JobOutcome> outcome = job_outcome_from_json(body.str());
+      if (!outcome.ok()) {
+        // A torn/corrupt entry is a miss, not an error the job sees.
+        CALS_OBS_COUNT("svc.cache.corrupt_entries", 1);
+        CALS_WARN("result cache: corrupt entry %s: %s", key.c_str(),
+                  outcome.status().to_string().c_str());
+        return;
+      }
+      found = std::move(*outcome);
+      found->cache_hit = true;
+      found->coalesced = false;
+      found->queue_seconds = 0.0;
+      found->exec_seconds = 0.0;
+    });
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (found) {
+    ++hits_;
+    CALS_OBS_COUNT("svc.cache.hits", 1);
+  } else {
+    ++misses_;
+    CALS_OBS_COUNT("svc.cache.misses", 1);
+  }
+  return found;
+}
+
+void ResultCache::store(const std::string& key, const JobOutcome& outcome) {
+  if (!usable_ || !outcome.status.ok()) return;
+  // Strip the provenance flags: the entry records the cold execution, and
+  // lookup() re-applies cache_hit on the way out.
+  JobOutcome entry = outcome;
+  entry.cache_hit = false;
+  entry.coalesced = false;
+  const bool ok = guarded("store", [&] {
+    const std::string path = entry_path(key);
+    const std::string tmp = path + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (!out.good()) throw std::runtime_error("cannot open " + tmp);
+      out << job_outcome_to_json(entry);
+      if (!out.good()) throw std::runtime_error("short write to " + tmp);
+    }
+    fs::rename(tmp, path);
+  });
+  if (ok) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stores_;
+    CALS_OBS_COUNT("svc.cache.stores", 1);
+  }
+}
+
+std::size_t ResultCache::size() const {
+  std::error_code ec;
+  std::size_t n = 0;
+  for (fs::directory_iterator it(dir_, ec), end; !ec && it != end; it.increment(ec))
+    if (it->path().extension() == ".json") ++n;
+  return n;
+}
+
+}  // namespace cals::svc

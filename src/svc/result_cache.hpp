@@ -1,0 +1,67 @@
+#pragma once
+/// \file result_cache.hpp
+/// `cals::svc::ResultCache` — the persistent, content-addressed flow-result
+/// store. One JSON file per finished job under the cache directory, named
+/// `<cache_key>.json` (the key hashes design bytes + library bytes +
+/// canonical options; see job.hpp). A resubmitted job whose key hits
+/// returns the recorded FlowMetrics bit-identically without re-running
+/// place/route — warm-start economics in the spirit of "Physically Aware
+/// Synthesis Revisited" (PAPERS.md).
+///
+/// Policy:
+///  * Only OK outcomes are stored. Failures are cheap to re-derive, usually
+///    environmental (budgets, injected faults), and caching them would pin a
+///    transient error forever.
+///  * Writes are atomic (tmp file + rename) so a killed service never leaves
+///    a torn entry; unreadable/corrupt entries read as misses.
+///  * Every operation degrades: I/O errors (and `svc.cache` injected
+///    faults) count into `svc.cache.errors` and behave as a miss / skipped
+///    store — the cache can never fail a job.
+/// Thread-safe; concurrent stores of the same key are idempotent (last
+/// rename wins, both bodies are identical by construction).
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "svc/job.hpp"
+
+namespace cals::svc {
+
+class ResultCache {
+ public:
+  /// Opens (creating if needed) the cache directory. An unusable directory
+  /// is reported once and turns every operation into a counted no-op.
+  explicit ResultCache(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+
+  /// The recorded outcome for `key`, or nullopt on miss / unreadable entry.
+  /// A hit is returned with `cache_hit` set and queue/exec timings zeroed
+  /// (they belong to the run that produced the entry, not this lookup —
+  /// the original execution time is preserved in the metrics' *_seconds).
+  std::optional<JobOutcome> lookup(const std::string& key);
+
+  /// Records an OK outcome under `key`; non-OK outcomes are ignored.
+  void store(const std::string& key, const JobOutcome& outcome);
+
+  /// Entries currently on disk (counts files, for tests/reports).
+  std::size_t size() const;
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t stores() const { return stores_; }
+
+ private:
+  std::string entry_path(const std::string& key) const;
+
+  std::string dir_;
+  bool usable_ = false;
+  mutable std::mutex mutex_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t stores_ = 0;
+};
+
+}  // namespace cals::svc

@@ -1,0 +1,390 @@
+#include "svc/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "flow/baselines.hpp"
+#include "library/corelib.hpp"
+#include "library/genlib.hpp"
+#include "netlist/blif.hpp"
+#include "sop/pla_io.hpp"
+#include "util/check.hpp"
+#include "util/faults.hpp"
+#include "util/log.hpp"
+#include "util/obs.hpp"
+#include "util/strings.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace cals::svc {
+namespace {
+
+/// The Fig. 3 schedule cals_flow uses for --k auto; auto_k jobs get the same.
+const std::vector<double>& default_k_schedule() {
+  static const std::vector<double> schedule = {0.0, 0.025, 0.05, 0.1, 0.25, 0.5};
+  return schedule;
+}
+
+}  // namespace
+
+JobOutcome run_flow_job(const JobSpec& spec, std::uint32_t num_threads_override) {
+  CALS_TRACE_SCOPE("svc.job.flow");
+  JobOutcome outcome;
+
+  // ---- front end ----------------------------------------------------------
+  BaseNetwork net;
+  if (spec.format == DesignFormat::kBlif) {
+    Result<BlifModel> model = parse_blif_string(spec.design_text);
+    if (!model.ok()) {
+      outcome.status = model.status();
+      return outcome;
+    }
+    net = std::move(model->network);
+    net.compact();
+  } else {
+    const Result<Pla> pla = parse_pla_string(spec.design_text);
+    if (!pla.ok()) {
+      outcome.status = pla.status();
+      return outcome;
+    }
+    net = spec.sis ? synthesize_sis_mode(*pla) : synthesize_base(*pla);
+  }
+
+  // ---- library + floorplan ------------------------------------------------
+  Library lib = lib::make_corelib();
+  if (!spec.genlib_text.empty()) {
+    Result<Library> parsed = parse_genlib_string(spec.genlib_text);
+    if (!parsed.ok()) {
+      outcome.status = parsed.status();
+      return outcome;
+    }
+    lib = std::move(*parsed);
+  }
+  const Floorplan fp =
+      spec.rows > 0
+          ? Floorplan::square_with_rows(spec.rows, lib.tech())
+          : Floorplan::for_cell_area(net.num_base_gates() * 5.3, spec.util, lib.tech());
+  const DesignContext context(net, &lib, fp);
+
+  FlowOptions options = spec.options;
+  if (num_threads_override != UINT32_MAX) options.num_threads = num_threads_override;
+  options.on_error = ErrorPolicy::kBestEffort;
+
+  // ---- evaluation ---------------------------------------------------------
+  if (spec.auto_k) {
+    FlowIterationResult search =
+        congestion_aware_flow(context, default_k_schedule(), options);
+    outcome.status = search.status;
+    if (!search.runs.empty()) outcome.metrics = search.runs[search.chosen].metrics;
+  } else {
+    FlowResult result = context.run_checked(options);
+    outcome.status = result.status;
+    outcome.metrics = result.run.metrics;
+  }
+  return outcome;
+}
+
+FlowService::FlowService(ServiceOptions options) : options_(options) {
+  const std::uint32_t jobs = std::max(1u, options_.max_parallel_jobs);
+  threads_per_job_ =
+      options_.total_threads == 0
+          ? recommended_threads(jobs)
+          : std::max(1u, options_.total_threads / jobs);
+  paused_ = options_.start_paused;
+  dispatchers_.reserve(jobs);
+  for (std::uint32_t i = 0; i < jobs; ++i)
+    dispatchers_.emplace_back([this] { dispatcher_loop(); });
+}
+
+FlowService::~FlowService() { shutdown(/*cancel_queued=*/true); }
+
+void FlowService::publish_queue_depth_locked() const {
+  CALS_OBS_GAUGE_SET("svc.queue_depth", queue_.size());
+  CALS_TRACE_COUNTER("svc.queue_depth", queue_.size());
+}
+
+Result<JobId> FlowService::submit(JobSpec spec) {
+  const std::string key = job_cache_key(spec);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stopping_ != Stopping::kNo)
+    return Status::internal("svc: service is shut down, submission refused");
+
+  auto make_job = [&]() {
+    auto job = std::make_shared<Job>();
+    job->record.id = next_id_++;
+    job->record.name = spec.name;
+    job->record.priority = spec.priority;
+    job->record.cache_key = key;
+    job->spec = std::move(spec);
+    job->submitted = std::chrono::steady_clock::now();
+    jobs_.emplace(job->record.id, job);
+    ++stats_.submitted;
+    CALS_OBS_COUNT("svc.jobs_submitted", 1);
+    return job;
+  };
+
+  // Coalesce onto an identical in-flight job: the follower gets a record but
+  // no queue slot (it consumes no execution resources, so it is exempt from
+  // admission control).
+  if (options_.coalesce_duplicates) {
+    const auto it = active_by_key_.find(key);
+    if (it != active_by_key_.end()) {
+      const auto primary = jobs_.find(it->second);
+      CALS_CHECK_MSG(primary != jobs_.end(), "svc: dangling coalescing index");
+      auto job = make_job();
+      primary->second->followers.push_back(job->record.id);
+      return job->record.id;
+    }
+  }
+
+  if (queue_.size() >= options_.queue_capacity) {
+    ++stats_.rejected;
+    CALS_OBS_COUNT("svc.jobs_rejected", 1);
+    return Status::budget_exceeded(
+        strprintf("svc: queue full (%zu queued, capacity %zu, %zu running): job "
+                  "'%s' rejected — retry later or raise queue_capacity",
+                  queue_.size(), options_.queue_capacity, running_,
+                  spec.name.c_str()));
+  }
+
+  auto job = make_job();
+  queue_.emplace(-static_cast<std::int64_t>(job->record.priority), job->record.id);
+  active_by_key_[key] = job->record.id;
+  publish_queue_depth_locked();
+  work_available_.notify_one();
+  return job->record.id;
+}
+
+bool FlowService::cancel(JobId id) {
+  std::vector<JobId> to_cancel;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end() || it->second->record.state != JobState::kQueued)
+      return false;
+    const std::shared_ptr<Job>& job = it->second;
+    const auto queue_entry = queue_.find(
+        {-static_cast<std::int64_t>(job->record.priority), job->record.id});
+    if (queue_entry != queue_.end()) {
+      // A queued primary: drop its slot, cancel it and every follower.
+      queue_.erase(queue_entry);
+      if (active_by_key_[job->record.cache_key] == id)
+        active_by_key_.erase(job->record.cache_key);
+      to_cancel.push_back(id);
+      to_cancel.insert(to_cancel.end(), job->followers.begin(), job->followers.end());
+      job->followers.clear();
+      publish_queue_depth_locked();
+    } else {
+      // A follower: detach it from its primary.
+      bool detached = false;
+      for (auto& [pid, primary] : jobs_) {
+        auto& fs = primary->followers;
+        const auto f = std::find(fs.begin(), fs.end(), id);
+        if (f != fs.end()) {
+          fs.erase(f);
+          detached = true;
+          break;
+        }
+      }
+      if (!detached) return false;  // being resolved right now — too late
+      to_cancel.push_back(id);
+    }
+    for (const JobId cid : to_cancel) {
+      Job& cancelled = *jobs_.at(cid);
+      cancelled.record.state = JobState::kCancelled;
+      ++stats_.cancelled;
+      CALS_OBS_COUNT("svc.jobs_cancelled", 1);
+    }
+    state_changed_.notify_all();
+  }
+  return !to_cancel.empty();
+}
+
+JobRecord FlowService::wait(JobId id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  CALS_CHECK_MSG(it != jobs_.end(), "FlowService::wait on unknown job id");
+  const std::shared_ptr<Job> job = it->second;
+  state_changed_.wait(lock, [&] { return job_state_terminal(job->record.state); });
+  return job->record;
+}
+
+std::optional<JobRecord> FlowService::snapshot(JobId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  return it->second->record;
+}
+
+void FlowService::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (paused_) {
+    paused_ = false;
+    work_available_.notify_all();
+  }
+  state_changed_.wait(lock, [&] { return queue_.empty() && running_ == 0; });
+}
+
+void FlowService::shutdown(bool cancel_queued) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (stopping_ == Stopping::kNow ||
+        (stopping_ == Stopping::kDrain && !cancel_queued))
+      return;
+    if (paused_) paused_ = false;
+    if (cancel_queued) {
+      stopping_ = Stopping::kNow;
+      for (const auto& [neg_priority, id] : queue_) {
+        Job& job = *jobs_.at(id);
+        job.record.state = JobState::kCancelled;
+        ++stats_.cancelled;
+        CALS_OBS_COUNT("svc.jobs_cancelled", 1);
+        for (const JobId fid : job.followers) {
+          jobs_.at(fid)->record.state = JobState::kCancelled;
+          ++stats_.cancelled;
+          CALS_OBS_COUNT("svc.jobs_cancelled", 1);
+        }
+        job.followers.clear();
+        active_by_key_.erase(job.record.cache_key);
+      }
+      queue_.clear();
+      publish_queue_depth_locked();
+    } else {
+      stopping_ = Stopping::kDrain;
+    }
+    work_available_.notify_all();
+    state_changed_.notify_all();
+  }
+  for (std::thread& t : dispatchers_)
+    if (t.joinable()) t.join();
+}
+
+void FlowService::pause() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  paused_ = true;
+}
+
+void FlowService::resume() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  paused_ = false;
+  work_available_.notify_all();
+}
+
+FlowService::Stats FlowService::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s = stats_;
+  s.queued = queue_.size();
+  s.running = running_;
+  return s;
+}
+
+void FlowService::dispatcher_loop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [&] {
+        return stopping_ == Stopping::kNow ||
+               (!paused_ && (!queue_.empty() || stopping_ == Stopping::kDrain));
+      });
+      if (stopping_ == Stopping::kNow) return;
+      if (queue_.empty()) {
+        if (stopping_ == Stopping::kDrain) return;
+        continue;
+      }
+      const auto top = *queue_.begin();
+      queue_.erase(queue_.begin());
+      job = jobs_.at(top.second);
+      job->record.state = JobState::kRunning;
+      job->record.run_sequence = ++dispatch_seq_;
+      ++running_;
+      publish_queue_depth_locked();
+      CALS_OBS_GAUGE_MAX("svc.max_running", running_);
+    }
+    execute(job);
+  }
+}
+
+void FlowService::execute(const std::shared_ptr<Job>& job) {
+  CALS_TRACE_SCOPE_ARG("svc.job", "priority", job->record.priority);
+  const double queue_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - job->submitted)
+          .count();
+  Timer exec_timer;
+  JobOutcome outcome;
+  bool executed_flow = false;
+  try {
+    // The dispatch probe sits before the cache so an armed fault poisons
+    // exactly one pop — the job is marked failed and the queue keeps moving.
+    CALS_FAULT_POINT("svc.dispatch");
+    std::optional<JobOutcome> cached;
+    if (options_.cache != nullptr)
+      cached = options_.cache->lookup(job->record.cache_key);
+    if (cached) {
+      outcome = std::move(*cached);
+    } else {
+      outcome = run_flow_job(job->spec, threads_per_job_);
+      executed_flow = true;
+      if (options_.cache != nullptr)
+        options_.cache->store(job->record.cache_key, outcome);
+    }
+  } catch (const std::exception& e) {
+    outcome = JobOutcome{};
+    outcome.status = Status::internal(
+        strprintf("svc: dispatch of job '%s' failed: %s", job->record.name.c_str(),
+                  e.what()));
+    CALS_OBS_COUNT("svc.dispatch_failures", 1);
+  }
+  outcome.queue_seconds = queue_seconds;
+  outcome.exec_seconds = exec_timer.seconds();
+  CALS_OBS_OBSERVE("svc.queue_wait_ms", queue_seconds * 1e3);
+  CALS_OBS_OBSERVE("svc.job_latency_ms", (queue_seconds + outcome.exec_seconds) * 1e3);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (executed_flow) ++stats_.flow_executions;
+  if (outcome.cache_hit) {
+    ++stats_.cache_hits;
+  }
+  finalize_locked(job, std::move(outcome));
+  --running_;
+  state_changed_.notify_all();
+}
+
+void FlowService::finalize_locked(const std::shared_ptr<Job>& job, JobOutcome outcome) {
+  const JobState terminal =
+      outcome.status.ok() ? JobState::kDone : JobState::kFailed;
+  if (terminal == JobState::kDone) {
+    ++stats_.done;
+    CALS_OBS_COUNT("svc.jobs_done", 1);
+  } else {
+    ++stats_.failed;
+    CALS_OBS_COUNT("svc.jobs_failed", 1);
+    CALS_INFO("svc: job '%s' (#%llu) failed: %s", job->record.name.c_str(),
+              static_cast<unsigned long long>(job->record.id),
+              outcome.status.to_string().c_str());
+  }
+  // Followers mirror the primary's result without having run anything.
+  for (const JobId fid : job->followers) {
+    Job& follower = *jobs_.at(fid);
+    follower.record.state = terminal;
+    follower.record.outcome = outcome;
+    follower.record.outcome.coalesced = true;
+    follower.record.outcome.exec_seconds = 0.0;
+    follower.record.outcome.queue_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      follower.submitted)
+            .count();
+    if (terminal == JobState::kDone) ++stats_.done;
+    else ++stats_.failed;
+    ++stats_.coalesced;
+    CALS_OBS_COUNT("svc.jobs_coalesced", 1);
+  }
+  job->followers.clear();
+  job->record.outcome = std::move(outcome);
+  job->record.state = terminal;
+  const auto it = active_by_key_.find(job->record.cache_key);
+  if (it != active_by_key_.end() && it->second == job->record.id)
+    active_by_key_.erase(it);
+}
+
+}  // namespace cals::svc

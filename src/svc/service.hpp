@@ -1,0 +1,173 @@
+#pragma once
+/// \file service.hpp
+/// `cals::svc::FlowService` — the embeddable batch flow service (DESIGN.md
+/// §10): a bounded priority queue of JobSpecs drained by a fixed set of
+/// dispatcher threads, each running one congestion-aware flow at a time
+/// with an explicit per-job slice of the machine's thread budget.
+///
+/// Scheduling model:
+///  * Admission control is up-front: `submit` on a full queue returns
+///    kBudgetExceeded with diagnostics instead of blocking — the caller
+///    (or the spool front end) decides whether to retry. Running jobs do
+///    not count against the queue bound.
+///  * Ordering is strict priority, FIFO within a priority level (ties break
+///    on submission id). Running jobs are never preempted; `cancel` only
+///    removes jobs that are still queued.
+///  * Thread partitioning: with J = max_parallel_jobs dispatchers and a
+///    total budget of T threads (0 = hardware), every flow runs with
+///    `max(1, T / J)` workers — J concurrent jobs never oversubscribe the
+///    machine the way J independent `DesignContext::run(num_threads=0)`
+///    calls historically did (see cals::recommended_threads).
+///  * Duplicate coalescing: a submission whose cache key matches a job that
+///    is still queued/running becomes a *follower* — it gets its own JobId
+///    and record but no queue slot; when the primary finishes, the follower
+///    copies its outcome (marked `coalesced`). Submitting the same design
+///    twice in parallel therefore executes the flow exactly once and both
+///    records carry bit-identical FlowMetrics.
+///  * With a ResultCache attached, a dispatched job first consults the
+///    cache; a hit returns the recorded metrics without running the flow.
+///
+/// Failure policy: a dispatch that throws (an armed `svc.dispatch` fault,
+/// bad_alloc, a pool-task failure surfacing through TaskGroup::wait) marks
+/// that job kFailed with a kInternal status and the dispatcher moves on —
+/// one poisoned job never stops the queue from draining (the no-crash
+/// contract tools/fault_sweep.sh enforces).
+///
+/// Everything is thread-safe; snapshots/records are returned by value.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/job.hpp"
+#include "svc/result_cache.hpp"
+#include "util/status.hpp"
+
+namespace cals::svc {
+
+/// Runs one job start-to-finish on the calling thread (no queueing, no
+/// cache): parse the design + library, build the floorplan and context,
+/// evaluate at options.K (or the Fig. 3 schedule when spec.auto_k). Parse
+/// and flow failures come back in `JobOutcome::status` — never thrown.
+/// `num_threads_override` != UINT32_MAX replaces spec.options.num_threads
+/// (how the service applies its per-job slice).
+JobOutcome run_flow_job(const JobSpec& spec,
+                        std::uint32_t num_threads_override = UINT32_MAX);
+
+struct ServiceOptions {
+  /// Queued-job bound for admission control (running jobs excluded).
+  std::size_t queue_capacity = 64;
+  /// Dispatcher threads = jobs in flight at once (>= 1).
+  std::uint32_t max_parallel_jobs = 2;
+  /// Total worker-thread budget partitioned across dispatchers; 0 = the
+  /// machine (ThreadPool::hardware_threads()).
+  std::uint32_t total_threads = 0;
+  /// Optional persistent result cache (not owned; must outlive the service).
+  ResultCache* cache = nullptr;
+  /// Attach identical in-flight submissions to one execution (see file
+  /// comment). Off = every submission queues independently.
+  bool coalesce_duplicates = true;
+  /// Start with dispatch paused (deterministic tests: submit a batch, then
+  /// resume()).
+  bool start_paused = false;
+};
+
+class FlowService {
+ public:
+  explicit FlowService(ServiceOptions options = {});
+  /// Cancels everything still queued and joins the dispatchers (running
+  /// jobs finish). Use drain() first for a graceful end.
+  ~FlowService();
+  FlowService(const FlowService&) = delete;
+  FlowService& operator=(const FlowService&) = delete;
+
+  /// Admits `spec` or rejects with kBudgetExceeded (queue full) /
+  /// kInternal (service shut down). The returned id is immediately valid
+  /// for snapshot/wait/cancel.
+  Result<JobId> submit(JobSpec spec);
+
+  /// Removes a still-queued job (state -> kCancelled). Returns false when
+  /// the job is unknown, already running, or terminal.
+  bool cancel(JobId id);
+
+  /// Blocks until `id` reaches a terminal state and returns its record.
+  /// `id` must come from submit() (unknown ids are an invariant violation).
+  JobRecord wait(JobId id);
+
+  /// Point-in-time copy of the record, or nullopt for an unknown id.
+  std::optional<JobRecord> snapshot(JobId id) const;
+
+  /// Blocks until no job is queued or running (resumes dispatch if paused).
+  void drain();
+
+  /// Stops the dispatchers. cancel_queued=false drains first (graceful);
+  /// true cancels everything still queued. Idempotent; submit() fails
+  /// afterwards.
+  void shutdown(bool cancel_queued);
+
+  /// Pause/resume dispatch (running jobs are unaffected). For tests and
+  /// operational backpressure.
+  void pause();
+  void resume();
+
+  /// Worker threads each dispatched flow runs with (the per-job slice).
+  std::uint32_t threads_per_job() const { return threads_per_job_; }
+
+  struct Stats {
+    std::uint64_t submitted = 0;   ///< accepted submissions (incl. followers)
+    std::uint64_t rejected = 0;    ///< admission rejections (queue full)
+    std::uint64_t done = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t coalesced = 0;   ///< followers resolved from a primary
+    std::uint64_t cache_hits = 0;
+    std::uint64_t flow_executions = 0;  ///< flows actually run (not cached/coalesced)
+    std::size_t queued = 0;        ///< current depth
+    std::size_t running = 0;       ///< current in-flight
+  };
+  Stats stats() const;
+
+ private:
+  struct Job {
+    JobRecord record;
+    JobSpec spec;
+    std::chrono::steady_clock::time_point submitted;
+    std::vector<JobId> followers;  ///< ids coalesced onto this primary
+  };
+
+  void dispatcher_loop();
+  /// Runs `job` outside the lock and finalizes it (and its followers).
+  void execute(const std::shared_ptr<Job>& job);
+  void finalize_locked(const std::shared_ptr<Job>& job, JobOutcome outcome);
+  void publish_queue_depth_locked() const;
+
+  const ServiceOptions options_;
+  std::uint32_t threads_per_job_ = 1;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable state_changed_;
+  enum class Stopping : std::uint8_t { kNo, kDrain, kNow };
+  Stopping stopping_ = Stopping::kNo;
+  bool paused_ = false;
+  JobId next_id_ = 1;
+  std::uint64_t dispatch_seq_ = 0;
+  std::map<JobId, std::shared_ptr<Job>> jobs_;
+  /// (-priority, id): begin() is the highest priority, oldest submission.
+  std::set<std::pair<std::int64_t, JobId>> queue_;
+  /// cache key -> primary job still queued/running (coalescing target).
+  std::map<std::string, JobId> active_by_key_;
+  std::size_t running_ = 0;
+  Stats stats_;
+  std::vector<std::thread> dispatchers_;
+};
+
+}  // namespace cals::svc

@@ -1,0 +1,152 @@
+#include "svc/spool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+#include "util/strings.hpp"
+
+namespace cals::svc {
+namespace fs = std::filesystem;
+namespace {
+
+std::uint64_t process_id() {
+#ifdef _WIN32
+  return static_cast<std::uint64_t>(_getpid());
+#else
+  return static_cast<std::uint64_t>(::getpid());
+#endif
+}
+
+/// "name" restricted to filesystem-safe bytes so a job name can never
+/// escape the spool directory or produce an unopenable path.
+std::string sanitize_stem(const std::string& name) {
+  std::string out;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty()) out = "job";
+  return out.substr(0, 64);
+}
+
+bool write_atomic(const fs::path& path, const std::string& body) {
+  const fs::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.good()) return false;
+    out << body;
+    if (!out.good()) return false;
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  return !ec;
+}
+
+}  // namespace
+
+Result<SpoolPaths> open_spool(const std::string& root) {
+  SpoolPaths spool;
+  spool.root = fs::path(root);
+  spool.incoming = spool.root / "incoming";
+  spool.done = spool.root / "done";
+  spool.failed = spool.root / "failed";
+  for (const fs::path& dir : {spool.incoming, spool.done, spool.failed}) {
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec || !fs::is_directory(dir))
+      return Status::internal(
+          strprintf("spool: cannot create directory '%s'", dir.string().c_str()));
+  }
+  return spool;
+}
+
+Result<std::string> spool_submit(const SpoolPaths& spool, const JobSpec& spec) {
+  static std::atomic<std::uint64_t> counter{0};
+  const auto now_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::system_clock::now().time_since_epoch())
+                          .count();
+  const std::string stem =
+      strprintf("%016llx-%llu-%llu-%s", static_cast<unsigned long long>(now_us),
+                static_cast<unsigned long long>(process_id()),
+                static_cast<unsigned long long>(
+                    counter.fetch_add(1, std::memory_order_relaxed)),
+                sanitize_stem(spec.name).c_str());
+  const fs::path path = spool.incoming / (stem + ".json");
+  if (!write_atomic(path, job_spec_to_json(spec)))
+    return Status::internal(
+        strprintf("spool: cannot write job file '%s'", path.string().c_str()));
+  return stem;
+}
+
+std::vector<fs::path> spool_scan(const SpoolPaths& spool) {
+  std::vector<fs::path> jobs;
+  std::error_code ec;
+  for (fs::directory_iterator it(spool.incoming, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (it->path().extension() == ".json") jobs.push_back(it->path());
+  }
+  std::sort(jobs.begin(), jobs.end());
+  return jobs;
+}
+
+Result<JobSpec> spool_load_job(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good())
+    return Status::internal(
+        strprintf("spool: cannot read job file '%s'", path.string().c_str()));
+  std::ostringstream body;
+  body << in.rdbuf();
+  Result<JobSpec> spec = job_spec_from_json(body.str());
+  if (!spec.ok()) {
+    Status annotated = spec.status();
+    annotated.with_file(path.string());
+    return annotated;
+  }
+  return spec;
+}
+
+bool spool_publish_result(const SpoolPaths& spool, const std::string& stem,
+                          const JobRecord& record) {
+  // Envelope (id/name/state/...) + the outcome payload, merged into one flat
+  // object: re-open the outcome JSON's fields through the writer so the file
+  // stays a single flat object the codec can read back.
+  JsonObjectWriter w;
+  w.field("job_id", static_cast<std::uint64_t>(record.id));
+  w.field("name", record.name);
+  w.field("state", job_state_name(record.state));
+  w.field("priority", static_cast<std::int64_t>(record.priority));
+  w.field("cache_key", record.cache_key);
+  w.field("run_sequence", record.run_sequence);
+  w.field("status", error_code_token(record.outcome.status.code()));
+  w.field("message", record.outcome.status.message());
+  w.field("cache_hit", record.outcome.cache_hit);
+  w.field("coalesced", record.outcome.coalesced);
+  w.field("queue_seconds", record.outcome.queue_seconds);
+  w.field("exec_seconds", record.outcome.exec_seconds);
+  append_metrics_fields(w, record.outcome.metrics);
+  const fs::path dir =
+      record.state == JobState::kDone ? spool.done : spool.failed;
+  return write_atomic(dir / (stem + ".json"), std::move(w).finish());
+}
+
+fs::path spool_find_result(const SpoolPaths& spool, const std::string& stem) {
+  for (const fs::path& dir : {spool.done, spool.failed}) {
+    const fs::path candidate = dir / (stem + ".json");
+    std::error_code ec;
+    if (fs::exists(candidate, ec) && !ec) return candidate;
+  }
+  return {};
+}
+
+}  // namespace cals::svc

@@ -1,0 +1,63 @@
+#pragma once
+/// \file spool.hpp
+/// `cals::svc` spool protocol — the file-based submission interface between
+/// `cals_submit` and `cals_serve` (and anything else that can drop a JSON
+/// file in a directory; cf. DATC RDF-style flow engines, PAPERS.md).
+///
+/// Layout under one spool root:
+///   <root>/incoming/   one JSON job file per submission (job.hpp format)
+///   <root>/done/       result record per finished job, same stem
+///   <root>/failed/     result record per failed/unparseable job
+///
+/// Submission is atomic: the writer creates `<stem>.json.tmp` and renames
+/// it, so the server's directory scan never sees a half-written job. Stems
+/// are `<microsecond timestamp>-<pid>-<counter>-<name>`, which makes a
+/// lexicographic scan FIFO by submission time across processes. The server
+/// deletes an incoming file once the job is admitted (the in-memory record
+/// takes over) and writes the result record when it finishes; a submission
+/// that does not parse goes straight to failed/ with the parse status.
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "svc/job.hpp"
+#include "util/status.hpp"
+
+namespace cals::svc {
+
+struct SpoolPaths {
+  std::filesystem::path root;
+  std::filesystem::path incoming;
+  std::filesystem::path done;
+  std::filesystem::path failed;
+};
+
+/// Builds the three subdirectories (idempotent). Fails with kInternal when
+/// the root is not writable.
+Result<SpoolPaths> open_spool(const std::string& root);
+
+/// Writes `spec` as a new incoming job file (tmp + rename) and returns the
+/// file stem (without ".json") the result record will be published under.
+Result<std::string> spool_submit(const SpoolPaths& spool, const JobSpec& spec);
+
+/// Incoming job files, lexicographically sorted (== FIFO by submission).
+std::vector<std::filesystem::path> spool_scan(const SpoolPaths& spool);
+
+/// Reads + parses one incoming job file.
+Result<JobSpec> spool_load_job(const std::filesystem::path& path);
+
+/// Publishes the terminal record for `stem` into done/ or failed/ (by
+/// `record.state`), atomically. The record payload is the JobOutcome JSON
+/// plus name/state/priority/cache-key envelope fields.
+/// Returns false on I/O failure.
+bool spool_publish_result(const SpoolPaths& spool, const std::string& stem,
+                          const JobRecord& record);
+
+/// Looks for `<stem>.json` under done/ then failed/; empty path if neither
+/// exists yet (the submitter's --wait poll).
+std::filesystem::path spool_find_result(const SpoolPaths& spool,
+                                        const std::string& stem);
+
+}  // namespace cals::svc

@@ -41,6 +41,10 @@ std::uint32_t ThreadPool::hardware_threads() {
   return n == 0 ? 1u : static_cast<std::uint32_t>(n);
 }
 
+std::uint32_t recommended_threads(std::uint32_t jobs_in_flight) {
+  return std::max(1u, ThreadPool::hardware_threads() / std::max(1u, jobs_in_flight));
+}
+
 ThreadPool::ThreadPool(std::uint32_t num_threads) {
   const std::uint32_t n = num_threads == 0 ? hardware_threads() : num_threads;
   const std::uint32_t hw = hardware_threads();

@@ -32,6 +32,15 @@
 
 namespace cals {
 
+/// The thread share one of `jobs_in_flight` concurrent flow evaluations
+/// should use so J jobs x T threads never oversubscribe the machine:
+/// max(1, hardware_threads() / jobs). 0 is treated as 1 (a lone caller gets
+/// the whole machine, the historical num_threads=0 behavior). The svc
+/// scheduler partitions its budget with this, and DesignContext resolves
+/// FlowOptions::num_threads == 0 through it using the library-wide count of
+/// flows currently inside run() (see flows_in_flight() in flow.hpp).
+std::uint32_t recommended_threads(std::uint32_t jobs_in_flight);
+
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (0 = hardware_threads()).

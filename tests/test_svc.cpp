@@ -1,0 +1,669 @@
+/// Tests for the `cals::svc` batch flow service (DESIGN.md §10): the flat
+/// JSON codec, the job model and its content-addressed cache key, the
+/// persistent result cache (bit-identical warm hits), the FlowService
+/// scheduler (priority/FIFO ordering, admission control, cancellation,
+/// drain, duplicate coalescing) and the spool wire protocol.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sop/pla_io.hpp"
+#include "svc/job.hpp"
+#include "svc/json.hpp"
+#include "svc/result_cache.hpp"
+#include "svc/service.hpp"
+#include "svc/spool.hpp"
+#include "util/faults.hpp"
+#include "util/thread_pool.hpp"
+#include "workloads/plagen.hpp"
+#include "workloads/presets.hpp"
+
+namespace cals::svc {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A fresh directory under the test temp root, removed on destruction.
+struct TempDir {
+  explicit TempDir(const char* tag) {
+    static std::atomic<std::uint64_t> counter{0};
+    path = fs::path(::testing::TempDir()) /
+           (std::string("cals_svc_") + tag + "_" +
+            std::to_string(counter.fetch_add(1)));
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  fs::path path;
+};
+
+/// A small-but-real job: enough structure that the flow produces nonzero
+/// wirelength/area, small enough that one execution is a few milliseconds.
+JobSpec tiny_job(double k = 0.05) {
+  JobSpec spec;
+  spec.name = "tiny";
+  spec.format = DesignFormat::kPla;
+  spec.design_text = write_pla_string(workloads::spla_like(0.05));
+  spec.options.K = k;
+  spec.options.on_error = ErrorPolicy::kBestEffort;
+  return spec;
+}
+
+void expect_metrics_identical(const FlowMetrics& a, const FlowMetrics& b) {
+  EXPECT_EQ(a.k_factor, b.k_factor);
+  EXPECT_EQ(a.num_cells, b.num_cells);
+  EXPECT_EQ(a.cell_area_um2, b.cell_area_um2);
+  EXPECT_EQ(a.utilization_pct, b.utilization_pct);
+  EXPECT_EQ(a.routing_violations, b.routing_violations);
+  EXPECT_EQ(a.routable, b.routable);
+  EXPECT_EQ(a.wirelength_um, b.wirelength_um);
+  EXPECT_EQ(a.hpwl_um, b.hpwl_um);
+  EXPECT_EQ(a.critical_path_ns, b.critical_path_ns);
+  EXPECT_EQ(a.crit_start, b.crit_start);
+  EXPECT_EQ(a.crit_end, b.crit_end);
+  EXPECT_EQ(a.num_rows, b.num_rows);
+  EXPECT_EQ(a.chip_area_um2, b.chip_area_um2);
+}
+
+// ---- flat JSON codec ------------------------------------------------------
+
+TEST(SvcJson, WriterRoundTripsEveryKind) {
+  JsonObjectWriter w;
+  w.field("s", std::string_view("a \"quoted\"\nline"));
+  w.field("d", 0.1);
+  w.field("u", std::uint64_t{18446744073709551615ull});
+  w.field("neg", std::int64_t{-42});
+  w.field("yes", true);
+  w.field("no", false);
+  const std::string text = std::move(w).finish();
+
+  Result<JsonObject> parsed = parse_json_object(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  std::string s;
+  double d = 0.0;
+  std::uint64_t u = 0;
+  std::int32_t neg = 0;
+  bool yes = false, no = true;
+  EXPECT_TRUE(get_string(*parsed, "s", s));
+  EXPECT_EQ(s, "a \"quoted\"\nline");
+  EXPECT_TRUE(get_double(*parsed, "d", d));
+  EXPECT_EQ(d, 0.1);  // %.17g round-trip is exact, not approximate
+  EXPECT_TRUE(get_u64(*parsed, "u", u));
+  EXPECT_EQ(u, 18446744073709551615ull);
+  EXPECT_TRUE(get_i32(*parsed, "neg", neg));
+  EXPECT_EQ(neg, -42);
+  EXPECT_TRUE(get_bool(*parsed, "yes", yes));
+  EXPECT_TRUE(yes);
+  EXPECT_TRUE(get_bool(*parsed, "no", no));
+  EXPECT_FALSE(no);
+}
+
+TEST(SvcJson, GettersLeaveOutputUntouchedOnMissOrKindMismatch) {
+  Result<JsonObject> parsed = parse_json_object(R"({"n": 7})");
+  ASSERT_TRUE(parsed.ok());
+  std::string s = "unchanged";
+  EXPECT_FALSE(get_string(*parsed, "n", s));      // wrong kind
+  EXPECT_FALSE(get_string(*parsed, "absent", s)); // missing
+  EXPECT_EQ(s, "unchanged");
+  std::uint32_t u = 99;
+  EXPECT_FALSE(get_u32(*parsed, "absent", u));
+  EXPECT_EQ(u, 99u);
+}
+
+TEST(SvcJson, ParserRejectsMalformedInputWithProvenance) {
+  // Nested objects / arrays are out of scope for the flat wire format.
+  EXPECT_FALSE(parse_json_object(R"({"a": {"b": 1}})").ok());
+  EXPECT_FALSE(parse_json_object(R"({"a": [1, 2]})").ok());
+  EXPECT_FALSE(parse_json_object(R"({"a": 1, "a": 2})").ok());  // dup key
+  EXPECT_FALSE(parse_json_object(R"({"a": 1} trailing)").ok());
+  EXPECT_FALSE(parse_json_object("{\"a\": 1").ok());            // truncated
+  const Status s = parse_json_object("{\n  \"a\": @\n}").status();
+  EXPECT_EQ(s.code(), ErrorCode::kParseError);
+  EXPECT_NE(s.to_string().find("2:"), std::string::npos) << s.to_string();
+}
+
+// ---- job model + cache key ------------------------------------------------
+
+TEST(SvcJob, CacheKeyIsStableAndContentSensitive) {
+  const JobSpec base = tiny_job();
+  EXPECT_EQ(job_cache_key(base), job_cache_key(base));
+  EXPECT_EQ(job_cache_key(base).size(), 16u);
+
+  JobSpec other = base;
+  other.design_text += "\n";
+  EXPECT_NE(job_cache_key(other), job_cache_key(base));
+
+  other = base;
+  other.options.K = 0.25;
+  EXPECT_NE(job_cache_key(other), job_cache_key(base));
+
+  other = base;
+  other.options.route.max_rrr_iterations += 1;
+  EXPECT_NE(job_cache_key(other), job_cache_key(base));
+
+  other = base;
+  other.rows = 12;
+  EXPECT_NE(job_cache_key(other), job_cache_key(base));
+}
+
+TEST(SvcJob, CacheKeyIgnoresBitIdenticalKnobs) {
+  // num_threads and use_match_cache never change results (DESIGN.md §6),
+  // so a serial and a parallel run must share one cache entry. The job
+  // label and error policy don't change results either.
+  const JobSpec base = tiny_job();
+  JobSpec variant = base;
+  variant.options.num_threads = 8;
+  variant.options.use_match_cache = !base.options.use_match_cache;
+  variant.options.on_error = ErrorPolicy::kPropagate;
+  variant.name = "renamed";
+  variant.priority = 7;
+  EXPECT_EQ(job_cache_key(variant), job_cache_key(base));
+}
+
+TEST(SvcJob, SpecJsonRoundTrip) {
+  JobSpec spec = tiny_job(0.1);
+  spec.name = "round-trip";
+  spec.genlib_text = "GATE inv 1 O=!a; PIN * INV 1 999 1 0 1 0\n";
+  spec.sis = true;
+  spec.auto_k = true;
+  spec.rows = 9;
+  spec.util = 0.45;
+  spec.priority = -3;
+  spec.options.partition = PartitionStrategy::kCones;
+  spec.options.objective = MapObjective::kDelay;
+  spec.options.refine_passes = 2;
+  spec.options.max_route_iters = 11;
+  spec.options.phase_time_budget_s = 1.5;
+
+  Result<JobSpec> back = job_spec_from_json(job_spec_to_json(spec));
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  EXPECT_EQ(back->name, spec.name);
+  EXPECT_EQ(back->format, spec.format);
+  EXPECT_EQ(back->design_text, spec.design_text);
+  EXPECT_EQ(back->genlib_text, spec.genlib_text);
+  EXPECT_EQ(back->sis, spec.sis);
+  EXPECT_EQ(back->auto_k, spec.auto_k);
+  EXPECT_EQ(back->rows, spec.rows);
+  EXPECT_EQ(back->util, spec.util);
+  EXPECT_EQ(back->priority, spec.priority);
+  EXPECT_EQ(back->options.K, spec.options.K);
+  EXPECT_EQ(back->options.partition, spec.options.partition);
+  EXPECT_EQ(back->options.objective, spec.options.objective);
+  EXPECT_EQ(back->options.refine_passes, spec.options.refine_passes);
+  EXPECT_EQ(back->options.max_route_iters, spec.options.max_route_iters);
+  EXPECT_EQ(back->options.phase_time_budget_s, spec.options.phase_time_budget_s);
+  // The decisive test: same cache key on both sides of the wire.
+  EXPECT_EQ(job_cache_key(*back), job_cache_key(spec));
+}
+
+TEST(SvcJob, SpecJsonRejectsBadInput) {
+  EXPECT_FALSE(job_spec_from_json("not json").ok());
+  EXPECT_FALSE(job_spec_from_json(R"({"name": "x"})").ok());  // no design
+  EXPECT_FALSE(
+      job_spec_from_json(R"({"design": ".i 1", "format": "vhdl"})").ok());
+  EXPECT_FALSE(
+      job_spec_from_json(R"({"design": ".i 1", "util": 1.5})").ok());
+  EXPECT_FALSE(job_spec_from_json(R"({"design": ".i 1", "k": -1})").ok());
+  EXPECT_FALSE(
+      job_spec_from_json(R"({"design": ".i 1", "partition": "best"})").ok());
+}
+
+TEST(SvcJob, OutcomeJsonRoundTripIsExact) {
+  JobOutcome outcome;
+  outcome.status = Status::infeasible("no fit at 9 rows");
+  outcome.metrics.k_factor = 0.1;
+  outcome.metrics.num_cells = 123;
+  outcome.metrics.wirelength_um = 4567.0625;
+  outcome.metrics.hpwl_um = 1.0 / 3.0;  // not representable in short decimal
+  outcome.metrics.critical_path_ns = 2.7182818284590452;
+  outcome.metrics.routable = true;
+  outcome.metrics.routing_violations = 0;
+  outcome.metrics.crit_start = "g42";
+  outcome.metrics.crit_end = "out_7";
+  outcome.queue_seconds = 0.25;
+  outcome.exec_seconds = 1.75;
+
+  Result<JobOutcome> back = job_outcome_from_json(job_outcome_to_json(outcome));
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  EXPECT_EQ(back->status.code(), ErrorCode::kInfeasible);
+  EXPECT_EQ(back->status.message(), "no fit at 9 rows");
+  EXPECT_EQ(back->queue_seconds, outcome.queue_seconds);
+  EXPECT_EQ(back->exec_seconds, outcome.exec_seconds);
+  expect_metrics_identical(back->metrics, outcome.metrics);
+}
+
+TEST(SvcJob, ErrorCodeTokensRoundTrip) {
+  for (const ErrorCode code :
+       {ErrorCode::kOk, ErrorCode::kParseError, ErrorCode::kInvalidNetwork,
+        ErrorCode::kInfeasible, ErrorCode::kBudgetExceeded, ErrorCode::kInternal}) {
+    ErrorCode back = ErrorCode::kOk;
+    ASSERT_TRUE(error_code_from_token(error_code_token(code), back));
+    EXPECT_EQ(back, code);
+  }
+  ErrorCode unused;
+  EXPECT_FALSE(error_code_from_token("no_such_code", unused));
+}
+
+// ---- thread budget partitioning (the oversubscription fix) -----------------
+
+TEST(SvcThreads, RecommendedThreadsPartitionsTheMachine) {
+  const std::uint32_t hw = ThreadPool::hardware_threads();
+  EXPECT_EQ(recommended_threads(0), hw);  // 0 jobs treated as 1
+  EXPECT_EQ(recommended_threads(1), hw);
+  EXPECT_EQ(recommended_threads(hw), 1u);
+  EXPECT_EQ(recommended_threads(hw * 10), 1u);  // never below 1
+  if (hw >= 2) {
+    EXPECT_EQ(recommended_threads(2), hw / 2);
+  }
+  // J jobs x recommended(J) threads never oversubscribes.
+  for (std::uint32_t j = 1; j <= hw + 2; ++j)
+    EXPECT_LE(std::max(1u, j) * recommended_threads(j),
+              std::max(hw, std::max(1u, j)));
+}
+
+TEST(SvcThreads, ServicePartitionsExplicitBudget) {
+  ServiceOptions options;
+  options.max_parallel_jobs = 4;
+  options.total_threads = 8;
+  options.start_paused = true;
+  FlowService service(options);
+  EXPECT_EQ(service.threads_per_job(), 2u);
+
+  ServiceOptions tight = options;
+  tight.total_threads = 3;  // floor, never zero
+  FlowService small(tight);
+  EXPECT_EQ(small.threads_per_job(), 1u);
+}
+
+// ---- run_flow_job ----------------------------------------------------------
+
+TEST(SvcRunJob, ExecutesAndReportsMetrics) {
+  const JobOutcome outcome = run_flow_job(tiny_job(), 1);
+  ASSERT_TRUE(outcome.status.ok()) << outcome.status.to_string();
+  EXPECT_GT(outcome.metrics.num_cells, 0u);
+  EXPECT_GT(outcome.metrics.wirelength_um, 0.0);
+  EXPECT_GT(outcome.metrics.num_rows, 0u);
+}
+
+TEST(SvcRunJob, ParseFailureComesBackAsStatus) {
+  JobSpec bad = tiny_job();
+  bad.design_text = ".i banana\n";
+  const JobOutcome outcome = run_flow_job(bad, 1);
+  EXPECT_EQ(outcome.status.code(), ErrorCode::kParseError);
+}
+
+TEST(SvcRunJob, ThreadCountIsBitIdentical) {
+  // The contract the cache key leans on: worker count never changes results.
+  const JobOutcome serial = run_flow_job(tiny_job(), 1);
+  const JobOutcome wide = run_flow_job(tiny_job(), 4);
+  ASSERT_TRUE(serial.status.ok());
+  ASSERT_TRUE(wide.status.ok());
+  expect_metrics_identical(serial.metrics, wide.metrics);
+}
+
+// ---- result cache ----------------------------------------------------------
+
+TEST(SvcCache, StoreThenLookupIsBitIdentical) {
+  TempDir dir("cache");
+  ResultCache cache(dir.path.string());
+  const JobOutcome cold = run_flow_job(tiny_job(), 1);
+  ASSERT_TRUE(cold.status.ok());
+  const std::string key = job_cache_key(tiny_job());
+  cache.store(key, cold);
+
+  const std::optional<JobOutcome> warm = cache.lookup(key);
+  ASSERT_TRUE(warm.has_value());
+  EXPECT_TRUE(warm->cache_hit);
+  expect_metrics_identical(warm->metrics, cold.metrics);
+  EXPECT_EQ(cache.stores(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(SvcCache, MissesUnknownKeyAndSkipsFailedOutcomes) {
+  TempDir dir("cache");
+  ResultCache cache(dir.path.string());
+  EXPECT_FALSE(cache.lookup("0000000000000000").has_value());
+  EXPECT_EQ(cache.misses(), 1u);
+
+  JobOutcome failed;
+  failed.status = Status::internal("boom");
+  cache.store("0000000000000000", failed);  // non-OK results are not cached
+  EXPECT_EQ(cache.stores(), 0u);
+  EXPECT_FALSE(cache.lookup("0000000000000000").has_value());
+}
+
+TEST(SvcCache, CorruptEntryDegradesToMiss) {
+  TempDir dir("cache");
+  ResultCache cache(dir.path.string());
+  {
+    std::ofstream out(dir.path / "deadbeefdeadbeef.json");
+    out << "{ this is not json";
+  }
+  EXPECT_FALSE(cache.lookup("deadbeefdeadbeef").has_value());
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(SvcCache, CacheFaultNeverFailsTheCaller) {
+  TempDir dir("cache");
+  ResultCache cache(dir.path.string());
+  faults::reset();
+  faults::FaultSpec spec;
+  spec.action = faults::Action::kThrow;
+  spec.count = 2;  // fault the lookup AND the store
+  faults::arm("svc.cache", spec);
+  EXPECT_FALSE(cache.lookup("0123456789abcdef").has_value());  // degraded miss
+  JobOutcome ok;
+  cache.store("0123456789abcdef", ok);  // degraded no-op, no throw
+  faults::reset();
+  EXPECT_FALSE(cache.lookup("0123456789abcdef").has_value());
+  EXPECT_EQ(cache.stores(), 0u);
+}
+
+// ---- FlowService scheduler -------------------------------------------------
+
+TEST(SvcService, PriorityThenFifoOrdering) {
+  ServiceOptions options;
+  options.max_parallel_jobs = 1;  // serialize so run_sequence is the order
+  options.start_paused = true;
+  options.coalesce_duplicates = false;
+  FlowService service(options);
+
+  const JobId low = *service.submit(tiny_job(0.01));
+  const JobId high_a = *service.submit([] {
+    JobSpec s = tiny_job(0.02);
+    s.priority = 5;
+    return s;
+  }());
+  const JobId high_b = *service.submit([] {
+    JobSpec s = tiny_job(0.03);
+    s.priority = 5;
+    return s;
+  }());
+  const JobId mid = *service.submit([] {
+    JobSpec s = tiny_job(0.04);
+    s.priority = 2;
+    return s;
+  }());
+  service.resume();
+  service.drain();
+
+  EXPECT_EQ(service.wait(high_a).run_sequence, 1u);  // highest, submitted first
+  EXPECT_EQ(service.wait(high_b).run_sequence, 2u);  // FIFO within a level
+  EXPECT_EQ(service.wait(mid).run_sequence, 3u);
+  EXPECT_EQ(service.wait(low).run_sequence, 4u);
+  for (const JobId id : {low, high_a, high_b, mid})
+    EXPECT_EQ(service.wait(id).state, JobState::kDone);
+}
+
+TEST(SvcService, AdmissionControlRejectsWhenFull) {
+  ServiceOptions options;
+  options.queue_capacity = 2;
+  options.start_paused = true;
+  options.coalesce_duplicates = false;
+  FlowService service(options);
+
+  ASSERT_TRUE(service.submit(tiny_job(0.01)).ok());
+  ASSERT_TRUE(service.submit(tiny_job(0.02)).ok());
+  const Result<JobId> rejected = service.submit(tiny_job(0.03));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), ErrorCode::kBudgetExceeded);
+  // The diagnostics name the queue state so operators can act on it.
+  EXPECT_NE(rejected.status().message().find("capacity"), std::string::npos)
+      << rejected.status().message();
+  EXPECT_EQ(service.stats().rejected, 1u);
+
+  service.resume();
+  service.drain();
+  EXPECT_EQ(service.stats().done, 2u);
+  // Capacity frees up once the queue drains.
+  EXPECT_TRUE(service.submit(tiny_job(0.03)).ok());
+  service.drain();
+  EXPECT_EQ(service.stats().done, 3u);
+}
+
+TEST(SvcService, CancelQueuedButNotTerminal) {
+  ServiceOptions options;
+  options.start_paused = true;
+  FlowService service(options);
+  const JobId id = *service.submit(tiny_job());
+  EXPECT_TRUE(service.cancel(id));
+  EXPECT_FALSE(service.cancel(id));  // already terminal
+  EXPECT_FALSE(service.cancel(9999));  // unknown
+  const JobRecord record = service.wait(id);
+  EXPECT_EQ(record.state, JobState::kCancelled);
+  EXPECT_EQ(record.run_sequence, 0u);  // never reached a dispatcher
+  service.resume();
+  service.drain();
+  EXPECT_EQ(service.stats().cancelled, 1u);
+  EXPECT_EQ(service.stats().flow_executions, 0u);
+}
+
+TEST(SvcService, DrainCompletesEverything) {
+  FlowService service{ServiceOptions{}};
+  std::vector<JobId> ids;
+  for (int i = 0; i < 4; ++i)
+    ids.push_back(*service.submit(tiny_job(0.01 * (i + 1))));
+  service.drain();
+  const FlowService::Stats stats = service.stats();
+  EXPECT_EQ(stats.done, 4u);
+  EXPECT_EQ(stats.queued, 0u);
+  EXPECT_EQ(stats.running, 0u);
+  for (const JobId id : ids) {
+    const JobRecord record = service.wait(id);
+    EXPECT_EQ(record.state, JobState::kDone);
+    EXPECT_TRUE(record.outcome.status.ok());
+    EXPECT_GT(record.outcome.metrics.num_cells, 0u);
+  }
+}
+
+TEST(SvcService, ShutdownCancelsQueuedAndRejectsNewWork) {
+  ServiceOptions options;
+  options.start_paused = true;
+  FlowService service(options);
+  const JobId id = *service.submit(tiny_job());
+  service.shutdown(/*cancel_queued=*/true);
+  EXPECT_EQ(service.wait(id).state, JobState::kCancelled);
+  const Result<JobId> late = service.submit(tiny_job());
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), ErrorCode::kInternal);
+}
+
+TEST(SvcService, WarmCacheHitIsBitIdenticalAndSkipsTheFlow) {
+  TempDir dir("cache");
+  ResultCache cache(dir.path.string());
+  FlowMetrics cold_metrics;
+  {
+    ServiceOptions options;
+    options.cache = &cache;
+    FlowService service(options);
+    const JobRecord record = service.wait(*service.submit(tiny_job()));
+    ASSERT_EQ(record.state, JobState::kDone);
+    EXPECT_FALSE(record.outcome.cache_hit);
+    cold_metrics = record.outcome.metrics;
+    EXPECT_EQ(service.stats().flow_executions, 1u);
+  }
+  {
+    // A brand-new service sharing only the on-disk cache directory.
+    ServiceOptions options;
+    options.cache = &cache;
+    FlowService service(options);
+    const JobRecord record = service.wait(*service.submit(tiny_job()));
+    ASSERT_EQ(record.state, JobState::kDone);
+    EXPECT_TRUE(record.outcome.cache_hit);
+    EXPECT_EQ(service.stats().flow_executions, 0u);
+    EXPECT_EQ(service.stats().cache_hits, 1u);
+    expect_metrics_identical(record.outcome.metrics, cold_metrics);
+  }
+}
+
+TEST(SvcService, ConcurrentDuplicatesCoalesceToOneExecution) {
+  ServiceOptions options;
+  options.start_paused = true;  // both submissions land before dispatch
+  FlowService service(options);
+  const JobId primary = *service.submit(tiny_job());
+  const JobId follower = *service.submit(tiny_job());
+  EXPECT_NE(primary, follower);
+  service.resume();
+
+  const JobRecord a = service.wait(primary);
+  const JobRecord b = service.wait(follower);
+  EXPECT_EQ(a.state, JobState::kDone);
+  EXPECT_EQ(b.state, JobState::kDone);
+  EXPECT_FALSE(a.outcome.coalesced);
+  EXPECT_TRUE(b.outcome.coalesced);
+  EXPECT_EQ(b.run_sequence, 0u);  // the follower never dispatched
+  expect_metrics_identical(a.outcome.metrics, b.outcome.metrics);
+  const FlowService::Stats stats = service.stats();
+  EXPECT_EQ(stats.flow_executions, 1u);
+  EXPECT_EQ(stats.coalesced, 1u);
+  EXPECT_EQ(stats.done, 2u);
+}
+
+TEST(SvcService, ConcurrentSubmittersAreDeterministic) {
+  // Many threads race identical submissions; the flow must still execute
+  // exactly once and every record must carry the same metrics.
+  ServiceOptions options;
+  options.max_parallel_jobs = 2;
+  FlowService service(options);
+  constexpr int kSubmitters = 8;
+  std::vector<JobId> ids(kSubmitters);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kSubmitters);
+    for (int i = 0; i < kSubmitters; ++i)
+      threads.emplace_back(
+          [&service, &ids, i] { ids[i] = *service.submit(tiny_job()); });
+    for (std::thread& t : threads) t.join();
+  }
+  service.drain();
+  const JobRecord first = service.wait(ids[0]);
+  ASSERT_EQ(first.state, JobState::kDone);
+  for (const JobId id : ids) {
+    const JobRecord record = service.wait(id);
+    EXPECT_EQ(record.state, JobState::kDone);
+    expect_metrics_identical(record.outcome.metrics, first.outcome.metrics);
+  }
+  EXPECT_EQ(service.stats().flow_executions, 1u);
+  EXPECT_EQ(service.stats().coalesced, kSubmitters - 1u);
+}
+
+TEST(SvcService, DispatchFaultFailsOneJobAndTheQueueKeepsDraining) {
+  faults::reset();
+  faults::FaultSpec spec;
+  spec.action = faults::Action::kThrow;
+  spec.count = 1;
+  faults::arm("svc.dispatch", spec);
+
+  ServiceOptions options;
+  options.max_parallel_jobs = 1;
+  options.start_paused = true;
+  options.coalesce_duplicates = false;
+  FlowService service(options);
+  const JobId poisoned = *service.submit(tiny_job(0.01));
+  const JobId second = *service.submit(tiny_job(0.02));
+  const JobId third = *service.submit(tiny_job(0.03));
+  service.resume();
+  service.drain();
+  faults::reset();
+
+  const JobRecord failed = service.wait(poisoned);
+  EXPECT_EQ(failed.state, JobState::kFailed);
+  EXPECT_EQ(failed.outcome.status.code(), ErrorCode::kInternal);
+  EXPECT_EQ(service.wait(second).state, JobState::kDone);
+  EXPECT_EQ(service.wait(third).state, JobState::kDone);
+  const FlowService::Stats stats = service.stats();
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.done, 2u);
+}
+
+// ---- spool protocol --------------------------------------------------------
+
+TEST(SvcSpool, SubmitScanLoadRoundTrip) {
+  TempDir dir("spool");
+  Result<SpoolPaths> spool = open_spool(dir.path.string());
+  ASSERT_TRUE(spool.ok()) << spool.status().to_string();
+
+  JobSpec spec = tiny_job();
+  spec.name = "spool trip / weird:name";  // sanitized in the stem
+  Result<std::string> stem = spool_submit(*spool, spec);
+  ASSERT_TRUE(stem.ok()) << stem.status().to_string();
+  EXPECT_EQ(stem->find('/'), std::string::npos);
+  EXPECT_EQ(stem->find(':'), std::string::npos);
+
+  const std::vector<fs::path> files = spool_scan(*spool);
+  ASSERT_EQ(files.size(), 1u);
+  Result<JobSpec> loaded = spool_load_job(files[0]);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().to_string();
+  EXPECT_EQ(loaded->design_text, spec.design_text);
+  EXPECT_EQ(job_cache_key(*loaded), job_cache_key(spec));
+}
+
+TEST(SvcSpool, SubmissionOrderIsLexicographic) {
+  TempDir dir("spool");
+  Result<SpoolPaths> spool = open_spool(dir.path.string());
+  ASSERT_TRUE(spool.ok());
+  std::vector<std::string> stems;
+  for (int i = 0; i < 5; ++i)
+    stems.push_back(*spool_submit(*spool, tiny_job()));
+  const std::vector<fs::path> files = spool_scan(*spool);
+  ASSERT_EQ(files.size(), 5u);
+  for (std::size_t i = 0; i < files.size(); ++i)
+    EXPECT_EQ(files[i].stem().string(), stems[i]);  // FIFO by filename
+}
+
+TEST(SvcSpool, PublishAndFindResult) {
+  TempDir dir("spool");
+  Result<SpoolPaths> spool = open_spool(dir.path.string());
+  ASSERT_TRUE(spool.ok());
+
+  JobRecord record;
+  record.id = 7;
+  record.name = "tiny";
+  record.state = JobState::kDone;
+  record.cache_key = "0123456789abcdef";
+  record.run_sequence = 3;
+  record.outcome.metrics.num_cells = 42;
+  record.outcome.metrics.wirelength_um = 1234.5;
+  ASSERT_TRUE(spool_publish_result(*spool, "stem-1", record));
+
+  const fs::path found = spool_find_result(*spool, "stem-1");
+  ASSERT_FALSE(found.empty());
+  EXPECT_EQ(found.parent_path(), spool->done);
+  std::ifstream in(found);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  Result<JobOutcome> outcome = job_outcome_from_json(text);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().to_string();
+  EXPECT_EQ(outcome->metrics.num_cells, 42u);
+  EXPECT_EQ(outcome->metrics.wirelength_um, 1234.5);
+
+  record.state = JobState::kFailed;
+  record.outcome.status = Status::internal("boom");
+  ASSERT_TRUE(spool_publish_result(*spool, "stem-2", record));
+  EXPECT_EQ(spool_find_result(*spool, "stem-2").parent_path(), spool->failed);
+  EXPECT_TRUE(spool_find_result(*spool, "no-such-stem").empty());
+}
+
+TEST(SvcSpool, LoadAnnotatesParseErrorsWithThePath) {
+  TempDir dir("spool");
+  Result<SpoolPaths> spool = open_spool(dir.path.string());
+  ASSERT_TRUE(spool.ok());
+  const fs::path bad = spool->incoming / "bad.json";
+  { std::ofstream(bad) << "{ nope"; }
+  const Result<JobSpec> loaded = spool_load_job(bad);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().to_string().find("bad.json"), std::string::npos)
+      << loaded.status().to_string();
+}
+
+}  // namespace
+}  // namespace cals::svc

@@ -1,0 +1,238 @@
+/// cals_serve — the batch flow daemon: polls a spool directory for job
+/// files (written by cals_submit or anything else), feeds them through a
+/// cals::svc::FlowService with admission control and a per-job thread
+/// budget, and publishes one result record per job into the spool's done/
+/// or failed/ directory.
+///
+/// Usage:
+///   cals_serve --spool <dir> [options]
+///
+/// Options:
+///   --capacity <n>     queued-job bound for admission control (default 64)
+///   --jobs <n>         concurrent flow executions (default 2)
+///   --threads <n>      total worker-thread budget split across jobs
+///                      (default 0 = hardware concurrency)
+///   --cache <dir>      persistent result cache directory (off when absent)
+///   --drain            process the existing backlog, then exit 0 (CI /
+///                      scripting mode; without it the server polls forever)
+///   --poll-ms <n>      spool scan interval (default 100)
+///   --max-seconds <f>  hard wall-clock stop, result records flushed (safety
+///                      net for unattended runs; default: none)
+///   --metrics <file>   write the obs metrics registry dump on exit
+///   --trace <file>     write a Chrome trace_event JSON on exit
+///   --quiet            suppress the per-job narration
+///
+/// A job file that does not parse is published straight to failed/ (the
+/// spool stem is preserved), and a submission that hits a full queue stays
+/// in incoming/ for the next scan — admission pushback, not data loss.
+/// Injected faults (svc.dispatch / svc.cache) mark individual jobs failed;
+/// the server itself always exits normally (the fault-sweep contract).
+///
+/// Exit codes: 0 clean shutdown, 1 spool unusable, 2 usage error.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "svc/service.hpp"
+#include "svc/spool.hpp"
+#include "util/obs.hpp"
+#include "util/strings.hpp"
+
+using namespace cals;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0, const std::string& why = {}) {
+  if (!why.empty()) std::fprintf(stderr, "%s: %s\n", argv0, why.c_str());
+  std::fprintf(stderr, "usage: %s --spool <dir> [options]\n", argv0);
+  std::fprintf(stderr, "run with the source header's option list for details\n");
+  std::exit(2);
+}
+
+struct Args {
+  std::string spool_dir;
+  std::size_t capacity = 64;
+  std::uint32_t jobs = 2;
+  std::uint32_t threads = 0;
+  std::string cache_dir;
+  bool drain = false;
+  std::uint32_t poll_ms = 100;
+  double max_seconds = 0.0;
+  std::string metrics_out;
+  std::string trace_out;
+  bool quiet = false;
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc)
+      usage(argv[0], std::string("option '") + argv[i] + "' needs a value");
+    return argv[++i];
+  };
+  auto need_u32 = [&](int& i) -> std::uint32_t {
+    const char* flag = argv[i];
+    const char* text = need(i);
+    std::uint32_t value = 0;
+    if (!parse_u32(text, value))
+      usage(argv[0], std::string("option '") + flag + "': '" + text +
+                         "' is not an unsigned integer");
+    return value;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--spool") == 0) args.spool_dir = need(i);
+    else if (std::strcmp(a, "--capacity") == 0) args.capacity = need_u32(i);
+    else if (std::strcmp(a, "--jobs") == 0) args.jobs = std::max(1u, need_u32(i));
+    else if (std::strcmp(a, "--threads") == 0) args.threads = need_u32(i);
+    else if (std::strcmp(a, "--cache") == 0) args.cache_dir = need(i);
+    else if (std::strcmp(a, "--drain") == 0) args.drain = true;
+    else if (std::strcmp(a, "--poll-ms") == 0) args.poll_ms = std::max(1u, need_u32(i));
+    else if (std::strcmp(a, "--max-seconds") == 0) {
+      const char* text = need(i);
+      if (!parse_double(text, args.max_seconds) || args.max_seconds <= 0.0)
+        usage(argv[0], strprintf("option '--max-seconds': '%s' is not a positive "
+                                 "number", text));
+    } else if (std::strcmp(a, "--metrics") == 0) args.metrics_out = need(i);
+    else if (std::strcmp(a, "--trace") == 0) args.trace_out = need(i);
+    else if (std::strcmp(a, "--quiet") == 0) args.quiet = true;
+    else usage(argv[0], std::string("unknown argument '") + a + "'");
+  }
+  if (args.spool_dir.empty()) usage(argv[0], "--spool is required");
+  if (args.capacity == 0) usage(argv[0], "--capacity must be >= 1");
+  return args;
+}
+
+int serve(const Args& args) {
+  if (!args.trace_out.empty() || !args.metrics_out.empty()) obs::set_enabled(true);
+  auto say = [&](const char* fmt, auto... values) {
+    if (!args.quiet) {
+      std::printf(fmt, values...);
+      std::fflush(stdout);
+    }
+  };
+
+  Result<svc::SpoolPaths> spool = svc::open_spool(args.spool_dir);
+  if (!spool.ok()) {
+    std::fprintf(stderr, "cals_serve: %s\n", spool.status().to_string().c_str());
+    return 1;
+  }
+
+  std::unique_ptr<svc::ResultCache> cache;
+  if (!args.cache_dir.empty())
+    cache = std::make_unique<svc::ResultCache>(args.cache_dir);
+
+  svc::ServiceOptions service_options;
+  service_options.queue_capacity = args.capacity;
+  service_options.max_parallel_jobs = args.jobs;
+  service_options.total_threads = args.threads;
+  service_options.cache = cache.get();
+  svc::FlowService service(service_options);
+  say("cals_serve: spool %s, capacity %zu, %u parallel jobs x %u threads%s\n",
+      args.spool_dir.c_str(), args.capacity, args.jobs, service.threads_per_job(),
+      cache ? strprintf(", cache %s", args.cache_dir.c_str()).c_str() : "");
+
+  const auto start = std::chrono::steady_clock::now();
+  std::map<svc::JobId, std::string> pending;  // admitted job -> spool stem
+
+  for (;;) {
+    // ---- admit new job files -----------------------------------------------
+    for (const std::filesystem::path& file : svc::spool_scan(*spool)) {
+      const std::string stem = file.stem().string();
+      Result<svc::JobSpec> spec = svc::spool_load_job(file);
+      if (!spec.ok()) {
+        // Unparseable submission: publish the diagnosis, consume the file.
+        svc::JobRecord record;
+        record.name = stem;
+        record.state = svc::JobState::kFailed;
+        record.outcome.status = spec.status();
+        svc::spool_publish_result(*spool, stem, record);
+        std::filesystem::remove(file);
+        say("cals_serve: %s rejected: %s\n", stem.c_str(),
+            spec.status().to_string().c_str());
+        continue;
+      }
+      Result<svc::JobId> id = service.submit(std::move(*spec));
+      if (!id.ok()) {
+        // Queue full: leave the file for a later scan (admission pushback).
+        say("cals_serve: %s deferred: %s\n", stem.c_str(),
+            id.status().to_string().c_str());
+        break;
+      }
+      pending.emplace(*id, stem);
+      std::filesystem::remove(file);
+      say("cals_serve: %s admitted as job #%llu\n", stem.c_str(),
+          static_cast<unsigned long long>(*id));
+    }
+
+    // ---- publish finished jobs ---------------------------------------------
+    for (auto it = pending.begin(); it != pending.end();) {
+      const std::optional<svc::JobRecord> record = service.snapshot(it->first);
+      if (record && svc::job_state_terminal(record->state)) {
+        svc::spool_publish_result(*spool, it->second, *record);
+        say("cals_serve: %s %s (%s)\n", it->second.c_str(),
+            svc::job_state_name(record->state),
+            record->outcome.cache_hit   ? "cache hit"
+            : record->outcome.coalesced ? "coalesced"
+                                        : strprintf("%.3fs", record->outcome.exec_seconds).c_str());
+        it = pending.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    // ---- termination -------------------------------------------------------
+    if (args.drain && pending.empty() && svc::spool_scan(*spool).empty()) {
+      const svc::FlowService::Stats stats = service.stats();
+      if (stats.queued == 0 && stats.running == 0) break;
+    }
+    if (args.max_seconds > 0.0 &&
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                .count() > args.max_seconds) {
+      say("cals_serve: --max-seconds reached, shutting down\n");
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(args.poll_ms));
+  }
+
+  service.shutdown(/*cancel_queued=*/false);
+  // Flush records for anything that finished during shutdown.
+  for (const auto& [id, stem] : pending) {
+    const std::optional<svc::JobRecord> record = service.snapshot(id);
+    if (record && svc::job_state_terminal(record->state))
+      svc::spool_publish_result(*spool, stem, *record);
+  }
+  const svc::FlowService::Stats stats = service.stats();
+  say("cals_serve: %llu done, %llu failed, %llu cancelled, %llu rejected, "
+      "%llu coalesced, %llu cache hits, %llu flows executed\n",
+      static_cast<unsigned long long>(stats.done),
+      static_cast<unsigned long long>(stats.failed),
+      static_cast<unsigned long long>(stats.cancelled),
+      static_cast<unsigned long long>(stats.rejected),
+      static_cast<unsigned long long>(stats.coalesced),
+      static_cast<unsigned long long>(stats.cache_hits),
+      static_cast<unsigned long long>(stats.flow_executions));
+  if (!args.trace_out.empty() && !obs::write_chrome_trace(args.trace_out))
+    std::fprintf(stderr, "cals_serve: cannot write trace to %s\n",
+                 args.trace_out.c_str());
+  if (!args.metrics_out.empty() && !obs::write_metrics(args.metrics_out))
+    std::fprintf(stderr, "cals_serve: cannot write metrics to %s\n",
+                 args.metrics_out.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  try {
+    return serve(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cals_serve: internal error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -10,6 +10,8 @@ set -u
 
 BUILD_DIR="${1:-build}"
 CALS_FLOW="$BUILD_DIR/tools/cals_flow"
+CALS_SERVE="$BUILD_DIR/tools/cals_serve"
+CALS_SUBMIT="$BUILD_DIR/tools/cals_submit"
 CORPUS="$(dirname "$0")/../tests/corpus"
 FAILURES=0
 
@@ -67,6 +69,51 @@ run_case "pool.dispatch" 1 --threads 2 "$PLA"
 # crashing is not).
 run_case "flow.route:after=2"              any "$PLA"
 run_case "pool.dispatch:after=5" any --threads 2 "$PLA"
+
+# ---- service-layer probes ---------------------------------------------------
+# Contract: a fault in one dispatched job marks THAT job failed; the server
+# keeps draining the rest and exits 0 (the daemon never dies with the job).
+run_serve_case() {
+  local faults="$1" expect_done="$2" expect_failed="$3"
+  shift 3
+  local spool out rc
+  spool="$(mktemp -d)"
+  for k in 0.01 0.02 0.03; do
+    if ! "$CALS_SUBMIT" --spool "$spool" --preset spla --scale 0.1 --k "$k" \
+        --quiet >/dev/null; then
+      echo "FAIL  [svc:$faults] cals_submit failed" >&2
+      FAILURES=$((FAILURES + 1)); rm -rf "$spool"; return
+    fi
+  done
+  out="$(CALS_FAULTS="$faults" "$CALS_SERVE" --spool "$spool" --drain \
+         --poll-ms 20 --quiet "$@" 2>&1)"
+  rc=$?
+  local done_n failed_n
+  done_n="$(ls "$spool/done" 2>/dev/null | wc -l)"
+  failed_n="$(ls "$spool/failed" 2>/dev/null | wc -l)"
+  if (( rc != 0 )); then
+    echo "FAIL  [svc:$faults] server exited $rc (must survive job faults): $out" >&2
+    FAILURES=$((FAILURES + 1))
+  elif [[ "$done_n" != "$expect_done" || "$failed_n" != "$expect_failed" ]]; then
+    echo "FAIL  [svc:$faults] $done_n done / $failed_n failed," \
+         "expected $expect_done / $expect_failed" >&2
+    FAILURES=$((FAILURES + 1))
+  else
+    echo "ok    [svc:$faults] server exit 0, $done_n done / $failed_n failed"
+  fi
+  rm -rf "$spool"
+}
+
+if [[ -x "$CALS_SERVE" && -x "$CALS_SUBMIT" ]]; then
+  # One poisoned dispatch: that job fails, the other two drain normally.
+  run_serve_case "svc.dispatch:count=1" 2 1
+  # Every dispatch poisoned: all jobs fail, the server still exits cleanly.
+  run_serve_case "svc.dispatch:count=0" 0 3
+  # Cache faults degrade to misses/skipped stores; no job is affected.
+  run_serve_case "svc.cache:count=0" 3 0 --cache "$(mktemp -d)"
+else
+  echo "fault_sweep: skipping svc cases ($CALS_SERVE not built)" >&2
+fi
 
 if (( FAILURES > 0 )); then
   echo "fault_sweep: $FAILURES case(s) failed" >&2
