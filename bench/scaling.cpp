@@ -1,0 +1,287 @@
+/// BM_Scaling — the multi-core scaling table for the parallelized hot paths.
+///
+/// Measures three workloads at T = 1/2/4/8/16 worker threads:
+///   * ksweep:    the congestion-aware K sweep end to end (SoA match pricing,
+///                speculative parallel placement, parallel rip-up routing, all
+///                behind FlowOptions::num_threads);
+///   * route_rrr: congested rip-up-and-reroute on a mapped spla-like design —
+///                the PathFinder negotiation loop with the region-partitioned
+///                parallel drain (capacity_scale 1.6, the golden-test setup);
+///   * place:     recursive-bisection global placement of the subject graph
+///                with speculative level parallelism.
+///
+/// Every parallel row is checked bit-identical to its T=1 baseline before it
+/// is reported — a diverging row fails the bench, so the committed table
+/// doubles as a determinism regression. Timings are wall-clock best-of-R.
+///
+/// Usage: scaling [--reps R] [--json BENCH_scaling.json] [--trace/--metrics]
+/// The committed BENCH_scaling.json is produced with CALS_SCALE=0.1 on the
+/// 1-CPU CI container, where every thread count runs on one core — the
+/// speedup column is flat there by construction, which is why
+/// tools/check_scaling.py only enforces monotone speedups up to the recorded
+/// hardware_threads and a modest oversubscription floor beyond it.
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common.hpp"
+#include "map/mapper.hpp"
+#include "place/legalize.hpp"
+#include "place/partition_place.hpp"
+#include "route/router.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cals::bench {
+namespace {
+
+constexpr std::uint32_t kThreadCounts[] = {1, 2, 4, 8, 16};
+
+struct Row {
+  std::uint32_t threads = 1;
+  double ms = 0.0;
+  double speedup = 1.0;
+  bool identical = true;
+};
+
+const Library& bench_library() {
+  static const Library lib = lib::make_corelib();
+  return lib;
+}
+
+const BaseNetwork& subject_network() {
+  static const BaseNetwork net = [] {
+    BaseNetwork n = synthesize_base(workloads::spla_like(scale()));
+    n.build_fanouts();
+    return n;
+  }();
+  return net;
+}
+
+Floorplan subject_floorplan() {
+  return Floorplan::for_cell_area(subject_network().num_base_gates() * 5.3, 0.58,
+                                  bench_library().tech());
+}
+
+bool metrics_identical(const FlowMetrics& a, const FlowMetrics& b) {
+  return a.num_cells == b.num_cells && a.cell_area_um2 == b.cell_area_um2 &&
+         a.wirelength_um == b.wirelength_um && a.hpwl_um == b.hpwl_um &&
+         a.critical_path_ns == b.critical_path_ns &&
+         a.routing_violations == b.routing_violations &&
+         a.num_rows == b.num_rows && a.chip_area_um2 == b.chip_area_um2;
+}
+
+// ---- workload 1: the K sweep ----------------------------------------------
+
+std::vector<Row> bench_ksweep(std::uint32_t reps) {
+  const std::vector<double> schedule = {0.0, 0.05, 0.1, 0.2, 0.4};
+  const Floorplan fp = subject_floorplan();
+  std::vector<FlowMetrics> baseline;
+  std::vector<Row> rows;
+  for (const std::uint32_t threads : kThreadCounts) {
+    FlowOptions options = table_flow_options(0.0);
+    options.num_threads = threads;
+    options.use_match_cache = true;
+    Row row;
+    row.threads = threads;
+    row.ms = 1e300;
+    std::vector<FlowMetrics> metrics;
+    for (std::uint32_t rep = 0; rep < reps; ++rep) {
+      // A fresh context per rep: its lazily-created pool is sized to this
+      // row's thread count, and no match cache leaks across rows.
+      const DesignContext context(subject_network(), &bench_library(), fp);
+      Timer timer;
+      const FlowIterationResult sweep =
+          congestion_aware_flow(context, schedule, options);
+      row.ms = std::min(row.ms, timer.seconds() * 1e3);
+      metrics.clear();
+      for (const FlowRun& run : sweep.runs) metrics.push_back(run.metrics);
+    }
+    if (baseline.empty()) {
+      baseline = metrics;
+    } else {
+      row.identical = metrics.size() == baseline.size();
+      for (std::size_t i = 0; row.identical && i < metrics.size(); ++i)
+        row.identical = metrics_identical(metrics[i], baseline[i]);
+    }
+    row.speedup = rows.empty() ? 1.0 : rows.front().ms / row.ms;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+// ---- workload 2: congested rip-up-and-reroute ------------------------------
+
+bool routes_identical(const RouteResult& a, const RouteResult& b) {
+  if (a.total_overflow != b.total_overflow ||
+      a.wirelength_gcells != b.wirelength_gcells ||
+      a.rrr_iterations != b.rrr_iterations || a.nets.size() != b.nets.size())
+    return false;
+  for (std::size_t n = 0; n < a.nets.size(); ++n)
+    if (a.nets[n].paths != b.nets[n].paths) return false;
+  if (a.iter_stats.size() != b.iter_stats.size()) return false;
+  for (std::size_t i = 0; i < a.iter_stats.size(); ++i)
+    if (a.iter_stats[i].candidates != b.iter_stats[i].candidates ||
+        a.iter_stats[i].rerouted != b.iter_stats[i].rerouted ||
+        a.iter_stats[i].maze_pops != b.iter_stats[i].maze_pops)
+      return false;
+  return true;
+}
+
+std::vector<Row> bench_route_rrr(std::uint32_t reps) {
+  const Floorplan fp = subject_floorplan();
+  const DesignContext context(subject_network(), &bench_library(), fp);
+  const MapResult mapped =
+      map_network(subject_network(), bench_library(), context.node_positions(), {});
+  MappedPlaceBinding binding = mapped.netlist.lower(fp);
+  Placement placement = mapped.netlist.seed_placement(binding);
+  legalize(binding.graph, fp, placement);
+  RGridOptions grid_options;
+  grid_options.capacity_scale = 1.6;  // just under the routability cliff
+
+  RouteResult baseline;
+  std::vector<Row> rows;
+  for (const std::uint32_t threads : kThreadCounts) {
+    const std::unique_ptr<ThreadPool> pool =
+        threads > 1 ? std::make_unique<ThreadPool>(threads) : nullptr;
+    Row row;
+    row.threads = threads;
+    row.ms = 1e300;
+    RouteResult result;
+    for (std::uint32_t rep = 0; rep < reps; ++rep) {
+      RoutingGrid grid(fp, grid_options);
+      Timer timer;
+      result = route(grid, binding.graph, placement, {}, pool.get());
+      row.ms = std::min(row.ms, timer.seconds() * 1e3);
+    }
+    if (rows.empty()) baseline = result;
+    else row.identical = routes_identical(result, baseline);
+    row.speedup = rows.empty() ? 1.0 : rows.front().ms / row.ms;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+// ---- workload 3: global placement ------------------------------------------
+
+std::vector<Row> bench_place(std::uint32_t reps) {
+  const Floorplan fp = subject_floorplan();
+  const BasePlaceBinding binding = lower_base_network(subject_network(), fp);
+
+  Placement baseline;
+  std::vector<Row> rows;
+  for (const std::uint32_t threads : kThreadCounts) {
+    const std::unique_ptr<ThreadPool> pool =
+        threads > 1 ? std::make_unique<ThreadPool>(threads) : nullptr;
+    Row row;
+    row.threads = threads;
+    row.ms = 1e300;
+    Placement result;
+    for (std::uint32_t rep = 0; rep < reps; ++rep) {
+      Timer timer;
+      result = global_place(binding.graph, fp, {}, pool.get());
+      row.ms = std::min(row.ms, timer.seconds() * 1e3);
+    }
+    if (rows.empty()) baseline = result;
+    else row.identical = result.pos == baseline.pos;
+    row.speedup = rows.empty() ? 1.0 : rows.front().ms / row.ms;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+// ---- reporting -------------------------------------------------------------
+
+void print_rows(const char* name, const std::vector<Row>& rows) {
+  Table table({"Threads", "Wall (ms)", "Speedup", "Bit-identical to T=1"});
+  table.set_caption(name);
+  for (const Row& row : rows)
+    table.add_row({fmt_i(row.threads), fmt_f(row.ms, 2), fmt_f(row.speedup, 2),
+                   row.identical ? "yes" : "NO"});
+  print_table(table);
+}
+
+void write_rows_json(FILE* out, const char* name, const std::vector<Row>& rows,
+                     bool last) {
+  std::fprintf(out, "    \"%s\": [\n", name);
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    std::fprintf(out,
+                 "      {\"threads\": %u, \"ms\": %.3f, \"speedup\": %.3f, "
+                 "\"identical\": %s}%s\n",
+                 rows[i].threads, rows[i].ms, rows[i].speedup,
+                 rows[i].identical ? "true" : "false",
+                 i + 1 < rows.size() ? "," : "");
+  std::fprintf(out, "    ]%s\n", last ? "" : ",");
+}
+
+int run(int argc, char** argv) {
+  std::uint32_t reps = 3;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
+    if (a == "--reps") reps = std::strtoul(next(), nullptr, 10);
+    else if (a == "--json") json_path = next();
+  }
+  reps = std::max(reps, 1u);
+
+  print_header("BM_Scaling: multi-core scaling of the parallel hot paths");
+  std::printf("hardware threads: %u, best of %u rep(s) per row\n",
+              ThreadPool::hardware_threads(), reps);
+
+  const std::vector<Row> ksweep = bench_ksweep(reps);
+  print_rows("ksweep: congestion-aware K sweep (full flow per K)", ksweep);
+  const std::vector<Row> route_rrr = bench_route_rrr(reps);
+  print_rows("route_rrr: congested rip-up-and-reroute (capacity_scale 1.6)",
+             route_rrr);
+  const std::vector<Row> place = bench_place(reps);
+  print_rows("place: recursive-bisection global placement", place);
+
+  bool all_identical = true;
+  for (const std::vector<Row>* rows : {&ksweep, &route_rrr, &place})
+    for (const Row& row : *rows) all_identical = all_identical && row.identical;
+  std::printf("acceptance:\n  [%s] every thread count bit-identical to T=1\n",
+              all_identical ? "pass" : "FAIL");
+
+  if (!json_path.empty()) {
+    FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    } else {
+      std::fprintf(out,
+          "{\n"
+          "  \"description\": \"Multi-core scaling pass: bench/scaling "
+          "(BM_Scaling) on the spla-like preset (CALS_SCALE baked at %.2f), "
+          "Release -O2. Three parallelized hot paths at T=1/2/4/8/16 workers; "
+          "'identical' records bit-identity of the full result against the "
+          "T=1 run. Produced on a container with hardware_threads as recorded "
+          "below — speedups above that thread count are oversubscribed by "
+          "construction.\",\n"
+          "  \"unit\": \"ms\",\n"
+          "  \"hardware_threads\": %u,\n"
+          "  \"reps\": %u,\n"
+          "  \"workloads\": {\n",
+          scale(), ThreadPool::hardware_threads(), reps);
+      write_rows_json(out, "ksweep", ksweep, /*last=*/false);
+      write_rows_json(out, "route_rrr", route_rrr, /*last=*/false);
+      write_rows_json(out, "place", place, /*last=*/true);
+      std::fprintf(out,
+          "  },\n"
+          "  \"acceptance\": \"bit-identical to T=1 at every thread count: "
+          "%s\"\n"
+          "}\n",
+          all_identical ? "pass" : "FAIL");
+      std::fclose(out);
+      std::printf("\nwrote %s\n", json_path.c_str());
+    }
+  }
+  return all_identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace cals::bench
+
+int main(int argc, char** argv) {
+  cals::bench::ObsSession obs(argc, argv);
+  return cals::bench::run(argc, argv);
+}

@@ -1,7 +1,7 @@
 #include "flow/flow.hpp"
 
 #include <algorithm>
-#include <atomic>
+#include <mutex>
 
 #include "util/check.hpp"
 #include "util/faults.hpp"
@@ -13,19 +13,62 @@
 namespace cals {
 namespace {
 
-/// Library-wide count of run_impl() calls in progress, so num_threads=0
-/// resolves to a fair share instead of hardware_concurrency per caller
-/// (the J-jobs-x-T-threads oversubscription fix; see recommended_threads).
-std::atomic<std::uint32_t> g_flows_in_flight{0};
-
-struct FlowInFlight {
-  FlowInFlight() { g_flows_in_flight.fetch_add(1, std::memory_order_relaxed); }
-  ~FlowInFlight() { g_flows_in_flight.fetch_sub(1, std::memory_order_relaxed); }
+/// Library-wide ledger of run_impl() calls in progress and the worker
+/// threads they have claimed, so num_threads=0 resolves to a fair share
+/// instead of hardware_concurrency per caller (the J-jobs-x-T-threads
+/// oversubscription fix; see recommended_threads). One mutex guards both
+/// counts: registration and share resolution are a single atomic step, so
+/// two flows racing into run() can never both observe "1 flow in flight"
+/// and claim the whole machine each — the historical handoff
+/// oversubscription recommended_threads() alone could not prevent.
+struct ThreadLedger {
+  std::mutex mutex;
+  std::uint32_t flows = 0;    // run_impl() calls in progress
+  std::uint32_t claimed = 0;  // workers claimed by num_threads=0 resolutions
 };
 
-/// FlowOptions::num_threads -> actual worker count: explicit values pass
-/// through, 0 becomes this process's fair share right now. Callers that are
-/// themselves one of the in-flight flows count at least 1.
+ThreadLedger& thread_ledger() {
+  static ThreadLedger ledger;
+  return ledger;
+}
+
+/// RAII registration of one flow evaluation. When the flow's num_threads is
+/// 0, its worker share is resolved here, under the ledger lock: the fair
+/// share hardware/flows, capped by what the budget has left. A lone flow
+/// still gets the whole machine; late arrivals into a fully-claimed budget
+/// get the floor of 1 worker (run serially) instead of hardware_concurrency
+/// each. Explicit num_threads values pass through unclaimed, exactly as
+/// before.
+struct FlowInFlight {
+  std::uint32_t claim = 0;
+
+  explicit FlowInFlight(std::uint32_t num_threads) {
+    ThreadLedger& ledger = thread_ledger();
+    std::lock_guard<std::mutex> lock(ledger.mutex);
+    ++ledger.flows;
+    if (num_threads == 0) {
+      const std::uint32_t hw = ThreadPool::hardware_threads();
+      const std::uint32_t fair = std::max(1u, hw / ledger.flows);
+      const std::uint32_t avail = hw > ledger.claimed ? hw - ledger.claimed : 0u;
+      claim = std::max(1u, std::min(fair, avail));
+      ledger.claimed += claim;
+    }
+  }
+  ~FlowInFlight() {
+    ThreadLedger& ledger = thread_ledger();
+    std::lock_guard<std::mutex> lock(ledger.mutex);
+    --ledger.flows;
+    ledger.claimed -= claim;
+  }
+  /// The resolved worker count for this evaluation.
+  std::uint32_t resolved(std::uint32_t num_threads) const {
+    return num_threads != 0 ? num_threads : claim;
+  }
+};
+
+/// FlowOptions::num_threads -> actual worker count for callers outside a
+/// flow evaluation (sweep drivers sizing their speculation window): explicit
+/// values pass through, 0 becomes this process's fair share right now.
 std::uint32_t resolve_num_threads(std::uint32_t num_threads) {
   if (num_threads != 0) return num_threads;
   return recommended_threads(std::max(1u, flows_in_flight()));
@@ -34,7 +77,9 @@ std::uint32_t resolve_num_threads(std::uint32_t num_threads) {
 }  // namespace
 
 std::uint32_t flows_in_flight() {
-  return g_flows_in_flight.load(std::memory_order_relaxed);
+  ThreadLedger& ledger = thread_ledger();
+  std::lock_guard<std::mutex> lock(ledger.mutex);
+  return ledger.flows;
 }
 
 const char* flow_phase_name(FlowPhase phase) {
@@ -120,7 +165,7 @@ FlowResult DesignContext::run_checked(const FlowOptions& options) const {
 }
 
 FlowRun DesignContext::run_impl(const FlowOptions& options, FlowResult* checked) const {
-  const FlowInFlight in_flight;
+  const FlowInFlight in_flight(options.num_threads);
   CALS_TRACE_SCOPE_ARG("flow.run", "K", options.K);
   CALS_OBS_COUNT("flow.runs", 1);
   FlowRun run;
@@ -168,6 +213,13 @@ FlowRun DesignContext::run_impl(const FlowOptions& options, FlowResult* checked)
     return false;
   };
 
+  // The run's worker pool, shared by every phase that parallelizes (cached
+  // mapping, FM placement, rip-up routing). The share for num_threads=0 was
+  // claimed by in_flight under the ledger lock; nullptr means pure serial.
+  const std::uint32_t num_workers = in_flight.resolved(options.num_threads);
+  ThreadPool* pool = num_workers <= 1 ? nullptr : this->pool(num_workers);
+  run.metrics.threads_used = pool != nullptr ? pool->num_workers() : 1;
+
   // ---- technology mapping ------------------------------------------------
   {
     CALS_TRACE_SCOPE("flow.map");
@@ -178,19 +230,16 @@ FlowRun DesignContext::run_impl(const FlowOptions& options, FlowResult* checked)
     cover_options.metric = options.metric;
     cover_options.transitive_wire_cost = options.transitive_wire_cost;
     if (options.use_match_cache) {
-      ThreadPool* pool = this->pool(options.num_threads);
       const std::shared_ptr<const MatchDatabase> db =
           match_database(options.partition, options.metric, pool);
       run.map =
           map_network_cached(net_, *library_, node_positions_, *db, cover_options, pool);
-      run.metrics.threads_used = pool != nullptr ? pool->num_workers() : 1;
     } else {
       // Legacy path: rebuild partition + matcher from scratch, serial DP.
       MapperOptions mapper_options;
       mapper_options.partition = options.partition;
       mapper_options.cover = cover_options;
       run.map = map_network(net_, *library_, node_positions_, mapper_options);
-      run.metrics.threads_used = 1;
     }
   }
   run.metrics.map_seconds = timer.seconds();
@@ -204,7 +253,7 @@ FlowRun DesignContext::run_impl(const FlowOptions& options, FlowResult* checked)
     CALS_FAULT_POINT("flow.place");
     run.binding = run.map.netlist.lower(floorplan_);
     if (options.replace_mapped) {
-      run.placement = global_place(run.binding.graph, floorplan_, options.place);
+      run.placement = global_place(run.binding.graph, floorplan_, options.place, pool);
     } else {
       // The paper's incremental update: instances sit at the center of mass of
       // the base gates they cover; legalization resolves overlaps.
@@ -229,7 +278,7 @@ FlowRun DesignContext::run_impl(const FlowOptions& options, FlowResult* checked)
     RouteOptions route_options = options.route;
     if (options.max_route_iters != 0)
       route_options.max_rrr_iterations = options.max_route_iters;
-    run.route = route(grid, run.binding.graph, run.placement, route_options);
+    run.route = route(grid, run.binding.graph, run.placement, route_options, pool);
     const CongestionMap congestion_map(grid);
     run.congestion = congestion_map.stats();
   }

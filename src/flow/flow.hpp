@@ -67,7 +67,8 @@ struct FlowOptions {
   /// Detailed-placement refinement passes after legalization (0 = off, the
   /// paper's configuration; see place/refine.hpp).
   std::uint32_t refine_passes = 0;
-  /// Worker threads for match building, tree covering and concurrent K / row
+  /// Worker threads for match building, tree covering, speculative parallel
+  /// placement, the router's parallel rip-up drain, and concurrent K / row
   /// evaluations. 0 = an equal share of the machine given the evaluations
   /// currently in flight (recommended_threads(flows_in_flight()): the whole
   /// machine for a lone run, hardware/J when J run() calls overlap — J

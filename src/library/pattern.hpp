@@ -37,6 +37,9 @@ class Pattern {
 
   const std::vector<PatternNode>& nodes() const { return nodes_; }
   std::int32_t root() const { return root_; }
+  /// Kind of the root node — lets the matcher reject a (vertex, pattern)
+  /// pair on a gate-kind mismatch before allocating any match state.
+  PatternKind root_kind() const { return nodes_[static_cast<std::size_t>(root_)].kind; }
   std::uint32_t num_vars() const { return num_vars_; }
   /// Number of INV+NAND2 nodes (base gates the pattern covers).
   std::uint32_t num_gates() const;

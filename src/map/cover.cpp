@@ -117,6 +117,76 @@ VertexCover cover_vertex(const BaseNetwork& net, const SubjectForest& forest,
   return best;
 }
 
+/// The Eq. 1–5 best-match selection over the SoA pricing view: the exact
+/// arithmetic of cover_vertex (same accumulation order, same tie-breaks,
+/// hence bit-identical costs) but reading contiguous slot arrays instead of
+/// Match vectors. The subtree-membership and is-gate predicates and the
+/// match centers of mass are K-independent and were folded into the arrays
+/// by build_match_set; only the winning slot's Match is copied out.
+VertexCover cover_vertex_priced(const MatchSet& set, const Library& library,
+                                const CoverOptions& options,
+                                const std::vector<VertexCover>& cover, NodeId v) {
+  const std::uint32_t m_begin = set.first[v.v];
+  const std::uint32_t m_end = set.first[v.v + 1];
+  CALS_CHECK_MSG(m_end > m_begin, "vertex has no match — library lacks INV/NAND2?");
+
+  VertexCover best;
+  std::uint32_t best_slot = UINT32_MAX;
+  for (std::uint32_t m = m_begin; m < m_end; ++m) {
+    const Point match_pos = set.match_pos[m];
+    double area = set.cell_area[m];
+    double wire1 = 0.0;
+    double wire2 = 0.0;
+    double arrival = 0.0;
+
+    if (options.charge_duplication) {
+      for (std::uint32_t d = set.dup_first[m]; d < set.dup_first[m + 1]; ++d) {
+        const VertexCover& dup_cover = cover[set.dup_node[d]];
+        CALS_CHECK(dup_cover.valid);
+        area += library.cell(dup_cover.match.cell).area();
+      }
+    }
+    for (std::uint32_t p = set.pin_first[m]; p < set.pin_first[m + 1]; ++p) {
+      const std::uint8_t flags = set.pin_flags[p];
+      const bool is_gate = (flags & MatchSet::kPinIsGate) != 0;
+      const VertexCover& pin_cover = cover[set.pin_node[p]];
+      const Point pin_pos = (is_gate && pin_cover.valid) ? pin_cover.pos : set.pin_pos[p];
+      const double d = distance(match_pos, pin_pos, options.metric);
+      wire1 += d;
+      if ((flags & MatchSet::kPinInSubtree) != 0) {
+        CALS_CHECK_MSG(pin_cover.valid, "DP order violated");
+        area += pin_cover.area_cost;
+        wire2 += pin_cover.wire_cost;
+      } else if (options.transitive_wire_cost && is_gate && pin_cover.valid) {
+        wire2 += pin_cover.wire_cost;
+      }
+      if (options.objective == MapObjective::kDelay) {
+        const double pin_arrival = (is_gate && pin_cover.valid) ? pin_cover.arrival : 0.0;
+        arrival = std::max(arrival, pin_arrival + d * options.wire_delay_ns_per_um);
+      }
+    }
+    const double wire = wire1 + wire2;
+    if (options.objective == MapObjective::kDelay)
+      arrival += library.cell(set.cell[m]).delay(options.est_sink_cap_ff);
+
+    const double primary = options.objective == MapObjective::kArea ? area : arrival;
+    const double cost = primary + options.K * wire;
+
+    if (best_slot == UINT32_MAX || cost < best.cost ||
+        (cost == best.cost && area < best.area_cost)) {
+      best_slot = m;
+      best.valid = true;
+      best.area_cost = area;
+      best.wire_cost = wire;
+      best.cost = cost;
+      best.arrival = arrival;
+      best.pos = match_pos;
+    }
+  }
+  best.match = set.at[v.v][best_slot - m_begin];
+  return best;
+}
+
 }  // namespace
 
 std::vector<VertexCover> cover_forest(const BaseNetwork& net, const SubjectForest& forest,
@@ -144,7 +214,9 @@ std::vector<VertexCover> cover_forest(const BaseNetwork& net, const SubjectFores
 }
 
 MatchSet build_match_set(const BaseNetwork& net, const SubjectForest& forest,
-                         const Matcher& matcher, ThreadPool* pool) {
+                         const Matcher& matcher, const Library& library,
+                         const std::vector<Point>& positions, ThreadPool* pool) {
+  CALS_CHECK(positions.size() == net.num_nodes());
   MatchSet set;
   set.at.resize(net.num_nodes());
 
@@ -157,6 +229,64 @@ MatchSet build_match_set(const BaseNetwork& net, const SubjectForest& forest,
                                if (forest.in_tree(v)) set.at[i] = matcher.matches_at(v);
                              }
                            });
+
+  // Flatten the K-independent inputs of the pricing loop into the SoA view.
+  // Slot order is exactly the (node, match) order of `at`; pin and dup
+  // entries keep their within-match order, so the kernel's accumulation
+  // order — and with it every double — matches the AoS loop bit for bit.
+  set.first.assign(net.num_nodes() + 1, 0);
+  std::size_t slots = 0;
+  std::size_t pin_entries = 0;
+  std::size_t dup_entries = 0;
+  for (std::uint32_t i = 0; i < net.num_nodes(); ++i) {
+    set.first[i] = static_cast<std::uint32_t>(slots);
+    slots += set.at[i].size();
+    for (const Match& match : set.at[i]) {
+      pin_entries += match.pins.size();
+      for (NodeId w : match.covered)
+        if (!(w == NodeId{i}) && net.fanout_count(w) > 1) ++dup_entries;
+    }
+  }
+  set.first[net.num_nodes()] = static_cast<std::uint32_t>(slots);
+  set.match_pos.reserve(slots);
+  set.cell_area.reserve(slots);
+  set.cell.reserve(slots);
+  set.pin_first.reserve(slots + 1);
+  set.dup_first.reserve(slots + 1);
+  set.pin_node.reserve(pin_entries);
+  set.pin_flags.reserve(pin_entries);
+  set.pin_pos.reserve(pin_entries);
+  set.dup_node.reserve(dup_entries);
+
+  std::vector<Point> covered_points;
+  for (std::uint32_t i = 0; i < net.num_nodes(); ++i) {
+    const NodeId v{i};
+    for (const Match& match : set.at[i]) {
+      set.pin_first.push_back(static_cast<std::uint32_t>(set.pin_node.size()));
+      set.dup_first.push_back(static_cast<std::uint32_t>(set.dup_node.size()));
+      // pos(m,v) exactly as cover_vertex computes it: unweighted center of
+      // mass of the covered base gates, in discovery order.
+      covered_points.clear();
+      for (NodeId w : match.covered) covered_points.push_back(positions[w.v]);
+      set.match_pos.push_back(center_of_mass(covered_points));
+      set.cell_area.push_back(library.cell(match.cell).area());
+      set.cell.push_back(match.cell);
+      for (NodeId w : match.covered)
+        if (!(w == v) && net.fanout_count(w) > 1) set.dup_node.push_back(w.v);
+      for (NodeId pin : match.pins) {
+        std::uint8_t flags = 0;
+        if (net.is_gate(pin)) {
+          flags |= MatchSet::kPinIsGate;
+          if (pin_in_subtree(forest, match, pin)) flags |= MatchSet::kPinInSubtree;
+        }
+        set.pin_node.push_back(pin.v);
+        set.pin_flags.push_back(flags);
+        set.pin_pos.push_back(positions[pin.v]);
+      }
+    }
+  }
+  set.pin_first.push_back(static_cast<std::uint32_t>(set.pin_node.size()));
+  set.dup_first.push_back(static_cast<std::uint32_t>(set.dup_node.size()));
 
   // Wavefront schedule for the covering DP. Everything a vertex's DP reads
   // (match pins, covered subtree vertices, duplication charges) is reached
@@ -203,8 +333,7 @@ std::vector<VertexCover> cover_forest(const BaseNetwork& net, const SubjectFores
       if (!forest.in_tree(v)) continue;
       ++tally.vertices;
       tally.matches += matches.at[i].size();
-      cover[i] = cover_vertex(net, forest, library, positions, options, cover, v,
-                              matches.at[i]);
+      cover[i] = cover_vertex_priced(matches, library, options, cover, v);
     }
     tally.publish();
     return cover;
@@ -221,9 +350,8 @@ std::vector<VertexCover> cover_forest(const BaseNetwork& net, const SubjectFores
                                  const NodeId v = wave[j];
                                  ++tally.vertices;
                                  tally.matches += matches.at[v.v].size();
-                                 cover[v.v] = cover_vertex(net, forest, library, positions,
-                                                           options, cover, v,
-                                                           matches.at[v.v]);
+                                 cover[v.v] =
+                                     cover_vertex_priced(matches, library, options, cover, v);
                                }
                                tally.publish();
                              });

@@ -76,6 +76,14 @@ std::vector<VertexCover> cover_forest(const BaseNetwork& net, const SubjectFores
 
 /// The K-independent artifacts of the matching front end, reusable across
 /// every K of a sweep (only the DP costs of Eq. 1–5 depend on K).
+///
+/// Besides the raw matches, the set carries an SoA pricing view: everything
+/// the Eq. 1–5 inner loop reads that does not depend on the DP state lives
+/// in flat parallel arrays (match centers of mass, cell areas, pin node ids
+/// with precomputed is-gate/in-subtree flags and static fallback positions,
+/// duplication-charge node lists). The per-K kernel then walks contiguous
+/// slots instead of pointer-chasing Match vectors, and no Match is ever
+/// copied per evaluation — only the winning slot's Match is materialized.
 struct MatchSet {
   /// All matches rooted at each node (empty for vertices outside any tree),
   /// exactly what Matcher::matches_at returns.
@@ -86,12 +94,33 @@ struct MatchSet {
   /// through fanin chains) lives in a strictly earlier wave. Vertices within
   /// one wave are mutually independent and can be covered concurrently.
   std::vector<std::vector<NodeId>> waves;
+
+  // ---- SoA pricing view (parallel to `at`, built by build_match_set) ----
+  enum PinFlags : std::uint8_t {
+    kPinIsGate = 1,     ///< net.is_gate(pin)
+    kPinInSubtree = 2,  ///< pin's father is covered by the match (Eq. 1/3 scope)
+  };
+  /// Match slots of node v: [first[v], first[v+1]).
+  std::vector<std::uint32_t> first;
+  std::vector<Point> match_pos;        ///< per slot: center of mass of covered gates
+  std::vector<double> cell_area;       ///< per slot: area of the matched cell
+  std::vector<CellId> cell;            ///< per slot: the matched cell (delay lookups)
+  std::vector<std::uint32_t> pin_first;  ///< per slot: first pin entry (size slots+1)
+  std::vector<std::uint32_t> dup_first;  ///< per slot: first duplication entry
+  std::vector<std::uint32_t> pin_node;   ///< per pin entry: bound subject vertex
+  std::vector<std::uint8_t> pin_flags;   ///< per pin entry: PinFlags
+  std::vector<Point> pin_pos;   ///< per pin entry: static position (non-gate fallback)
+  std::vector<std::uint32_t> dup_node;  ///< per dup entry: covered multi-fanout vertex
 };
 
-/// Precomputes matches (and the cover wavefront schedule) for `forest`.
+/// Precomputes matches (with the SoA pricing view and the cover wavefront
+/// schedule) for `forest`. positions[n] must hold the initial placement
+/// coordinate of every node — the same array later passed to cover_forest.
 /// Matching is per-vertex independent; a non-null pool parallelizes it.
 MatchSet build_match_set(const BaseNetwork& net, const SubjectForest& forest,
-                         const Matcher& matcher, ThreadPool* pool = nullptr);
+                         const Matcher& matcher, const Library& library,
+                         const std::vector<Point>& positions,
+                         ThreadPool* pool = nullptr);
 
 /// The covering DP over precomputed matches. Bit-identical to the Matcher
 /// overload for any pool / thread count: parallel execution processes the

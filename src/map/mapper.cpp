@@ -107,7 +107,7 @@ MatchDatabase build_match_database(const BaseNetwork& net, const Library& librar
   db.metric = metric;
   db.forest = partition_dag(net, partition, positions, metric);
   const Matcher matcher(net, db.forest, library);
-  db.matches = build_match_set(net, db.forest, matcher, pool);
+  db.matches = build_match_set(net, db.forest, matcher, library, positions, pool);
   return db;
 }
 

@@ -73,20 +73,36 @@ bool Matcher::match_node(const Pattern& pattern, std::int32_t pnode, NodeId vert
 
 std::vector<Match> Matcher::matches_at(NodeId v) const {
   std::vector<Match> result;
+  // Scratch hoisted out of the (cell, pattern) loops: the recursion resets
+  // bindings via the trail on failure, so reuse only needs a per-pattern
+  // assign/clear instead of three allocations per attempt.
+  std::vector<NodeId> binding;
+  std::vector<std::int32_t> trail;
+  std::vector<NodeId> covered;
+  const bool v_is_gate = net_.is_gate(v);
+  const NodeKind v_kind = v_is_gate ? net_.kind(v) : NodeKind::kPi;
   for (std::uint32_t c = 0; c < library_.num_cells(); ++c) {
     const Cell& cell = library_.cell(CellId{c});
     for (std::uint32_t pi = 0; pi < cell.patterns().size(); ++pi) {
       const Pattern& pattern = cell.patterns()[pi];
-      std::vector<NodeId> binding(pattern.num_vars(), kConst0Node);
-      std::vector<std::int32_t> trail;
-      std::vector<NodeId> covered;
+      // Root-kind precheck: match_node would reject the root immediately on
+      // a kind mismatch, so skip before touching the scratch at all.
+      const PatternKind rk = pattern.root_kind();
+      if (rk != PatternKind::kVar) {
+        if (!v_is_gate) continue;
+        if (rk == PatternKind::kInv && v_kind != NodeKind::kInv) continue;
+        if (rk == PatternKind::kNand2 && v_kind != NodeKind::kNand2) continue;
+      }
+      binding.assign(pattern.num_vars(), kConst0Node);
+      trail.clear();
+      covered.clear();
       if (match_node(pattern, pattern.root(), v, kConst0Node, true, binding, trail,
                      covered)) {
         Match match;
         match.cell = CellId{c};
         match.pattern_index = pi;
-        match.pins = std::move(binding);
-        match.covered = std::move(covered);
+        match.pins = binding;
+        match.covered = covered;
         result.push_back(std::move(match));
       }
     }

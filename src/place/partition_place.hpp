@@ -16,6 +16,8 @@
 
 namespace cals {
 
+class ThreadPool;
+
 struct PlaceOptions {
   /// Stop splitting regions at or below this many movable objects.
   std::uint32_t min_bin_objects = 3;
@@ -29,7 +31,15 @@ struct PlaceOptions {
 
 /// Places all movable objects inside the die; fixed objects keep their
 /// positions. Returns one point per object.
+///
+/// A non-null `pool` parallelizes each bisection level speculatively:
+/// same-level regions are bisected concurrently against a level-start
+/// position snapshot (each task with its own FM gain buckets), then replayed
+/// serially — a speculative result is accepted only when its terminal-
+/// propagation signature matches the live positions, and recomputed serially
+/// otherwise. The result is bit-identical to the serial placer at any thread
+/// count; small levels fall back to the serial path outright.
 Placement global_place(const PlaceGraph& graph, const Floorplan& floorplan,
-                       const PlaceOptions& options = {});
+                       const PlaceOptions& options = {}, ThreadPool* pool = nullptr);
 
 }  // namespace cals

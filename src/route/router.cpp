@@ -5,10 +5,12 @@
 #include <cmath>
 #include <cstdint>
 #include <functional>
+#include <memory>
 
 #include "util/check.hpp"
 #include "util/faults.hpp"
 #include "util/obs.hpp"
+#include "util/thread_pool.hpp"
 
 namespace cals {
 namespace {
@@ -50,11 +52,12 @@ inline std::uint64_t overflow_contribution(double usage, double capacity) {
 class Router {
  public:
   Router(RoutingGrid& grid, const PlaceGraph& graph, const Placement& placement,
-         const RouteOptions& options, RouteResult& result)
+         const RouteOptions& options, RouteResult& result, ThreadPool* pool)
       : grid_(grid),
         graph_(graph),
         options_(options),
         result_(result),
+        pool_(pool),
         nx_(grid.nx()),
         ny_(grid.ny()),
         num_h_(grid.num_h_edges()),
@@ -82,9 +85,20 @@ class Router {
     col_dirty_.assign(nx_, 1);
     row_clean_.assign(ny_, 0);
     col_clean_.assign(nx_, 0);
+    // Column-major mirrors of the v-edge usage/history so rebuild_col scans
+    // contiguously instead of striding nx_ doubles per edge. Only the
+    // pattern phase reads them: the usage mirror is maintained by add_v
+    // outside the rip-up phase, and history never changes before rrr_loop.
+    v_usage_cm_.assign(num_v_, 0.0);
+    v_history_cm_.assign(num_v_, 0.0);
+    for (std::int32_t y = 0; y + 1 < ny_; ++y)
+      for (std::int32_t x = 0; x < nx_; ++x) {
+        const std::size_t cm = static_cast<std::size_t>(x) * (ny_ - 1) + y;
+        v_usage_cm_[cm] = v_usage_[static_cast<std::size_t>(y) * nx_ + x];
+        v_history_cm_[cm] = v_history_[static_cast<std::size_t>(y) * nx_ + x];
+      }
     // Maze state (generation-stamped, so never cleared between calls).
-    dist_.assign(cells, 0.0);
-    stamp_.assign(cells, 0);
+    maze_.ensure(cells, /*patched=*/false);
   }
 
   void run() {
@@ -162,6 +176,7 @@ class Router {
       v_cost_[e] = edge_cost(u, cap_v_, v_history_[e], penalty_);
     } else {
       col_dirty_[x] = 1;
+      v_usage_cm_[static_cast<std::size_t>(x) * (ny_ - 1) + y] = u;
     }
     return e;
   }
@@ -249,11 +264,12 @@ class Router {
 
   void rebuild_col(std::int32_t x) {
     double* p = col_prefix_.data() + static_cast<std::size_t>(x) * ny_;
+    const double* u = v_usage_cm_.data() + static_cast<std::size_t>(x) * (ny_ - 1);
+    const double* h = v_history_cm_.data() + static_cast<std::size_t>(x) * (ny_ - 1);
     p[0] = 0.0;
     bool clean = true;
     for (std::int32_t y = 0; y + 1 < ny_; ++y) {
-      const std::size_t e = static_cast<std::size_t>(y) * nx_ + x;
-      const double c = edge_cost(v_usage_[e], cap_v_, v_history_[e], pattern_penalty_);
+      const double c = edge_cost(u[y], cap_v_, h[y], pattern_penalty_);
       clean &= c == 1.0;
       p[y + 1] = p[y] + c;
     }
@@ -454,28 +470,227 @@ class Router {
       const std::int32_t margin = options_.bbox_margin + static_cast<std::int32_t>(2 * iter);
 
       const std::uint64_t pops_before = maze_pops_;
-      while (!cand_heap_.empty()) {
-        const std::uint32_t seg = pop_candidate();
-        ++stats.candidates;
-        RoutedNet& routed = result_.nets[seg_net_[seg]];
-        std::vector<GCell>& path = routed.paths[seg - seg_first_[seg_net_[seg]]];
-        if (!path_overflows(path)) continue;
-        commit_path(path, -1.0, seg);
-        maze_route(segments_[seg].a, segments_[seg].b, margin);
-        commit_path(reroute_path_, 1.0, seg);
-        const auto delta = static_cast<std::int64_t>(reroute_path_.size()) -
-                           static_cast<std::int64_t>(path.size());
-        CALS_CHECK(static_cast<std::int64_t>(routed.length) + delta >= 0);
-        routed.length =
-            static_cast<std::uint64_t>(static_cast<std::int64_t>(routed.length) + delta);
-        path.assign(reroute_path_.begin(), reroute_path_.end());
-        ++stats.rerouted;
+      if (pool_ == nullptr) {
+        drain_serial(stats, margin);
+      } else {
+        drain_parallel(stats, margin);
       }
       stats.maze_pops = maze_pops_ - pops_before;
       result_.iter_stats.push_back(stats);
       CALS_OBS_COUNT("route.rrr_iterations", 1);
       CALS_OBS_COUNT("route.rerouted_segments", stats.rerouted);
       CALS_OBS_COUNT("route.maze_pops", stats.maze_pops);
+    }
+  }
+
+  // ---- rip-up drains ------------------------------------------------------
+
+  struct MazeScratch;  // defined with the maze below
+
+  std::vector<GCell>& seg_path(std::uint32_t seg) {
+    RoutedNet& routed = result_.nets[seg_net_[seg]];
+    return routed.paths[seg - seg_first_[seg_net_[seg]]];
+  }
+
+  /// The reference drain: pop candidates in ascending order, rip up and
+  /// maze-reroute every one whose path still overflows. This is the
+  /// semantics the parallel drain reproduces bit for bit.
+  void drain_serial(RouteIterStats& stats, std::int32_t margin) {
+    while (!cand_heap_.empty()) {
+      const std::uint32_t seg = pop_candidate();
+      ++stats.candidates;
+      RoutedNet& routed = result_.nets[seg_net_[seg]];
+      std::vector<GCell>& path = routed.paths[seg - seg_first_[seg_net_[seg]]];
+      if (!path_overflows(path)) continue;
+      commit_path(path, -1.0, seg);
+      maze_route(segments_[seg].a, segments_[seg].b, margin);
+      commit_path(reroute_path_, 1.0, seg);
+      const auto delta = static_cast<std::int64_t>(reroute_path_.size()) -
+                         static_cast<std::int64_t>(path.size());
+      CALS_CHECK(static_cast<std::int64_t>(routed.length) + delta >= 0);
+      routed.length =
+          static_cast<std::uint64_t>(static_cast<std::int64_t>(routed.length) + delta);
+      path.assign(reroute_path_.begin(), reroute_path_.end());
+      ++stats.rerouted;
+    }
+  }
+
+  /// A candidate's maze bounding box in gcells (inclusive). Every edge its
+  /// reroute can read or write — the ripped-up old path (routed inside this
+  /// box at a smaller margin, or the endpoint bbox by pattern) and the new
+  /// maze path — has both endpoint cells inside this box, so two candidates
+  /// with disjoint boxes share no routing state whatsoever.
+  struct PlanRect {
+    std::int32_t x_lo, x_hi, y_lo, y_hi;
+  };
+
+  PlanRect seg_rect(std::uint32_t seg, std::int32_t margin) const {
+    const GCell a = segments_[seg].a;
+    const GCell b = segments_[seg].b;
+    return {std::max(0, std::min(a.x, b.x) - margin),
+            std::min(nx_ - 1, std::max(a.x, b.x) + margin),
+            std::max(0, std::min(a.y, b.y) - margin),
+            std::min(ny_ - 1, std::max(a.y, b.y) + margin)};
+  }
+
+  static bool rects_intersect(const PlanRect& p, const PlanRect& q) {
+    return p.x_lo <= q.x_hi && q.x_lo <= p.x_hi && p.y_lo <= q.y_hi && q.y_lo <= p.y_hi;
+  }
+
+  /// One speculatively planned reroute: the candidate, its maze box, and the
+  /// path (with its pop count) a planner computed against pre-replay state.
+  struct SegPlan {
+    std::uint32_t seg = 0;
+    PlanRect rect{};
+    std::vector<GCell> path;
+    std::uint64_t pops = 0;
+  };
+
+  /// Picks the front of the candidate heap (in the exact ascending replay
+  /// order) whose maze boxes are pairwise disjoint, skipping candidates
+  /// whose current path no longer overflows. Bounded scan: planning is
+  /// speculation, and batches beyond ~2 per worker can't execute anyway.
+  void select_plans(std::int32_t margin, std::vector<SegPlan>& plans) {
+    plans.clear();
+    heap_snapshot_ = cand_heap_;
+    const std::size_t max_plans = 2 * static_cast<std::size_t>(pool_->num_workers());
+    const std::size_t max_scan = 4 * max_plans;
+    std::size_t scanned = 0;
+    while (!heap_snapshot_.empty() && plans.size() < max_plans && scanned < max_scan) {
+      std::pop_heap(heap_snapshot_.begin(), heap_snapshot_.end(), std::greater<>());
+      const std::uint32_t seg = heap_snapshot_.back();
+      heap_snapshot_.pop_back();
+      ++scanned;
+      if (!path_overflows(seg_path(seg))) continue;
+      SegPlan plan;
+      plan.seg = seg;
+      plan.rect = seg_rect(seg, margin);
+      bool overlaps = false;
+      for (const SegPlan& other : plans)
+        if (rects_intersect(plan.rect, other.rect)) {
+          overlaps = true;
+          break;
+        }
+      if (!overlaps) plans.push_back(std::move(plan));
+    }
+  }
+
+  /// Runs the planned mazes concurrently. Planners only read shared router
+  /// state (costs, usage, paths) — safe because the replay that mutates it
+  /// starts strictly after the group joins. The one divergence from replay
+  /// state is the candidate's own rip-up, which the serial router performs
+  /// before its maze: each planner patches the cost of its old path's edges
+  /// to edge_cost(usage - 1, ...) in per-task overlay arrays instead.
+  void plan_parallel(std::vector<SegPlan>& plans, std::int32_t margin) {
+    const std::size_t cells = static_cast<std::size_t>(nx_) * ny_;
+    const std::size_t chunks = ThreadPool::num_chunks(pool_, plans.size(), plans.size());
+    while (plan_scratch_.size() < chunks)
+      plan_scratch_.push_back(std::make_unique<MazeScratch>());
+    ThreadPool::parallel_chunks(
+        pool_, plans.size(), plans.size(),
+        [&](std::size_t chunk, std::size_t lo, std::size_t hi) {
+          MazeScratch& s = *plan_scratch_[chunk];
+          s.ensure(cells, /*patched=*/true);
+          for (std::size_t i = lo; i < hi; ++i) {
+            SegPlan& plan = plans[i];
+            patch_own_path(s, seg_path(plan.seg));
+            plan.pops = maze_core<true>(segments_[plan.seg].a, segments_[plan.seg].b,
+                                        margin, s, plan.path);
+          }
+        });
+  }
+
+  /// Overlays the rip-up of `path` onto a planner's cost view: for each of
+  /// its edges the serial router would have recomputed the cached cost from
+  /// usage - 1 before running the maze.
+  void patch_own_path(MazeScratch& s, const std::vector<GCell>& path) const {
+    ++s.patch_generation;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      const GCell a = path[i];
+      const GCell b = path[i + 1];
+      if (a.y == b.y) {
+        const std::size_t e = static_cast<std::size_t>(a.y) * (nx_ - 1) + std::min(a.x, b.x);
+        const std::size_t idx = static_cast<std::size_t>(a.y) * nx_ + std::min(a.x, b.x);
+        s.h_patch_stamp[idx] = s.patch_generation;
+        s.h_patch_val[idx] = edge_cost(h_usage_[e] - 1.0, cap_h_, h_history_[e], penalty_);
+      } else {
+        const std::size_t e = static_cast<std::size_t>(std::min(a.y, b.y)) * nx_ + a.x;
+        s.v_patch_stamp[e] = s.patch_generation;
+        s.v_patch_val[e] = edge_cost(v_usage_[e] - 1.0, cap_v_, v_history_[e], penalty_);
+      }
+    }
+  }
+
+  /// Serial replay of one planned batch: pops the real heap exactly like
+  /// drain_serial and accepts a plan iff it is the next one in order and no
+  /// earlier reroute of this batch dirtied its box (every state change is
+  /// confined to the reroute's own box, so a disjoint plan saw exactly the
+  /// state the serial maze would). Everything else — skips, newly enqueued
+  /// candidates, invalidated plans — reroutes inline on the main scratch.
+  void replay_plans(std::vector<SegPlan>& plans, RouteIterStats& stats,
+                    std::int32_t margin) {
+    dirtied_.clear();
+    std::size_t next_plan = 0;
+    while (!cand_heap_.empty() && next_plan < plans.size()) {
+      const std::uint32_t seg = pop_candidate();
+      ++stats.candidates;
+      SegPlan* plan = nullptr;
+      if (plans[next_plan].seg == seg) plan = &plans[next_plan++];
+      RoutedNet& routed = result_.nets[seg_net_[seg]];
+      std::vector<GCell>& path = routed.paths[seg - seg_first_[seg_net_[seg]]];
+      if (!path_overflows(path)) continue;
+      commit_path(path, -1.0, seg);
+      const PlanRect rect = plan != nullptr ? plan->rect : seg_rect(seg, margin);
+      bool valid = plan != nullptr;
+      for (const PlanRect& d : dirtied_) {
+        if (!valid) break;
+        valid = !rects_intersect(rect, d);
+      }
+      const std::vector<GCell>* new_path;
+      if (valid) {
+        new_path = &plan->path;
+        maze_pops_ += plan->pops;
+        CALS_OBS_COUNT("route.plan_hits", 1);
+      } else {
+        maze_route(segments_[seg].a, segments_[seg].b, margin);
+        new_path = &reroute_path_;
+        if (plan != nullptr) CALS_OBS_COUNT("route.plan_misses", 1);
+      }
+      commit_path(*new_path, 1.0, seg);
+      const auto delta = static_cast<std::int64_t>(new_path->size()) -
+                         static_cast<std::int64_t>(path.size());
+      CALS_CHECK(static_cast<std::int64_t>(routed.length) + delta >= 0);
+      routed.length =
+          static_cast<std::uint64_t>(static_cast<std::int64_t>(routed.length) + delta);
+      path.assign(new_path->begin(), new_path->end());
+      ++stats.rerouted;
+      dirtied_.push_back(rect);
+    }
+  }
+
+  /// Minimum candidates before a planning round is worth scheduling; below
+  /// it (tiny designs, tail of an iteration) the serial drain finishes the
+  /// heap without task overhead.
+  static constexpr std::size_t kMinPlanningHeap = 8;
+
+  /// Region-partitioned parallel drain: repeat select → plan (concurrent) →
+  /// replay (serial, validated) rounds until the heap runs dry, falling back
+  /// to the serial drain whenever a round can't find at least two disjoint
+  /// plannable candidates.
+  void drain_parallel(RouteIterStats& stats, std::int32_t margin) {
+    std::vector<SegPlan> plans;
+    while (!cand_heap_.empty()) {
+      if (cand_heap_.size() < kMinPlanningHeap) {
+        drain_serial(stats, margin);
+        return;
+      }
+      select_plans(margin, plans);
+      if (plans.size() < 2) {
+        drain_serial(stats, margin);
+        return;
+      }
+      plan_parallel(plans, margin);
+      replay_plans(plans, stats, margin);
     }
   }
 
@@ -496,22 +711,22 @@ class Router {
     return a.dist_bits != b.dist_bits ? a.dist_bits < b.dist_bits : a.yx < b.yx;
   }
 
-  void heap_push(MazeEntry e) {
-    maze_heap_.push_back(e);
-    std::size_t i = maze_heap_.size() - 1;
+  static void heap_push(std::vector<MazeEntry>& heap, MazeEntry e) {
+    heap.push_back(e);
+    std::size_t i = heap.size() - 1;
     while (i > 0) {
       const std::size_t parent = (i - 1) / 4;
-      if (!entry_less(maze_heap_[i], maze_heap_[parent])) break;
-      std::swap(maze_heap_[i], maze_heap_[parent]);
+      if (!entry_less(heap[i], heap[parent])) break;
+      std::swap(heap[i], heap[parent]);
       i = parent;
     }
   }
 
-  MazeEntry heap_pop() {
-    const MazeEntry top = maze_heap_.front();
-    maze_heap_.front() = maze_heap_.back();
-    maze_heap_.pop_back();
-    const std::size_t n = maze_heap_.size();
+  static MazeEntry heap_pop(std::vector<MazeEntry>& heap) {
+    const MazeEntry top = heap.front();
+    heap.front() = heap.back();
+    heap.pop_back();
+    const std::size_t n = heap.size();
     std::size_t i = 0;
     while (true) {
       const std::size_t first = 4 * i + 1;
@@ -519,13 +734,45 @@ class Router {
       const std::size_t last = std::min(first + 4, n);
       std::size_t best = first;
       for (std::size_t c = first + 1; c < last; ++c)
-        if (entry_less(maze_heap_[c], maze_heap_[best])) best = c;
-      if (!entry_less(maze_heap_[best], maze_heap_[i])) break;
-      std::swap(maze_heap_[i], maze_heap_[best]);
+        if (entry_less(heap[c], heap[best])) best = c;
+      if (!entry_less(heap[best], heap[i])) break;
+      std::swap(heap[i], heap[best]);
       i = best;
     }
     return top;
   }
+
+  /// Everything one maze search owns: the generation-stamped distance
+  /// labels, the open heap, the backtrack buffer, and (for speculative
+  /// planners only) the own-path cost overlay. The router's serial drain
+  /// uses one instance for its whole lifetime; each planning task owns the
+  /// scratch slot matching its chunk index.
+  struct MazeScratch {
+    std::vector<double> dist;
+    std::vector<std::uint32_t> stamp;
+    std::uint32_t generation = 0;
+    std::vector<MazeEntry> heap;
+    std::vector<std::int32_t> backtrack;
+    // Cost overlay (see patch_own_path), cell-indexed like h_cost_/v_cost_.
+    std::vector<double> h_patch_val, v_patch_val;
+    std::vector<std::uint32_t> h_patch_stamp, v_patch_stamp;
+    std::uint32_t patch_generation = 0;
+
+    void ensure(std::size_t cells, bool patched) {
+      if (dist.size() != cells) {
+        dist.assign(cells, 0.0);
+        stamp.assign(cells, 0);
+        generation = 0;
+      }
+      if (patched && h_patch_stamp.size() != cells) {
+        h_patch_val.assign(cells, 0.0);
+        v_patch_val.assign(cells, 0.0);
+        h_patch_stamp.assign(cells, 0);
+        v_patch_stamp.assign(cells, 0);
+        patch_generation = 0;
+      }
+    }
+  };
 
   /// Bounded-box shortest path, bit-identical to the straightforward
   /// Dijkstra + backtrack version but goal-directed (A*). Two observations
@@ -550,98 +797,126 @@ class Router {
   /// hence exact), so the search touches the src–dst cost ellipse instead of
   /// the full cost ball. Writes the path into reroute_path_.
   void maze_route(GCell src, GCell dst, std::int32_t margin) {
-    ++generation_;
+    maze_pops_ += maze_core<false>(src, dst, margin, maze_, reroute_path_);
+  }
+
+  /// The search itself, shared between the serial drain (kPatched = false —
+  /// the overlay checks compile away, keeping that path branch-free) and the
+  /// speculative planners (kPatched = true, reading the own-path rip-up
+  /// overlay of `s`). Touches no router state besides the shared read-only
+  /// cost caches, so concurrent calls on distinct scratch are safe. Returns
+  /// the pop count and writes the path into `out`.
+  template <bool kPatched>
+  std::uint64_t maze_core(GCell src, GCell dst, std::int32_t margin, MazeScratch& s,
+                          std::vector<GCell>& out) const {
+    ++s.generation;
     const std::int32_t x_lo = std::max(0, std::min(src.x, dst.x) - margin);
     const std::int32_t x_hi = std::min(nx_ - 1, std::max(src.x, dst.x) + margin);
     const std::int32_t y_lo = std::max(0, std::min(src.y, dst.y) - margin);
     const std::int32_t y_hi = std::min(ny_ - 1, std::max(src.y, dst.y) + margin);
 
-    maze_heap_.clear();
+    s.heap.clear();
     const std::int32_t start = src.y * nx_ + src.x;
-    dist_[start] = 0.0;
-    stamp_[start] = generation_;
+    s.dist[start] = 0.0;
+    s.stamp[start] = s.generation;
     const double h0 = static_cast<double>(std::abs(src.x - dst.x) + std::abs(src.y - dst.y));
-    heap_push({std::bit_cast<std::uint64_t>(h0),
+    heap_push(s.heap,
+              {std::bit_cast<std::uint64_t>(h0),
                static_cast<std::uint32_t>(src.y) << 16 | static_cast<std::uint32_t>(src.x),
                static_cast<std::uint32_t>(start)});
 
     const std::int32_t target = dst.y * nx_ + dst.x;
     const double* h_cost = h_cost_.data();
     const double* v_cost = v_cost_.data();
-    std::uint64_t pops = 0;  // register-local; published once below
-    while (!maze_heap_.empty()) {
-      if (stamp_[target] == generation_) {
+    const auto h_at = [&](std::int32_t i) -> double {
+      if constexpr (kPatched) {
+        if (s.h_patch_stamp[static_cast<std::size_t>(i)] == s.patch_generation)
+          return s.h_patch_val[static_cast<std::size_t>(i)];
+      }
+      return h_cost[i];
+    };
+    const auto v_at = [&](std::int32_t i) -> double {
+      if constexpr (kPatched) {
+        if (s.v_patch_stamp[static_cast<std::size_t>(i)] == s.patch_generation)
+          return s.v_patch_val[static_cast<std::size_t>(i)];
+      }
+      return v_cost[i];
+    };
+    std::uint64_t pops = 0;  // register-local; published once by the caller
+    while (!s.heap.empty()) {
+      if (s.stamp[target] == s.generation) {
         // Drain until nothing in the queue can still carry f at or below the
         // target's distance. The slack is astronomically larger than the one
         // rounding f = dist + h can introduce (<= 2^-52 relative per hop,
         // bounded path length), yet far below the >= 1.0 cost granularity,
         // so exactly the label-correcting frontier Dijkstra would have
         // settled before popping the target is drained — no more.
-        const double dt = dist_[target];
-        if (std::bit_cast<double>(maze_heap_.front().dist_bits) > dt + (dt * 0x1p-30 + 0x1p-30))
+        const double dt = s.dist[target];
+        if (std::bit_cast<double>(s.heap.front().dist_bits) > dt + (dt * 0x1p-30 + 0x1p-30))
           break;
       }
-      const MazeEntry top = heap_pop();
+      const MazeEntry top = heap_pop(s.heap);
       ++pops;
       const std::int32_t u = static_cast<std::int32_t>(top.cell);
       const std::int32_t ux = static_cast<std::int32_t>(top.yx & 0xffffu);
       const std::int32_t uy = static_cast<std::int32_t>(top.yx >> 16);
       const double hu = static_cast<double>(std::abs(ux - dst.x) + std::abs(uy - dst.y));
-      const double d = dist_[u];
+      const double d = s.dist[u];
       if (std::bit_cast<double>(top.dist_bits) > d + hu) continue;  // stale entry
 
       const auto relax = [&](std::int32_t v, std::uint32_t vyx, double w, double hv) {
         const double nd = d + w;
-        if (stamp_[v] != generation_ || nd < dist_[v]) {
-          stamp_[v] = generation_;
-          dist_[v] = nd;
-          heap_push({std::bit_cast<std::uint64_t>(nd + hv), vyx, static_cast<std::uint32_t>(v)});
+        if (s.stamp[v] != s.generation || nd < s.dist[v]) {
+          s.stamp[v] = s.generation;
+          s.dist[v] = nd;
+          heap_push(s.heap,
+                    {std::bit_cast<std::uint64_t>(nd + hv), vyx, static_cast<std::uint32_t>(v)});
         }
       };
       const double h_left = static_cast<double>(std::abs(ux - 1 - dst.x) + std::abs(uy - dst.y));
       const double h_right = static_cast<double>(std::abs(ux + 1 - dst.x) + std::abs(uy - dst.y));
       const double h_down = static_cast<double>(std::abs(ux - dst.x) + std::abs(uy - 1 - dst.y));
       const double h_up = static_cast<double>(std::abs(ux - dst.x) + std::abs(uy + 1 - dst.y));
-      if (ux > x_lo) relax(u - 1, top.yx - 1, h_cost[u - 1], h_left);
-      if (ux < x_hi) relax(u + 1, top.yx + 1, h_cost[u], h_right);
-      if (uy > y_lo) relax(u - nx_, top.yx - 0x10000u, v_cost[u - nx_], h_down);
-      if (uy < y_hi) relax(u + nx_, top.yx + 0x10000u, v_cost[u], h_up);
+      if (ux > x_lo) relax(u - 1, top.yx - 1, h_at(u - 1), h_left);
+      if (ux < x_hi) relax(u + 1, top.yx + 1, h_at(u), h_right);
+      if (uy > y_lo) relax(u - nx_, top.yx - 0x10000u, v_at(u - nx_), h_down);
+      if (uy < y_hi) relax(u + nx_, top.yx + 0x10000u, v_at(u), h_up);
     }
 
-    maze_pops_ += pops;
-    CALS_CHECK_MSG(stamp_[target] == generation_, "maze route failed inside bbox");
+    CALS_CHECK_MSG(s.stamp[target] == s.generation, "maze route failed inside bbox");
     // Label-based backtrack: per hop, pick the predecessor the reference
     // implementation's from_ pointer would hold (see the contract above).
-    backtrack_.clear();
+    s.backtrack.clear();
     std::int32_t v = target;
-    backtrack_.push_back(v);
+    s.backtrack.push_back(v);
     while (v != start) {
       const std::int32_t vx = v % nx_;
       const std::int32_t vy = v / nx_;
-      const double dv = dist_[v];
+      const double dv = s.dist[v];
       std::int32_t best = -1;
       double best_d = 0.0;
       const auto consider = [&](std::int32_t u, double w) {
-        if (stamp_[u] != generation_ || dist_[u] + w != dv) return;
+        if (s.stamp[u] != s.generation || s.dist[u] + w != dv) return;
         // Candidates are scanned in ascending cell index, so a strict
         // distance test reproduces the (dist, cell) tie-break.
-        if (best == -1 || dist_[u] < best_d) {
+        if (best == -1 || s.dist[u] < best_d) {
           best = u;
-          best_d = dist_[u];
+          best_d = s.dist[u];
         }
       };
-      if (vy > y_lo) consider(v - nx_, v_cost[v - nx_]);
-      if (vx > x_lo) consider(v - 1, h_cost[v - 1]);
-      if (vx < x_hi) consider(v + 1, h_cost[v]);
-      if (vy < y_hi) consider(v + nx_, v_cost[v]);
+      if (vy > y_lo) consider(v - nx_, v_at(v - nx_));
+      if (vx > x_lo) consider(v - 1, h_at(v - 1));
+      if (vx < x_hi) consider(v + 1, h_at(v));
+      if (vy < y_hi) consider(v + nx_, v_at(v));
       CALS_CHECK_MSG(best != -1, "maze backtrack lost the predecessor chain");
-      backtrack_.push_back(best);
+      s.backtrack.push_back(best);
       v = best;
     }
-    reroute_path_.clear();
-    reroute_path_.reserve(backtrack_.size());
-    for (std::size_t i = backtrack_.size(); i-- > 0;)
-      reroute_path_.push_back({backtrack_[i] % nx_, backtrack_[i] / nx_});
+    out.clear();
+    out.reserve(s.backtrack.size());
+    for (std::size_t i = s.backtrack.size(); i-- > 0;)
+      out.push_back({s.backtrack[i] % nx_, s.backtrack[i] / nx_});
+    return pops;
   }
 
   // ---- wrap-up ------------------------------------------------------------
@@ -658,6 +933,7 @@ class Router {
   const PlaceGraph& graph_;
   const RouteOptions& options_;
   RouteResult& result_;
+  ThreadPool* const pool_;
   const std::int32_t nx_, ny_;
   const std::size_t num_h_, num_v_;
   const double cap_h_, cap_v_;
@@ -688,31 +964,35 @@ class Router {
   std::vector<double> row_prefix_, col_prefix_;
   std::vector<std::uint8_t> row_dirty_, col_dirty_;
   std::vector<std::uint8_t> row_clean_, col_clean_;  ///< every edge costs exactly 1.0
+  // Column-major v-edge mirrors (pattern phase only; see the constructor).
+  std::vector<double> v_usage_cm_, v_history_cm_;
 
   // Rip-up phase cost caches (h cell-padded to stride nx_).
   bool rrr_phase_ = false;
   double penalty_ = 0.0;
   std::vector<double> h_cost_, v_cost_;
 
-  // Maze state, pooled across all reroutes of the call.
-  std::vector<double> dist_;
-  std::vector<std::uint32_t> stamp_;
-  std::uint32_t generation_ = 0;
-  std::vector<MazeEntry> maze_heap_;
-  std::vector<std::int32_t> backtrack_;
+  // Maze state, pooled across all reroutes of the call. maze_ serves the
+  // serial drain and inline replay reroutes; plan_scratch_ slots are owned
+  // by planning tasks (slot index == chunk index, lazily allocated).
+  MazeScratch maze_;
   std::vector<GCell> reroute_path_;
   std::uint64_t maze_pops_ = 0;  ///< lifetime A* pops, differenced per iteration
+  std::vector<std::unique_ptr<MazeScratch>> plan_scratch_;
+  std::vector<std::uint32_t> heap_snapshot_;  ///< select_plans' heap copy
+  std::vector<PlanRect> dirtied_;             ///< boxes rerouted so far this replay
 };
 
 }  // namespace
 
 RouteResult route(RoutingGrid& grid, const PlaceGraph& graph, const Placement& placement,
-                  const RouteOptions& options) {
+                  const RouteOptions& options, ThreadPool* pool) {
   RouteResult result;
   grid.clear_usage();
   std::fill(grid.h_history().begin(), grid.h_history().end(), 0.0);
   std::fill(grid.v_history().begin(), grid.v_history().end(), 0.0);
-  Router router(grid, graph, placement, options, result);
+  Router router(grid, graph, placement, options, result,
+                pool != nullptr && pool->num_workers() > 1 ? pool : nullptr);
   router.run();
   return result;
 }

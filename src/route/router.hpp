@@ -17,6 +17,8 @@
 
 namespace cals {
 
+class ThreadPool;
+
 struct RouteOptions {
   /// Rip-up-and-reroute iterations after the initial pattern pass.
   std::uint32_t max_rrr_iterations = 12;
@@ -62,7 +64,15 @@ struct RouteResult {
 /// Routes every hypernet of `graph` at `placement` onto `grid`.
 /// The grid's usage is left at the final solution so congestion maps can be
 /// derived from it afterwards.
+///
+/// A non-null `pool` parallelizes the rip-up drain: candidate segments whose
+/// maze bounding boxes are pairwise disjoint are planned concurrently (each
+/// task on private maze scratch), then committed by a serial replay that
+/// accepts a plan only when no earlier reroute touched its box and reroutes
+/// inline otherwise. Paths, stats and the final grid state are bit-identical
+/// to the serial router at any thread count; small candidate sets drain
+/// serially outright.
 RouteResult route(RoutingGrid& grid, const PlaceGraph& graph, const Placement& placement,
-                  const RouteOptions& options = {});
+                  const RouteOptions& options = {}, ThreadPool* pool = nullptr);
 
 }  // namespace cals

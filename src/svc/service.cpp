@@ -84,6 +84,22 @@ JobOutcome run_flow_job(const JobSpec& spec, std::uint32_t num_threads_override)
   return outcome;
 }
 
+std::uint32_t fair_thread_slice(std::uint32_t budget, std::uint32_t dispatchers,
+                                std::uint32_t other_running, std::size_t queued,
+                                std::uint32_t claimed) {
+  // Contenders = this job plus every idle dispatcher that has queued work to
+  // pick up right now. Dividing the *unclaimed* budget among them keeps the
+  // claimed sum at or under the budget (each claimer takes at most its even
+  // share of what is left), while a lone job sees one contender and takes
+  // everything. The max(1, ...) floor means a fully claimed budget still
+  // runs the job single-threaded rather than stalling it.
+  const std::uint32_t idle = dispatchers - std::min(dispatchers, other_running + 1);
+  const std::uint32_t contenders =
+      1 + static_cast<std::uint32_t>(std::min<std::size_t>(idle, queued));
+  const std::uint32_t avail = budget > claimed ? budget - claimed : 0u;
+  return std::max(1u, avail / contenders);
+}
+
 FlowService::FlowService(ServiceOptions options) : options_(options) {
   const std::uint32_t jobs = std::max(1u, options_.max_parallel_jobs);
   threads_per_job_ =
@@ -281,6 +297,7 @@ FlowService::Stats FlowService::stats() const {
 void FlowService::dispatcher_loop() {
   for (;;) {
     std::shared_ptr<Job> job;
+    std::uint32_t slice = 1;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_available_.wait(lock, [&] {
@@ -298,14 +315,28 @@ void FlowService::dispatcher_loop() {
       job->record.state = JobState::kRunning;
       job->record.run_sequence = ++dispatch_seq_;
       ++running_;
+      // Claim this job's thread slice atomically with the pop: with the claim
+      // and the running/queue counts under one lock, two dispatchers racing
+      // into empty budget can never both size themselves as "the only job"
+      // (the transient-oversubscription fix — see fair_thread_slice).
+      const std::uint32_t budget = options_.total_threads == 0
+                                       ? ThreadPool::hardware_threads()
+                                       : options_.total_threads;
+      slice = fair_thread_slice(
+          budget, static_cast<std::uint32_t>(dispatchers_.size()),
+          static_cast<std::uint32_t>(running_ - 1), queue_.size(),
+          claimed_threads_);
+      claimed_threads_ += slice;
       publish_queue_depth_locked();
       CALS_OBS_GAUGE_MAX("svc.max_running", running_);
+      CALS_OBS_GAUGE_MAX("svc.max_claimed_threads", claimed_threads_);
     }
-    execute(job);
+    execute(job, slice);
   }
 }
 
-void FlowService::execute(const std::shared_ptr<Job>& job) {
+void FlowService::execute(const std::shared_ptr<Job>& job,
+                          std::uint32_t thread_slice) {
   CALS_TRACE_SCOPE_ARG("svc.job", "priority", job->record.priority);
   const double queue_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - job->submitted)
@@ -323,7 +354,7 @@ void FlowService::execute(const std::shared_ptr<Job>& job) {
     if (cached) {
       outcome = std::move(*cached);
     } else {
-      outcome = run_flow_job(job->spec, threads_per_job_);
+      outcome = run_flow_job(job->spec, thread_slice);
       executed_flow = true;
       if (options_.cache != nullptr)
         options_.cache->store(job->record.cache_key, outcome);
@@ -347,6 +378,7 @@ void FlowService::execute(const std::shared_ptr<Job>& job) {
   }
   finalize_locked(job, std::move(outcome));
   --running_;
+  claimed_threads_ -= std::min(claimed_threads_, thread_slice);
   state_changed_.notify_all();
 }
 

@@ -14,10 +14,13 @@
 ///    on submission id). Running jobs are never preempted; `cancel` only
 ///    removes jobs that are still queued.
 ///  * Thread partitioning: with J = max_parallel_jobs dispatchers and a
-///    total budget of T threads (0 = hardware), every flow runs with
-///    `max(1, T / J)` workers — J concurrent jobs never oversubscribe the
-///    machine the way J independent `DesignContext::run(num_threads=0)`
-///    calls historically did (see cals::recommended_threads).
+///    total budget of T threads (0 = hardware), each dispatch claims a fair
+///    slice of the *unclaimed* budget under the service lock (see
+///    fair_thread_slice) and releases it on completion. Concurrent jobs
+///    never oversubscribe the machine the way J independent
+///    `DesignContext::run(num_threads=0)` calls historically did, and a
+///    lone job is no longer pinned to the T/J floor — it takes whatever the
+///    budget has left (the whole machine when nothing else runs).
 ///  * Duplicate coalescing: a submission whose cache key matches a job that
 ///    is still queued/running becomes a *follower* — it gets its own JobId
 ///    and record but no queue slot; when the primary finishes, the follower
@@ -61,6 +64,17 @@ namespace cals::svc {
 /// (how the service applies its per-job slice).
 JobOutcome run_flow_job(const JobSpec& spec,
                         std::uint32_t num_threads_override = UINT32_MAX);
+
+/// The worker-thread slice a dispatch claims, decided atomically with the
+/// claim under the service lock: the unclaimed budget divided evenly among
+/// this job and everyone who could contend for it right now (idle
+/// dispatchers capped by the queued backlog), never less than 1. Claims are
+/// released when the job finishes, so a lone job takes the whole budget
+/// while a full service converges to budget / max_parallel_jobs each.
+/// Exposed for direct unit testing of the scheduling arithmetic.
+std::uint32_t fair_thread_slice(std::uint32_t budget, std::uint32_t dispatchers,
+                                std::uint32_t other_running, std::size_t queued,
+                                std::uint32_t claimed);
 
 struct ServiceOptions {
   /// Queued-job bound for admission control (running jobs excluded).
@@ -118,7 +132,9 @@ class FlowService {
   void pause();
   void resume();
 
-  /// Worker threads each dispatched flow runs with (the per-job slice).
+  /// The steady-state per-job slice (budget / max_parallel_jobs) — the
+  /// floor a job is guaranteed when the service is fully loaded. Actual
+  /// dispatches may claim more when budget is idle (see fair_thread_slice).
   std::uint32_t threads_per_job() const { return threads_per_job_; }
 
   struct Stats {
@@ -144,8 +160,9 @@ class FlowService {
   };
 
   void dispatcher_loop();
-  /// Runs `job` outside the lock and finalizes it (and its followers).
-  void execute(const std::shared_ptr<Job>& job);
+  /// Runs `job` outside the lock with `thread_slice` workers, finalizes it
+  /// (and its followers) and releases the slice claim.
+  void execute(const std::shared_ptr<Job>& job, std::uint32_t thread_slice);
   void finalize_locked(const std::shared_ptr<Job>& job, JobOutcome outcome);
   void publish_queue_depth_locked() const;
 
@@ -166,6 +183,7 @@ class FlowService {
   /// cache key -> primary job still queued/running (coalescing target).
   std::map<std::string, JobId> active_by_key_;
   std::size_t running_ = 0;
+  std::uint32_t claimed_threads_ = 0;  ///< budget claimed by running jobs
   Stats stats_;
   std::vector<std::thread> dispatchers_;
 };

@@ -83,6 +83,22 @@ class ThreadPool {
                            std::size_t grain,
                            const std::function<void(std::size_t, std::size_t)>& fn);
 
+  /// Batch variant for algorithms that carry per-task scratch state (the
+  /// router's maze planners, the placer's speculative bisectors): splits
+  /// [0, count) into num_chunks(pool, count, max_tasks) balanced contiguous
+  /// chunks and calls fn(chunk, lo, hi) with a stable chunk index, so task
+  /// `chunk` exclusively owns scratch slot `chunk` of a caller-sized pool.
+  /// Runs fn inline (single chunk 0) when the split degenerates to one
+  /// chunk; does nothing when count == 0. Returns the number of chunks.
+  static std::size_t parallel_chunks(
+      ThreadPool* pool, std::size_t count, std::size_t max_tasks,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
+  /// The chunk count parallel_chunks will use: min(count, max_tasks, and the
+  /// pool's worker count) — 1 when the pool is null. Callers size their
+  /// per-chunk scratch with this before invoking parallel_chunks.
+  static std::size_t num_chunks(ThreadPool* pool, std::size_t count, std::size_t max_tasks);
+
  private:
   void submit(std::function<void()> task);
   bool try_run_one();

@@ -129,6 +129,33 @@ TEST(FlowParallel, RowSearchBitIdenticalToSerial) {
   expect_identical_run(serial.run, parallel.run);
 }
 
+TEST(FlowParallel, ThreadCountSweepBitIdenticalAcrossPresets) {
+  // The multi-core pass contract end-to-end: the full flow (SoA-priced
+  // mapping, speculative parallel placement, parallel rip-up routing) at
+  // T = 2/4/8 reproduces the serial run bit-for-bit on every preset family.
+  ScopedLogLevel silence(LogLevel::kSilent);
+  const Pla presets[] = {workloads::spla_like(kScale), workloads::pdc_like(kScale),
+                         workloads::too_large_like(kScale)};
+  for (const Pla& pla : presets) {
+    BaseNetwork net = synthesize_base(pla);
+    net.build_fanouts();
+    const Floorplan fp = Floorplan::for_cell_area(net.num_base_gates() * 5.3, 0.58,
+                                                  test_library().tech());
+    const DesignContext context(net, &test_library(), fp);
+    FlowOptions serial = serial_options();
+    serial.K = 0.1;
+    const FlowRun baseline = context.run(serial);
+    for (const std::uint32_t threads : {2u, 4u, 8u}) {
+      FlowOptions options = parallel_options();
+      options.K = 0.1;
+      options.num_threads = threads;
+      const FlowRun run = context.run(options);
+      SCOPED_TRACE(testing::Message() << "threads=" << threads);
+      expect_identical_run(baseline, run);
+    }
+  }
+}
+
 TEST(FlowParallel, CacheOnSerialPoolAlsoIdentical) {
   // The remaining configuration corner: match cache on, no pool.
   ScopedLogLevel silence(LogLevel::kSilent);

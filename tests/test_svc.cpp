@@ -284,6 +284,72 @@ TEST(SvcThreads, ServicePartitionsExplicitBudget) {
   EXPECT_EQ(small.threads_per_job(), 1u);
 }
 
+TEST(SvcThreads, FairSliceLoneJobTakesTheWholeBudget) {
+  // The transient-oversubscription fix must not leave budget idle: a dispatch
+  // with no other running job and nothing queued claims everything.
+  EXPECT_EQ(fair_thread_slice(/*budget=*/8, /*dispatchers=*/4, /*other_running=*/0,
+                              /*queued=*/0, /*claimed=*/0),
+            8u);
+  EXPECT_EQ(fair_thread_slice(16, 2, 0, 0, 0), 16u);
+}
+
+TEST(SvcThreads, FairSliceSplitsEvenlyUnderFullLoad) {
+  // A full queue popped by all dispatchers: every claim lands on the
+  // steady-state budget / J share, and the claims sum exactly to the budget.
+  constexpr std::uint32_t kBudget = 8;
+  constexpr std::uint32_t kJobs = 4;
+  std::uint32_t claimed = 0;
+  for (std::uint32_t j = 0; j < kJobs; ++j) {
+    const std::uint32_t slice =
+        fair_thread_slice(kBudget, kJobs, /*other_running=*/j,
+                          /*queued=*/kJobs - j - 1, claimed);
+    EXPECT_EQ(slice, kBudget / kJobs) << "dispatch " << j;
+    claimed += slice;
+  }
+  EXPECT_EQ(claimed, kBudget);
+}
+
+TEST(SvcThreads, FairSliceNeverOversubscribesTheBudget) {
+  // Any pop pattern of a full queue, claims held without release: the sum
+  // stays at or under the budget (or J when the per-job floor of 1 forces
+  // more on a tiny budget).
+  for (const std::uint32_t budget : {1u, 3u, 4u, 7u, 8u, 16u, 64u}) {
+    for (const std::uint32_t jobs : {1u, 2u, 3u, 4u, 8u}) {
+      for (const std::uint32_t backlog : {0u, 1u, 2u, 20u}) {
+        std::uint32_t claimed = 0;
+        for (std::uint32_t j = 0; j < jobs; ++j) {
+          const std::uint32_t queued = backlog + (jobs - j - 1);
+          claimed += fair_thread_slice(budget, jobs, j, queued, claimed);
+        }
+        EXPECT_LE(claimed, std::max(budget, jobs))
+            << "budget=" << budget << " jobs=" << jobs << " backlog=" << backlog;
+      }
+    }
+  }
+}
+
+TEST(SvcThreads, FairSliceFloorsAtOneWhenBudgetIsClaimed) {
+  // A late arrival into a fully-claimed budget still runs (serially) rather
+  // than stalling the dispatcher.
+  EXPECT_EQ(fair_thread_slice(8, 4, /*other_running=*/1, /*queued=*/0,
+                              /*claimed=*/8),
+            1u);
+}
+
+TEST(SvcThreads, LoneServiceJobRunsWithTheFullBudget) {
+  // End-to-end: one job on an otherwise idle 3-dispatcher service gets all
+  // 6 budget threads, not the static 2-thread floor (threads_used is the
+  // worker count of the pool the flow actually ran on).
+  ServiceOptions options;
+  options.max_parallel_jobs = 3;
+  options.total_threads = 6;
+  FlowService service(options);
+  EXPECT_EQ(service.threads_per_job(), 2u);  // the floor is unchanged
+  const JobRecord record = service.wait(*service.submit(tiny_job()));
+  ASSERT_EQ(record.state, JobState::kDone);
+  EXPECT_EQ(record.outcome.metrics.threads_used, 6u);
+}
+
 // ---- run_flow_job ----------------------------------------------------------
 
 TEST(SvcRunJob, ExecutesAndReportsMetrics) {

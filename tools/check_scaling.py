@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_scaling.json file (as written by bench/scaling --json).
+
+Checks:
+  * shape: the three workloads (ksweep, route_rrr, place) each carry rows
+    for exactly T = 1, 2, 4, 8, 16, in that order, with positive timings;
+  * determinism: every row's `identical` flag is true and the T=1 row's
+    speedup is exactly 1.0 — the table doubles as a bit-identity record;
+  * scaling: up to the recorded hardware_threads, speedup must not regress
+    below (1 - TOLERANCE) of the best speedup seen at a lower thread count
+    (monotone within tolerance); above hardware_threads every extra worker
+    is pure oversubscription, so only a sanity floor is enforced — the
+    committed table comes from a 1-CPU CI container where every T > 1 row
+    is oversubscribed by construction.
+
+Exit 0 on success, 1 with a message on any violation. Used by CI
+(scaling-check job) and for eyeballing local runs:
+
+    ./build/bench/scaling --json BENCH_scaling.json
+    python3 tools/check_scaling.py BENCH_scaling.json
+"""
+import json
+import sys
+
+EXPECTED_THREADS = [1, 2, 4, 8, 16]
+EXPECTED_WORKLOADS = ["ksweep", "route_rrr", "place"]
+TOLERANCE = 0.25       # allowed dip vs the best earlier speedup, in-budget
+OVERSUB_FLOOR = 0.10   # minimum speedup once threads exceed the hardware
+
+
+def fail(message: str) -> None:
+    print(f"check_scaling: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        fail(f"usage: {sys.argv[0]} <BENCH_scaling.json>")
+    with open(sys.argv[1]) as f:
+        doc = json.load(f)
+
+    hardware = doc.get("hardware_threads")
+    if not isinstance(hardware, int) or hardware < 1:
+        fail(f"hardware_threads missing or invalid: {hardware!r}")
+    workloads = doc.get("workloads")
+    if not isinstance(workloads, dict):
+        fail("missing workloads object")
+    missing = [w for w in EXPECTED_WORKLOADS if w not in workloads]
+    if missing:
+        fail(f"missing workloads: {missing}")
+
+    for name in EXPECTED_WORKLOADS:
+        rows = workloads[name]
+        threads = [r.get("threads") for r in rows]
+        if threads != EXPECTED_THREADS:
+            fail(f"{name}: thread counts {threads} != {EXPECTED_THREADS}")
+        for row in rows:
+            t = row["threads"]
+            if not (isinstance(row.get("ms"), (int, float)) and row["ms"] > 0):
+                fail(f"{name} T={t}: non-positive timing {row.get('ms')!r}")
+            if row.get("identical") is not True:
+                fail(f"{name} T={t}: not bit-identical to the T=1 run")
+        if rows[0]["speedup"] != 1.0:
+            fail(f"{name}: T=1 speedup is {rows[0]['speedup']}, expected 1.0")
+
+        best_in_budget = rows[0]["speedup"]
+        for row in rows[1:]:
+            t, s = row["threads"], row["speedup"]
+            if t <= hardware:
+                if s < best_in_budget * (1.0 - TOLERANCE):
+                    fail(f"{name} T={t}: speedup {s:.3f} regressed below "
+                         f"{1.0 - TOLERANCE:.0%} of best-so-far "
+                         f"{best_in_budget:.3f} (within hardware budget)")
+                best_in_budget = max(best_in_budget, s)
+            elif s < OVERSUB_FLOOR:
+                fail(f"{name} T={t}: oversubscribed speedup {s:.3f} below "
+                     f"sanity floor {OVERSUB_FLOOR}")
+
+    print(f"check_scaling: OK: {len(EXPECTED_WORKLOADS)} workloads x "
+          f"{len(EXPECTED_THREADS)} thread counts, all bit-identical "
+          f"(hardware_threads={hardware})")
+
+
+if __name__ == "__main__":
+    main()
