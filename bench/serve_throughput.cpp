@@ -7,6 +7,10 @@
 ///   * warm resubmission: the same N jobs against the now-populated result
 ///     cache — every record must be a cache hit with bit-identical metrics,
 ///     and the acceptance bar is warm >= 10x cold;
+///   * dataset-served cold: the same N jobs, no result cache, but every spec
+///     resolvable from a precompiled dataset blob (DESIGN.md §12) — the flow
+///     still runs, parse/placement/match-db build do not; acceptance is
+///     bit-identical metrics and >= 1.3x cold jobs/s;
 ///   * a duplicate burst: one spec submitted B times concurrently must
 ///     execute exactly once (coalescing).
 ///
@@ -21,6 +25,8 @@
 
 #include "common.hpp"
 #include "sop/pla_io.hpp"
+#include "store/dataset_store.hpp"
+#include "svc/dataset_pack.hpp"
 #include "svc/job.hpp"
 #include "svc/result_cache.hpp"
 #include "svc/service.hpp"
@@ -62,17 +68,20 @@ struct PassResult {
   double p50_ms = 0.0;
   double p95_ms = 0.0;
   std::uint64_t cache_hits = 0;
+  std::uint64_t dataset_hits = 0;
   std::uint64_t flow_executions = 0;
   std::uint64_t failed = 0;
   std::vector<FlowMetrics> metrics;  // submission order
 };
 
 PassResult run_pass(const std::vector<svc::JobSpec>& jobs, std::uint32_t parallel,
-                    svc::ResultCache* cache) {
+                    svc::ResultCache* cache,
+                    const store::DatasetStore* datasets = nullptr) {
   svc::ServiceOptions options;
   options.max_parallel_jobs = parallel;
   options.queue_capacity = jobs.size();
   options.cache = cache;
+  options.datasets = datasets;
   svc::FlowService service(options);
 
   PassResult result;
@@ -99,6 +108,7 @@ PassResult run_pass(const std::vector<svc::JobSpec>& jobs, std::uint32_t paralle
   result.p50_ms = percentile(latencies, 0.50);
   result.p95_ms = percentile(latencies, 0.95);
   result.cache_hits = service.stats().cache_hits;
+  result.dataset_hits = service.stats().dataset_hits;
   result.flow_executions = service.stats().flow_executions;
   return result;
 }
@@ -157,6 +167,34 @@ int run(int argc, char** argv) {
   for (std::size_t i = 0; identical && i < cold.metrics.size(); ++i)
     identical = metrics_identical(cold.metrics[i], warm.metrics[i]);
 
+  // ---- dataset-served cold: no result cache, precompiled blobs -------------
+  // N jobs spread over two designs -> two blobs; K varies per job but the
+  // dataset key is K-independent, so two packs serve the whole set.
+  const fs::path dataset_dir = fs::temp_directory_path() / "cals_bench_serve_ds";
+  fs::remove_all(dataset_dir);
+  for (const std::size_t i : {std::size_t{0}, std::size_t{1}}) {
+    const Result<svc::PackedDataset> packed =
+        svc::pack_job_dataset(jobs[i], dataset_dir.string());
+    if (!packed.ok()) {
+      std::fprintf(stderr, "pack failed: %s\n", packed.status().to_string().c_str());
+      return 1;
+    }
+  }
+  store::DatasetStore dataset_store(dataset_dir.string());
+  dataset_store.refresh();
+  const PassResult dataset = run_pass(jobs, parallel, nullptr, &dataset_store);
+  const double dataset_speedup =
+      dataset.wall_s > 0.0 ? cold.wall_s / dataset.wall_s : 0.0;
+  std::printf("dataset: %5.2f jobs/s  wall %.3fs  p50 %.1f ms  p95 %.1f ms  "
+              "(%llu dataset-served, %llu flows)  speedup %.2fx\n",
+              dataset.jobs_per_s, dataset.wall_s, dataset.p50_ms, dataset.p95_ms,
+              static_cast<unsigned long long>(dataset.dataset_hits),
+              static_cast<unsigned long long>(dataset.flow_executions),
+              dataset_speedup);
+  bool dataset_identical = cold.metrics.size() == dataset.metrics.size();
+  for (std::size_t i = 0; dataset_identical && i < cold.metrics.size(); ++i)
+    dataset_identical = metrics_identical(cold.metrics[i], dataset.metrics[i]);
+
   // ---- burst: duplicates coalesce to one execution -------------------------
   svc::ServiceOptions burst_options;
   burst_options.max_parallel_jobs = parallel;
@@ -176,9 +214,13 @@ int run(int argc, char** argv) {
               burst, static_cast<unsigned long long>(burst_flows), burst_s);
 
   // ---- acceptance ----------------------------------------------------------
-  const bool ok_failures = cold.failed == 0 && warm.failed == 0;
+  const bool ok_failures =
+      cold.failed == 0 && warm.failed == 0 && dataset.failed == 0;
   const bool ok_cache = warm.cache_hits == num_jobs && warm.flow_executions == 0;
   const bool ok_speedup = speedup >= 10.0;
+  const bool ok_dataset = dataset.dataset_hits == num_jobs &&
+                          dataset.flow_executions == num_jobs &&
+                          dataset_identical && dataset_speedup >= 1.3;
   const bool ok_burst = burst_flows == 1;
   std::printf("\nacceptance:\n");
   std::printf("  [%s] %u concurrent jobs, zero failures\n",
@@ -190,6 +232,11 @@ int run(int argc, char** argv) {
               speedup);
   std::printf("  [%s] warm metrics bit-identical to cold\n",
               identical ? "pass" : "FAIL");
+  std::printf("  [%s] dataset-served cold: %llu/%zu from blobs, bit-identical, "
+              ">= 1.3x cold (%.2fx)\n",
+              ok_dataset ? "pass" : "FAIL",
+              static_cast<unsigned long long>(dataset.dataset_hits), num_jobs,
+              dataset_speedup);
   std::printf("  [%s] duplicate burst coalesced to one execution\n",
               ok_burst ? "pass" : "FAIL");
 
@@ -200,38 +247,54 @@ int run(int argc, char** argv) {
     } else {
       std::fprintf(out,
           "{\n"
-          "  \"description\": \"cals::svc batch service (PR 5): "
+          "  \"description\": \"cals::svc batch service: "
           "bench/serve_throughput (BM_ServeThroughput) on mixed spla/pdc-like "
           "presets (CALS_SCALE baked at 0.1), single-core container, Release "
           "-O2. %zu distinct jobs through %u dispatchers; 'warm' resubmits the "
-          "same jobs against the populated on-disk result cache.\",\n"
+          "same jobs against the populated on-disk result cache; "
+          "'dataset_cold' reruns the cold pass served from precompiled "
+          "dataset blobs (no parse / placement / match-db work).\",\n"
           "  \"unit\": \"ms\",\n"
           "  \"cold\": {\"jobs_per_s\": %.2f, \"wall_s\": %.3f, \"p50_ms\": %.1f, "
           "\"p95_ms\": %.1f, \"flow_executions\": %llu},\n"
           "  \"warm\": {\"jobs_per_s\": %.2f, \"wall_s\": %.3f, \"p50_ms\": %.1f, "
           "\"p95_ms\": %.1f, \"cache_hits\": %llu, \"flow_executions\": %llu},\n"
           "  \"warm_speedup\": %.1f,\n"
+          "  \"dataset_cold\": {\"jobs_per_s\": %.2f, \"wall_s\": %.3f, "
+          "\"p50_ms\": %.1f, \"p95_ms\": %.1f, \"dataset_hits\": %llu, "
+          "\"flow_executions\": %llu},\n"
+          "  \"dataset_speedup\": %.2f,\n"
           "  \"burst\": {\"submissions\": %zu, \"flow_executions\": %llu, "
           "\"wall_s\": %.3f},\n"
           "  \"acceptance\": \"%u concurrent jobs zero failures: %s; warm >= 10x "
-          "cold: %s (%.1fx); warm metrics bit-identical: %s; burst coalesced: "
+          "cold: %s (%.1fx); warm metrics bit-identical: %s; dataset-served "
+          "cold bit-identical and >= 1.3x cold: %s (%.2fx); burst coalesced: "
           "%s\"\n"
           "}\n",
           num_jobs, parallel, cold.jobs_per_s, cold.wall_s, cold.p50_ms,
           cold.p95_ms, static_cast<unsigned long long>(cold.flow_executions),
           warm.jobs_per_s, warm.wall_s, warm.p50_ms, warm.p95_ms,
           static_cast<unsigned long long>(warm.cache_hits),
-          static_cast<unsigned long long>(warm.flow_executions), speedup, burst,
+          static_cast<unsigned long long>(warm.flow_executions), speedup,
+          dataset.jobs_per_s, dataset.wall_s, dataset.p50_ms, dataset.p95_ms,
+          static_cast<unsigned long long>(dataset.dataset_hits),
+          static_cast<unsigned long long>(dataset.flow_executions),
+          dataset_speedup, burst,
           static_cast<unsigned long long>(burst_flows), burst_s, parallel,
           ok_failures ? "pass" : "FAIL", ok_speedup ? "pass" : "FAIL", speedup,
-          identical ? "pass" : "FAIL", ok_burst ? "pass" : "FAIL");
+          identical ? "pass" : "FAIL", ok_dataset ? "pass" : "FAIL",
+          dataset_speedup, ok_burst ? "pass" : "FAIL");
       std::fclose(out);
       std::printf("\nwrote %s\n", json_path.c_str());
     }
   }
 
   fs::remove_all(cache_dir);
-  return ok_failures && ok_cache && ok_speedup && identical && ok_burst ? 0 : 1;
+  fs::remove_all(dataset_dir);
+  return ok_failures && ok_cache && ok_speedup && identical && ok_dataset &&
+                 ok_burst
+             ? 0
+             : 1;
 }
 
 }  // namespace

@@ -1,0 +1,19 @@
+/// libFuzzer harness for the dataset-blob loader: any byte sequence must
+/// produce a LoadedDataset or a structured kParseError — never a crash,
+/// abort (CALS_CHECK), hang or attacker-controlled giant allocation. The
+/// loader's threat model is a blob whose digests all verify (the mutation
+/// engine will happily fix nothing, but the seed corpus contains valid
+/// blobs, so mutations explore the structural-validation paths too).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "store/dataset.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::vector<std::uint8_t> bytes(data, data + size);
+  const auto result = cals::store::LoadedDataset::from_bytes(bytes);
+  (void)result.ok();
+  return 0;
+}

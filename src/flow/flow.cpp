@@ -111,6 +111,25 @@ DesignContext::DesignContext(BaseNetwork net, const Library* library, Floorplan 
       node_positions_[i] = placement.pos[binding.node_object[i]];
 }
 
+DesignContext::DesignContext(PrecompiledParts parts)
+    : net_(std::move(parts.net)),
+      library_(parts.library),
+      floorplan_(parts.floorplan),
+      node_positions_(std::move(parts.node_positions)),
+      base_hpwl_(parts.base_hpwl) {
+  CALS_CHECK(library_ != nullptr);
+  CALS_CHECK_MSG(net_.fanouts_built(), "precompiled network must have fanouts");
+  CALS_CHECK(node_positions_.size() == net_.num_nodes());
+}
+
+void DesignContext::seed_match_database(std::shared_ptr<const MatchDatabase> db) const {
+  CALS_CHECK(db != nullptr);
+  const auto key =
+      std::make_pair(static_cast<int>(db->partition), static_cast<int>(db->metric));
+  std::lock_guard<std::mutex> lock(mutex_);
+  match_dbs_[key] = std::move(db);
+}
+
 ThreadPool* DesignContext::pool(std::uint32_t num_threads) const {
   const std::uint32_t resolved = resolve_num_threads(num_threads);
   if (resolved <= 1) return nullptr;

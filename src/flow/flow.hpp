@@ -141,6 +141,25 @@ class DesignContext {
   DesignContext(BaseNetwork net, const Library* library, Floorplan floorplan,
                 PlaceOptions place_options = {});
 
+  /// Deserialized context state (store/dataset.cpp): the compact network with
+  /// fanouts built, plus the initial placement computed at pack time. The
+  /// precompiled constructor adopts these verbatim — no compact, no
+  /// lowering, no global placement — so a dataset-served context is
+  /// bit-identical to the pack-time one without redoing any of its work.
+  struct PrecompiledParts {
+    BaseNetwork net;
+    const Library* library = nullptr;
+    Floorplan floorplan;
+    std::vector<Point> node_positions;
+    double base_hpwl = 0.0;
+  };
+  explicit DesignContext(PrecompiledParts parts);
+
+  /// Installs a prebuilt match database for its {partition, metric} slot
+  /// (replacing any existing entry) so dataset-served runs skip
+  /// build_match_database entirely. Thread-safe.
+  void seed_match_database(std::shared_ptr<const MatchDatabase> db) const;
+
   const BaseNetwork& network() const { return net_; }
   const Library& library() const { return *library_; }
   const Floorplan& floorplan() const { return floorplan_; }

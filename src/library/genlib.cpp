@@ -8,6 +8,7 @@
 
 #include "util/check.hpp"
 #include "util/faults.hpp"
+#include "util/obs.hpp"
 #include "util/strings.hpp"
 
 namespace cals {
@@ -131,6 +132,9 @@ Result<Library> parse_genlib_impl(std::istream& in) {
 }  // namespace
 
 Result<Library> parse_genlib(std::istream& in) {
+  // Dataset-served jobs bypass text parsing entirely; the serving CI asserts
+  // this counter stays absent on the blob-backed hot path.
+  CALS_OBS_COUNT("parse.genlib", 1);
   try {
     CALS_FAULT_POINT("parse.genlib");
     auto result = parse_genlib_impl(in);

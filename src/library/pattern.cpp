@@ -99,6 +99,76 @@ Pattern Pattern::parse(const std::string& text) {
   return parse_checked(text).value_or_die();
 }
 
+Result<Pattern> Pattern::from_parts(std::vector<PatternNode> nodes, std::int32_t root,
+                                    std::uint32_t num_vars) {
+  const auto bad = [](const char* message) { return Status::parse_error(message); };
+  if (num_vars < 1 || num_vars > 6) return bad("pattern: 1..6 variables supported");
+  const std::size_t n = nodes.size();
+  if (n == 0 || n > 4096) return bad("pattern: bad node count");
+  if (root < 0 || static_cast<std::size_t>(root) >= n) return bad("pattern: root out of range");
+
+  const auto in_range = [n](std::int32_t c) {
+    return c >= 0 && static_cast<std::size_t>(c) < n;
+  };
+  std::vector<std::uint8_t> referenced(n, 0);
+  for (const PatternNode& node : nodes) {
+    switch (node.kind) {
+      case PatternKind::kVar:
+        if (node.var < 0 || static_cast<std::uint32_t>(node.var) >= num_vars)
+          return bad("pattern: var index out of range");
+        break;
+      case PatternKind::kInv:
+        if (!in_range(node.child0)) return bad("pattern: INV child out of range");
+        if (++referenced[static_cast<std::size_t>(node.child0)] > 1)
+          return bad("pattern: node referenced twice");
+        break;
+      case PatternKind::kNand2:
+        if (!in_range(node.child0) || !in_range(node.child1))
+          return bad("pattern: NAND child out of range");
+        if (++referenced[static_cast<std::size_t>(node.child0)] > 1 ||
+            ++referenced[static_cast<std::size_t>(node.child1)] > 1)
+          return bad("pattern: node referenced twice");
+        break;
+      default:
+        return bad("pattern: unknown node kind");
+    }
+  }
+  if (referenced[static_cast<std::size_t>(root)] != 0)
+    return bad("pattern: root must not be a child");
+
+  // Single-parent + acyclic-from-root: walk from the root counting reachable
+  // nodes and bounding depth at the parser's cap so the recursive
+  // eval()/str() walkers stay stack-safe.
+  std::vector<std::uint8_t> var_used(num_vars, 0);
+  std::size_t visited = 0;
+  std::vector<std::pair<std::int32_t, std::uint32_t>> stack{{root, 0}};
+  while (!stack.empty()) {
+    const auto [id, depth] = stack.back();
+    stack.pop_back();
+    if (depth > 64) return bad("pattern: nesting too deep");
+    ++visited;
+    const PatternNode& node = nodes[static_cast<std::size_t>(id)];
+    if (node.kind == PatternKind::kVar) {
+      var_used[static_cast<std::uint32_t>(node.var)] = 1;
+    } else {
+      stack.push_back({node.child0, depth + 1});
+      if (node.kind == PatternKind::kNand2) stack.push_back({node.child1, depth + 1});
+    }
+  }
+  // Every non-root referenced exactly once + `visited` nodes reached from the
+  // root means the graph is a tree iff all nodes were reached (an unreachable
+  // cycle would keep `visited` short).
+  if (visited != n) return bad("pattern: disconnected or cyclic nodes");
+  for (std::uint32_t v = 0; v < num_vars; ++v)
+    if (var_used[v] == 0) return bad("pattern: unused variable index");
+
+  Pattern p;
+  p.nodes_ = std::move(nodes);
+  p.root_ = root;
+  p.num_vars_ = num_vars;
+  return p;
+}
+
 std::uint32_t Pattern::num_gates() const {
   std::uint32_t n = 0;
   for (const PatternNode& node : nodes_)

@@ -35,6 +35,15 @@ class Pattern {
   static Pattern parse(const std::string& text);
   static Result<Pattern> parse_checked(const std::string& text);
 
+  /// Rebuilds a pattern from its structural parts (the dataset-blob loader's
+  /// entry point — round-tripping through str()/parse would renumber pins by
+  /// first appearance and break bit-identity with the packed library).
+  /// Validates tree shape: every non-root node is referenced exactly once,
+  /// all nodes reachable from the root, depth <= 64 (the parser's cap), leaf
+  /// vars cover [0, num_vars) exactly. Returns kParseError on violations.
+  static Result<Pattern> from_parts(std::vector<PatternNode> nodes, std::int32_t root,
+                                    std::uint32_t num_vars);
+
   const std::vector<PatternNode>& nodes() const { return nodes_; }
   std::int32_t root() const { return root_; }
   /// Kind of the root node — lets the matcher reject a (vertex, pattern)

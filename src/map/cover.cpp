@@ -183,11 +183,24 @@ VertexCover cover_vertex_priced(const MatchSet& set, const Library& library,
       best.pos = match_pos;
     }
   }
-  best.match = set.at[v.v][best_slot - m_begin];
+  best.match = set.materialize(best_slot);
   return best;
 }
 
 }  // namespace
+
+Match MatchSet::materialize(std::uint32_t slot) const {
+  Match m;
+  m.cell = cell[slot];
+  m.pattern_index = pattern_index[slot];
+  m.pins.reserve(pin_first[slot + 1] - pin_first[slot]);
+  for (std::uint32_t p = pin_first[slot]; p < pin_first[slot + 1]; ++p)
+    m.pins.push_back(NodeId{pin_node[p]});
+  m.covered.reserve(cov_first[slot + 1] - cov_first[slot]);
+  for (std::uint32_t c = cov_first[slot]; c < cov_first[slot + 1]; ++c)
+    m.covered.push_back(NodeId{cov_node[c]});
+  return m;
+}
 
 std::vector<VertexCover> cover_forest(const BaseNetwork& net, const SubjectForest& forest,
                                       const Matcher& matcher, const Library& library,
@@ -218,7 +231,9 @@ MatchSet build_match_set(const BaseNetwork& net, const SubjectForest& forest,
                          const std::vector<Point>& positions, ThreadPool* pool) {
   CALS_CHECK(positions.size() == net.num_nodes());
   MatchSet set;
-  set.at.resize(net.num_nodes());
+  // The Match vectors are a build-side temporary: everything the DP and the
+  // realizer need is flattened into the CSR arrays below.
+  std::vector<std::vector<Match>> at(net.num_nodes());
 
   // Matching is per-vertex independent (the matcher only reads the subject
   // graph), so the enumeration parallelizes trivially.
@@ -226,23 +241,27 @@ MatchSet build_match_set(const BaseNetwork& net, const SubjectForest& forest,
                            [&](std::size_t lo, std::size_t hi) {
                              for (std::size_t i = lo; i < hi; ++i) {
                                const NodeId v{static_cast<std::uint32_t>(i)};
-                               if (forest.in_tree(v)) set.at[i] = matcher.matches_at(v);
+                               if (forest.in_tree(v)) at[i] = matcher.matches_at(v);
                              }
                            });
 
   // Flatten the K-independent inputs of the pricing loop into the SoA view.
-  // Slot order is exactly the (node, match) order of `at`; pin and dup
-  // entries keep their within-match order, so the kernel's accumulation
-  // order — and with it every double — matches the AoS loop bit for bit.
+  // Slot order is exactly the (node, match) order of `at`; pin, dup, and
+  // covered entries keep their within-match order, so the kernel's
+  // accumulation order — and with it every double — matches the AoS loop bit
+  // for bit, and materialize() rebuilds Matches byte-identical to the
+  // matcher's.
   set.first.assign(net.num_nodes() + 1, 0);
   std::size_t slots = 0;
   std::size_t pin_entries = 0;
   std::size_t dup_entries = 0;
+  std::size_t cov_entries = 0;
   for (std::uint32_t i = 0; i < net.num_nodes(); ++i) {
     set.first[i] = static_cast<std::uint32_t>(slots);
-    slots += set.at[i].size();
-    for (const Match& match : set.at[i]) {
+    slots += at[i].size();
+    for (const Match& match : at[i]) {
       pin_entries += match.pins.size();
+      cov_entries += match.covered.size();
       for (NodeId w : match.covered)
         if (!(w == NodeId{i}) && net.fanout_count(w) > 1) ++dup_entries;
     }
@@ -251,19 +270,23 @@ MatchSet build_match_set(const BaseNetwork& net, const SubjectForest& forest,
   set.match_pos.reserve(slots);
   set.cell_area.reserve(slots);
   set.cell.reserve(slots);
+  set.pattern_index.reserve(slots);
   set.pin_first.reserve(slots + 1);
   set.dup_first.reserve(slots + 1);
+  set.cov_first.reserve(slots + 1);
   set.pin_node.reserve(pin_entries);
   set.pin_flags.reserve(pin_entries);
   set.pin_pos.reserve(pin_entries);
   set.dup_node.reserve(dup_entries);
+  set.cov_node.reserve(cov_entries);
 
   std::vector<Point> covered_points;
   for (std::uint32_t i = 0; i < net.num_nodes(); ++i) {
     const NodeId v{i};
-    for (const Match& match : set.at[i]) {
+    for (const Match& match : at[i]) {
       set.pin_first.push_back(static_cast<std::uint32_t>(set.pin_node.size()));
       set.dup_first.push_back(static_cast<std::uint32_t>(set.dup_node.size()));
+      set.cov_first.push_back(static_cast<std::uint32_t>(set.cov_node.size()));
       // pos(m,v) exactly as cover_vertex computes it: unweighted center of
       // mass of the covered base gates, in discovery order.
       covered_points.clear();
@@ -271,8 +294,11 @@ MatchSet build_match_set(const BaseNetwork& net, const SubjectForest& forest,
       set.match_pos.push_back(center_of_mass(covered_points));
       set.cell_area.push_back(library.cell(match.cell).area());
       set.cell.push_back(match.cell);
-      for (NodeId w : match.covered)
+      set.pattern_index.push_back(match.pattern_index);
+      for (NodeId w : match.covered) {
+        set.cov_node.push_back(w.v);
         if (!(w == v) && net.fanout_count(w) > 1) set.dup_node.push_back(w.v);
+      }
       for (NodeId pin : match.pins) {
         std::uint8_t flags = 0;
         if (net.is_gate(pin)) {
@@ -287,6 +313,7 @@ MatchSet build_match_set(const BaseNetwork& net, const SubjectForest& forest,
   }
   set.pin_first.push_back(static_cast<std::uint32_t>(set.pin_node.size()));
   set.dup_first.push_back(static_cast<std::uint32_t>(set.dup_node.size()));
+  set.cov_first.push_back(static_cast<std::uint32_t>(set.cov_node.size()));
 
   // Wavefront schedule for the covering DP. Everything a vertex's DP reads
   // (match pins, covered subtree vertices, duplication charges) is reached
@@ -310,10 +337,24 @@ MatchSet build_match_set(const BaseNetwork& net, const SubjectForest& forest,
     level[i] = l;
     max_level = std::max(max_level, l);
   }
-  set.waves.resize(max_level + 1);
+  // Counting sort into the wave CSR: iterating nodes in ascending order
+  // reproduces the per-wave ascending node order of the old nested vectors.
+  std::vector<std::uint32_t> wave_count(max_level + 1, 0);
+  std::size_t in_tree_count = 0;
   for (std::uint32_t i = 0; i < net.num_nodes(); ++i) {
-    const NodeId v{i};
-    if (forest.in_tree(v)) set.waves[level[i]].push_back(v);
+    if (forest.in_tree(NodeId{i})) {
+      ++wave_count[level[i]];
+      ++in_tree_count;
+    }
+  }
+  set.wave_first.assign(max_level + 2, 0);
+  for (std::uint32_t w = 0; w <= max_level; ++w)
+    set.wave_first[w + 1] = set.wave_first[w] + wave_count[w];
+  set.wave_node.resize(in_tree_count);
+  std::vector<std::uint32_t> cursor(max_level + 1);
+  for (std::uint32_t w = 0; w <= max_level; ++w) cursor[w] = set.wave_first[w];
+  for (std::uint32_t i = 0; i < net.num_nodes(); ++i) {
+    if (forest.in_tree(NodeId{i})) set.wave_node[cursor[level[i]]++] = i;
   }
   return set;
 }
@@ -323,7 +364,7 @@ std::vector<VertexCover> cover_forest(const BaseNetwork& net, const SubjectFores
                                       const std::vector<Point>& positions,
                                       const CoverOptions& options, ThreadPool* pool) {
   CALS_CHECK(positions.size() == net.num_nodes());
-  CALS_CHECK(matches.at.size() == net.num_nodes());
+  CALS_CHECK(matches.first.size() == net.num_nodes() + 1);
   std::vector<VertexCover> cover(net.num_nodes());
 
   if (pool == nullptr || pool->num_workers() <= 1) {
@@ -332,7 +373,7 @@ std::vector<VertexCover> cover_forest(const BaseNetwork& net, const SubjectFores
       const NodeId v{i};
       if (!forest.in_tree(v)) continue;
       ++tally.vertices;
-      tally.matches += matches.at[i].size();
+      tally.matches += matches.slots_end(v) - matches.slots_begin(v);
       cover[i] = cover_vertex_priced(matches, library, options, cover, v);
     }
     tally.publish();
@@ -342,14 +383,17 @@ std::vector<VertexCover> cover_forest(const BaseNetwork& net, const SubjectFores
   // Wave-synchronous parallel DP: within a wave every vertex reads only
   // covers finalized by earlier waves, and each chunk writes a disjoint set
   // of cover entries — results are bit-identical to the serial order.
-  for (const std::vector<NodeId>& wave : matches.waves) {
-    ThreadPool::parallel_for(pool, 0, wave.size(), 32,
+  const std::size_t num_waves =
+      matches.wave_first.size() == 0 ? 0 : matches.wave_first.size() - 1;
+  for (std::size_t w = 0; w < num_waves; ++w) {
+    ThreadPool::parallel_for(pool, matches.wave_first[w], matches.wave_first[w + 1], 32,
                              [&](std::size_t lo, std::size_t hi) {
                                CoverTally tally;
                                for (std::size_t j = lo; j < hi; ++j) {
-                                 const NodeId v = wave[j];
+                                 const NodeId v{matches.wave_node[j]};
                                  ++tally.vertices;
-                                 tally.matches += matches.at[v.v].size();
+                                 tally.matches +=
+                                     matches.slots_end(v) - matches.slots_begin(v);
                                  cover[v.v] =
                                      cover_vertex_priced(matches, library, options, cover, v);
                                }

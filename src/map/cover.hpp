@@ -25,6 +25,7 @@
 #include "map/partition.hpp"
 #include "netlist/base_network.hpp"
 #include "util/thread_pool.hpp"
+#include "util/vec_view.hpp"
 
 namespace cals {
 
@@ -77,40 +78,50 @@ std::vector<VertexCover> cover_forest(const BaseNetwork& net, const SubjectFores
 /// The K-independent artifacts of the matching front end, reusable across
 /// every K of a sweep (only the DP costs of Eq. 1–5 depend on K).
 ///
-/// Besides the raw matches, the set carries an SoA pricing view: everything
-/// the Eq. 1–5 inner loop reads that does not depend on the DP state lives
-/// in flat parallel arrays (match centers of mass, cell areas, pin node ids
-/// with precomputed is-gate/in-subtree flags and static fallback positions,
-/// duplication-charge node lists). The per-K kernel then walks contiguous
-/// slots instead of pointer-chasing Match vectors, and no Match is ever
-/// copied per evaluation — only the winning slot's Match is materialized.
+/// The set is pure SoA: everything the Eq. 1–5 inner loop reads that does
+/// not depend on the DP state lives in flat parallel arrays (match centers
+/// of mass, cell areas, pin node ids with precomputed is-gate/in-subtree
+/// flags and static fallback positions, duplication-charge node lists). The
+/// per-K kernel walks contiguous slots instead of pointer-chasing Match
+/// vectors, and no Match is ever copied per evaluation — only the winning
+/// slot's Match is rebuilt via materialize(). Every array is a VecOrView:
+/// build_match_set produces owning arrays, while the dataset-blob loader
+/// (store/dataset.cpp) aliases them zero-copy over the mmap-ed bytes.
 struct MatchSet {
-  /// All matches rooted at each node (empty for vertices outside any tree),
-  /// exactly what Matcher::matches_at returns.
-  std::vector<std::vector<Match>> at;
-  /// In-tree vertices grouped into dependency wavefronts: level[v] =
-  /// 1 + max(level over live gate fanins), so every cover value a vertex can
-  /// read (fanin positions, subtree costs, duplication charges — all reached
-  /// through fanin chains) lives in a strictly earlier wave. Vertices within
-  /// one wave are mutually independent and can be covered concurrently.
-  std::vector<std::vector<NodeId>> waves;
-
-  // ---- SoA pricing view (parallel to `at`, built by build_match_set) ----
   enum PinFlags : std::uint8_t {
     kPinIsGate = 1,     ///< net.is_gate(pin)
     kPinInSubtree = 2,  ///< pin's father is covered by the match (Eq. 1/3 scope)
   };
-  /// Match slots of node v: [first[v], first[v+1]).
-  std::vector<std::uint32_t> first;
-  std::vector<Point> match_pos;        ///< per slot: center of mass of covered gates
-  std::vector<double> cell_area;       ///< per slot: area of the matched cell
-  std::vector<CellId> cell;            ///< per slot: the matched cell (delay lookups)
-  std::vector<std::uint32_t> pin_first;  ///< per slot: first pin entry (size slots+1)
-  std::vector<std::uint32_t> dup_first;  ///< per slot: first duplication entry
-  std::vector<std::uint32_t> pin_node;   ///< per pin entry: bound subject vertex
-  std::vector<std::uint8_t> pin_flags;   ///< per pin entry: PinFlags
-  std::vector<Point> pin_pos;   ///< per pin entry: static position (non-gate fallback)
-  std::vector<std::uint32_t> dup_node;  ///< per dup entry: covered multi-fanout vertex
+  /// Match slots of node v: [first[v], first[v+1]). Size num_nodes + 1.
+  VecOrView<std::uint32_t> first;
+  VecOrView<Point> match_pos;        ///< per slot: center of mass of covered gates
+  VecOrView<double> cell_area;       ///< per slot: area of the matched cell
+  VecOrView<CellId> cell;            ///< per slot: the matched cell (delay lookups)
+  VecOrView<std::uint32_t> pattern_index;  ///< per slot: Match::pattern_index
+  VecOrView<std::uint32_t> pin_first;  ///< per slot: first pin entry (size slots+1)
+  VecOrView<std::uint32_t> dup_first;  ///< per slot: first duplication entry
+  VecOrView<std::uint32_t> cov_first;  ///< per slot: first covered-vertex entry
+  VecOrView<std::uint32_t> pin_node;   ///< per pin entry: bound subject vertex
+  VecOrView<std::uint8_t> pin_flags;   ///< per pin entry: PinFlags
+  VecOrView<Point> pin_pos;   ///< per pin entry: static position (non-gate fallback)
+  VecOrView<std::uint32_t> dup_node;  ///< per dup entry: covered multi-fanout vertex
+  /// Per covered entry: the vertices a slot's match covers, in the matcher's
+  /// discovery order (= Match::covered order, which realize/stats rely on).
+  VecOrView<std::uint32_t> cov_node;
+  /// Dependency wavefronts of the covering DP, as a CSR over in-tree
+  /// vertices: wave w is wave_node[wave_first[w], wave_first[w+1]).
+  /// level[v] = 1 + max(level over live gate fanins), so every cover value a
+  /// vertex can read (fanin positions, subtree costs, duplication charges —
+  /// all reached through fanin chains) lives in a strictly earlier wave.
+  /// Vertices within one wave are mutually independent.
+  VecOrView<std::uint32_t> wave_first;
+  VecOrView<std::uint32_t> wave_node;
+
+  std::uint32_t num_slots() const { return first.back(); }
+  std::uint32_t slots_begin(NodeId v) const { return first[v.v]; }
+  std::uint32_t slots_end(NodeId v) const { return first[v.v + 1]; }
+  /// Rebuilds the full Match for one slot (the DP winner) from the CSR rows.
+  Match materialize(std::uint32_t slot) const;
 };
 
 /// Precomputes matches (with the SoA pricing view and the cover wavefront

@@ -102,6 +102,9 @@ MatchDatabase build_match_database(const BaseNetwork& net, const Library& librar
                                    ThreadPool* pool) {
   CALS_CHECK_MSG(net.fanouts_built(), "call build_fanouts() first");
   CALS_TRACE_SCOPE("map.match_db_build");
+  // Dataset-served jobs must never reach this builder (the blob carries the
+  // match db); the serving CI asserts this counter stays absent.
+  CALS_OBS_COUNT("map.match_db_builds", 1);
   MatchDatabase db;
   db.partition = partition;
   db.metric = metric;

@@ -22,7 +22,73 @@ BaseNetwork::BaseNetwork() {
   fanin1_.push_back(NodeId{0});
 }
 
+Result<BaseNetwork> BaseNetwork::from_parts(BaseNetworkParts parts) {
+  const auto bad = [](const char* message) { return Status::parse_error(message); };
+  const std::size_t n = parts.kind.size();
+  if (n == 0 || n >= (1ull << 31)) return bad("network: bad node count");
+  if (parts.fanin0.size() != n || parts.fanin1.size() != n)
+    return bad("network: fanin arrays mismatched");
+  if (parts.pi_names.size() != parts.pis.size())
+    return bad("network: pi name arrays mismatched");
+  if (parts.kind[0] != NodeKind::kConst0) return bad("network: node 0 must be const-0");
+
+  std::uint32_t num_gates = 0;
+  std::uint32_t num_nand2 = 0;
+  std::size_t num_pi_nodes = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::uint32_t f0 = parts.fanin0[i].v;
+    const std::uint32_t f1 = parts.fanin1[i].v;
+    switch (parts.kind[i]) {
+      case NodeKind::kConst0:
+        return bad("network: const-0 beyond node 0");
+      case NodeKind::kPi:
+        if (f0 != 0 || f1 != 0) return bad("network: PI with fanins");
+        ++num_pi_nodes;
+        break;
+      case NodeKind::kInv:
+        // push_node stores INV as (a, a).
+        if (f0 >= i || f1 != f0) return bad("network: bad INV fanins");
+        ++num_gates;
+        break;
+      case NodeKind::kNand2:
+        if (f0 >= i || f1 >= i || f1 < f0) return bad("network: bad NAND2 fanins");
+        ++num_gates;
+        ++num_nand2;
+        break;
+      default:
+        return bad("network: unknown node kind");
+    }
+  }
+
+  std::unordered_map<std::uint32_t, std::uint32_t> pi_name_index;
+  pi_name_index.reserve(parts.pis.size());
+  for (std::size_t i = 0; i < parts.pis.size(); ++i) {
+    const std::uint32_t v = parts.pis[i].v;
+    if (v >= n || parts.kind[v] != NodeKind::kPi) return bad("network: bad PI reference");
+    if (!pi_name_index.emplace(v, static_cast<std::uint32_t>(i)).second)
+      return bad("network: duplicate PI reference");
+  }
+  if (pi_name_index.size() != num_pi_nodes) return bad("network: unregistered PI node");
+  for (const PrimaryOutput& po : parts.pos)
+    if (po.driver.v >= n) return bad("network: PO driver out of range");
+
+  BaseNetwork net;
+  net.kind_ = std::move(parts.kind);
+  net.fanin0_ = std::move(parts.fanin0);
+  net.fanin1_ = std::move(parts.fanin1);
+  net.pis_ = std::move(parts.pis);
+  net.pi_names_ = std::move(parts.pi_names);
+  net.pi_name_index_ = std::move(pi_name_index);
+  net.pos_ = std::move(parts.pos);
+  net.num_gates_ = num_gates;
+  net.num_nand2_ = num_nand2;
+  net.frozen_ = true;
+  net.build_fanouts();
+  return net;
+}
+
 NodeId BaseNetwork::push_node(NodeKind kind, NodeId a, NodeId b) {
+  CALS_CHECK_MSG(!frozen_, "cannot grow a from_parts network");
   const NodeId id{num_nodes()};
   kind_.push_back(kind);
   fanin0_.push_back(a);
@@ -175,6 +241,7 @@ const NodeId* BaseNetwork::fanout_end(NodeId n) const {
 }
 
 std::vector<std::uint32_t> BaseNetwork::compact() {
+  CALS_CHECK_MSG(!frozen_, "cannot compact a from_parts network");
   constexpr std::uint32_t kDead = UINT32_MAX;
   const std::uint32_t n = num_nodes();
 

@@ -20,6 +20,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/status.hpp"
+
 namespace cals {
 
 /// Strongly-typed node handle into a BaseNetwork.
@@ -45,9 +47,29 @@ struct PrimaryOutput {
   NodeId driver;
 };
 
+/// The raw arrays of a serialized network (dataset-blob section NETWORK);
+/// BaseNetwork::from_parts validates them back into a network.
+struct BaseNetworkParts {
+  std::vector<NodeKind> kind;
+  std::vector<NodeId> fanin0;
+  std::vector<NodeId> fanin1;
+  std::vector<NodeId> pis;
+  std::vector<std::string> pi_names;  // parallel to pis
+  std::vector<PrimaryOutput> pos;
+};
+
 class BaseNetwork {
  public:
   BaseNetwork();
+
+  /// Rebuilds a network from serialized parts, re-checking every structural
+  /// invariant (node 0 is const-0, fanins strictly below their node,
+  /// NAND2 commutative normal form, PI bookkeeping consistent, PO drivers in
+  /// range). The result is frozen: it serves reads and fanout queries but
+  /// aborts on further construction. The strash table is not rebuilt (frozen
+  /// networks never strash) and fanouts are rebuilt eagerly. Returns
+  /// kParseError on any violation — never aborts, hostile blobs reach this.
+  static Result<BaseNetwork> from_parts(BaseNetworkParts parts);
 
   // ----- construction -------------------------------------------------
   /// Adds a named primary input.
@@ -131,6 +153,7 @@ class BaseNetwork {
   std::vector<PrimaryOutput> pos_;
   std::uint32_t num_gates_ = 0;
   std::uint32_t num_nand2_ = 0;
+  bool frozen_ = false;  // from_parts networks reject further construction
 
   // strash table: key packs (kind, fanin0, fanin1)
   std::unordered_map<std::uint64_t, std::uint32_t> strash_;

@@ -10,6 +10,7 @@
 
 #include "util/check.hpp"
 #include "util/faults.hpp"
+#include "util/obs.hpp"
 #include "util/strings.hpp"
 
 namespace cals {
@@ -267,6 +268,9 @@ Result<BlifModel> parse_blif_impl(std::istream& in) {
 }  // namespace
 
 Result<BlifModel> parse_blif(std::istream& in) {
+  // Dataset-served jobs bypass text parsing entirely; the serving CI asserts
+  // this counter stays absent on the blob-backed hot path.
+  CALS_OBS_COUNT("parse.blif", 1);
   try {
     CALS_FAULT_POINT("parse.blif");
     auto result = parse_blif_impl(in);

@@ -31,6 +31,23 @@ Floorplan Floorplan::for_cell_area(double cell_area_um2, double max_utilization,
   return square_with_rows(rows == 0 ? 1 : rows, tech);
 }
 
+Result<Floorplan> Floorplan::from_parts(std::uint32_t num_rows, std::uint32_t sites_per_row,
+                                        const TechParams& tech) {
+  if (num_rows < 1) return Status::parse_error("floorplan: needs at least one row");
+  if (sites_per_row < 1) return Status::parse_error("floorplan: needs at least one site");
+  if (!(tech.site_width_um > 0.0) || !(tech.row_height_um > 0.0) ||
+      !(tech.routing_pitch_um > 0.0) || tech.metal_layers < 1)
+    return Status::parse_error("floorplan: invalid tech params");
+  Floorplan fp;
+  fp.tech_ = tech;
+  fp.num_rows_ = num_rows;
+  fp.sites_per_row_ = sites_per_row;
+  const double width = sites_per_row * tech.site_width_um;
+  const double height = num_rows * tech.row_height_um;
+  fp.die_ = Rect{{0.0, 0.0}, {width, height}};
+  return fp;
+}
+
 std::uint32_t Floorplan::nearest_row(double y) const {
   const double rel = (y - die_.lo.y) / tech_.row_height_um - 0.5;
   const long r = std::lround(rel);

@@ -8,6 +8,7 @@
 
 #include "geom/geom.hpp"
 #include "library/library.hpp"
+#include "util/status.hpp"
 
 namespace cals {
 
@@ -25,6 +26,14 @@ class Floorplan {
   /// the given utilization cap.
   static Floorplan for_cell_area(double cell_area_um2, double max_utilization,
                                  const TechParams& tech);
+
+  /// Rebuilds a floorplan from its serialized parts (the dataset-blob
+  /// loader's entry point). Reconstructing through the width constructor
+  /// would re-run the floor() site quantization on a width that is already
+  /// quantized — from_parts takes sites_per_row directly so the die is
+  /// byte-identical to the packed one. Returns kParseError on bad parts.
+  static Result<Floorplan> from_parts(std::uint32_t num_rows, std::uint32_t sites_per_row,
+                                      const TechParams& tech);
 
   const Rect& die() const { return die_; }
   double die_area() const { return die_.area(); }
@@ -47,6 +56,8 @@ class Floorplan {
   std::uint32_t nearest_row(double y) const;
 
  private:
+  Floorplan() = default;  // for from_parts
+
   TechParams tech_;
   Rect die_{};
   std::uint32_t num_rows_ = 0;

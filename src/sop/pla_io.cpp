@@ -8,6 +8,7 @@
 
 #include "util/check.hpp"
 #include "util/faults.hpp"
+#include "util/obs.hpp"
 #include "util/strings.hpp"
 
 namespace cals {
@@ -107,6 +108,9 @@ Result<Pla> parse_pla_impl(std::istream& in) {
 }  // namespace
 
 Result<Pla> parse_pla(std::istream& in) {
+  // Dataset-served jobs bypass text parsing entirely; the serving CI asserts
+  // this counter stays absent on the blob-backed hot path.
+  CALS_OBS_COUNT("parse.pla", 1);
   try {
     CALS_FAULT_POINT("parse.pla");
     auto result = parse_pla_impl(in);

@@ -1,0 +1,226 @@
+#include "store/blob.hpp"
+
+#include "util/check.hpp"
+#include "util/fnv.hpp"
+#include "util/strings.hpp"
+
+namespace cals::store {
+
+// ---- writer ---------------------------------------------------------------
+
+void BlobWriter::begin_section(SectionId id) {
+  CALS_CHECK(!in_section_);
+  sections_.push_back({static_cast<std::uint64_t>(id), {}});
+  in_section_ = true;
+}
+
+void BlobWriter::end_section() {
+  CALS_CHECK(in_section_);
+  in_section_ = false;
+}
+
+void BlobWriter::append(const void* p, std::size_t n) {
+  CALS_CHECK(in_section_);
+  std::vector<std::uint8_t>& payload = sections_.back().payload;
+  const std::uint8_t* bytes = static_cast<const std::uint8_t*>(p);
+  payload.insert(payload.end(), bytes, bytes + n);
+}
+
+void BlobWriter::pad8() {
+  CALS_CHECK(in_section_);
+  std::vector<std::uint8_t>& payload = sections_.back().payload;
+  while (payload.size() % 8 != 0) payload.push_back(0);
+}
+
+void BlobWriter::write_u64(std::uint64_t v) { append(&v, sizeof(v)); }
+void BlobWriter::write_i64(std::int64_t v) { append(&v, sizeof(v)); }
+void BlobWriter::write_f64(double v) { append(&v, sizeof(v)); }
+
+void BlobWriter::write_string(const std::string& s) {
+  write_u64(s.size());
+  append(s.data(), s.size());
+  pad8();
+}
+
+namespace {
+
+void put_bytes(std::vector<std::uint8_t>& out, std::size_t offset, const void* p,
+               std::size_t n) {
+  std::memcpy(out.data() + offset, p, n);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> BlobWriter::finish(const std::string& key,
+                                             std::uint64_t version) const {
+  CALS_CHECK(!in_section_);
+  CALS_CHECK_MSG(key.size() == kKeyLength, "dataset key must be 16 chars");
+
+  const std::size_t table_size = sections_.size() * kSectionEntrySize;
+  std::size_t total = kHeaderBaseSize + table_size;
+  for (const Section& s : sections_) {
+    CALS_CHECK(s.payload.size() % 8 == 0);
+    total += s.payload.size();
+  }
+
+  std::vector<std::uint8_t> out(total, 0);
+  std::size_t off = 0;
+  put_bytes(out, off, kMagic, sizeof(kMagic));
+  off += 8;
+  const std::uint32_t format = kFormatVersion;
+  put_bytes(out, off, &format, 4);
+  off += 4;
+  const std::uint32_t endian = kEndianMarker;
+  put_bytes(out, off, &endian, 4);
+  off += 4;
+  const std::uint64_t file_size = total;
+  put_bytes(out, off, &file_size, 8);
+  off += 8;
+  put_bytes(out, off, key.data(), kKeyLength);
+  off += kKeyLength;
+  put_bytes(out, off, &version, 8);
+  off += 8;
+  const std::uint64_t count = sections_.size();
+  put_bytes(out, off, &count, 8);
+  off += 8;
+
+  std::size_t payload_off = kHeaderBaseSize + table_size;
+  for (const Section& s : sections_) {
+    const std::uint64_t id = s.id;
+    const std::uint64_t offset = payload_off;
+    const std::uint64_t size = s.payload.size();
+    const std::uint64_t digest = fnv1a64_bytes(s.payload.data(), s.payload.size());
+    put_bytes(out, off, &id, 8);
+    put_bytes(out, off + 8, &offset, 8);
+    put_bytes(out, off + 16, &size, 8);
+    put_bytes(out, off + 24, &digest, 8);
+    off += kSectionEntrySize;
+    if (!s.payload.empty()) put_bytes(out, payload_off, s.payload.data(), s.payload.size());
+    payload_off += s.payload.size();
+  }
+  return out;
+}
+
+// ---- reader ---------------------------------------------------------------
+
+namespace {
+
+template <typename T>
+bool get_scalar(const std::uint8_t* data, std::size_t size, std::size_t offset, T* out) {
+  if (offset + sizeof(T) > size) return false;
+  std::memcpy(out, data + offset, sizeof(T));
+  return true;
+}
+
+}  // namespace
+
+Result<BlobInfo> read_blob(const std::uint8_t* data, std::size_t size) {
+  const auto bad = [](const char* message) { return Status::parse_error(message); };
+  if (size < kHeaderBaseSize) return bad("dataset: file too small for header");
+  if (std::memcmp(data, kMagic, sizeof(kMagic)) != 0)
+    return bad("dataset: bad magic (not a cals dataset blob)");
+
+  std::uint32_t format = 0;
+  std::uint32_t endian = 0;
+  std::uint64_t file_size = 0;
+  std::uint64_t version = 0;
+  std::uint64_t count = 0;
+  get_scalar(data, size, 8, &format);
+  get_scalar(data, size, 12, &endian);
+  get_scalar(data, size, 16, &file_size);
+  get_scalar(data, size, 40, &version);
+  get_scalar(data, size, 48, &count);
+  if (endian != kEndianMarker) return bad("dataset: wrong endianness");
+  if (format != kFormatVersion)
+    return Status::parse_error(
+        strprintf("dataset: format version %u, expected %u", format, kFormatVersion));
+  if (file_size != size) return bad("dataset: truncated (header size mismatch)");
+  if (count == 0 || count > 64) return bad("dataset: bad section count");
+  if (kHeaderBaseSize + count * kSectionEntrySize > size)
+    return bad("dataset: truncated section table");
+
+  BlobInfo info;
+  info.key.assign(reinterpret_cast<const char*>(data) + 24, kKeyLength);
+  for (const char c : info.key) {
+    const bool hex = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    if (!hex) return bad("dataset: malformed key");
+  }
+  info.version = version;
+
+  info.sections.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::size_t entry = kHeaderBaseSize + i * kSectionEntrySize;
+    std::uint64_t id = 0;
+    std::uint64_t offset = 0;
+    std::uint64_t sec_size = 0;
+    std::uint64_t digest = 0;
+    get_scalar(data, size, entry, &id);
+    get_scalar(data, size, entry + 8, &offset);
+    get_scalar(data, size, entry + 16, &sec_size);
+    get_scalar(data, size, entry + 24, &digest);
+    if (offset % 8 != 0 || sec_size % 8 != 0) return bad("dataset: misaligned section");
+    if (offset > size || sec_size > size - offset)
+      return bad("dataset: section out of bounds");
+    if (fnv1a64_bytes(data + offset, sec_size) != digest)
+      return bad("dataset: section digest mismatch (corrupt blob)");
+    info.sections.push_back({id, data + offset, static_cast<std::size_t>(sec_size)});
+  }
+  return info;
+}
+
+bool SectionReader::align8() {
+  const auto addr = reinterpret_cast<std::uintptr_t>(cur_);
+  const std::uintptr_t aligned = (addr + 7u) & ~std::uintptr_t{7};
+  const std::size_t pad = aligned - addr;
+  if (pad > static_cast<std::size_t>(end_ - cur_)) return false;
+  cur_ += pad;
+  return true;
+}
+
+bool SectionReader::read_u64(std::uint64_t* out) {
+  if (end_ - cur_ < 8) return false;
+  std::memcpy(out, cur_, 8);
+  cur_ += 8;
+  return true;
+}
+
+bool SectionReader::read_u32(std::uint32_t* out) {
+  std::uint64_t v = 0;
+  if (!read_u64(&v)) return false;
+  if (v > UINT32_MAX) return false;
+  *out = static_cast<std::uint32_t>(v);
+  return true;
+}
+
+bool SectionReader::read_i64(std::int64_t* out) {
+  if (end_ - cur_ < 8) return false;
+  std::memcpy(out, cur_, 8);
+  cur_ += 8;
+  return true;
+}
+
+bool SectionReader::read_i32(std::int32_t* out) {
+  std::int64_t v = 0;
+  if (!read_i64(&v)) return false;
+  if (v < INT32_MIN || v > INT32_MAX) return false;
+  *out = static_cast<std::int32_t>(v);
+  return true;
+}
+
+bool SectionReader::read_f64(double* out) {
+  if (end_ - cur_ < 8) return false;
+  std::memcpy(out, cur_, 8);
+  cur_ += 8;
+  return true;
+}
+
+bool SectionReader::read_string(std::string* out, std::size_t max_len) {
+  std::uint64_t n = 0;
+  if (!read_u64(&n)) return false;
+  if (n > max_len || n > static_cast<std::uint64_t>(end_ - cur_)) return false;
+  out->assign(reinterpret_cast<const char*>(cur_), static_cast<std::size_t>(n));
+  cur_ += n;
+  return align8();
+}
+
+}  // namespace cals::store

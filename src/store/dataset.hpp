@@ -1,0 +1,76 @@
+#pragma once
+/// \file dataset.hpp
+/// Precompiled dataset serialization (DESIGN.md §12): `serialize_dataset`
+/// runs at pack time (cals_pack / svc::pack_job_dataset) and flattens a
+/// fully-built DesignContext plus its K-independent MatchDatabase into one
+/// relocatable blob; `LoadedDataset` maps a blob read-only and rebuilds the
+/// context with zero-copy MatchSet views over the mapped bytes, so a
+/// dataset-served cold job skips parse, validation, lowering, initial
+/// placement and match-db construction entirely.
+///
+/// Trust model: blobs arrive from disk and may be truncated, corrupt, or
+/// hostile. read_blob's digests catch corruption; the loader re-validates
+/// every structural invariant on top (index bounds, CSR monotonicity,
+/// pattern tree shape, forest consistency) before any downstream code —
+/// which CALS_CHECKs its invariants — can see the data. Every failure is a
+/// kParseError Status; loading never aborts or crashes.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "flow/flow.hpp"
+#include "library/library.hpp"
+#include "map/mapper.hpp"
+#include "store/mapped_file.hpp"
+#include "util/status.hpp"
+
+namespace cals::store {
+
+/// Flattens `context` + `db` into a complete blob image. `dataset_options`
+/// is the canonical_dataset_options() string the blob was packed for
+/// (stored for diagnostics and server-side sanity checks); `key` must be the
+/// 16-hex-char dataset key, `version` the hot-swap ordinal.
+std::vector<std::uint8_t> serialize_dataset(const DesignContext& context,
+                                            const MatchDatabase& db,
+                                            const std::string& dataset_options,
+                                            const std::string& key,
+                                            std::uint64_t version);
+
+/// One loaded blob: the mapping plus the reconstructed DesignContext with
+/// its match database pre-seeded. Heap-only and handed out as
+/// shared_ptr<const LoadedDataset> — the MatchSet views alias the mapped
+/// bytes, so the mapping must outlive every job still running against the
+/// context; the shared_ptr refcount is exactly the hot-swap protocol
+/// (DatasetStore drops its reference, in-flight jobs keep theirs, the
+/// mapping is released when the last job finishes).
+class LoadedDataset {
+ public:
+  static Result<std::shared_ptr<const LoadedDataset>> load(const std::string& path);
+  static Result<std::shared_ptr<const LoadedDataset>> from_bytes(
+      std::vector<std::uint8_t> bytes);
+
+  const std::string& key() const { return key_; }
+  std::uint64_t version() const { return version_; }
+  /// The canonical_dataset_options() string the blob was packed for.
+  const std::string& options() const { return options_; }
+  const DesignContext& context() const { return *context_; }
+  /// True when served from an actual mmap (false = owned-buffer fallback).
+  bool mapped() const { return file_.mapped(); }
+
+ private:
+  LoadedDataset() = default;
+  static Result<std::shared_ptr<const LoadedDataset>> from_file(MappedFile file);
+
+  // Declaration order is load-bearing: file_ is first so it is destroyed
+  // LAST — context_'s seeded MatchSet views alias the mapped bytes.
+  MappedFile file_;
+  std::string key_;
+  std::uint64_t version_ = 0;
+  std::string options_;
+  Library library_{std::string()};
+  std::unique_ptr<DesignContext> context_;
+};
+
+}  // namespace cals::store

@@ -1,0 +1,116 @@
+#include "store/dataset_store.hpp"
+
+#include <filesystem>
+#include <utility>
+#include <vector>
+
+#include "store/blob.hpp"
+#include "util/strings.hpp"
+
+namespace cals::store {
+
+namespace fs = std::filesystem;
+
+std::string dataset_filename(const std::string& key, std::uint64_t version) {
+  return strprintf("%s-v%llu.calsds", key.c_str(),
+                   static_cast<unsigned long long>(version));
+}
+
+namespace {
+
+/// Parses "<key>-v<version>.calsds"; returns false for anything else.
+bool parse_dataset_filename(const std::string& name, std::string* key,
+                            std::uint64_t* version) {
+  constexpr const char kSuffix[] = ".calsds";
+  constexpr std::size_t kSuffixLen = sizeof(kSuffix) - 1;
+  // Shortest valid name: 16-char key + "-v" + one digit + suffix.
+  if (name.size() < kKeyLength + 2 + 1 + kSuffixLen) return false;
+  if (name.compare(name.size() - kSuffixLen, kSuffixLen, kSuffix) != 0) return false;
+  for (std::size_t i = 0; i < kKeyLength; ++i) {
+    const char c = name[i];
+    const bool hex = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    if (!hex) return false;
+  }
+  if (name[kKeyLength] != '-' || name[kKeyLength + 1] != 'v') return false;
+  std::uint64_t v = 0;
+  for (std::size_t i = kKeyLength + 2; i < name.size() - kSuffixLen; ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return false;
+    if (v > (UINT64_MAX - static_cast<std::uint64_t>(c - '0')) / 10) return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  key->assign(name, 0, kKeyLength);
+  *version = v;
+  return true;
+}
+
+}  // namespace
+
+void DatasetStore::refresh() {
+  // Pass 1: enumerate the highest on-disk version per key (no IO beyond the
+  // directory listing, no lock).
+  struct Candidate {
+    std::uint64_t version = 0;
+    std::string path;
+  };
+  std::map<std::string, Candidate> newest;
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir_, ec)) {
+    if (ec) break;
+    if (!entry.is_regular_file(ec)) continue;
+    std::string key;
+    std::uint64_t version = 0;
+    if (!parse_dataset_filename(entry.path().filename().string(), &key, &version)) continue;
+    Candidate& c = newest[key];
+    if (c.path.empty() || version > c.version) {
+      c.version = version;
+      c.path = entry.path().string();
+    }
+  }
+
+  // Pass 2: decide what is stale under the lock, load outside it.
+  std::vector<std::pair<std::string, Candidate>> to_load;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [key, candidate] : newest) {
+      const auto it = datasets_.find(key);
+      if (it == datasets_.end() || it->second->version() < candidate.version)
+        to_load.emplace_back(key, candidate);
+    }
+  }
+
+  for (const auto& [key, candidate] : to_load) {
+    Result<std::shared_ptr<const LoadedDataset>> loaded =
+        LoadedDataset::load(candidate.path);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!loaded.ok() || loaded.value()->key() != key) {
+      // Corrupt, truncated, or mislabelled: keep serving what we have.
+      ++stats_.load_failures;
+      continue;
+    }
+    std::shared_ptr<const LoadedDataset>& slot = datasets_[key];
+    // A concurrent refresh may have published something even newer.
+    if (slot != nullptr && slot->version() >= loaded.value()->version()) continue;
+    if (slot != nullptr) ++stats_.swaps;
+    slot = std::move(loaded.value());
+    ++stats_.loads;
+  }
+}
+
+std::shared_ptr<const LoadedDataset> DatasetStore::acquire(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = datasets_.find(key);
+  return it == datasets_.end() ? nullptr : it->second;
+}
+
+std::size_t DatasetStore::num_datasets() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return datasets_.size();
+}
+
+DatasetStore::Stats DatasetStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace cals::store

@@ -1,0 +1,58 @@
+#pragma once
+/// \file dataset_store.hpp
+/// The serving side of the precompiled dataset store: a directory of
+/// "<key>-v<version>.calsds" blobs, refreshed on demand (cals_serve calls
+/// refresh() from its poll loop) and served under refcounted handles.
+///
+/// Hot-swap protocol: refresh() loads any newer version it finds *outside*
+/// the lock, then publishes it with one map assignment. Jobs that already
+/// acquired the old version keep their shared_ptr — the old mapping is
+/// unmapped when the last in-flight job drops it; jobs dispatched after the
+/// swap see the new version. No restart, no failed jobs, no blocking IO
+/// under the lock. A corrupt or unreadable new blob is counted and skipped;
+/// the previous version keeps serving.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "store/dataset.hpp"
+
+namespace cals::store {
+
+/// Blob filename convention: "<key>-v<version>.calsds".
+std::string dataset_filename(const std::string& key, std::uint64_t version);
+
+class DatasetStore {
+ public:
+  explicit DatasetStore(std::string dir) : dir_(std::move(dir)) {}
+
+  struct Stats {
+    std::uint64_t loads = 0;          ///< blobs successfully (re)loaded
+    std::uint64_t load_failures = 0;  ///< unreadable / corrupt blobs skipped
+    std::uint64_t swaps = 0;          ///< a served key replaced by a newer version
+  };
+
+  /// Scans the directory and (re)loads every key whose highest on-disk
+  /// version is newer than the served one. Safe to call concurrently with
+  /// acquire(); IO happens outside the lock.
+  void refresh();
+
+  /// The currently served dataset for `key`, or nullptr. The returned handle
+  /// keeps the mapping alive for as long as the caller holds it.
+  std::shared_ptr<const LoadedDataset> acquire(const std::string& key) const;
+
+  std::size_t num_datasets() const;
+  Stats stats() const;
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<const LoadedDataset>> datasets_;
+  Stats stats_;
+};
+
+}  // namespace cals::store

@@ -1,0 +1,79 @@
+#include "store/mapped_file.hpp"
+
+#include <utility>
+
+#include "util/io.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define CALS_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace cals::store {
+
+MappedFile::~MappedFile() { reset(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this == &other) return *this;
+  reset();
+  map_ = other.map_;
+  owned_ = std::move(other.owned_);
+  data_ = other.data_;
+  size_ = other.size_;
+  other.map_ = nullptr;
+  other.data_ = nullptr;
+  other.size_ = 0;
+  return *this;
+}
+
+void MappedFile::reset() {
+#if CALS_HAVE_MMAP
+  if (map_ != nullptr) ::munmap(map_, size_);
+#endif
+  map_ = nullptr;
+  owned_.clear();
+  data_ = nullptr;
+  size_ = 0;
+}
+
+Result<MappedFile> MappedFile::open(const std::string& path) {
+#if CALS_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    struct stat st;
+    if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode) && st.st_size > 0) {
+      void* map = ::mmap(nullptr, static_cast<std::size_t>(st.st_size), PROT_READ,
+                         MAP_PRIVATE, fd, 0);
+      ::close(fd);
+      if (map != MAP_FAILED) {
+        MappedFile file;
+        file.map_ = map;
+        file.data_ = static_cast<const std::uint8_t*>(map);
+        file.size_ = static_cast<std::size_t>(st.st_size);
+        return file;
+      }
+      // mmap refused (odd filesystem) — fall through to the read path.
+    } else {
+      ::close(fd);
+    }
+  }
+#endif
+  Result<std::vector<std::uint8_t>> bytes = read_file_bytes(path);
+  if (!bytes.ok()) return bytes.status();
+  return from_bytes(std::move(bytes.value()));
+}
+
+MappedFile MappedFile::from_bytes(std::vector<std::uint8_t> bytes) {
+  MappedFile file;
+  file.owned_ = std::move(bytes);
+  file.data_ = file.owned_.data();
+  file.size_ = file.owned_.size();
+  return file;
+}
+
+}  // namespace cals::store

@@ -1,0 +1,46 @@
+#pragma once
+/// \file mapped_file.hpp
+/// Read-only whole-file mapping for dataset blobs. POSIX mmap when
+/// available (the serving fleet: many worker processes share one page-cache
+/// copy of a blob, and an unused blob costs no RSS), with a plain
+/// read-into-memory fallback so the loader works on any platform and on
+/// filesystems that refuse mmap. from_bytes adopts an in-memory buffer —
+/// the fuzz harness and tests load blobs without touching disk.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace cals::store {
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+
+  /// Maps (or reads) `path` read-only.
+  static Result<MappedFile> open(const std::string& path);
+  /// Adopts an in-memory image (no file involved).
+  static MappedFile from_bytes(std::vector<std::uint8_t> bytes);
+
+  const std::uint8_t* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  /// True when the bytes come from an actual mmap (diagnostics).
+  bool mapped() const { return map_ != nullptr; }
+
+ private:
+  void reset();
+
+  void* map_ = nullptr;  // non-null only for real mmaps
+  std::vector<std::uint8_t> owned_;
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace cals::store

@@ -1,0 +1,32 @@
+#pragma once
+/// \file dataset_pack.hpp
+/// The compile step of the dataset store: run a job's whole front end once
+/// (parse, validate, floorplan, initial placement, match-db build) and
+/// freeze the result as a blob cals_serve workers can mmap. This is the
+/// cals_pack tool's core, kept in the library so tests and benches pack
+/// in-process.
+
+#include <cstdint>
+#include <string>
+
+#include "svc/job.hpp"
+#include "util/status.hpp"
+
+namespace cals::svc {
+
+/// Result of one pack: where the blob landed and what it serves.
+struct PackedDataset {
+  std::string path;         ///< "<out_dir>/<dataset_key>-v<version>.calsds"
+  std::string dataset_key;  ///< job_keys(spec).dataset_key
+  std::uint64_t version = 0;
+  std::uint64_t bytes = 0;  ///< blob size on disk
+};
+
+/// Builds spec's context + match database and writes the versioned blob
+/// under `out_dir` (created if needed; tmp + rename, so a concurrent
+/// cals_serve refresh never sees a torn file). Parse/validation failures of
+/// the spec itself come back as the Result's status.
+Result<PackedDataset> pack_job_dataset(const JobSpec& spec, const std::string& out_dir,
+                                       std::uint64_t version = 0);
+
+}  // namespace cals::svc

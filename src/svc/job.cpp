@@ -1,5 +1,6 @@
 #include "svc/job.hpp"
 
+#include "util/fnv.hpp"
 #include "util/strings.hpp"
 
 namespace cals::svc {
@@ -78,12 +79,7 @@ const char* job_state_name(JobState state) {
 }
 
 std::uint64_t fnv1a64(std::string_view text, std::uint64_t seed) {
-  std::uint64_t h = seed;
-  for (const char c : text) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ull;
-  }
-  return h;
+  return Fnv64(seed).update(text).digest();
 }
 
 std::string canonical_job_options(const JobSpec& spec) {
@@ -113,16 +109,41 @@ std::string canonical_job_options(const JobSpec& spec) {
   return s;
 }
 
-std::string job_cache_key(const JobSpec& spec) {
-  std::uint64_t h = fnv1a64(spec.design_text);
-  h = fnv1a64("\x1f", h);  // separator so (ab, c) != (a, bc)
-  h = fnv1a64(spec.genlib_text.empty() ? std::string_view("corelib")
-                                       : std::string_view(spec.genlib_text),
-              h);
-  h = fnv1a64("\x1f", h);
-  h = fnv1a64(canonical_job_options(spec), h);
-  return strprintf("%016llx", static_cast<unsigned long long>(h));
+std::string canonical_dataset_options(const JobSpec& spec) {
+  // Exactly the fields consumed before any K evaluation: the front end
+  // (format/sis — which synthesis path builds the network), the floorplan
+  // (rows/util) and the match-database slot ({partition, metric}). The
+  // service constructs DesignContexts with default PlaceOptions, so no
+  // p.* field belongs here; everything else in canonical_job_options() is
+  // evaluation-time and reuses the same context.
+  const FlowOptions& o = spec.options;
+  return strprintf("format=%s;sis=%d;rows=%u;util=%.17g;partition=%s;metric=%s",
+                   design_format_name(spec.format), spec.sis ? 1 : 0, spec.rows,
+                   spec.util, partition_name(o.partition), metric_name(o.metric));
 }
+
+JobKeys job_keys(const JobSpec& spec) {
+  // One streaming pass over the (possibly large) design + library bytes,
+  // then fork the chained FNV state per key for the cheap options suffix.
+  Fnv64 prefix;
+  prefix.update(spec.design_text);
+  prefix.update("\x1f");  // separator so (ab, c) != (a, bc)
+  prefix.update(spec.genlib_text.empty() ? std::string_view("corelib")
+                                         : std::string_view(spec.genlib_text));
+  prefix.update("\x1f");
+  Fnv64 cache = prefix;
+  cache.update(canonical_job_options(spec));
+  Fnv64 dataset = prefix;
+  dataset.update(canonical_dataset_options(spec));
+  JobKeys keys;
+  keys.cache_key =
+      strprintf("%016llx", static_cast<unsigned long long>(cache.digest()));
+  keys.dataset_key =
+      strprintf("%016llx", static_cast<unsigned long long>(dataset.digest()));
+  return keys;
+}
+
+std::string job_cache_key(const JobSpec& spec) { return job_keys(spec).cache_key; }
 
 std::string job_spec_to_json(const JobSpec& spec) {
   JsonObjectWriter w;
@@ -276,6 +297,7 @@ std::string job_outcome_to_json(const JobOutcome& outcome) {
   w.field("message", outcome.status.message());
   w.field("cache_hit", outcome.cache_hit);
   w.field("coalesced", outcome.coalesced);
+  w.field("dataset", outcome.dataset);
   w.field("queue_seconds", outcome.queue_seconds);
   w.field("exec_seconds", outcome.exec_seconds);
   append_metrics_fields(w, outcome.metrics);
@@ -298,6 +320,7 @@ Result<JobOutcome> job_outcome_from_json(std::string_view text) {
   if (code != ErrorCode::kOk) outcome.status = Status::error(code, std::move(message));
   get_bool(obj, "cache_hit", outcome.cache_hit);
   get_bool(obj, "coalesced", outcome.coalesced);
+  get_bool(obj, "dataset", outcome.dataset);
   get_double(obj, "queue_seconds", outcome.queue_seconds);
   get_double(obj, "exec_seconds", outcome.exec_seconds);
   outcome.metrics = metrics_from_json(obj);

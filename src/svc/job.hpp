@@ -58,6 +58,10 @@ struct JobOutcome {
   FlowMetrics metrics;
   bool cache_hit = false;
   bool coalesced = false;
+  /// Served from a precompiled dataset blob (store/): the flow ran, but
+  /// parse/validate/placement/match-db build were all skipped. Provenance
+  /// only — metrics are bit-identical to the text-spec path.
+  bool dataset = false;
   double queue_seconds = 0.0;  ///< submit -> dispatch
   double exec_seconds = 0.0;   ///< dispatch -> terminal (0 for coalesced jobs)
 };
@@ -70,6 +74,7 @@ struct JobRecord {
   std::int32_t priority = 0;
   JobState state = JobState::kQueued;
   std::string cache_key;       ///< 16 hex chars, see job_cache_key()
+  std::string dataset_key;     ///< 16 hex chars, see job_keys().dataset_key
   /// 1-based dispatch order (0 = never dispatched). Tests and the bench use
   /// it to assert priority/FIFO ordering and that cancelled / coalesced
   /// jobs never reached a dispatcher.
@@ -97,6 +102,26 @@ std::string canonical_job_options(const JobSpec& spec);
 /// design bytes, library bytes ("corelib" when empty) and
 /// canonical_job_options().
 std::string job_cache_key(const JobSpec& spec);
+
+/// The subset of canonical_job_options() that determines the *context* a job
+/// runs against — the compact network, floorplan, initial placement and
+/// {partition, metric} match database — and nothing evaluation-only (K,
+/// objective, guardrails, router knobs...). Every spec that shares a
+/// dataset_key can be served from one precompiled blob. Note the service
+/// builds DesignContexts with default PlaceOptions, so spec.options.place is
+/// deliberately absent.
+std::string canonical_dataset_options(const JobSpec& spec);
+
+/// Both content keys from ONE streaming FNV pass over the design and library
+/// bytes: the shared prefix (design \x1f library \x1f) is hashed once into a
+/// single state, then forked per key for the options suffix — no
+/// concatenated copies, no second scan of a multi-megabyte design.
+/// `cache_key` is byte-identical to job_cache_key().
+struct JobKeys {
+  std::string cache_key;    ///< full options — the PR 5 result-cache key
+  std::string dataset_key;  ///< context options only — the blob key
+};
+JobKeys job_keys(const JobSpec& spec);
 
 // ---- wire formats ----------------------------------------------------------
 

@@ -1,0 +1,29 @@
+#include "svc/preset_specs.hpp"
+
+#include "sop/pla_io.hpp"
+#include "util/strings.hpp"
+#include "workloads/presets.hpp"
+
+namespace cals::svc {
+
+const std::vector<std::string>& preset_names() {
+  static const std::vector<std::string> names = {"spla", "pdc", "too_large"};
+  return names;
+}
+
+Result<JobSpec> preset_job_spec(const std::string& preset, double scale) {
+  Pla pla;
+  if (preset == "spla") pla = workloads::spla_like(scale);
+  else if (preset == "pdc") pla = workloads::pdc_like(scale);
+  else if (preset == "too_large") pla = workloads::too_large_like(scale);
+  else
+    return Status::parse_error(strprintf(
+        "unknown preset '%s' (spla | pdc | too_large)", preset.c_str()));
+  JobSpec spec;
+  spec.format = DesignFormat::kPla;
+  spec.design_text = write_pla_string(pla);
+  spec.name = strprintf("%s-x%g", preset.c_str(), scale);
+  return spec;
+}
+
+}  // namespace cals::svc

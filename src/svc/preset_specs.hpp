@@ -1,0 +1,26 @@
+#pragma once
+/// \file preset_specs.hpp
+/// The named synthetic workloads as ready-made JobSpecs. cals_submit and
+/// cals_pack must generate byte-identical design text for the same
+/// (preset, scale) — that is what makes a packed blob's dataset_key match a
+/// later submission — so the spec construction lives here, in one place,
+/// instead of being duplicated across tools.
+
+#include <string>
+#include <vector>
+
+#include "svc/job.hpp"
+#include "util/status.hpp"
+
+namespace cals::svc {
+
+/// The preset names accepted by preset_job_spec, in canonical order.
+const std::vector<std::string>& preset_names();
+
+/// Builds the JobSpec for one synthetic preset ("spla" | "pdc" |
+/// "too_large") at `scale`: PLA format, generated design text embedded,
+/// name "<preset>-x<scale>", everything else default. Unknown names return
+/// kParseError.
+Result<JobSpec> preset_job_spec(const std::string& preset, double scale);
+
+}  // namespace cals::svc

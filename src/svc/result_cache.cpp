@@ -2,10 +2,10 @@
 
 #include <filesystem>
 #include <fstream>
-#include <sstream>
 #include <system_error>
 
 #include "util/faults.hpp"
+#include "util/io.hpp"
 #include "util/log.hpp"
 #include "util/obs.hpp"
 
@@ -48,11 +48,11 @@ std::optional<JobOutcome> ResultCache::lookup(const std::string& key) {
   std::optional<JobOutcome> found;
   if (usable_) {
     guarded("lookup", [&] {
-      std::ifstream in(entry_path(key), std::ios::binary);
-      if (!in.good()) return;  // plain miss
-      std::ostringstream body;
-      body << in.rdbuf();
-      Result<JobOutcome> outcome = job_outcome_from_json(body.str());
+      // Single-allocation read: the old rdbuf slurp buffered the entry once
+      // inside the stream and copied it again into the string.
+      Result<std::string> body = read_file_string(entry_path(key));
+      if (!body.ok()) return;  // absent or unreadable: a plain miss
+      Result<JobOutcome> outcome = job_outcome_from_json(body.value());
       if (!outcome.ok()) {
         // A torn/corrupt entry is a miss, not an error the job sees.
         CALS_OBS_COUNT("svc.cache.corrupt_entries", 1);
@@ -63,6 +63,7 @@ std::optional<JobOutcome> ResultCache::lookup(const std::string& key) {
       found = std::move(*outcome);
       found->cache_hit = true;
       found->coalesced = false;
+      found->dataset = false;
       found->queue_seconds = 0.0;
       found->exec_seconds = 0.0;
     });
@@ -85,6 +86,7 @@ void ResultCache::store(const std::string& key, const JobOutcome& outcome) {
   JobOutcome entry = outcome;
   entry.cache_hit = false;
   entry.coalesced = false;
+  entry.dataset = false;
   const bool ok = guarded("store", [&] {
     const std::string path = entry_path(key);
     const std::string tmp = path + ".tmp";

@@ -8,6 +8,7 @@
 #include "library/genlib.hpp"
 #include "netlist/blif.hpp"
 #include "sop/pla_io.hpp"
+#include "store/dataset_store.hpp"
 #include "util/check.hpp"
 #include "util/faults.hpp"
 #include "util/log.hpp"
@@ -27,26 +28,17 @@ const std::vector<double>& default_k_schedule() {
 
 }  // namespace
 
-JobOutcome run_flow_job(const JobSpec& spec, std::uint32_t num_threads_override) {
-  CALS_TRACE_SCOPE("svc.job.flow");
-  JobOutcome outcome;
-
+Result<JobDesign> build_job_design(const JobSpec& spec) {
   // ---- front end ----------------------------------------------------------
   BaseNetwork net;
   if (spec.format == DesignFormat::kBlif) {
     Result<BlifModel> model = parse_blif_string(spec.design_text);
-    if (!model.ok()) {
-      outcome.status = model.status();
-      return outcome;
-    }
+    if (!model.ok()) return model.status();
     net = std::move(model->network);
     net.compact();
   } else {
     const Result<Pla> pla = parse_pla_string(spec.design_text);
-    if (!pla.ok()) {
-      outcome.status = pla.status();
-      return outcome;
-    }
+    if (!pla.ok()) return pla.status();
     net = spec.sis ? synthesize_sis_mode(*pla) : synthesize_base(*pla);
   }
 
@@ -54,23 +46,24 @@ JobOutcome run_flow_job(const JobSpec& spec, std::uint32_t num_threads_override)
   Library lib = lib::make_corelib();
   if (!spec.genlib_text.empty()) {
     Result<Library> parsed = parse_genlib_string(spec.genlib_text);
-    if (!parsed.ok()) {
-      outcome.status = parsed.status();
-      return outcome;
-    }
+    if (!parsed.ok()) return parsed.status();
     lib = std::move(*parsed);
   }
   const Floorplan fp =
       spec.rows > 0
           ? Floorplan::square_with_rows(spec.rows, lib.tech())
           : Floorplan::for_cell_area(net.num_base_gates() * 5.3, spec.util, lib.tech());
-  const DesignContext context(net, &lib, fp);
+  return JobDesign{std::move(net), std::move(lib), fp};
+}
 
+JobOutcome evaluate_job_on_context(const JobSpec& spec, const DesignContext& context,
+                                   std::uint32_t num_threads_override) {
+  CALS_TRACE_SCOPE("svc.job.eval");
+  JobOutcome outcome;
   FlowOptions options = spec.options;
   if (num_threads_override != UINT32_MAX) options.num_threads = num_threads_override;
   options.on_error = ErrorPolicy::kBestEffort;
 
-  // ---- evaluation ---------------------------------------------------------
   if (spec.auto_k) {
     FlowIterationResult search =
         congestion_aware_flow(context, default_k_schedule(), options);
@@ -82,6 +75,19 @@ JobOutcome run_flow_job(const JobSpec& spec, std::uint32_t num_threads_override)
     outcome.metrics = result.run.metrics;
   }
   return outcome;
+}
+
+JobOutcome run_flow_job(const JobSpec& spec, std::uint32_t num_threads_override) {
+  CALS_TRACE_SCOPE("svc.job.flow");
+  Result<JobDesign> design = build_job_design(spec);
+  if (!design.ok()) {
+    JobOutcome outcome;
+    outcome.status = design.status();
+    return outcome;
+  }
+  const DesignContext context(std::move(design->net), &design->library,
+                              design->floorplan);
+  return evaluate_job_on_context(spec, context, num_threads_override);
 }
 
 std::uint32_t fair_thread_slice(std::uint32_t budget, std::uint32_t dispatchers,
@@ -120,7 +126,10 @@ void FlowService::publish_queue_depth_locked() const {
 }
 
 Result<JobId> FlowService::submit(JobSpec spec) {
-  const std::string key = job_cache_key(spec);
+  // One streaming pass over the design/library bytes yields both content
+  // keys; the record carries them so dispatch never re-hashes.
+  const JobKeys keys = job_keys(spec);
+  const std::string& key = keys.cache_key;
   std::lock_guard<std::mutex> lock(mutex_);
   if (stopping_ != Stopping::kNo)
     return Status::internal("svc: service is shut down, submission refused");
@@ -131,6 +140,7 @@ Result<JobId> FlowService::submit(JobSpec spec) {
     job->record.name = spec.name;
     job->record.priority = spec.priority;
     job->record.cache_key = key;
+    job->record.dataset_key = keys.dataset_key;
     job->spec = std::move(spec);
     job->submitted = std::chrono::steady_clock::now();
     jobs_.emplace(job->record.id, job);
@@ -354,7 +364,19 @@ void FlowService::execute(const std::shared_ptr<Job>& job,
     if (cached) {
       outcome = std::move(*cached);
     } else {
-      outcome = run_flow_job(job->spec, thread_slice);
+      // Cold path: prefer a precompiled dataset for this spec's context —
+      // the acquired handle keeps the mapping alive for the whole
+      // evaluation even if a refresh() hot-swaps a newer version mid-job.
+      std::shared_ptr<const store::LoadedDataset> dataset;
+      if (options_.datasets != nullptr)
+        dataset = options_.datasets->acquire(job->record.dataset_key);
+      if (dataset != nullptr) {
+        outcome = evaluate_job_on_context(job->spec, dataset->context(), thread_slice);
+        outcome.dataset = true;
+        CALS_OBS_COUNT("svc.dataset.jobs", 1);
+      } else {
+        outcome = run_flow_job(job->spec, thread_slice);
+      }
       executed_flow = true;
       if (options_.cache != nullptr)
         options_.cache->store(job->record.cache_key, outcome);
@@ -376,6 +398,7 @@ void FlowService::execute(const std::shared_ptr<Job>& job,
   if (outcome.cache_hit) {
     ++stats_.cache_hits;
   }
+  if (outcome.dataset) ++stats_.dataset_hits;
   finalize_locked(job, std::move(outcome));
   --running_;
   claimed_threads_ -= std::min(claimed_threads_, thread_slice);

@@ -54,7 +54,35 @@
 #include "svc/result_cache.hpp"
 #include "util/status.hpp"
 
+namespace cals::store {
+class DatasetStore;
+}  // namespace cals::store
+
 namespace cals::svc {
+
+/// The parsed front half of a job: design network, library and floorplan,
+/// exactly as run_flow_job builds them (the floorplan is sized from the
+/// PRE-compact gate count — DesignContext compacts later — so a packed
+/// context reproduces the text path bit-identically).
+struct JobDesign {
+  BaseNetwork net;
+  Library library;
+  Floorplan floorplan;
+};
+
+/// Parses spec.design_text / spec.genlib_text and sizes the floorplan; all
+/// text failures come back as the Result's status. This is the work a
+/// precompiled dataset blob makes disappear from the dispatch path.
+Result<JobDesign> build_job_design(const JobSpec& spec);
+
+/// The back half of run_flow_job: evaluates `spec` against an
+/// already-built context (options.K or the Fig. 3 schedule when
+/// spec.auto_k), guardrails engaged. Flow failures come back in
+/// `JobOutcome::status` — never thrown. The context must have been built
+/// for this spec's dataset options (canonical_dataset_options); the service
+/// guarantees that by keying DatasetStore lookups on record.dataset_key.
+JobOutcome evaluate_job_on_context(const JobSpec& spec, const DesignContext& context,
+                                   std::uint32_t num_threads_override = UINT32_MAX);
 
 /// Runs one job start-to-finish on the calling thread (no queueing, no
 /// cache): parse the design + library, build the floorplan and context,
@@ -86,6 +114,12 @@ struct ServiceOptions {
   std::uint32_t total_threads = 0;
   /// Optional persistent result cache (not owned; must outlive the service).
   ResultCache* cache = nullptr;
+  /// Optional precompiled dataset store (not owned; must outlive the
+  /// service). A dispatched job whose dataset_key has a served blob is
+  /// evaluated against the preloaded context — zero parse / validation /
+  /// initial-placement / match-db work on the dispatch path, bit-identical
+  /// metrics. Jobs without a matching blob fall back to the text path.
+  const store::DatasetStore* datasets = nullptr;
   /// Attach identical in-flight submissions to one execution (see file
   /// comment). Off = every submission queues independently.
   bool coalesce_duplicates = true;
@@ -145,6 +179,7 @@ class FlowService {
     std::uint64_t cancelled = 0;
     std::uint64_t coalesced = 0;   ///< followers resolved from a primary
     std::uint64_t cache_hits = 0;
+    std::uint64_t dataset_hits = 0;  ///< flows served from a precompiled dataset
     std::uint64_t flow_executions = 0;  ///< flows actually run (not cached/coalesced)
     std::size_t queued = 0;        ///< current depth
     std::size_t running = 0;       ///< current in-flight

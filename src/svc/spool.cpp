@@ -4,7 +4,6 @@
 #include <atomic>
 #include <chrono>
 #include <fstream>
-#include <sstream>
 #include <system_error>
 
 #ifdef _WIN32
@@ -13,6 +12,7 @@
 #include <unistd.h>
 #endif
 
+#include "util/io.hpp"
 #include "util/strings.hpp"
 
 namespace cals::svc {
@@ -101,13 +101,11 @@ std::vector<fs::path> spool_scan(const SpoolPaths& spool) {
 }
 
 Result<JobSpec> spool_load_job(const fs::path& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.good())
+  Result<std::string> body = read_file_string(path.string());
+  if (!body.ok())
     return Status::internal(
         strprintf("spool: cannot read job file '%s'", path.string().c_str()));
-  std::ostringstream body;
-  body << in.rdbuf();
-  Result<JobSpec> spec = job_spec_from_json(body.str());
+  Result<JobSpec> spec = job_spec_from_json(body.value());
   if (!spec.ok()) {
     Status annotated = spec.status();
     annotated.with_file(path.string());
@@ -127,11 +125,13 @@ bool spool_publish_result(const SpoolPaths& spool, const std::string& stem,
   w.field("state", job_state_name(record.state));
   w.field("priority", static_cast<std::int64_t>(record.priority));
   w.field("cache_key", record.cache_key);
+  w.field("dataset_key", record.dataset_key);
   w.field("run_sequence", record.run_sequence);
   w.field("status", error_code_token(record.outcome.status.code()));
   w.field("message", record.outcome.status.message());
   w.field("cache_hit", record.outcome.cache_hit);
   w.field("coalesced", record.outcome.coalesced);
+  w.field("dataset", record.outcome.dataset);
   w.field("queue_seconds", record.outcome.queue_seconds);
   w.field("exec_seconds", record.outcome.exec_seconds);
   append_metrics_fields(w, record.outcome.metrics);

@@ -1,0 +1,48 @@
+#pragma once
+/// \file fnv.hpp
+/// Streaming FNV-1a 64-bit hashing shared by the service-layer job keys
+/// (svc/job.cpp) and the dataset blob section digests (store/blob.cpp).
+/// The incremental form is byte-for-byte identical to hashing the
+/// concatenation, so callers can fold several buffers without ever
+/// materializing a combined copy.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace cals {
+
+class Fnv64 {
+ public:
+  static constexpr std::uint64_t kSeed = 14695981039346656037ull;
+  static constexpr std::uint64_t kPrime = 1099511628211ull;
+
+  constexpr Fnv64() = default;
+  explicit constexpr Fnv64(std::uint64_t state) : state_(state) {}
+
+  Fnv64& update(const void* data, std::size_t size) {
+    const unsigned char* bytes = static_cast<const unsigned char*>(data);
+    std::uint64_t h = state_;
+    for (std::size_t i = 0; i < size; ++i) {
+      h ^= static_cast<std::uint64_t>(bytes[i]);
+      h *= kPrime;
+    }
+    state_ = h;
+    return *this;
+  }
+
+  Fnv64& update(std::string_view text) { return update(text.data(), text.size()); }
+
+  std::uint64_t digest() const { return state_; }
+
+ private:
+  std::uint64_t state_ = kSeed;
+};
+
+/// One-shot convenience over a single buffer.
+inline std::uint64_t fnv1a64_bytes(const void* data, std::size_t size,
+                                   std::uint64_t seed = Fnv64::kSeed) {
+  return Fnv64(seed).update(data, size).digest();
+}
+
+}  // namespace cals

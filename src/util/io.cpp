@@ -1,0 +1,57 @@
+#include "util/io.hpp"
+
+#include <cstdio>
+
+#include "util/strings.hpp"
+
+namespace cals {
+namespace {
+
+// Reads the whole file into `out` (any contiguous byte container) with one
+// allocation sized from the file length. Regular-file sizes from
+// fseek/ftell are exact; a short read (truncation race) shrinks the buffer.
+template <typename Container>
+Status read_into(const std::string& path, Container* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::internal(strprintf("cannot open %s", path.c_str()));
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return Status::internal(strprintf("cannot seek %s", path.c_str()));
+  }
+  const long end = std::ftell(f);
+  if (end < 0) {
+    std::fclose(f);
+    return Status::internal(strprintf("cannot stat %s", path.c_str()));
+  }
+  std::rewind(f);
+  out->resize(static_cast<std::size_t>(end));
+  std::size_t got = 0;
+  if (end > 0) {
+    got = std::fread(out->data(), 1, static_cast<std::size_t>(end), f);
+    if (got < static_cast<std::size_t>(end) && std::ferror(f)) {
+      std::fclose(f);
+      return Status::internal(strprintf("short read on %s", path.c_str()));
+    }
+    out->resize(got);
+  }
+  std::fclose(f);
+  return Status();
+}
+
+}  // namespace
+
+Result<std::string> read_file_string(const std::string& path) {
+  std::string body;
+  Status st = read_into(path, &body);
+  if (!st.ok()) return st;
+  return body;
+}
+
+Result<std::vector<std::uint8_t>> read_file_bytes(const std::string& path) {
+  std::vector<std::uint8_t> body;
+  Status st = read_into(path, &body);
+  if (!st.ok()) return st;
+  return body;
+}
+
+}  // namespace cals

@@ -1,0 +1,22 @@
+#pragma once
+/// \file io.hpp
+/// Single-allocation whole-file reads. The service layer used to slurp files
+/// through an ostringstream (`body << in.rdbuf()`), which buffers the bytes
+/// once inside the stream and copies them again into the returned string;
+/// these helpers stat the file and read straight into one allocation.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace cals {
+
+/// Reads the whole file into one string (one allocation, one copy).
+Result<std::string> read_file_string(const std::string& path);
+
+/// Reads the whole file into one byte buffer (one allocation, one copy).
+Result<std::vector<std::uint8_t>> read_file_bytes(const std::string& path);
+
+}  // namespace cals

@@ -1,0 +1,192 @@
+/// cals_pack — the dataset compile step (DESIGN.md §12): parses and
+/// validates a design + library once, builds the floorplan, the initial
+/// placement and the K-independent match database, and freezes everything
+/// into one relocatable "<dataset_key>-v<version>.calsds" blob that
+/// cals_serve --dataset-dir workers mmap. A cold job whose spec matches the
+/// blob's context then runs zero parse / validation / placement / match-db
+/// work on the dispatch path.
+///
+/// Usage:
+///   cals_pack --out <dir> (--design <file> | --preset <name> | --presets) [options]
+///
+/// Source (exactly one):
+///   --design <file.pla|file.blif>   pack this design
+///   --preset <spla|pdc|too_large>   pack one size-matched synthetic workload
+///   --presets                       pack all three presets in one run
+///
+/// Options:
+///   --out <dir>        output dataset directory (required)
+///   --scale <f>        preset shrink factor (default: CALS_SCALE env or 1.0)
+///   --library <file>   genlib library text (default: corelib)
+///   --version <n>      dataset version ordinal (default 0; publish a higher
+///                      version into a live --dataset-dir to hot-swap)
+///   --sis              divisor extraction before mapping (PLA only)
+///   --rows <n>         floorplan rows (default: sized for --util)
+///   --util <f>         target utilization when sizing the die (default 0.6)
+///   --partition <p>    dagon | cones | pdp (default pdp)
+///   --metric <m>       manhattan | euclidean (default manhattan)
+///   --quiet            print only the blob paths
+///
+/// The key hashes the design/library bytes plus the context-determining
+/// options above — K, objective and the other evaluation-only knobs are
+/// deliberately excluded, so one blob serves a whole K sweep.
+///
+/// Exit codes: 0 all packs written, 1 pack failed, 2 usage error.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "svc/dataset_pack.hpp"
+#include "svc/preset_specs.hpp"
+#include "util/io.hpp"
+#include "util/strings.hpp"
+#include "workloads/presets.hpp"
+
+using namespace cals;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0, const std::string& why = {}) {
+  if (!why.empty()) std::fprintf(stderr, "%s: %s\n", argv0, why.c_str());
+  std::fprintf(stderr,
+               "usage: %s --out <dir> (--design <file> | --preset <name> | "
+               "--presets) [options]\n",
+               argv0);
+  std::fprintf(stderr, "run with the source header's option list for details\n");
+  std::exit(2);
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+int run(int argc, char** argv) {
+  std::string out_dir, design_file, preset, library_file;
+  bool all_presets = false, quiet = false;
+  double scale = workloads::scale_from_env();
+  std::uint64_t version = 0;
+  svc::JobSpec base;
+
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc)
+      usage(argv[0], std::string("option '") + argv[i] + "' needs a value");
+    return argv[++i];
+  };
+  auto need_u32 = [&](int& i) -> std::uint32_t {
+    const char* flag = argv[i];
+    const char* text = need(i);
+    std::uint32_t value = 0;
+    if (!parse_u32(text, value))
+      usage(argv[0], std::string("option '") + flag + "': '" + text +
+                         "' is not an unsigned integer");
+    return value;
+  };
+  auto need_double = [&](int& i, double lo, double hi) -> double {
+    const char* flag = argv[i];
+    const char* text = need(i);
+    double value = 0.0;
+    if (!parse_double(text, value) || value < lo || value > hi)
+      usage(argv[0], strprintf("option '%s': '%s' is not a number in [%g, %g]",
+                               flag, text, lo, hi));
+    return value;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--out") == 0) out_dir = need(i);
+    else if (std::strcmp(a, "--design") == 0) design_file = need(i);
+    else if (std::strcmp(a, "--preset") == 0) preset = need(i);
+    else if (std::strcmp(a, "--presets") == 0) all_presets = true;
+    else if (std::strcmp(a, "--scale") == 0) scale = need_double(i, 0.01, 4.0);
+    else if (std::strcmp(a, "--library") == 0) library_file = need(i);
+    else if (std::strcmp(a, "--version") == 0) version = need_u32(i);
+    else if (std::strcmp(a, "--sis") == 0) base.sis = true;
+    else if (std::strcmp(a, "--rows") == 0) base.rows = need_u32(i);
+    else if (std::strcmp(a, "--util") == 0) base.util = need_double(i, 1e-3, 1.0);
+    else if (std::strcmp(a, "--partition") == 0) {
+      const std::string p = need(i);
+      if (p == "dagon") base.options.partition = PartitionStrategy::kDagon;
+      else if (p == "cones") base.options.partition = PartitionStrategy::kCones;
+      else if (p == "pdp") base.options.partition = PartitionStrategy::kPlacementDriven;
+      else usage(argv[0], "unknown partition '" + p + "' (dagon | cones | pdp)");
+    } else if (std::strcmp(a, "--metric") == 0) {
+      const std::string m = need(i);
+      if (m == "manhattan") base.options.metric = DistanceMetric::kManhattan;
+      else if (m == "euclidean") base.options.metric = DistanceMetric::kEuclidean;
+      else usage(argv[0], "unknown metric '" + m + "' (manhattan | euclidean)");
+    } else if (std::strcmp(a, "--quiet") == 0) quiet = true;
+    else usage(argv[0], std::string("unknown argument '") + a + "'");
+  }
+  if (out_dir.empty()) usage(argv[0], "--out is required");
+  const int sources = (!design_file.empty()) + (!preset.empty()) + all_presets;
+  if (sources != 1)
+    usage(argv[0], "give exactly one of --design, --preset or --presets");
+
+  std::string genlib_text;
+  if (!library_file.empty()) {
+    Result<std::string> text = read_file_string(library_file);
+    if (!text.ok()) usage(argv[0], "cannot read '" + library_file + "'");
+    genlib_text = std::move(text.value());
+  }
+
+  // ---- build the spec list ------------------------------------------------
+  std::vector<svc::JobSpec> specs;
+  if (!design_file.empty()) {
+    Result<std::string> text = read_file_string(design_file);
+    if (!text.ok()) usage(argv[0], "cannot read '" + design_file + "'");
+    svc::JobSpec spec = base;
+    spec.format = ends_with(design_file, ".blif") ? svc::DesignFormat::kBlif
+                                                  : svc::DesignFormat::kPla;
+    spec.design_text = std::move(text.value());
+    spec.name = design_file;
+    specs.push_back(std::move(spec));
+  } else {
+    std::vector<std::string> names =
+        all_presets ? svc::preset_names() : std::vector<std::string>{preset};
+    for (const std::string& p : names) {
+      Result<svc::JobSpec> spec = svc::preset_job_spec(p, scale);
+      if (!spec.ok()) usage(argv[0], spec.status().message());
+      // Graft the context options onto the generated design.
+      spec->sis = base.sis;
+      spec->rows = base.rows;
+      spec->util = base.util;
+      spec->options = base.options;
+      specs.push_back(std::move(*spec));
+    }
+  }
+  for (svc::JobSpec& spec : specs) spec.genlib_text = genlib_text;
+
+  // ---- pack ---------------------------------------------------------------
+  int failures = 0;
+  for (const svc::JobSpec& spec : specs) {
+    Result<svc::PackedDataset> packed = svc::pack_job_dataset(spec, out_dir, version);
+    if (!packed.ok()) {
+      std::fprintf(stderr, "cals_pack: %s: %s\n", spec.name.c_str(),
+                   packed.status().to_string().c_str());
+      ++failures;
+      continue;
+    }
+    if (quiet)
+      std::printf("%s\n", packed->path.c_str());
+    else
+      std::printf("cals_pack: %s -> %s (%llu bytes, key %s, v%llu)\n",
+                  spec.name.c_str(), packed->path.c_str(),
+                  static_cast<unsigned long long>(packed->bytes),
+                  packed->dataset_key.c_str(),
+                  static_cast<unsigned long long>(packed->version));
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cals_pack: internal error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -13,6 +13,11 @@
 ///   --threads <n>      total worker-thread budget split across jobs
 ///                      (default 0 = hardware concurrency)
 ///   --cache <dir>      persistent result cache directory (off when absent)
+///   --dataset-dir <d>  precompiled dataset directory (see cals_pack). The
+///                      server rescans it every poll, so dropping a
+///                      higher-version blob in hot-swaps the dataset without
+///                      a restart; cold jobs whose dataset key matches a
+///                      blob skip parse/validate/placement/match-db work.
 ///   --drain            process the existing backlog, then exit 0 (CI /
 ///                      scripting mode; without it the server polls forever)
 ///   --poll-ms <n>      spool scan interval (default 100)
@@ -37,6 +42,7 @@
 #include <string>
 #include <thread>
 
+#include "store/dataset_store.hpp"
 #include "svc/service.hpp"
 #include "svc/spool.hpp"
 #include "util/obs.hpp"
@@ -59,6 +65,7 @@ struct Args {
   std::uint32_t jobs = 2;
   std::uint32_t threads = 0;
   std::string cache_dir;
+  std::string dataset_dir;
   bool drain = false;
   std::uint32_t poll_ms = 100;
   double max_seconds = 0.0;
@@ -90,6 +97,7 @@ Args parse(int argc, char** argv) {
     else if (std::strcmp(a, "--jobs") == 0) args.jobs = std::max(1u, need_u32(i));
     else if (std::strcmp(a, "--threads") == 0) args.threads = need_u32(i);
     else if (std::strcmp(a, "--cache") == 0) args.cache_dir = need(i);
+    else if (std::strcmp(a, "--dataset-dir") == 0) args.dataset_dir = need(i);
     else if (std::strcmp(a, "--drain") == 0) args.drain = true;
     else if (std::strcmp(a, "--poll-ms") == 0) args.poll_ms = std::max(1u, need_u32(i));
     else if (std::strcmp(a, "--max-seconds") == 0) {
@@ -126,20 +134,34 @@ int serve(const Args& args) {
   if (!args.cache_dir.empty())
     cache = std::make_unique<svc::ResultCache>(args.cache_dir);
 
+  std::unique_ptr<store::DatasetStore> datasets;
+  if (!args.dataset_dir.empty()) {
+    datasets = std::make_unique<store::DatasetStore>(args.dataset_dir);
+    datasets->refresh();
+  }
+
   svc::ServiceOptions service_options;
   service_options.queue_capacity = args.capacity;
   service_options.max_parallel_jobs = args.jobs;
   service_options.total_threads = args.threads;
   service_options.cache = cache.get();
+  service_options.datasets = datasets.get();
   svc::FlowService service(service_options);
-  say("cals_serve: spool %s, capacity %zu, %u parallel jobs x %u threads%s\n",
+  say("cals_serve: spool %s, capacity %zu, %u parallel jobs x %u threads%s%s\n",
       args.spool_dir.c_str(), args.capacity, args.jobs, service.threads_per_job(),
-      cache ? strprintf(", cache %s", args.cache_dir.c_str()).c_str() : "");
+      cache ? strprintf(", cache %s", args.cache_dir.c_str()).c_str() : "",
+      datasets ? strprintf(", datasets %s (%zu loaded)", args.dataset_dir.c_str(),
+                           datasets->num_datasets())
+                     .c_str()
+               : "");
 
   const auto start = std::chrono::steady_clock::now();
   std::map<svc::JobId, std::string> pending;  // admitted job -> spool stem
 
   for (;;) {
+    // ---- pick up new dataset blob versions (hot-swap) ----------------------
+    if (datasets) datasets->refresh();
+
     // ---- admit new job files -----------------------------------------------
     for (const std::filesystem::path& file : svc::spool_scan(*spool)) {
       const std::string stem = file.stem().string();
@@ -216,6 +238,15 @@ int serve(const Args& args) {
       static_cast<unsigned long long>(stats.coalesced),
       static_cast<unsigned long long>(stats.cache_hits),
       static_cast<unsigned long long>(stats.flow_executions));
+  if (datasets) {
+    const store::DatasetStore::Stats ds = datasets->stats();
+    say("cals_serve: datasets: %llu jobs served, %llu loads, %llu swaps, "
+        "%llu load failures\n",
+        static_cast<unsigned long long>(stats.dataset_hits),
+        static_cast<unsigned long long>(ds.loads),
+        static_cast<unsigned long long>(ds.swaps),
+        static_cast<unsigned long long>(ds.load_failures));
+  }
   if (!args.trace_out.empty() && !obs::write_chrome_trace(args.trace_out))
     std::fprintf(stderr, "cals_serve: cannot write trace to %s\n",
                  args.trace_out.c_str());

@@ -34,14 +34,13 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
-#include <sstream>
 #include <string>
 #include <thread>
 
-#include "sop/pla_io.hpp"
 #include "svc/job.hpp"
+#include "svc/preset_specs.hpp"
 #include "svc/spool.hpp"
+#include "util/io.hpp"
 #include "util/strings.hpp"
 #include "workloads/presets.hpp"
 
@@ -65,11 +64,9 @@ bool ends_with(const std::string& s, const char* suffix) {
 }
 
 std::string slurp(const char* argv0, const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.good()) usage(argv0, "cannot read '" + path + "'");
-  std::ostringstream body;
-  body << in.rdbuf();
-  return body.str();
+  Result<std::string> body = read_file_string(path);
+  if (!body.ok()) usage(argv0, "cannot read '" + path + "'");
+  return std::move(body.value());
 }
 
 int run(int argc, char** argv) {
@@ -149,14 +146,13 @@ int run(int argc, char** argv) {
 
   // ---- build the spec -----------------------------------------------------
   if (!preset.empty()) {
-    Pla pla;
-    if (preset == "spla") pla = workloads::spla_like(scale);
-    else if (preset == "pdc") pla = workloads::pdc_like(scale);
-    else if (preset == "too_large") pla = workloads::too_large_like(scale);
-    else usage(argv[0], "unknown preset '" + preset + "' (spla | pdc | too_large)");
-    spec.format = svc::DesignFormat::kPla;
-    spec.design_text = write_pla_string(pla);
-    spec.name = name.empty() ? strprintf("%s-x%g", preset.c_str(), scale) : name;
+    // Shared generation (svc::preset_job_spec) so cals_pack produces blobs
+    // whose dataset key matches what this submission hashes to.
+    Result<svc::JobSpec> generated = svc::preset_job_spec(preset, scale);
+    if (!generated.ok()) usage(argv[0], generated.status().message());
+    spec.format = generated->format;
+    spec.design_text = std::move(generated->design_text);
+    spec.name = name.empty() ? generated->name : name;
   } else {
     spec.format = ends_with(design_file, ".blif") ? svc::DesignFormat::kBlif
                                                   : svc::DesignFormat::kPla;
@@ -177,9 +173,14 @@ int run(int argc, char** argv) {
     return 1;
   }
   if (quiet) std::printf("%s\n", stem->c_str());
-  else
-    std::printf("submitted job '%s' as %s (cache key %s)\n", spec.name.c_str(),
-                stem->c_str(), svc::job_cache_key(spec).c_str());
+  else {
+    // One streaming hash pass yields both keys (see job_keys()); no second
+    // scan of the design bytes just to print them.
+    const svc::JobKeys keys = svc::job_keys(spec);
+    std::printf("submitted job '%s' as %s (cache key %s, dataset key %s)\n",
+                spec.name.c_str(), stem->c_str(), keys.cache_key.c_str(),
+                keys.dataset_key.c_str());
+  }
   if (!wait) return 0;
 
   // ---- wait: poll the spool's result directories --------------------------
@@ -188,13 +189,12 @@ int run(int argc, char** argv) {
   for (;;) {
     const std::filesystem::path result = svc::spool_find_result(*spool, *stem);
     if (!result.empty()) {
-      std::ifstream in(result, std::ios::binary);
-      std::ostringstream body;
-      body << in.rdbuf();
+      Result<std::string> body = read_file_string(result.string());
       const bool done = result.parent_path() == spool->done;
       if (!quiet)
         std::printf("%s: %s\n%s", done ? "done" : "FAILED",
-                    result.string().c_str(), body.str().c_str());
+                    result.string().c_str(),
+                    body.ok() ? body.value().c_str() : "");
       return done ? 0 : 1;
     }
     if (std::chrono::steady_clock::now() >= deadline) {

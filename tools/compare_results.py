@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Compare two directories of spool result records for bit-identical metrics.
+
+Pairs records by stem (the spool filename minus .json), strips the fields
+that legitimately differ between runs — wall-clock timings and result
+provenance (cache_hit / coalesced / dataset) — and requires everything else,
+metrics included, to match exactly. Exact means exact: the flow's %.17g
+round-trip makes double comparison by string equality sound, so there is no
+tolerance knob on purpose (DESIGN.md §6).
+
+Used by CI's dataset-smoke job to pin the dataset-served drain against the
+text-spec drain:
+
+    python3 tools/compare_results.py spool/done spool2/done --expect 8
+
+Exit 0 when every pair matches, 1 with a per-field diff otherwise.
+"""
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Timing and scheduling order are nondeterministic under parallel dispatch;
+# provenance says how a result was produced, not what it is. Everything else
+# — status, message, and every non-timing m_* metric — must match exactly.
+# Any *_seconds field (queue/exec envelope timings and the per-phase
+# m_*_seconds flow metrics) is wall-clock and therefore ignored.
+IGNORED_FIELDS = {"cache_hit", "coalesced", "dataset", "job_id",
+                  "run_sequence"}
+
+
+def is_ignored(field: str) -> bool:
+    return field in IGNORED_FIELDS or field.endswith("_seconds")
+
+
+def fail(message: str) -> None:
+    print(f"compare_results: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_records(directory: Path) -> dict:
+    """Records keyed by full spool stem — the second spool must hold copies
+    of the same job files (cals_serve preserves the stem into done/), which
+    is exactly how the dataset-smoke job sets the comparison up."""
+    records = {}
+    for path in sorted(directory.glob("*.json")):
+        with open(path) as f:
+            record = json.load(f)
+        records[path.stem] = {k: v for k, v in record.items()
+                              if not is_ignored(k)}
+    return records
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("left", type=Path)
+    parser.add_argument("right", type=Path)
+    parser.add_argument("--expect", type=int, default=None,
+                        help="require exactly this many records on each side")
+    args = parser.parse_args()
+
+    left = load_records(args.left)
+    right = load_records(args.right)
+
+    if args.expect is not None:
+        if len(left) != args.expect:
+            fail(f"{args.left}: {len(left)} records, expected {args.expect}")
+        if len(right) != args.expect:
+            fail(f"{args.right}: {len(right)} records, expected {args.expect}")
+    if left.keys() != right.keys():
+        fail(f"record sets differ: only-left={sorted(left.keys() - right.keys())} "
+             f"only-right={sorted(right.keys() - left.keys())}")
+
+    mismatches = 0
+    for key in sorted(left):
+        a, b = left[key], right[key]
+        if a == b:
+            continue
+        mismatches += 1
+        print(f"compare_results: '{key}' differs:", file=sys.stderr)
+        for field in sorted(a.keys() | b.keys()):
+            if a.get(field) != b.get(field):
+                print(f"  {field}: {a.get(field)!r} != {b.get(field)!r}",
+                      file=sys.stderr)
+    if mismatches:
+        fail(f"{mismatches} of {len(left)} records differ")
+    print(f"compare_results: OK: {len(left)} records bit-identical")
+
+
+if __name__ == "__main__":
+    main()
