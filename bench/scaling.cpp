@@ -192,6 +192,29 @@ std::vector<Row> bench_place(std::uint32_t reps) {
 
 // ---- reporting -------------------------------------------------------------
 
+/// With --trace/--metrics recording on, report what one workload put through
+/// the instruments. Snapshot deltas, never Registry::reset(): a reset would
+/// wipe the cumulative session view the ObsSession writes at exit and stomp
+/// instruments pool threads still reference.
+void print_obs_delta(const char* label, const obs::Registry::Snapshot& d) {
+  if (!obs::enabled()) return;
+  auto counter = [&](const char* name) -> unsigned long long {
+    const auto it = d.counters.find(name);
+    return it == d.counters.end() ? 0ull : it->second;
+  };
+  std::string line = strprintf(
+      "obs[%s]: flow.runs=%llu pool.tasks=%llu pool.help_runs=%llu "
+      "route.rrr_iters=%llu place.bisections=%llu",
+      label, counter("flow.runs"), counter("pool.tasks"),
+      counter("pool.help_runs"), counter("route.rrr_iterations"),
+      counter("place.bisections"));
+  const auto task = d.histograms.find("pool.task_us");
+  if (task != d.histograms.end() && task->second.count > 0)
+    line += strprintf("  task p50/p95 %.0f/%.0f us", task->second.quantile(0.50),
+                      task->second.quantile(0.95));
+  std::printf("%s\n", line.c_str());
+}
+
 void print_rows(const char* name, const std::vector<Row>& rows) {
   Table table({"Threads", "Wall (ms)", "Speedup", "Bit-identical to T=1"});
   table.set_caption(name);
@@ -229,13 +252,20 @@ int run(int argc, char** argv) {
   std::printf("hardware threads: %u, best of %u rep(s) per row\n",
               ThreadPool::hardware_threads(), reps);
 
+  obs::Registry& registry = obs::Registry::instance();
+  obs::Registry::Snapshot mark = registry.snapshot();
   const std::vector<Row> ksweep = bench_ksweep(reps);
   print_rows("ksweep: congestion-aware K sweep (full flow per K)", ksweep);
+  print_obs_delta("ksweep", registry.snapshot().delta_since(mark));
+  mark = registry.snapshot();
   const std::vector<Row> route_rrr = bench_route_rrr(reps);
   print_rows("route_rrr: congested rip-up-and-reroute (capacity_scale 1.6)",
              route_rrr);
+  print_obs_delta("route_rrr", registry.snapshot().delta_since(mark));
+  mark = registry.snapshot();
   const std::vector<Row> place = bench_place(reps);
   print_rows("place: recursive-bisection global placement", place);
+  print_obs_delta("place", registry.snapshot().delta_since(mark));
 
   bool all_identical = true;
   for (const std::vector<Row>* rows : {&ksweep, &route_rrr, &place})

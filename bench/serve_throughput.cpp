@@ -71,8 +71,34 @@ struct PassResult {
   std::uint64_t dataset_hits = 0;
   std::uint64_t flow_executions = 0;
   std::uint64_t failed = 0;
-  std::vector<FlowMetrics> metrics;  // submission order
+  std::vector<FlowMetrics> metrics;          // submission order
+  obs::Registry::Snapshot obs_delta;         // this pass's recordings alone
 };
+
+/// What the obs registry recorded during one pass. Registry::snapshot()
+/// arithmetic instead of Registry::reset() between passes: a reset would
+/// stomp instruments that service threads still hold references to, and
+/// would destroy the cumulative view the ObsSession writes at exit.
+void print_obs_delta(const char* label, const obs::Registry::Snapshot& d) {
+  if (!obs::enabled()) return;
+  auto counter = [&](const char* name) -> unsigned long long {
+    const auto it = d.counters.find(name);
+    return it == d.counters.end() ? 0ull : it->second;
+  };
+  std::string line = strprintf(
+      "  obs[%s]: done=%llu failed=%llu flows=%llu rrr_iters=%llu", label,
+      counter("svc.jobs_done"), counter("svc.jobs_failed"),
+      counter("flow.runs"), counter("route.rrr_iterations"));
+  const auto lat = d.histograms.find("svc.job_latency_ms");
+  if (lat != d.histograms.end() && lat->second.count > 0)
+    line += strprintf("  latency p50/p95/p99 %.1f/%.1f/%.1f ms",
+                      lat->second.quantile(0.50), lat->second.quantile(0.95),
+                      lat->second.quantile(0.99));
+  const auto qw = d.histograms.find("svc.queue_wait_ms");
+  if (qw != d.histograms.end() && qw->second.count > 0)
+    line += strprintf("  queue p95 %.1f ms", qw->second.quantile(0.95));
+  std::printf("%s\n", line.c_str());
+}
 
 PassResult run_pass(const std::vector<svc::JobSpec>& jobs, std::uint32_t parallel,
                     svc::ResultCache* cache,
@@ -85,12 +111,14 @@ PassResult run_pass(const std::vector<svc::JobSpec>& jobs, std::uint32_t paralle
   svc::FlowService service(options);
 
   PassResult result;
+  const obs::Registry::Snapshot before = obs::Registry::instance().snapshot();
   Timer timer;
   std::vector<svc::JobId> ids;
   ids.reserve(jobs.size());
   for (const svc::JobSpec& spec : jobs) ids.push_back(*service.submit(spec));
   service.drain();
   result.wall_s = timer.seconds();
+  result.obs_delta = obs::Registry::instance().snapshot().delta_since(before);
 
   std::vector<double> latencies;
   latencies.reserve(ids.size());
@@ -154,6 +182,7 @@ int run(int argc, char** argv) {
               cold.jobs_per_s, cold.wall_s, cold.p50_ms, cold.p95_ms,
               static_cast<unsigned long long>(cold.flow_executions),
               static_cast<unsigned long long>(cold.failed));
+  print_obs_delta("cold", cold.obs_delta);
 
   // ---- warm: same jobs, populated cache ------------------------------------
   const PassResult warm = run_pass(jobs, parallel, &cache);
@@ -162,6 +191,7 @@ int run(int argc, char** argv) {
               "(%llu cache hits)  speedup %.1fx\n",
               warm.jobs_per_s, warm.wall_s, warm.p50_ms, warm.p95_ms,
               static_cast<unsigned long long>(warm.cache_hits), speedup);
+  print_obs_delta("warm", warm.obs_delta);
 
   bool identical = cold.metrics.size() == warm.metrics.size();
   for (std::size_t i = 0; identical && i < cold.metrics.size(); ++i)
@@ -191,6 +221,7 @@ int run(int argc, char** argv) {
               static_cast<unsigned long long>(dataset.dataset_hits),
               static_cast<unsigned long long>(dataset.flow_executions),
               dataset_speedup);
+  print_obs_delta("dataset", dataset.obs_delta);
   bool dataset_identical = cold.metrics.size() == dataset.metrics.size();
   for (std::size_t i = 0; dataset_identical && i < cold.metrics.size(); ++i)
     dataset_identical = metrics_identical(cold.metrics[i], dataset.metrics[i]);
@@ -302,5 +333,9 @@ int run(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   cals::bench::ObsSession obs(argc, argv);
+  // This bench always records: the per-pass obs deltas are part of its
+  // report (the committed BENCH_serve.json baseline carries the same
+  // recording overhead, so the comparison stays apples-to-apples).
+  cals::obs::set_enabled(true);
   return cals::bench::run(argc, argv);
 }

@@ -57,7 +57,8 @@ Result<JobDesign> build_job_design(const JobSpec& spec) {
 }
 
 JobOutcome evaluate_job_on_context(const JobSpec& spec, const DesignContext& context,
-                                   std::uint32_t num_threads_override) {
+                                   std::uint32_t num_threads_override,
+                                   std::vector<RouteIterStats>* route_iters) {
   CALS_TRACE_SCOPE("svc.job.eval");
   JobOutcome outcome;
   FlowOptions options = spec.options;
@@ -68,16 +69,22 @@ JobOutcome evaluate_job_on_context(const JobSpec& spec, const DesignContext& con
     FlowIterationResult search =
         congestion_aware_flow(context, default_k_schedule(), options);
     outcome.status = search.status;
-    if (!search.runs.empty()) outcome.metrics = search.runs[search.chosen].metrics;
+    if (!search.runs.empty()) {
+      outcome.metrics = search.runs[search.chosen].metrics;
+      if (route_iters != nullptr)
+        *route_iters = search.runs[search.chosen].route.iter_stats;
+    }
   } else {
     FlowResult result = context.run_checked(options);
     outcome.status = result.status;
     outcome.metrics = result.run.metrics;
+    if (route_iters != nullptr) *route_iters = result.run.route.iter_stats;
   }
   return outcome;
 }
 
-JobOutcome run_flow_job(const JobSpec& spec, std::uint32_t num_threads_override) {
+JobOutcome run_flow_job(const JobSpec& spec, std::uint32_t num_threads_override,
+                        std::vector<RouteIterStats>* route_iters) {
   CALS_TRACE_SCOPE("svc.job.flow");
   Result<JobDesign> design = build_job_design(spec);
   if (!design.ok()) {
@@ -87,7 +94,7 @@ JobOutcome run_flow_job(const JobSpec& spec, std::uint32_t num_threads_override)
   }
   const DesignContext context(std::move(design->net), &design->library,
                               design->floorplan);
-  return evaluate_job_on_context(spec, context, num_threads_override);
+  return evaluate_job_on_context(spec, context, num_threads_override, route_iters);
 }
 
 std::uint32_t fair_thread_slice(std::uint32_t budget, std::uint32_t dispatchers,
@@ -106,7 +113,8 @@ std::uint32_t fair_thread_slice(std::uint32_t budget, std::uint32_t dispatchers,
   return std::max(1u, avail / contenders);
 }
 
-FlowService::FlowService(ServiceOptions options) : options_(options) {
+FlowService::FlowService(ServiceOptions options)
+    : options_(options), flights_(options.flight_ring_capacity) {
   const std::uint32_t jobs = std::max(1u, options_.max_parallel_jobs);
   threads_per_job_ =
       options_.total_threads == 0
@@ -143,6 +151,7 @@ Result<JobId> FlowService::submit(JobSpec spec) {
     job->record.dataset_key = keys.dataset_key;
     job->spec = std::move(spec);
     job->submitted = std::chrono::steady_clock::now();
+    job->queue_depth_at_submit = queue_.size();
     jobs_.emplace(job->record.id, job);
     ++stats_.submitted;
     CALS_OBS_COUNT("svc.jobs_submitted", 1);
@@ -220,6 +229,7 @@ bool FlowService::cancel(JobId id) {
       cancelled.record.state = JobState::kCancelled;
       ++stats_.cancelled;
       CALS_OBS_COUNT("svc.jobs_cancelled", 1);
+      push_flight_locked(cancelled, FlightExtras{});
     }
     state_changed_.notify_all();
   }
@@ -265,10 +275,13 @@ void FlowService::shutdown(bool cancel_queued) {
         job.record.state = JobState::kCancelled;
         ++stats_.cancelled;
         CALS_OBS_COUNT("svc.jobs_cancelled", 1);
+        push_flight_locked(job, FlightExtras{});
         for (const JobId fid : job.followers) {
-          jobs_.at(fid)->record.state = JobState::kCancelled;
+          Job& follower = *jobs_.at(fid);
+          follower.record.state = JobState::kCancelled;
           ++stats_.cancelled;
           CALS_OBS_COUNT("svc.jobs_cancelled", 1);
+          push_flight_locked(follower, FlightExtras{});
         }
         job.followers.clear();
         active_by_key_.erase(job.record.cache_key);
@@ -353,6 +366,8 @@ void FlowService::execute(const std::shared_ptr<Job>& job,
           .count();
   Timer exec_timer;
   JobOutcome outcome;
+  FlightExtras extras;
+  extras.thread_slice = thread_slice;
   bool executed_flow = false;
   try {
     // The dispatch probe sits before the cache so an armed fault poisons
@@ -371,11 +386,13 @@ void FlowService::execute(const std::shared_ptr<Job>& job,
       if (options_.datasets != nullptr)
         dataset = options_.datasets->acquire(job->record.dataset_key);
       if (dataset != nullptr) {
-        outcome = evaluate_job_on_context(job->spec, dataset->context(), thread_slice);
+        outcome = evaluate_job_on_context(job->spec, dataset->context(), thread_slice,
+                                          &extras.route_iters);
         outcome.dataset = true;
+        extras.dataset_version = dataset->version();
         CALS_OBS_COUNT("svc.dataset.jobs", 1);
       } else {
-        outcome = run_flow_job(job->spec, thread_slice);
+        outcome = run_flow_job(job->spec, thread_slice, &extras.route_iters);
       }
       executed_flow = true;
       if (options_.cache != nullptr)
@@ -386,6 +403,7 @@ void FlowService::execute(const std::shared_ptr<Job>& job,
     outcome.status = Status::internal(
         strprintf("svc: dispatch of job '%s' failed: %s", job->record.name.c_str(),
                   e.what()));
+    extras.events.push_back(strprintf("dispatch_exception: %s", e.what()));
     CALS_OBS_COUNT("svc.dispatch_failures", 1);
   }
   outcome.queue_seconds = queue_seconds;
@@ -399,13 +417,14 @@ void FlowService::execute(const std::shared_ptr<Job>& job,
     ++stats_.cache_hits;
   }
   if (outcome.dataset) ++stats_.dataset_hits;
-  finalize_locked(job, std::move(outcome));
+  finalize_locked(job, std::move(outcome), extras);
   --running_;
   claimed_threads_ -= std::min(claimed_threads_, thread_slice);
   state_changed_.notify_all();
 }
 
-void FlowService::finalize_locked(const std::shared_ptr<Job>& job, JobOutcome outcome) {
+void FlowService::finalize_locked(const std::shared_ptr<Job>& job, JobOutcome outcome,
+                                  const FlightExtras& extras) {
   const JobState terminal =
       outcome.status.ok() ? JobState::kDone : JobState::kFailed;
   if (terminal == JobState::kDone) {
@@ -433,13 +452,40 @@ void FlowService::finalize_locked(const std::shared_ptr<Job>& job, JobOutcome ou
     else ++stats_.failed;
     ++stats_.coalesced;
     CALS_OBS_COUNT("svc.jobs_coalesced", 1);
+    // Followers get their own flight record: scheduling fields are theirs,
+    // execution telemetry stays with the primary (nothing ran here).
+    push_flight_locked(follower, FlightExtras{});
   }
   job->followers.clear();
   job->record.outcome = std::move(outcome);
   job->record.state = terminal;
+  push_flight_locked(*job, extras);
   const auto it = active_by_key_.find(job->record.cache_key);
   if (it != active_by_key_.end() && it->second == job->record.id)
     active_by_key_.erase(it);
+}
+
+void FlowService::push_flight_locked(const Job& job, const FlightExtras& extras) {
+  FlightRecord flight = flight_from_record(job.record);
+  flight.queue_depth_at_submit = job.queue_depth_at_submit;
+  flight.thread_slice = extras.thread_slice;
+  flight.dataset_version = extras.dataset_version;
+  flight_add_route_stats(flight, extras.route_iters);
+  flight.events = extras.events;
+  flights_.push(std::move(flight));
+}
+
+bool FlowService::accepting() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stopping_ == Stopping::kNo;
+}
+
+std::vector<FlightRecord> FlowService::recent_flights() const {
+  return flights_.recent();
+}
+
+std::optional<FlightRecord> FlowService::flight(JobId id) const {
+  return flights_.find(id);
 }
 
 }  // namespace cals::svc

@@ -50,6 +50,7 @@
 #include <thread>
 #include <vector>
 
+#include "svc/flight.hpp"
 #include "svc/job.hpp"
 #include "svc/result_cache.hpp"
 #include "util/status.hpp"
@@ -81,17 +82,22 @@ Result<JobDesign> build_job_design(const JobSpec& spec);
 /// `JobOutcome::status` — never thrown. The context must have been built
 /// for this spec's dataset options (canonical_dataset_options); the service
 /// guarantees that by keying DatasetStore lookups on record.dataset_key.
+/// A non-null `route_iters` receives the chosen run's per-iteration router
+/// stats (the flight recorder's overflow trajectory).
 JobOutcome evaluate_job_on_context(const JobSpec& spec, const DesignContext& context,
-                                   std::uint32_t num_threads_override = UINT32_MAX);
+                                   std::uint32_t num_threads_override = UINT32_MAX,
+                                   std::vector<RouteIterStats>* route_iters = nullptr);
 
 /// Runs one job start-to-finish on the calling thread (no queueing, no
 /// cache): parse the design + library, build the floorplan and context,
 /// evaluate at options.K (or the Fig. 3 schedule when spec.auto_k). Parse
 /// and flow failures come back in `JobOutcome::status` — never thrown.
 /// `num_threads_override` != UINT32_MAX replaces spec.options.num_threads
-/// (how the service applies its per-job slice).
+/// (how the service applies its per-job slice). `route_iters` as in
+/// evaluate_job_on_context.
 JobOutcome run_flow_job(const JobSpec& spec,
-                        std::uint32_t num_threads_override = UINT32_MAX);
+                        std::uint32_t num_threads_override = UINT32_MAX,
+                        std::vector<RouteIterStats>* route_iters = nullptr);
 
 /// The worker-thread slice a dispatch claims, decided atomically with the
 /// claim under the service lock: the unclaimed budget divided evenly among
@@ -126,6 +132,9 @@ struct ServiceOptions {
   /// Start with dispatch paused (deterministic tests: submit a batch, then
   /// resume()).
   bool start_paused = false;
+  /// Flight-record retention: the in-memory ring keeps the last N resolved
+  /// jobs for the /jobs introspection endpoint and spool publishing.
+  std::size_t flight_ring_capacity = 128;
 };
 
 class FlowService {
@@ -186,19 +195,41 @@ class FlowService {
   };
   Stats stats() const;
 
+  /// False once shutdown() was called (submissions are refused). /healthz.
+  bool accepting() const;
+
+  /// Newest-first flight records of the last flight_ring_capacity resolved
+  /// jobs (the /jobs endpoint payload).
+  std::vector<FlightRecord> recent_flights() const;
+  /// The retained flight record for `id`, nullopt if unknown or evicted.
+  std::optional<FlightRecord> flight(JobId id) const;
+
  private:
   struct Job {
     JobRecord record;
     JobSpec spec;
     std::chrono::steady_clock::time_point submitted;
     std::vector<JobId> followers;  ///< ids coalesced onto this primary
+    std::uint64_t queue_depth_at_submit = 0;  ///< backlog seen at admission
+  };
+
+  /// What execute() learns beyond the JobOutcome, destined for the flight
+  /// record: the claimed slice, dataset pack version, router convergence
+  /// telemetry and any degradation events.
+  struct FlightExtras {
+    std::uint32_t thread_slice = 0;
+    std::uint64_t dataset_version = 0;
+    std::vector<RouteIterStats> route_iters;
+    std::vector<std::string> events;
   };
 
   void dispatcher_loop();
   /// Runs `job` outside the lock with `thread_slice` workers, finalizes it
   /// (and its followers) and releases the slice claim.
   void execute(const std::shared_ptr<Job>& job, std::uint32_t thread_slice);
-  void finalize_locked(const std::shared_ptr<Job>& job, JobOutcome outcome);
+  void finalize_locked(const std::shared_ptr<Job>& job, JobOutcome outcome,
+                       const FlightExtras& extras);
+  void push_flight_locked(const Job& job, const FlightExtras& extras);
   void publish_queue_depth_locked() const;
 
   const ServiceOptions options_;
@@ -220,6 +251,9 @@ class FlowService {
   std::size_t running_ = 0;
   std::uint32_t claimed_threads_ = 0;  ///< budget claimed by running jobs
   Stats stats_;
+  /// Resolved-job flight records, newest first. Own (leaf) lock: pushes
+  /// happen under mutex_, reads (the HTTP endpoints) don't need it.
+  FlightRing flights_;
   std::vector<std::thread> dispatchers_;
 };
 

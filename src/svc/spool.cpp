@@ -12,6 +12,7 @@
 #include <unistd.h>
 #endif
 
+#include "util/faults.hpp"
 #include "util/io.hpp"
 #include "util/strings.hpp"
 
@@ -61,7 +62,9 @@ Result<SpoolPaths> open_spool(const std::string& root) {
   spool.incoming = spool.root / "incoming";
   spool.done = spool.root / "done";
   spool.failed = spool.root / "failed";
-  for (const fs::path& dir : {spool.incoming, spool.done, spool.failed}) {
+  spool.flights = spool.root / "flights";
+  for (const fs::path& dir :
+       {spool.incoming, spool.done, spool.failed, spool.flights}) {
     std::error_code ec;
     fs::create_directories(dir, ec);
     if (ec || !fs::is_directory(dir))
@@ -146,6 +149,26 @@ fs::path spool_find_result(const SpoolPaths& spool, const std::string& stem) {
     std::error_code ec;
     if (fs::exists(candidate, ec) && !ec) return candidate;
   }
+  return {};
+}
+
+bool spool_publish_flight(const SpoolPaths& spool, const std::string& stem,
+                          const FlightRecord& flight) {
+  try {
+    // The probe sits inside the best-effort envelope: an armed fault (throw
+    // or fail action) degrades this record, never the job it describes.
+    if (CALS_FAULT_POINT("svc.flight")) return false;
+    return write_atomic(spool.flights / (stem + ".flight.json"),
+                        flight_record_to_json(flight));
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+fs::path spool_find_flight(const SpoolPaths& spool, const std::string& stem) {
+  const fs::path candidate = spool.flights / (stem + ".flight.json");
+  std::error_code ec;
+  if (fs::exists(candidate, ec) && !ec) return candidate;
   return {};
 }
 

@@ -8,6 +8,8 @@
 ///   <root>/incoming/   one JSON job file per submission (job.hpp format)
 ///   <root>/done/       result record per finished job, same stem
 ///   <root>/failed/     result record per failed/unparseable job
+///   <root>/flights/    flight record per resolved job (flight.hpp format),
+///                      best-effort — see spool_publish_flight
 ///
 /// Submission is atomic: the writer creates `<stem>.json.tmp` and renames
 /// it, so the server's directory scan never sees a half-written job. Stems
@@ -22,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "svc/flight.hpp"
 #include "svc/job.hpp"
 #include "util/status.hpp"
 
@@ -32,9 +35,10 @@ struct SpoolPaths {
   std::filesystem::path incoming;
   std::filesystem::path done;
   std::filesystem::path failed;
+  std::filesystem::path flights;
 };
 
-/// Builds the three subdirectories (idempotent). Fails with kInternal when
+/// Builds the four subdirectories (idempotent). Fails with kInternal when
 /// the root is not writable.
 Result<SpoolPaths> open_spool(const std::string& root);
 
@@ -58,6 +62,18 @@ bool spool_publish_result(const SpoolPaths& spool, const std::string& stem,
 /// Looks for `<stem>.json` under done/ then failed/; empty path if neither
 /// exists yet (the submitter's --wait poll).
 std::filesystem::path spool_find_result(const SpoolPaths& spool,
+                                        const std::string& stem);
+
+/// Publishes `flight` as `<stem>.flight.json` under flights/, atomically.
+/// Telemetry is best-effort by contract: any failure — I/O or an armed
+/// `svc.flight` fault — returns false (never throws), and the caller's job
+/// outcome is unaffected (fault_sweep.sh proves a telemetry fault still
+/// lands every job in done/).
+bool spool_publish_flight(const SpoolPaths& spool, const std::string& stem,
+                          const FlightRecord& flight);
+
+/// The flights/ path for `stem` if published, else an empty path.
+std::filesystem::path spool_find_flight(const SpoolPaths& spool,
                                         const std::string& stem);
 
 }  // namespace cals::svc

@@ -1,0 +1,88 @@
+#pragma once
+/// \file telemetry_http.hpp
+/// `cals::svc::TelemetryServer` — the serving stack's live introspection
+/// endpoint and the first socket in the codebase (a deliberate stepping
+/// stone toward a full network front end; see ROADMAP.md). A minimal
+/// blocking HTTP/1.1 listener, GET-only, read-only:
+///
+///   GET /metrics    Prometheus text exposition of the global obs registry
+///   GET /jobs       JSON array of flight-record summaries (newest first)
+///   GET /jobs/<id>  the full flight record for one job, as flat JSON
+///   GET /healthz    queue depth, in-flight count, accepting/draining state
+///
+/// Design constraints, in order: never perturb the service (every endpoint
+/// is a snapshot read — FlowService::stats/recent_flights/flight — taken
+/// under the service's own locks, no writes, no job mutation); never wedge
+/// (one connection at a time, bounded request size, socket timeouts, so a
+/// slow scraper can delay other scrapers but nothing else); stay trivial
+/// (no auth, no TLS, no keep-alive — bind to loopback, which is also the
+/// default).
+///
+/// Port 0 binds an ephemeral port; `port()` reports the actual one (tests
+/// and log lines). The accept loop runs on its own thread between start()
+/// and stop()/destruction.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "util/status.hpp"
+
+namespace cals::svc {
+
+class FlowService;
+
+class TelemetryServer {
+ public:
+  struct Options {
+    std::uint16_t port = 0;  ///< 0 = ephemeral (see port())
+    std::string bind_address = "127.0.0.1";
+  };
+
+  /// `service` must outlive the server.
+  explicit TelemetryServer(const FlowService& service);
+  TelemetryServer(const FlowService& service, Options options);
+  ~TelemetryServer();
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  /// Binds + listens and starts the accept thread. kInternal on bind/listen
+  /// failure (port taken, bad address).
+  Status start();
+  /// Stops accepting and joins the accept thread. Idempotent.
+  void stop();
+
+  /// The bound port (valid after a successful start()).
+  std::uint16_t port() const { return port_; }
+
+  /// The spool loop flips this while shutting down so /healthz can report
+  /// drain state.
+  void set_draining(bool draining) {
+    draining_.store(draining, std::memory_order_relaxed);
+  }
+
+  /// One routed response. Exposed so tests can exercise the endpoint logic
+  /// without a socket (the socket path is tested separately).
+  struct Response {
+    int status = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+  };
+  Response handle(std::string_view method, std::string_view target) const;
+
+ private:
+  void serve_loop();
+  void handle_connection(int fd) const;
+
+  const FlowService& service_;
+  const Options options_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> draining_{false};
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace cals::svc

@@ -135,6 +135,80 @@ std::string json_number(double v) {
   return strprintf("%.6g", v);
 }
 
+// ---- quantiles over power-of-two buckets -----------------------------------
+
+/// Lower edge of bucket i: 0 for the underflow bucket, else 2^(i-1).
+double bucket_lower(std::size_t i) {
+  return i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i) - 1);
+}
+
+/// Shared quantile kernel: walk the cumulative bucket counts to the bucket
+/// containing rank q*n, then interpolate linearly inside it. The top bucket
+/// is open-ended, so its "upper edge" is the observed max. The result is
+/// clamped to the exact [min, max] envelope — which makes single-sample and
+/// single-bucket histograms exact.
+double quantile_impl(const std::uint64_t* buckets, std::uint64_t n, double mn,
+                     double mx, double q) {
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(n);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+    const double b = static_cast<double>(buckets[i]);
+    if (b <= 0.0) continue;
+    if (cum + b >= target) {
+      const double lo = bucket_lower(i);
+      const double hi = i + 1 == Histogram::kBuckets ? std::max(mx, lo)
+                                                     : std::ldexp(1.0, static_cast<int>(i));
+      const double v = lo + ((target - cum) / b) * (hi - lo);
+      return std::clamp(v, mn, mx);
+    }
+    cum += b;
+  }
+  return mx;
+}
+
+std::string hist_summary_line(std::uint64_t n, double sum, double mn, double mx,
+                              const std::uint64_t* buckets) {
+  const double mean = n > 0 ? sum / static_cast<double>(n) : 0.0;
+  return strprintf(
+      "count=%llu sum=%.6g min=%.6g mean=%.6g p50=%.6g p95=%.6g p99=%.6g "
+      "max=%.6g",
+      static_cast<unsigned long long>(n), sum, mn, mean,
+      quantile_impl(buckets, n, mn, mx, 0.50),
+      quantile_impl(buckets, n, mn, mx, 0.95),
+      quantile_impl(buckets, n, mn, mx, 0.99), mx);
+}
+
+// ---- Prometheus exposition helpers -----------------------------------------
+
+/// Prometheus metric names are [a-zA-Z0-9_:]; everything else (dots in our
+/// dotted names, spaces, control bytes) maps to '_'. Distinct registry names
+/// can collide after sanitization ("a.b" vs "a_b") — acceptable for an
+/// introspection endpoint; the raw name is preserved in the HELP line.
+std::string prometheus_name(std::string_view name) {
+  std::string out = "cals_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+/// HELP/label-value escaping per the text exposition format: backslash and
+/// newline only (double quotes additionally inside label values, which we
+/// never emit in HELP text).
+void append_prometheus_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+}
+
 }  // namespace
 
 bool enabled() { return enabled_flag().load(std::memory_order_relaxed); }
@@ -158,8 +232,14 @@ void Histogram::observe(double v) {
   }
   std::size_t bucket = 0;
   if (v >= 1.0) {
-    const auto integral = static_cast<std::uint64_t>(v);
-    bucket = std::min<std::size_t>(kBuckets - 1, std::bit_width(integral));
+    // Values past uint64 range can't go through the bit_width cast (the
+    // conversion would be UB); they belong in the open-ended top bucket.
+    if (v >= std::ldexp(1.0, 63)) {
+      bucket = kBuckets - 1;
+    } else {
+      const auto integral = static_cast<std::uint64_t>(v);
+      bucket = std::min<std::size_t>(kBuckets - 1, std::bit_width(integral));
+    }
   }
   buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
 }
@@ -178,10 +258,15 @@ void Histogram::reset() {
 }
 
 std::string Histogram::summary() const {
-  const std::uint64_t n = count();
-  const double mean = n > 0 ? sum() / static_cast<double>(n) : 0.0;
-  return strprintf("count=%llu sum=%.6g min=%.6g mean=%.6g max=%.6g",
-                   static_cast<unsigned long long>(n), sum(), min(), mean, max());
+  std::uint64_t buckets[kBuckets];
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets[i] = bucket(i);
+  return hist_summary_line(count(), sum(), min(), max(), buckets);
+}
+
+double Histogram::quantile(double q) const {
+  std::uint64_t buckets[kBuckets];
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets[i] = bucket(i);
+  return quantile_impl(buckets, count(), min(), max(), q);
 }
 
 // ---- Registry --------------------------------------------------------------
@@ -278,10 +363,14 @@ std::string Registry::json() const {
     first = false;
     out += '"';
     append_escaped(out, name);
-    out += strprintf("\":{\"count\":%llu,\"sum\":%s,\"min\":%s,\"max\":%s}",
-                     static_cast<unsigned long long>(h->count()),
-                     json_number(h->sum()).c_str(), json_number(h->min()).c_str(),
-                     json_number(h->max()).c_str());
+    out += strprintf(
+        "\":{\"count\":%llu,\"sum\":%s,\"min\":%s,\"max\":%s,\"p50\":%s,"
+        "\"p95\":%s,\"p99\":%s}",
+        static_cast<unsigned long long>(h->count()),
+        json_number(h->sum()).c_str(), json_number(h->min()).c_str(),
+        json_number(h->max()).c_str(), json_number(h->quantile(0.50)).c_str(),
+        json_number(h->quantile(0.95)).c_str(),
+        json_number(h->quantile(0.99)).c_str());
   }
   out += "}}";
   return out;
@@ -293,6 +382,118 @@ void Registry::reset() {
   for (auto& [name, c] : i.counters) c->reset();
   for (auto& [name, g] : i.gauges) g->reset();
   for (auto& [name, h] : i.histograms) h->reset();
+}
+
+// ---- Snapshot --------------------------------------------------------------
+
+double Registry::Snapshot::Hist::quantile(double q) const {
+  return quantile_impl(buckets.data(), count, min, max, q);
+}
+
+Registry::Snapshot Registry::snapshot() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  Snapshot s;
+  for (const auto& [name, c] : i.counters) s.counters.emplace(name, c->value());
+  for (const auto& [name, g] : i.gauges) s.gauges.emplace(name, g->value());
+  for (const auto& [name, h] : i.histograms) {
+    Snapshot::Hist hist;
+    hist.count = h->count();
+    hist.sum = h->sum();
+    hist.min = h->min();
+    hist.max = h->max();
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b)
+      hist.buckets[b] = h->bucket(b);
+    s.histograms.emplace(name, hist);
+  }
+  return s;
+}
+
+Registry::Snapshot Registry::Snapshot::delta_since(const Snapshot& baseline) const {
+  Snapshot d = *this;  // gauges, min/max envelopes and any new names carry over
+  for (auto& [name, value] : d.counters) {
+    const auto it = baseline.counters.find(name);
+    if (it != baseline.counters.end())
+      value = value >= it->second ? value - it->second : value;
+  }
+  for (auto& [name, hist] : d.histograms) {
+    const auto it = baseline.histograms.find(name);
+    if (it == baseline.histograms.end()) continue;
+    const Hist& base = it->second;
+    // A current count below the baseline means the instrument was reset in
+    // between; keep the absolute values ("everything since the reset")
+    // instead of producing wrapped garbage.
+    if (hist.count < base.count) continue;
+    hist.count -= base.count;
+    hist.sum = std::max(0.0, hist.sum - base.sum);
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b)
+      hist.buckets[b] =
+          hist.buckets[b] >= base.buckets[b] ? hist.buckets[b] - base.buckets[b] : hist.buckets[b];
+    if (hist.count == 0) {
+      hist.sum = 0.0;
+      hist.min = 0.0;
+      hist.max = 0.0;
+    }
+  }
+  return d;
+}
+
+std::string Registry::Snapshot::text() const {
+  std::string out;
+  for (const auto& [name, v] : counters)
+    out += strprintf("counter   %-40s %llu\n", name.c_str(),
+                     static_cast<unsigned long long>(v));
+  for (const auto& [name, v] : gauges)
+    out += strprintf("gauge     %-40s %.6g\n", name.c_str(), v);
+  for (const auto& [name, h] : histograms)
+    out += strprintf(
+        "histogram %-40s %s\n", name.c_str(),
+        hist_summary_line(h.count, h.sum, h.min, h.max, h.buckets.data()).c_str());
+  return out;
+}
+
+// ---- Prometheus exposition -------------------------------------------------
+
+std::string Registry::prometheus() const {
+  const Snapshot s = snapshot();
+  std::string out;
+  for (const auto& [name, v] : s.counters) {
+    const std::string m = prometheus_name(name);
+    out += "# HELP " + m + " cals counter '";
+    append_prometheus_escaped(out, name);
+    out += "'\n# TYPE " + m + " counter\n";
+    out += m + strprintf(" %llu\n", static_cast<unsigned long long>(v));
+  }
+  for (const auto& [name, v] : s.gauges) {
+    const std::string m = prometheus_name(name);
+    out += "# HELP " + m + " cals gauge '";
+    append_prometheus_escaped(out, name);
+    out += "'\n# TYPE " + m + " gauge\n";
+    out += m + strprintf(" %.17g\n", v);
+  }
+  for (const auto& [name, h] : s.histograms) {
+    const std::string m = prometheus_name(name);
+    out += "# HELP " + m + " cals histogram '";
+    append_prometheus_escaped(out, name);
+    out += "'\n# TYPE " + m + " histogram\n";
+    // Cumulative le-series over the power-of-two buckets. Emit up to the
+    // highest non-empty bucket (always at least le="1"), then "+Inf": the
+    // full 48-bucket ladder would be mostly-zero noise for a scraper.
+    std::size_t top = 0;
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b)
+      if (h.buckets[b] > 0) top = b;
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b <= top && b + 1 < Histogram::kBuckets; ++b) {
+      cum += h.buckets[b];
+      out += m + strprintf("_bucket{le=\"%.0f\"} %llu\n", std::ldexp(1.0, static_cast<int>(b)),
+                           static_cast<unsigned long long>(cum));
+    }
+    out += m + strprintf("_bucket{le=\"+Inf\"} %llu\n",
+                         static_cast<unsigned long long>(h.count));
+    out += m + strprintf("_sum %.17g\n", h.sum);
+    out += m + strprintf("_count %llu\n", static_cast<unsigned long long>(h.count));
+  }
+  return out;
 }
 
 // ---- tracing ---------------------------------------------------------------

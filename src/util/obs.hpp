@@ -26,9 +26,11 @@
 /// (`chrome_trace_json`) locks each buffer briefly and is intended for
 /// quiesce points (end of a run / bench).
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <limits>
+#include <map>
 #include <string>
 #include <string_view>
 
@@ -107,8 +109,14 @@ class Histogram {
   }
   void reset();
   const std::string& name() const { return name_; }
-  /// "count=… sum=… min=… mean=… max=…" one-liner for the text dump.
+  /// "count=… sum=… min=… mean=… p50=… p95=… p99=… max=…" one-liner for the
+  /// text dump.
   std::string summary() const;
+  /// Approximate q-quantile (q in [0,1]) by linear interpolation inside the
+  /// power-of-two bucket that contains the target rank, clamped to the exact
+  /// [min, max] envelope. Empty histogram → 0. The top bucket is open-ended,
+  /// so ranks landing there interpolate toward max().
+  double quantile(double q) const;
 
  private:
   const std::string name_;
@@ -125,17 +133,63 @@ class Histogram {
 /// per site, not per event.
 class Registry {
  public:
+  /// Point-in-time value copy of every registered instrument. Snapshots are
+  /// plain data: benches and the serving loop take one before a pass and
+  /// subtract it from one taken after (`delta_since`), which replaced the old
+  /// pattern of calling the destructive `reset()` mid-run and stomping any
+  /// concurrently-recording instrument.
+  struct Snapshot {
+    struct Hist {
+      std::uint64_t count = 0;
+      double sum = 0.0;
+      double min = 0.0;
+      double max = 0.0;
+      std::array<std::uint64_t, Histogram::kBuckets> buckets{};
+      double mean() const {
+        return count > 0 ? sum / static_cast<double>(count) : 0.0;
+      }
+      /// Same log-bucket interpolation as Histogram::quantile, over the
+      /// snapshotted buckets.
+      double quantile(double q) const;
+    };
+
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, Hist> histograms;
+
+    /// Counter/histogram arithmetic difference vs an earlier snapshot:
+    /// counts, sums and buckets subtract (clamped at zero, so an instrument
+    /// reset between the two snapshots degrades to "everything since the
+    /// reset" instead of wrapping). Gauges are point-in-time by nature and
+    /// keep this snapshot's value, as do histogram min/max — the envelope of
+    /// the whole run, a documented approximation for the window.
+    Snapshot delta_since(const Snapshot& baseline) const;
+    /// Registry::text()-shaped dump of the snapshot (histograms include
+    /// p50/p95/p99), for per-pass bench reporting.
+    std::string text() const;
+  };
+
   static Registry& instance();
 
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name);
 
+  /// Consistent value copy of every instrument, taken under the registry
+  /// lock (individual reads are relaxed, so concurrent recording is fine).
+  Snapshot snapshot() const;
+
   /// Plain-text dump, one instrument per line, sorted by name. Instruments
   /// that never fired (zero count/value) are included — a zero is data.
   std::string text() const;
   /// The same dump as a JSON object {"counters":{…},"gauges":{…},…}.
   std::string json() const;
+  /// Prometheus text exposition (version 0.0.4): every instrument becomes a
+  /// `cals_`-prefixed, name-sanitized metric with `# HELP`/`# TYPE` lines;
+  /// histograms expose cumulative `_bucket{le="2^i"}` series derived from
+  /// the power-of-two buckets plus `_sum` and `_count`. Served by
+  /// `cals_serve --listen` at /metrics.
+  std::string prometheus() const;
   /// Zeroes every registered instrument (tests and repeated benches).
   void reset();
 

@@ -446,5 +446,148 @@ TEST_F(ObsTest, HistogramBucketsByPowerOfTwo) {
   EXPECT_EQ(h.count(), 4u);
 }
 
+TEST_F(ObsTest, QuantileEdgeCases) {
+  obs::Registry& reg = obs::Registry::instance();
+
+  // Empty histogram: every quantile is 0, by contract.
+  obs::Histogram& empty = reg.histogram("test.q.empty");
+  EXPECT_EQ(empty.quantile(0.0), 0.0);
+  EXPECT_EQ(empty.quantile(0.5), 0.0);
+  EXPECT_EQ(empty.quantile(1.0), 0.0);
+
+  // One sample: the [min, max] clamp makes every quantile exact.
+  obs::Histogram& single = reg.histogram("test.q.single");
+  single.observe(5.0);
+  EXPECT_EQ(single.quantile(0.0), 5.0);
+  EXPECT_EQ(single.quantile(0.5), 5.0);
+  EXPECT_EQ(single.quantile(1.0), 5.0);
+
+  // All samples in one bucket: quantiles stay inside the exact envelope.
+  obs::Histogram& narrow = reg.histogram("test.q.narrow");
+  narrow.observe(9.0);
+  narrow.observe(10.0);
+  narrow.observe(11.0);  // all in bucket [8, 16)
+  for (const double q : {0.25, 0.5, 0.75, 0.95}) {
+    EXPECT_GE(narrow.quantile(q), 9.0);
+    EXPECT_LE(narrow.quantile(q), 11.0);
+  }
+
+  // Top-bucket overflow: values past the bucket ladder interpolate toward
+  // the exact max instead of some 2^47 bucket edge.
+  obs::Histogram& huge = reg.histogram("test.q.huge");
+  huge.observe(1e30);
+  huge.observe(2e30);
+  EXPECT_EQ(huge.quantile(1.0), 2e30);
+  EXPECT_GE(huge.quantile(0.5), 1e30);
+  EXPECT_LE(huge.quantile(0.5), 2e30);
+
+  // Out-of-range q clamps, and quantiles are monotone in q.
+  obs::Histogram& spread = reg.histogram("test.q.spread");
+  for (const double v : {1.0, 2.0, 4.0, 8.0, 16.0, 200.0, 3000.0})
+    spread.observe(v);
+  EXPECT_EQ(spread.quantile(-1.0), spread.quantile(0.0));
+  EXPECT_EQ(spread.quantile(2.0), spread.quantile(1.0));
+  double last = 0.0;
+  for (const double q : {0.0, 0.25, 0.5, 0.75, 0.95, 0.99, 1.0}) {
+    const double v = spread.quantile(q);
+    EXPECT_GE(v, last) << "quantile must be monotone in q";
+    last = v;
+  }
+  EXPECT_EQ(spread.quantile(1.0), 3000.0);
+
+  // The text dump carries the quantile columns.
+  const std::string text = reg.text();
+  EXPECT_NE(text.find("p50="), std::string::npos);
+  EXPECT_NE(text.find("p95="), std::string::npos);
+  EXPECT_NE(text.find("p99="), std::string::npos);
+}
+
+TEST_F(ObsTest, SnapshotDeltaSubtractsBaseline) {
+  obs::Registry& reg = obs::Registry::instance();
+  reg.counter("test.snap.c").add(5);
+  reg.gauge("test.snap.g").set(2.0);
+  obs::Histogram& h = reg.histogram("test.snap.h");
+  h.observe(10.0);
+  h.observe(20.0);
+
+  const obs::Registry::Snapshot before = reg.snapshot();
+  EXPECT_EQ(before.counters.at("test.snap.c"), 5u);
+  EXPECT_EQ(before.histograms.at("test.snap.h").count, 2u);
+
+  reg.counter("test.snap.c").add(3);
+  reg.gauge("test.snap.g").set(7.0);
+  h.observe(40.0);
+  reg.counter("test.snap.new").add(11);  // born after the baseline
+
+  const obs::Registry::Snapshot delta = reg.snapshot().delta_since(before);
+  EXPECT_EQ(delta.counters.at("test.snap.c"), 3u);
+  EXPECT_EQ(delta.counters.at("test.snap.new"), 11u);
+  // Gauges are point-in-time: the delta carries the current value.
+  EXPECT_EQ(delta.gauges.at("test.snap.g"), 7.0);
+  const auto& dh = delta.histograms.at("test.snap.h");
+  EXPECT_EQ(dh.count, 1u);
+  EXPECT_EQ(dh.sum, 40.0);
+  EXPECT_EQ(dh.mean(), 40.0);
+
+  // A histogram delta that nets to zero zeroes its derived stats too.
+  const obs::Registry::Snapshot same = reg.snapshot().delta_since(reg.snapshot());
+  const auto& zh = same.histograms.at("test.snap.h");
+  EXPECT_EQ(zh.count, 0u);
+  EXPECT_EQ(zh.sum, 0.0);
+  EXPECT_EQ(zh.quantile(0.5), 0.0);
+
+  // If an instrument was reset between snapshots (current < baseline), the
+  // delta keeps the absolute value instead of wrapping around.
+  const obs::Registry::Snapshot high = reg.snapshot();
+  reg.counter("test.snap.c").reset();
+  reg.counter("test.snap.c").add(2);
+  h.reset();
+  h.observe(1.0);
+  const obs::Registry::Snapshot wrapped = reg.snapshot().delta_since(high);
+  EXPECT_EQ(wrapped.counters.at("test.snap.c"), 2u);
+  EXPECT_EQ(wrapped.histograms.at("test.snap.h").count, 1u);
+
+  // Snapshot::text() renders every section.
+  const std::string text = reg.snapshot().text();
+  EXPECT_NE(text.find("test.snap.c"), std::string::npos);
+  EXPECT_NE(text.find("test.snap.g"), std::string::npos);
+  EXPECT_NE(text.find("test.snap.h"), std::string::npos);
+}
+
+TEST_F(ObsTest, PrometheusExposition) {
+  obs::Registry& reg = obs::Registry::instance();
+  reg.counter("test.prom.hits").add(7);
+  reg.gauge("test.prom.depth").set(2.5);
+  obs::Histogram& h = reg.histogram("test.prom.lat_ms");
+  h.observe(0.5);  // bucket 0 -> le="1"
+  h.observe(3.0);  // bucket 2 -> le="4"
+
+  const std::string out = reg.prometheus();
+  // Dots sanitize to underscores; the raw name survives in HELP.
+  EXPECT_NE(out.find("# TYPE cals_test_prom_hits counter"), std::string::npos);
+  EXPECT_NE(out.find("cals_test_prom_hits 7"), std::string::npos);
+  EXPECT_NE(out.find("cals counter 'test.prom.hits'"), std::string::npos);
+  EXPECT_NE(out.find("# TYPE cals_test_prom_depth gauge"), std::string::npos);
+  EXPECT_NE(out.find("cals_test_prom_depth 2.5"), std::string::npos);
+  // Histogram: cumulative le-series up to the top non-empty bucket, then
+  // +Inf / _sum / _count.
+  EXPECT_NE(out.find("# TYPE cals_test_prom_lat_ms histogram"), std::string::npos);
+  EXPECT_NE(out.find("cals_test_prom_lat_ms_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(out.find("cals_test_prom_lat_ms_bucket{le=\"2\"} 1"), std::string::npos);
+  EXPECT_NE(out.find("cals_test_prom_lat_ms_bucket{le=\"4\"} 2"), std::string::npos);
+  EXPECT_NE(out.find("cals_test_prom_lat_ms_bucket{le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(out.find("cals_test_prom_lat_ms_sum 3.5"), std::string::npos);
+  EXPECT_NE(out.find("cals_test_prom_lat_ms_count 2"), std::string::npos);
+  // No bucket lines past the top non-empty one (le="8" would be noise).
+  EXPECT_EQ(out.find("cals_test_prom_lat_ms_bucket{le=\"8\"}"), std::string::npos);
+
+  // HELP escaping: backslashes in a registry name must not break the format.
+  reg.counter("test.prom.esc\\weird").add(1);
+  const std::string escaped = reg.prometheus();
+  EXPECT_NE(escaped.find("cals counter 'test.prom.esc\\\\weird'"), std::string::npos);
+  // ...and the metric name itself sanitizes the backslash away.
+  EXPECT_NE(escaped.find("cals_test_prom_esc_weird 1"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace cals

@@ -14,15 +14,26 @@
 #include <vector>
 
 #include "sop/pla_io.hpp"
+#include "store/dataset_store.hpp"
+#include "svc/dataset_pack.hpp"
+#include "svc/flight.hpp"
 #include "svc/job.hpp"
 #include "svc/json.hpp"
 #include "svc/result_cache.hpp"
 #include "svc/service.hpp"
 #include "svc/spool.hpp"
+#include "svc/telemetry_http.hpp"
 #include "util/faults.hpp"
 #include "util/thread_pool.hpp"
 #include "workloads/plagen.hpp"
 #include "workloads/presets.hpp"
+
+#ifndef _WIN32
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
 
 namespace cals::svc {
 namespace {
@@ -651,6 +662,295 @@ TEST(SvcService, DispatchFaultFailsOneJobAndTheQueueKeepsDraining) {
   EXPECT_EQ(stats.done, 2u);
 }
 
+// ---- flight recorder -------------------------------------------------------
+
+TEST(SvcFlight, RecordsCompleteStoryForExecutedJob) {
+  FlowService service((ServiceOptions()));
+  const JobId id = *service.submit(tiny_job());
+  const JobRecord record = service.wait(id);
+  ASSERT_EQ(record.state, JobState::kDone);
+
+  const std::optional<FlightRecord> flight = service.flight(id);
+  ASSERT_TRUE(flight.has_value());
+  EXPECT_EQ(flight->id, id);
+  EXPECT_EQ(flight->name, "tiny");
+  EXPECT_EQ(flight->state, "done");
+  EXPECT_EQ(flight->status_code, "ok");
+  EXPECT_GT(flight->run_sequence, 0u);
+  EXPECT_FALSE(flight->cache_hit);
+  EXPECT_FALSE(flight->coalesced);
+  EXPECT_FALSE(flight->dataset);
+  EXPECT_GE(flight->thread_slice, 1u);
+  EXPECT_GT(flight->exec_seconds, 0.0);
+  EXPECT_EQ(flight->cache_key, record.cache_key);
+  EXPECT_EQ(flight->dataset_key, record.dataset_key);
+
+  // Phase walls and QoR mirror the outcome metrics exactly.
+  const FlowMetrics& m = record.outcome.metrics;
+  EXPECT_EQ(flight->map_seconds, m.map_seconds);
+  EXPECT_EQ(flight->route_seconds, m.route_seconds);
+  EXPECT_EQ(flight->wirelength_um, m.wirelength_um);
+  EXPECT_EQ(flight->num_cells, m.num_cells);
+  EXPECT_EQ(flight->critical_path_ns, m.critical_path_ns);
+  EXPECT_EQ(flight->routing_violations, m.routing_violations);
+  EXPECT_EQ(flight->threads_used, m.threads_used);
+
+  // Router telemetry: one trajectory entry per rip-up iteration, with the
+  // dirty-edge series kept in lockstep (both legitimately empty when the
+  // route converges without negotiation).
+  EXPECT_EQ(flight->overflow_trajectory.size(), flight->dirty_edges.size());
+  EXPECT_EQ(flight->route_iterations(),
+            static_cast<std::uint32_t>(flight->overflow_trajectory.size()));
+
+  // The ring serves the same record, newest first.
+  const std::vector<FlightRecord> recent = service.recent_flights();
+  ASSERT_EQ(recent.size(), 1u);
+  EXPECT_EQ(recent.front().id, id);
+}
+
+TEST(SvcFlight, FailedAndCancelledJobsLeaveRecords) {
+  {
+    FlowService service((ServiceOptions()));
+    JobSpec bad = tiny_job();
+    bad.design_text = ".i banana\n";
+    const JobId id = *service.submit(bad);
+    ASSERT_EQ(service.wait(id).state, JobState::kFailed);
+    const std::optional<FlightRecord> flight = service.flight(id);
+    ASSERT_TRUE(flight.has_value());
+    EXPECT_EQ(flight->state, "failed");
+    EXPECT_EQ(flight->status_code, "parse_error");
+    EXPECT_FALSE(flight->status_message.empty());
+  }
+  {
+    ServiceOptions options;
+    options.start_paused = true;
+    FlowService service(options);
+    const JobId id = *service.submit(tiny_job());
+    ASSERT_TRUE(service.cancel(id));
+    const std::optional<FlightRecord> flight = service.flight(id);
+    ASSERT_TRUE(flight.has_value());
+    EXPECT_EQ(flight->state, "cancelled");
+    EXPECT_EQ(flight->run_sequence, 0u);  // never dispatched
+    EXPECT_EQ(flight->exec_seconds, 0.0);
+  }
+}
+
+TEST(SvcFlight, CacheAndDatasetProvenanceAreRecorded) {
+  TempDir dir("flightcache");
+  ResultCache cache(dir.path.string());
+  {
+    ServiceOptions options;
+    options.cache = &cache;
+    FlowService service(options);
+    service.wait(*service.submit(tiny_job()));
+  }
+  {
+    ServiceOptions options;
+    options.cache = &cache;
+    FlowService service(options);
+    const JobId id = *service.submit(tiny_job());
+    ASSERT_EQ(service.wait(id).state, JobState::kDone);
+    const std::optional<FlightRecord> flight = service.flight(id);
+    ASSERT_TRUE(flight.has_value());
+    EXPECT_TRUE(flight->cache_hit);
+    EXPECT_FALSE(flight->dataset);
+    EXPECT_EQ(flight->route_iterations(), 0u) << "no flow ran on a cache hit";
+  }
+
+  // Dataset-served: the flight pins the blob's pack version.
+  TempDir ds_dir("flightds");
+  const JobSpec spec = tiny_job();
+  ASSERT_TRUE(pack_job_dataset(spec, ds_dir.path.string(), /*version=*/3).ok());
+  store::DatasetStore datasets(ds_dir.path.string());
+  datasets.refresh();
+  ServiceOptions options;
+  options.datasets = &datasets;
+  FlowService service(options);
+  const JobId id = *service.submit(spec);
+  ASSERT_EQ(service.wait(id).state, JobState::kDone);
+  const std::optional<FlightRecord> flight = service.flight(id);
+  ASSERT_TRUE(flight.has_value());
+  EXPECT_TRUE(flight->dataset);
+  EXPECT_FALSE(flight->cache_hit);
+  EXPECT_EQ(flight->dataset_version, 3u);
+}
+
+TEST(SvcFlight, JsonRoundTripAndSchemaGate) {
+  FlightRecord flight;
+  flight.id = 42;
+  flight.name = "round\"trip";
+  flight.state = "done";
+  flight.priority = -3;
+  flight.run_sequence = 7;
+  flight.cache_key = "cachekey";
+  flight.dataset_key = "dskey";
+  flight.queue_seconds = 0.25;
+  flight.exec_seconds = 1.5;
+  flight.thread_slice = 4;
+  flight.queue_depth_at_submit = 9;
+  flight.dataset = true;
+  flight.dataset_version = 12;
+  flight.status_code = "ok";
+  flight.map_seconds = 0.5;
+  flight.place_seconds = 0.25;
+  flight.route_seconds = 0.5;
+  flight.sta_seconds = 0.25;
+  flight.overflow_trajectory = {41, 7, 0};
+  flight.dirty_edges = {120, 30, 0};
+  flight.ripups = 150;
+  flight.maze_pops = 9000;
+  flight.k_factor = 0.05;
+  flight.num_cells = 321;
+  flight.wirelength_um = 1234.5;
+  flight.routable = true;
+  flight.threads_used = 2;
+  flight.events = {"one event", "two: with, punctuation"};
+
+  const std::string json = flight_record_to_json(flight);
+  Result<FlightRecord> back = flight_record_from_json(json);
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  EXPECT_EQ(back->id, flight.id);
+  EXPECT_EQ(back->name, flight.name);
+  EXPECT_EQ(back->priority, flight.priority);
+  EXPECT_EQ(back->run_sequence, flight.run_sequence);
+  EXPECT_EQ(back->queue_seconds, flight.queue_seconds);
+  EXPECT_EQ(back->exec_seconds, flight.exec_seconds);
+  EXPECT_EQ(back->thread_slice, flight.thread_slice);
+  EXPECT_EQ(back->queue_depth_at_submit, flight.queue_depth_at_submit);
+  EXPECT_EQ(back->dataset, flight.dataset);
+  EXPECT_EQ(back->dataset_version, flight.dataset_version);
+  EXPECT_EQ(back->overflow_trajectory, flight.overflow_trajectory);
+  EXPECT_EQ(back->dirty_edges, flight.dirty_edges);
+  EXPECT_EQ(back->ripups, flight.ripups);
+  EXPECT_EQ(back->maze_pops, flight.maze_pops);
+  EXPECT_EQ(back->k_factor, flight.k_factor);
+  EXPECT_EQ(back->wirelength_um, flight.wirelength_um);
+  EXPECT_EQ(back->routable, flight.routable);
+  EXPECT_EQ(back->events, flight.events);
+
+  // Flat JSON without the schema marker is not a flight record.
+  EXPECT_FALSE(flight_record_from_json("{\"job_id\": 1}").ok());
+  EXPECT_FALSE(flight_record_from_json("not json").ok());
+}
+
+TEST(SvcFlight, RingEvictsOldestFirst) {
+  FlightRing ring(2);
+  for (const JobId id : {JobId{1}, JobId{2}, JobId{3}}) {
+    FlightRecord flight;
+    flight.id = id;
+    ring.push(std::move(flight));
+  }
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_FALSE(ring.find(1).has_value()) << "oldest must be evicted";
+  EXPECT_TRUE(ring.find(2).has_value());
+  EXPECT_TRUE(ring.find(3).has_value());
+  const std::vector<FlightRecord> recent = ring.recent();
+  ASSERT_EQ(recent.size(), 2u);
+  EXPECT_EQ(recent[0].id, 3u) << "newest first";
+  EXPECT_EQ(recent[1].id, 2u);
+}
+
+// ---- telemetry endpoint ----------------------------------------------------
+
+TEST(SvcTelemetry, EndpointsServeServiceState) {
+  FlowService service((ServiceOptions()));
+  const JobId id = *service.submit(tiny_job());
+  ASSERT_EQ(service.wait(id).state, JobState::kDone);
+  TelemetryServer telemetry(service);
+
+  const TelemetryServer::Response metrics = telemetry.handle("GET", "/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find("cals_service_jobs_done 1"), std::string::npos);
+  EXPECT_NE(metrics.body.find("cals_service_queued 0"), std::string::npos);
+
+  const TelemetryServer::Response health = telemetry.handle("GET", "/healthz");
+  EXPECT_EQ(health.status, 200);
+  EXPECT_NE(health.body.find("\"accepting\": true"), std::string::npos);
+  EXPECT_NE(health.body.find("\"done\": 1"), std::string::npos);
+
+  const TelemetryServer::Response jobs = telemetry.handle("GET", "/jobs");
+  EXPECT_EQ(jobs.status, 200);
+  EXPECT_NE(jobs.body.find("\"name\": \"tiny\""), std::string::npos);
+
+  const std::string target = "/jobs/" + std::to_string(id);
+  const TelemetryServer::Response one = telemetry.handle("GET", target);
+  EXPECT_EQ(one.status, 200);
+  Result<FlightRecord> flight = flight_record_from_json(one.body);
+  ASSERT_TRUE(flight.ok()) << flight.status().to_string();
+  EXPECT_EQ(flight->id, id);
+
+  EXPECT_EQ(telemetry.handle("GET", "/jobs/999999").status, 404);
+  EXPECT_EQ(telemetry.handle("GET", "/jobs/notanumber").status, 404);
+  EXPECT_EQ(telemetry.handle("GET", "/nope").status, 404);
+  EXPECT_EQ(telemetry.handle("POST", "/metrics").status, 405);
+  // Query strings are tolerated and ignored.
+  EXPECT_EQ(telemetry.handle("GET", "/healthz?verbose=1").status, 200);
+}
+
+#ifndef _WIN32
+/// Minimal HTTP/1.1 GET over a fresh loopback connection; returns the raw
+/// response (headers + body) or "" on any socket failure.
+std::string http_get(std::uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buffer[2048];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(SvcTelemetry, ListenerServesScrapesOnEphemeralPort) {
+  FlowService service((ServiceOptions()));
+  const JobId id = *service.submit(tiny_job());
+  ASSERT_EQ(service.wait(id).state, JobState::kDone);
+
+  TelemetryServer telemetry(service);  // port 0 = ephemeral
+  ASSERT_TRUE(telemetry.start().ok());
+  ASSERT_NE(telemetry.port(), 0);
+
+  const std::string metrics = http_get(telemetry.port(), "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("cals_service_jobs_done 1"), std::string::npos);
+
+  const std::string one =
+      http_get(telemetry.port(), "/jobs/" + std::to_string(id));
+  EXPECT_NE(one.find("HTTP/1.1 200 OK"), std::string::npos);
+  const std::size_t body_at = one.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  Result<FlightRecord> flight = flight_record_from_json(one.substr(body_at + 4));
+  ASSERT_TRUE(flight.ok()) << flight.status().to_string();
+  EXPECT_EQ(flight->id, id);
+
+  const std::string missing = http_get(telemetry.port(), "/jobs/424242");
+  EXPECT_NE(missing.find("HTTP/1.1 404"), std::string::npos);
+
+  telemetry.stop();
+  // After stop the port no longer answers.
+  EXPECT_EQ(http_get(telemetry.port(), "/healthz"), "");
+}
+#endif  // !_WIN32
+
 // ---- spool protocol --------------------------------------------------------
 
 TEST(SvcSpool, SubmitScanLoadRoundTrip) {
@@ -729,6 +1029,43 @@ TEST(SvcSpool, LoadAnnotatesParseErrorsWithThePath) {
   ASSERT_FALSE(loaded.ok());
   EXPECT_NE(loaded.status().to_string().find("bad.json"), std::string::npos)
       << loaded.status().to_string();
+}
+
+TEST(SvcSpool, FlightPublishFindAndFaultDegradation) {
+  TempDir dir("spoolflight");
+  Result<SpoolPaths> spool = open_spool(dir.path.string());
+  ASSERT_TRUE(spool.ok());
+
+  FlightRecord flight;
+  flight.id = 5;
+  flight.name = "spooled";
+  flight.state = "done";
+  ASSERT_TRUE(spool_publish_flight(*spool, "stem-abc", flight));
+  const fs::path found = spool_find_flight(*spool, "stem-abc");
+  ASSERT_FALSE(found.empty());
+  EXPECT_EQ(found.parent_path(), spool->flights);
+  std::ifstream in(found);
+  const std::string body((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  Result<FlightRecord> back = flight_record_from_json(body);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->id, 5u);
+  EXPECT_EQ(back->name, "spooled");
+
+  EXPECT_TRUE(spool_find_flight(*spool, "no-such-stem").empty());
+
+  // A faulted flight write degrades to `false` — it never throws, and the
+  // flights directory simply does not gain the record.
+  faults::reset();
+  faults::FaultSpec spec;
+  spec.action = faults::Action::kThrow;
+  spec.count = 1;
+  faults::arm("svc.flight", spec);
+  EXPECT_FALSE(spool_publish_flight(*spool, "stem-faulted", flight));
+  faults::reset();
+  EXPECT_TRUE(spool_find_flight(*spool, "stem-faulted").empty());
+  // The next publish (fault exhausted) succeeds again.
+  EXPECT_TRUE(spool_publish_flight(*spool, "stem-faulted", flight));
 }
 
 }  // namespace

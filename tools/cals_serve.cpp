@@ -20,6 +20,12 @@
 ///                      blob skip parse/validate/placement/match-db work.
 ///   --drain            process the existing backlog, then exit 0 (CI /
 ///                      scripting mode; without it the server polls forever)
+///   --listen <port>    serve live introspection over HTTP on 127.0.0.1
+///                      (GET-only: /metrics Prometheus text, /jobs recent
+///                      flight summaries, /jobs/<id> one full flight record,
+///                      /healthz queue + drain state). Port 0 binds an
+///                      ephemeral port; the bound port is printed either way.
+///                      Implies metrics recording.
 ///   --poll-ms <n>      spool scan interval (default 100)
 ///   --max-seconds <f>  hard wall-clock stop, result records flushed (safety
 ///                      net for unattended runs; default: none)
@@ -33,6 +39,11 @@
 /// Injected faults (svc.dispatch / svc.cache) mark individual jobs failed;
 /// the server itself always exits normally (the fault-sweep contract).
 ///
+/// Every published job also gets a flight record (flights/<stem>.flight.json
+/// — scheduling, provenance, route telemetry, QoR; see DESIGN.md §13).
+/// Flight publishing is best-effort: a failure (or an armed `svc.flight`
+/// fault) degrades to a diagnostic line and never fails the job.
+///
 /// Exit codes: 0 clean shutdown, 1 spool unusable, 2 usage error.
 
 #include <chrono>
@@ -45,6 +56,7 @@
 #include "store/dataset_store.hpp"
 #include "svc/service.hpp"
 #include "svc/spool.hpp"
+#include "svc/telemetry_http.hpp"
 #include "util/obs.hpp"
 #include "util/strings.hpp"
 
@@ -67,6 +79,8 @@ struct Args {
   std::string cache_dir;
   std::string dataset_dir;
   bool drain = false;
+  bool listen = false;
+  std::uint32_t listen_port = 0;
   std::uint32_t poll_ms = 100;
   double max_seconds = 0.0;
   std::string metrics_out;
@@ -99,6 +113,13 @@ Args parse(int argc, char** argv) {
     else if (std::strcmp(a, "--cache") == 0) args.cache_dir = need(i);
     else if (std::strcmp(a, "--dataset-dir") == 0) args.dataset_dir = need(i);
     else if (std::strcmp(a, "--drain") == 0) args.drain = true;
+    else if (std::strcmp(a, "--listen") == 0) {
+      const char* flag = argv[i];
+      args.listen = true;
+      args.listen_port = need_u32(i);
+      if (args.listen_port > 65535)
+        usage(argv[0], std::string("option '") + flag + "': port must be <= 65535");
+    }
     else if (std::strcmp(a, "--poll-ms") == 0) args.poll_ms = std::max(1u, need_u32(i));
     else if (std::strcmp(a, "--max-seconds") == 0) {
       const char* text = need(i);
@@ -115,8 +136,25 @@ Args parse(int argc, char** argv) {
   return args;
 }
 
+/// Best-effort flight publishing: a missing (ring-evicted) or unwritable
+/// record degrades to one diagnostic line. The job's own result record is
+/// already on disk by the time this runs — telemetry can never fail a job.
+void publish_flight(const svc::FlowService& service, const svc::SpoolPaths& spool,
+                    svc::JobId id, const std::string& stem, bool quiet) {
+  const std::optional<svc::FlightRecord> flight = service.flight(id);
+  if (flight && svc::spool_publish_flight(spool, stem, *flight)) return;
+  if (!quiet) {
+    std::printf("cals_serve: flight record for %s dropped (telemetry degraded)\n",
+                stem.c_str());
+    std::fflush(stdout);
+  }
+}
+
 int serve(const Args& args) {
-  if (!args.trace_out.empty() || !args.metrics_out.empty()) obs::set_enabled(true);
+  // --listen implies metrics recording: /metrics with every instrument at
+  // zero would defeat the point of scraping a live server.
+  if (!args.trace_out.empty() || !args.metrics_out.empty() || args.listen)
+    obs::set_enabled(true);
   auto say = [&](const char* fmt, auto... values) {
     if (!args.quiet) {
       std::printf(fmt, values...);
@@ -146,7 +184,24 @@ int serve(const Args& args) {
   service_options.total_threads = args.threads;
   service_options.cache = cache.get();
   service_options.datasets = datasets.get();
+  // Retain flight records at least as long as a job can sit between
+  // admission and the publish scan that follows it.
+  service_options.flight_ring_capacity = std::max<std::size_t>(256, args.capacity * 2);
   svc::FlowService service(service_options);
+
+  svc::TelemetryServer telemetry(
+      service, svc::TelemetryServer::Options{
+                   static_cast<std::uint16_t>(args.listen_port), "127.0.0.1"});
+  if (args.listen) {
+    const Status started = telemetry.start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "cals_serve: %s\n", started.to_string().c_str());
+      return 1;
+    }
+    say("cals_serve: telemetry listening on http://127.0.0.1:%u "
+        "(/metrics /jobs /jobs/<id> /healthz)\n",
+        static_cast<unsigned>(telemetry.port()));
+  }
   say("cals_serve: spool %s, capacity %zu, %u parallel jobs x %u threads%s%s\n",
       args.spool_dir.c_str(), args.capacity, args.jobs, service.threads_per_job(),
       cache ? strprintf(", cache %s", args.cache_dir.c_str()).c_str() : "",
@@ -196,6 +251,7 @@ int serve(const Args& args) {
       const std::optional<svc::JobRecord> record = service.snapshot(it->first);
       if (record && svc::job_state_terminal(record->state)) {
         svc::spool_publish_result(*spool, it->second, *record);
+        publish_flight(service, *spool, it->first, it->second, args.quiet);
         say("cals_serve: %s %s (%s)\n", it->second.c_str(),
             svc::job_state_name(record->state),
             record->outcome.cache_hit   ? "cache hit"
@@ -221,12 +277,15 @@ int serve(const Args& args) {
     std::this_thread::sleep_for(std::chrono::milliseconds(args.poll_ms));
   }
 
+  telemetry.set_draining(true);
   service.shutdown(/*cancel_queued=*/false);
   // Flush records for anything that finished during shutdown.
   for (const auto& [id, stem] : pending) {
     const std::optional<svc::JobRecord> record = service.snapshot(id);
-    if (record && svc::job_state_terminal(record->state))
+    if (record && svc::job_state_terminal(record->state)) {
       svc::spool_publish_result(*spool, stem, *record);
+      publish_flight(service, *spool, id, stem, args.quiet);
+    }
   }
   const svc::FlowService::Stats stats = service.stats();
   say("cals_serve: %llu done, %llu failed, %llu cancelled, %llu rejected, "

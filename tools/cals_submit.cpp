@@ -24,7 +24,10 @@
 ///   --partition <p>    dagon | cones | pdp (default pdp)
 ///   --objective <o>    area | delay (default area)
 ///   --max-route-iters <n> / --time-budget <sec>  flow guardrails
-///   --wait             poll for the result record and report it
+///   --wait             poll for the result record and report it, plus a
+///                      one-line flight summary (queue wait, phase times,
+///                      cache/dataset provenance) when the server published
+///                      a flight record for the job
 ///   --timeout <sec>    give up waiting after this long (default 300)
 ///   --quiet            print only the job stem (and errors)
 ///
@@ -37,6 +40,7 @@
 #include <string>
 #include <thread>
 
+#include "svc/flight.hpp"
 #include "svc/job.hpp"
 #include "svc/preset_specs.hpp"
 #include "svc/spool.hpp"
@@ -67,6 +71,38 @@ std::string slurp(const char* argv0, const std::string& path) {
   Result<std::string> body = read_file_string(path);
   if (!body.ok()) usage(argv0, "cannot read '" + path + "'");
   return std::move(body.value());
+}
+
+/// The --wait one-liner from the server's flight record: where the time
+/// went and where the result came from. Best-effort — the server may not
+/// have published one (old server, telemetry fault), and the file can lag
+/// the result record by one publish cycle, so we poll briefly.
+void print_flight_summary(const svc::SpoolPaths& spool, const std::string& stem) {
+  std::filesystem::path path;
+  for (int attempt = 0; attempt < 20 && path.empty(); ++attempt) {
+    path = svc::spool_find_flight(spool, stem);
+    if (path.empty()) std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  if (path.empty()) return;
+  Result<std::string> body = read_file_string(path.string());
+  if (!body.ok()) return;
+  Result<svc::FlightRecord> flight = svc::flight_record_from_json(body.value());
+  if (!flight.ok()) return;
+  const svc::FlightRecord& f = flight.value();
+  const char* source = f.cache_hit   ? "cache hit"
+                       : f.coalesced ? "coalesced"
+                       : f.dataset   ? "dataset"
+                                     : "cold";
+  std::string provenance = source;
+  if (f.dataset && !f.cache_hit)
+    provenance += strprintf(" (key %s v%llu)", f.dataset_key.c_str(),
+                            static_cast<unsigned long long>(f.dataset_version));
+  std::printf(
+      "flight: queue %.0fms, exec %.0fms (map %.0f / place %.0f / route %.0f / "
+      "sta %.0f ms), %u route iters, %s, %u threads\n",
+      f.queue_seconds * 1e3, f.exec_seconds * 1e3, f.map_seconds * 1e3,
+      f.place_seconds * 1e3, f.route_seconds * 1e3, f.sta_seconds * 1e3,
+      f.route_iterations(), provenance.c_str(), f.threads_used);
 }
 
 int run(int argc, char** argv) {
@@ -191,10 +227,12 @@ int run(int argc, char** argv) {
     if (!result.empty()) {
       Result<std::string> body = read_file_string(result.string());
       const bool done = result.parent_path() == spool->done;
-      if (!quiet)
+      if (!quiet) {
         std::printf("%s: %s\n%s", done ? "done" : "FAILED",
                     result.string().c_str(),
                     body.ok() ? body.value().c_str() : "");
+        print_flight_summary(*spool, *stem);
+      }
       return done ? 0 : 1;
     }
     if (std::chrono::steady_clock::now() >= deadline) {

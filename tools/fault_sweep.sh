@@ -111,6 +111,37 @@ if [[ -x "$CALS_SERVE" && -x "$CALS_SUBMIT" ]]; then
   run_serve_case "svc.dispatch:count=0" 0 3
   # Cache faults degrade to misses/skipped stores; no job is affected.
   run_serve_case "svc.cache:count=0" 3 0 --cache "$(mktemp -d)"
+
+  # Flight-recorder faults: telemetry is strictly best-effort — every job
+  # still drains to done/, the flights/ directory just stays empty and the
+  # server says so instead of failing anything.
+  flight_spool="$(mktemp -d)"
+  for k in 0.01 0.02 0.03; do
+    "$CALS_SUBMIT" --spool "$flight_spool" --preset spla --scale 0.1 --k "$k" \
+        --quiet >/dev/null
+  done
+  flight_out="$(CALS_FAULTS="svc.flight:count=0" "$CALS_SERVE" \
+      --spool "$flight_spool" --drain --poll-ms 20 2>&1)"
+  flight_rc=$?
+  flight_done="$(ls "$flight_spool/done" 2>/dev/null | wc -l)"
+  flight_failed="$(ls "$flight_spool/failed" 2>/dev/null | wc -l)"
+  flight_files="$(ls "$flight_spool/flights" 2>/dev/null | wc -l)"
+  if (( flight_rc != 0 )) || [[ "$flight_done" != 3 || "$flight_failed" != 0 ]]; then
+    echo "FAIL  [svc:svc.flight:count=0] exit $flight_rc," \
+         "$flight_done done / $flight_failed failed (telemetry fault must not" \
+         "touch jobs): $flight_out" >&2
+    FAILURES=$((FAILURES + 1))
+  elif [[ "$flight_files" != 0 ]]; then
+    echo "FAIL  [svc:svc.flight:count=0] $flight_files flight file(s) written" \
+         "despite the armed fault" >&2
+    FAILURES=$((FAILURES + 1))
+  elif ! grep -q "telemetry degraded" <<<"$flight_out"; then
+    echo "FAIL  [svc:svc.flight:count=0] degradation never reported: $flight_out" >&2
+    FAILURES=$((FAILURES + 1))
+  else
+    echo "ok    [svc:svc.flight:count=0] 3 done, 0 flight files, degradation reported"
+  fi
+  rm -rf "$flight_spool"
 else
   echo "fault_sweep: skipping svc cases ($CALS_SERVE not built)" >&2
 fi

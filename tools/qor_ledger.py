@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""QoR drift ledger (DESIGN.md §13): append-only JSONL history of quality-
+of-results figures, with a drift check against the committed baseline.
+
+Rows come from two sources:
+  * flight records (spool/flights/*.flight.json, see src/svc/flight.hpp):
+    the per-job QoR figures — cells, area, wirelength, violations, critical
+    path, rows. Keyed by the job's name, so CI submits with stable --name.
+  * BENCH JSON files (BENCH_serve.json, BENCH_scaling.json, ...): every
+    numeric leaf, flattened to dotted paths. Keyed by file basename.
+
+Each ledger row:  {"source": ..., "kind": "flight"|"bench", "metrics": {...}}
+New rows for a source supersede old ones (the history stays in the file).
+
+`check` compares fresh inputs against each source's latest ledger row:
+  * QoR metrics must match to --rel-tol (default 1e-6 — the repo's
+    determinism contract makes QoR bit-identical across machines and thread
+    counts, so any real drift is a synthesis change, not noise);
+  * perf metrics (names matching ms / seconds / wall / jobs_per_s / speedup
+    / _us) are machine-dependent and are reported but never enforced.
+
+Usage:
+    qor_ledger.py append --ledger QOR_LEDGER.jsonl [--flight F...] [--bench B...]
+    qor_ledger.py check  --ledger QOR_LEDGER.jsonl [--flight F...] [--bench B...]
+                         [--rel-tol 1e-6] [--allow-new]
+
+Exit 0 when every checked metric is within tolerance (or on append), 1 on
+drift, a missing baseline (unless --allow-new), or malformed input.
+"""
+import argparse
+import json
+import re
+import sys
+
+PERF_METRIC = re.compile(
+    r"(^|[._])(ms|seconds|wall(_s)?|jobs_per_s|speedup|us)([._]|$)|_ms$|_s$|_us$")
+
+# QoR figures lifted from a flight record: deterministic by the repo's
+# bit-identical contract, so they drift only when synthesis behavior changes.
+FLIGHT_QOR_KEYS = (
+    "k_factor", "num_cells", "cell_area_um2", "wirelength_um",
+    "routing_violations", "routable", "critical_path_ns", "num_rows",
+)
+
+
+def fail(message: str) -> None:
+    print(f"qor_ledger: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def is_perf_metric(name: str) -> bool:
+    return PERF_METRIC.search(name) is not None
+
+
+def flatten(prefix: str, value, out: dict) -> None:
+    """Numeric leaves of a JSON document as dotted-path -> float."""
+    if isinstance(value, bool):
+        out[prefix] = float(value)
+    elif isinstance(value, (int, float)):
+        out[prefix] = float(value)
+    elif isinstance(value, dict):
+        for key, child in value.items():
+            flatten(f"{prefix}.{key}" if prefix else key, child, out)
+    elif isinstance(value, list):
+        for i, child in enumerate(value):
+            flatten(f"{prefix}.{i}", child, out)
+    # strings and nulls carry no QoR signal
+
+
+def load_json(path: str):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+
+def row_from_flight(path: str) -> dict:
+    doc = load_json(path)
+    if doc.get("schema") != "cals-flight-v1":
+        fail(f"{path}: not a flight record (schema {doc.get('schema')!r})")
+    if doc.get("state") != "done":
+        fail(f"{path}: ledger rows need a done job, got '{doc.get('state')}'")
+    name = doc.get("name") or path
+    metrics = {}
+    for key in FLIGHT_QOR_KEYS:
+        if key in doc:
+            metrics[key] = float(doc[key])
+    # Perf figures ride along for the record but are never enforced.
+    for key in ("queue_seconds", "exec_seconds", "map_seconds",
+                "place_seconds", "route_seconds", "sta_seconds"):
+        if key in doc:
+            metrics[key] = float(doc[key])
+    return {"source": f"flight:{name}", "kind": "flight", "metrics": metrics}
+
+
+def row_from_bench(path: str) -> dict:
+    doc = load_json(path)
+    metrics: dict = {}
+    flatten("", doc, metrics)
+    if not metrics:
+        fail(f"{path}: no numeric metrics found")
+    basename = path.rsplit("/", 1)[-1]
+    return {"source": f"bench:{basename}", "kind": "bench", "metrics": metrics}
+
+
+def collect_rows(args) -> list:
+    rows = [row_from_flight(p) for p in args.flight]
+    rows += [row_from_bench(p) for p in args.bench]
+    if not rows:
+        fail("nothing to process: give --flight and/or --bench inputs")
+    return rows
+
+
+def read_ledger(path: str) -> dict:
+    """source -> latest row. Missing file is an empty ledger."""
+    latest: dict = {}
+    try:
+        with open(path) as f:
+            for line_no, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                except json.JSONDecodeError as e:
+                    fail(f"{path}:{line_no}: bad ledger row: {e}")
+                if "source" not in row or "metrics" not in row:
+                    fail(f"{path}:{line_no}: row missing source/metrics")
+                latest[row["source"]] = row
+    except FileNotFoundError:
+        pass
+    return latest
+
+
+def cmd_append(args) -> None:
+    rows = collect_rows(args)
+    with open(args.ledger, "a") as f:
+        for row in rows:
+            f.write(json.dumps(row, sort_keys=True) + "\n")
+    print(f"qor_ledger: appended {len(rows)} row(s) to {args.ledger}")
+
+
+def cmd_check(args) -> None:
+    rows = collect_rows(args)
+    baseline = read_ledger(args.ledger)
+    drifted = 0
+    checked = 0
+    for row in rows:
+        base = baseline.get(row["source"])
+        if base is None:
+            if args.allow_new:
+                print(f"qor_ledger: NEW   {row['source']} (no baseline row)")
+                continue
+            fail(f"{row['source']}: no baseline in {args.ledger} "
+                 "(append it, or pass --allow-new)")
+        for name, value in sorted(row["metrics"].items()):
+            if name not in base["metrics"]:
+                continue  # schema growth: new metrics start untracked
+            expected = float(base["metrics"][name])
+            if is_perf_metric(name):
+                continue  # machine-dependent: recorded, never enforced
+            checked += 1
+            scale = max(abs(expected), abs(value), 1e-30)
+            if abs(value - expected) / scale > args.rel_tol:
+                drifted += 1
+                print(f"qor_ledger: DRIFT {row['source']} {name}: "
+                      f"{expected:.17g} -> {value:.17g}", file=sys.stderr)
+    if drifted:
+        fail(f"{drifted} metric(s) drifted beyond rel-tol {args.rel_tol:g} "
+             f"({checked} checked)")
+    print(f"qor_ledger: OK: {checked} QoR metric(s) within rel-tol "
+          f"{args.rel_tol:g} across {len(rows)} source(s)")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, func in (("append", cmd_append), ("check", cmd_check)):
+        p = sub.add_parser(name)
+        p.add_argument("--ledger", required=True)
+        p.add_argument("--flight", nargs="*", default=[],
+                       help="flight record JSON files")
+        p.add_argument("--bench", nargs="*", default=[],
+                       help="BENCH_*.json files")
+        p.set_defaults(func=func)
+        if name == "check":
+            p.add_argument("--rel-tol", type=float, default=1e-6)
+            p.add_argument("--allow-new", action="store_true",
+                           help="tolerate sources with no baseline row")
+    args = parser.parse_args()
+    args.func(args)
+
+
+if __name__ == "__main__":
+    main()
