@@ -168,6 +168,18 @@ FlowResult DesignContext::run_checked(const FlowOptions& options) const {
   if (options.on_error == ErrorPolicy::kBestEffort) {
     try {
       result.run = run_impl(options, &result);
+    } catch (const CancelledError& e) {
+      // Cooperative stop, not a failure of the flow itself: surface the
+      // typed status (kCancelled / kDeadlineExceeded) with the progress
+      // made, so the service can distinguish "told to stop" from "broke".
+      const std::uint32_t in_phase = std::min(result.phases_completed, kNumFlowPhases - 1);
+      const std::string message =
+          strprintf("flow: %s in %s phase", e.what(),
+                    flow_phase_name(static_cast<FlowPhase>(in_phase)));
+      result.status = e.cause() == CancelCause::kDeadlineExceeded
+                          ? Status::deadline_exceeded(message)
+                          : Status::cancelled(message);
+      CALS_OBS_COUNT("flow.cancelled", 1);
     } catch (const std::exception& e) {
       // Artifacts of the failing phase are discarded (they may be half
       // built); phases_completed still reports the progress made.
@@ -232,6 +244,17 @@ FlowRun DesignContext::run_impl(const FlowOptions& options, FlowResult* checked)
     return false;
   };
 
+  // Phase-boundary cancellation checkpoint. Only a non-null token pays
+  // anything (one relaxed load); the `flow.cancel` fault point lets
+  // fault_sweep.sh exercise the unwind path — its kFail action simulates an
+  // explicit cancel, its default throw action a mid-phase crash.
+  const auto checkpoint = [&options] {
+    if (options.cancel == nullptr) return;
+    if (CALS_FAULT_POINT("flow.cancel"))
+      throw CancelledError(CancelCause::kCancelled);
+    cancel_point(options.cancel);
+  };
+
   // The run's worker pool, shared by every phase that parallelizes (cached
   // mapping, FM placement, rip-up routing). The share for num_threads=0 was
   // claimed by in_flight under the ledger lock; nullptr means pure serial.
@@ -243,11 +266,13 @@ FlowRun DesignContext::run_impl(const FlowOptions& options, FlowResult* checked)
   {
     CALS_TRACE_SCOPE("flow.map");
     CALS_FAULT_POINT("flow.map");
+    checkpoint();
     CoverOptions cover_options;
     cover_options.K = options.K;
     cover_options.objective = options.objective;
     cover_options.metric = options.metric;
     cover_options.transitive_wire_cost = options.transitive_wire_cost;
+    cover_options.cancel = options.cancel;
     if (options.use_match_cache) {
       const std::shared_ptr<const MatchDatabase> db =
           match_database(options.partition, options.metric, pool);
@@ -270,9 +295,12 @@ FlowRun DesignContext::run_impl(const FlowOptions& options, FlowResult* checked)
   {
     CALS_TRACE_SCOPE("flow.place");
     CALS_FAULT_POINT("flow.place");
+    checkpoint();
     run.binding = run.map.netlist.lower(floorplan_);
     if (options.replace_mapped) {
-      run.placement = global_place(run.binding.graph, floorplan_, options.place, pool);
+      PlaceOptions place_options = options.place;
+      place_options.cancel = options.cancel;
+      run.placement = global_place(run.binding.graph, floorplan_, place_options, pool);
     } else {
       // The paper's incremental update: instances sit at the center of mass of
       // the base gates they cover; legalization resolves overlaps.
@@ -293,10 +321,12 @@ FlowRun DesignContext::run_impl(const FlowOptions& options, FlowResult* checked)
   {
     CALS_TRACE_SCOPE("flow.route");
     CALS_FAULT_POINT("flow.route");
+    checkpoint();
     RoutingGrid grid(floorplan_, options.rgrid);
     RouteOptions route_options = options.route;
     if (options.max_route_iters != 0)
       route_options.max_rrr_iterations = options.max_route_iters;
+    route_options.cancel = options.cancel;
     run.route = route(grid, run.binding.graph, run.placement, route_options, pool);
     const CongestionMap congestion_map(grid);
     run.congestion = congestion_map.stats();
@@ -309,7 +339,8 @@ FlowRun DesignContext::run_impl(const FlowOptions& options, FlowResult* checked)
   {
     CALS_TRACE_SCOPE("flow.sta");
     CALS_FAULT_POINT("flow.sta");
-    run.sta = run_sta(run.map.netlist, run.binding, run.route);
+    checkpoint();
+    run.sta = run_sta(run.map.netlist, run.binding, run.route, options.cancel);
   }
   run.metrics.sta_seconds = phase_timer.seconds();
   run.metrics.pd_seconds = timer.seconds();

@@ -92,6 +92,16 @@ struct FlowOptions {
   /// Exception policy for run_checked / congestion_aware_flow. Plain run()
   /// always propagates.
   ErrorPolicy on_error = ErrorPolicy::kPropagate;
+  /// Cooperative cancellation + deadline token (util/cancel.hpp), polled at
+  /// phase boundaries and inside each phase's iteration loop (mapper DP
+  /// waves, placer bisection levels, router rip-up iterations, STA
+  /// propagation). A fired token unwinds as CancelledError; run_checked
+  /// under kBestEffort maps it to the typed kCancelled /
+  /// kDeadlineExceeded status with the partial artifacts built so far.
+  /// Not owned; null (the default) is checked with a single branch — the
+  /// no-token path is bit-identical to the seed flow, and the field is
+  /// excluded from content keys and wire formats.
+  const CancelToken* cancel = nullptr;
   PlaceOptions place;
   RouteOptions route;
   RGridOptions rgrid;

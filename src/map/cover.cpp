@@ -370,6 +370,8 @@ std::vector<VertexCover> cover_forest(const BaseNetwork& net, const SubjectFores
   if (pool == nullptr || pool->num_workers() <= 1) {
     CoverTally tally;
     for (std::uint32_t i = 0; i < net.num_nodes(); ++i) {
+      // Cancellation checkpoint, amortized over the hot DP loop.
+      if ((i & 4095u) == 0u) cancel_point(options.cancel);
       const NodeId v{i};
       if (!forest.in_tree(v)) continue;
       ++tally.vertices;
@@ -386,6 +388,9 @@ std::vector<VertexCover> cover_forest(const BaseNetwork& net, const SubjectFores
   const std::size_t num_waves =
       matches.wave_first.size() == 0 ? 0 : matches.wave_first.size() - 1;
   for (std::size_t w = 0; w < num_waves; ++w) {
+    // Checkpoint between waves (the serial driver thread — a throw here
+    // never crosses a pool-task boundary).
+    cancel_point(options.cancel);
     ThreadPool::parallel_for(pool, matches.wave_first[w], matches.wave_first[w + 1], 32,
                              [&](std::size_t lo, std::size_t hi) {
                                CoverTally tally;

@@ -24,6 +24,7 @@
 #include "map/matcher.hpp"
 #include "map/partition.hpp"
 #include "netlist/base_network.hpp"
+#include "util/cancel.hpp"
 #include "util/thread_pool.hpp"
 #include "util/vec_view.hpp"
 
@@ -54,6 +55,10 @@ struct CoverOptions {
   double wire_delay_ns_per_um = 0.0016;
   /// Load estimate per fanout pin for the delay objective (fF).
   double est_sink_cap_ff = 3.0;
+  /// Cooperative cancellation, polled between DP waves (and every few
+  /// thousand vertices on the serial path). Not owned; null = never
+  /// cancelled.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Per-vertex result of the covering DP.

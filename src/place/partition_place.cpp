@@ -453,6 +453,9 @@ Placement global_place(const PlaceGraph& graph, const Floorplan& floorplan,
   const double min_dim = std::min(floorplan.row_height(), floorplan.site_width() * 4);
   std::vector<std::uint32_t> live_sig;
   while (!level.empty()) {
+    // Cancellation checkpoint once per bisection level (the serial driver;
+    // the per-region FM work below may fan out to the pool).
+    cancel_point(options.cancel);
     std::vector<Region> next;
 
     // Pre-draw the BFS seed for every splittable region in level order —

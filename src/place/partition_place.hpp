@@ -13,6 +13,7 @@
 
 #include "place/layout.hpp"
 #include "place/placement.hpp"
+#include "util/cancel.hpp"
 
 namespace cals {
 
@@ -27,6 +28,10 @@ struct PlaceOptions {
   double balance_tolerance = 0.1;
   /// Seed for deterministic tie-breaking.
   std::uint64_t seed = 1;
+  /// Cooperative cancellation, polled at bisection-level boundaries
+  /// (util/cancel.hpp). Not owned; null = never cancelled. Excluded from
+  /// content keys and wire formats — a runtime control, not a result knob.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Places all movable objects inside the die; fixed objects keep their

@@ -423,6 +423,10 @@ class Router {
     for (std::uint32_t iter = 0; iter < options_.max_rrr_iterations; ++iter) {
       const std::uint64_t overflow = total_overflow_;
       if (overflow == 0) break;
+      // Cancellation checkpoint: one relaxed load per iteration on the
+      // serial driver (never inside the parallel drain) — a fired token
+      // unwinds mid-route within one rip-up iteration.
+      cancel_point(options_.cancel);
       // Cooperative fault point: a kFail injection stops rip-up while
       // overflow remains, forcing a non-converged (Infeasible) result.
       if (CALS_FAULT_POINT("route.ripup")) break;

@@ -14,6 +14,7 @@
 #include "place/placement.hpp"
 #include "route/rgrid.hpp"
 #include "route/steiner.hpp"
+#include "util/cancel.hpp"
 
 namespace cals {
 
@@ -28,6 +29,9 @@ struct RouteOptions {
   double history_increment = 0.6;
   /// Maze-search bounding-box margin in gcells (grows per iteration).
   std::int32_t bbox_margin = 8;
+  /// Cooperative cancellation, polled at rip-up iteration boundaries
+  /// (util/cancel.hpp). Not owned; null = never cancelled (the seed path).
+  const CancelToken* cancel = nullptr;
 };
 
 struct RoutedNet {

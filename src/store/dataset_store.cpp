@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "store/blob.hpp"
+#include "util/io.hpp"
 #include "util/strings.hpp"
 
 namespace cals::store {
@@ -47,6 +48,15 @@ bool parse_dataset_filename(const std::string& name, std::string* key,
 }  // namespace
 
 void DatasetStore::refresh() {
+  {
+    // Startup hygiene, once: a packer killed between write and rename
+    // leaves "<blob>.tmp" debris that would otherwise sit forever.
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!swept_tmp_) {
+      swept_tmp_ = true;
+      remove_stale_tmp_files(dir_);
+    }
+  }
   // Pass 1: enumerate the highest on-disk version per key (no IO beyond the
   // directory listing, no lock).
   struct Candidate {

@@ -37,7 +37,8 @@ class DatasetStore {
 
   /// Scans the directory and (re)loads every key whose highest on-disk
   /// version is newer than the served one. Safe to call concurrently with
-  /// acquire(); IO happens outside the lock.
+  /// acquire(); IO happens outside the lock. The first refresh also sweeps
+  /// stale `*.tmp` debris a crashed packer left in the directory.
   void refresh();
 
   /// The currently served dataset for `key`, or nullptr. The returned handle
@@ -51,6 +52,7 @@ class DatasetStore {
  private:
   std::string dir_;
   mutable std::mutex mutex_;
+  bool swept_tmp_ = false;  ///< one-shot startup-hygiene flag
   std::map<std::string, std::shared_ptr<const LoadedDataset>> datasets_;
   Stats stats_;
 };

@@ -84,6 +84,8 @@ FlightRecord flight_from_record(const JobRecord& record) {
   f.cache_hit = o.cache_hit;
   f.coalesced = o.coalesced;
   f.dataset = o.dataset;
+  f.attempts = o.attempts;
+  f.retries_exhausted = o.retries_exhausted;
   f.status_code = error_code_token(o.status.code());
   f.status_message = o.status.message();
 
@@ -134,6 +136,8 @@ std::string flight_record_to_json(const FlightRecord& f) {
   w.field("coalesced", f.coalesced);
   w.field("dataset", f.dataset);
   w.field("dataset_version", f.dataset_version);
+  w.field("attempts", f.attempts);
+  w.field("retries_exhausted", f.retries_exhausted);
   w.field("status", f.status_code);
   w.field("message", f.status_message);
   w.field("map_seconds", f.map_seconds);
@@ -187,6 +191,8 @@ Result<FlightRecord> flight_record_from_json(std::string_view text) {
   get_bool(obj, "coalesced", f.coalesced);
   get_bool(obj, "dataset", f.dataset);
   get_u64(obj, "dataset_version", f.dataset_version);
+  get_u32(obj, "attempts", f.attempts);
+  get_bool(obj, "retries_exhausted", f.retries_exhausted);
   get_string(obj, "status", f.status_code);
   get_string(obj, "message", f.status_message);
   get_double(obj, "map_seconds", f.map_seconds);

@@ -60,6 +60,8 @@ struct FlightRecord {
   bool coalesced = false;
   bool dataset = false;             ///< served from a precompiled dataset blob
   std::uint64_t dataset_version = 0;  ///< pack version of that blob (0 = none)
+  std::uint32_t attempts = 0;       ///< execution attempts consumed (0 = none ran)
+  bool retries_exhausted = false;   ///< failed with the attempt cap burned through
 
   // ---- status --------------------------------------------------------------
   std::string status_code = "ok";  ///< error_code_token spelling

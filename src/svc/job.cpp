@@ -48,6 +48,8 @@ const char* error_code_token(ErrorCode code) {
     case ErrorCode::kInfeasible: return "infeasible";
     case ErrorCode::kBudgetExceeded: return "budget_exceeded";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kCancelled: return "cancelled";
+    case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
   }
   return "internal";
 }
@@ -59,6 +61,8 @@ bool error_code_from_token(const std::string& token, ErrorCode& out) {
   else if (token == "infeasible") out = ErrorCode::kInfeasible;
   else if (token == "budget_exceeded") out = ErrorCode::kBudgetExceeded;
   else if (token == "internal") out = ErrorCode::kInternal;
+  else if (token == "cancelled") out = ErrorCode::kCancelled;
+  else if (token == "deadline_exceeded") out = ErrorCode::kDeadlineExceeded;
   else return false;
   return true;
 }
@@ -180,6 +184,10 @@ std::string job_spec_to_json(const JobSpec& spec) {
   w.field("r_present", spec.options.route.present_penalty);
   w.field("r_history", spec.options.route.history_increment);
   w.field("r_bbox", static_cast<std::int64_t>(spec.options.route.bbox_margin));
+  // Robustness knobs (scheduling policy — NOT in either content key).
+  w.field("max_attempts", spec.max_attempts);
+  w.field("deadline_s", spec.deadline_s);
+  w.field("attempt_base", spec.attempt_base);
   return std::move(w).finish();
 }
 
@@ -242,6 +250,11 @@ Result<JobSpec> job_spec_from_json(std::string_view text) {
   get_double(obj, "r_present", spec.options.route.present_penalty);
   get_double(obj, "r_history", spec.options.route.history_increment);
   get_i32(obj, "r_bbox", spec.options.route.bbox_margin);
+  get_u32(obj, "max_attempts", spec.max_attempts);
+  get_double(obj, "deadline_s", spec.deadline_s);
+  if (spec.deadline_s < 0.0)
+    return Status::parse_error("job: 'deadline_s' must be >= 0");
+  get_u32(obj, "attempt_base", spec.attempt_base);
   return spec;
 }
 
@@ -300,6 +313,8 @@ std::string job_outcome_to_json(const JobOutcome& outcome) {
   w.field("dataset", outcome.dataset);
   w.field("queue_seconds", outcome.queue_seconds);
   w.field("exec_seconds", outcome.exec_seconds);
+  w.field("attempts", outcome.attempts);
+  w.field("retries_exhausted", outcome.retries_exhausted);
   append_metrics_fields(w, outcome.metrics);
   return std::move(w).finish();
 }
@@ -323,6 +338,8 @@ Result<JobOutcome> job_outcome_from_json(std::string_view text) {
   get_bool(obj, "dataset", outcome.dataset);
   get_double(obj, "queue_seconds", outcome.queue_seconds);
   get_double(obj, "exec_seconds", outcome.exec_seconds);
+  get_u32(obj, "attempts", outcome.attempts);
+  get_bool(obj, "retries_exhausted", outcome.retries_exhausted);
   outcome.metrics = metrics_from_json(obj);
   return outcome;
 }

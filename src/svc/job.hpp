@@ -30,8 +30,10 @@ using JobId = std::uint64_t;
 enum class DesignFormat : std::uint8_t { kPla, kBlif };
 const char* design_format_name(DesignFormat format);
 
-/// queued -> running -> done | failed, with cancelled reachable only from
-/// queued (running jobs are never preempted; see DESIGN.md §10).
+/// queued -> running -> done | failed | cancelled. Cancellation reaches
+/// running jobs cooperatively (a fired CancelToken unwinds the flow at the
+/// next phase/iteration boundary — DESIGN.md §14); a retryable failure
+/// moves a running job back to queued until its attempt cap.
 enum class JobState : std::uint8_t { kQueued, kRunning, kDone, kFailed, kCancelled };
 const char* job_state_name(JobState state);
 
@@ -46,6 +48,16 @@ struct JobSpec {
   double util = 0.6;                   ///< target utilization when rows == 0
   std::int32_t priority = 0;           ///< higher runs first; FIFO within a level
   FlowOptions options;                 ///< K, partition, objective, guardrails, ...
+  // ---- serving-layer robustness knobs (DESIGN.md §14) ----------------------
+  // Scheduling policy, not result-determining: all three cross the wire but
+  // are excluded from the content keys (canonical_job_options enumerates its
+  // fields explicitly), so a retried or deadline-bounded job still shares
+  // cache entries with its plain twin.
+  std::uint32_t max_attempts = 1;  ///< execution-attempt cap (1 = no retry);
+                                   ///< the service default can raise it
+  double deadline_s = 0.0;         ///< per-attempt execution deadline; 0 = none
+  std::uint32_t attempt_base = 0;  ///< attempts already consumed before this
+                                   ///< admission (crash-orphan recovery)
 };
 
 /// Terminal result of a job: the service-level Status plus the metrics of
@@ -64,6 +76,13 @@ struct JobOutcome {
   bool dataset = false;
   double queue_seconds = 0.0;  ///< submit -> dispatch
   double exec_seconds = 0.0;   ///< dispatch -> terminal (0 for coalesced jobs)
+  /// Execution attempts consumed (incl. crash-orphan attempts carried via
+  /// JobSpec::attempt_base). 0 = nothing ever dispatched (coalesced /
+  /// cancelled-while-queued records).
+  std::uint32_t attempts = 0;
+  /// True when a retryable failure burned through the attempt cap — the
+  /// serve layer's quarantine trigger.
+  bool retries_exhausted = false;
 };
 
 /// Everything the service knows about one submission. Snapshot semantics:

@@ -1,0 +1,319 @@
+#include "svc/journal.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "svc/json.hpp"
+#include "util/faults.hpp"
+#include "util/io.hpp"
+#include "util/log.hpp"
+#include "util/obs.hpp"
+#include "util/strings.hpp"
+
+namespace cals::svc {
+namespace fs = std::filesystem;
+namespace {
+
+/// Compact once this many bytes accumulate past the last rewrite. Small
+/// enough that a long-lived server's journal stays a few screens of JSONL,
+/// large enough that compaction is rare next to job traffic.
+constexpr std::uint64_t kCompactThresholdBytes = 1u << 20;
+
+bool journal_event_from_name(const std::string& name, JournalEvent& out) {
+  if (name == "accepted") out = JournalEvent::kAccepted;
+  else if (name == "dispatched") out = JournalEvent::kDispatched;
+  else if (name == "retry") out = JournalEvent::kRetry;
+  else if (name == "terminal") out = JournalEvent::kTerminal;
+  else if (name == "published") out = JournalEvent::kPublished;
+  else if (name == "recovered") out = JournalEvent::kRecovered;
+  else return false;
+  return true;
+}
+
+bool job_state_from_name(const std::string& name, JobState& out) {
+  if (name == "queued") out = JobState::kQueued;
+  else if (name == "running") out = JobState::kRunning;
+  else if (name == "done") out = JobState::kDone;
+  else if (name == "failed") out = JobState::kFailed;
+  else if (name == "cancelled") out = JobState::kCancelled;
+  else return false;
+  return true;
+}
+
+std::string entry_line(const std::string& stem, JournalEvent event,
+                       std::uint32_t attempt, JobState state,
+                       const std::string& payload) {
+  JsonObjectWriter w;
+  w.field("stem", stem);
+  w.field("event", journal_event_name(event));
+  w.field("attempt", attempt);
+  if (event == JournalEvent::kTerminal) {
+    w.field("state", job_state_name(state));
+    // The result-record bytes ride as an escaped string value — the flat
+    // codec has no nesting, and recovery wants the exact bytes anyway.
+    w.field("payload", payload);
+  }
+  // JSONL discipline: one entry = one physical line, so replay can recover
+  // from a torn tail by dropping the last line. The writer pretty-prints
+  // across lines but escapes every newline *inside* values, so flattening
+  // its formatting whitespace is lossless.
+  std::string line = std::move(w).finish();
+  for (char& c : line)
+    if (c == '\n') c = ' ';
+  return line;
+}
+
+}  // namespace
+
+const char* journal_event_name(JournalEvent event) {
+  switch (event) {
+    case JournalEvent::kAccepted: return "accepted";
+    case JournalEvent::kDispatched: return "dispatched";
+    case JournalEvent::kRetry: return "retry";
+    case JournalEvent::kTerminal: return "terminal";
+    case JournalEvent::kPublished: return "published";
+    case JournalEvent::kRecovered: return "recovered";
+  }
+  return "?";
+}
+
+JobJournal::JobJournal(const fs::path& dir) : path_(dir / "journal.jsonl") {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec || !fs::is_directory(dir)) {
+    CALS_WARN("journal degraded: cannot create directory '%s'",
+              dir.string().c_str());
+    return;
+  }
+  usable_ = true;
+  remove_stale_tmp_files(dir);
+
+  // Replay any existing file into live_. A torn final line (crash
+  // mid-append) or any other unparsable line is skipped, not fatal.
+  Result<std::string> body = read_file_string(path_.string());
+  if (!body.ok()) return;  // no journal yet — fresh spool
+  std::istringstream lines(body.value());
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    Result<JsonObject> parsed = parse_json_object(line);
+    if (!parsed.ok()) continue;
+    std::string stem, event_name, state_name, payload;
+    std::uint32_t attempt = 0;
+    JournalEvent event = JournalEvent::kAccepted;
+    JobState state = JobState::kQueued;
+    if (!get_string(*parsed, "stem", stem) || stem.empty()) continue;
+    if (!get_string(*parsed, "event", event_name) ||
+        !journal_event_from_name(event_name, event))
+      continue;
+    get_u32(*parsed, "attempt", attempt);
+    if (get_string(*parsed, "state", state_name))
+      job_state_from_name(state_name, state);
+    get_string(*parsed, "payload", payload);
+    fold_locked(stem, event, attempt, state, std::move(payload));
+  }
+  appended_bytes_ = static_cast<std::uint64_t>(body.value().size());
+}
+
+bool JobJournal::usable() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return usable_;
+}
+
+std::uint64_t JobJournal::errors() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return errors_;
+}
+
+void JobJournal::fold_locked(const std::string& stem, JournalEvent event,
+                             std::uint32_t attempt, JobState state,
+                             std::string payload) {
+  if (event == JournalEvent::kPublished) {
+    live_.erase(stem);
+    return;
+  }
+  JournalJobState& job = live_[stem];
+  job.attempts = std::max(job.attempts, attempt);
+  job.last = event;
+  if (event == JournalEvent::kTerminal) {
+    job.state = state;
+    job.payload = std::move(payload);
+  }
+}
+
+void JobJournal::append_locked(const std::string& stem, JournalEvent event,
+                               std::uint32_t attempt, JobState state,
+                               const std::string& payload) {
+  fold_locked(stem, event, attempt, state, payload);
+  if (!usable_) return;
+  const std::string line = entry_line(stem, event, attempt, state, payload);
+  try {
+    // The probe + the write share one degradation path: journal loss is a
+    // warning and a counter, never a serving failure (fault_sweep.sh pins
+    // this with `svc.journal:count=0`).
+    if (CALS_FAULT_POINT("svc.journal"))
+      throw std::runtime_error("svc.journal fault injected");
+    std::ofstream out(path_, std::ios::binary | std::ios::app);
+    if (!out.good()) throw std::runtime_error("cannot open journal for append");
+    out << line << '\n';
+    out.flush();
+    if (!out.good()) throw std::runtime_error("short journal append");
+  } catch (const std::exception& e) {
+    ++errors_;
+    CALS_OBS_COUNT("svc.journal.errors", 1);
+    CALS_WARN("journal degraded: %s", e.what());
+    return;
+  }
+  appended_bytes_ += line.size() + 1;
+  if (appended_bytes_ >= kCompactThresholdBytes) compact_locked();
+}
+
+void JobJournal::record_accepted(const std::string& stem,
+                                 std::uint32_t attempt_base) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  append_locked(stem, JournalEvent::kAccepted, attempt_base, JobState::kQueued,
+                {});
+}
+
+void JobJournal::record_dispatched(const std::string& stem,
+                                   std::uint32_t attempt) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  append_locked(stem, JournalEvent::kDispatched, attempt, JobState::kRunning,
+                {});
+}
+
+void JobJournal::record_retry(const std::string& stem, std::uint32_t attempt) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  append_locked(stem, JournalEvent::kRetry, attempt, JobState::kQueued, {});
+}
+
+void JobJournal::record_terminal(const std::string& stem, std::uint32_t attempt,
+                                 JobState state,
+                                 const std::string& result_json) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  append_locked(stem, JournalEvent::kTerminal, attempt, state, result_json);
+}
+
+void JobJournal::record_published(const std::string& stem) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  append_locked(stem, JournalEvent::kPublished, 0, JobState::kDone, {});
+}
+
+void JobJournal::record_recovered(const std::string& stem,
+                                  std::uint32_t attempts) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  append_locked(stem, JournalEvent::kRecovered, attempts, JobState::kQueued,
+                {});
+}
+
+std::map<std::string, JournalJobState> JobJournal::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return live_;
+}
+
+void JobJournal::compact() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  compact_locked();
+}
+
+void JobJournal::compact_locked() {
+  if (!usable_) return;
+  std::string body;
+  for (const auto& [stem, job] : live_) {
+    // One baseline line per live stem preserves everything replay needs:
+    // terminal entries keep their payload, everything else folds to a
+    // recovered line carrying the consumed-attempt count.
+    if (job.last == JournalEvent::kTerminal)
+      body += entry_line(stem, JournalEvent::kTerminal, job.attempts, job.state,
+                         job.payload);
+    else
+      body += entry_line(stem, JournalEvent::kRecovered, job.attempts,
+                         JobState::kQueued, {});
+    body += '\n';
+  }
+  const fs::path tmp = path_.string() + ".tmp";
+  try {
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (!out.good()) throw std::runtime_error("cannot open journal tmp");
+      out << body;
+      out.flush();
+      if (!out.good()) throw std::runtime_error("short journal compaction");
+    }
+    std::error_code ec;
+    fs::rename(tmp, path_, ec);
+    if (ec) throw std::runtime_error("cannot rename compacted journal");
+  } catch (const std::exception& e) {
+    ++errors_;
+    CALS_OBS_COUNT("svc.journal.errors", 1);
+    CALS_WARN("journal degraded: %s", e.what());
+    return;
+  }
+  appended_bytes_ = static_cast<std::uint64_t>(body.size());
+}
+
+RecoveryReport recover_spool(const SpoolPaths& spool, JobJournal& journal,
+                             const RecoveryOptions& options) {
+  RecoveryReport report;
+  const fs::path journal_dir = journal.path().parent_path();
+  for (const fs::path& dir : {spool.incoming, spool.done, spool.failed,
+                              spool.flights, spool.quarantine, journal_dir})
+    report.stale_tmp += remove_stale_tmp_files(dir, options.tmp_min_age_seconds);
+
+  for (const auto& [stem, job] : journal.snapshot()) {
+    const fs::path incoming_file = spool.incoming / (stem + ".json");
+    std::error_code ec;
+    const bool have_incoming = fs::exists(incoming_file, ec) && !ec;
+
+    if (job.last == JournalEvent::kTerminal && !job.payload.empty()) {
+      // The outcome is already decided — the crash only lost the publish
+      // rename. Replay the journaled bytes; the flow never re-runs.
+      if (spool_publish_result_json(spool, stem, job.state, job.payload)) {
+        if (have_incoming) fs::remove(incoming_file, ec);
+        journal.record_published(stem);
+        ++report.republished;
+      }
+      continue;
+    }
+
+    if (!have_incoming) {
+      // Journal says live but the job file is gone (operator cleanup, or a
+      // pre-journal spool). Nothing can run it again — drop the entry.
+      journal.record_published(stem);
+      continue;
+    }
+
+    const bool orphan = job.last == JournalEvent::kDispatched;
+    // A dispatched attempt that never reached terminal died with the
+    // process — it is consumed. Queued stems (accepted/retry/recovered)
+    // carry their count forward untouched.
+    const std::uint32_t consumed = job.attempts;
+    if (orphan && options.max_attempts > 0 && consumed >= options.max_attempts) {
+      JsonObjectWriter diag;
+      diag.field("stem", stem);
+      diag.field("attempts", consumed);
+      diag.field("max_attempts", options.max_attempts);
+      diag.field("reason", "attempt cap exhausted across crash recoveries");
+      if (spool_quarantine_job(spool, stem, std::move(diag).finish())) {
+        journal.record_published(stem);
+        ++report.quarantined;
+        CALS_OBS_COUNT("svc.quarantined", 1);
+        CALS_WARN("recovery: quarantined poison job '%s' after %u attempts",
+                  stem.c_str(), static_cast<unsigned>(consumed));
+      }
+      continue;
+    }
+
+    report.attempt_base[stem] = consumed;
+    journal.record_recovered(stem, consumed);
+    if (orphan) {
+      ++report.orphans;
+      CALS_OBS_COUNT("svc.orphans_recovered", 1);
+    }
+  }
+  journal.compact();
+  return report;
+}
+
+}  // namespace cals::svc

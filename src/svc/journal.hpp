@@ -1,0 +1,137 @@
+#pragma once
+/// \file journal.hpp
+/// `cals::svc` write-ahead job journal + crash recovery (DESIGN.md §14).
+///
+/// The serve loop records every job state transition — accepted,
+/// dispatched (per attempt), retry, terminal, published — as one flat-JSON
+/// line appended to `<spool>/journal/journal.jsonl` and flushed before the
+/// transition takes effect. On restart, replaying the journal against the
+/// spool reconstructs exactly where every job was when the process died:
+///
+///   accepted/retry, file present     -> still queued; readmit with its
+///                                       consumed-attempt count carried over
+///   dispatched (no terminal)         -> ORPHAN: the crash took the attempt
+///                                       with it; re-enqueue with attempt
+///                                       count bumped, or quarantine once
+///                                       the cap is exhausted
+///   terminal (no published)          -> result computed but not yet on
+///                                       disk; the terminal entry embeds the
+///                                       full result-record JSON, so recovery
+///                                       republishes the bytes WITHOUT
+///                                       re-running the flow (exactly-once)
+///   published                        -> fully resolved; entry is garbage
+///
+/// The journal is an availability aid, never a correctness gate: every
+/// write is wrapped so an I/O failure (or an armed `svc.journal` fault)
+/// degrades to a "journal degraded" warning and a counter bump while
+/// serving continues. Replay tolerates a torn final line (crash mid-append)
+/// by skipping anything that does not parse. The file self-compacts once
+/// enough resolved entries accumulate: live state is rewritten tmp+rename
+/// and published stems vanish.
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "svc/spool.hpp"
+
+namespace cals::svc {
+
+enum class JournalEvent : std::uint8_t {
+  kAccepted,    ///< admitted from incoming/ (attempt = attempts already consumed)
+  kDispatched,  ///< handed to a worker (attempt = 1-based cumulative attempt)
+  kRetry,       ///< attempt failed retryably; job back in the queue
+  kTerminal,    ///< outcome decided; payload = spool_result_json bytes
+  kPublished,   ///< result record renamed into done|failed/ — entry is dead
+  kRecovered,   ///< compaction / recovery baseline (semantics of kAccepted)
+};
+const char* journal_event_name(JournalEvent event);
+
+/// Folded per-stem state after replaying the journal.
+struct JournalJobState {
+  std::uint32_t attempts = 0;  ///< highest attempt number seen
+  JournalEvent last = JournalEvent::kAccepted;
+  JobState state = JobState::kQueued;  ///< meaningful when last == kTerminal
+  std::string payload;                 ///< result JSON when last == kTerminal
+};
+
+/// Append-only JSONL journal with in-memory fold of live state. All methods
+/// are thread-safe; all record_* calls are no-throw best-effort (see file
+/// comment). Constructing replays any existing file, so a freshly opened
+/// journal's snapshot() IS the crash-time state.
+class JobJournal {
+ public:
+  /// Opens (creating) `dir` and replays `dir/journal.jsonl` if present.
+  explicit JobJournal(const std::filesystem::path& dir);
+
+  /// False when the directory could not be created/opened — record_* calls
+  /// become silent no-ops (serving must not depend on the journal).
+  bool usable() const;
+  const std::filesystem::path& path() const { return path_; }
+
+  void record_accepted(const std::string& stem, std::uint32_t attempt_base);
+  void record_dispatched(const std::string& stem, std::uint32_t attempt);
+  void record_retry(const std::string& stem, std::uint32_t attempt);
+  void record_terminal(const std::string& stem, std::uint32_t attempt,
+                       JobState state, const std::string& result_json);
+  void record_published(const std::string& stem);
+  /// Recovery baseline: stem is live with `attempts` already consumed.
+  void record_recovered(const std::string& stem, std::uint32_t attempts);
+
+  /// Copy of the folded live state (published stems absent).
+  std::map<std::string, JournalJobState> snapshot() const;
+
+  /// Rewrites the file to one line per live stem (tmp + rename). Called
+  /// automatically once the appended bytes pass an internal threshold.
+  void compact();
+
+  /// Degraded-write count since construction (mirrors svc.journal.errors).
+  std::uint64_t errors() const;
+
+ private:
+  void append_locked(const std::string& stem, JournalEvent event,
+                     std::uint32_t attempt, JobState state,
+                     const std::string& payload);
+  void fold_locked(const std::string& stem, JournalEvent event,
+                   std::uint32_t attempt, JobState state, std::string payload);
+  void compact_locked();
+
+  mutable std::mutex mutex_;
+  std::filesystem::path path_;
+  bool usable_ = false;
+  std::uint64_t appended_bytes_ = 0;  ///< since last compaction
+  std::uint64_t errors_ = 0;
+  std::map<std::string, JournalJobState> live_;
+};
+
+// ---- crash recovery --------------------------------------------------------
+
+struct RecoveryOptions {
+  /// Attempt cap for orphaned jobs: an orphan whose consumed attempts reach
+  /// this moves to quarantine/ instead of re-enqueueing.
+  std::uint32_t max_attempts = 3;
+  /// Age floor for the stale-tmp sweep (remove_stale_tmp_files); 0 in tests.
+  double tmp_min_age_seconds = 60.0;
+};
+
+struct RecoveryReport {
+  std::size_t orphans = 0;      ///< dispatched-at-crash jobs re-enqueued
+  std::size_t quarantined = 0;  ///< poison jobs moved to quarantine/
+  std::size_t republished = 0;  ///< terminal-but-unpublished results replayed
+  std::size_t stale_tmp = 0;    ///< crash debris files removed
+  /// stem -> attempts already consumed, for every stem the serve loop must
+  /// readmit with JobSpec::attempt_base carried over.
+  std::map<std::string, std::uint32_t> attempt_base;
+};
+
+/// Replays `journal` against `spool`: sweeps stale tmp debris from every
+/// spool directory, republishes terminal-but-unpublished results from their
+/// journaled payload (no re-execution), quarantines orphans past the attempt
+/// cap, and reports the attempt baseline for everything that must run again.
+/// Idempotent — a second call on the recovered spool is a no-op report.
+RecoveryReport recover_spool(const SpoolPaths& spool, JobJournal& journal,
+                             const RecoveryOptions& options = {});
+
+}  // namespace cals::svc

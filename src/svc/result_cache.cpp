@@ -1,8 +1,10 @@
 #include "svc/result_cache.hpp"
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <system_error>
+#include <vector>
 
 #include "util/faults.hpp"
 #include "util/io.hpp"
@@ -31,13 +33,21 @@ bool guarded(const char* what, Fn&& fn) {
 
 }  // namespace
 
-ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
+ResultCache::ResultCache(std::string dir, std::uint64_t max_bytes)
+    : dir_(std::move(dir)), max_bytes_(max_bytes) {
   std::error_code ec;
   fs::create_directories(dir_, ec);
   usable_ = !ec && fs::is_directory(dir_, ec) && !ec;
-  if (!usable_)
+  if (!usable_) {
     CALS_WARN("result cache: directory '%s' unusable (%s) — caching disabled",
               dir_.c_str(), ec.message().c_str());
+    return;
+  }
+  remove_stale_tmp_files(dir_);
+  // Seed the byte count (and apply the cap to whatever a previous life left
+  // behind) so the first store of this process already sees honest totals.
+  std::lock_guard<std::mutex> lock(mutex_);
+  enforce_cap_locked();
 }
 
 std::string ResultCache::entry_path(const std::string& key) const {
@@ -87,22 +97,69 @@ void ResultCache::store(const std::string& key, const JobOutcome& outcome) {
   entry.cache_hit = false;
   entry.coalesced = false;
   entry.dataset = false;
+  std::uint64_t body_size = 0;
   const bool ok = guarded("store", [&] {
     const std::string path = entry_path(key);
     const std::string tmp = path + ".tmp";
+    const std::string body = job_outcome_to_json(entry);
     {
       std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
       if (!out.good()) throw std::runtime_error("cannot open " + tmp);
-      out << job_outcome_to_json(entry);
+      out << body;
       if (!out.good()) throw std::runtime_error("short write to " + tmp);
     }
     fs::rename(tmp, path);
+    body_size = body.size();
   });
   if (ok) {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stores_;
     CALS_OBS_COUNT("svc.cache.stores", 1);
+    bytes_ += body_size;
+    if (max_bytes_ > 0 && bytes_ > max_bytes_) enforce_cap_locked();
   }
+}
+
+std::uint64_t ResultCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_;
+}
+
+void ResultCache::enforce_cap_locked() {
+  guarded("eviction", [&] {
+    struct Entry {
+      fs::file_time_type mtime;
+      fs::path path;
+      std::uint64_t size = 0;
+    };
+    std::vector<Entry> entries;
+    std::uint64_t total = 0;
+    std::error_code ec;
+    for (fs::directory_iterator it(dir_, ec), end; !ec && it != end;
+         it.increment(ec)) {
+      if (it->path().extension() != ".json") continue;
+      std::error_code fec;
+      const std::uint64_t size = it->file_size(fec);
+      if (fec) continue;
+      const auto mtime = fs::last_write_time(it->path(), fec);
+      if (fec) continue;
+      entries.push_back({mtime, it->path(), size});
+      total += size;
+    }
+    bytes_ = total;
+    if (max_bytes_ == 0 || total <= max_bytes_) return;
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) { return a.mtime < b.mtime; });
+    for (const Entry& e : entries) {
+      if (bytes_ <= max_bytes_) break;
+      std::error_code rec;
+      if (!fs::remove(e.path, rec) || rec)
+        throw std::runtime_error("cannot evict " + e.path.string());
+      bytes_ -= std::min(bytes_, e.size);
+      ++evictions_;
+      CALS_OBS_COUNT("svc.cache.evictions", 1);
+    }
+  });
 }
 
 std::size_t ResultCache::size() const {

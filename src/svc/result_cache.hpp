@@ -17,6 +17,11 @@
 ///  * Every operation degrades: I/O errors (and `svc.cache` injected
 ///    faults) count into `svc.cache.errors` and behave as a miss / skipped
 ///    store — the cache can never fail a job.
+///  * Optional size cap: with `max_bytes` > 0, a store that pushes the
+///    on-disk total over the cap evicts oldest-mtime entries until it fits
+///    (an approximate LRU — lookups do not touch mtimes, so "oldest" means
+///    "stored longest ago"). Eviction failures degrade to a warning; the
+///    cap is advisory, never a correctness gate.
 /// Thread-safe; concurrent stores of the same key are idempotent (last
 /// rename wins, both bodies are identical by construction).
 
@@ -31,9 +36,11 @@ namespace cals::svc {
 
 class ResultCache {
  public:
-  /// Opens (creating if needed) the cache directory. An unusable directory
-  /// is reported once and turns every operation into a counted no-op.
-  explicit ResultCache(std::string dir);
+  /// Opens (creating if needed) the cache directory, sweeping any stale
+  /// `*.tmp` debris a crashed writer left behind. An unusable directory is
+  /// reported once and turns every operation into a counted no-op.
+  /// `max_bytes` == 0 disables the size cap.
+  explicit ResultCache(std::string dir, std::uint64_t max_bytes = 0);
 
   const std::string& dir() const { return dir_; }
 
@@ -52,16 +59,25 @@ class ResultCache {
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
   std::uint64_t stores() const { return stores_; }
+  std::uint64_t evictions() const { return evictions_; }
+  /// Approximate on-disk entry bytes (exact after each store/eviction).
+  std::uint64_t bytes() const;
 
  private:
   std::string entry_path(const std::string& key) const;
+  /// Rescans the directory and removes oldest-mtime entries until the total
+  /// fits under max_bytes_. Caller holds mutex_; degrades on I/O failure.
+  void enforce_cap_locked();
 
   std::string dir_;
+  std::uint64_t max_bytes_ = 0;
   bool usable_ = false;
   mutable std::mutex mutex_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t stores_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t bytes_ = 0;
 };
 
 }  // namespace cals::svc

@@ -11,8 +11,17 @@
 ///    (or the spool front end) decides whether to retry. Running jobs do
 ///    not count against the queue bound.
 ///  * Ordering is strict priority, FIFO within a priority level (ties break
-///    on submission id). Running jobs are never preempted; `cancel` only
-///    removes jobs that are still queued.
+///    on submission id). Running jobs are never preempted, but `cancel`
+///    reaches them cooperatively: every dispatch carries a CancelToken that
+///    the flow polls at phase/iteration boundaries, so a cancelled running
+///    job unwinds with a typed kCancelled status within one checkpoint. A
+///    per-attempt deadline (JobSpec::deadline_s or the service default)
+///    arms the same token; a watchdog thread fires expired deadlines even
+///    when nothing else touches the job.
+///  * Retry: an attempt that fails retryably (kInternal — crashes, injected
+///    faults) re-enqueues with exponential backoff + deterministic jitter
+///    until the attempt cap (max of JobSpec::max_attempts and the service
+///    default). Parse/infeasible/cancel/deadline failures never retry.
 ///  * Thread partitioning: with J = max_parallel_jobs dispatchers and a
 ///    total budget of T threads (0 = hardware), each dispatch claims a fair
 ///    slice of the *unclaimed* budget under the service lock (see
@@ -53,6 +62,7 @@
 #include "svc/flight.hpp"
 #include "svc/job.hpp"
 #include "svc/result_cache.hpp"
+#include "util/cancel.hpp"
 #include "util/status.hpp"
 
 namespace cals::store {
@@ -60,6 +70,8 @@ class DatasetStore;
 }  // namespace cals::store
 
 namespace cals::svc {
+
+class JobJournal;
 
 /// The parsed front half of a job: design network, library and floorplan,
 /// exactly as run_flow_job builds them (the floorplan is sized from the
@@ -110,6 +122,14 @@ std::uint32_t fair_thread_slice(std::uint32_t budget, std::uint32_t dispatchers,
                                 std::uint32_t other_running, std::size_t queued,
                                 std::uint32_t claimed);
 
+/// Backoff before retry number `attempt` (1-based attempts already
+/// consumed): base * 2^(attempt-1) capped at `max_ms`, scaled by a
+/// deterministic jitter in [0.5, 1.0) derived from (salt, attempt) via a
+/// splitmix64 mix — two services retrying the same burst decorrelate
+/// without any global randomness. Exposed for direct unit testing.
+double retry_backoff_delay_ms(double base_ms, double max_ms,
+                              std::uint32_t attempt, std::uint64_t salt);
+
 struct ServiceOptions {
   /// Queued-job bound for admission control (running jobs excluded).
   std::size_t queue_capacity = 64;
@@ -135,6 +155,18 @@ struct ServiceOptions {
   /// Flight-record retention: the in-memory ring keeps the last N resolved
   /// jobs for the /jobs introspection endpoint and spool publishing.
   std::size_t flight_ring_capacity = 128;
+  /// Optional write-ahead job journal (not owned; must outlive the
+  /// service). Jobs submitted with a journal stem get every state
+  /// transition recorded — the crash-recovery substrate (DESIGN.md §14).
+  JobJournal* journal = nullptr;
+  /// Service-wide attempt-cap floor: the effective cap per job is
+  /// max(spec.max_attempts, default_max_attempts). 1 = no in-process retry.
+  std::uint32_t default_max_attempts = 1;
+  /// Retry backoff base / ceiling (see retry_backoff_delay_ms).
+  double retry_backoff_ms = 250.0;
+  double retry_backoff_max_ms = 10000.0;
+  /// Per-attempt deadline applied when a spec carries none; 0 = unlimited.
+  double default_deadline_s = 0.0;
 };
 
 class FlowService {
@@ -148,12 +180,23 @@ class FlowService {
 
   /// Admits `spec` or rejects with kBudgetExceeded (queue full) /
   /// kInternal (service shut down). The returned id is immediately valid
-  /// for snapshot/wait/cancel.
-  Result<JobId> submit(JobSpec spec);
+  /// for snapshot/wait/cancel. A non-empty `journal_stem` ties the job to
+  /// its spool file in the attached journal (no journal or no stem = no
+  /// journaling for this job). spec.attempt_base seeds the attempt counter
+  /// (crash-orphan recovery).
+  Result<JobId> submit(JobSpec spec, std::string journal_stem = {});
 
-  /// Removes a still-queued job (state -> kCancelled). Returns false when
-  /// the job is unknown, already running, or terminal.
+  /// Cancels a job. Still-queued (including retry-waiting) jobs resolve to
+  /// kCancelled immediately; a running job has its CancelToken fired and
+  /// resolves once the flow reaches its next checkpoint (true = request
+  /// delivered, not yet terminal). Returns false when the job is unknown
+  /// or already terminal.
   bool cancel(JobId id);
+
+  /// Fires the CancelToken of every running job (the SIGTERM drain path:
+  /// stop dispatch with pause()/shutdown(false), cancel the in-flight work,
+  /// then drain). Returns how many tokens were fired.
+  std::size_t cancel_running();
 
   /// Blocks until `id` reaches a terminal state and returns its record.
   /// `id` must come from submit() (unknown ids are an invariant violation).
@@ -190,7 +233,8 @@ class FlowService {
     std::uint64_t cache_hits = 0;
     std::uint64_t dataset_hits = 0;  ///< flows served from a precompiled dataset
     std::uint64_t flow_executions = 0;  ///< flows actually run (not cached/coalesced)
-    std::size_t queued = 0;        ///< current depth
+    std::uint64_t retries = 0;     ///< attempts re-enqueued after retryable failure
+    std::size_t queued = 0;        ///< current depth (incl. retry-waiting jobs)
     std::size_t running = 0;       ///< current in-flight
   };
   Stats stats() const;
@@ -211,6 +255,12 @@ class FlowService {
     std::chrono::steady_clock::time_point submitted;
     std::vector<JobId> followers;  ///< ids coalesced onto this primary
     std::uint64_t queue_depth_at_submit = 0;  ///< backlog seen at admission
+    std::string journal_stem;      ///< spool stem in the journal; empty = none
+    std::uint32_t attempt = 0;     ///< attempts consumed (seeded by attempt_base)
+    /// Live for the duration of one attempt; shared with the watchdog so a
+    /// deadline can fire after the job finished without touching freed state.
+    std::shared_ptr<CancelToken> cancel;
+    std::vector<std::string> retry_events;  ///< per-retry provenance (flights)
   };
 
   /// What execute() learns beyond the JobOutcome, destined for the flight
@@ -224,13 +274,20 @@ class FlowService {
   };
 
   void dispatcher_loop();
+  void watchdog_loop();
   /// Runs `job` outside the lock with `thread_slice` workers, finalizes it
-  /// (and its followers) and releases the slice claim.
+  /// (and its followers) and releases the slice claim — or re-enqueues it
+  /// with backoff when the attempt failed retryably under the cap.
   void execute(const std::shared_ptr<Job>& job, std::uint32_t thread_slice);
   void finalize_locked(const std::shared_ptr<Job>& job, JobOutcome outcome,
                        const FlightExtras& extras);
   void push_flight_locked(const Job& job, const FlightExtras& extras);
   void publish_queue_depth_locked() const;
+  std::uint32_t attempt_cap(const Job& job) const;
+  /// Write-ahead record of a terminal transition (no-op without a journal
+  /// or a stem). Embeds the full result JSON so recovery can republish.
+  void journal_terminal_locked(const Job& job);
+  void cancel_queued_job_locked(Job& job);
 
   const ServiceOptions options_;
   std::uint32_t threads_per_job_ = 1;
@@ -246,6 +303,9 @@ class FlowService {
   std::map<JobId, std::shared_ptr<Job>> jobs_;
   /// (-priority, id): begin() is the highest priority, oldest submission.
   std::set<std::pair<std::int64_t, JobId>> queue_;
+  /// Jobs waiting out a retry backoff, keyed by when they become due; the
+  /// dispatcher promotes due entries back into queue_.
+  std::multimap<std::chrono::steady_clock::time_point, JobId> retry_queue_;
   /// cache key -> primary job still queued/running (coalescing target).
   std::map<std::string, JobId> active_by_key_;
   std::size_t running_ = 0;
@@ -254,7 +314,12 @@ class FlowService {
   /// Resolved-job flight records, newest first. Own (leaf) lock: pushes
   /// happen under mutex_, reads (the HTTP endpoints) don't need it.
   FlightRing flights_;
+  /// Armed per-attempt deadlines the watchdog sleeps toward: id -> token.
+  std::map<JobId, std::shared_ptr<CancelToken>> armed_deadlines_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
   std::vector<std::thread> dispatchers_;
+  std::thread watchdog_;
 };
 
 }  // namespace cals::svc

@@ -63,8 +63,10 @@ Result<SpoolPaths> open_spool(const std::string& root) {
   spool.done = spool.root / "done";
   spool.failed = spool.root / "failed";
   spool.flights = spool.root / "flights";
+  spool.quarantine = spool.root / "quarantine";
   for (const fs::path& dir :
-       {spool.incoming, spool.done, spool.failed, spool.flights}) {
+       {spool.incoming, spool.done, spool.failed, spool.flights,
+        spool.quarantine}) {
     std::error_code ec;
     fs::create_directories(dir, ec);
     if (ec || !fs::is_directory(dir))
@@ -117,8 +119,7 @@ Result<JobSpec> spool_load_job(const fs::path& path) {
   return spec;
 }
 
-bool spool_publish_result(const SpoolPaths& spool, const std::string& stem,
-                          const JobRecord& record) {
+std::string spool_result_json(const JobRecord& record) {
   // Envelope (id/name/state/...) + the outcome payload, merged into one flat
   // object: re-open the outcome JSON's fields through the writer so the file
   // stays a single flat object the codec can read back.
@@ -137,10 +138,35 @@ bool spool_publish_result(const SpoolPaths& spool, const std::string& stem,
   w.field("dataset", record.outcome.dataset);
   w.field("queue_seconds", record.outcome.queue_seconds);
   w.field("exec_seconds", record.outcome.exec_seconds);
+  w.field("attempts", record.outcome.attempts);
+  w.field("retries_exhausted", record.outcome.retries_exhausted);
   append_metrics_fields(w, record.outcome.metrics);
-  const fs::path dir =
-      record.state == JobState::kDone ? spool.done : spool.failed;
-  return write_atomic(dir / (stem + ".json"), std::move(w).finish());
+  return std::move(w).finish();
+}
+
+bool spool_publish_result(const SpoolPaths& spool, const std::string& stem,
+                          const JobRecord& record) {
+  return spool_publish_result_json(spool, stem, record.state,
+                                   spool_result_json(record));
+}
+
+bool spool_publish_result_json(const SpoolPaths& spool, const std::string& stem,
+                               JobState state, const std::string& body) {
+  const fs::path dir = state == JobState::kDone ? spool.done : spool.failed;
+  return write_atomic(dir / (stem + ".json"), body);
+}
+
+bool spool_quarantine_job(const SpoolPaths& spool, const std::string& stem,
+                          const std::string& diag_json) {
+  const fs::path src = spool.incoming / (stem + ".json");
+  const fs::path dst = spool.quarantine / (stem + ".json");
+  std::error_code ec;
+  fs::rename(src, dst, ec);
+  if (ec) return false;
+  // The diagnostic is best-effort: the quarantined job file is the record
+  // of truth, the diag just saves the operator a journal read.
+  write_atomic(spool.quarantine / (stem + ".diag.json"), diag_json);
+  return true;
 }
 
 fs::path spool_find_result(const SpoolPaths& spool, const std::string& stem) {

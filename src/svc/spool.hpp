@@ -10,14 +10,18 @@
 ///   <root>/failed/     result record per failed/unparseable job
 ///   <root>/flights/    flight record per resolved job (flight.hpp format),
 ///                      best-effort — see spool_publish_flight
+///   <root>/quarantine/ poison jobs (attempt cap exhausted across crashes)
+///                      plus a `<stem>.diag.json` diagnostic per job
+///   <root>/journal/    the serve-side write-ahead job journal (journal.hpp)
 ///
 /// Submission is atomic: the writer creates `<stem>.json.tmp` and renames
 /// it, so the server's directory scan never sees a half-written job. Stems
 /// are `<microsecond timestamp>-<pid>-<counter>-<name>`, which makes a
 /// lexicographic scan FIFO by submission time across processes. The server
-/// deletes an incoming file once the job is admitted (the in-memory record
-/// takes over) and writes the result record when it finishes; a submission
-/// that does not parse goes straight to failed/ with the parse status.
+/// keeps an incoming file until the job's result record is published (so a
+/// crash mid-execution leaves the job re-runnable — DESIGN.md §14) and
+/// deletes it only at terminal publish; a submission that does not parse
+/// goes straight to failed/ with the parse status.
 
 #include <cstdint>
 #include <filesystem>
@@ -36,9 +40,10 @@ struct SpoolPaths {
   std::filesystem::path done;
   std::filesystem::path failed;
   std::filesystem::path flights;
+  std::filesystem::path quarantine;
 };
 
-/// Builds the four subdirectories (idempotent). Fails with kInternal when
+/// Builds the five subdirectories (idempotent). Fails with kInternal when
 /// the root is not writable.
 Result<SpoolPaths> open_spool(const std::string& root);
 
@@ -52,12 +57,29 @@ std::vector<std::filesystem::path> spool_scan(const SpoolPaths& spool);
 /// Reads + parses one incoming job file.
 Result<JobSpec> spool_load_job(const std::filesystem::path& path);
 
+/// The terminal result-record payload for `record`: the JobOutcome JSON plus
+/// name/state/priority/cache-key envelope fields. This exact string is what
+/// spool_publish_result writes and what the job journal embeds in terminal
+/// entries, so a crash between "terminal journaled" and "result published"
+/// recovers by republishing the bytes — no re-execution.
+std::string spool_result_json(const JobRecord& record);
+
 /// Publishes the terminal record for `stem` into done/ or failed/ (by
-/// `record.state`), atomically. The record payload is the JobOutcome JSON
-/// plus name/state/priority/cache-key envelope fields.
-/// Returns false on I/O failure.
+/// `record.state`), atomically. Returns false on I/O failure.
 bool spool_publish_result(const SpoolPaths& spool, const std::string& stem,
                           const JobRecord& record);
+
+/// Publishes a pre-serialized result body (see spool_result_json) for `stem`
+/// into done/ or failed/ by `state` — the journal-replay republish path.
+bool spool_publish_result_json(const SpoolPaths& spool, const std::string& stem,
+                               JobState state, const std::string& body);
+
+/// Moves `<stem>.json` from incoming/ to quarantine/ and writes
+/// `<stem>.diag.json` beside it with the given diagnostic body (flat JSON).
+/// Poison jobs never re-enter the admission scan. Returns false when the
+/// incoming file is already gone or the move fails.
+bool spool_quarantine_job(const SpoolPaths& spool, const std::string& stem,
+                          const std::string& diag_json);
 
 /// Looks for `<stem>.json` under done/ then failed/; empty path if neither
 /// exists yet (the submitter's --wait poll).

@@ -22,7 +22,7 @@ double StaResult::arrival_of(const MappedNetlist& netlist, const std::string& po
 }
 
 StaResult run_sta(const MappedNetlist& netlist, const MappedPlaceBinding& binding,
-                  const RouteResult& route) {
+                  const RouteResult& route, const CancelToken* cancel) {
   CALS_CHECK(route.nets.size() == binding.graph.nets.size());
   CALS_TRACE_SCOPE_ARG("sta.run", "instances", netlist.num_instances());
   CALS_OBS_COUNT("sta.arrival_propagations", netlist.num_instances());
@@ -67,6 +67,8 @@ StaResult run_sta(const MappedNetlist& netlist, const MappedPlaceBinding& bindin
   result.worst_pin.assign(netlist.num_instances(), -1);
   std::vector<std::int32_t>& worst_pin = result.worst_pin;
   for (std::uint32_t i = 0; i < netlist.num_instances(); ++i) {
+    // Cancellation checkpoint, amortized over the propagation loop.
+    if ((i & 4095u) == 0u) cancel_point(cancel);
     const MappedInstance& inst = netlist.instance(i);
     const Cell& cell = lib.cell(inst.cell);
     double in_arrival = 0.0;

@@ -47,8 +47,9 @@ std::string timing_report(const MappedNetlist& netlist, const StaResult& sta,
 
 /// Runs STA. `binding` must be the lowering the route was computed on;
 /// `route.nets` is parallel to binding.graph.nets. PO pads contribute a
-/// fixed 8 fF pin load.
+/// fixed 8 fF pin load. A non-null `cancel` token is polled every few
+/// thousand instances during arrival propagation (util/cancel.hpp).
 StaResult run_sta(const MappedNetlist& netlist, const MappedPlaceBinding& binding,
-                  const RouteResult& route);
+                  const RouteResult& route, const CancelToken* cancel = nullptr);
 
 }  // namespace cals

@@ -1,0 +1,122 @@
+#pragma once
+/// \file cancel.hpp
+/// `cals::CancelToken` — cooperative cancellation + deadlines for long
+/// evaluations (DESIGN.md §14). A token is shared between a controller (the
+/// service's cancel API, its deadline watchdog, a SIGTERM handler) and the
+/// flow running under it; the flow polls `cancel_point()` at phase and
+/// iteration boundaries and unwinds with `CancelledError` when the token has
+/// fired. The error carries *why* (explicit cancel vs. expired deadline) so
+/// run_checked can map it to the typed kCancelled / kDeadlineExceeded
+/// statuses instead of the generic kInternal of other exceptions.
+///
+/// Cost contract: an un-fired token is one relaxed atomic load per check
+/// (plus a steady_clock read when a deadline is set), and a null token is a
+/// branch — threading `const CancelToken*` through the phase loops leaves
+/// the default path bit-identical to the seed flow.
+///
+/// The token is self-checking for deadlines: `check()` observes the clock,
+/// so a flow under a deadline cancels even without the service watchdog
+/// (the watchdog only makes the firing prompt between checkpoints and
+/// observable in metrics).
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <exception>
+
+namespace cals {
+
+enum class CancelCause : std::uint8_t {
+  kNone = 0,
+  kCancelled,          ///< explicit cancel() — a user/operator decision
+  kDeadlineExceeded,   ///< the deadline passed (watchdog or self-check)
+};
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Fires the token with kCancelled. First cause wins; idempotent.
+  void cancel() { fire(CancelCause::kCancelled); }
+
+  /// Fires the token with kDeadlineExceeded (the watchdog's entry point).
+  void fire_deadline() { fire(CancelCause::kDeadlineExceeded); }
+
+  /// Arms (or re-arms, for a retry attempt) a deadline `seconds` from now.
+  void set_deadline_after(double seconds) {
+    const auto now = std::chrono::steady_clock::now();
+    deadline_ns_.store(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            now.time_since_epoch())
+                .count() +
+            static_cast<std::int64_t>(seconds * 1e9),
+        std::memory_order_relaxed);
+  }
+
+  bool has_deadline() const {
+    return deadline_ns_.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// The armed deadline as a steady_clock time point (meaningful only when
+  /// has_deadline()). What the service watchdog sleeps until.
+  std::chrono::steady_clock::time_point deadline() const {
+    return std::chrono::steady_clock::time_point(
+        std::chrono::nanoseconds(deadline_ns_.load(std::memory_order_relaxed)));
+  }
+
+  /// Current cause, promoting an expired deadline to kDeadlineExceeded on
+  /// observation. kNone = keep going.
+  CancelCause check() const {
+    const std::uint8_t cause = cause_.load(std::memory_order_relaxed);
+    if (cause != 0) return static_cast<CancelCause>(cause);
+    const std::int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+    if (deadline != 0 &&
+        std::chrono::steady_clock::now().time_since_epoch() >=
+            std::chrono::nanoseconds(deadline)) {
+      fire(CancelCause::kDeadlineExceeded);
+      return static_cast<CancelCause>(cause_.load(std::memory_order_relaxed));
+    }
+    return CancelCause::kNone;
+  }
+
+  bool fired() const { return check() != CancelCause::kNone; }
+
+ private:
+  void fire(CancelCause cause) const {
+    std::uint8_t expected = 0;  // first cause wins
+    cause_.compare_exchange_strong(expected, static_cast<std::uint8_t>(cause),
+                                   std::memory_order_relaxed);
+  }
+
+  mutable std::atomic<std::uint8_t> cause_{0};
+  std::atomic<std::int64_t> deadline_ns_{0};  ///< steady epoch ns; 0 = none
+};
+
+/// The unwind vehicle: thrown by cancel_point(), caught by run_checked (and
+/// the service dispatcher) and mapped to Status::cancelled() /
+/// Status::deadline_exceeded().
+class CancelledError : public std::exception {
+ public:
+  explicit CancelledError(CancelCause cause) : cause_(cause) {}
+  CancelCause cause() const { return cause_; }
+  const char* what() const noexcept override {
+    return cause_ == CancelCause::kDeadlineExceeded ? "deadline exceeded"
+                                                    : "cancelled";
+  }
+
+ private:
+  CancelCause cause_;
+};
+
+/// The checkpoint the phase loops call: no-op on a null or un-fired token,
+/// throws CancelledError otherwise. Safe anywhere exceptions may propagate
+/// (serial drivers — never inside pool worker lambdas).
+inline void cancel_point(const CancelToken* token) {
+  if (token == nullptr) return;
+  const CancelCause cause = token->check();
+  if (cause != CancelCause::kNone) throw CancelledError(cause);
+}
+
+}  // namespace cals

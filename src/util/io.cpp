@@ -1,6 +1,8 @@
 #include "util/io.hpp"
 
+#include <chrono>
 #include <cstdio>
+#include <system_error>
 
 #include "util/strings.hpp"
 
@@ -52,6 +54,27 @@ Result<std::vector<std::uint8_t>> read_file_bytes(const std::string& path) {
   Status st = read_into(path, &body);
   if (!st.ok()) return st;
   return body;
+}
+
+std::size_t remove_stale_tmp_files(const std::filesystem::path& dir,
+                                   double min_age_seconds) {
+  namespace fs = std::filesystem;
+  std::size_t removed = 0;
+  std::error_code ec;
+  const auto now = fs::file_time_type::clock::now();
+  for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (it->path().extension() != ".tmp") continue;
+    std::error_code fec;
+    if (!it->is_regular_file(fec) || fec) continue;
+    const auto mtime = fs::last_write_time(it->path(), fec);
+    if (fec) continue;
+    const double age =
+        std::chrono::duration<double>(now - mtime).count();
+    if (age < min_age_seconds) continue;
+    if (fs::remove(it->path(), fec) && !fec) ++removed;
+  }
+  return removed;
 }
 
 }  // namespace cals

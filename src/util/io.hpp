@@ -5,7 +5,9 @@
 /// once inside the stream and copies them again into the returned string;
 /// these helpers stat the file and read straight into one allocation.
 
+#include <cstddef>
 #include <cstdint>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -18,5 +20,14 @@ Result<std::string> read_file_string(const std::string& path);
 
 /// Reads the whole file into one byte buffer (one allocation, one copy).
 Result<std::vector<std::uint8_t>> read_file_bytes(const std::string& path);
+
+/// Startup hygiene for tmp+rename directories: removes `*.tmp` files under
+/// `dir` (non-recursive) whose mtime is at least `min_age_seconds` old —
+/// debris from a writer that crashed between create and rename. The age
+/// floor protects in-flight tmp files of live writers; pass 0 to sweep
+/// everything (tests). Returns the number of files removed; missing or
+/// unreadable directories sweep nothing.
+std::size_t remove_stale_tmp_files(const std::filesystem::path& dir,
+                                   double min_age_seconds = 60.0);
 
 }  // namespace cals

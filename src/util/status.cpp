@@ -12,6 +12,8 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kInfeasible: return "infeasible";
     case ErrorCode::kBudgetExceeded: return "budget exceeded";
     case ErrorCode::kInternal: return "internal error";
+    case ErrorCode::kCancelled: return "cancelled";
+    case ErrorCode::kDeadlineExceeded: return "deadline exceeded";
   }
   return "unknown";
 }

@@ -31,6 +31,8 @@ enum class ErrorCode : std::uint8_t {
   kBudgetExceeded,  ///< a phase ran past its wall-clock / iteration budget
   kInternal,        ///< unexpected condition surfaced as a value (e.g. a
                     ///< captured exception) rather than an abort
+  kCancelled,         ///< cooperatively stopped by an explicit cancel
+  kDeadlineExceeded,  ///< cooperatively stopped by an expired deadline
 };
 
 /// Stable lowercase name for logs and tests ("parse error", "infeasible", …).
@@ -67,6 +69,12 @@ class [[nodiscard]] Status {
   }
   static Status internal(std::string message) {
     return error(ErrorCode::kInternal, std::move(message));
+  }
+  static Status cancelled(std::string message) {
+    return error(ErrorCode::kCancelled, std::move(message));
+  }
+  static Status deadline_exceeded(std::string message) {
+    return error(ErrorCode::kDeadlineExceeded, std::move(message));
   }
 
   bool ok() const { return code_ == ErrorCode::kOk; }

@@ -12,7 +12,18 @@
 ///   --jobs <n>         concurrent flow executions (default 2)
 ///   --threads <n>      total worker-thread budget split across jobs
 ///                      (default 0 = hardware concurrency)
+///   --retries <n>      in-process retry budget for retryable (internal)
+///                      failures: every job may run up to n+1 attempts with
+///                      exponential backoff + jitter (default 0 = one attempt)
+///   --max-attempts <n> crash-attempt cap: an orphaned job recovered from the
+///                      journal more than n times moves to quarantine/
+///                      instead of re-running (default 3)
+///   --deadline <s>     per-attempt execution deadline; an attempt past it is
+///                      cancelled cooperatively and fails with
+///                      deadline_exceeded (default 0 = none)
 ///   --cache <dir>      persistent result cache directory (off when absent)
+///   --cache-cap-mb <n> on-disk cache size cap, oldest entries evicted
+///                      (default 0 = unbounded)
 ///   --dataset-dir <d>  precompiled dataset directory (see cals_pack). The
 ///                      server rescans it every poll, so dropping a
 ///                      higher-version blob in hot-swaps the dataset without
@@ -36,8 +47,20 @@
 /// A job file that does not parse is published straight to failed/ (the
 /// spool stem is preserved), and a submission that hits a full queue stays
 /// in incoming/ for the next scan — admission pushback, not data loss.
-/// Injected faults (svc.dispatch / svc.cache) mark individual jobs failed;
-/// the server itself always exits normally (the fault-sweep contract).
+/// Injected faults (svc.dispatch / svc.cache / svc.journal / flow.cancel)
+/// mark individual jobs failed or degrade telemetry; the server itself
+/// always exits normally (the fault-sweep contract).
+///
+/// Crash safety (DESIGN.md §14): every admission, dispatch, retry and
+/// terminal transition is journaled under <spool>/journal/, and an incoming
+/// job file survives until its result record is published. A kill -9 at any
+/// point therefore loses nothing: the next start replays the journal,
+/// republishes finished-but-unpublished results byte-identically, re-enqueues
+/// orphaned jobs with their attempt count intact, and quarantines poison
+/// jobs that have burned through --max-attempts. SIGTERM/SIGINT trigger a
+/// graceful drain instead: dispatch stops, running jobs are cancelled
+/// cooperatively, and every terminal state is journaled + published before
+/// exit.
 ///
 /// Every published job also gets a flight record (flights/<stem>.flight.json
 /// — scheduling, provenance, route telemetry, QoR; see DESIGN.md §13).
@@ -47,13 +70,17 @@
 /// Exit codes: 0 clean shutdown, 1 spool unusable, 2 usage error.
 
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <set>
 #include <string>
 #include <thread>
 
 #include "store/dataset_store.hpp"
+#include "svc/journal.hpp"
+#include "svc/json.hpp"
 #include "svc/service.hpp"
 #include "svc/spool.hpp"
 #include "svc/telemetry_http.hpp"
@@ -63,6 +90,10 @@
 using namespace cals;
 
 namespace {
+
+volatile std::sig_atomic_t g_signal = 0;
+
+void on_signal(int sig) { g_signal = sig; }
 
 [[noreturn]] void usage(const char* argv0, const std::string& why = {}) {
   if (!why.empty()) std::fprintf(stderr, "%s: %s\n", argv0, why.c_str());
@@ -76,7 +107,11 @@ struct Args {
   std::size_t capacity = 64;
   std::uint32_t jobs = 2;
   std::uint32_t threads = 0;
+  std::uint32_t retries = 0;
+  std::uint32_t max_attempts = 3;
+  double deadline_s = 0.0;
   std::string cache_dir;
+  std::uint64_t cache_cap_mb = 0;
   std::string dataset_dir;
   bool drain = false;
   bool listen = false;
@@ -110,7 +145,17 @@ Args parse(int argc, char** argv) {
     else if (std::strcmp(a, "--capacity") == 0) args.capacity = need_u32(i);
     else if (std::strcmp(a, "--jobs") == 0) args.jobs = std::max(1u, need_u32(i));
     else if (std::strcmp(a, "--threads") == 0) args.threads = need_u32(i);
+    else if (std::strcmp(a, "--retries") == 0) args.retries = need_u32(i);
+    else if (std::strcmp(a, "--max-attempts") == 0)
+      args.max_attempts = std::max(1u, need_u32(i));
+    else if (std::strcmp(a, "--deadline") == 0) {
+      const char* text = need(i);
+      if (!parse_double(text, args.deadline_s) || args.deadline_s < 0.0)
+        usage(argv[0], strprintf("option '--deadline': '%s' is not a "
+                                 "non-negative number", text));
+    }
     else if (std::strcmp(a, "--cache") == 0) args.cache_dir = need(i);
+    else if (std::strcmp(a, "--cache-cap-mb") == 0) args.cache_cap_mb = need_u32(i);
     else if (std::strcmp(a, "--dataset-dir") == 0) args.dataset_dir = need(i);
     else if (std::strcmp(a, "--drain") == 0) args.drain = true;
     else if (std::strcmp(a, "--listen") == 0) {
@@ -168,9 +213,29 @@ int serve(const Args& args) {
     return 1;
   }
 
+  // ---- crash recovery, before anything can execute -------------------------
+  // Replay the journal against the spool: republish finished-but-unpublished
+  // results (no re-execution), quarantine poison jobs, sweep tmp debris, and
+  // learn the attempt baseline for every job that must run again.
+  svc::JobJournal journal(spool->root / "journal");
+  svc::RecoveryOptions recovery_options;
+  recovery_options.max_attempts = args.max_attempts;
+  const svc::RecoveryReport recovery = svc::recover_spool(*spool, journal,
+                                                          recovery_options);
+  if (recovery.orphans + recovery.republished + recovery.quarantined +
+          recovery.stale_tmp >
+      0)
+    say("cals_serve: recovery: %zu orphan(s) re-enqueued, %zu result(s) "
+        "republished, %zu quarantined, %zu stale tmp file(s) swept\n",
+        recovery.orphans, recovery.republished, recovery.quarantined,
+        recovery.stale_tmp);
+  // Attempts already burned per stem; consumed at (re)admission below.
+  std::map<std::string, std::uint32_t> attempt_base = recovery.attempt_base;
+
   std::unique_ptr<svc::ResultCache> cache;
   if (!args.cache_dir.empty())
-    cache = std::make_unique<svc::ResultCache>(args.cache_dir);
+    cache = std::make_unique<svc::ResultCache>(args.cache_dir,
+                                               args.cache_cap_mb * 1024 * 1024);
 
   std::unique_ptr<store::DatasetStore> datasets;
   if (!args.dataset_dir.empty()) {
@@ -184,10 +249,16 @@ int serve(const Args& args) {
   service_options.total_threads = args.threads;
   service_options.cache = cache.get();
   service_options.datasets = datasets.get();
+  service_options.journal = &journal;
+  service_options.default_max_attempts = args.retries + 1;
+  service_options.default_deadline_s = args.deadline_s;
   // Retain flight records at least as long as a job can sit between
   // admission and the publish scan that follows it.
   service_options.flight_ring_capacity = std::max<std::size_t>(256, args.capacity * 2);
   svc::FlowService service(service_options);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
 
   svc::TelemetryServer telemetry(
       service, svc::TelemetryServer::Options{
@@ -212,14 +283,47 @@ int serve(const Args& args) {
 
   const auto start = std::chrono::steady_clock::now();
   std::map<svc::JobId, std::string> pending;  // admitted job -> spool stem
+  std::set<std::string> inflight;  // stems admitted but not yet published
+  std::size_t quarantined = recovery.quarantined;
+
+  // Terminal bookkeeping for one job: result record + flight out, published
+  // event journaled, then the incoming file consumed — into quarantine/ when
+  // the job burned through its retry budget, deleted otherwise. Only after
+  // this does the job stop being replayable.
+  auto resolve = [&](svc::JobId id, const std::string& stem,
+                     const svc::JobRecord& record) {
+    svc::spool_publish_result(*spool, stem, record);
+    publish_flight(service, *spool, id, stem, args.quiet);
+    journal.record_published(stem);
+    inflight.erase(stem);
+    if (record.outcome.retries_exhausted) {
+      svc::JsonObjectWriter diag;
+      diag.field("stem", stem);
+      diag.field("attempts", record.outcome.attempts);
+      diag.field("status", record.outcome.status.to_string());
+      diag.field("reason", "retry budget exhausted");
+      if (svc::spool_quarantine_job(*spool, stem, std::move(diag).finish())) {
+        ++quarantined;
+        say("cals_serve: %s quarantined after %u attempts\n", stem.c_str(),
+            static_cast<unsigned>(record.outcome.attempts));
+        return;
+      }
+    }
+    std::error_code ec;
+    std::filesystem::remove(spool->incoming / (stem + ".json"), ec);
+  };
 
   for (;;) {
+    if (g_signal != 0) break;
     // ---- pick up new dataset blob versions (hot-swap) ----------------------
     if (datasets) datasets->refresh();
 
     // ---- admit new job files -----------------------------------------------
+    // The file stays in incoming/ until the result record is published: an
+    // admitted-but-unfinished job must survive a crash (DESIGN.md §14).
     for (const std::filesystem::path& file : svc::spool_scan(*spool)) {
       const std::string stem = file.stem().string();
+      if (inflight.count(stem) != 0) continue;  // already admitted
       Result<svc::JobSpec> spec = svc::spool_load_job(file);
       if (!spec.ok()) {
         // Unparseable submission: publish the diagnosis, consume the file.
@@ -233,7 +337,12 @@ int serve(const Args& args) {
             spec.status().to_string().c_str());
         continue;
       }
-      Result<svc::JobId> id = service.submit(std::move(*spec));
+      const auto base = attempt_base.find(stem);
+      if (base != attempt_base.end()) {
+        spec->attempt_base = base->second;
+        attempt_base.erase(base);
+      }
+      Result<svc::JobId> id = service.submit(std::move(*spec), stem);
       if (!id.ok()) {
         // Queue full: leave the file for a later scan (admission pushback).
         say("cals_serve: %s deferred: %s\n", stem.c_str(),
@@ -241,7 +350,7 @@ int serve(const Args& args) {
         break;
       }
       pending.emplace(*id, stem);
-      std::filesystem::remove(file);
+      inflight.insert(stem);
       say("cals_serve: %s admitted as job #%llu\n", stem.c_str(),
           static_cast<unsigned long long>(*id));
     }
@@ -250,8 +359,7 @@ int serve(const Args& args) {
     for (auto it = pending.begin(); it != pending.end();) {
       const std::optional<svc::JobRecord> record = service.snapshot(it->first);
       if (record && svc::job_state_terminal(record->state)) {
-        svc::spool_publish_result(*spool, it->second, *record);
-        publish_flight(service, *spool, it->first, it->second, args.quiet);
+        resolve(it->first, it->second, *record);
         say("cals_serve: %s %s (%s)\n", it->second.c_str(),
             svc::job_state_name(record->state),
             record->outcome.cache_hit   ? "cache hit"
@@ -278,25 +386,36 @@ int serve(const Args& args) {
   }
 
   telemetry.set_draining(true);
-  service.shutdown(/*cancel_queued=*/false);
-  // Flush records for anything that finished during shutdown.
+  if (g_signal != 0) {
+    // Graceful drain: stop dispatch, cancel the in-flight work cooperatively,
+    // journal + publish every terminal state. Whatever was still queued in
+    // incoming/ simply waits for the next start.
+    const std::size_t fired = service.cancel_running();
+    say("cals_serve: signal %d — draining (%zu running job(s) cancelled)\n",
+        static_cast<int>(g_signal), fired);
+    service.shutdown(/*cancel_queued=*/true);
+  } else {
+    service.shutdown(/*cancel_queued=*/false);
+  }
+  // Flush records for anything that reached terminal during shutdown.
   for (const auto& [id, stem] : pending) {
     const std::optional<svc::JobRecord> record = service.snapshot(id);
-    if (record && svc::job_state_terminal(record->state)) {
-      svc::spool_publish_result(*spool, stem, *record);
-      publish_flight(service, *spool, id, stem, args.quiet);
-    }
+    if (record && svc::job_state_terminal(record->state))
+      resolve(id, stem, *record);
   }
   const svc::FlowService::Stats stats = service.stats();
   say("cals_serve: %llu done, %llu failed, %llu cancelled, %llu rejected, "
-      "%llu coalesced, %llu cache hits, %llu flows executed\n",
+      "%llu coalesced, %llu cache hits, %llu flows executed, %llu retries, "
+      "%zu orphan(s) recovered, %zu quarantined\n",
       static_cast<unsigned long long>(stats.done),
       static_cast<unsigned long long>(stats.failed),
       static_cast<unsigned long long>(stats.cancelled),
       static_cast<unsigned long long>(stats.rejected),
       static_cast<unsigned long long>(stats.coalesced),
       static_cast<unsigned long long>(stats.cache_hits),
-      static_cast<unsigned long long>(stats.flow_executions));
+      static_cast<unsigned long long>(stats.flow_executions),
+      static_cast<unsigned long long>(stats.retries), recovery.orphans,
+      quarantined);
   if (datasets) {
     const store::DatasetStore::Stats ds = datasets->stats();
     say("cals_serve: datasets: %llu jobs served, %llu loads, %llu swaps, "

@@ -24,16 +24,26 @@
 ///   --partition <p>    dagon | cones | pdp (default pdp)
 ///   --objective <o>    area | delay (default area)
 ///   --max-route-iters <n> / --time-budget <sec>  flow guardrails
+///   --max-attempts <n> server-side retry budget for this job: up to n
+///                      attempts on retryable (internal) failures (default 0
+///                      = server default)
+///   --deadline <sec>   per-attempt execution deadline enforced by the
+///                      server; past it the attempt is cancelled and fails
+///                      with deadline_exceeded (default 0 = server default)
 ///   --wait             poll for the result record and report it, plus a
 ///                      one-line flight summary (queue wait, phase times,
 ///                      cache/dataset provenance) when the server published
-///                      a flight record for the job
+///                      a flight record for the job. The poll backs off
+///                      exponentially (25 ms doubling-ish to 1 s) so a
+///                      hundred concurrent waiters do not hammer the spool.
 ///   --timeout <sec>    give up waiting after this long (default 300)
 ///   --quiet            print only the job stem (and errors)
 ///
 /// Exit codes: 0 submitted (and, with --wait, job done), 1 job failed /
-/// wait timed out / bad input, 2 usage error.
+/// bad input, 2 usage error, 3 wait timed out (the job may still finish —
+/// a timeout abandons the wait, not the submission).
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -171,6 +181,10 @@ int run(int argc, char** argv) {
       spec.options.max_route_iters = need_u32(i);
     else if (std::strcmp(a, "--time-budget") == 0)
       spec.options.phase_time_budget_s = need_double(i, 1e-6, 1e6);
+    else if (std::strcmp(a, "--max-attempts") == 0)
+      spec.max_attempts = need_u32(i);
+    else if (std::strcmp(a, "--deadline") == 0)
+      spec.deadline_s = need_double(i, 0.0, 1e6);
     else if (std::strcmp(a, "--wait") == 0) wait = true;
     else if (std::strcmp(a, "--timeout") == 0) timeout_s = need_double(i, 0.1, 1e6);
     else if (std::strcmp(a, "--quiet") == 0) quiet = true;
@@ -220,8 +234,11 @@ int run(int argc, char** argv) {
   if (!wait) return 0;
 
   // ---- wait: poll the spool's result directories --------------------------
+  // Exponential backoff: most jobs publish within a few polls, but a long
+  // queue behind a busy server should cost one stat() a second, not twenty.
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::duration<double>(timeout_s);
+  double poll_ms = 25.0;
   for (;;) {
     const std::filesystem::path result = svc::spool_find_result(*spool, *stem);
     if (!result.empty()) {
@@ -235,12 +252,17 @@ int run(int argc, char** argv) {
       }
       return done ? 0 : 1;
     }
-    if (std::chrono::steady_clock::now() >= deadline) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
       std::fprintf(stderr, "cals_submit: timed out after %.1fs waiting for %s\n",
                    timeout_s, stem->c_str());
-      return 1;
+      return 3;
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    const double budget_ms =
+        std::chrono::duration<double, std::milli>(deadline - now).count();
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        std::min(poll_ms, budget_ms)));
+    poll_ms = std::min(poll_ms * 1.6, 1000.0);
   }
 }
 

@@ -24,9 +24,12 @@ from pathlib import Path
 # provenance says how a result was produced, not what it is. Everything else
 # — status, message, and every non-timing m_* metric — must match exactly.
 # Any *_seconds field (queue/exec envelope timings and the per-phase
-# m_*_seconds flow metrics) is wall-clock and therefore ignored.
+# m_*_seconds flow metrics) is wall-clock and therefore ignored. Attempt
+# bookkeeping (attempts / retries_exhausted / attempt) is retry provenance:
+# a drain interrupted by kill -9 legitimately consumes more attempts than an
+# undisturbed one while producing the same metrics.
 IGNORED_FIELDS = {"cache_hit", "coalesced", "dataset", "job_id",
-                  "run_sequence"}
+                  "run_sequence", "attempts", "retries_exhausted", "attempt"}
 
 
 def is_ignored(field: str) -> bool:

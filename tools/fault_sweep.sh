@@ -109,8 +109,43 @@ if [[ -x "$CALS_SERVE" && -x "$CALS_SUBMIT" ]]; then
   run_serve_case "svc.dispatch:count=1" 2 1
   # Every dispatch poisoned: all jobs fail, the server still exits cleanly.
   run_serve_case "svc.dispatch:count=0" 0 3
+  # Same poison under a retry budget: the failed attempts re-enqueue with
+  # backoff until the cap, then resolve failed — still a clean server exit.
+  run_serve_case "svc.dispatch:count=1" 3 0 --retries 1
   # Cache faults degrade to misses/skipped stores; no job is affected.
   run_serve_case "svc.cache:count=0" 3 0 --cache "$(mktemp -d)"
+  # Journal faults: the write-ahead journal is an availability aid, never a
+  # correctness gate — every append degrades to a warning and serving
+  # continues untouched.
+  journal_spool="$(mktemp -d)"
+  for k in 0.01 0.02 0.03; do
+    "$CALS_SUBMIT" --spool "$journal_spool" --preset spla --scale 0.1 --k "$k" \
+        --quiet >/dev/null
+  done
+  journal_out="$(CALS_FAULTS="svc.journal:count=0" "$CALS_SERVE" \
+      --spool "$journal_spool" --drain --poll-ms 20 2>&1)"
+  journal_rc=$?
+  journal_done="$(ls "$journal_spool/done" 2>/dev/null | wc -l)"
+  journal_failed="$(ls "$journal_spool/failed" 2>/dev/null | wc -l)"
+  if (( journal_rc != 0 )) || [[ "$journal_done" != 3 || "$journal_failed" != 0 ]]; then
+    echo "FAIL  [svc:svc.journal:count=0] exit $journal_rc," \
+         "$journal_done done / $journal_failed failed (journal fault must not" \
+         "touch jobs): $journal_out" >&2
+    FAILURES=$((FAILURES + 1))
+  elif ! grep -q "journal degraded" <<<"$journal_out"; then
+    echo "FAIL  [svc:svc.journal:count=0] degradation never reported: $journal_out" >&2
+    FAILURES=$((FAILURES + 1))
+  else
+    echo "ok    [svc:svc.journal:count=0] 3 done, journal degradation reported"
+  fi
+  rm -rf "$journal_spool"
+  # A throw at the cancel checkpoint is an internal error, so under a retry
+  # budget the hit job re-runs clean and everything still drains to done/.
+  run_serve_case "flow.cancel:count=1" 3 0 --retries 1
+  # kFail at the checkpoint IS a cancellation: every job unwinds with the
+  # typed kCancelled status, publishes to failed/, and — unlike the internal
+  # error above — is never retried even with budget to spare.
+  run_serve_case "flow.cancel:action=fail:count=0" 0 3 --retries 2
 
   # Flight-recorder faults: telemetry is strictly best-effort — every job
   # still drains to done/, the flights/ directory just stays empty and the
