@@ -220,6 +220,9 @@ FlowRun DesignContext::run_impl(const FlowOptions& options, FlowResult* checked)
       m.routing_violations = run.route.total_overflow;
       m.routable = run.route.routable();
       m.wirelength_um = run.route.wirelength_um;
+      m.rcm_passes = run.repair.passes_run;
+      m.rcm_cells_moved = run.repair.cells_moved;
+      m.rcm_overflow_removed = run.repair.overflow_removed();
     }
     if (phases_done >= 4) {
       m.critical_path_ns = run.sta.critical.arrival_ns;
@@ -327,9 +330,56 @@ FlowRun DesignContext::run_impl(const FlowOptions& options, FlowResult* checked)
     if (options.max_route_iters != 0)
       route_options.max_rrr_iterations = options.max_route_iters;
     route_options.cancel = options.cancel;
-    run.route = route(grid, run.binding.graph, run.placement, route_options, pool);
+    if (options.repair_passes == 0) {
+      // The seed path, verbatim: repair off is bit-identical to main.
+      run.route = route(grid, run.binding.graph, run.placement, route_options, pool);
+    } else {
+      // Congestion repair (cals::rcm): keep the routing session open so the
+      // repair loop can invalidate moved nets and resume the negotiation.
+      Router router(grid, run.binding.graph, run.placement, route_options, pool);
+      router.run();
+      {
+        const CongestionMap pre(grid);
+        run.congestion_pre = pre.stats();
+        run.congestion_pre_csv = pre.to_csv();
+      }
+      const std::vector<Point> pre_repair_positions = run.placement.pos;
+      bool degraded = false;
+      try {
+        CALS_TRACE_SCOPE("flow.repair");
+        // kFail action = skip repair quietly; the default throw action
+        // exercises the degrade path below (fault_sweep.sh `flow.repair`).
+        if (!CALS_FAULT_POINT("flow.repair")) {
+          rcm::RepairOptions repair_options;
+          repair_options.passes = options.repair_passes;
+          repair_options.window = options.repair_window;
+          repair_options.max_cells = options.repair_max_cells;
+          repair_options.reroute_iterations = route_options.max_rrr_iterations;
+          repair_options.cancel = options.cancel;
+          run.repair = rcm::repair(router, grid, run.binding.graph, floorplan_,
+                                   run.placement, repair_options);
+        }
+      } catch (const CancelledError&) {
+        throw;  // cancellation is a caller decision, not a repair failure
+      } catch (const std::exception& e) {
+        // Repair is an optimization: any mid-repair failure degrades to the
+        // unrepaired result. The placement is restored from the pre-repair
+        // snapshot and the (possibly half-updated) routing session is
+        // discarded for a fresh route — valid, just not repaired.
+        CALS_OBS_COUNT("flow.repair_failures", 1);
+        CALS_WARN("flow: congestion repair failed (%s); shipping unrepaired route",
+                  e.what());
+        run.repair = {};
+        run.placement.pos = pre_repair_positions;
+        degraded = true;
+      }
+      run.route = degraded
+                      ? route(grid, run.binding.graph, run.placement, route_options, pool)
+                      : router.take();
+    }
     const CongestionMap congestion_map(grid);
     run.congestion = congestion_map.stats();
+    if (options.repair_passes != 0) run.congestion_post_csv = congestion_map.to_csv();
   }
   run.metrics.route_seconds = phase_timer.seconds();
   if (over_budget(FlowPhase::kRoute, run.metrics.route_seconds)) return run;

@@ -37,6 +37,7 @@
 #include "place/legalize.hpp"
 #include "place/partition_place.hpp"
 #include "place/refine.hpp"
+#include "rcm/rcm.hpp"
 #include "route/congestion.hpp"
 #include "route/router.hpp"
 #include "timing/sta.hpp"
@@ -89,6 +90,17 @@ struct FlowOptions {
   /// Overrides RouteOptions::max_rrr_iterations when nonzero, so a caller
   /// can bound a non-converging router without rebuilding route options.
   std::uint32_t max_route_iters = 0;
+  // ---- congestion repair (cals::rcm, DESIGN.md §15) ----------------------
+  /// Post-route repair passes (move -> Abacus legalize -> incremental
+  /// reroute) run on overflowed results before STA. 0 = off, the default:
+  /// the repair-off flow is bit-identical to the seed flow. The knobs below
+  /// only shape results when this is nonzero, which is also when they enter
+  /// the job cache key (svc::canonical_job_options).
+  std::uint32_t repair_passes = 0;
+  /// Candidate-search window radius around a moved cell's pin median, gcells.
+  std::uint32_t repair_window = 8;
+  /// Cells moved per repair pass.
+  std::uint32_t repair_max_cells = 64;
   /// Exception policy for run_checked / congestion_aware_flow. Plain run()
   /// always propagates.
   ErrorPolicy on_error = ErrorPolicy::kPropagate;
@@ -118,6 +130,16 @@ struct FlowRun {
   CongestionStats congestion;
   StaResult sta;
   FlowMetrics metrics;
+  // Populated only when FlowOptions::repair_passes != 0 (default-empty
+  // otherwise, so repair-off FlowRuns are unchanged): the repair telemetry
+  // and the congestion map before/after repair — `congestion` above is the
+  // final (post-repair) stats, `congestion_pre` the state run() would have
+  // shipped without repair, and the CSV snapshots feed cals_flow's
+  // --congestion-csv pre/post heatmap pair.
+  rcm::RepairStats repair;
+  CongestionStats congestion_pre;
+  std::string congestion_pre_csv;
+  std::string congestion_post_csv;
 };
 
 /// Evaluations (DesignContext::run / run_checked) currently executing across

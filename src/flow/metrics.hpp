@@ -37,6 +37,11 @@ struct FlowMetrics {
   /// so sweeps on small machines can see why parallel speedups are invisible
   /// (a 1-CPU container resolves num_threads=0 to a single worker).
   std::uint32_t threads_used = 1;
+  // Congestion repair (cals::rcm, DESIGN.md §15). All zero when
+  // FlowOptions::repair_passes == 0 — the repair-off flow never touches them.
+  std::uint32_t rcm_passes = 0;            ///< repair passes actually executed
+  std::uint32_t rcm_cells_moved = 0;       ///< cells relocated across all passes
+  std::uint64_t rcm_overflow_removed = 0;  ///< overflow before repair - after
 };
 
 /// Debug-mode consistency check: pd_seconds is documented as the

@@ -1,0 +1,102 @@
+#include "rcm/abacus.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace cals::rcm {
+namespace {
+
+/// A run of cells placed back to back. `q`/`e` implement Abacus' weighted
+/// optimum: with cell i at offset o_i from the cluster start, the cluster's
+/// best start is argmin Σ e_i (x + o_i - t_i)^2 = Σ e_i (t_i - o_i) / Σ e_i.
+struct Cluster {
+  std::size_t first = 0;  ///< index into the processing order
+  std::size_t count = 0;
+  double e = 0.0;  ///< Σ weights
+  double q = 0.0;  ///< Σ weight * (target - offset-in-cluster)
+  double w = 0.0;  ///< total width, sites
+  double x = 0.0;  ///< current optimum start (continuous, clamped)
+};
+
+double clamp_start(double x, double width, double span) {
+  // Clamp into the row; when the cluster is wider than the row, pin it to
+  // the left edge (the caller learns about the overflow via `legal`).
+  return std::max(0.0, std::min(x, span - width));
+}
+
+}  // namespace
+
+AbacusRowResult abacus_row(std::vector<AbacusCell>& cells, std::uint32_t num_sites) {
+  AbacusRowResult result;
+  if (cells.empty()) return result;
+  const double span = static_cast<double>(num_sites);
+
+  // Deterministic processing order: ascending target, id breaks ties.
+  std::vector<std::size_t> order(cells.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (cells[a].target != cells[b].target) return cells[a].target < cells[b].target;
+    return cells[a].id < cells[b].id;
+  });
+
+  std::vector<Cluster> clusters;
+  clusters.reserve(cells.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const AbacusCell& cell = cells[order[i]];
+    const double cw = static_cast<double>(std::max<std::uint32_t>(1, cell.width));
+    Cluster cur;
+    cur.first = i;
+    cur.count = 1;
+    cur.e = cell.weight;
+    cur.q = cell.weight * cell.target;
+    cur.w = cw;
+    cur.x = clamp_start(cur.q / cur.e, cur.w, span);
+    // Collapse while the predecessor overlaps: merge cur into it (members
+    // keep their relative offsets) and re-optimize, transitively.
+    while (!clusters.empty() && clusters.back().x + clusters.back().w > cur.x) {
+      Cluster& pred = clusters.back();
+      pred.q += cur.q - cur.e * pred.w;
+      pred.e += cur.e;
+      pred.w += cur.w;
+      pred.count += cur.count;
+      pred.x = clamp_start(pred.q / pred.e, pred.w, span);
+      cur = pred;
+      clusters.pop_back();
+    }
+    clusters.push_back(cur);
+  }
+
+  // Snap each cluster start to an integer site, left to right, never
+  // overlapping the previous cluster's snapped end. Continuous starts are
+  // separated by at least the widths (integers), so the snap can shift a
+  // cluster by less than one site — the running `floor` keeps that legal.
+  std::int64_t floor_site = 0;
+  bool fits = true;
+  for (const Cluster& cluster : clusters) {
+    const auto cw = static_cast<std::int64_t>(std::llround(cluster.w));
+    std::int64_t start = std::llround(cluster.x);
+    start = std::max(start, floor_site);
+    if (start + cw > static_cast<std::int64_t>(num_sites)) {
+      // Does not fit to the right of the floor: pull left as far as the
+      // previous cluster allows; if even that overruns the row, the row is
+      // simply over capacity.
+      start = std::max(floor_site, static_cast<std::int64_t>(num_sites) - cw);
+      if (start + cw > static_cast<std::int64_t>(num_sites)) fits = false;
+    }
+    std::int64_t x = start;
+    for (std::size_t i = cluster.first; i < cluster.first + cluster.count; ++i) {
+      AbacusCell& cell = cells[order[i]];
+      cell.site = x;
+      const double moved = std::abs(static_cast<double>(x) - cell.target);
+      result.total_displacement += moved;
+      result.max_displacement = std::max(result.max_displacement, moved);
+      x += static_cast<std::int64_t>(std::max<std::uint32_t>(1, cell.width));
+    }
+    floor_site = x;
+  }
+  result.legal = fits;
+  return result;
+}
+
+}  // namespace cals::rcm

@@ -1,0 +1,53 @@
+#pragma once
+/// \file abacus.hpp
+/// Abacus-style cluster-collapse row legalization (Spindler et al.,
+/// "Abacus: fast legalization of standard cell circuits with minimal
+/// movement") for the congestion repair loop (cals::rcm, DESIGN.md §15).
+///
+/// Unlike the flow's full Tetris-style legalize() — which re-places every
+/// cell of the die — this operates on ONE row at a time: the repair loop
+/// moves a handful of cells between rows and only the affected rows need
+/// their overlaps resolved. Cells are processed in ascending desired-x
+/// order; a cell that would overlap its left neighbor is merged into a
+/// cluster whose optimum position is the weighted mean of its members'
+/// targets, clusters collapse transitively, and the final positions snap to
+/// the site grid with a left-to-right clamp. Legalizing an already-legal
+/// row is a no-op (each cell is its own cluster at its own target), which
+/// is what keeps repeated repair passes from churning placements.
+///
+/// Everything is deterministic: processing order is (target, id) and all
+/// arithmetic is straight-line double math over the given inputs.
+
+#include <cstdint>
+#include <vector>
+
+namespace cals::rcm {
+
+/// One movable cell of a row, in site units: `target` is the desired left
+/// edge (continuous), `width` the footprint in whole sites. `site` receives
+/// the assigned left-edge site.
+struct AbacusCell {
+  std::uint32_t id = 0;     ///< caller's object id (opaque here)
+  double target = 0.0;      ///< desired left edge, sites (may be fractional)
+  std::uint32_t width = 1;  ///< footprint in sites (>= 1)
+  double weight = 1.0;      ///< displacement weight (Abacus' e_i)
+  std::int64_t site = 0;    ///< OUT: assigned left-edge site
+};
+
+struct AbacusRowResult {
+  /// False when the cells could not all fit inside [0, num_sites) — the
+  /// combined width exceeds the row (or a lone cell is wider than it).
+  /// Positions are still assigned, clamped to start at site 0 and packed
+  /// left-to-right without overlap, so the caller can inspect the damage.
+  bool legal = true;
+  double total_displacement = 0.0;  ///< sum |site - target| over cells, in sites
+  double max_displacement = 0.0;
+};
+
+/// Legalizes one row of `num_sites` sites in place: assigns every cell's
+/// `site` so footprints are disjoint, inside the row when possible, with
+/// minimal weighted movement from the targets. The input order of `cells`
+/// is preserved (only `site` is written).
+AbacusRowResult abacus_row(std::vector<AbacusCell>& cells, std::uint32_t num_sites);
+
+}  // namespace cals::rcm

@@ -1,0 +1,312 @@
+#include "rcm/rcm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+#include "rcm/abacus.hpp"
+#include "util/check.hpp"
+#include "util/obs.hpp"
+
+namespace cals::rcm {
+namespace {
+
+/// Weight of the congestion term against HPWL in the candidate cost, in um
+/// of wirelength per track of gcell overflow. Large enough that a move out
+/// of an overflowed gcell beats a small wirelength increase, small enough
+/// that repair does not scatter cells across the die.
+constexpr double kCongestionWeightUm = 2.0;
+
+/// Per-gcell congestion score: summed overflow (tracks) of the four incident
+/// boundary edges, matching the grid's ceil(usage) - capacity accounting.
+std::vector<double> gcell_scores(const RoutingGrid& grid) {
+  const std::int32_t nx = grid.nx();
+  const std::int32_t ny = grid.ny();
+  std::vector<double> score(static_cast<std::size_t>(nx) * ny, 0.0);
+  auto over = [](double usage, double capacity) {
+    return std::max(0.0, std::ceil(usage) - capacity);
+  };
+  for (std::int32_t y = 0; y < ny; ++y) {
+    for (std::int32_t x = 0; x + 1 < nx; ++x) {
+      const double o = over(grid.h_usage(x, y), grid.h_capacity());
+      if (o <= 0.0) continue;
+      score[static_cast<std::size_t>(y) * nx + x] += o;
+      score[static_cast<std::size_t>(y) * nx + x + 1] += o;
+    }
+  }
+  for (std::int32_t y = 0; y + 1 < ny; ++y) {
+    for (std::int32_t x = 0; x < nx; ++x) {
+      const double o = over(grid.v_usage(x, y), grid.v_capacity());
+      if (o <= 0.0) continue;
+      score[static_cast<std::size_t>(y) * nx + x] += o;
+      score[static_cast<std::size_t>(y + 1) * nx + x] += o;
+    }
+  }
+  return score;
+}
+
+/// Cell footprint in sites, identical to the flow legalizer's quantization
+/// (place/legalize.cpp) so repair and full legalization agree on occupancy.
+std::int64_t width_sites(double width_um, double site) {
+  return std::max<std::int64_t>(1, static_cast<std::int64_t>(std::ceil(width_um / site - 1e-9)));
+}
+
+struct Candidate {
+  std::uint32_t obj = 0;
+  double score = 0.0;  ///< gcell overflow weighted by movability
+};
+
+/// Bounding box of one net's pins excluding the moving object, so the cost
+/// of a candidate position is hpwl(bbox extended by the candidate point).
+struct NetBox {
+  double lo_x = 0.0, lo_y = 0.0, hi_x = 0.0, hi_y = 0.0;
+  bool empty = true;
+};
+
+double extended_hpwl(const NetBox& box, Point p) {
+  if (box.empty) return 0.0;
+  return (std::max(box.hi_x, p.x) - std::min(box.lo_x, p.x)) +
+         (std::max(box.hi_y, p.y) - std::min(box.lo_y, p.y));
+}
+
+}  // namespace
+
+RepairStats repair(Router& router, const RoutingGrid& grid, const PlaceGraph& graph,
+                   const Floorplan& floorplan, Placement& placement,
+                   const RepairOptions& options) {
+  CALS_TRACE_SCOPE("rcm.repair");
+  RepairStats stats;
+  stats.overflow_before = grid.total_overflow();
+  stats.overflow_after = stats.overflow_before;
+  if (options.passes == 0 || stats.overflow_before == 0) return stats;
+
+  const double site = floorplan.site_width();
+  const double row_h = floorplan.row_height();
+  const Rect& die = floorplan.die();
+  const std::int32_t nx = grid.nx();
+  const std::int32_t ny = grid.ny();
+
+  // Object -> incident nets, for dirty-net derivation and move costing.
+  std::vector<std::vector<std::uint32_t>> obj_nets(graph.num_objects);
+  for (std::uint32_t n = 0; n < graph.nets.size(); ++n)
+    for (std::uint32_t p : graph.nets[n].pins) obj_nets[p].push_back(n);
+
+  // Row occupancy in sites, so moves never overfill a row and the Abacus
+  // re-legalization is guaranteed to succeed. Fixed objects (pads on the die
+  // boundary, zero footprint) take no sites, matching the flow legalizer.
+  auto movable = [&](std::uint32_t obj) { return !graph.fixed[obj] && graph.width[obj] > 0.0; };
+  std::vector<std::int64_t> row_used(floorplan.num_rows(), 0);
+  std::vector<std::uint32_t> obj_row(graph.num_objects, UINT32_MAX);
+  for (std::uint32_t obj = 0; obj < graph.num_objects; ++obj) {
+    if (!movable(obj)) continue;
+    const std::uint32_t r = floorplan.nearest_row(placement.pos[obj].y);
+    obj_row[obj] = r;
+    row_used[r] += width_sites(graph.width[obj], site);
+  }
+  const auto row_sites = static_cast<std::int64_t>(floorplan.sites_per_row());
+  // Rows the flow legalizer left over capacity (legalize.cpp spills when the
+  // core is nearly full) are frozen: repair neither selects cells from them
+  // nor moves cells into them (the destination guard below covers that), so
+  // every row the Abacus step touches is guaranteed to fit.
+  auto row_frozen = [&](std::uint32_t r) { return row_used[r] > row_sites; };
+
+  std::vector<std::uint32_t> dirty_nets;
+  std::vector<NetBox> boxes;
+  std::vector<std::uint32_t> touched_rows;
+  std::vector<AbacusCell> row_cells;
+
+  for (std::uint32_t pass = 0; pass < options.passes; ++pass) {
+    if (options.cancel != nullptr && options.cancel->fired()) break;
+    const std::uint64_t before = grid.total_overflow();
+    if (before == 0) break;
+
+    RepairPassStats ps;
+    ps.overflow_before = before;
+    const std::vector<Point> snapshot = placement.pos;
+    const std::vector<double> score = gcell_scores(grid);
+
+    // SELECT: movable cells inside overflowed gcells, scored by the gcell's
+    // overflow over the cell's footprint (narrow cells are cheap to move).
+    std::vector<Candidate> candidates;
+    for (std::uint32_t obj = 0; obj < graph.num_objects; ++obj) {
+      if (!movable(obj) || row_frozen(obj_row[obj])) continue;
+      const GCell g = grid.cell_at(placement.pos[obj]);
+      const double s = score[static_cast<std::size_t>(g.y) * nx + g.x];
+      if (s <= 0.0) continue;
+      candidates.push_back(
+          {obj, s / static_cast<double>(width_sites(graph.width[obj], site))});
+    }
+    std::sort(candidates.begin(), candidates.end(), [](const Candidate& a, const Candidate& b) {
+      if (a.score != b.score) return a.score > b.score;
+      return a.obj < b.obj;
+    });
+    if (candidates.size() > options.max_cells) candidates.resize(options.max_cells);
+
+    // MOVE: for each cell, scan the window around the median of its
+    // connected pins for the cheapest congestion-penalized legal gcell.
+    touched_rows.clear();
+    std::vector<double> xs, ys;
+    for (const Candidate& cand : candidates) {
+      const std::uint32_t obj = cand.obj;
+      const std::int64_t w = width_sites(graph.width[obj], site);
+
+      boxes.clear();
+      xs.clear();
+      ys.clear();
+      for (std::uint32_t n : obj_nets[obj]) {
+        NetBox box;
+        for (std::uint32_t p : graph.nets[n].pins) {
+          if (p == obj) continue;
+          const Point q = placement.pos[p];
+          if (box.empty) {
+            box = {q.x, q.y, q.x, q.y, false};
+          } else {
+            box.lo_x = std::min(box.lo_x, q.x);
+            box.lo_y = std::min(box.lo_y, q.y);
+            box.hi_x = std::max(box.hi_x, q.x);
+            box.hi_y = std::max(box.hi_y, q.y);
+          }
+          xs.push_back(q.x);
+          ys.push_back(q.y);
+        }
+        boxes.push_back(box);
+      }
+      // Window center: median of connected pins (the wirelength-optimal
+      // point); a cell with no other pins searches around itself.
+      Point center = placement.pos[obj];
+      if (!xs.empty()) {
+        const std::size_t mid = xs.size() / 2;
+        std::nth_element(xs.begin(), xs.begin() + mid, xs.end());
+        std::nth_element(ys.begin(), ys.begin() + mid, ys.end());
+        center = {xs[mid], ys[mid]};
+      }
+      const GCell start = grid.cell_at(center);
+      const GCell cur = grid.cell_at(placement.pos[obj]);
+
+      auto cost_at = [&](Point p, double gscore) {
+        double c = kCongestionWeightUm * gscore;
+        for (const NetBox& box : boxes) c += extended_hpwl(box, p);
+        return c;
+      };
+      const double cur_cost = cost_at(
+          placement.pos[obj], score[static_cast<std::size_t>(cur.y) * nx + cur.x]);
+
+      double best_cost = cur_cost;
+      GCell best = cur;
+      std::uint32_t best_row = obj_row[obj];
+      Point best_pos = placement.pos[obj];
+      const auto radius = static_cast<std::int32_t>(options.window);
+      for (std::int32_t y = std::max(0, start.y - radius);
+           y <= std::min(ny - 1, start.y + radius); ++y) {
+        for (std::int32_t x = std::max(0, start.x - radius);
+             x <= std::min(nx - 1, start.x + radius); ++x) {
+          if (x == cur.x && y == cur.y) continue;
+          const Point gc = grid.cell_center({x, y});
+          const std::uint32_t r = floorplan.nearest_row(gc.y);
+          if (r != obj_row[obj] && row_used[r] + w > row_sites) continue;
+          // Target position: gcell-center x clamped so the footprint stays
+          // inside the row, y on the row centerline.
+          const double half = static_cast<double>(w) * 0.5 * site;
+          const Point p{std::min(die.hi.x - half, std::max(die.lo.x + half, gc.x)),
+                        die.lo.y + (static_cast<double>(r) + 0.5) * row_h};
+          const double c = cost_at(p, score[static_cast<std::size_t>(y) * nx + x]);
+          if (c < best_cost) {
+            best_cost = c;
+            best = {x, y};
+            best_row = r;
+            best_pos = p;
+          }
+        }
+      }
+      if (best == cur) continue;
+
+      row_used[obj_row[obj]] -= w;
+      row_used[best_row] += w;
+      touched_rows.push_back(obj_row[obj]);
+      touched_rows.push_back(best_row);
+      obj_row[obj] = best_row;
+      placement.pos[obj] = best_pos;
+      ++ps.cells_moved;
+    }
+
+    if (ps.cells_moved == 0) break;  // nothing the window search would change
+
+    // LEGALIZE: Abacus over every touched row. Row membership comes from
+    // obj_row, kept current through the moves above.
+    std::sort(touched_rows.begin(), touched_rows.end());
+    touched_rows.erase(std::unique(touched_rows.begin(), touched_rows.end()),
+                       touched_rows.end());
+    for (std::uint32_t r : touched_rows) {
+      row_cells.clear();
+      for (std::uint32_t obj = 0; obj < graph.num_objects; ++obj) {
+        if (obj_row[obj] != r) continue;
+        const std::int64_t w = width_sites(graph.width[obj], site);
+        AbacusCell cell;
+        cell.id = obj;
+        cell.width = static_cast<std::uint32_t>(w);
+        cell.target =
+            (placement.pos[obj].x - static_cast<double>(w) * 0.5 * site - die.lo.x) / site;
+        row_cells.push_back(cell);
+      }
+      if (row_cells.empty()) continue;
+      const AbacusRowResult legal = abacus_row(row_cells, floorplan.sites_per_row());
+      CALS_CHECK_MSG(legal.legal, "rcm row over capacity after guarded moves");
+      for (const AbacusCell& cell : row_cells) {
+        const std::int64_t w = width_sites(graph.width[cell.id], site);
+        placement.pos[cell.id] = {
+            die.lo.x + (static_cast<double>(cell.site) + static_cast<double>(w) * 0.5) * site,
+            floorplan.row_y(r)};
+      }
+    }
+
+    // REROUTE: nets with at least one moved pin (legalization ripple
+    // included — the diff is against the pass-entry snapshot).
+    dirty_nets.clear();
+    for (std::uint32_t obj = 0; obj < graph.num_objects; ++obj) {
+      if (placement.pos[obj].x == snapshot[obj].x && placement.pos[obj].y == snapshot[obj].y)
+        continue;
+      dirty_nets.insert(dirty_nets.end(), obj_nets[obj].begin(), obj_nets[obj].end());
+    }
+    std::sort(dirty_nets.begin(), dirty_nets.end());
+    dirty_nets.erase(std::unique(dirty_nets.begin(), dirty_nets.end()), dirty_nets.end());
+    ps.nets_rerouted = static_cast<std::uint32_t>(dirty_nets.size());
+    router.invalidate_nets(dirty_nets, placement);
+    router.reroute_dirty(options.reroute_iterations);
+    ps.overflow_after = grid.total_overflow();
+
+    if (ps.overflow_after > before) {
+      // The pass regressed: restore the placement, reroute the same nets at
+      // their old positions and stop. The outcome approximates (not exactly
+      // — negotiation history has advanced) the unrepaired solution.
+      for (std::uint32_t obj = 0; obj < graph.num_objects; ++obj) {
+        if (placement.pos[obj].x == snapshot[obj].x && placement.pos[obj].y == snapshot[obj].y)
+          continue;
+        const std::int64_t w = width_sites(graph.width[obj], site);
+        row_used[obj_row[obj]] -= w;
+        obj_row[obj] = floorplan.nearest_row(snapshot[obj].y);
+        row_used[obj_row[obj]] += w;
+      }
+      placement.pos = snapshot;
+      router.invalidate_nets(dirty_nets, placement);
+      router.reroute_dirty(options.reroute_iterations);
+      ps.overflow_after = grid.total_overflow();
+      ps.reverted = true;
+      ps.cells_moved = 0;
+    } else {
+      stats.cells_moved += ps.cells_moved;
+    }
+
+    ++stats.passes_run;
+    stats.overflow_after = ps.overflow_after;
+    CALS_OBS_COUNT("rcm.cells_moved", ps.cells_moved);
+    CALS_TRACE_COUNTER("rcm.overflow", static_cast<std::int64_t>(ps.overflow_after));
+    stats.passes.push_back(ps);
+    if (ps.reverted || ps.overflow_after >= before) break;  // no longer improving
+  }
+
+  CALS_OBS_COUNT("rcm.overflow_removed", stats.overflow_removed());
+  return stats;
+}
+
+}  // namespace cals::rcm

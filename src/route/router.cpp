@@ -49,10 +49,17 @@ inline std::uint64_t overflow_contribution(double usage, double capacity) {
 ///  3. Allocation pooling: the maze heap, backtrack scratch and path buffers
 ///     live for the whole route() call; per-iteration edge-cost caches turn
 ///     each maze relaxation into a single load.
-class Router {
+///
+/// The core also backs the public incremental session (cals::Router): after
+/// run(), invalidate_nets() rips up a net subset and rebuilds its topology
+/// from new pin positions (fresh segment ids appended, so existing crossing
+/// lists stay valid as merely-stale entries), and reroute_dirty() routes the
+/// rebuilt segments and resumes the negotiation where run() left off
+/// (history, penalties and the round counter all persist).
+class RouterCore {
  public:
-  Router(RoutingGrid& grid, const PlaceGraph& graph, const Placement& placement,
-         const RouteOptions& options, RouteResult& result, ThreadPool* pool)
+  RouterCore(RoutingGrid& grid, const PlaceGraph& graph, const Placement& placement,
+             const RouteOptions& options, RouteResult& result, ThreadPool* pool)
       : grid_(grid),
         graph_(graph),
         options_(options),
@@ -103,18 +110,79 @@ class Router {
 
   void run() {
     pattern_pass();
-    rrr_loop();
+    rrr_loop(options_.max_rrr_iterations);
+    finish();
+  }
+
+  /// Rips up every listed net (usage removed edge by edge, overflow tracker
+  /// kept exact) and rebuilds its MST topology from `placement`. The new
+  /// segments get fresh ids at the end of the flattened arrays, so crossing
+  /// lists registered under the old ids simply go stale — the
+  /// overflow-at-visit predicate already filters stale entries. Only valid
+  /// after run(); duplicates in `nets` are collapsed.
+  void invalidate_nets(const std::vector<std::uint32_t>& nets, const Placement& placement) {
+    CALS_CHECK_MSG(rrr_phase_, "invalidate_nets before run()");
+    std::vector<std::uint32_t> order(nets);
+    std::sort(order.begin(), order.end());
+    order.erase(std::unique(order.begin(), order.end()), order.end());
+    std::vector<GCell> pins;
+    for (std::uint32_t n : order) {
+      CALS_CHECK(n < graph_.nets.size());
+      for (std::uint32_t s : net_segs_[n]) {
+        if (!seg_paths_[s].empty()) commit_path(seg_paths_[s], -1.0, s);
+        seg_paths_[s].clear();
+      }
+      net_segs_[n].clear();
+      pins.clear();
+      pins.reserve(graph_.nets[n].pins.size());
+      for (std::uint32_t p : graph_.nets[n].pins)
+        pins.push_back(grid_.cell_at(placement.pos[p]));
+      for (const Segment& seg : mst_segments(pins)) {
+        if (seg.a == seg.b) continue;
+        const auto id = static_cast<std::uint32_t>(segments_.size());
+        segments_.push_back(seg);
+        seg_net_.push_back(n);
+        seg_paths_.emplace_back();
+        seg_stamp_.push_back(0);
+        net_segs_[n].push_back(id);
+        pending_segs_.push_back(id);
+      }
+    }
+  }
+
+  /// Routes every segment created by invalidate_nets (maze at the current
+  /// negotiation penalty, ascending id order) and then resumes the rip-up
+  /// negotiation for up to `max_iterations` rounds. The round counter,
+  /// history costs and penalty schedule continue from the previous call, so
+  /// the session converges instead of oscillating. Refreshes result().
+  void reroute_dirty(std::uint32_t max_iterations) {
+    CALS_CHECK_MSG(rrr_phase_, "reroute_dirty before run()");
+    if (!pending_segs_.empty()) {
+      std::sort(pending_segs_.begin(), pending_segs_.end());
+      penalty_ = options_.present_penalty * (1.0 + rounds_);
+      rebuild_cost_caches();
+      for (std::uint32_t s : pending_segs_) {
+        maze_route(segments_[s].a, segments_[s].b, options_.bbox_margin);
+        commit_path(reroute_path_, 1.0, s);
+        seg_paths_[s].assign(reroute_path_.begin(), reroute_path_.end());
+      }
+      pending_segs_.clear();
+      // Commits above enqueue crossers under the previous round's marker;
+      // the next round's over_list_ sweep re-seeds the heap from scratch, so
+      // drop them rather than draining candidates twice.
+      cand_heap_.clear();
+    }
+    rrr_loop(max_iterations);
     finish();
   }
 
  private:
   // ---- topology -----------------------------------------------------------
   void build_topology(const Placement& placement) {
-    result_.nets.resize(graph_.nets.size());
-    seg_first_.reserve(graph_.nets.size() + 1);
+    net_segs_.resize(graph_.nets.size());
     std::vector<GCell> pins;
     for (std::size_t n = 0; n < graph_.nets.size(); ++n) {
-      seg_first_.push_back(static_cast<std::uint32_t>(segments_.size()));
+      const auto first = static_cast<std::uint32_t>(segments_.size());
       pins.clear();
       pins.reserve(graph_.nets[n].pins.size());
       for (std::uint32_t p : graph_.nets[n].pins)
@@ -127,8 +195,11 @@ class Router {
         segments_.push_back(seg);
         seg_net_.push_back(static_cast<std::uint32_t>(n));
       }
+      net_segs_[n].reserve(segments_.size() - first);
+      for (std::uint32_t s = first; s < segments_.size(); ++s)
+        net_segs_[n].push_back(s);
     }
-    seg_first_.push_back(static_cast<std::uint32_t>(segments_.size()));
+    seg_paths_.resize(segments_.size());
   }
 
   // ---- usage accounting ---------------------------------------------------
@@ -381,15 +452,10 @@ class Router {
   void pattern_pass() {
     CALS_TRACE_SCOPE_ARG("route.pattern", "segments", segments_.size());
     pattern_penalty_ = options_.present_penalty;
-    for (std::size_t n = 0; n < graph_.nets.size(); ++n) {
-      RoutedNet& routed = result_.nets[n];
-      routed.paths.reserve(seg_first_[n + 1] - seg_first_[n]);
-      for (std::uint32_t s = seg_first_[n]; s < seg_first_[n + 1]; ++s) {
-        std::vector<GCell>& path = routed.paths.emplace_back();
-        l_route(segments_[s].a, segments_[s].b, path);
-        commit_path(path, 1.0, s);
-        routed.length += path.size() - 1;
-      }
+    for (std::uint32_t s = 0; s < segments_.size(); ++s) {
+      std::vector<GCell>& path = seg_paths_[s];
+      l_route(segments_[s].a, segments_[s].b, path);
+      commit_path(path, 1.0, s);
     }
     CALS_OBS_COUNT("route.pattern_segments", segments_.size());
   }
@@ -415,12 +481,12 @@ class Router {
     }
   }
 
-  void rrr_loop() {
+  void rrr_loop(std::uint32_t max_iterations) {
     CALS_TRACE_SCOPE("route.rrr");
     rrr_phase_ = true;
     std::uint64_t best_overflow = UINT64_MAX;
     std::uint32_t stale_iters = 0;
-    for (std::uint32_t iter = 0; iter < options_.max_rrr_iterations; ++iter) {
+    for (std::uint32_t i = 0; i < max_iterations; ++i) {
       const std::uint64_t overflow = total_overflow_;
       if (overflow == 0) break;
       // Cancellation checkpoint: one relaxed load per iteration on the
@@ -441,6 +507,10 @@ class Router {
       } else if (++stale_iters >= (hopeless ? 2u : 6u)) {
         break;
       }
+      // The round counter persists across reroute_dirty calls (run() starts
+      // it at 0, so the one-shot schedule is untouched): markers stay unique
+      // and the penalty/margin escalation resumes instead of restarting.
+      const std::uint32_t iter = rounds_++;
       result_.rrr_iterations = iter + 1;
       iter_marker_ = iter + 1;
       penalty_ = options_.present_penalty * (1.0 + iter);
@@ -491,10 +561,7 @@ class Router {
 
   struct MazeScratch;  // defined with the maze below
 
-  std::vector<GCell>& seg_path(std::uint32_t seg) {
-    RoutedNet& routed = result_.nets[seg_net_[seg]];
-    return routed.paths[seg - seg_first_[seg_net_[seg]]];
-  }
+  std::vector<GCell>& seg_path(std::uint32_t seg) { return seg_paths_[seg]; }
 
   /// The reference drain: pop candidates in ascending order, rip up and
   /// maze-reroute every one whose path still overflows. This is the
@@ -503,17 +570,11 @@ class Router {
     while (!cand_heap_.empty()) {
       const std::uint32_t seg = pop_candidate();
       ++stats.candidates;
-      RoutedNet& routed = result_.nets[seg_net_[seg]];
-      std::vector<GCell>& path = routed.paths[seg - seg_first_[seg_net_[seg]]];
+      std::vector<GCell>& path = seg_paths_[seg];
       if (!path_overflows(path)) continue;
       commit_path(path, -1.0, seg);
       maze_route(segments_[seg].a, segments_[seg].b, margin);
       commit_path(reroute_path_, 1.0, seg);
-      const auto delta = static_cast<std::int64_t>(reroute_path_.size()) -
-                         static_cast<std::int64_t>(path.size());
-      CALS_CHECK(static_cast<std::int64_t>(routed.length) + delta >= 0);
-      routed.length =
-          static_cast<std::uint64_t>(static_cast<std::int64_t>(routed.length) + delta);
       path.assign(reroute_path_.begin(), reroute_path_.end());
       ++stats.rerouted;
     }
@@ -640,8 +701,7 @@ class Router {
       ++stats.candidates;
       SegPlan* plan = nullptr;
       if (plans[next_plan].seg == seg) plan = &plans[next_plan++];
-      RoutedNet& routed = result_.nets[seg_net_[seg]];
-      std::vector<GCell>& path = routed.paths[seg - seg_first_[seg_net_[seg]]];
+      std::vector<GCell>& path = seg_paths_[seg];
       if (!path_overflows(path)) continue;
       commit_path(path, -1.0, seg);
       const PlanRect rect = plan != nullptr ? plan->rect : seg_rect(seg, margin);
@@ -661,11 +721,6 @@ class Router {
         if (plan != nullptr) CALS_OBS_COUNT("route.plan_misses", 1);
       }
       commit_path(*new_path, 1.0, seg);
-      const auto delta = static_cast<std::int64_t>(new_path->size()) -
-                         static_cast<std::int64_t>(path.size());
-      CALS_CHECK(static_cast<std::int64_t>(routed.length) + delta >= 0);
-      routed.length =
-          static_cast<std::uint64_t>(static_cast<std::int64_t>(routed.length) + delta);
       path.assign(new_path->begin(), new_path->end());
       ++stats.rerouted;
       dirtied_.push_back(rect);
@@ -924,11 +979,25 @@ class Router {
   }
 
   // ---- wrap-up ------------------------------------------------------------
+  /// Assembles the caller-facing result from the per-segment path store and
+  /// the grid. Re-callable: each reroute_dirty() refreshes the totals and
+  /// net paths so result() is always the current solution.
   void finish() {
     result_.total_overflow = grid_.total_overflow();
     CALS_CHECK(result_.total_overflow == total_overflow_);
     result_.overflowed_edges = grid_.overflowed_edges();
-    for (const RoutedNet& routed : result_.nets) result_.wirelength_gcells += routed.length;
+    result_.nets.assign(graph_.nets.size(), RoutedNet{});
+    result_.wirelength_gcells = 0;
+    for (std::size_t n = 0; n < graph_.nets.size(); ++n) {
+      RoutedNet& routed = result_.nets[n];
+      routed.paths.reserve(net_segs_[n].size());
+      for (std::uint32_t s : net_segs_[n]) {
+        if (seg_paths_[s].empty()) continue;
+        routed.paths.push_back(seg_paths_[s]);
+        routed.length += seg_paths_[s].size() - 1;
+      }
+      result_.wirelength_gcells += routed.length;
+    }
     result_.gcell_um = grid_.gcell_um();
     result_.wirelength_um = static_cast<double>(result_.wirelength_gcells) * grid_.gcell_um();
   }
@@ -946,10 +1015,16 @@ class Router {
   double* const h_history_;
   double* const v_history_;
 
-  // Flattened topology: segments in ascending (net, segment) order.
+  // Flattened topology: the initial build lays segments out in ascending
+  // (net, segment) order; invalidate_nets appends replacements at the end.
+  // net_segs_[n] lists net n's live segment ids (ascending); seg_paths_ is
+  // the per-segment path store result_.nets is assembled from in finish().
   std::vector<Segment> segments_;
   std::vector<std::uint32_t> seg_net_;
-  std::vector<std::uint32_t> seg_first_;  ///< per-net first segment id
+  std::vector<std::vector<std::uint32_t>> net_segs_;
+  std::vector<std::vector<GCell>> seg_paths_;
+  std::vector<std::uint32_t> pending_segs_;  ///< invalidated, awaiting reroute
+  std::uint32_t rounds_ = 0;  ///< rip-up rounds run across the whole session
 
   // Overflow tracker (exact: contributions are integral).
   std::uint64_t total_overflow_ = 0;
@@ -989,16 +1064,54 @@ class Router {
 
 }  // namespace
 
-RouteResult route(RoutingGrid& grid, const PlaceGraph& graph, const Placement& placement,
-                  const RouteOptions& options, ThreadPool* pool) {
+// ---- incremental session facade ---------------------------------------------
+
+struct Router::Impl {
+  RouteOptions options;  ///< stable copy the core holds a reference into
   RouteResult result;
+  RouterCore core;
+
+  Impl(RoutingGrid& grid, const PlaceGraph& graph, const Placement& placement,
+       const RouteOptions& opts, ThreadPool* pool)
+      : options(opts),
+        core(grid, graph, placement, options, result,
+             pool != nullptr && pool->num_workers() > 1 ? pool : nullptr) {}
+};
+
+Router::Router(RoutingGrid& grid, const PlaceGraph& graph, const Placement& placement,
+               const RouteOptions& options, ThreadPool* pool) {
+  // Same preconditions the one-shot route() has always established: the
+  // session owns the grid's usage and history for its lifetime.
   grid.clear_usage();
   std::fill(grid.h_history().begin(), grid.h_history().end(), 0.0);
   std::fill(grid.v_history().begin(), grid.v_history().end(), 0.0);
-  Router router(grid, graph, placement, options, result,
-                pool != nullptr && pool->num_workers() > 1 ? pool : nullptr);
+  impl_ = std::make_unique<Impl>(grid, graph, placement, options, pool);
+}
+
+Router::~Router() = default;
+Router::Router(Router&&) noexcept = default;
+Router& Router::operator=(Router&&) noexcept = default;
+
+void Router::run() { impl_->core.run(); }
+
+void Router::invalidate_nets(const std::vector<std::uint32_t>& nets,
+                             const Placement& placement) {
+  impl_->core.invalidate_nets(nets, placement);
+}
+
+void Router::reroute_dirty(std::uint32_t max_iterations) {
+  impl_->core.reroute_dirty(max_iterations);
+}
+
+const RouteResult& Router::result() const { return impl_->result; }
+
+RouteResult Router::take() { return std::move(impl_->result); }
+
+RouteResult route(RoutingGrid& grid, const PlaceGraph& graph, const Placement& placement,
+                  const RouteOptions& options, ThreadPool* pool) {
+  Router router(grid, graph, placement, options, pool);
   router.run();
-  return result;
+  return router.take();
 }
 
 }  // namespace cals

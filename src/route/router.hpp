@@ -9,6 +9,7 @@
 /// convergence is the "number of routing violations" reported in the tables.
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "place/placement.hpp"
@@ -65,6 +66,57 @@ struct RouteResult {
   bool routable() const { return total_overflow == 0; }
 };
 
+/// An incremental routing session over one (grid, graph) pair — the public
+/// face of the dirty-set machinery the negotiated router already runs on.
+/// Usage: construct (clears the grid's usage and history), run() the full
+/// initial route, then any number of
+///   invalidate_nets(dirty, placement)  — rip up the listed nets and rebuild
+///                                        their topology from the (possibly
+///                                        moved) pin positions, then
+///   reroute_dirty(max_iterations)      — route the rebuilt segments and
+///                                        resume the negotiation over the
+///                                        dirty set, refreshing result().
+/// Between calls the session keeps the grid usage, PathFinder history and
+/// the escalation schedule (round counter), so repeated repair passes
+/// converge instead of renegotiating from scratch. The congestion repair
+/// loop (cals::rcm) drives exactly this cycle after each batch of cell
+/// moves; everything stays deterministic at any thread count (the parallel
+/// drain's plan/replay protocol is bit-identical to the serial one).
+class Router {
+ public:
+  /// Builds the session and clears `grid` (usage + history), exactly as the
+  /// one-shot route() entry point always has. `options` is copied; `graph`,
+  /// `grid` and `pool` must outlive the session.
+  Router(RoutingGrid& grid, const PlaceGraph& graph, const Placement& placement,
+         const RouteOptions& options = {}, ThreadPool* pool = nullptr);
+  ~Router();
+  Router(Router&&) noexcept;
+  Router& operator=(Router&&) noexcept;
+
+  /// The full initial route (pattern pass + negotiated rip-up). Call once,
+  /// before any invalidate/reroute cycle.
+  void run();
+
+  /// Rips up every listed net (duplicates tolerated) and rebuilds its MST
+  /// topology from `placement` — the entry point after cell moves. The nets
+  /// stay unrouted until the next reroute_dirty().
+  void invalidate_nets(const std::vector<std::uint32_t>& nets, const Placement& placement);
+
+  /// Routes all invalidated segments, then resumes rip-up negotiation for up
+  /// to `max_iterations` rounds (stops early at zero overflow or stalled
+  /// progress) and refreshes result().
+  void reroute_dirty(std::uint32_t max_iterations);
+
+  /// The current solution: valid after run(), refreshed by reroute_dirty().
+  const RouteResult& result() const;
+  /// Moves the result out (the session is done being queried).
+  RouteResult take();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
 /// Routes every hypernet of `graph` at `placement` onto `grid`.
 /// The grid's usage is left at the final solution so congestion maps can be
 /// derived from it afterwards.
@@ -76,6 +128,9 @@ struct RouteResult {
 /// inline otherwise. Paths, stats and the final grid state are bit-identical
 /// to the serial router at any thread count; small candidate sets drain
 /// serially outright.
+///
+/// Equivalent to `Router(...).run()` + take(): the one-shot entry point and
+/// the incremental session share one implementation.
 RouteResult route(RoutingGrid& grid, const PlaceGraph& graph, const Placement& placement,
                   const RouteOptions& options = {}, ThreadPool* pool = nullptr);
 

@@ -103,6 +103,9 @@ FlightRecord flight_from_record(const JobRecord& record) {
   f.critical_path_ns = m.critical_path_ns;
   f.num_rows = m.num_rows;
   f.threads_used = m.threads_used;
+  f.rcm_passes = m.rcm_passes;
+  f.rcm_cells_moved = m.rcm_cells_moved;
+  f.rcm_overflow_removed = m.rcm_overflow_removed;
   return f;
 }
 
@@ -116,6 +119,13 @@ void flight_add_route_stats(FlightRecord& flight,
     flight.ripups += it.rerouted;
     flight.maze_pops += it.maze_pops;
   }
+}
+
+void flight_add_repair_stats(FlightRecord& flight, const rcm::RepairStats& repair) {
+  flight.rcm_overflow_trajectory.reserve(flight.rcm_overflow_trajectory.size() +
+                                         repair.passes.size());
+  for (const rcm::RepairPassStats& pass : repair.passes)
+    flight.rcm_overflow_trajectory.push_back(pass.overflow_after);
 }
 
 std::string flight_record_to_json(const FlightRecord& f) {
@@ -149,6 +159,10 @@ std::string flight_record_to_json(const FlightRecord& f) {
   w.field("dirty_edges", join_u64(f.dirty_edges));
   w.field("ripups", f.ripups);
   w.field("maze_pops", f.maze_pops);
+  w.field("rcm_passes", f.rcm_passes);
+  w.field("rcm_cells_moved", f.rcm_cells_moved);
+  w.field("rcm_overflow_removed", f.rcm_overflow_removed);
+  w.field("rcm_overflow_trajectory", join_u64(f.rcm_overflow_trajectory));
   w.field("k_factor", f.k_factor);
   w.field("num_cells", f.num_cells);
   w.field("cell_area_um2", f.cell_area_um2);
@@ -207,6 +221,12 @@ Result<FlightRecord> flight_record_from_json(std::string_view text) {
     f.dirty_edges = split_u64<std::uint32_t>(joined);
   get_u64(obj, "ripups", f.ripups);
   get_u64(obj, "maze_pops", f.maze_pops);
+  get_u32(obj, "rcm_passes", f.rcm_passes);
+  get_u32(obj, "rcm_cells_moved", f.rcm_cells_moved);
+  get_u64(obj, "rcm_overflow_removed", f.rcm_overflow_removed);
+  joined.clear();
+  if (get_string(obj, "rcm_overflow_trajectory", joined))
+    f.rcm_overflow_trajectory = split_u64<std::uint64_t>(joined);
   get_double(obj, "k_factor", f.k_factor);
   get_u32(obj, "num_cells", f.num_cells);
   get_double(obj, "cell_area_um2", f.cell_area_um2);

@@ -29,6 +29,7 @@
 #include <string_view>
 #include <vector>
 
+#include "rcm/rcm.hpp"
 #include "route/router.hpp"
 #include "svc/job.hpp"
 
@@ -81,6 +82,15 @@ struct FlightRecord {
   std::uint64_t ripups = 0;     ///< total segments ripped up and rerouted
   std::uint64_t maze_pops = 0;  ///< total A* heap pops across all mazes
 
+  // ---- congestion repair telemetry (cals::rcm) -------------------------------
+  // Totals come from the outcome metrics; the per-pass trajectory is layered
+  // on by the service via flight_add_repair_stats. All zero/empty when the
+  // job ran with repair off.
+  std::uint32_t rcm_passes = 0;          ///< repair passes executed
+  std::uint32_t rcm_cells_moved = 0;     ///< cells relocated across all passes
+  std::uint64_t rcm_overflow_removed = 0;
+  std::vector<std::uint64_t> rcm_overflow_trajectory;  ///< overflow after each pass
+
   // ---- final QoR -----------------------------------------------------------
   double k_factor = 0.0;
   std::uint32_t num_cells = 0;
@@ -110,6 +120,11 @@ FlightRecord flight_from_record(const JobRecord& record);
 /// vectors and rip-up/maze totals.
 void flight_add_route_stats(FlightRecord& flight,
                             const std::vector<RouteIterStats>& iters);
+
+/// Folds one run's congestion-repair stats into the record's per-pass
+/// overflow trajectory (the totals already arrive via the outcome metrics in
+/// flight_from_record). No-op for a repair-off run (no passes).
+void flight_add_repair_stats(FlightRecord& flight, const rcm::RepairStats& repair);
 
 /// FlightRecord <-> flat JSON (the flights/ file format). Vector fields ride
 /// in the flat-object codec as joined strings: trajectories comma-separated

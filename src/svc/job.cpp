@@ -110,6 +110,12 @@ std::string canonical_job_options(const JobSpec& spec) {
                  o.route.history_increment, o.route.bbox_margin);
   // Guardrails that can truncate a run (and so its metrics).
   s += strprintf("budget=%.17g;max_route=%u", o.phase_time_budget_s, o.max_route_iters);
+  // Congestion repair. Appended only when enabled: at repair_passes == 0 the
+  // window/cells knobs cannot affect results, and keeping the string empty
+  // preserves every pre-repair cache key and ledger entry byte-for-byte.
+  if (o.repair_passes != 0)
+    s += strprintf(";rp.passes=%u;rp.window=%u;rp.cells=%u", o.repair_passes,
+                   o.repair_window, o.repair_max_cells);
   return s;
 }
 
@@ -184,6 +190,9 @@ std::string job_spec_to_json(const JobSpec& spec) {
   w.field("r_present", spec.options.route.present_penalty);
   w.field("r_history", spec.options.route.history_increment);
   w.field("r_bbox", static_cast<std::int64_t>(spec.options.route.bbox_margin));
+  w.field("rp_passes", spec.options.repair_passes);
+  w.field("rp_window", spec.options.repair_window);
+  w.field("rp_cells", spec.options.repair_max_cells);
   // Robustness knobs (scheduling policy — NOT in either content key).
   w.field("max_attempts", spec.max_attempts);
   w.field("deadline_s", spec.deadline_s);
@@ -250,6 +259,9 @@ Result<JobSpec> job_spec_from_json(std::string_view text) {
   get_double(obj, "r_present", spec.options.route.present_penalty);
   get_double(obj, "r_history", spec.options.route.history_increment);
   get_i32(obj, "r_bbox", spec.options.route.bbox_margin);
+  get_u32(obj, "rp_passes", spec.options.repair_passes);
+  get_u32(obj, "rp_window", spec.options.repair_window);
+  get_u32(obj, "rp_cells", spec.options.repair_max_cells);
   get_u32(obj, "max_attempts", spec.max_attempts);
   get_double(obj, "deadline_s", spec.deadline_s);
   if (spec.deadline_s < 0.0)
@@ -278,6 +290,9 @@ void append_metrics_fields(JsonObjectWriter& w, const FlowMetrics& m) {
   w.field("m_route_seconds", m.route_seconds);
   w.field("m_sta_seconds", m.sta_seconds);
   w.field("m_threads_used", m.threads_used);
+  w.field("m_rcm_passes", m.rcm_passes);
+  w.field("m_rcm_cells_moved", m.rcm_cells_moved);
+  w.field("m_rcm_overflow_removed", m.rcm_overflow_removed);
 }
 
 FlowMetrics metrics_from_json(const JsonObject& obj) {
@@ -301,6 +316,9 @@ FlowMetrics metrics_from_json(const JsonObject& obj) {
   get_double(obj, "m_route_seconds", m.route_seconds);
   get_double(obj, "m_sta_seconds", m.sta_seconds);
   get_u32(obj, "m_threads_used", m.threads_used);
+  get_u32(obj, "m_rcm_passes", m.rcm_passes);
+  get_u32(obj, "m_rcm_cells_moved", m.rcm_cells_moved);
+  get_u64(obj, "m_rcm_overflow_removed", m.rcm_overflow_removed);
   return m;
 }
 

@@ -61,7 +61,8 @@ Result<JobDesign> build_job_design(const JobSpec& spec) {
 
 JobOutcome evaluate_job_on_context(const JobSpec& spec, const DesignContext& context,
                                    std::uint32_t num_threads_override,
-                                   std::vector<RouteIterStats>* route_iters) {
+                                   std::vector<RouteIterStats>* route_iters,
+                                   rcm::RepairStats* repair) {
   CALS_TRACE_SCOPE("svc.job.eval");
   JobOutcome outcome;
   FlowOptions options = spec.options;
@@ -76,18 +77,21 @@ JobOutcome evaluate_job_on_context(const JobSpec& spec, const DesignContext& con
       outcome.metrics = search.runs[search.chosen].metrics;
       if (route_iters != nullptr)
         *route_iters = search.runs[search.chosen].route.iter_stats;
+      if (repair != nullptr) *repair = search.runs[search.chosen].repair;
     }
   } else {
     FlowResult result = context.run_checked(options);
     outcome.status = result.status;
     outcome.metrics = result.run.metrics;
     if (route_iters != nullptr) *route_iters = result.run.route.iter_stats;
+    if (repair != nullptr) *repair = result.run.repair;
   }
   return outcome;
 }
 
 JobOutcome run_flow_job(const JobSpec& spec, std::uint32_t num_threads_override,
-                        std::vector<RouteIterStats>* route_iters) {
+                        std::vector<RouteIterStats>* route_iters,
+                        rcm::RepairStats* repair) {
   CALS_TRACE_SCOPE("svc.job.flow");
   Result<JobDesign> design = build_job_design(spec);
   if (!design.ok()) {
@@ -97,7 +101,8 @@ JobOutcome run_flow_job(const JobSpec& spec, std::uint32_t num_threads_override,
   }
   const DesignContext context(std::move(design->net), &design->library,
                               design->floorplan);
-  return evaluate_job_on_context(spec, context, num_threads_override, route_iters);
+  return evaluate_job_on_context(spec, context, num_threads_override, route_iters,
+                                 repair);
 }
 
 std::uint32_t fair_thread_slice(std::uint32_t budget, std::uint32_t dispatchers,
@@ -533,12 +538,13 @@ void FlowService::execute(const std::shared_ptr<Job>& job,
         dataset = options_.datasets->acquire(job->record.dataset_key);
       if (dataset != nullptr) {
         outcome = evaluate_job_on_context(job->spec, dataset->context(), thread_slice,
-                                          &extras.route_iters);
+                                          &extras.route_iters, &extras.repair);
         outcome.dataset = true;
         extras.dataset_version = dataset->version();
         CALS_OBS_COUNT("svc.dataset.jobs", 1);
       } else {
-        outcome = run_flow_job(job->spec, thread_slice, &extras.route_iters);
+        outcome = run_flow_job(job->spec, thread_slice, &extras.route_iters,
+                               &extras.repair);
       }
       executed_flow = true;
       if (options_.cache != nullptr)
@@ -682,6 +688,7 @@ void FlowService::push_flight_locked(const Job& job, const FlightExtras& extras)
   flight.thread_slice = extras.thread_slice;
   flight.dataset_version = extras.dataset_version;
   flight_add_route_stats(flight, extras.route_iters);
+  flight_add_repair_stats(flight, extras.repair);
   // Retry provenance first (chronological), then this attempt's events.
   flight.events = job.retry_events;
   flight.events.insert(flight.events.end(), extras.events.begin(),

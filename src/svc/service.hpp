@@ -95,21 +95,24 @@ Result<JobDesign> build_job_design(const JobSpec& spec);
 /// for this spec's dataset options (canonical_dataset_options); the service
 /// guarantees that by keying DatasetStore lookups on record.dataset_key.
 /// A non-null `route_iters` receives the chosen run's per-iteration router
-/// stats (the flight recorder's overflow trajectory).
+/// stats (the flight recorder's overflow trajectory); a non-null `repair`
+/// the run's congestion-repair stats (empty for repair-off specs).
 JobOutcome evaluate_job_on_context(const JobSpec& spec, const DesignContext& context,
                                    std::uint32_t num_threads_override = UINT32_MAX,
-                                   std::vector<RouteIterStats>* route_iters = nullptr);
+                                   std::vector<RouteIterStats>* route_iters = nullptr,
+                                   rcm::RepairStats* repair = nullptr);
 
 /// Runs one job start-to-finish on the calling thread (no queueing, no
 /// cache): parse the design + library, build the floorplan and context,
 /// evaluate at options.K (or the Fig. 3 schedule when spec.auto_k). Parse
 /// and flow failures come back in `JobOutcome::status` — never thrown.
 /// `num_threads_override` != UINT32_MAX replaces spec.options.num_threads
-/// (how the service applies its per-job slice). `route_iters` as in
-/// evaluate_job_on_context.
+/// (how the service applies its per-job slice). `route_iters` and `repair`
+/// as in evaluate_job_on_context.
 JobOutcome run_flow_job(const JobSpec& spec,
                         std::uint32_t num_threads_override = UINT32_MAX,
-                        std::vector<RouteIterStats>* route_iters = nullptr);
+                        std::vector<RouteIterStats>* route_iters = nullptr,
+                        rcm::RepairStats* repair = nullptr);
 
 /// The worker-thread slice a dispatch claims, decided atomically with the
 /// claim under the service lock: the unclaimed budget divided evenly among
@@ -270,6 +273,7 @@ class FlowService {
     std::uint32_t thread_slice = 0;
     std::uint64_t dataset_version = 0;
     std::vector<RouteIterStats> route_iters;
+    rcm::RepairStats repair;  ///< congestion-repair per-pass trajectory
     std::vector<std::string> events;
   };
 

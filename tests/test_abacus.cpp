@@ -1,0 +1,167 @@
+/// Abacus row legalizer (rcm/abacus.hpp) edge cases: already-legal rows are
+/// fixed points (idempotence), moves clamp at row ends, a cell wider than
+/// the remaining span reports illegality without crashing, zero-width rows
+/// degrade, and cluster collapse resolves overlaps with minimal movement.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rcm/abacus.hpp"
+
+namespace cals::rcm {
+namespace {
+
+AbacusCell cell(std::uint32_t id, double target, std::uint32_t width) {
+  AbacusCell c;
+  c.id = id;
+  c.target = target;
+  c.width = width;
+  return c;
+}
+
+void expect_disjoint(const std::vector<AbacusCell>& cells) {
+  // Pairwise footprint disjointness, regardless of order.
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    for (std::size_t j = i + 1; j < cells.size(); ++j) {
+      const auto& a = cells[i];
+      const auto& b = cells[j];
+      const bool disjoint = a.site + static_cast<std::int64_t>(a.width) <= b.site ||
+                            b.site + static_cast<std::int64_t>(b.width) <= a.site;
+      EXPECT_TRUE(disjoint) << "cells " << a.id << " and " << b.id << " overlap";
+    }
+  }
+}
+
+TEST(Abacus, EmptyRow) {
+  std::vector<AbacusCell> cells;
+  const AbacusRowResult result = abacus_row(cells, 10);
+  EXPECT_TRUE(result.legal);
+  EXPECT_EQ(result.total_displacement, 0.0);
+}
+
+TEST(Abacus, AlreadyLegalRowIsFixedPoint) {
+  // Legal, integer-site, non-overlapping (touching included) targets must
+  // come back untouched — this is what keeps repeated repair passes from
+  // churning placements.
+  std::vector<AbacusCell> cells = {cell(0, 0.0, 2), cell(1, 2.0, 3), cell(2, 7.0, 2)};
+  const AbacusRowResult result = abacus_row(cells, 10);
+  EXPECT_TRUE(result.legal);
+  EXPECT_EQ(cells[0].site, 0);
+  EXPECT_EQ(cells[1].site, 2);
+  EXPECT_EQ(cells[2].site, 7);
+  EXPECT_EQ(result.total_displacement, 0.0);
+  EXPECT_EQ(result.max_displacement, 0.0);
+}
+
+TEST(Abacus, Idempotence) {
+  // Legalize a messy row, feed the result back as targets: second run is a
+  // no-op.
+  std::vector<AbacusCell> cells = {cell(0, 1.3, 2), cell(1, 1.9, 2), cell(2, 2.5, 2)};
+  ASSERT_TRUE(abacus_row(cells, 12).legal);
+  expect_disjoint(cells);
+  std::vector<AbacusCell> again;
+  for (const AbacusCell& c : cells) again.push_back(cell(c.id, static_cast<double>(c.site), c.width));
+  const AbacusRowResult result = abacus_row(again, 12);
+  EXPECT_TRUE(result.legal);
+  EXPECT_EQ(result.total_displacement, 0.0);
+  for (std::size_t i = 0; i < cells.size(); ++i) EXPECT_EQ(again[i].site, cells[i].site);
+}
+
+TEST(Abacus, OverlapCollapsesWithMinimalMovement) {
+  // Two width-2 cells both wanting site 4: the cluster optimum centers the
+  // pair on the shared target (starts at 3, cells at 3 and 5).
+  std::vector<AbacusCell> cells = {cell(0, 4.0, 2), cell(1, 4.0, 2)};
+  const AbacusRowResult result = abacus_row(cells, 10);
+  EXPECT_TRUE(result.legal);
+  EXPECT_EQ(cells[0].site, 3);  // id breaks the target tie: 0 goes left
+  EXPECT_EQ(cells[1].site, 5);
+  EXPECT_EQ(result.total_displacement, 2.0);
+}
+
+TEST(Abacus, MovesClampAtRowEnds) {
+  // Targets far off both ends of the row clamp to [0, num_sites - width].
+  std::vector<AbacusCell> left = {cell(0, -25.0, 3)};
+  EXPECT_TRUE(abacus_row(left, 10).legal);
+  EXPECT_EQ(left[0].site, 0);
+
+  std::vector<AbacusCell> right = {cell(0, 99.0, 3)};
+  EXPECT_TRUE(abacus_row(right, 10).legal);
+  EXPECT_EQ(right[0].site, 7);
+
+  // A pile-up at the right end packs backwards from the row edge.
+  std::vector<AbacusCell> pile = {cell(0, 9.0, 2), cell(1, 9.0, 2), cell(2, 9.0, 2)};
+  EXPECT_TRUE(abacus_row(pile, 10).legal);
+  EXPECT_EQ(pile[0].site, 4);
+  EXPECT_EQ(pile[1].site, 6);
+  EXPECT_EQ(pile[2].site, 8);
+}
+
+TEST(Abacus, CellWiderThanRow) {
+  // A lone cell wider than the whole row: pinned at 0, reported illegal,
+  // no crash and no position past the row start.
+  std::vector<AbacusCell> cells = {cell(0, 3.0, 15)};
+  const AbacusRowResult result = abacus_row(cells, 10);
+  EXPECT_FALSE(result.legal);
+  EXPECT_EQ(cells[0].site, 0);
+}
+
+TEST(Abacus, CellWiderThanRemainingSpan) {
+  // The second cell fits the row but not the space left of it; the combined
+  // cluster is wider than the row -> illegal, packed from 0, disjoint.
+  std::vector<AbacusCell> cells = {cell(0, 0.0, 6), cell(1, 5.0, 6)};
+  const AbacusRowResult result = abacus_row(cells, 10);
+  EXPECT_FALSE(result.legal);
+  EXPECT_EQ(cells[0].site, 0);
+  EXPECT_EQ(cells[1].site, 6);
+  expect_disjoint(cells);
+}
+
+TEST(Abacus, ZeroWidthRow) {
+  // A degenerate row with no sites: everything lands at 0, flagged illegal,
+  // and nothing crashes.
+  std::vector<AbacusCell> cells = {cell(0, 2.0, 1), cell(1, 5.0, 2)};
+  const AbacusRowResult result = abacus_row(cells, 0);
+  EXPECT_FALSE(result.legal);
+  expect_disjoint(cells);
+  for (const AbacusCell& c : cells) EXPECT_GE(c.site, 0);
+}
+
+TEST(Abacus, ExactCapacityRow) {
+  // Cells that exactly fill the row legalize to a perfect packing.
+  std::vector<AbacusCell> cells = {cell(0, 1.0, 4), cell(1, 3.0, 4), cell(2, 9.0, 2)};
+  const AbacusRowResult result = abacus_row(cells, 10);
+  EXPECT_TRUE(result.legal);
+  expect_disjoint(cells);
+  EXPECT_EQ(cells[0].site + cells[1].site + cells[2].site, 0 + 4 + 8);
+}
+
+TEST(Abacus, DeterministicTieBreakById) {
+  // Equal targets process in id order regardless of input order.
+  std::vector<AbacusCell> forward = {cell(0, 5.0, 2), cell(1, 5.0, 2), cell(2, 5.0, 2)};
+  std::vector<AbacusCell> shuffled = {cell(2, 5.0, 2), cell(0, 5.0, 2), cell(1, 5.0, 2)};
+  EXPECT_TRUE(abacus_row(forward, 20).legal);
+  EXPECT_TRUE(abacus_row(shuffled, 20).legal);
+  for (const AbacusCell& f : forward) {
+    for (const AbacusCell& s : shuffled) {
+      if (f.id == s.id) {
+        EXPECT_EQ(f.site, s.site) << "cell " << f.id;
+      }
+    }
+  }
+}
+
+TEST(Abacus, WeightedClusterFavorsHeavyCell) {
+  // A heavy cell pulls the collapsed cluster toward its own target.
+  std::vector<AbacusCell> balanced = {cell(0, 4.0, 2), cell(1, 4.0, 2)};
+  std::vector<AbacusCell> weighted = {cell(0, 4.0, 2), cell(1, 4.0, 2)};
+  weighted[0].weight = 10.0;
+  ASSERT_TRUE(abacus_row(balanced, 20).legal);
+  ASSERT_TRUE(abacus_row(weighted, 20).legal);
+  // Heavier first cell => cluster shifts right toward its target (4) more
+  // than the equal-weight optimum (3).
+  EXPECT_GE(weighted[0].site, balanced[0].site);
+}
+
+}  // namespace
+}  // namespace cals::rcm

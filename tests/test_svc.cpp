@@ -180,6 +180,49 @@ TEST(SvcJob, CacheKeyIgnoresBitIdenticalKnobs) {
   EXPECT_EQ(job_cache_key(variant), job_cache_key(base));
 }
 
+TEST(SvcJob, RepairKnobsInCacheKeyOnlyWhenEnabled) {
+  // A repair-enabled job is a different computation than its repair-off
+  // twin: distinct cache key. But with repair_passes == 0 the window/cell
+  // knobs are inert, so varying them must NOT perturb the key (pre-repair
+  // cache entries and ledger rows stay addressable).
+  const JobSpec base = tiny_job();
+  ASSERT_EQ(base.options.repair_passes, 0u);
+
+  JobSpec inert = base;
+  inert.options.repair_window = 31;
+  inert.options.repair_max_cells = 999;
+  EXPECT_EQ(job_cache_key(inert), job_cache_key(base));
+
+  JobSpec on = base;
+  on.options.repair_passes = 1;
+  EXPECT_NE(job_cache_key(on), job_cache_key(base));
+
+  JobSpec on2 = on;
+  on2.options.repair_passes = 2;
+  EXPECT_NE(job_cache_key(on2), job_cache_key(on));
+
+  // Once repair is on, the window and cell budget shape the result.
+  JobSpec window = on;
+  window.options.repair_window = 12;
+  EXPECT_NE(job_cache_key(window), job_cache_key(on));
+  JobSpec cells = on;
+  cells.options.repair_max_cells = 16;
+  EXPECT_NE(job_cache_key(cells), job_cache_key(on));
+}
+
+TEST(SvcJob, RepairKnobsJsonRoundTrip) {
+  JobSpec spec = tiny_job(0.1);
+  spec.options.repair_passes = 2;
+  spec.options.repair_window = 5;
+  spec.options.repair_max_cells = 32;
+  Result<JobSpec> back = job_spec_from_json(job_spec_to_json(spec));
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  EXPECT_EQ(back->options.repair_passes, 2u);
+  EXPECT_EQ(back->options.repair_window, 5u);
+  EXPECT_EQ(back->options.repair_max_cells, 32u);
+  EXPECT_EQ(job_cache_key(*back), job_cache_key(spec));
+}
+
 TEST(SvcJob, SpecJsonRoundTrip) {
   JobSpec spec = tiny_job(0.1);
   spec.name = "round-trip";
@@ -799,6 +842,10 @@ TEST(SvcFlight, JsonRoundTripAndSchemaGate) {
   flight.dirty_edges = {120, 30, 0};
   flight.ripups = 150;
   flight.maze_pops = 9000;
+  flight.rcm_passes = 2;
+  flight.rcm_cells_moved = 17;
+  flight.rcm_overflow_removed = 13;
+  flight.rcm_overflow_trajectory = {41, 30, 28};
   flight.k_factor = 0.05;
   flight.num_cells = 321;
   flight.wirelength_um = 1234.5;
@@ -823,6 +870,10 @@ TEST(SvcFlight, JsonRoundTripAndSchemaGate) {
   EXPECT_EQ(back->dirty_edges, flight.dirty_edges);
   EXPECT_EQ(back->ripups, flight.ripups);
   EXPECT_EQ(back->maze_pops, flight.maze_pops);
+  EXPECT_EQ(back->rcm_passes, flight.rcm_passes);
+  EXPECT_EQ(back->rcm_cells_moved, flight.rcm_cells_moved);
+  EXPECT_EQ(back->rcm_overflow_removed, flight.rcm_overflow_removed);
+  EXPECT_EQ(back->rcm_overflow_trajectory, flight.rcm_overflow_trajectory);
   EXPECT_EQ(back->k_factor, flight.k_factor);
   EXPECT_EQ(back->wirelength_um, flight.wirelength_um);
   EXPECT_EQ(back->routable, flight.routable);

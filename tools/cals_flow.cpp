@@ -23,7 +23,12 @@
 ///   --trace <file>         record a Chrome trace_event JSON of the run
 ///                          (load in chrome://tracing or Perfetto)
 ///   --metrics <file>       write the obs metrics registry dump
-///   --congestion-csv <file> write the final congestion map as a CSV heatmap
+///   --congestion-csv <file> write the final congestion map as a CSV heatmap;
+///                          with repair on, writes <file base>.pre.csv and
+///                          <file base>.post.csv (before/after repair)
+///   --repair-passes <n>    post-route congestion repair passes (0 = off)
+///   --repair-window <n>    repair search window radius, gcells (default 8)
+///   --repair-max-cells <n> cells moved per repair pass (default 64)
 ///   --threads <n>          worker threads (0 = hardware concurrency)
 ///   --max-route-iters <n>  cap the router's rip-up-and-reroute iterations
 ///   --time-budget <sec>    per-phase wall-clock budget (degrade, don't hang)
@@ -74,6 +79,9 @@ struct Args {
   std::string trace_out;
   std::string metrics_out;
   std::string congestion_csv_out;
+  std::uint32_t repair_passes = 0;
+  std::uint32_t repair_window = 8;
+  std::uint32_t repair_max_cells = 64;
   std::uint32_t threads = 0;
   std::uint32_t max_route_iters = 0;
   double time_budget_s = 0.0;
@@ -147,6 +155,9 @@ Args parse(int argc, char** argv) {
     else if (std::strcmp(a, "--trace") == 0) args.trace_out = need(i);
     else if (std::strcmp(a, "--metrics") == 0) args.metrics_out = need(i);
     else if (std::strcmp(a, "--congestion-csv") == 0) args.congestion_csv_out = need(i);
+    else if (std::strcmp(a, "--repair-passes") == 0) args.repair_passes = need_u32(i);
+    else if (std::strcmp(a, "--repair-window") == 0) args.repair_window = need_u32(i);
+    else if (std::strcmp(a, "--repair-max-cells") == 0) args.repair_max_cells = need_u32(i);
     else if (std::strcmp(a, "--report") == 0) args.report = true;
     else if (std::strcmp(a, "--quiet") == 0) args.quiet = true;
     else if (a[0] == '-') usage(argv[0], std::string("unknown option '") + a + "'");
@@ -227,6 +238,9 @@ int run_flow(const Args& args) {
   options.refine_passes = args.refine;
   options.num_threads = args.threads;
   options.max_route_iters = args.max_route_iters;
+  options.repair_passes = args.repair_passes;
+  options.repair_window = args.repair_window;
+  options.repair_max_cells = args.repair_max_cells;
   options.phase_time_budget_s = args.time_budget_s;
   options.on_error = ErrorPolicy::kBestEffort;
 
@@ -264,7 +278,25 @@ int run_flow(const Args& args) {
     run.placement = netlist.seed_placement(run.binding);
     legalize(run.binding.graph, fp, run.placement);
     RoutingGrid grid(fp, options.rgrid);
-    run.route = route(grid, run.binding.graph, run.placement, options.route);
+    if (options.repair_passes == 0) {
+      run.route = route(grid, run.binding.graph, run.placement, options.route);
+    } else {
+      // The buffered netlist is a new design: redo route + repair so the
+      // reported result (and the pre/post heatmaps) describe it, not the
+      // pre-buffering run.
+      Router router(grid, run.binding.graph, run.placement, options.route);
+      router.run();
+      run.congestion_pre_csv = CongestionMap(grid).to_csv();
+      rcm::RepairOptions repair_options;
+      repair_options.passes = options.repair_passes;
+      repair_options.window = options.repair_window;
+      repair_options.max_cells = options.repair_max_cells;
+      repair_options.reroute_iterations = options.route.max_rrr_iterations;
+      run.repair = rcm::repair(router, grid, run.binding.graph, fp, run.placement,
+                               repair_options);
+      run.route = router.take();
+      run.congestion_post_csv = CongestionMap(grid).to_csv();
+    }
     run.sta = run_sta(netlist, run.binding, run.route);
   }
 
@@ -275,19 +307,39 @@ int run_flow(const Args& args) {
   std::printf("routing: %llu violations, wirelength %.0f um\n",
               static_cast<unsigned long long>(run.route.total_overflow),
               run.route.wirelength_um);
+  if (run.repair.passes_run > 0)
+    std::printf("repair: %u pass(es), %u cell(s) moved, overflow %llu -> %llu\n",
+                run.repair.passes_run, run.repair.cells_moved,
+                static_cast<unsigned long long>(run.repair.overflow_before),
+                static_cast<unsigned long long>(run.repair.overflow_after));
   std::printf("timing: critical path %s -> %s = %.3f ns\n",
               run.sta.critical.start.c_str(), run.sta.critical.end.c_str(),
               run.sta.critical.arrival_ns);
 
   if (args.report || !args.congestion_csv_out.empty()) {
     if (args.report) std::printf("\n%s", timing_report(netlist, run.sta).c_str());
-    RoutingGrid grid(fp, options.rgrid);
-    route(grid, run.binding.graph, run.placement, options.route);
-    const CongestionMap map(grid);
-    if (args.report)
-      std::printf("\ncongestion map ('X' = over capacity):\n%s", map.ascii_art().c_str());
-    if (!args.congestion_csv_out.empty())
-      save(args.congestion_csv_out, map.to_csv(), args.quiet, "congestion CSV");
+    // When repair ran, the flow captured exact pre/post heatmaps of the live
+    // routing session — emit the pair. Otherwise rebuild the single final
+    // map by re-routing the (deterministic) solution, as before.
+    const bool have_repair_maps = !run.congestion_post_csv.empty();
+    if (args.report || (!args.congestion_csv_out.empty() && !have_repair_maps)) {
+      RoutingGrid grid(fp, options.rgrid);
+      route(grid, run.binding.graph, run.placement, options.route);
+      const CongestionMap map(grid);
+      if (args.report)
+        std::printf("\ncongestion map ('X' = over capacity):\n%s",
+                    map.ascii_art().c_str());
+      if (!args.congestion_csv_out.empty() && !have_repair_maps)
+        save(args.congestion_csv_out, map.to_csv(), args.quiet, "congestion CSV");
+    }
+    if (!args.congestion_csv_out.empty() && have_repair_maps) {
+      std::string base = args.congestion_csv_out;
+      if (ends_with(base, ".csv")) base.resize(base.size() - 4);
+      save(base + ".pre.csv", run.congestion_pre_csv, args.quiet,
+           "pre-repair congestion CSV");
+      save(base + ".post.csv", run.congestion_post_csv, args.quiet,
+           "post-repair congestion CSV");
+    }
   }
 
   if (!args.verilog_out.empty())

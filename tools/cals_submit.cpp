@@ -24,6 +24,9 @@
 ///   --partition <p>    dagon | cones | pdp (default pdp)
 ///   --objective <o>    area | delay (default area)
 ///   --max-route-iters <n> / --time-budget <sec>  flow guardrails
+///   --repair-passes <n>    post-route congestion repair passes (0 = off)
+///   --repair-window <n>    repair search window radius, gcells (default 8)
+///   --repair-max-cells <n> cells moved per repair pass (default 64)
 ///   --max-attempts <n> server-side retry budget for this job: up to n
 ///                      attempts on retryable (internal) failures (default 0
 ///                      = server default)
@@ -113,6 +116,10 @@ void print_flight_summary(const svc::SpoolPaths& spool, const std::string& stem)
       f.queue_seconds * 1e3, f.exec_seconds * 1e3, f.map_seconds * 1e3,
       f.place_seconds * 1e3, f.route_seconds * 1e3, f.sta_seconds * 1e3,
       f.route_iterations(), provenance.c_str(), f.threads_used);
+  if (f.rcm_passes > 0)
+    std::printf("repair: %u pass(es), %u cell(s) moved, overflow removed %llu\n",
+                f.rcm_passes, f.rcm_cells_moved,
+                static_cast<unsigned long long>(f.rcm_overflow_removed));
 }
 
 int run(int argc, char** argv) {
@@ -179,6 +186,12 @@ int run(int argc, char** argv) {
       else usage(argv[0], "unknown objective '" + o + "' (area | delay)");
     } else if (std::strcmp(a, "--max-route-iters") == 0)
       spec.options.max_route_iters = need_u32(i);
+    else if (std::strcmp(a, "--repair-passes") == 0)
+      spec.options.repair_passes = need_u32(i);
+    else if (std::strcmp(a, "--repair-window") == 0)
+      spec.options.repair_window = need_u32(i);
+    else if (std::strcmp(a, "--repair-max-cells") == 0)
+      spec.options.repair_max_cells = need_u32(i);
     else if (std::strcmp(a, "--time-budget") == 0)
       spec.options.phase_time_budget_s = need_double(i, 1e-6, 1e6);
     else if (std::strcmp(a, "--max-attempts") == 0)

@@ -53,6 +53,10 @@ FLIGHT_REQUIRED = {
     "dirty_edges": str,
     "ripups": (int,),
     "maze_pops": (int,),
+    "rcm_passes": (int,),
+    "rcm_cells_moved": (int,),
+    "rcm_overflow_removed": (int,),
+    "rcm_overflow_trajectory": str,
     "k_factor": (int, float),
     "num_cells": (int,),
     "wirelength_um": (int, float),
@@ -105,6 +109,15 @@ def check_flight(path: str) -> None:
              f"dirty-edge series length {dirty_n}")
     if doc["cache_hit"] and doc["route_iterations"] > 0:
         fail(f"{path}: cache hit cannot carry route iterations")
+    # rcm_passes rides in the (cacheable) metrics; the per-pass overflow
+    # trajectory only exists when repair ran live in this execution.
+    rcm_n = series_len(doc["rcm_overflow_trajectory"])
+    if doc["cache_hit"]:
+        if rcm_n != 0:
+            fail(f"{path}: cache hit cannot carry a live repair trajectory")
+    elif rcm_n != doc["rcm_passes"]:
+        fail(f"{path}: rcm_passes {doc['rcm_passes']} != repair trajectory "
+             f"length {rcm_n}")
     if doc["state"] == "done" and doc["status"] != "ok":
         fail(f"{path}: done record with status '{doc['status']}'")
     for field in ("queue_seconds", "exec_seconds", "map_seconds",

@@ -57,6 +57,14 @@ run_case "flow.sta"   1 "$PLA"
 # (possibly unconverged) run — a normal exit either way.
 run_case "route.ripup:action=fail:count=0" any "$PLA"
 
+# Congestion-repair probes: repair is strictly best-effort. An injected
+# throw inside the repair phase is absorbed by the flow, which restores the
+# pre-repair placement and re-routes — the run completes with the
+# unrepaired-but-valid result (exit 0), never a crash or a failed flow.
+run_case "flow.repair" 0 --repair-passes 1 "$PLA"
+# kFail at the probe skips repair quietly: same unrepaired-but-valid result.
+run_case "flow.repair:action=fail:count=0" 0 --repair-passes 1 "$PLA"
+
 # Injected delay + tight phase budget: bounded-time kBudgetExceeded, exit 1.
 run_case "flow.place:action=delay:delay_ms=400" 1 --time-budget 0.1 "$PLA"
 
